@@ -1,0 +1,8 @@
+//! Runs the design-choice ablations: sleep-gap bucketing and the
+//! sampling-rate fidelity/overhead frontier.
+
+fn main() {
+    println!("{}", lotus_bench::ablation::sleep_gap());
+    println!();
+    println!("{}", lotus_bench::ablation::sampling_frontier());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 2: coarse traces and bottleneck classification for
+//! the three pipelines; writes Chrome Trace Viewer JSON files.
+
+fn main() {
+    let scale = lotus_bench::Scale::from_env();
+    println!("{}", lotus_bench::fig2::run(scale));
+}

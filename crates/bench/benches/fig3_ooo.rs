@@ -1,0 +1,6 @@
+//! Regenerates Figure 3: out-of-order batch arrivals and the waiting they
+//! cause despite batches being ready.
+
+fn main() {
+    println!("{}", lotus_bench::fig3::run());
+}

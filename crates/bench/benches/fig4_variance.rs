@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: per-batch preprocessing-time variance across
+//! batch sizes and GPU counts.
+
+fn main() {
+    let scale = lotus_bench::Scale::from_env();
+    println!("{}", lotus_bench::fig4::run(scale));
+}

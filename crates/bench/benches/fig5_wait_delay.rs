@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: fractions of batches with >500 ms wait and
+//! delay times at batch 512.
+
+fn main() {
+    let scale = lotus_bench::Scale::from_env();
+    println!("{}", lotus_bench::fig5::run(scale));
+}

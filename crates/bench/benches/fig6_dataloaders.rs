@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: the dataloader sweep combining LotusTrace
+//! timings, the hardware profile and LotusMap metric splitting.
+
+fn main() {
+    let scale = lotus_bench::Scale::from_env();
+    println!("{}", lotus_bench::fig6::run(scale));
+    println!("\n-- AMD machine (uProf driver; the analysis the paper defers to its repository) --");
+    println!("{}", lotus_bench::fig6::run_amd(scale));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table I: the Python-op → C/C++-function mapping on Intel
+//! (VTune) and AMD (uProf) machines. Also writes `mapping_funcs.json`.
+
+use lotus_core::map::IsolationConfig;
+use lotus_sim::Span;
+
+fn main() {
+    // Target the smallest function of interest (~100 µs) so the run-count
+    // formula yields a mapping that is complete on both vendors.
+    let config =
+        IsolationConfig { expected_fn_span: Span::from_micros(100), ..IsolationConfig::default() };
+    let table = lotus_bench::table1::run(config);
+    println!("{table}");
+    let path = lotus_bench::results_dir().join("mapping_funcs.json");
+    std::fs::write(&path, table.intel.to_json()).expect("write mapping json");
+    println!("Intel mapping written to {}", path.display());
+}

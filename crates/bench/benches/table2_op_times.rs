@@ -1,0 +1,7 @@
+//! Regenerates Table II: per-image elapsed time per preprocessing
+//! operation for the IC, IS and OD pipelines.
+
+fn main() {
+    let scale = lotus_bench::Scale::from_env();
+    println!("{}", lotus_bench::table2::run(scale));
+}

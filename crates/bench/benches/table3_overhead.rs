@@ -1,0 +1,6 @@
+//! Regenerates Tables III and IV: profiler overhead and functionality.
+
+fn main() {
+    let scale = lotus_bench::Scale::from_env();
+    println!("{}", lotus_bench::table3::run(scale));
+}

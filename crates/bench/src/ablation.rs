@@ -1,0 +1,333 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Sleep-gap bucketing** — without LotusMap's `sleep()` gap, skid
+//!    mis-buckets decode kernels into `RandomResizedCrop`, inflating its
+//!    attributed CPU time (the paper quantifies ~30 % for `decode_mcu`).
+//! 2. **Sampling-rate frontier** — sweeping a sampling profiler's
+//!    interval trades per-op fidelity against log volume and overhead;
+//!    instrumented tracing (LotusTrace) sits off that trade-off curve.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use lotus_core::map::{split_metrics, IsolationConfig, Mapping};
+use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
+use lotus_profilers::{ProfilerModel, SamplingConfig, SamplingProfiler};
+use lotus_sim::Span;
+use lotus_uarch::{
+    CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
+};
+use lotus_workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
+
+/// Result of the sleep-gap ablation.
+#[derive(Debug, Clone)]
+pub struct SleepGapAblation {
+    /// RRC CPU time attributed with the clean (gap-on) mapping.
+    pub rrc_cpu_clean: Span,
+    /// RRC CPU time attributed with the polluted (gap-off) mapping.
+    pub rrc_cpu_polluted: Span,
+    /// RRC CPU time attributed when `decode_mcu` — the most CPU-hungry
+    /// function — is deliberately mis-bucketed into RRC (the paper's
+    /// hypothetical: a 30.21 % inflation).
+    pub rrc_cpu_decode_misbucketed: Span,
+    /// Functions in the polluted RRC bucket that the clean bucket lacks.
+    pub leaked_functions: Vec<String>,
+}
+
+impl SleepGapAblation {
+    /// Relative inflation of RRC's attributed CPU time from skid leakage.
+    #[must_use]
+    pub fn inflation(&self) -> f64 {
+        relative(self.rrc_cpu_clean, self.rrc_cpu_polluted)
+    }
+
+    /// Relative inflation in the paper's hypothetical (`decode_mcu`
+    /// bucketed under RRC).
+    #[must_use]
+    pub fn decode_misbucket_inflation(&self) -> f64 {
+        relative(self.rrc_cpu_clean, self.rrc_cpu_decode_misbucketed)
+    }
+}
+
+fn relative(clean: Span, inflated: Span) -> f64 {
+    let c = clean.as_nanos() as f64;
+    if c == 0.0 { 0.0 } else { (inflated.as_nanos() as f64 - c) / c }
+}
+
+/// Runs the sleep-gap ablation: same pipeline profile, two mappings.
+///
+/// # Panics
+///
+/// Panics if the pipeline run fails.
+#[must_use]
+pub fn sleep_gap() -> SleepGapAblation {
+    let mapping_machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let clean = build_ic_mapping(&mapping_machine, IsolationConfig::default());
+    let polluted_machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let polluted = build_ic_mapping(
+        &polluted_machine,
+        IsolationConfig {
+            use_sleep_gap: false,
+            runs_override: Some(600),
+            ..IsolationConfig::default()
+        },
+    );
+
+    // One profiled pipeline run provides the function-level counters.
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+        op_mode: OpLogMode::Aggregate,
+        ..LotusTraceConfig::default()
+    }));
+    let hw = Arc::new(HwProfiler::new(ProfilerConfig {
+        sampling_interval: Span::from_millis(10),
+        skid: Span::from_micros(120),
+        mode: CollectionMode::Sampling,
+        start_paused: false,
+    }));
+    ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+        .scaled_to(16_384)
+        .build(&machine, Arc::clone(&trace) as _, Some(Arc::clone(&hw)))
+        .run()
+        .expect("ablation run must complete");
+    let op_times: BTreeMap<String, Span> =
+        trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    let profile = hw.report(&machine);
+
+    let rrc_cpu = |mapping: &Mapping| {
+        split_metrics(&profile, mapping, &op_times)
+            .into_iter()
+            .find(|o| o.op == "RandomResizedCrop")
+            .map_or(Span::ZERO, |o| o.cpu_time)
+    };
+    // The paper's hypothetical: bucket decode_mcu under RRC.
+    let mut misbucketed = clean.clone();
+    let mut rrc_bucket = misbucketed
+        .functions_for("RandomResizedCrop")
+        .expect("RRC mapped")
+        .clone();
+    rrc_bucket.functions.push(lotus_core::map::MappedFunction {
+        name: "decode_mcu".into(),
+        library: "libjpeg.so.9".into(),
+        captured_runs: 1,
+        total_runs: 1,
+        samples: 1,
+    });
+    misbucketed.insert(rrc_bucket);
+    let leaked = polluted
+        .functions_for("RandomResizedCrop")
+        .map(|b| {
+            b.functions
+                .iter()
+                .filter(|f| {
+                    clean
+                        .functions_for("RandomResizedCrop")
+                        .is_none_or(|c| !c.contains(&f.name))
+                })
+                .map(|f| f.name.clone())
+                .collect()
+        })
+        .unwrap_or_default();
+    SleepGapAblation {
+        rrc_cpu_clean: rrc_cpu(&clean),
+        rrc_cpu_polluted: rrc_cpu(&polluted),
+        rrc_cpu_decode_misbucketed: rrc_cpu(&misbucketed),
+        leaked_functions: leaked,
+    }
+}
+
+impl fmt::Display for SleepGapAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation — LotusMap sleep-gap bucketing")?;
+        writeln!(f, "RRC attributed CPU, clean mapping:    {}", self.rrc_cpu_clean)?;
+        writeln!(f, "RRC attributed CPU, polluted mapping: {}", self.rrc_cpu_polluted)?;
+        writeln!(f, "skid-leakage inflation: {:.1}%", self.inflation() * 100.0)?;
+        writeln!(
+            f,
+            "decode_mcu-in-RRC hypothetical inflation: {:.1}% (paper: 30.21%)",
+            self.decode_misbucket_inflation() * 100.0
+        )?;
+        writeln!(f, "functions leaked into the RRC bucket: {:?}", self.leaked_functions)
+    }
+}
+
+/// One point of the sampling-rate frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Label ("lotus" or the sampling interval).
+    pub label: String,
+    /// Mean absolute relative error of per-op epoch totals vs. ground
+    /// truth (ops missed entirely count as 100 % error).
+    pub epoch_error: f64,
+    /// Log storage written.
+    pub log_bytes: u64,
+    /// Wall-time overhead fraction.
+    pub overhead: f64,
+}
+
+/// The frontier sweep result.
+#[derive(Debug, Clone)]
+pub struct SamplingFrontier {
+    /// Lotus plus one point per sampling interval.
+    pub points: Vec<FrontierPoint>,
+}
+
+/// Sweeps sampling intervals on the IC pipeline and contrasts with
+/// LotusTrace.
+///
+/// # Panics
+///
+/// Panics if any run fails.
+#[must_use]
+pub fn sampling_frontier() -> SamplingFrontier {
+    let items = 8_192u64;
+    let config = {
+        let mut c = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+        c.batch_size = 512;
+        c.scaled_to(items)
+    };
+    let run = |tracer: Arc<dyn lotus_dataflow::Tracer>| {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        config.build(&machine, tracer, None).run().expect("frontier run must complete").elapsed
+    };
+
+    // Ground truth per-op totals + baseline wall time.
+    let truth_trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+        op_mode: OpLogMode::Aggregate,
+        per_log_overhead: Span::ZERO,
+    }));
+    let baseline_wall = run(Arc::clone(&truth_trace) as _);
+    let truth: BTreeMap<String, Span> =
+        truth_trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+
+    let mut points = Vec::new();
+    // LotusTrace itself (with its real per-log overhead).
+    {
+        let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+            op_mode: OpLogMode::Aggregate,
+            ..LotusTraceConfig::default()
+        }));
+        let wall = run(Arc::clone(&trace) as _);
+        let estimates: BTreeMap<String, Span> =
+            trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+        points.push(FrontierPoint {
+            label: "lotus (instrumented)".into(),
+            epoch_error: epoch_error(&truth, &estimates),
+            log_bytes: trace.log_storage_bytes(),
+            overhead: overhead(baseline_wall, wall),
+        });
+    }
+    for interval in [Span::from_millis(10), Span::from_millis(1), Span::from_micros(100)] {
+        // External sampler: per-sample target pause of ~3.2 µs.
+        let dilation = 1.0 + 3_200.0 / interval.as_nanos() as f64;
+        let profiler = Arc::new(SamplingProfiler::new(
+            "sweep",
+            SamplingConfig {
+                interval,
+                dilation,
+                bytes_per_sample: 1_700,
+                report_bytes: 0,
+                resolves_ops: true,
+            },
+        ));
+        let wall = run(Arc::clone(&profiler) as _);
+        let output = profiler.finish(wall, 2);
+        let estimates = output.per_op_epoch_totals.unwrap_or_default();
+        points.push(FrontierPoint {
+            label: format!("sampling @ {interval}"),
+            epoch_error: epoch_error(&truth, &estimates),
+            log_bytes: output.log_bytes,
+            overhead: overhead(baseline_wall, wall),
+        });
+    }
+    SamplingFrontier { points }
+}
+
+fn epoch_error(truth: &BTreeMap<String, Span>, estimate: &BTreeMap<String, Span>) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (op, t) in truth {
+        let t = t.as_nanos() as f64;
+        if t == 0.0 {
+            continue;
+        }
+        let e = estimate.get(op).copied().unwrap_or(Span::ZERO).as_nanos() as f64;
+        total += ((e - t) / t).abs();
+        n += 1;
+    }
+    if n == 0 { 0.0 } else { total / n as f64 }
+}
+
+fn overhead(baseline: Span, wall: Span) -> f64 {
+    (wall.as_nanos() as f64 - baseline.as_nanos() as f64) / baseline.as_nanos() as f64
+}
+
+impl fmt::Display for SamplingFrontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation — sampling-rate fidelity/overhead frontier (IC, batch 512)")?;
+        writeln!(
+            f,
+            "{:<24} {:>14} {:>14} {:>12}",
+            "collector", "epoch error %", "log bytes", "overhead %"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:<24} {:>14.2} {:>14} {:>12.2}",
+                p.label,
+                p.epoch_error * 100.0,
+                p.log_bytes,
+                p.overhead * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mis_bucketing_inflates_rrc_substantially() {
+        let ab = sleep_gap();
+        assert!(!ab.leaked_functions.is_empty(), "the gap-off mapping must be polluted");
+        assert!(
+            ab.inflation() > 0.02,
+            "skid leakage inflation {:.3} should be measurable",
+            ab.inflation()
+        );
+        // The paper's hypothetical: decode_mcu bucketed under RRC inflates
+        // its CPU time by ~30%.
+        assert!(
+            (0.10..0.80).contains(&ab.decode_misbucket_inflation()),
+            "decode_mcu mis-bucket inflation {:.3} (paper: 0.30)",
+            ab.decode_misbucket_inflation()
+        );
+    }
+
+    #[test]
+    fn finer_sampling_buys_fidelity_with_storage() {
+        let frontier = sampling_frontier();
+        let by_label = |needle: &str| {
+            frontier
+                .points
+                .iter()
+                .find(|p| p.label.contains(needle))
+                .unwrap_or_else(|| panic!("{needle} missing"))
+        };
+        let coarse = by_label("10.000ms");
+        let fine = by_label("100.000us");
+        assert!(fine.epoch_error < coarse.epoch_error, "finer sampling is more accurate");
+        assert!(fine.log_bytes > 20 * coarse.log_bytes, "…but writes far more log");
+        let lotus = by_label("lotus");
+        assert!(lotus.epoch_error < 0.02, "instrumentation is near-exact");
+        assert!(
+            lotus.log_bytes < fine.log_bytes / 20,
+            "lotus log {} vs fine sampling {}",
+            lotus.log_bytes,
+            fine.log_bytes
+        );
+    }
+}

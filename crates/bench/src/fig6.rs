@@ -1,0 +1,323 @@
+//! Figure 6: varying the number of dataloader workers (8 → 28) on the IC
+//! pipeline with batch 1024 and 4 GPUs — combining LotusTrace timings (a,
+//! b, e), the VTune-style hardware profile (c, d), and LotusMap's metric
+//! splitting (f, g, h).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use lotus_core::map::{relevant_functions, split_metrics, IsolationConfig, Mapping, OpHardwareProfile};
+use lotus_core::trace::analysis::total_preprocess_cpu;
+use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
+use lotus_sim::Span;
+use lotus_uarch::{
+    CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
+};
+use lotus_workloads::{build_ic_mapping_for_batch, ExperimentConfig, PipelineKind};
+
+use crate::Scale;
+
+/// Measurements for one worker count.
+#[derive(Debug, Clone)]
+pub struct Fig6Point {
+    /// DataLoader worker count.
+    pub workers: usize,
+    /// End-to-end epoch time (Figure 6(a)).
+    pub e2e: Span,
+    /// Total preprocessing CPU seconds across workers (Figure 6(b) total).
+    pub total_cpu: Span,
+    /// Per-op CPU totals from LotusTrace (Figure 6(b,e)).
+    pub per_op_cpu: BTreeMap<String, Span>,
+    /// Native functions observed by the hardware profiler.
+    pub profiled_functions: usize,
+    /// Functions remaining after filtering through the mapping
+    /// (Figure 6(c,d)).
+    pub relevant_functions: usize,
+    /// Per-op hardware attribution via LotusMap splitting
+    /// (Figure 6(e–h)).
+    pub per_op_hw: Vec<OpHardwareProfile>,
+}
+
+impl Fig6Point {
+    /// The attributed hardware profile for one op.
+    #[must_use]
+    pub fn op_hw(&self, op: &str) -> Option<&OpHardwareProfile> {
+        self.per_op_hw.iter().find(|o| o.op == op)
+    }
+
+    /// Aggregate uops-per-cycle across all mapped preprocessing ops
+    /// (Figure 6(f): uop supply to the backend).
+    #[must_use]
+    pub fn uops_per_cycle(&self) -> f64 {
+        let events: lotus_uarch::HwEvents =
+            self.per_op_hw.iter().map(|o| o.events).sum();
+        events.uops_per_cycle()
+    }
+
+    /// Aggregate front-end-bound fraction (Figure 6(g)).
+    #[must_use]
+    pub fn frontend_bound(&self) -> f64 {
+        let events: lotus_uarch::HwEvents =
+            self.per_op_hw.iter().map(|o| o.events).sum();
+        events.frontend_bound_fraction()
+    }
+
+    /// Aggregate DRAM-bound fraction (Figure 6(h): stalls from loads
+    /// serviced by local DRAM).
+    #[must_use]
+    pub fn dram_bound(&self) -> f64 {
+        let events: lotus_uarch::HwEvents =
+            self.per_op_hw.iter().map(|o| o.events).sum();
+        events.dram_bound_fraction()
+    }
+}
+
+/// The whole sweep plus the mapping used for splitting.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// One point per worker count (8, 12, …, 28).
+    pub points: Vec<Fig6Point>,
+    /// The LotusMap mapping used to filter and split.
+    pub mapping: Mapping,
+}
+
+const BATCH: usize = 1024;
+const GPUS: usize = 4;
+
+/// Runs the worker sweep on the paper's Intel testbed.
+///
+/// # Panics
+///
+/// Panics if any run fails.
+#[must_use]
+pub fn run(scale: Scale) -> Fig6 {
+    run_on(scale, MachineConfig::cloudlab_c4130())
+}
+
+/// Runs the worker sweep on the AMD machine (uProf driver, AMD kernel
+/// inventory) — the analysis the paper defers to its repository "for
+/// brevity" (§V-D).
+#[must_use]
+pub fn run_amd(scale: Scale) -> Fig6 {
+    run_on(scale, MachineConfig::amd_rome())
+}
+
+/// Runs the worker sweep on an arbitrary machine configuration.
+///
+/// # Panics
+///
+/// Panics if any run fails.
+#[must_use]
+pub fn run_on(scale: Scale, machine_config: MachineConfig) -> Fig6 {
+    // The mapping is a one-time preparatory step on the same machine type
+    // (§IV-B); function names are stable across machine instances.
+    let mapping_machine = Machine::new(machine_config.clone());
+    let mapping = build_ic_mapping_for_batch(
+        &mapping_machine,
+        IsolationConfig::default(),
+        BATCH,
+    );
+
+    let mut points = Vec::new();
+    for workers in [8usize, 12, 16, 20, 24, 28] {
+        let machine = Machine::new(machine_config.clone());
+        let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+            op_mode: OpLogMode::Aggregate,
+            ..LotusTraceConfig::default()
+        }));
+        let hw = Arc::new(HwProfiler::new(ProfilerConfig {
+            sampling_interval: machine_config.vendor.default_sampling_interval(),
+            skid: Span::from_micros(120),
+            mode: CollectionMode::Sampling,
+            start_paused: false,
+        }));
+        let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+        config.batch_size = BATCH;
+        config.num_gpus = GPUS;
+        config.num_workers = workers;
+        if let Some(items) = scale.items(128 * BATCH as u64) {
+            config = config.scaled_to(items);
+        }
+        let report = config
+            .build(&machine, Arc::clone(&trace) as _, Some(Arc::clone(&hw)))
+            .run()
+            .expect("fig6 run must complete");
+
+        let op_stats = trace.op_stats();
+        let per_op_cpu: BTreeMap<String, Span> =
+            op_stats.iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+        let profile = hw.report(&machine);
+        let relevant = relevant_functions(&profile, &mapping).len();
+        let per_op_hw = split_metrics(&profile, &mapping, &per_op_cpu);
+        points.push(Fig6Point {
+            workers,
+            e2e: report.elapsed,
+            total_cpu: total_preprocess_cpu(&trace.records()),
+            per_op_cpu,
+            profiled_functions: profile.len(),
+            relevant_functions: relevant,
+            per_op_hw,
+        });
+    }
+    Fig6 { points, mapping }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6 — IC, batch 1024, 4 GPUs, varying dataloaders")?;
+        writeln!(
+            f,
+            "{:>8} {:>10} {:>12} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            "workers", "E2E s", "CPU s", "fns", "mapped", "uops/cyc", "FE-bound %", "DRAM-bound %"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>8} {:>10.1} {:>12.1} {:>10} {:>10} {:>12.3} {:>12.2} {:>12.2}",
+                p.workers,
+                p.e2e.as_secs_f64(),
+                p.total_cpu.as_secs_f64(),
+                p.profiled_functions,
+                p.relevant_functions,
+                p.uops_per_cycle(),
+                p.frontend_bound() * 100.0,
+                p.dram_bound() * 100.0
+            )?;
+        }
+        writeln!(f, "\nPer-op CPU seconds (Figure 6(b,e)):")?;
+        if let Some(first) = self.points.first() {
+            let ops: Vec<&String> = first.per_op_cpu.keys().collect();
+            write!(f, "{:>8}", "workers")?;
+            for op in &ops {
+                write!(f, " {:>18}", op)?;
+            }
+            writeln!(f)?;
+            for p in &self.points {
+                write!(f, "{:>8}", p.workers)?;
+                for op in &ops {
+                    write!(
+                        f,
+                        " {:>18.1}",
+                        p.per_op_cpu.get(*op).copied().unwrap_or(Span::ZERO).as_secs_f64()
+                    )?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Fig6 {
+        run(Scale::scaled())
+    }
+
+    #[test]
+    fn e2e_drops_with_diminishing_returns() {
+        let fig = sweep();
+        let e2e: Vec<f64> = fig.points.iter().map(|p| p.e2e.as_secs_f64()).collect();
+        // (a): large drop from 8 to 28 workers…
+        assert!(
+            e2e[5] < 0.65 * e2e[0],
+            "E2E should drop substantially: {:.1}s → {:.1}s",
+            e2e[0],
+            e2e[5]
+        );
+        // …with diminishing returns at the high end.
+        let early_gain = e2e[0] - e2e[2]; // 8 → 16
+        let late_gain = e2e[3] - e2e[5]; // 20 → 28
+        assert!(
+            late_gain < 0.5 * early_gain,
+            "returns should diminish: early {early_gain:.1}s vs late {late_gain:.1}s"
+        );
+    }
+
+    #[test]
+    fn total_cpu_time_rises_with_workers() {
+        let fig = sweep();
+        let first = fig.points.first().unwrap().total_cpu.as_secs_f64();
+        let last = fig.points.last().unwrap().total_cpu.as_secs_f64();
+        let growth = last / first;
+        // Paper: 9402 s → 14423 s (+53%).
+        assert!((1.2..2.2).contains(&growth), "CPU-time growth {growth}");
+        // Every op's CPU time rises steadily (Figure 6(b,e)).
+        for op in fig.points[0].per_op_cpu.keys() {
+            let a = fig.points[0].per_op_cpu[op].as_nanos() as f64;
+            let b = fig.points[5].per_op_cpu[op].as_nanos() as f64;
+            assert!(b > a, "{op} CPU time should rise with workers");
+        }
+    }
+
+    #[test]
+    fn mapping_filters_the_function_zoo() {
+        let fig = sweep();
+        for p in &fig.points {
+            assert!(
+                p.relevant_functions < p.profiled_functions,
+                "filtering should drop unrelated functions ({} of {})",
+                p.relevant_functions,
+                p.profiled_functions
+            );
+            assert!(p.relevant_functions >= 8, "mapped functions: {}", p.relevant_functions);
+        }
+    }
+
+    #[test]
+    fn microarchitecture_trends_match_the_paper() {
+        let fig = sweep();
+        let first = fig.points.first().unwrap();
+        let last = fig.points.last().unwrap();
+        // (f): uop supply to the backend drops as workers grow.
+        assert!(
+            last.uops_per_cycle() < first.uops_per_cycle(),
+            "uops/cycle {} → {}",
+            first.uops_per_cycle(),
+            last.uops_per_cycle()
+        );
+        // (g): the workload becomes increasingly front-end bound.
+        assert!(
+            last.frontend_bound() > first.frontend_bound() + 0.03,
+            "frontend bound {} → {}",
+            first.frontend_bound(),
+            last.frontend_bound()
+        );
+        // (h): pressure from local-DRAM-serviced loads decreases.
+        assert!(
+            last.dram_bound() < first.dram_bound(),
+            "DRAM bound {} → {}",
+            first.dram_bound(),
+            last.dram_bound()
+        );
+    }
+
+    #[test]
+    fn amd_sweep_shows_the_same_trends() {
+        let fig = run_amd(Scale::scaled());
+        let first = fig.points.first().unwrap();
+        let last = fig.points.last().unwrap();
+        assert!(last.e2e < first.e2e);
+        assert!(last.frontend_bound() > first.frontend_bound());
+        assert!(last.dram_bound() < first.dram_bound());
+        // The AMD inventory is in play.
+        assert!(fig.mapping.functions_for("Loader").unwrap().contains("sep_upsample"));
+    }
+
+    #[test]
+    fn per_op_attribution_covers_the_pipeline_ops() {
+        let fig = sweep();
+        let p = fig.points.first().unwrap();
+        for op in ["Loader", "RandomResizedCrop", "ToTensor", "Normalize"] {
+            let hw = p.op_hw(op).unwrap_or_else(|| panic!("{op} attributed"));
+            assert!(hw.cpu_time > Span::ZERO, "{op} should receive CPU time");
+        }
+        // Loader (decode) dominates the attributed CPU time.
+        let loader = p.op_hw("Loader").unwrap().cpu_time;
+        let rrc = p.op_hw("RandomResizedCrop").unwrap().cpu_time;
+        assert!(loader > rrc, "Loader {loader} vs RRC {rrc}");
+    }
+}

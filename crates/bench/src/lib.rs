@@ -1,0 +1,105 @@
+//! # lotus-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation, each with a
+//! `run(...)` function returning a typed result and a `Display` that
+//! prints the same rows/series the paper reports. The bench targets under
+//! `benches/` are thin wrappers (`harness = false`) so `cargo bench`
+//! regenerates every result.
+//!
+//! ## Scale
+//!
+//! By default experiments run on deterministically truncated datasets
+//! (identical distributions, smaller totals) so the whole suite finishes
+//! in minutes. Set `LOTUS_FULL=1` to run the paper's full dataset sizes.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use lotus_core::trace::analysis::OpStats;
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Run the paper's full dataset sizes.
+    pub full: bool,
+}
+
+impl Scale {
+    /// Reads `LOTUS_FULL` from the environment.
+    #[must_use]
+    pub fn from_env() -> Scale {
+        Scale { full: std::env::var("LOTUS_FULL").is_ok_and(|v| v == "1") }
+    }
+
+    /// A fixed scaled-down configuration (used by tests).
+    #[must_use]
+    pub fn scaled() -> Scale {
+        Scale { full: false }
+    }
+
+    /// Dataset truncation: `None` (full dataset) when running full scale,
+    /// otherwise `Some(scaled_items)`.
+    #[must_use]
+    pub fn items(&self, scaled_items: u64) -> Option<u64> {
+        if self.full { None } else { Some(scaled_items) }
+    }
+}
+
+/// Formats one Table II-style block of per-op statistics.
+#[must_use]
+pub fn format_op_stats(title: &str, stats: &[OpStats]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<30} {:>9} {:>9} {:>8} {:>8}\n",
+        "op", "avg ms", "P90 ms", "<10ms %", "<100us %"
+    ));
+    for op in stats {
+        out.push_str(&format!(
+            "{:<30} {:>9.2} {:>9.2} {:>8.2} {:>8.2}\n",
+            op.name,
+            op.summary.mean,
+            op.summary.p90,
+            op.frac_below_10ms * 100.0,
+            op.frac_below_100us * 100.0
+        ));
+    }
+    out
+}
+
+/// Output directory for generated artifacts (traces, mappings).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("target/lotus-results");
+    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_items_respects_full_flag() {
+        assert_eq!(Scale { full: false }.items(100), Some(100));
+        assert_eq!(Scale { full: true }.items(100), None);
+    }
+
+    #[test]
+    fn results_dir_is_created() {
+        let dir = results_dir();
+        assert!(dir.exists());
+    }
+}

@@ -1,0 +1,112 @@
+//! Table I: the Python-operation → C/C++-function mapping, built on an
+//! Intel machine (VTune/ITT) and an AMD machine (uProf/AMDProfileControl).
+
+use std::fmt;
+
+use lotus_core::map::{IsolationConfig, Mapping};
+use lotus_uarch::{Machine, MachineConfig};
+use lotus_workloads::build_ic_mapping;
+
+/// The two vendor mappings (top and bottom halves of Table I).
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Mapping built with the VTune-style 10 ms sampling driver.
+    pub intel: Mapping,
+    /// Mapping built with the uProf-style 1 ms sampling driver.
+    pub amd: Mapping,
+}
+
+impl Table1 {
+    /// Functions that appear only in the Intel mapping for `op`.
+    #[must_use]
+    pub fn intel_specific(&self, op: &str) -> Vec<String> {
+        vendor_specific(&self.intel, &self.amd, op)
+    }
+
+    /// Functions that appear only in the AMD mapping for `op`.
+    #[must_use]
+    pub fn amd_specific(&self, op: &str) -> Vec<String> {
+        vendor_specific(&self.amd, &self.intel, op)
+    }
+}
+
+fn vendor_specific(this: &Mapping, other: &Mapping, op: &str) -> Vec<String> {
+    let Some(bucket) = this.functions_for(op) else { return Vec::new() };
+    bucket
+        .functions
+        .iter()
+        .filter(|f| {
+            other.functions_for(op).is_none_or(|o| !o.contains(&f.name))
+        })
+        .map(|f| f.name.clone())
+        .collect()
+}
+
+/// Builds both vendor mappings.
+#[must_use]
+pub fn run(config: IsolationConfig) -> Table1 {
+    let intel = Machine::new(MachineConfig::cloudlab_c4130());
+    let amd = Machine::new(MachineConfig::amd_rome());
+    Table1 {
+        intel: build_ic_mapping(&intel, config),
+        amd: build_ic_mapping(&amd, config),
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I — mapping of Python functions to C/C++ functions")?;
+        writeln!(f, "\n-- Intel (VTune, 10 ms sampling) --")?;
+        f.write_str(&self.intel.to_table_string())?;
+        writeln!(f, "\n-- AMD (uProf, 1 ms sampling) --")?;
+        f.write_str(&self.amd.to_table_string())?;
+        for op in ["Loader", "RandomResizedCrop"] {
+            writeln!(f, "\n{op}: Intel-specific: {:?}", self.intel_specific(op))?;
+            writeln!(f, "{op}: AMD-specific:   {:?}", self.amd_specific(op))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Table1 {
+        run(IsolationConfig { runs_override: Some(25), ..IsolationConfig::default() })
+    }
+
+    #[test]
+    fn both_vendors_map_the_loader_decode_path() {
+        let t = quick();
+        for mapping in [&t.intel, &t.amd] {
+            let loader = mapping.functions_for("Loader").expect("Loader mapped");
+            assert!(loader.contains("decode_mcu"));
+            assert!(loader.contains("ycc_rgb_convert"));
+        }
+    }
+
+    #[test]
+    fn vendor_specific_functions_mirror_the_paper() {
+        let t = quick();
+        // AMD surfaces process_data_simple_main / sep_upsample; Intel has
+        // decompress_onepass and __libc_calloc (Table I).
+        let amd_loader = t.amd.functions_for("Loader").unwrap();
+        assert!(amd_loader.contains("process_data_simple_main"), "{amd_loader:?}");
+        let intel_loader = t.intel.functions_for("Loader").unwrap();
+        assert!(intel_loader.contains("decompress_onepass"), "{intel_loader:?}");
+        assert!(!intel_loader.contains("process_data_simple_main"));
+    }
+
+    #[test]
+    fn amd_finer_sampling_captures_smaller_functions() {
+        let t = quick();
+        // precompute_coeffs is tiny: uProf's 1 ms sampling sees it, VTune's
+        // 10 ms usually doesn't — the paper lists it as AMD-specific.
+        let amd_rrc = t.amd.functions_for("RandomResizedCrop").unwrap();
+        assert!(amd_rrc.contains("precompute_coeffs"), "{amd_rrc:?}");
+        let amd_total: usize = t.amd.ops().iter().map(|op| t.amd.functions_for(op).unwrap().functions.len()).sum();
+        let intel_total: usize = t.intel.ops().iter().map(|op| t.intel.functions_for(op).unwrap().functions.len()).sum();
+        assert!(amd_total >= intel_total, "amd {amd_total} vs intel {intel_total}");
+    }
+}

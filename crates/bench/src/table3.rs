@@ -1,0 +1,188 @@
+//! Tables III and IV: profiler overhead (wall time, log storage) and
+//! functionality comparison on the IC pipeline (batch 512, 1 GPU,
+//! 1 dataloader), on ImageNet and ImageNet-small.
+
+use std::fmt;
+
+use lotus_profilers::{ComparisonHarness, ComparisonRow};
+use lotus_workloads::{ExperimentConfig, PipelineKind};
+
+use crate::Scale;
+
+/// A comparison block for one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetComparison {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Rows: Lotus first, then the four baselines.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl DatasetComparison {
+    /// The row for one profiler.
+    #[must_use]
+    pub fn row(&self, profiler: &str) -> Option<&ComparisonRow> {
+        self.rows.iter().find(|r| r.profiler == profiler)
+    }
+}
+
+/// Tables III + IV.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// ImageNet (full when `LOTUS_FULL=1`, truncated otherwise) and
+    /// ImageNet-small blocks.
+    pub datasets: Vec<DatasetComparison>,
+}
+
+impl Table3 {
+    /// The block for one dataset.
+    #[must_use]
+    pub fn dataset(&self, label: &str) -> Option<&DatasetComparison> {
+        self.datasets.iter().find(|d| d.dataset == label)
+    }
+}
+
+fn ic_512() -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+    config.batch_size = 512;
+    config.num_gpus = 1;
+    config.num_workers = 1;
+    config
+}
+
+/// Runs the comparison on both datasets.
+///
+/// # Panics
+///
+/// Panics if any run fails.
+#[must_use]
+pub fn run(scale: Scale) -> Table3 {
+    let mut datasets = Vec::new();
+    // "ImageNet": the full train split when LOTUS_FULL=1.
+    let mut imagenet = ic_512();
+    if let Some(items) = scale.items(128 * 512) {
+        imagenet = imagenet.scaled_to(items);
+    }
+    datasets.push(DatasetComparison {
+        dataset: "ImageNet",
+        rows: ComparisonHarness::new(imagenet).run_all(),
+    });
+    // "ImageNet-small": always the paper's 26 061-image subset.
+    let small = ic_512().scaled_to(26_061);
+    datasets.push(DatasetComparison {
+        dataset: "ImageNet-small",
+        rows: ComparisonHarness::new(small).run_all(),
+    });
+    Table3 { datasets }
+}
+
+fn human_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.1} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1} KB", b / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table III — profiler overheads (vs. no-profiler baseline)")?;
+        for d in &self.datasets {
+            writeln!(f, "\n[{}]", d.dataset)?;
+            writeln!(
+                f,
+                "{:<18} {:>12} {:>12} {:>14} {:>6}",
+                "profiler", "wall time", "overhead %", "log storage", "OOM"
+            )?;
+            for r in &d.rows {
+                writeln!(
+                    f,
+                    "{:<18} {:>11.1}s {:>12.1} {:>14} {:>6}",
+                    r.profiler,
+                    r.wall_time.as_secs_f64(),
+                    r.wall_overhead * 100.0,
+                    human_bytes(r.log_bytes),
+                    if r.out_of_memory { "yes" } else { "no" }
+                )?;
+            }
+        }
+        writeln!(f, "\nTable IV — functionality")?;
+        writeln!(
+            f,
+            "{:<18} {:<5} {:<5} {:<5} {:<5} {:<5}",
+            "profiler", "Epoch", "Batch", "Async", "Wait", "Delay"
+        )?;
+        if let Some(d) = self.datasets.first() {
+            for r in &d.rows {
+                writeln!(f, "{:<18} {}", r.profiler, r.capabilities.row())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_profilers::Capabilities;
+
+    fn quick() -> DatasetComparison {
+        DatasetComparison {
+            dataset: "quick",
+            rows: ComparisonHarness::new(ic_512().scaled_to(4 * 512)).run_all(),
+        }
+    }
+
+    #[test]
+    fn lotus_wins_on_overhead_among_op_resolving_profilers() {
+        let d = quick();
+        let lotus = d.row("Lotus").unwrap();
+        assert!(lotus.wall_overhead < 0.05, "Lotus overhead {}", lotus.wall_overhead);
+        for other in ["Scalene", "PyTorch Profiler"] {
+            let row = d.row(other).unwrap();
+            assert!(
+                row.wall_overhead > 10.0 * lotus.wall_overhead.max(0.005),
+                "{other} should cost far more than Lotus: {} vs {}",
+                row.wall_overhead,
+                lotus.wall_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_ordering_matches_table_3() {
+        let d = quick();
+        let oh = |p: &str| d.row(p).unwrap().wall_overhead;
+        assert!(oh("Scalene") > oh("py-spy"), "Scalene {} vs py-spy {}", oh("Scalene"), oh("py-spy"));
+        assert!(oh("py-spy") > oh("austin"), "py-spy {} vs austin {}", oh("py-spy"), oh("austin"));
+        assert!(oh("PyTorch Profiler") > oh("py-spy"));
+    }
+
+    #[test]
+    fn storage_ordering_matches_table_3() {
+        let d = quick();
+        let bytes = |p: &str| d.row(p).unwrap().log_bytes;
+        // austin's 100 µs text stacks dominate everything.
+        assert!(bytes("austin") > 50 * bytes("Lotus"));
+        assert!(bytes("austin") > 100 * bytes("py-spy"));
+    }
+
+    #[test]
+    fn functionality_matrix_matches_table_4() {
+        let d = quick();
+        let caps = |p: &str| d.row(p).unwrap().capabilities;
+        assert_eq!(caps("Lotus").count(), 5, "Lotus captures everything");
+        assert_eq!(caps("Scalene"), Capabilities::default());
+        let pyspy = caps("py-spy");
+        assert!(pyspy.epoch && !pyspy.batch && !pyspy.wait);
+        let austin = caps("austin");
+        assert!(austin.epoch && !austin.async_flow);
+        let torch = caps("PyTorch Profiler");
+        assert!(torch.wait && !torch.epoch && !torch.delay);
+    }
+}

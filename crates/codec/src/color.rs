@@ -1,0 +1,155 @@
+//! RGB ↔ YCbCr conversion and 4:2:0 chroma resampling.
+
+/// A planar YCbCr image with 4:2:0 chroma subsampling.
+///
+/// Luma is full resolution; Cb/Cr are half resolution in both axes
+/// (rounded up).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanarYcc {
+    /// Luma height (pixels).
+    pub height: usize,
+    /// Luma width (pixels).
+    pub width: usize,
+    /// Full-resolution luma plane.
+    pub y: Vec<u8>,
+    /// Quarter-resolution blue-difference plane.
+    pub cb: Vec<u8>,
+    /// Quarter-resolution red-difference plane.
+    pub cr: Vec<u8>,
+}
+
+impl PlanarYcc {
+    /// Chroma plane width.
+    #[must_use]
+    pub fn chroma_width(&self) -> usize {
+        self.width.div_ceil(2)
+    }
+
+    /// Chroma plane height.
+    #[must_use]
+    pub fn chroma_height(&self) -> usize {
+        self.height.div_ceil(2)
+    }
+}
+
+/// Converts one RGB pixel to YCbCr (BT.601 full range, as libjpeg's
+/// `rgb_ycc_convert`).
+#[must_use]
+pub fn rgb_to_ycc(rgb: [u8; 3]) -> [u8; 3] {
+    let (r, g, b) = (f64::from(rgb[0]), f64::from(rgb[1]), f64::from(rgb[2]));
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = -0.168_736 * r - 0.331_264 * g + 0.5 * b + 128.0;
+    let cr = 0.5 * r - 0.418_688 * g - 0.081_312 * b + 128.0;
+    [clamp_u8(y), clamp_u8(cb), clamp_u8(cr)]
+}
+
+/// Converts one YCbCr pixel back to RGB (libjpeg's `ycc_rgb_convert`).
+#[must_use]
+pub fn ycc_to_rgb(ycc: [u8; 3]) -> [u8; 3] {
+    let (y, cb, cr) =
+        (f64::from(ycc[0]), f64::from(ycc[1]) - 128.0, f64::from(ycc[2]) - 128.0);
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136 * cb - 0.714_136 * cr;
+    let b = y + 1.772 * cb;
+    [clamp_u8(r), clamp_u8(g), clamp_u8(b)]
+}
+
+fn clamp_u8(v: f64) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+/// Converts an interleaved RGB buffer to planar 4:2:0 YCbCr, averaging
+/// each 2×2 chroma neighbourhood (the encoder's downsample).
+///
+/// # Panics
+///
+/// Panics if `rgb.len() != height * width * 3`.
+#[must_use]
+pub fn rgb_to_planar_420(rgb: &[u8], height: usize, width: usize) -> PlanarYcc {
+    assert_eq!(rgb.len(), height * width * 3, "rgb buffer size mismatch");
+    let mut y_plane = vec![0u8; height * width];
+    let cw = width.div_ceil(2);
+    let ch = height.div_ceil(2);
+    let mut cb_acc = vec![0u32; ch * cw];
+    let mut cr_acc = vec![0u32; ch * cw];
+    let mut counts = vec![0u32; ch * cw];
+    for py in 0..height {
+        for px in 0..width {
+            let base = (py * width + px) * 3;
+            let [y, cb, cr] = rgb_to_ycc([rgb[base], rgb[base + 1], rgb[base + 2]]);
+            y_plane[py * width + px] = y;
+            let ci = (py / 2) * cw + px / 2;
+            cb_acc[ci] += u32::from(cb);
+            cr_acc[ci] += u32::from(cr);
+            counts[ci] += 1;
+        }
+    }
+    let cb = cb_acc.iter().zip(&counts).map(|(&a, &n)| (a / n.max(1)) as u8).collect();
+    let cr = cr_acc.iter().zip(&counts).map(|(&a, &n)| (a / n.max(1)) as u8).collect();
+    PlanarYcc { height, width, y: y_plane, cb, cr }
+}
+
+/// Upsamples the chroma planes (nearest-neighbour, libjpeg's
+/// `sep_upsample` in its simplest mode) and converts to interleaved RGB.
+#[must_use]
+pub fn planar_420_to_rgb(ycc: &PlanarYcc) -> Vec<u8> {
+    let cw = ycc.chroma_width();
+    let mut rgb = Vec::with_capacity(ycc.height * ycc.width * 3);
+    for py in 0..ycc.height {
+        for px in 0..ycc.width {
+            let y = ycc.y[py * ycc.width + px];
+            let ci = (py / 2) * cw + px / 2;
+            let pixel = ycc_to_rgb([y, ycc.cb[ci], ycc.cr[ci]]);
+            rgb.extend_from_slice(&pixel);
+        }
+    }
+    rgb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_round_trip_approximately() {
+        for rgb in [[255, 0, 0], [0, 255, 0], [0, 0, 255], [128, 64, 200], [0, 0, 0], [255, 255, 255]]
+        {
+            let back = ycc_to_rgb(rgb_to_ycc(rgb));
+            for c in 0..3 {
+                assert!(
+                    (i32::from(back[c]) - i32::from(rgb[c])).abs() <= 2,
+                    "channel {c} of {rgb:?} became {back:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grey_has_neutral_chroma() {
+        let [_, cb, cr] = rgb_to_ycc([100, 100, 100]);
+        assert_eq!(cb, 128);
+        assert_eq!(cr, 128);
+    }
+
+    #[test]
+    fn planar_round_trip_on_flat_image() {
+        let rgb = vec![200u8; 6 * 10 * 3];
+        let planar = rgb_to_planar_420(&rgb, 6, 10);
+        assert_eq!(planar.cb.len(), 3 * 5);
+        let back = planar_420_to_rgb(&planar);
+        assert_eq!(back.len(), rgb.len());
+        for (a, b) in rgb.iter().zip(&back) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn odd_dimensions_are_handled() {
+        let rgb = vec![90u8; 5 * 7 * 3];
+        let planar = rgb_to_planar_420(&rgb, 5, 7);
+        assert_eq!(planar.chroma_height(), 3);
+        assert_eq!(planar.chroma_width(), 4);
+        let back = planar_420_to_rgb(&planar);
+        assert_eq!(back.len(), 5 * 7 * 3);
+    }
+}

@@ -1,0 +1,352 @@
+//! Signal-processing primitives for the audio preprocessing pipeline:
+//! an iterative radix-2 FFT, Hann windowing, power spectra and mel
+//! filterbanks.
+//!
+//! The paper's introduction names audio classification among the
+//! preprocessing-bound workloads; this module is the substrate for the
+//! repository's audio-pipeline extension.
+
+use std::f64::consts::PI;
+
+/// A complex number (no external crate; two fields suffice here).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The complex number `re + im·i`.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+    }
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `inverse` computes the unnormalized inverse transform; divide by `n`
+/// to recover the signal (as [`ifft`] does).
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * PI / len as f64;
+        let w_len = Complex::new(angle.cos(), angle.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let a = chunk[k];
+                let b = chunk[k + half].mul(w);
+                chunk[k] = a.add(b);
+                chunk[k + half] = a.sub(b);
+                w = w.mul(w_len);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, returning the full complex spectrum.
+///
+/// # Panics
+///
+/// Panics unless `signal.len()` is a power of two.
+#[must_use]
+pub fn fft(signal: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft_in_place(&mut data, false);
+    data
+}
+
+/// Inverse FFT, returning the real parts (normalized).
+///
+/// # Panics
+///
+/// Panics unless `spectrum.len()` is a power of two.
+#[must_use]
+pub fn ifft(spectrum: &[Complex]) -> Vec<f64> {
+    let mut data = spectrum.to_vec();
+    fft_in_place(&mut data, true);
+    let n = data.len() as f64;
+    data.into_iter().map(|c| c.re / n).collect()
+}
+
+/// The Hann window of length `n`.
+#[must_use]
+pub fn hann_window(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if n <= 1 { 1.0 } else { 0.5 * (1.0 - (2.0 * PI * i as f64 / (n - 1) as f64).cos()) }
+        })
+        .collect()
+}
+
+/// The one-sided power spectrum (`n/2 + 1` bins) of one windowed frame.
+///
+/// # Panics
+///
+/// Panics unless `frame.len()` is a power of two and matches `window`.
+#[must_use]
+pub fn power_spectrum(frame: &[f64], window: &[f64]) -> Vec<f64> {
+    assert_eq!(frame.len(), window.len(), "frame/window length mismatch");
+    let windowed: Vec<f64> = frame.iter().zip(window).map(|(&x, &w)| x * w).collect();
+    let spectrum = fft(&windowed);
+    spectrum[..=frame.len() / 2].iter().map(|c| c.norm_sq()).collect()
+}
+
+/// Hz → mel (HTK formula).
+#[must_use]
+pub fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// mel → Hz (HTK formula).
+#[must_use]
+pub fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// A triangular mel filterbank: `n_mels` filters over `n_fft/2 + 1`
+/// linear-frequency bins at `sample_rate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MelFilterbank {
+    n_mels: usize,
+    n_bins: usize,
+    /// Row-major `[n_mels × n_bins]` weights.
+    weights: Vec<f64>,
+}
+
+impl MelFilterbank {
+    /// Builds the filterbank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mels == 0` or `n_fft < 2`.
+    #[must_use]
+    pub fn new(sample_rate: f64, n_fft: usize, n_mels: usize) -> MelFilterbank {
+        assert!(n_mels > 0, "need at least one mel band");
+        assert!(n_fft >= 2, "FFT size too small");
+        let n_bins = n_fft / 2 + 1;
+        let max_mel = hz_to_mel(sample_rate / 2.0);
+        // n_mels + 2 equally spaced mel points.
+        let mel_points: Vec<f64> =
+            (0..n_mels + 2).map(|i| max_mel * i as f64 / (n_mels + 1) as f64).collect();
+        let bin_of = |mel: f64| mel_to_hz(mel) * n_fft as f64 / sample_rate;
+        let mut weights = vec![0.0; n_mels * n_bins];
+        for m in 0..n_mels {
+            let (lo, mid, hi) =
+                (bin_of(mel_points[m]), bin_of(mel_points[m + 1]), bin_of(mel_points[m + 2]));
+            for bin in 0..n_bins {
+                let f = bin as f64;
+                let w = if f >= lo && f <= mid && mid > lo {
+                    (f - lo) / (mid - lo)
+                } else if f > mid && f <= hi && hi > mid {
+                    (hi - f) / (hi - mid)
+                } else {
+                    0.0
+                };
+                weights[m * n_bins + bin] = w.max(0.0);
+            }
+        }
+        MelFilterbank { n_mels, n_bins, weights }
+    }
+
+    /// Number of mel bands.
+    #[must_use]
+    pub fn n_mels(&self) -> usize {
+        self.n_mels
+    }
+
+    /// Number of linear-frequency input bins.
+    #[must_use]
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Applies the filterbank to one power spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != n_bins()`.
+    #[must_use]
+    pub fn apply(&self, spectrum: &[f64]) -> Vec<f64> {
+        assert_eq!(spectrum.len(), self.n_bins, "spectrum size mismatch");
+        (0..self.n_mels)
+            .map(|m| {
+                self.weights[m * self.n_bins..(m + 1) * self.n_bins]
+                    .iter()
+                    .zip(spectrum)
+                    .map(|(&w, &p)| w * p)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut signal = vec![0.0; 64];
+        signal[0] = 1.0;
+        let spectrum = fft(&signal);
+        for c in &spectrum {
+            assert!((c.re - 1.0).abs() < 1e-9 && c.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_round_trips() {
+        let signal: Vec<f64> = (0..256).map(|i| ((i * 13) % 31) as f64 / 31.0 - 0.5).collect();
+        let back = ifft(&fft(&signal));
+        for (a, b) in signal.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sinusoid_peaks_at_its_bin() {
+        let n = 512;
+        let k = 37;
+        let signal: Vec<f64> =
+            (0..n).map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin()).collect();
+        let power = power_spectrum(&signal, &vec![1.0; n]);
+        let argmax = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(argmax, k);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 7) % 17) as f64 - 8.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 =
+            fft(&signal).iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn hann_window_shape() {
+        let w = hann_window(64);
+        assert!(w[0].abs() < 1e-12);
+        assert!((w[63]).abs() < 1e-12);
+        let mid = w[31].max(w[32]);
+        assert!(mid > 0.99, "window peaks near the middle: {mid}");
+    }
+
+    #[test]
+    fn mel_conversion_round_trips() {
+        for hz in [0.0, 125.0, 1000.0, 4000.0, 8000.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn filterbank_rows_are_triangular_and_cover_the_range() {
+        let fb = MelFilterbank::new(16_000.0, 512, 40);
+        assert_eq!(fb.n_mels(), 40);
+        assert_eq!(fb.n_bins(), 257);
+        // Every filter has some positive weight; a flat spectrum maps to
+        // all-positive mel energies.
+        let flat = vec![1.0; fb.n_bins()];
+        let mel = fb.apply(&flat);
+        assert!(mel.iter().all(|&m| m > 0.0), "{mel:?}");
+    }
+
+    #[test]
+    fn filterbank_localizes_a_tone() {
+        let (sr, n_fft) = (16_000.0, 1024);
+        let fb = MelFilterbank::new(sr, n_fft, 64);
+        // A 2 kHz tone.
+        let n = n_fft;
+        let signal: Vec<f64> =
+            (0..n).map(|i| (2.0 * PI * 2000.0 * i as f64 / sr).sin()).collect();
+        let power = power_spectrum(&signal, &hann_window(n));
+        let mel = fb.apply(&power);
+        let peak_band = mel
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        // 2 kHz ≈ mel 1521 of max-mel 2840 (8 kHz Nyquist): band ≈ 34/64.
+        assert!((28..=40).contains(&peak_band), "peak band {peak_band}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_is_rejected() {
+        let _ = fft(&[0.0; 48]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn fft_is_linear(a in prop::collection::vec(-10.0f64..10.0, 64), k in -4.0f64..4.0) {
+            let scaled: Vec<f64> = a.iter().map(|x| x * k).collect();
+            let fa = fft(&a);
+            let fs = fft(&scaled);
+            for (x, y) in fa.iter().zip(&fs) {
+                prop_assert!((x.re * k - y.re).abs() < 1e-7);
+                prop_assert!((x.im * k - y.im).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn round_trip_any_signal(signal in prop::collection::vec(-100.0f64..100.0, 128)) {
+            let back = ifft(&fft(&signal));
+            for (a, b) in signal.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-7);
+            }
+        }
+    }
+}

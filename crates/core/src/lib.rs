@@ -1,0 +1,31 @@
+//! # lotus-core — LotusTrace + LotusMap
+//!
+//! The Lotus paper's contribution, reproduced over the simulated
+//! substrates:
+//!
+//! * [`trace`] — **LotusTrace**: lightweight instrumented tracing of the
+//!   PyTorch DataLoader data flow. Captures per-batch preprocessing time
+//!   (\[T1\]), main-process wait time (\[T2\], with the 1 µs out-of-order
+//!   marker) and per-operation elapsed time (\[T3\]); provides the analysis
+//!   behind Tables II and Figures 4–5 and Chrome-Trace-Viewer export with
+//!   data-flow arrows and negative synthetic ids (Figure 2).
+//! * [`map`] — **LotusMap**: isolates each Python operation under the
+//!   hardware profiler's collection-control API (warm-up, `sleep()`
+//!   bucketing gap, the `C ≥ 1-(1-f/s)^n` run-count formula), buckets and
+//!   filters the sampled native functions into a mapping (Table I), and
+//!   splits whole-pipeline hardware counters back onto Python operations
+//!   by LotusTrace elapsed-time weights (Figure 6).
+//!
+//! ```
+//! use lotus_core::map::required_runs;
+//! use lotus_sim::Span;
+//!
+//! // The paper's §IV-B example: a 660 µs function under 10 ms sampling
+//! // needs 20 runs for 75% capture probability.
+//! assert_eq!(required_runs(0.75, Span::from_micros(660), Span::from_millis(10)), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod map;
+pub mod trace;

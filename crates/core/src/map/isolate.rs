@@ -1,0 +1,295 @@
+//! The isolation harness: running one Python operation alone under the
+//! hardware profiler's collection control (the paper's Listing 4), with
+//! the run-count formula, warm-up, and the `sleep()` bucketing gap.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lotus_data::mix_seed;
+use lotus_sim::{Span, Time};
+use lotus_uarch::{CpuThread, HwProfiler, Machine, ProfilerConfig, Vendor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::mapping::{MappedFunction, OpMapping};
+
+/// Number of runs needed to capture a function of span `f` at least once
+/// with probability ≥ `confidence`, under sampling interval `s`:
+/// the paper's `C ≥ 1 − (1 − f/s)^n` solved for `n`, rounded to the
+/// nearest integer (the paper's §IV-B example rounds 20.3 down to 20).
+///
+/// Functions at least as long as the sampling interval need one run.
+///
+/// # Panics
+///
+/// Panics unless `0 < confidence < 1` and both spans are positive.
+#[must_use]
+pub fn required_runs(confidence: f64, f: Span, s: Span) -> usize {
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence must be in (0,1)");
+    assert!(!f.is_zero() && !s.is_zero(), "spans must be positive");
+    let ratio = f.as_nanos() as f64 / s.as_nanos() as f64;
+    if ratio >= 1.0 {
+        return 1;
+    }
+    (((1.0 - confidence).ln() / (1.0 - ratio).ln()).round() as usize).max(1)
+}
+
+/// Isolation-harness configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsolationConfig {
+    /// Warm-up iterations before collection resumes (Listing 4 runs the
+    /// op 5 times and collects only the last).
+    pub warmup_iters: usize,
+    /// Target probability of capturing a short function at least once.
+    pub confidence: f64,
+    /// Expected span of the shortest function of interest (the `f` in the
+    /// run-count formula; the paper's example uses 660 µs).
+    pub expected_fn_span: Span,
+    /// The `sleep()` gap inserted before the operation of interest to
+    /// defeat attribution skid.
+    pub sleep_gap: Span,
+    /// Disable the gap to reproduce the mis-bucketing ablation.
+    pub use_sleep_gap: bool,
+    /// Override the computed number of runs.
+    pub runs_override: Option<usize>,
+    /// Base seed for per-run phase randomization.
+    pub seed: u64,
+}
+
+impl Default for IsolationConfig {
+    fn default() -> Self {
+        IsolationConfig {
+            warmup_iters: 4,
+            confidence: 0.75,
+            expected_fn_span: Span::from_micros(660),
+            sleep_gap: Span::from_secs(1),
+            use_sleep_gap: true,
+            runs_override: None,
+            seed: 0x0001_0705,
+        }
+    }
+}
+
+/// The isolation harness bound to one machine.
+///
+/// `isolate` runs a single operation repeatedly under a fresh
+/// VTune/uProf-style sampling session per run (resumed only around the
+/// final, warmed-up iteration) and buckets the sampled native functions
+/// under the operation's name.
+#[derive(Debug)]
+pub struct OpIsolator {
+    machine: Arc<Machine>,
+    config: IsolationConfig,
+}
+
+impl OpIsolator {
+    /// Creates a harness for `machine`.
+    #[must_use]
+    pub fn new(machine: Arc<Machine>, config: IsolationConfig) -> OpIsolator {
+        OpIsolator { machine, config }
+    }
+
+    /// The number of isolation runs the harness will perform.
+    #[must_use]
+    pub fn runs(&self) -> usize {
+        self.config.runs_override.unwrap_or_else(|| {
+            required_runs(
+                self.config.confidence,
+                self.config.expected_fn_span,
+                self.sampling_interval(),
+            )
+        })
+    }
+
+    fn sampling_interval(&self) -> Span {
+        self.machine.config().vendor.default_sampling_interval()
+    }
+
+    /// Isolates one operation.
+    ///
+    /// * `op` executes the operation once on the given CPU thread;
+    /// * `preamble`, when present, executes whatever realistically runs
+    ///   *immediately before* the operation in the pipeline (e.g. the
+    ///   image load before `RandomResizedCrop`) — with the sleep gap
+    ///   disabled, its functions can skid into the operation's bucket.
+    pub fn isolate<F, P>(&self, op_name: &str, mut op: F, mut preamble: Option<P>) -> OpMapping
+    where
+        F: FnMut(&mut CpuThread, &mut StdRng),
+        P: FnMut(&mut CpuThread, &mut StdRng),
+    {
+        let interval = self.sampling_interval();
+        let profiler_config = match self.machine.config().vendor {
+            Vendor::Intel => ProfilerConfig::vtune_sampling(),
+            Vendor::Amd => ProfilerConfig::uprof_sampling(),
+        };
+        let runs = self.runs();
+        let mut captured: BTreeMap<(String, String), (usize, u64)> = BTreeMap::new();
+
+        for run in 0..runs {
+            let profiler = Arc::new(HwProfiler::new(profiler_config));
+            let mut cpu = CpuThread::new(Arc::clone(&self.machine));
+            cpu.attach_profiler(Arc::clone(&profiler));
+            let mut rng = StdRng::seed_from_u64(mix_seed(self.config.seed, run as u64));
+            // Each run lands at a different phase of the sampling grid
+            // (on real hardware this happens by itself; the formula's
+            // independence assumption relies on it).
+            let phase: u64 = rng.gen_range(0..interval.as_nanos().max(1));
+            cpu.set_cursor(Time::from_nanos(phase));
+
+            for i in 0..=self.config.warmup_iters {
+                if let Some(pre) = preamble.as_mut() {
+                    pre(&mut cpu, &mut rng);
+                }
+                if self.config.use_sleep_gap {
+                    // Listing 4 line 14: `time.sleep(1)  # ensure correct
+                    // bucketing`.
+                    cpu.idle(self.config.sleep_gap);
+                }
+                let collect = i == self.config.warmup_iters;
+                if collect {
+                    profiler.resume(); // itt.resume() / amd.resume(1)
+                }
+                op(&mut cpu, &mut rng);
+                if collect {
+                    profiler.detach(); // itt.detach() / amd.pause(1)
+                }
+            }
+
+            for row in profiler.report(&self.machine) {
+                if row.stats.samples == 0 {
+                    continue;
+                }
+                let entry = captured.entry((row.name, row.library)).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += row.stats.samples;
+            }
+        }
+
+        let mut functions: Vec<MappedFunction> = captured
+            .into_iter()
+            .map(|((name, library), (captured_runs, samples))| MappedFunction {
+                name,
+                library,
+                captured_runs,
+                total_runs: runs,
+                samples,
+            })
+            .collect();
+        functions.sort_by(|a, b| b.samples.cmp(&a.samples).then_with(|| a.name.cmp(&b.name)));
+        OpMapping { op: op_name.to_string(), functions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_uarch::{CostCoeffs, MachineConfig};
+
+    #[test]
+    fn run_count_formula_matches_paper_example() {
+        // f = 660 µs, s = 10 ms, C = 75% → 20 runs (§IV-B).
+        assert_eq!(required_runs(0.75, Span::from_micros(660), Span::from_millis(10)), 20);
+    }
+
+    #[test]
+    fn long_functions_need_one_run() {
+        assert_eq!(required_runs(0.99, Span::from_millis(20), Span::from_millis(10)), 1);
+    }
+
+    #[test]
+    fn higher_confidence_needs_more_runs() {
+        let lo = required_runs(0.5, Span::from_micros(500), Span::from_millis(10));
+        let hi = required_runs(0.95, Span::from_micros(500), Span::from_millis(10));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn amd_needs_fewer_runs_than_intel() {
+        // 1 ms sampling catches a 660 µs function far more easily.
+        let intel = required_runs(0.75, Span::from_micros(660), Span::from_millis(10));
+        let amd = required_runs(0.75, Span::from_micros(660), Span::from_millis(1));
+        assert!(amd < intel, "amd {amd} vs intel {intel}");
+    }
+
+    #[test]
+    fn isolation_captures_a_long_kernel_every_run() {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        let k = machine.kernel("big_kernel", "lib.so", CostCoeffs::compute_default());
+        let isolator = OpIsolator::new(
+            Arc::clone(&machine),
+            IsolationConfig { runs_override: Some(5), ..IsolationConfig::default() },
+        );
+        // ~30 ms of work: guaranteed ≥ 2 samples per run at 10 ms.
+        let mapping = isolator.isolate(
+            "BigOp",
+            |cpu, _rng| {
+                cpu.exec(k, 18_000_000.0);
+            },
+            None::<fn(&mut CpuThread, &mut StdRng)>,
+        );
+        assert_eq!(mapping.op, "BigOp");
+        let f = &mapping.functions[0];
+        assert_eq!(f.name, "big_kernel");
+        assert_eq!(f.captured_runs, 5);
+        assert_eq!(f.total_runs, 5);
+    }
+
+    #[test]
+    fn short_kernels_are_captured_probabilistically_across_runs() {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        let k = machine.kernel("short_kernel", "lib.so", CostCoeffs::compute_default());
+        let isolator = OpIsolator::new(Arc::clone(&machine), IsolationConfig::default());
+        let runs = isolator.runs();
+        assert_eq!(runs, 20);
+        // ~660 µs of work per op execution.
+        let mapping = isolator.isolate(
+            "ShortOp",
+            |cpu, _rng| {
+                let start = cpu.cursor();
+                cpu.exec(k, 1_090_000.0);
+                let span = cpu.cursor().since(start);
+                debug_assert!(
+                    span > Span::from_micros(500) && span < Span::from_micros(900),
+                    "op span drifted: {span}"
+                );
+            },
+            None::<fn(&mut CpuThread, &mut StdRng)>,
+        );
+        let f = mapping.functions.iter().find(|f| f.name == "short_kernel");
+        let f = f.expect("a 660 µs function should be captured at least once in 20 runs");
+        assert!(
+            f.captured_runs < runs,
+            "a sub-interval function should be missed in some runs (captured {}/{runs})",
+            f.captured_runs
+        );
+    }
+
+    #[test]
+    fn sleep_gap_prevents_preamble_leakage() {
+        let run = |use_gap: bool| {
+            let machine = Machine::new(MachineConfig::cloudlab_c4130());
+            let pre_k = machine.kernel("preamble_fn", "lib.so", CostCoeffs::compute_default());
+            let op_k = machine.kernel("op_fn", "lib.so", CostCoeffs::compute_default());
+            let isolator = OpIsolator::new(
+                Arc::clone(&machine),
+                IsolationConfig {
+                    use_sleep_gap: use_gap,
+                    runs_override: Some(300),
+                    ..IsolationConfig::default()
+                },
+            );
+            let mapping = isolator.isolate(
+                "Op",
+                move |cpu: &mut CpuThread, _rng: &mut StdRng| {
+                    cpu.exec(op_k, 3_000_000.0); // ~5 ms
+                },
+                Some(move |cpu: &mut CpuThread, _rng: &mut StdRng| {
+                    cpu.exec(pre_k, 3_000_000.0);
+                }),
+            );
+            mapping.contains("preamble_fn")
+        };
+        assert!(run(false), "without the sleep gap, skid pollutes the bucket");
+        assert!(!run(true), "the sleep gap keeps the bucket clean");
+    }
+}

@@ -1,0 +1,229 @@
+//! The Python-operation → native-function mapping (the paper's Table I).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One native function bucketed under a Python operation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MappedFunction {
+    /// Function symbol name.
+    pub name: String,
+    /// Library the symbol lives in.
+    pub library: String,
+    /// Isolation runs in which the function was captured at least once.
+    pub captured_runs: usize,
+    /// Total isolation runs performed.
+    pub total_runs: usize,
+    /// Total samples attributed across all runs.
+    pub samples: u64,
+}
+
+impl MappedFunction {
+    /// Fraction of runs that captured the function.
+    #[must_use]
+    pub fn capture_rate(&self) -> f64 {
+        if self.total_runs == 0 {
+            0.0
+        } else {
+            self.captured_runs as f64 / self.total_runs as f64
+        }
+    }
+}
+
+/// The bucket of native functions for one Python operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMapping {
+    /// Python operation name (e.g. `RandomResizedCrop`).
+    pub op: String,
+    /// Captured functions, most-sampled first.
+    pub functions: Vec<MappedFunction>,
+}
+
+impl OpMapping {
+    /// Drops functions that look like sampling flukes: captured in fewer
+    /// than `min_runs` runs *and* carrying fewer than `min_samples`
+    /// samples in total (the paper's "filters incorrect C/C++ functions").
+    pub fn filter_noise(&mut self, min_runs: usize, min_samples: u64) {
+        self.functions
+            .retain(|f| f.captured_runs >= min_runs || f.samples >= min_samples);
+    }
+
+    /// True if `function` is in this bucket.
+    #[must_use]
+    pub fn contains(&self, function: &str) -> bool {
+        self.functions.iter().any(|f| f.name == function)
+    }
+}
+
+/// A full mapping: one bucket per Python operation. Serializable to the
+/// artifact's `mapping_funcs.json` shape.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    ops: BTreeMap<String, OpMapping>,
+}
+
+impl Mapping {
+    /// An empty mapping.
+    #[must_use]
+    pub fn new() -> Mapping {
+        Mapping::default()
+    }
+
+    /// Inserts (or replaces) one operation's bucket.
+    pub fn insert(&mut self, op_mapping: OpMapping) {
+        self.ops.insert(op_mapping.op.clone(), op_mapping);
+    }
+
+    /// The bucket for `op`, if mapped.
+    #[must_use]
+    pub fn functions_for(&self, op: &str) -> Option<&OpMapping> {
+        self.ops.get(op)
+    }
+
+    /// All mapped operation names.
+    #[must_use]
+    pub fn ops(&self) -> Vec<&str> {
+        self.ops.keys().map(String::as_str).collect()
+    }
+
+    /// The operations whose buckets contain `function` (a single C/C++
+    /// function can map to several Python operations — the case the
+    /// metric-splitting step exists for).
+    #[must_use]
+    pub fn ops_containing(&self, function: &str) -> Vec<&str> {
+        self.ops
+            .values()
+            .filter(|m| m.contains(function))
+            .map(|m| m.op.as_str())
+            .collect()
+    }
+
+    /// Number of mapped operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations are mapped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Renders the mapping as a Table-I-style text table.
+    #[must_use]
+    pub fn to_table_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<30} {:<36} {:<44} {:>8} {:>8}\n",
+            "Transformation", "Function", "Library", "runs", "samples"
+        ));
+        for m in self.ops.values() {
+            for (i, f) in m.functions.iter().enumerate() {
+                let op = if i == 0 { m.op.as_str() } else { "" };
+                out.push_str(&format!(
+                    "{:<30} {:<36} {:<44} {:>4}/{:<3} {:>8}\n",
+                    op,
+                    f.name,
+                    f.library,
+                    f.captured_runs,
+                    f.total_runs,
+                    f.samples
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes to JSON (the artifact's `mapping_funcs.json`).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if JSON serialization fails, which cannot happen for
+    /// this type.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("mapping serialization cannot fail")
+    }
+
+    /// Parses a mapping previously produced by [`Mapping::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed input.
+    pub fn from_json(s: &str) -> Result<Mapping, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str, runs: usize, samples: u64) -> MappedFunction {
+        MappedFunction {
+            name: name.into(),
+            library: "lib.so".into(),
+            captured_runs: runs,
+            total_runs: 20,
+            samples,
+        }
+    }
+
+    #[test]
+    fn lookup_by_op_and_by_function() {
+        let mut m = Mapping::new();
+        m.insert(OpMapping {
+            op: "Loader".into(),
+            functions: vec![f("decode_mcu", 20, 300), f("__memcpy_avx_unaligned_erms", 6, 10)],
+        });
+        m.insert(OpMapping {
+            op: "RandomResizedCrop".into(),
+            functions: vec![f("ImagingResampleHorizontal_8bpc", 18, 120), f("__memcpy_avx_unaligned_erms", 4, 6)],
+        });
+        assert_eq!(m.len(), 2);
+        assert!(m.functions_for("Loader").unwrap().contains("decode_mcu"));
+        assert_eq!(m.ops_containing("decode_mcu"), vec!["Loader"]);
+        let shared = m.ops_containing("__memcpy_avx_unaligned_erms");
+        assert_eq!(shared.len(), 2);
+        assert!(m.functions_for("ToTensor").is_none());
+    }
+
+    #[test]
+    fn noise_filter_keeps_well_captured_or_heavily_sampled() {
+        let mut om = OpMapping {
+            op: "X".into(),
+            functions: vec![f("solid", 15, 40), f("rare_but_big", 1, 50), f("fluke", 1, 1)],
+        };
+        om.filter_noise(3, 10);
+        let names: Vec<&str> = om.functions.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["solid", "rare_but_big"]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut m = Mapping::new();
+        m.insert(OpMapping { op: "Loader".into(), functions: vec![f("decode_mcu", 20, 300)] });
+        let parsed = Mapping::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn table_rendering_lists_each_function() {
+        let mut m = Mapping::new();
+        m.insert(OpMapping {
+            op: "Loader".into(),
+            functions: vec![f("decode_mcu", 20, 300), f("jpeg_idct_islow", 19, 200)],
+        });
+        let table = m.to_table_string();
+        assert!(table.contains("Loader"));
+        assert!(table.contains("decode_mcu"));
+        assert!(table.contains("jpeg_idct_islow"));
+    }
+
+    #[test]
+    fn capture_rate_divides_runs() {
+        assert!((f("x", 15, 0).capture_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,10 @@
+//! LotusMap: mapping Python operations to native functions and
+//! attributing hardware counters (§IV of the paper).
+
+mod isolate;
+mod mapping;
+mod split;
+
+pub use isolate::{required_runs, IsolationConfig, OpIsolator};
+pub use mapping::{MappedFunction, Mapping, OpMapping};
+pub use split::{relevant_functions, split_metrics, split_metrics_mix_aware, OpHardwareProfile};

@@ -1,0 +1,253 @@
+//! Analysis over LotusTrace records: the computations behind the paper's
+//! Table II, Figures 4–5 and Figure 6(b).
+
+use std::collections::BTreeMap;
+
+use lotus_data::stats::{fraction_below, Summary};
+use lotus_sim::{Span, Time};
+
+use super::record::{SpanKind, TraceRecord};
+
+/// Per-operation elapsed-time statistics (one row of Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStats {
+    /// Operation name as logged.
+    pub name: String,
+    /// Number of executions.
+    pub count: u64,
+    /// Elapsed-time distribution, in milliseconds.
+    pub summary: Summary,
+    /// Fraction of executions under 10 ms.
+    pub frac_below_10ms: f64,
+    /// Fraction of executions under 100 µs.
+    pub frac_below_100us: f64,
+    /// Total CPU time across all executions.
+    pub total_cpu: Span,
+}
+
+/// Computes per-operation statistics, in order of first appearance in the
+/// log (which is pipeline order).
+#[must_use]
+pub fn per_op_stats(records: &[TraceRecord]) -> Vec<OpStats> {
+    let mut order: Vec<String> = Vec::new();
+    let mut durations: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        if let SpanKind::Op(name) = &r.kind {
+            if !durations.contains_key(name) {
+                order.push(name.clone());
+            }
+            durations.entry(name.clone()).or_default().push(r.duration.as_millis_f64());
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let ms = &durations[&name];
+            OpStats {
+                count: ms.len() as u64,
+                summary: Summary::of(ms),
+                frac_below_10ms: fraction_below(ms, 10.0),
+                frac_below_100us: fraction_below(ms, 0.1),
+                total_cpu: Span::from_secs_f64(ms.iter().sum::<f64>() / 1e3),
+                name,
+            }
+        })
+        .collect()
+}
+
+/// Everything LotusTrace knows about one batch's journey.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchTimeline {
+    /// Batch id.
+    pub batch_id: u64,
+    /// Worker pid that preprocessed the batch.
+    pub worker_pid: Option<u32>,
+    /// Fetch span on the worker (\[T1\]): (start, duration).
+    pub preprocessed: Option<(Time, Span)>,
+    /// Main-process wait (\[T2\]): (start, duration, out_of_order).
+    pub wait: Option<(Time, Span, bool)>,
+    /// Consumption span on the main process: (start, duration).
+    pub consumed: Option<(Time, Span)>,
+}
+
+impl BatchTimeline {
+    /// Delay time: how long the batch sat preprocessed before the main
+    /// process consumed it (the arrow length in Figure 2 / Figure 3).
+    #[must_use]
+    pub fn delay(&self) -> Option<Span> {
+        let (p_start, p_dur) = self.preprocessed?;
+        let (c_start, _) = self.consumed?;
+        Some(c_start.saturating_since(p_start + p_dur))
+    }
+
+    /// Wait time: how long the main process was blocked for this batch.
+    #[must_use]
+    pub fn wait_span(&self) -> Option<Span> {
+        self.wait.map(|(_, d, _)| d)
+    }
+}
+
+/// Reassembles per-batch timelines from the record stream, ordered by
+/// batch id.
+#[must_use]
+pub fn batch_timelines(records: &[TraceRecord]) -> Vec<BatchTimeline> {
+    let mut map: BTreeMap<u64, BatchTimeline> = BTreeMap::new();
+    for r in records {
+        let entry = map.entry(r.batch_id).or_insert_with(|| BatchTimeline {
+            batch_id: r.batch_id,
+            ..BatchTimeline::default()
+        });
+        match &r.kind {
+            SpanKind::BatchPreprocessed => {
+                entry.worker_pid = Some(r.pid);
+                entry.preprocessed = Some((r.start, r.duration));
+            }
+            SpanKind::BatchWait => entry.wait = Some((r.start, r.duration, r.out_of_order)),
+            SpanKind::BatchConsumed => entry.consumed = Some((r.start, r.duration)),
+            SpanKind::Op(_) => {}
+        }
+    }
+    map.into_values().collect()
+}
+
+/// Distribution of per-batch preprocessing times, in milliseconds
+/// (Figure 4's box-plot data).
+///
+/// # Panics
+///
+/// Panics if the log contains no batch-preprocessed records.
+#[must_use]
+pub fn preprocess_time_summary(records: &[TraceRecord]) -> Summary {
+    let ms: Vec<f64> = batch_timelines(records)
+        .iter()
+        .filter_map(|b| b.preprocessed.map(|(_, d)| d.as_millis_f64()))
+        .collect();
+    Summary::of(&ms)
+}
+
+/// Fraction of batches whose main-process wait exceeded `threshold`
+/// (Figure 5(a)). Out-of-order cache hits count as zero-wait batches.
+#[must_use]
+pub fn fraction_wait_above(records: &[TraceRecord], threshold: Span) -> f64 {
+    let timelines = batch_timelines(records);
+    let waits: Vec<&BatchTimeline> = timelines.iter().filter(|b| b.wait.is_some()).collect();
+    if waits.is_empty() {
+        return 0.0;
+    }
+    waits.iter().filter(|b| b.wait_span().unwrap_or(Span::ZERO) > threshold).count() as f64
+        / waits.len() as f64
+}
+
+/// Fraction of batches whose delay time exceeded `threshold`
+/// (Figure 5(b)).
+#[must_use]
+pub fn fraction_delay_above(records: &[TraceRecord], threshold: Span) -> f64 {
+    let timelines = batch_timelines(records);
+    let delays: Vec<Span> = timelines.iter().filter_map(BatchTimeline::delay).collect();
+    if delays.is_empty() {
+        return 0.0;
+    }
+    delays.iter().filter(|&&d| d > threshold).count() as f64 / delays.len() as f64
+}
+
+/// Total preprocessing CPU time summed over all batch fetches
+/// (Figure 6's "total CPU seconds" trend).
+#[must_use]
+pub fn total_preprocess_cpu(records: &[TraceRecord]) -> Span {
+    records
+        .iter()
+        .filter(|r| r.kind == SpanKind::BatchPreprocessed)
+        .map(|r| r.duration)
+        .sum()
+}
+
+/// Total elapsed time per operation (Figure 6(b): per-op CPU time).
+#[must_use]
+pub fn per_op_cpu_totals(records: &[TraceRecord]) -> BTreeMap<String, Span> {
+    let mut totals: BTreeMap<String, Span> = BTreeMap::new();
+    for r in records {
+        if let SpanKind::Op(name) = &r.kind {
+            *totals.entry(name.clone()).or_insert(Span::ZERO) += r.duration;
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: SpanKind, batch: u64, start_ns: u64, dur_ns: u64) -> TraceRecord {
+        TraceRecord {
+            kind,
+            pid: 1,
+            batch_id: batch,
+            start: Time::from_nanos(start_ns),
+            duration: Span::from_nanos(dur_ns),
+            out_of_order: false,
+        }
+    }
+
+    fn sample_log() -> Vec<TraceRecord> {
+        vec![
+            rec(SpanKind::Op("Loader".into()), 0, 0, 5_000_000),
+            rec(SpanKind::Op("Loader".into()), 0, 5_000_000, 15_000_000),
+            rec(SpanKind::Op("RRC".into()), 0, 20_000_000, 50_000),
+            rec(SpanKind::BatchPreprocessed, 0, 0, 30_000_000),
+            rec(SpanKind::BatchWait, 0, 0, 31_000_000),
+            rec(SpanKind::BatchConsumed, 0, 40_000_000, 2_000_000),
+            rec(SpanKind::BatchPreprocessed, 1, 30_000_000, 10_000_000),
+            rec(SpanKind::BatchWait, 1, 42_000_000, 1_000),
+            rec(SpanKind::BatchConsumed, 1, 43_000_000, 2_000_000),
+        ]
+    }
+
+    #[test]
+    fn op_stats_compute_fractions_and_order() {
+        let stats = per_op_stats(&sample_log());
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "Loader");
+        assert_eq!(stats[0].count, 2);
+        assert!((stats[0].summary.mean - 10.0).abs() < 1e-9);
+        assert_eq!(stats[0].frac_below_10ms, 0.5);
+        assert_eq!(stats[0].frac_below_100us, 0.0);
+        assert_eq!(stats[1].name, "RRC");
+        assert_eq!(stats[1].frac_below_100us, 1.0);
+    }
+
+    #[test]
+    fn timelines_reassemble_and_compute_delay() {
+        let timelines = batch_timelines(&sample_log());
+        assert_eq!(timelines.len(), 2);
+        let b0 = &timelines[0];
+        // Batch 0: preprocessed ends at 30 ms, consumed starts at 40 ms.
+        assert_eq!(b0.delay().unwrap().as_nanos(), 10_000_000);
+        assert_eq!(b0.wait_span().unwrap().as_nanos(), 31_000_000);
+        let b1 = &timelines[1];
+        assert_eq!(b1.delay().unwrap().as_nanos(), 3_000_000);
+    }
+
+    #[test]
+    fn wait_and_delay_fractions() {
+        let log = sample_log();
+        assert_eq!(fraction_wait_above(&log, Span::from_millis(30)), 0.5);
+        assert_eq!(fraction_wait_above(&log, Span::from_millis(500)), 0.0);
+        assert_eq!(fraction_delay_above(&log, Span::from_millis(5)), 0.5);
+    }
+
+    #[test]
+    fn cpu_totals_sum_durations() {
+        let log = sample_log();
+        assert_eq!(total_preprocess_cpu(&log).as_nanos(), 40_000_000);
+        let per_op = per_op_cpu_totals(&log);
+        assert_eq!(per_op["Loader"].as_nanos(), 20_000_000);
+        assert_eq!(per_op["RRC"].as_nanos(), 50_000);
+    }
+
+    #[test]
+    fn preprocess_summary_is_in_milliseconds() {
+        let s = preprocess_time_summary(&sample_log());
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! Chrome Trace Viewer export (the format the PyTorch profiler emits and
+//! `chrome://tracing` consumes), including the data-flow arrows between
+//! `SBatchPreprocessed` spans and their `SBatchConsumed` counterparts.
+
+use serde_json::{json, Value};
+
+use super::analysis::batch_timelines;
+use super::record::{SpanKind, TraceRecord};
+
+/// Export options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeTraceOptions {
+    /// Coarse traces show only batch-level spans (the paper's Figure 2);
+    /// fine traces add every per-operation span.
+    pub coarse: bool,
+}
+
+/// Converts LotusTrace records into a Chrome Trace Viewer JSON document.
+///
+/// LotusTrace events carry **negative** synthetic ids so they can be
+/// merged with a PyTorch-profiler trace (whose ids are positive) without
+/// collisions — see [`merge_traces`].
+#[must_use]
+pub fn to_chrome_trace(records: &[TraceRecord], options: ChromeTraceOptions) -> Value {
+    let mut events = Vec::new();
+    let mut next_id: i64 = -1;
+    let mut take_id = || {
+        let id = next_id;
+        next_id -= 1;
+        id
+    };
+
+    for r in records {
+        if options.coarse && matches!(r.kind, SpanKind::Op(_)) {
+            continue;
+        }
+        events.push(json!({
+            "name": r.kind.label(r.batch_id),
+            "ph": "X",
+            "ts": r.start.as_nanos() as f64 / 1e3,
+            "dur": r.duration.as_nanos() as f64 / 1e3,
+            "pid": r.pid,
+            "tid": r.pid,
+            "id": take_id(),
+            "args": {
+                "batch_id": r.batch_id,
+                "out_of_order": r.out_of_order,
+            },
+        }));
+    }
+
+    // Flow arrows: SBatchPreprocessed end → SBatchConsumed start.
+    for timeline in batch_timelines(records) {
+        let (Some((p_start, p_dur)), Some((c_start, _)), Some(worker)) =
+            (timeline.preprocessed, timeline.consumed, timeline.worker_pid)
+        else {
+            continue;
+        };
+        let flow_id = take_id();
+        let name = format!("batch_{}_flow", timeline.batch_id);
+        let main_pid = records
+            .iter()
+            .find(|r| r.kind == SpanKind::BatchConsumed && r.batch_id == timeline.batch_id)
+            .map_or(0, |r| r.pid);
+        events.push(json!({
+            "name": name,
+            "ph": "s",
+            "ts": (p_start + p_dur).as_nanos() as f64 / 1e3,
+            "pid": worker,
+            "tid": worker,
+            "id": flow_id,
+            "cat": "dataflow",
+        }));
+        events.push(json!({
+            "name": name,
+            "ph": "f",
+            "bp": "e",
+            "ts": c_start.as_nanos() as f64 / 1e3,
+            "pid": main_pid,
+            "tid": main_pid,
+            "id": flow_id,
+            "cat": "dataflow",
+        }));
+    }
+
+    json!({ "traceEvents": events, "displayTimeUnit": "ms" })
+}
+
+/// Merges a LotusTrace document into another Chrome-trace document (e.g.
+/// one emitted by the PyTorch profiler), preserving both event sets. The
+/// negative LotusTrace ids guarantee no id collisions.
+///
+/// # Panics
+///
+/// Panics if either document lacks a `traceEvents` array.
+#[must_use]
+pub fn merge_traces(base: &Value, lotus: &Value) -> Value {
+    let mut events = base
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("base document missing traceEvents")
+        .clone();
+    events.extend(
+        lotus
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("lotus document missing traceEvents")
+            .iter()
+            .cloned(),
+    );
+    json!({ "traceEvents": events, "displayTimeUnit": "ms" })
+}
+
+/// Parses a Chrome-trace document produced by [`to_chrome_trace`] back
+/// into trace records (flow arrows and foreign events are skipped).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed LotusTrace event.
+pub fn from_chrome_trace(doc: &Value) -> Result<Vec<TraceRecord>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "document missing traceEvents".to_string())?;
+    let mut records = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            continue; // flow arrows, metadata
+        }
+        let Some(name) = e.get("name").and_then(Value::as_str) else { continue };
+        if !name.starts_with('S') {
+            continue; // a foreign (e.g. PyTorch profiler) event
+        }
+        // Negative ids mark LotusTrace events.
+        if e.get("id").and_then(Value::as_i64).is_some_and(|id| id >= 0) {
+            continue;
+        }
+        let ts_us = e.get("ts").and_then(Value::as_f64).ok_or("event missing ts")?;
+        let dur_us = e.get("dur").and_then(Value::as_f64).ok_or("event missing dur")?;
+        let pid =
+            e.get("pid").and_then(Value::as_u64).ok_or("event missing pid")? as u32;
+        let batch_id = e
+            .pointer("/args/batch_id")
+            .and_then(Value::as_u64)
+            .ok_or("event missing args.batch_id")?;
+        let out_of_order = e
+            .pointer("/args/out_of_order")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let kind = if name.starts_with("SBatchPreprocessed_") {
+            SpanKind::BatchPreprocessed
+        } else if name.starts_with("SBatchWait_") {
+            SpanKind::BatchWait
+        } else if name.starts_with("SBatchConsumed_") {
+            SpanKind::BatchConsumed
+        } else {
+            SpanKind::Op(name[1..].to_string())
+        };
+        records.push(TraceRecord {
+            kind,
+            pid,
+            batch_id,
+            start: lotus_sim::Time::from_nanos((ts_us * 1e3).round() as u64),
+            duration: lotus_sim::Span::from_nanos((dur_us * 1e3).round() as u64),
+            out_of_order,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_sim::{Span, Time};
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                kind: SpanKind::Op("Loader".into()),
+                pid: 2,
+                batch_id: 0,
+                start: Time::from_nanos(0),
+                duration: Span::from_micros(800),
+                out_of_order: false,
+            },
+            TraceRecord {
+                kind: SpanKind::BatchPreprocessed,
+                pid: 2,
+                batch_id: 0,
+                start: Time::from_nanos(0),
+                duration: Span::from_millis(2),
+                out_of_order: false,
+            },
+            TraceRecord {
+                kind: SpanKind::BatchConsumed,
+                pid: 1,
+                batch_id: 0,
+                start: Time::from_nanos(3_000_000),
+                duration: Span::from_millis(1),
+                out_of_order: false,
+            },
+        ]
+    }
+
+    fn events(v: &Value) -> &Vec<Value> {
+        v.get("traceEvents").unwrap().as_array().unwrap()
+    }
+
+    #[test]
+    fn fine_trace_contains_spans_and_flow_arrows() {
+        let doc = to_chrome_trace(&sample(), ChromeTraceOptions::default());
+        let evs = events(&doc);
+        let names: Vec<&str> = evs.iter().filter_map(|e| e["name"].as_str()).collect();
+        assert!(names.contains(&"SLoader"));
+        assert!(names.contains(&"SBatchPreprocessed_0"));
+        assert!(names.contains(&"batch_0_flow"));
+        let phases: Vec<&str> = evs.iter().filter_map(|e| e["ph"].as_str()).collect();
+        assert!(phases.contains(&"s"), "flow start event");
+        assert!(phases.contains(&"f"), "flow finish event");
+    }
+
+    #[test]
+    fn coarse_trace_drops_op_spans() {
+        let doc = to_chrome_trace(&sample(), ChromeTraceOptions { coarse: true });
+        let names: Vec<&str> = events(&doc).iter().filter_map(|e| e["name"].as_str()).collect();
+        assert!(!names.contains(&"SLoader"));
+        assert!(names.contains(&"SBatchPreprocessed_0"));
+    }
+
+    #[test]
+    fn all_ids_are_negative_synthetic() {
+        let doc = to_chrome_trace(&sample(), ChromeTraceOptions::default());
+        for e in events(&doc) {
+            if let Some(id) = e.get("id").and_then(Value::as_i64) {
+                assert!(id < 0, "LotusTrace ids must be negative, got {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let doc = to_chrome_trace(&sample(), ChromeTraceOptions { coarse: true });
+        let pre = events(&doc)
+            .iter()
+            .find(|e| e["name"] == "SBatchPreprocessed_0")
+            .unwrap();
+        assert_eq!(pre["dur"].as_f64().unwrap(), 2_000.0);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let records = sample();
+        let doc = to_chrome_trace(&records, ChromeTraceOptions::default());
+        let parsed = from_chrome_trace(&doc).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            assert_eq!(p.kind, r.kind);
+            assert_eq!(p.pid, r.pid);
+            assert_eq!(p.start, r.start);
+            assert_eq!(p.duration, r.duration);
+        }
+    }
+
+    #[test]
+    fn import_skips_foreign_events() {
+        let torch = json!({ "traceEvents": [
+            { "name": "aten::conv2d", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 1, "id": 5 }
+        ]});
+        assert!(from_chrome_trace(&torch).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_keeps_both_event_sets() {
+        let torch = json!({ "traceEvents": [{ "name": "aten::conv2d", "ph": "X", "id": 5 }] });
+        let lotus = to_chrome_trace(&sample(), ChromeTraceOptions { coarse: true });
+        let merged = merge_traces(&torch, &lotus);
+        let names: Vec<&str> = events(&merged).iter().filter_map(|e| e["name"].as_str()).collect();
+        assert!(names.contains(&"aten::conv2d"));
+        assert!(names.contains(&"SBatchPreprocessed_0"));
+    }
+}

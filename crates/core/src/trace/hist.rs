@@ -1,0 +1,214 @@
+//! A streaming log-scale histogram of span durations, used to aggregate
+//! per-operation statistics over full-dataset runs without retaining
+//! every record.
+
+use lotus_data::stats::Summary;
+use lotus_sim::Span;
+
+/// Log-spaced histogram over `[1 µs, ~17 min)` with 16 buckets per
+/// power of two. Tracks exact count/sum/sum-of-squares/min/max, so means
+/// and standard deviations are exact and percentiles are accurate to
+/// ~±4.5 % (one bucket width).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: f64,
+    sum_sq_ns: f64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+const BUCKETS_PER_OCTAVE: usize = 16;
+/// Durations below this land in bucket 0.
+const FLOOR_NS: u64 = 1_000;
+const OCTAVES: usize = 30;
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; OCTAVES * BUCKETS_PER_OCTAVE],
+            count: 0,
+            sum_ns: 0.0,
+            sum_sq_ns: 0.0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < FLOOR_NS {
+            return 0;
+        }
+        let ratio = ns as f64 / FLOOR_NS as f64;
+        let idx = (ratio.log2() * BUCKETS_PER_OCTAVE as f64) as usize;
+        idx.min(OCTAVES * BUCKETS_PER_OCTAVE - 1)
+    }
+
+    fn bucket_upper_ns(index: usize) -> f64 {
+        FLOOR_NS as f64 * 2f64.powf((index + 1) as f64 / BUCKETS_PER_OCTAVE as f64)
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, span: Span) {
+        let ns = span.as_nanos();
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as f64;
+        self.sum_sq_ns += (ns as f64) * (ns as f64);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded durations.
+    #[must_use]
+    pub fn total(&self) -> Span {
+        Span::from_nanos(self.sum_ns as u64)
+    }
+
+    /// Exact mean in nanoseconds. Zero when empty.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum_ns / self.count as f64 }
+    }
+
+    /// Approximate percentile (`p` in 0–100), in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is out of range.
+    #[must_use]
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        assert!(self.count > 0, "empty histogram has no percentiles");
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper_ns(i).min(self.max_ns as f64);
+            }
+        }
+        self.max_ns as f64
+    }
+
+    /// Exact fraction of durations strictly below `threshold`, up to one
+    /// bucket of quantization.
+    #[must_use]
+    pub fn fraction_below(&self, threshold: Span) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let cutoff = Self::bucket_of(threshold.as_nanos());
+        let below: u64 = self.counts[..cutoff].iter().sum();
+        below as f64 / self.count as f64
+    }
+
+    /// A [`Summary`] over the recorded durations **in milliseconds**
+    /// (mean/std/min/max exact; percentiles and IQR approximated from the
+    /// buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    #[must_use]
+    pub fn summary_ms(&self) -> Summary {
+        assert!(self.count > 0, "empty histogram has no summary");
+        let mean = self.mean_ns();
+        let var = (self.sum_sq_ns / self.count as f64 - mean * mean).max(0.0);
+        Summary {
+            count: self.count as usize,
+            mean: mean / 1e6,
+            std: var.sqrt() / 1e6,
+            min: self.min_ns as f64 / 1e6,
+            max: self.max_ns as f64 / 1e6,
+            p50: self.percentile_ns(50.0) / 1e6,
+            p90: self.percentile_ns(90.0) / 1e6,
+            p99: self.percentile_ns(99.0) / 1e6,
+            iqr: (self.percentile_ns(75.0) - self.percentile_ns(25.0)) / 1e6,
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_total_are_exact() {
+        let mut h = LogHistogram::new();
+        for us in [100u64, 200, 300] {
+            h.record(Span::from_micros(us));
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean_ns() - 200_000.0).abs() < 1e-9);
+        assert_eq!(h.total(), Span::from_micros(600));
+    }
+
+    #[test]
+    fn percentiles_are_within_a_bucket() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Span::from_micros(i));
+        }
+        let p90 = h.percentile_ns(90.0) / 1e3; // µs
+        assert!((850.0..=950.0).contains(&p90), "p90 ≈ 900 µs, got {p90}");
+        let p50 = h.percentile_ns(50.0) / 1e3;
+        assert!((470.0..=540.0).contains(&p50), "p50 ≈ 500 µs, got {p50}");
+    }
+
+    #[test]
+    fn fraction_below_matches_exact_within_quantization() {
+        let mut h = LogHistogram::new();
+        for i in 0..100u64 {
+            h.record(Span::from_micros(50 + i * 20)); // 50 µs … 2.03 ms
+        }
+        let frac = h.fraction_below(Span::from_millis(1));
+        assert!((0.42..=0.52).contains(&frac), "≈48% below 1 ms, got {frac}");
+    }
+
+    #[test]
+    fn sub_floor_durations_land_in_bucket_zero() {
+        let mut h = LogHistogram::new();
+        h.record(Span::from_nanos(3));
+        h.record(Span::from_nanos(999));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.fraction_below(Span::from_micros(100)), 1.0);
+    }
+
+    #[test]
+    fn summary_matches_exact_moments() {
+        let mut h = LogHistogram::new();
+        for ms in [1u64, 2, 3, 4, 5] {
+            h.record(Span::from_millis(ms));
+        }
+        let s = h.summary_ms();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert!((s.std - 2.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn huge_durations_saturate_the_last_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(Span::from_secs(100_000));
+        assert_eq!(h.count(), 1);
+        let _ = h.percentile_ns(99.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Automated log analysis — the feature the paper's conclusion lists as
+//! future work ("we welcome contributions … such as automated log
+//! analysis"). Takes a LotusTrace log and produces a diagnosis: where the
+//! bottleneck is, how healthy the data flow looks, and what to try next.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lotus_sim::Span;
+
+use super::analysis::{batch_timelines, per_op_cpu_totals, BatchTimeline};
+use super::record::{SpanKind, TraceRecord};
+
+/// Who limits the epoch's throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The main process mostly waits on preprocessing (GPU starves).
+    PreprocessingBound,
+    /// Preprocessed batches mostly wait on the accelerator.
+    GpuBound,
+    /// Neither side waits much: the pipeline is balanced.
+    Balanced,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::PreprocessingBound => f.write_str("preprocessing-bound"),
+            Verdict::GpuBound => f.write_str("GPU-bound"),
+            Verdict::Balanced => f.write_str("balanced"),
+        }
+    }
+}
+
+/// Per-DataLoader-worker activity extracted from the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// OS pid of the worker.
+    pub pid: u32,
+    /// Batches it preprocessed.
+    pub batches: u64,
+    /// Total fetch (busy) time.
+    pub busy: Span,
+}
+
+/// The automated diagnosis of one traced epoch.
+#[derive(Debug, Clone)]
+pub struct Insights {
+    /// Bottleneck classification.
+    pub verdict: Verdict,
+    /// Mean main-process wait per batch.
+    pub mean_wait: Span,
+    /// Mean batch delay (preprocessed → consumed).
+    pub mean_delay: Span,
+    /// Fraction of batches that arrived out of order.
+    pub ooo_fraction: f64,
+    /// Per-worker activity, ordered by pid.
+    pub workers: Vec<WorkerStats>,
+    /// Busy-time imbalance across workers: (max − min) / max, 0 when ≤1
+    /// worker.
+    pub worker_imbalance: f64,
+    /// Fraction of the traced interval the accelerator spent consuming
+    /// batches (H2D + training step). Low values under a
+    /// preprocessing-bound verdict quantify the GPU starvation.
+    pub gpu_busy_fraction: f64,
+    /// The operation with the largest share of preprocessing CPU, with its
+    /// share in `[0, 1]`.
+    pub dominant_op: Option<(String, f64)>,
+    /// Human-readable suggestions derived from the above.
+    pub recommendations: Vec<String>,
+}
+
+fn mean(spans: impl Iterator<Item = Span>) -> Span {
+    let v: Vec<Span> = spans.collect();
+    if v.is_empty() {
+        Span::ZERO
+    } else {
+        Span::from_nanos(v.iter().map(|s| s.as_nanos()).sum::<u64>() / v.len() as u64)
+    }
+}
+
+/// Analyzes a LotusTrace log.
+///
+/// Works with batch-level logs; per-operation records, when present,
+/// additionally produce the dominant-op finding.
+#[must_use]
+pub fn analyze(records: &[TraceRecord]) -> Insights {
+    let timelines = batch_timelines(records);
+    let mean_wait = mean(timelines.iter().filter_map(BatchTimeline::wait_span));
+    let mean_delay = mean(timelines.iter().filter_map(BatchTimeline::delay));
+    let with_wait = timelines.iter().filter(|t| t.wait.is_some()).count().max(1);
+    let ooo = timelines.iter().filter(|t| t.wait.is_some_and(|(_, _, o)| o)).count();
+    let ooo_fraction = ooo as f64 / with_wait as f64;
+
+    let mut per_worker: BTreeMap<u32, WorkerStats> = BTreeMap::new();
+    for r in records {
+        if r.kind == SpanKind::BatchPreprocessed {
+            let w = per_worker
+                .entry(r.pid)
+                .or_insert(WorkerStats { pid: r.pid, batches: 0, busy: Span::ZERO });
+            w.batches += 1;
+            w.busy += r.duration;
+        }
+    }
+    let workers: Vec<WorkerStats> = per_worker.into_values().collect();
+    let worker_imbalance = {
+        let busies: Vec<f64> = workers.iter().map(|w| w.busy.as_secs_f64()).collect();
+        match (busies.iter().cloned().fold(f64::INFINITY, f64::min), busies.iter().cloned().fold(0.0, f64::max)) {
+            (min, max) if workers.len() > 1 && max > 0.0 => (max - min) / max,
+            _ => 0.0,
+        }
+    };
+
+    let gpu_busy_fraction = {
+        let consumed: u64 = records
+            .iter()
+            .filter(|r| r.kind == SpanKind::BatchConsumed)
+            .map(|r| r.duration.as_nanos())
+            .sum();
+        let start = records.iter().map(|r| r.start.as_nanos()).min().unwrap_or(0);
+        let end = records.iter().map(|r| r.end().as_nanos()).max().unwrap_or(0);
+        if end > start { consumed as f64 / (end - start) as f64 } else { 0.0 }
+    };
+
+    let op_totals = per_op_cpu_totals(records);
+    let total_op_cpu: f64 = op_totals.values().map(|s| s.as_secs_f64()).sum();
+    let dominant_op = op_totals
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1))
+        .filter(|_| total_op_cpu > 0.0)
+        .map(|(name, cpu)| (name.clone(), cpu.as_secs_f64() / total_op_cpu));
+
+    // Classification thresholds: a side is "the" bottleneck when its idle
+    // time dwarfs the other's by 3×; otherwise balanced.
+    let (w, d) = (mean_wait.as_nanos() as f64, mean_delay.as_nanos() as f64);
+    let verdict = if w > 3.0 * d.max(1.0) {
+        Verdict::PreprocessingBound
+    } else if d > 3.0 * w.max(1.0) {
+        Verdict::GpuBound
+    } else {
+        Verdict::Balanced
+    };
+
+    let mut recommendations = Vec::new();
+    match verdict {
+        Verdict::PreprocessingBound => {
+            recommendations.push(
+                "the accelerator starves waiting for batches: add DataLoader workers, \
+                 or move deterministic operations offline (decode, resize)"
+                    .to_string(),
+            );
+            if let Some((op, share)) = &dominant_op {
+                if *share > 0.4 {
+                    recommendations.push(format!(
+                        "'{op}' accounts for {:.0}% of preprocessing CPU — optimize or \
+                         precompute it first",
+                        share * 100.0
+                    ));
+                }
+            }
+        }
+        Verdict::GpuBound => recommendations.push(
+            "preprocessing has headroom: consider fewer workers, or co-locating \
+             another job's preprocessing on this host"
+                .to_string(),
+        ),
+        Verdict::Balanced => recommendations
+            .push("pipeline is balanced; revisit after hardware or batch-size changes".to_string()),
+    }
+    if ooo_fraction > 0.2 {
+        recommendations.push(format!(
+            "{:.0}% of batches arrive out of order and sit pinned in the cache: \
+             better DataLoader scheduling (non-round-robin index assignment) would \
+             reduce wait and delay times",
+            ooo_fraction * 100.0
+        ));
+    }
+    if worker_imbalance > 0.25 && workers.len() > 1 {
+        recommendations.push(format!(
+            "worker busy times are imbalanced ({:.0}% spread): load-balance inputs \
+             by size (cf. SpeedyLoader)",
+            worker_imbalance * 100.0
+        ));
+    }
+
+    Insights {
+        verdict,
+        mean_wait,
+        mean_delay,
+        ooo_fraction,
+        workers,
+        worker_imbalance,
+        gpu_busy_fraction,
+        dominant_op,
+        recommendations,
+    }
+}
+
+impl fmt::Display for Insights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "verdict: {}", self.verdict)?;
+        writeln!(
+            f,
+            "mean wait {} | mean delay {} | out-of-order {:.1}% | GPU busy {:.1}%",
+            self.mean_wait,
+            self.mean_delay,
+            self.ooo_fraction * 100.0,
+            self.gpu_busy_fraction * 100.0
+        )?;
+        if let Some((op, share)) = &self.dominant_op {
+            writeln!(f, "dominant op: {op} ({:.0}% of preprocessing CPU)", share * 100.0)?;
+        }
+        for w in &self.workers {
+            writeln!(f, "worker {}: {} batches, busy {}", w.pid, w.batches, w.busy)?;
+        }
+        for r in &self.recommendations {
+            writeln!(f, "→ {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_sim::Time;
+
+    fn rec(kind: SpanKind, pid: u32, batch: u64, start_ms: u64, dur_ms: u64, ooo: bool) -> TraceRecord {
+        TraceRecord {
+            kind,
+            pid,
+            batch_id: batch,
+            start: Time::from_nanos(start_ms * 1_000_000),
+            duration: Span::from_millis(dur_ms),
+            out_of_order: ooo,
+        }
+    }
+
+    fn preprocessing_bound_log() -> Vec<TraceRecord> {
+        let mut log = Vec::new();
+        for b in 0..10 {
+            log.push(rec(SpanKind::Op("Loader".into()), 2, b, b * 1000, 700, false));
+            log.push(rec(SpanKind::Op("Normalize".into()), 2, b, b * 1000 + 700, 100, false));
+            log.push(rec(SpanKind::BatchPreprocessed, 2, b, b * 1000, 900, false));
+            log.push(rec(SpanKind::BatchWait, 1, b, b * 1000, 850, false));
+            log.push(rec(SpanKind::BatchConsumed, 1, b, b * 1000 + 910, 50, false));
+        }
+        log
+    }
+
+    #[test]
+    fn classifies_preprocessing_bound_and_names_the_culprit() {
+        let insights = analyze(&preprocessing_bound_log());
+        assert_eq!(insights.verdict, Verdict::PreprocessingBound);
+        // GPU consumes 50 ms of each ~1 s batch interval: heavily starved.
+        assert!(insights.gpu_busy_fraction < 0.1, "{}", insights.gpu_busy_fraction);
+        let (op, share) = insights.dominant_op.unwrap();
+        assert_eq!(op, "Loader");
+        assert!(share > 0.8);
+        assert!(
+            insights.recommendations.iter().any(|r| r.contains("Loader")),
+            "{:?}",
+            insights.recommendations
+        );
+    }
+
+    #[test]
+    fn classifies_gpu_bound() {
+        let mut log = Vec::new();
+        for b in 0..10 {
+            log.push(rec(SpanKind::BatchPreprocessed, 2, b, b * 100, 80, false));
+            log.push(rec(SpanKind::BatchWait, 1, b, b * 1000, 0, false));
+            // Consumed long after preprocessing finished.
+            log.push(rec(SpanKind::BatchConsumed, 1, b, b * 1000 + 5000, 700, false));
+        }
+        let insights = analyze(&log);
+        assert_eq!(insights.verdict, Verdict::GpuBound);
+        assert!(insights.recommendations.iter().any(|r| r.contains("headroom")));
+    }
+
+    #[test]
+    fn flags_out_of_order_and_imbalance() {
+        let mut log = Vec::new();
+        for b in 0..10u64 {
+            let pid = 2 + (b % 2) as u32;
+            // Worker 3 is twice as slow.
+            let dur = if pid == 3 { 1800 } else { 900 };
+            log.push(rec(SpanKind::BatchPreprocessed, pid, b, b * 1000, dur, false));
+            log.push(rec(SpanKind::BatchWait, 1, b, b * 1000, 1, b % 2 == 0, ));
+            log.push(rec(SpanKind::BatchConsumed, 1, b, b * 1000 + 2000, 50, false));
+        }
+        let insights = analyze(&log);
+        assert!(insights.ooo_fraction >= 0.5);
+        assert!(insights.worker_imbalance > 0.4, "{}", insights.worker_imbalance);
+        assert!(insights.recommendations.iter().any(|r| r.contains("out of order")));
+        assert!(insights.recommendations.iter().any(|r| r.contains("load-balance")));
+        assert_eq!(insights.workers.len(), 2);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let s = analyze(&preprocessing_bound_log()).to_string();
+        assert!(s.contains("verdict"));
+        assert!(s.contains("→"));
+    }
+}

@@ -1,0 +1,14 @@
+//! LotusTrace: instrumented tracing of the preprocessing data flow
+//! (§III of the paper).
+
+pub mod analysis;
+pub mod chrome;
+pub mod hist;
+pub mod insights;
+pub mod viz;
+
+mod logger;
+mod record;
+
+pub use logger::{LotusTrace, LotusTraceConfig, OpLogMode};
+pub use record::{SpanKind, TraceRecord};

@@ -1,0 +1,178 @@
+//! LotusTrace log records.
+
+use lotus_sim::{Span, Time};
+
+/// What a trace record describes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A whole-batch fetch on a DataLoader worker (\[T1\]) —
+    /// `SBatchPreprocessed_idx` in the visualization.
+    BatchPreprocessed,
+    /// The main process waiting for a batch (\[T2\]) — `SBatchWait_idx`.
+    BatchWait,
+    /// The main process consuming a batch — `SBatchConsumed_idx`.
+    BatchConsumed,
+    /// One preprocessing operation on one item (\[T3\]), e.g.
+    /// `RandomResizedCrop`.
+    Op(String),
+}
+
+impl SpanKind {
+    /// The span label used in log lines and visualizations.
+    #[must_use]
+    pub fn label(&self, batch_id: u64) -> String {
+        match self {
+            SpanKind::BatchPreprocessed => format!("SBatchPreprocessed_{batch_id}"),
+            SpanKind::BatchWait => format!("SBatchWait_{batch_id}"),
+            SpanKind::BatchConsumed => format!("SBatchConsumed_{batch_id}"),
+            SpanKind::Op(name) => format!("S{name}"),
+        }
+    }
+}
+
+/// One LotusTrace log record: a span with batch/process metadata
+/// (the paper logs `S{name}, {start}, {duration}` plus batch and process
+/// ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Span kind.
+    pub kind: SpanKind,
+    /// OS pid of the emitting process.
+    pub pid: u32,
+    /// Batch the span belongs to.
+    pub batch_id: u64,
+    /// Span start (virtual time).
+    pub start: Time,
+    /// Span duration.
+    pub duration: Span,
+    /// True for wait records satisfied from the out-of-order cache
+    /// (logged with the 1 µs marker duration).
+    pub out_of_order: bool,
+}
+
+impl TraceRecord {
+    /// Serializes to the CSV-ish log-line format.
+    #[must_use]
+    pub fn to_log_line(&self) -> String {
+        format!(
+            "{},{},{},{},{}\n",
+            self.kind.label(self.batch_id),
+            self.pid,
+            self.start.as_nanos(),
+            self.duration.as_nanos(),
+            u8::from(self.out_of_order),
+        )
+    }
+
+    /// Size of the serialized record in bytes (log-storage accounting).
+    #[must_use]
+    pub fn log_bytes(&self) -> u64 {
+        self.to_log_line().len() as u64
+    }
+
+    /// End of the span.
+    #[must_use]
+    pub fn end(&self) -> Time {
+        self.start + self.duration
+    }
+
+    /// Parses a line produced by [`TraceRecord::to_log_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field.
+    pub fn parse_log_line(line: &str) -> Result<TraceRecord, String> {
+        let parts: Vec<&str> = line.trim_end().split(',').collect();
+        if parts.len() != 5 {
+            return Err(format!("expected 5 fields, got {}", parts.len()));
+        }
+        let (label, rest) = (parts[0], &parts[1..]);
+        let pid: u32 = rest[0].parse().map_err(|e| format!("bad pid: {e}"))?;
+        let start: u64 = rest[1].parse().map_err(|e| format!("bad start: {e}"))?;
+        let duration: u64 = rest[2].parse().map_err(|e| format!("bad duration: {e}"))?;
+        let ooo = rest[3] == "1";
+        let (kind, batch_id) = parse_label(label)?;
+        Ok(TraceRecord {
+            kind,
+            pid,
+            batch_id,
+            start: Time::from_nanos(start),
+            duration: Span::from_nanos(duration),
+            out_of_order: ooo,
+        })
+    }
+}
+
+fn parse_label(label: &str) -> Result<(SpanKind, u64), String> {
+    for (prefix, ctor) in [
+        ("SBatchPreprocessed_", SpanKind::BatchPreprocessed),
+        ("SBatchWait_", SpanKind::BatchWait),
+        ("SBatchConsumed_", SpanKind::BatchConsumed),
+    ] {
+        if let Some(idx) = label.strip_prefix(prefix) {
+            let id = idx.parse().map_err(|e| format!("bad batch id: {e}"))?;
+            return Ok((ctor, id));
+        }
+    }
+    match label.strip_prefix('S') {
+        Some(name) if !name.is_empty() => Ok((SpanKind::Op(name.to_string()), 0)),
+        _ => Err(format!("unrecognized span label '{label}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: SpanKind) -> TraceRecord {
+        TraceRecord {
+            kind,
+            pid: 4243,
+            batch_id: 17,
+            start: Time::from_nanos(1_000),
+            duration: Span::from_nanos(250),
+            out_of_order: false,
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(SpanKind::BatchPreprocessed.label(699), "SBatchPreprocessed_699");
+        assert_eq!(SpanKind::BatchWait.label(699), "SBatchWait_699");
+        assert_eq!(SpanKind::BatchConsumed.label(699), "SBatchConsumed_699");
+        assert_eq!(SpanKind::Op("RandomResizedCrop".into()).label(0), "SRandomResizedCrop");
+    }
+
+    #[test]
+    fn batch_records_round_trip_through_log_lines() {
+        for kind in [SpanKind::BatchPreprocessed, SpanKind::BatchWait, SpanKind::BatchConsumed] {
+            let r = record(kind);
+            let parsed = TraceRecord::parse_log_line(&r.to_log_line()).unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn op_records_round_trip_modulo_batch_id() {
+        let r = record(SpanKind::Op("Normalize".into()));
+        let parsed = TraceRecord::parse_log_line(&r.to_log_line()).unwrap();
+        assert_eq!(parsed.kind, r.kind);
+        assert_eq!(parsed.duration, r.duration);
+        // The op log line doesn't carry the batch id (matches the paper's
+        // Listing 3 format); it parses back as 0.
+        assert_eq!(parsed.batch_id, 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(TraceRecord::parse_log_line("nonsense").is_err());
+        assert!(TraceRecord::parse_log_line("SBatchWait_x,1,2,3,0").is_err());
+        assert!(TraceRecord::parse_log_line("S,1,2,3,0").is_err());
+    }
+
+    #[test]
+    fn log_bytes_counts_serialized_length() {
+        let r = record(SpanKind::BatchWait);
+        assert_eq!(r.log_bytes(), r.to_log_line().len() as u64);
+    }
+}

@@ -1,0 +1,190 @@
+//! Terminal rendering of LotusTrace timelines — the paper's Figure 2 as
+//! ASCII art, for environments without a Chrome Trace Viewer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use lotus_sim::Time;
+
+use super::record::{SpanKind, TraceRecord};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineOptions {
+    /// Characters available for the time axis.
+    pub width: usize,
+    /// Restrict to a time window (virtual nanoseconds); `None` = whole
+    /// trace.
+    pub window: Option<(u64, u64)>,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions { width: 100, window: None }
+    }
+}
+
+/// Glyphs: worker fetch spans, main-process waits and consumption.
+const FETCH: char = '▓';
+const WAIT: char = '·';
+const CONSUME: char = '█';
+
+/// Renders batch-level spans as one row per process.
+///
+/// The main process row shows waits (`·`) and batch consumption (`█`);
+/// each DataLoader worker row shows its fetch spans (`▓`). Out-of-order
+/// consumptions are marked with `!` at their start cell.
+///
+/// # Panics
+///
+/// Panics if `options.width == 0`.
+#[must_use]
+pub fn render_timeline(records: &[TraceRecord], options: TimelineOptions) -> String {
+    assert!(options.width > 0, "timeline width must be positive");
+    let batch_level: Vec<&TraceRecord> =
+        records.iter().filter(|r| !matches!(r.kind, SpanKind::Op(_))).collect();
+    if batch_level.is_empty() {
+        return "(empty trace)\n".to_string();
+    }
+    let (t0, t1) = options.window.unwrap_or_else(|| {
+        let start = batch_level.iter().map(|r| r.start.as_nanos()).min().unwrap_or(0);
+        let end = batch_level.iter().map(|r| r.end().as_nanos()).max().unwrap_or(1);
+        (start, end.max(start + 1))
+    });
+    let span_ns = (t1 - t0).max(1);
+    let cell = |t: u64| -> usize {
+        ((t.saturating_sub(t0)) as u128 * options.width as u128 / span_ns as u128) as usize
+    };
+
+    // Rows: main process(es) first (those that emit waits), then workers.
+    let mut rows: BTreeMap<(u8, u32), Vec<char>> = BTreeMap::new();
+    let row_of = |pid: u32, is_main: bool| (u8::from(!is_main), pid);
+    let mut ooo_marks: Vec<(u32, usize)> = Vec::new();
+    for r in &batch_level {
+        let (glyph, is_main) = match r.kind {
+            SpanKind::BatchPreprocessed => (FETCH, false),
+            SpanKind::BatchWait => (WAIT, true),
+            SpanKind::BatchConsumed => (CONSUME, true),
+            SpanKind::Op(_) => unreachable!("filtered above"),
+        };
+        if r.end().as_nanos() < t0 || r.start.as_nanos() > t1 {
+            continue;
+        }
+        let key = row_of(r.pid, is_main);
+        let row = rows.entry(key).or_insert_with(|| vec![' '; options.width]);
+        let from = cell(r.start.as_nanos()).min(options.width - 1);
+        let to = cell(r.end().as_nanos()).clamp(from + 1, options.width);
+        for c in &mut row[from..to] {
+            // Consumption wins over waits when they share a cell.
+            if *c == ' ' || (*c == WAIT && glyph == CONSUME) {
+                *c = glyph;
+            }
+        }
+        if r.out_of_order {
+            ooo_marks.push((r.pid, from));
+        }
+    }
+    for (pid, at) in ooo_marks {
+        for ((_, row_pid), row) in &mut rows {
+            if *row_pid == pid {
+                row[at] = '!';
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let start_time = Time::from_nanos(t0);
+    let end_time = Time::from_nanos(t1);
+    let _ = writeln!(out, "timeline {start_time} .. {end_time}");
+    for ((kind, pid), row) in &rows {
+        let label = if *kind == 0 { format!("main {pid}") } else { format!("work {pid}") };
+        let _ = writeln!(out, "{label:>10} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "{:>10}  {} fetch   {} wait   {} consume   ! out-of-order cache hit",
+        "legend:", FETCH, WAIT, CONSUME
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_sim::Span;
+
+    fn rec(kind: SpanKind, pid: u32, start_ms: u64, dur_ms: u64, ooo: bool) -> TraceRecord {
+        TraceRecord {
+            kind,
+            pid,
+            batch_id: 0,
+            start: Time::from_nanos(start_ms * 1_000_000),
+            duration: Span::from_millis(dur_ms),
+            out_of_order: ooo,
+        }
+    }
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            rec(SpanKind::BatchPreprocessed, 2, 0, 40, false),
+            rec(SpanKind::BatchPreprocessed, 3, 10, 60, false),
+            rec(SpanKind::BatchWait, 1, 0, 42, false),
+            rec(SpanKind::BatchConsumed, 1, 45, 10, false),
+            rec(SpanKind::Op("Loader".into()), 2, 0, 5, false),
+        ]
+    }
+
+    #[test]
+    fn renders_one_row_per_process_with_main_first() {
+        let out = render_timeline(&sample(), TimelineOptions::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("timeline"));
+        assert!(lines[1].contains("main 1"));
+        assert!(lines[2].contains("work 2"));
+        assert!(lines[3].contains("work 3"));
+        assert!(out.contains(FETCH));
+        assert!(out.contains(WAIT));
+        assert!(out.contains(CONSUME));
+    }
+
+    #[test]
+    fn op_records_are_ignored_in_the_coarse_view() {
+        let out = render_timeline(&sample(), TimelineOptions::default());
+        // 1 header + 3 process rows + legend.
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    fn out_of_order_hits_are_marked() {
+        let mut records = sample();
+        records.push(rec(SpanKind::BatchWait, 1, 60, 1, true));
+        let out = render_timeline(&records, TimelineOptions::default());
+        assert!(out.contains('!'));
+    }
+
+    #[test]
+    fn windowing_clips_spans() {
+        let out = render_timeline(
+            &sample(),
+            TimelineOptions { width: 50, window: Some((0, 5_000_000)) },
+        );
+        // Worker 3 starts at 10 ms, outside the 5 ms window.
+        assert!(!out.contains("work 3") || !out.lines().any(|l| l.contains("work 3") && l.contains(FETCH)));
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        assert_eq!(render_timeline(&[], TimelineOptions::default()), "(empty trace)\n");
+    }
+
+    #[test]
+    fn rows_never_exceed_requested_width() {
+        let out = render_timeline(&sample(), TimelineOptions { width: 30, window: None });
+        for line in out.lines().skip(1) {
+            if let Some(bar) = line.find('|') {
+                let inner = &line[bar + 1..line.rfind('|').unwrap_or(line.len())];
+                assert!(inner.chars().count() <= 30, "row too wide: {line}");
+            }
+        }
+    }
+}

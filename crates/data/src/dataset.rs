@@ -1,0 +1,504 @@
+//! Synthetic dataset *models*: deterministic per-index metadata matching
+//! the published statistics of the paper's datasets (ImageNet, KiTS19,
+//! MS-COCO), without materializing any data.
+//!
+//! Metadata is derived from `(dataset seed, index)` with a splitmix64-style
+//! mixer, so random access is O(1) and every run is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::LogNormal;
+use crate::image::Image;
+
+/// Mixes a dataset seed and an item index into an independent RNG seed.
+#[must_use]
+pub fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Metadata for one encoded image in an image dataset: everything the
+/// pipeline model needs to cost loading/decoding it, plus enough to
+/// materialize real pixels on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageRecord {
+    /// Item index within the dataset.
+    pub index: u64,
+    /// Encoded (compressed) file size in bytes.
+    pub file_bytes: u64,
+    /// Decoded width in pixels.
+    pub width: u32,
+    /// Decoded height in pixels.
+    pub height: u32,
+    /// Seed for materializing pixel content.
+    pub content_seed: u64,
+}
+
+impl ImageRecord {
+    /// Decoded pixel count.
+    #[must_use]
+    pub fn pixels(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Decoded RGB byte count.
+    #[must_use]
+    pub fn decoded_bytes(&self) -> u64 {
+        self.pixels() * 3
+    }
+
+    /// Materializes synthetic pixel content for this record (used by the
+    /// real-compute path: codec round-trips, examples, LotusMap isolation).
+    #[must_use]
+    pub fn materialize(&self) -> Image {
+        let mut rng = StdRng::seed_from_u64(self.content_seed);
+        Image::synthetic(self.height as usize, self.width as usize, &mut rng)
+    }
+}
+
+/// A synthetic image-classification / detection dataset model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageDatasetModel {
+    name: String,
+    len: u64,
+    seed: u64,
+    file_size: LogNormal,
+    min_side: u32,
+    max_side: u32,
+    /// Encoded bytes per decoded pixel (JPEG compression density).
+    bytes_per_pixel: f64,
+}
+
+impl ImageDatasetModel {
+    /// The full ImageNet-2012 train split model: 1.28 M images, file sizes
+    /// log-normal with mean 111 KB and σ 133 KB (§V-C of the paper).
+    #[must_use]
+    pub fn imagenet(seed: u64) -> ImageDatasetModel {
+        ImageDatasetModel {
+            name: "imagenet".into(),
+            len: 1_281_167,
+            seed,
+            file_size: LogNormal::from_mean_std(111_000.0, 133_000.0),
+            min_side: 120,
+            max_side: 4200,
+            bytes_per_pixel: 0.55,
+        }
+    }
+
+    /// The 26 061-image ImageNet subset the paper uses for profiler
+    /// comparisons ("ImageNet-small", §VI-B).
+    #[must_use]
+    pub fn imagenet_small(seed: u64) -> ImageDatasetModel {
+        let mut m = ImageDatasetModel::imagenet(seed);
+        m.name = "imagenet-small".into();
+        m.len = 26_061;
+        m
+    }
+
+    /// An MS-COCO-like detection dataset model (larger images, 118 K items).
+    #[must_use]
+    pub fn coco(seed: u64) -> ImageDatasetModel {
+        ImageDatasetModel {
+            name: "coco".into(),
+            len: 118_287,
+            seed,
+            file_size: LogNormal::from_mean_std(165_000.0, 80_000.0),
+            min_side: 240,
+            max_side: 760,
+            bytes_per_pixel: 0.38,
+        }
+    }
+
+    /// A custom model, mainly for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or the side bounds are inverted.
+    #[must_use]
+    pub fn custom(
+        name: impl Into<String>,
+        len: u64,
+        seed: u64,
+        file_size: LogNormal,
+        side_bounds: (u32, u32),
+        bytes_per_pixel: f64,
+    ) -> ImageDatasetModel {
+        assert!(len > 0, "dataset must be non-empty");
+        assert!(side_bounds.0 > 0 && side_bounds.0 <= side_bounds.1, "invalid side bounds");
+        ImageDatasetModel {
+            name: name.into(),
+            len,
+            seed,
+            file_size,
+            min_side: side_bounds.0,
+            max_side: side_bounds.1,
+            bytes_per_pixel,
+        }
+    }
+
+    /// Truncates the dataset to its first `len` items (for scaled-down
+    /// experiment runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn truncated(&self, len: u64) -> ImageDatasetModel {
+        assert!(len > 0, "dataset must be non-empty");
+        let mut m = self.clone();
+        m.len = len.min(self.len);
+        m
+    }
+
+    /// Dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the dataset has no items (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The record for item `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn record(&self, index: u64) -> ImageRecord {
+        assert!(index < self.len, "index {index} out of range (len {})", self.len);
+        let item_seed = mix_seed(self.seed, index);
+        let mut rng = StdRng::seed_from_u64(item_seed);
+        let file_bytes = (self.file_size.sample(&mut rng).max(4096.0)) as u64;
+        // Derive decoded dimensions from the encoded size: pixels ≈
+        // bytes / density, split into an aspect ratio in [3:4, 4:3].
+        let pixels = (file_bytes as f64 / self.bytes_per_pixel).max(1.0);
+        let aspect: f64 = rng.gen_range(0.75..=1.3333);
+        let width = (pixels * aspect).sqrt().round();
+        let height = (pixels / aspect).sqrt().round();
+        let clamp = |v: f64| (v as u32).clamp(self.min_side, self.max_side);
+        ImageRecord {
+            index,
+            file_bytes,
+            width: clamp(width),
+            height: clamp(height),
+            content_seed: mix_seed(item_seed, 0x00C0_FFEE),
+        }
+    }
+
+    /// Mean encoded file size over the first `sample_n` items.
+    #[must_use]
+    pub fn sample_mean_file_bytes(&self, sample_n: u64) -> f64 {
+        let n = sample_n.min(self.len).max(1);
+        (0..n).map(|i| self.record(i).file_bytes as f64).sum::<f64>() / n as f64
+    }
+}
+
+/// Metadata for one CT volume in a KiTS19-like segmentation dataset
+/// (stored as preprocessed numpy arrays, as in the MLPerf IS reference
+/// implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeRecord {
+    /// Case index.
+    pub index: u64,
+    /// Volume dimensions (depth, height, width) in voxels.
+    pub dims: (u32, u32, u32),
+    /// Stored bytes (float32 voxels, image + label).
+    pub stored_bytes: u64,
+    /// Seed for materializing content.
+    pub content_seed: u64,
+}
+
+impl VolumeRecord {
+    /// Total voxel count.
+    #[must_use]
+    pub fn voxels(&self) -> u64 {
+        u64::from(self.dims.0) * u64::from(self.dims.1) * u64::from(self.dims.2)
+    }
+}
+
+/// A KiTS19-like volumetric dataset model: 210 training cases with highly
+/// variable depth (the source of the IS pipeline's large load-time
+/// variance in Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolumeDatasetModel {
+    len: u64,
+    seed: u64,
+}
+
+impl VolumeDatasetModel {
+    /// The KiTS19 training-set model.
+    #[must_use]
+    pub fn kits19(seed: u64) -> VolumeDatasetModel {
+        VolumeDatasetModel { len: 210, seed }
+    }
+
+    /// Number of cases.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the dataset has no cases (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The record for case `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn record(&self, index: u64) -> VolumeRecord {
+        assert!(index < self.len, "case {index} out of range (len {})", self.len);
+        let item_seed = mix_seed(self.seed.wrapping_add(0x5E6), index);
+        let mut rng = StdRng::seed_from_u64(item_seed);
+        // KiTS19 axial slice counts roughly 30–1000; H×W fixed-ish after
+        // MLPerf preprocessing.
+        let depth: u32 = rng.gen_range(24..=480);
+        let side: u32 = rng.gen_range(160..=352);
+        let dims = (depth, side, side);
+        let voxels = u64::from(depth) * u64::from(side) * u64::from(side);
+        VolumeRecord {
+            index,
+            dims,
+            // image (f32) + label (u8)
+            stored_bytes: voxels * 5,
+            content_seed: mix_seed(item_seed, 0xBEEF),
+        }
+    }
+}
+
+/// Metadata for one compressed audio clip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AudioRecord {
+    /// Clip index.
+    pub index: u64,
+    /// Compressed (FLAC-like) file size in bytes.
+    pub file_bytes: u64,
+    /// Decoded sample count at the native rate.
+    pub samples: u64,
+    /// Native sample rate in Hz.
+    pub sample_rate: u32,
+    /// Seed for materializing waveform content.
+    pub content_seed: u64,
+}
+
+impl AudioRecord {
+    /// Materializes a synthetic waveform for this clip: a seeded mixture
+    /// of tones plus noise, f32 samples in `[-1, 1]`.
+    #[must_use]
+    pub fn materialize(&self) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(self.content_seed);
+        let tones: Vec<(f64, f64)> = (0..3)
+            .map(|_| (rng.gen_range(60.0..4_000.0), rng.gen_range(0.05..0.3)))
+            .collect();
+        let sr = f64::from(self.sample_rate);
+        (0..self.samples)
+            .map(|i| {
+                let t = i as f64 / sr;
+                let tone: f64 = tones
+                    .iter()
+                    .map(|(hz, amp)| amp * (std::f64::consts::TAU * hz * t).sin())
+                    .sum();
+                let noise: f64 = rng.gen_range(-0.02..0.02);
+                (tone + noise) as f32
+            })
+            .collect()
+    }
+}
+
+/// A synthetic audio-classification dataset model (AudioSet-like clips:
+/// variable duration, 22.05 kHz native rate, ~55 % FLAC compression).
+///
+/// This backs the repository's audio-pipeline extension — the workload
+/// class the paper's introduction names as preprocessing-bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AudioDatasetModel {
+    len: u64,
+    seed: u64,
+    duration: LogNormal,
+    sample_rate: u32,
+}
+
+impl AudioDatasetModel {
+    /// An AudioSet-like model: 100 k clips, durations log-normal with
+    /// mean 4 s / σ 2 s, recorded at 22.05 kHz.
+    #[must_use]
+    pub fn audioset(seed: u64) -> AudioDatasetModel {
+        AudioDatasetModel {
+            len: 100_000,
+            seed,
+            duration: LogNormal::from_mean_std(4.0, 2.0),
+            sample_rate: 22_050,
+        }
+    }
+
+    /// Truncates to the first `len` clips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn truncated(&self, len: u64) -> AudioDatasetModel {
+        assert!(len > 0, "dataset must be non-empty");
+        let mut m = self.clone();
+        m.len = len.min(self.len);
+        m
+    }
+
+    /// Number of clips.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the dataset has no clips (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Native sample rate.
+    #[must_use]
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// The record for clip `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn record(&self, index: u64) -> AudioRecord {
+        assert!(index < self.len, "clip {index} out of range (len {})", self.len);
+        let item_seed = mix_seed(self.seed.wrapping_add(0xA0D10), index);
+        let mut rng = StdRng::seed_from_u64(item_seed);
+        let duration = self.duration.sample(&mut rng).clamp(0.5, 30.0);
+        let samples = (duration * f64::from(self.sample_rate)) as u64;
+        AudioRecord {
+            index,
+            // 16-bit PCM compressed ~55 % by FLAC.
+            file_bytes: (samples as f64 * 2.0 * 0.55) as u64,
+            samples,
+            sample_rate: self.sample_rate,
+            content_seed: mix_seed(item_seed, 0xFACE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_deterministic() {
+        let d = ImageDatasetModel::imagenet(17);
+        assert_eq!(d.record(5), d.record(5));
+        assert_ne!(d.record(5), d.record(6));
+    }
+
+    #[test]
+    fn imagenet_file_sizes_match_paper_mean() {
+        let d = ImageDatasetModel::imagenet(1);
+        let mean = d.sample_mean_file_bytes(20_000);
+        assert!((mean - 111_000.0).abs() / 111_000.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn dims_scale_with_file_size() {
+        let d = ImageDatasetModel::imagenet(2);
+        let mut small_px = Vec::new();
+        let mut large_px = Vec::new();
+        for i in 0..2_000 {
+            let r = d.record(i);
+            if r.file_bytes < 50_000 {
+                small_px.push(r.pixels() as f64);
+            } else if r.file_bytes > 200_000 {
+                large_px.push(r.pixels() as f64);
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&large_px) > 2.0 * avg(&small_px));
+    }
+
+    #[test]
+    fn truncation_limits_length_and_keeps_prefix() {
+        let full = ImageDatasetModel::imagenet(3);
+        let small = full.truncated(100);
+        assert_eq!(small.len(), 100);
+        assert_eq!(small.record(42), full.record(42));
+    }
+
+    #[test]
+    fn imagenet_small_matches_paper_count() {
+        assert_eq!(ImageDatasetModel::imagenet_small(0).len(), 26_061);
+    }
+
+    #[test]
+    fn kits19_depth_varies_widely() {
+        let d = VolumeDatasetModel::kits19(9);
+        let depths: Vec<u32> = (0..d.len()).map(|i| d.record(i).dims.0).collect();
+        let min = depths.iter().min().unwrap();
+        let max = depths.iter().max().unwrap();
+        assert!(*max > *min * 4, "depth range should be wide: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_record_panics() {
+        let _ = ImageDatasetModel::imagenet(0).truncated(10).record(10);
+    }
+
+    #[test]
+    fn audio_materialization_is_seeded_and_bounded() {
+        let d = AudioDatasetModel::audioset(5).truncated(4);
+        let r = d.record(1);
+        let a = r.materialize();
+        let b = r.materialize();
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u64, r.samples);
+        assert!(a.iter().all(|&x| (-1.2..=1.2).contains(&x)));
+        assert!(a.iter().any(|&x| x.abs() > 0.01), "not silence");
+    }
+
+    #[test]
+    fn audio_records_have_sane_durations() {
+        let d = AudioDatasetModel::audioset(3);
+        let mut total = 0.0;
+        for i in 0..2_000 {
+            let r = d.record(i);
+            let dur = r.samples as f64 / f64::from(r.sample_rate);
+            assert!((0.5..=30.0).contains(&dur), "duration {dur}");
+            assert!(r.file_bytes > 0);
+            total += dur;
+        }
+        let mean = total / 2_000.0;
+        assert!((3.2..4.8).contains(&mean), "mean duration {mean}");
+    }
+
+    #[test]
+    fn mix_seed_spreads_bits() {
+        let a = mix_seed(1, 1);
+        let b = mix_seed(1, 2);
+        let c = mix_seed(2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

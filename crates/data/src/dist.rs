@@ -1,0 +1,159 @@
+//! Seedable statistical distributions (Box–Muller based).
+//!
+//! Implemented here rather than pulling in `rand_distr` to keep the
+//! dependency set minimal (see DESIGN.md) and to make the sampling code
+//! property-testable.
+
+use rand::Rng;
+
+/// A normal (Gaussian) distribution.
+///
+/// ```
+/// use lotus_data::dist::Normal;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let n = Normal::new(10.0, 2.0);
+/// let x = n.sample(&mut StdRng::seed_from_u64(1));
+/// assert!((0.0..20.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite.
+    #[must_use]
+    pub fn new(mean: f64, std: f64) -> Normal {
+        assert!(std.is_finite() && std >= 0.0, "std must be finite and non-negative");
+        Normal { mean, std }
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        // Avoid u1 == 0 (log of zero).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std * z
+    }
+}
+
+/// A log-normal distribution parameterized by the underlying normal's
+/// `mu` and `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        LogNormal { normal: Normal::new(mu, sigma) }
+    }
+
+    /// Creates a log-normal distribution with the given *arithmetic* mean
+    /// and standard deviation (the moments the paper reports for ImageNet
+    /// file sizes: mean 111 KB, σ 133 KB).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `std >= 0`.
+    #[must_use]
+    pub fn from_mean_std(mean: f64, std: f64) -> LogNormal {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        assert!(std >= 0.0, "log-normal std must be non-negative");
+        let cv2 = (std / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+
+    /// The arithmetic mean `exp(mu + sigma²/2)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.normal.mean() + self.normal.std().powi(2) / 2.0).exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn normal_matches_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = Normal::new(5.0, 3.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| n.sample(&mut rng)).collect();
+        let (mean, std) = moments(&samples);
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((std - 3.0).abs() < 0.05, "std {std}");
+    }
+
+    #[test]
+    fn lognormal_from_mean_std_reproduces_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = LogNormal::from_mean_std(111_000.0, 133_000.0);
+        let samples: Vec<f64> = (0..400_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, std) = moments(&samples);
+        assert!((mean - 111_000.0).abs() / 111_000.0 < 0.03, "mean {mean}");
+        assert!((std - 133_000.0).abs() / 133_000.0 < 0.08, "std {std}");
+    }
+
+    #[test]
+    fn lognormal_samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LogNormal::from_mean_std(10.0, 30.0);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn analytic_mean_matches_construction() {
+        let d = LogNormal::from_mean_std(111.0, 133.0);
+        assert!((d.mean() - 111.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_mean_is_rejected() {
+        let _ = LogNormal::from_mean_std(0.0, 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for statistics, distributions and dataset models.
+
+use lotus_data::dist::{LogNormal, Normal};
+use lotus_data::stats::{fraction_above, fraction_below, percentile, Summary};
+use lotus_data::{mix_seed, ImageDatasetModel, VolumeDatasetModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let s = Summary::of(&values);
+        prop_assert_eq!(s.count, values.len());
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p99 + 1e-9 && s.p99 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+        prop_assert!(s.iqr >= -1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone(values in prop::collection::vec(-1e6f64..1e6, 1..100), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&values, lo) <= percentile(&values, hi) + 1e-9);
+    }
+
+    #[test]
+    fn fractions_partition_modulo_equals(values in prop::collection::vec(-100f64..100.0, 1..100), t in -100f64..100.0) {
+        let below = fraction_below(&values, t);
+        let above = fraction_above(&values, t);
+        let equal = values.iter().filter(|&&v| v == t).count() as f64 / values.len() as f64;
+        prop_assert!((below + above + equal - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_samples_are_positive_and_seeded(mean in 1.0f64..1e6, cv in 0.01f64..3.0, seed in 0u64..1000) {
+        let d = LogNormal::from_mean_std(mean, mean * cv);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| d.sample(&mut rng)).collect()
+        };
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!(a.iter().all(|&x| x > 0.0));
+        prop_assert!((d.mean() - mean).abs() < 1e-6 * mean);
+    }
+
+    #[test]
+    fn normal_is_symmetric_under_seed_pairs(mean in -1e3f64..1e3, std in 0.0f64..1e3, seed in 0u64..500) {
+        let n = Normal::new(mean, std);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = n.sample(&mut rng);
+        prop_assert!(x.is_finite());
+        if std == 0.0 {
+            prop_assert!((x - mean).abs() < 1e-9);
+        }
+    }
+
+    /// Dataset records are pure functions of (seed, index) and always
+    /// respect their configured bounds.
+    #[test]
+    fn image_records_are_stable_and_bounded(seed in 0u64..100, index in 0u64..1_000_000) {
+        let d = ImageDatasetModel::imagenet(seed);
+        let a = d.record(index);
+        let b = d.record(index);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.width >= 120 && a.width <= 4200);
+        prop_assert!(a.height >= 120 && a.height <= 4200);
+        prop_assert!(a.file_bytes >= 4096);
+    }
+
+    #[test]
+    fn volume_records_are_stable_and_bounded(seed in 0u64..100, index in 0u64..210) {
+        let d = VolumeDatasetModel::kits19(seed);
+        let a = d.record(index);
+        prop_assert_eq!(a, d.record(index));
+        prop_assert!((24..=480).contains(&a.dims.0));
+        prop_assert!((160..=352).contains(&a.dims.1));
+        prop_assert_eq!(a.stored_bytes, a.voxels() * 5);
+    }
+
+    /// The seed mixer has no obvious collisions over small grids.
+    #[test]
+    fn mix_seed_is_injective_on_small_grids(base in 0u64..1000) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..512u64 {
+            prop_assert!(seen.insert(mix_seed(base, i)), "collision at index {i}");
+        }
+    }
+}

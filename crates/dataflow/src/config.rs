@@ -1,0 +1,139 @@
+//! Configuration for the DataLoader and the GPU model.
+
+use lotus_sim::Span;
+
+use crate::dataset::Sampler;
+
+/// `torch.utils.data.DataLoader` parameters (the knobs of the paper's
+/// Listing 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataLoaderConfig {
+    /// Samples per batch.
+    pub batch_size: usize,
+    /// Number of DataLoader worker processes.
+    pub num_workers: usize,
+    /// Index batches pre-queued per worker at epoch start (PyTorch
+    /// default 2).
+    pub prefetch_factor: usize,
+    /// Whether the main process pins batches to page-locked CPU memory.
+    pub pin_memory: bool,
+    /// Index ordering.
+    pub sampler: Sampler,
+    /// Whether a trailing partial batch is dropped.
+    pub drop_last: bool,
+}
+
+impl DataLoaderConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if self.num_workers == 0 {
+            return Err("num_workers must be at least 1 (worker-process data loading)".into());
+        }
+        if self.prefetch_factor == 0 {
+            return Err("prefetch_factor must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DataLoaderConfig {
+    fn default() -> Self {
+        DataLoaderConfig {
+            batch_size: 1,
+            num_workers: 1,
+            prefetch_factor: 2,
+            pin_memory: true,
+            sampler: Sampler::Sequential,
+            drop_last: true,
+        }
+    }
+}
+
+/// The accelerator model: a `torch.nn.DataParallel` group of identical
+/// GPUs executing one synchronous training step per batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Number of GPUs the batch is split across.
+    pub count: usize,
+    /// Forward + backward time per sample on one GPU.
+    pub per_sample_step: Span,
+    /// Fixed per-step overhead (kernel launches, gradient all-reduce).
+    pub step_overhead: Span,
+    /// Effective host-to-device transfer bandwidth in bytes/second.
+    pub h2d_bytes_per_sec: f64,
+}
+
+impl GpuConfig {
+    /// A V100-like GPU group (the paper's c4130 node has four, NVLinked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    #[must_use]
+    pub fn v100(count: usize, per_sample_step: Span) -> GpuConfig {
+        assert!(count > 0, "need at least one GPU");
+        GpuConfig {
+            count,
+            per_sample_step,
+            step_overhead: Span::from_millis(6),
+            h2d_bytes_per_sec: 12.0e9,
+        }
+    }
+
+    /// Wall time of one synchronous training step for a batch of
+    /// `batch_len` samples (DataParallel splits the batch evenly).
+    #[must_use]
+    pub fn step_span(&self, batch_len: usize) -> Span {
+        let per_gpu = batch_len.div_ceil(self.count);
+        self.step_overhead + self.per_sample_step * per_gpu as u64
+    }
+
+    /// Wall time of the host-to-device transfer of `bytes`.
+    #[must_use]
+    pub fn h2d_span(&self, bytes: u64) -> Span {
+        Span::from_secs_f64(bytes as f64 / self.h2d_bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(DataLoaderConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let zero_batch = DataLoaderConfig { batch_size: 0, ..DataLoaderConfig::default() };
+        assert!(zero_batch.validate().is_err());
+        let zero_workers = DataLoaderConfig { num_workers: 0, ..DataLoaderConfig::default() };
+        assert!(zero_workers.validate().is_err());
+        let zero_prefetch =
+            DataLoaderConfig { prefetch_factor: 0, ..DataLoaderConfig::default() };
+        assert!(zero_prefetch.validate().is_err());
+    }
+
+    #[test]
+    fn step_time_scales_down_with_gpu_count() {
+        let one = GpuConfig::v100(1, Span::from_micros(500));
+        let four = GpuConfig::v100(4, Span::from_micros(500));
+        assert!(four.step_span(512) < one.step_span(512));
+        // 512 samples / 4 GPUs = 128 per GPU.
+        assert_eq!(four.step_span(512), Span::from_millis(6) + Span::from_micros(500) * 128);
+    }
+
+    #[test]
+    fn h2d_uses_bandwidth() {
+        let gpu = GpuConfig::v100(1, Span::from_micros(100));
+        assert_eq!(gpu.h2d_span(12_000_000_000 / 1000), Span::from_millis(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Datasets and samplers (`torch.utils.data.Dataset` / `Sampler`).
+
+use lotus_data::mix_seed;
+use lotus_transforms::{Sample, TransformCtx, TransformObserver};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A map-style dataset: random access to preprocessed samples.
+///
+/// `get_item` is the analog of `__getitem__`: it loads (I/O + decode) and
+/// transforms one item, charging costs to `ctx.cpu` and reporting each
+/// operation's elapsed time — including the `Loader` step — to `observer`
+/// (the paper's \[T3\] instrumentation).
+pub trait Dataset: Send + Sync {
+    /// Number of items.
+    fn len(&self) -> u64;
+
+    /// True if the dataset has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Loads and preprocesses item `index`.
+    fn get_item(
+        &self,
+        index: u64,
+        ctx: &mut TransformCtx<'_>,
+        observer: &mut dyn TransformObserver,
+    ) -> Sample;
+}
+
+/// Index-ordering policy for one epoch (`torch.utils.data.Sampler`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampler {
+    /// Items in dataset order.
+    Sequential,
+    /// A seeded random permutation per epoch.
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl Sampler {
+    /// The index order for `epoch` over a dataset of `len` items.
+    #[must_use]
+    pub fn epoch_order(&self, len: u64, epoch: u64) -> Vec<u64> {
+        let mut order: Vec<u64> = (0..len).collect();
+        if let Sampler::Random { seed } = self {
+            let mut rng = StdRng::seed_from_u64(mix_seed(*seed, epoch));
+            order.shuffle(&mut rng);
+        }
+        order
+    }
+}
+
+/// Chunks a sampler's order into batches (`torch.utils.data.BatchSampler`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSampler {
+    /// Per-batch item count.
+    pub batch_size: usize,
+    /// Whether to drop a trailing partial batch.
+    pub drop_last: bool,
+}
+
+impl BatchSampler {
+    /// Splits `order` into batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    #[must_use]
+    pub fn batches(&self, order: &[u64]) -> Vec<Vec<u64>> {
+        assert!(self.batch_size > 0, "batch size must be positive");
+        let mut out: Vec<Vec<u64>> =
+            order.chunks(self.batch_size).map(<[u64]>::to_vec).collect();
+        if self.drop_last && out.last().is_some_and(|b| b.len() < self.batch_size) {
+            out.pop();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_order_is_identity() {
+        assert_eq!(Sampler::Sequential.epoch_order(5, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_order_is_a_seeded_permutation() {
+        let a = Sampler::Random { seed: 1 }.epoch_order(100, 0);
+        let b = Sampler::Random { seed: 1 }.epoch_order(100, 0);
+        let c = Sampler::Random { seed: 1 }.epoch_order(100, 1);
+        assert_eq!(a, b, "same seed+epoch must repeat");
+        assert_ne!(a, c, "different epochs must reshuffle");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sampler_chunks_and_optionally_drops() {
+        let order: Vec<u64> = (0..10).collect();
+        let keep = BatchSampler { batch_size: 4, drop_last: false }.batches(&order);
+        assert_eq!(keep.len(), 3);
+        assert_eq!(keep[2], vec![8, 9]);
+        let drop = BatchSampler { batch_size: 4, drop_last: true }.batches(&order);
+        assert_eq!(drop.len(), 2);
+    }
+
+    #[test]
+    fn exact_multiple_keeps_all_batches_under_drop_last() {
+        let order: Vec<u64> = (0..8).collect();
+        let drop = BatchSampler { batch_size: 4, drop_last: true }.batches(&order);
+        assert_eq!(drop.len(), 2);
+    }
+}

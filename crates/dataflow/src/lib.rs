@@ -1,0 +1,33 @@
+//! # lotus-dataflow — PyTorch DataLoader data-flow model
+//!
+//! A faithful re-implementation of `torch.utils.data.DataLoader`'s
+//! asynchronous multi-process protocol (§II-B of the Lotus paper) on the
+//! deterministic simulator:
+//!
+//! * the **main process** pre-fills per-worker *index queues* with
+//!   `prefetch_factor` batches, then consumes batches **in order** from the
+//!   single shared *data queue*, pinning and caching out-of-order arrivals;
+//! * **DataLoader workers** loop over their index queue, fetch (load +
+//!   transform + collate) each batch, and push it back through the data
+//!   queue;
+//! * a **GPU group** executes one synchronous training step per consumed
+//!   batch.
+//!
+//! Instrumentation hooks ([`Tracer`]) expose exactly the events LotusTrace
+//! records (\[T1\]/\[T2\]/\[T3\]) and charge per-profiler overhead.
+//!
+//! See [`TrainingJob`] for the entry point.
+
+#![warn(missing_docs)]
+
+mod config;
+mod dataset;
+mod loader;
+mod pipeline;
+mod tracer;
+
+pub use config::{DataLoaderConfig, GpuConfig};
+pub use dataset::{BatchSampler, Dataset, Sampler};
+pub use loader::{worker_os_pid, JobReport, TrainingJob, MAIN_OS_PID};
+pub use pipeline::{Pipeline, Source};
+pub use tracer::{NullTracer, Tracer};

@@ -1,0 +1,425 @@
+//! The training-job engine: main process, DataLoader workers, index/data
+//! queues and the GPU step — PyTorch's asynchronous data flow (§II-B of
+//! the paper) on the simulator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lotus_data::mix_seed;
+use lotus_sim::{Ctx, Queue, SimError, Simulation, Span, Time};
+use lotus_transforms::{Collate, TransformCtx, TransformObserver};
+use lotus_uarch::{CostCoeffs, CpuThread, HwProfiler, KernelId, Machine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{DataLoaderConfig, GpuConfig};
+use crate::dataset::{BatchSampler, Dataset};
+use crate::tracer::Tracer;
+
+/// Simulated OS pid of the main process (the paper logs real pids via
+/// `psutil`; we use stable synthetic ones).
+pub const MAIN_OS_PID: u32 = 4242;
+
+/// Simulated OS pid of DataLoader worker `w`.
+#[must_use]
+pub fn worker_os_pid(worker: usize) -> u32 {
+    MAIN_OS_PID + 1 + worker as u32
+}
+
+/// Message on a per-worker index queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WorkerMsg {
+    /// Preprocess these dataset indices as batch `id`.
+    Batch { id: u64, indices: Vec<u64> },
+    /// Exit the worker loop (PyTorch's `None` sentinel).
+    Shutdown,
+}
+
+/// A preprocessed batch travelling through the shared data queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Envelope {
+    batch_id: u64,
+    bytes: u64,
+    len: usize,
+    /// Virtual time at which preprocessing (the fetch) finished.
+    produced_at: Time,
+    worker: usize,
+    pinned: bool,
+}
+
+/// Framework-side native kernels (queue serialization, pinning, CUDA
+/// dispatch). These populate the hardware profile with the "hundreds of
+/// unrelated functions" LotusMap's mapping must filter out (§V-D).
+#[derive(Debug, Clone, Copy)]
+struct FrameworkKernels {
+    pickle_dumps: KernelId,
+    pickle_loads: KernelId,
+    pin_memory: KernelId,
+    cuda_launch: KernelId,
+}
+
+impl FrameworkKernels {
+    fn register(machine: &Machine) -> FrameworkKernels {
+        let pickle = CostCoeffs {
+            base_insts: 2_000.0,
+            insts_per_unit: 0.35, // per byte serialized
+            uops_per_inst: 1.1,
+            ipc_base: 2.0,
+            l1_miss_per_unit: 1.5 / 64.0,
+            l2_miss_per_unit: 1.2 / 64.0,
+            llc_miss_per_unit: 1.0 / 64.0,
+            branches_per_unit: 0.06,
+            mispredict_rate: 0.01,
+            frontend_sensitivity: 0.3,
+        };
+        FrameworkKernels {
+            pickle_dumps: machine.kernel(
+                "_pickle_Pickler_dump",
+                "_pickle.cpython-310-x86_64-linux-gnu.so",
+                pickle,
+            ),
+            pickle_loads: machine.kernel(
+                "_pickle_Unpickler_load",
+                "_pickle.cpython-310-x86_64-linux-gnu.so",
+                pickle,
+            ),
+            // Pinning copies the batch into page-locked memory with a
+            // wide, prefetch-friendly copy (~10 GB/s effective).
+            pin_memory: machine.kernel(
+                "pin_memory_copy",
+                "libtorch_cuda.so",
+                CostCoeffs {
+                    base_insts: 1_500.0,
+                    insts_per_unit: 0.1,
+                    uops_per_inst: 1.0,
+                    ipc_base: 3.0,
+                    l1_miss_per_unit: 0.004,
+                    l2_miss_per_unit: 0.0037,
+                    llc_miss_per_unit: 0.0035,
+                    branches_per_unit: 0.01,
+                    mispredict_rate: 0.002,
+                    frontend_sensitivity: 0.05,
+                },
+            ),
+            cuda_launch: machine.kernel(
+                "cudaLaunchKernel",
+                "libcudart.so.11.8",
+                CostCoeffs { base_insts: 8_000.0, insts_per_unit: 0.0, ..CostCoeffs::compute_default() },
+            ),
+        }
+    }
+}
+
+/// Runs `cpu` work starting at the current instant and advances the
+/// simulated clock by however long it took.
+fn charge(ctx: &Ctx, cpu: &mut CpuThread, kernel: KernelId, work: f64) {
+    let start = ctx.now();
+    cpu.set_cursor(start);
+    cpu.exec(kernel, work);
+    ctx.delay(cpu.cursor().since(start));
+}
+
+/// A complete single-epoch training job: dataset, DataLoader, GPU group,
+/// instrumentation.
+///
+/// `run()` builds the simulation (one main process + `num_workers`
+/// DataLoader workers, per-worker index queues, one shared data queue),
+/// executes the epoch and reports end-to-end elapsed virtual time.
+pub struct TrainingJob {
+    /// The machine everything executes on.
+    pub machine: Arc<Machine>,
+    /// The dataset (loader + transform chain inside `get_item`).
+    pub dataset: Arc<dyn Dataset>,
+    /// DataLoader knobs.
+    pub loader: DataLoaderConfig,
+    /// Accelerator model.
+    pub gpu: GpuConfig,
+    /// Instrumentation (LotusTrace, a baseline profiler model, or
+    /// [`crate::NullTracer`]).
+    pub tracer: Arc<dyn Tracer>,
+    /// Optional hardware profiling session attached to every process's
+    /// CPU thread (the VTune/uProf run of §V-D).
+    pub hw_profiler: Option<Arc<HwProfiler>>,
+    /// Run seed (sampler shuffling, transform randomness).
+    pub seed: u64,
+    /// Number of epochs to run (workers persist across epochs, as with
+    /// PyTorch's `persistent_workers=True`; the sampler reshuffles per
+    /// epoch and batch ids keep counting). Zero is treated as one.
+    pub epochs: usize,
+}
+
+/// Result of a completed training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobReport {
+    /// End-to-end elapsed virtual time of the epoch.
+    pub elapsed: Span,
+    /// Batches consumed.
+    pub batches: u64,
+    /// Samples consumed.
+    pub samples: u64,
+}
+
+struct OpBridge<'a> {
+    tracer: &'a dyn Tracer,
+    pid: u32,
+    batch_id: u64,
+    overhead: Span,
+}
+
+impl TransformObserver for OpBridge<'_> {
+    fn on_transform(&mut self, name: &str, start: Time, elapsed: Span) {
+        self.overhead += self.tracer.on_op(self.pid, self.batch_id, name, start, elapsed);
+    }
+}
+
+impl TrainingJob {
+    /// Runs one epoch to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SimError`] if the simulated system
+    /// deadlocks or a process panics, and a [`SimError::ProcessPanic`]
+    /// carrying the validation message if the configuration is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DataLoader configuration is invalid (see
+    /// [`DataLoaderConfig::validate`]).
+    pub fn run(self) -> Result<JobReport, SimError> {
+        self.loader.validate().unwrap_or_else(|e| panic!("invalid DataLoader config: {e}"));
+        let TrainingJob { machine, dataset, loader, gpu, tracer, hw_profiler, seed, epochs } =
+            self;
+        let fw = FrameworkKernels::register(&machine);
+
+        let epochs = epochs.max(1) as u64;
+        let batch_sampler =
+            BatchSampler { batch_size: loader.batch_size, drop_last: loader.drop_last };
+        let mut batches = Vec::new();
+        for epoch in 0..epochs {
+            let order = loader.sampler.epoch_order(dataset.len(), epoch);
+            batches.extend(batch_sampler.batches(&order));
+        }
+        let num_batches = batches.len() as u64;
+        let total_samples: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        if num_batches == 0 {
+            return Ok(JobReport { elapsed: Span::ZERO, batches: 0, samples: 0 });
+        }
+
+        let mut sim = Simulation::new();
+        let data_q: Queue<Envelope> = sim.queue("data_queue", None);
+        let index_qs: Vec<Queue<WorkerMsg>> = (0..loader.num_workers)
+            .map(|w| sim.queue(format!("index_queue_{w}"), None))
+            .collect();
+
+        for (w, worker_index_q) in index_qs.iter().enumerate() {
+            let machine = Arc::clone(&machine);
+            let dataset = Arc::clone(&dataset);
+            let tracer = Arc::clone(&tracer);
+            let hw_profiler = hw_profiler.clone();
+            let index_q = worker_index_q.clone();
+            let data_q = data_q.clone();
+            sim.spawn(format!("dataloader{w}"), move |ctx| {
+                worker_loop(
+                    &ctx, w, &machine, &*dataset, &*tracer, hw_profiler, &index_q, &data_q, fw,
+                    seed,
+                );
+            });
+        }
+
+        {
+            let machine = Arc::clone(&machine);
+            let tracer = Arc::clone(&tracer);
+            let hw_profiler = hw_profiler.clone();
+            let index_qs = index_qs.clone();
+            let data_q = data_q.clone();
+            sim.spawn("main", move |ctx| {
+                main_loop(
+                    &ctx, &machine, &*tracer, hw_profiler, &index_qs, &data_q, fw, &loader, &gpu,
+                    batches,
+                );
+            });
+        }
+
+        let report = sim.run()?;
+        Ok(JobReport {
+            elapsed: report.end_time.since(Time::ZERO),
+            batches: num_batches,
+            samples: total_samples,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    ctx: &Ctx,
+    worker: usize,
+    machine: &Arc<Machine>,
+    dataset: &dyn Dataset,
+    tracer: &dyn Tracer,
+    hw_profiler: Option<Arc<HwProfiler>>,
+    index_q: &Queue<WorkerMsg>,
+    data_q: &Queue<Envelope>,
+    fw: FrameworkKernels,
+    seed: u64,
+) {
+    let mut cpu = CpuThread::new(Arc::clone(machine));
+    if let Some(p) = hw_profiler {
+        cpu.attach_profiler(p);
+    }
+    let mut rng = StdRng::seed_from_u64(mix_seed(seed, 1_000 + worker as u64));
+    let collate = Collate::new(machine);
+    let os_pid = worker_os_pid(worker);
+    let dilation = tracer.compute_dilation();
+    assert!(dilation >= 1.0, "compute dilation cannot speed the program up");
+
+    loop {
+        let msg = index_q.pop(ctx);
+        let WorkerMsg::Batch { id, indices } = msg else { break };
+        let start = ctx.now();
+        cpu.set_cursor(start);
+        machine.thread_started_compute();
+
+        let mut bridge = OpBridge { tracer, pid: os_pid, batch_id: id, overhead: Span::ZERO };
+        let mut samples = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            let mut tctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+            samples.push(dataset.get_item(i, &mut tctx, &mut bridge));
+        }
+        let batch_len = samples.len();
+        let collate_start = cpu.cursor();
+        let batch = {
+            let mut tctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+            collate.apply(samples, &mut tctx)
+        };
+        bridge.on_transform(
+            &Collate::display_name(batch_len),
+            collate_start,
+            cpu.cursor().since(collate_start),
+        );
+
+        let raw = cpu.cursor().since(start);
+        let fetch_span = raw.mul_f64(dilation) + bridge.overhead;
+        let trace_overhead = tracer.on_batch_preprocessed(os_pid, id, start, fetch_span);
+        ctx.delay(fetch_span + trace_overhead);
+        machine.thread_stopped_compute();
+
+        // Serialize the batch into the shared-memory queue.
+        charge(ctx, &mut cpu, fw.pickle_dumps, batch.bytes as f64);
+        data_q.push(
+            ctx,
+            Envelope {
+                batch_id: id,
+                bytes: batch.bytes,
+                len: batch.len,
+                produced_at: start + fetch_span,
+                worker,
+                pinned: false,
+            },
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn main_loop(
+    ctx: &Ctx,
+    machine: &Arc<Machine>,
+    tracer: &dyn Tracer,
+    hw_profiler: Option<Arc<HwProfiler>>,
+    index_qs: &[Queue<WorkerMsg>],
+    data_q: &Queue<Envelope>,
+    fw: FrameworkKernels,
+    loader: &DataLoaderConfig,
+    gpu: &GpuConfig,
+    batches: Vec<Vec<u64>>,
+) {
+    let mut cpu = CpuThread::new(Arc::clone(machine));
+    if let Some(p) = hw_profiler {
+        cpu.attach_profiler(p);
+    }
+    let num_batches = batches.len() as u64;
+    let mut batch_iter = batches.into_iter().enumerate();
+    // PyTorch assigns index batches to workers in a strict round-robin
+    // cycle (`_worker_queue_idx_cycle`), regardless of which worker just
+    // returned data. A momentarily slow worker therefore falls behind
+    // while its siblings run ahead — the root cause of the out-of-order
+    // arrivals in §V-C of the paper.
+    let mut cycle = 0usize;
+    let workers = index_qs.len();
+    let mut send_next = |ctx: &Ctx| {
+        if let Some((id, indices)) = batch_iter.next() {
+            index_qs[cycle].push(ctx, WorkerMsg::Batch { id: id as u64, indices });
+            cycle = (cycle + 1) % workers;
+        }
+    };
+
+    // Initial prefetch: `prefetch_factor` index batches per worker.
+    for _ in 0..loader.prefetch_factor * workers {
+        send_next(ctx);
+    }
+
+    let mut cache: HashMap<u64, Envelope> = HashMap::new();
+    for rcvd in 0..num_batches {
+        let wait_start = ctx.now();
+        let env = if let Some(env) = cache.remove(&rcvd) {
+            // Already pinned and cached: the paper marks these waits with
+            // a 1 µs duration to denote "no waiting".
+            let oh = tracer.on_batch_wait(MAIN_OS_PID, rcvd, wait_start, Span::from_micros(1), true);
+            if !oh.is_zero() {
+                ctx.delay(oh);
+            }
+            env
+        } else {
+            loop {
+                let mut env = data_q.pop(ctx);
+                // Deserialize from the queue: tensor storage travels via
+                // shared memory, so the main process unpickles metadata
+                // only (PyTorch's zero-copy tensor sharing).
+                charge(ctx, &mut cpu, fw.pickle_loads, (env.bytes.min(65_536)) as f64);
+                // PyTorch sends the next index batch (to the next worker
+                // in the cycle) on every successful get.
+                send_next(ctx);
+                if env.batch_id == rcvd {
+                    let oh = tracer.on_batch_wait(
+                        MAIN_OS_PID,
+                        rcvd,
+                        wait_start,
+                        ctx.now().since(wait_start),
+                        false,
+                    );
+                    if !oh.is_zero() {
+                        ctx.delay(oh);
+                    }
+                    break env;
+                }
+                // Out-of-order arrival: pin to CPU memory and stash.
+                if loader.pin_memory {
+                    charge(ctx, &mut cpu, fw.pin_memory, env.bytes as f64);
+                }
+                env.pinned = true;
+                cache.insert(env.batch_id, env);
+            }
+        };
+
+        let consume_start = ctx.now();
+        if loader.pin_memory && !env.pinned {
+            charge(ctx, &mut cpu, fw.pin_memory, env.bytes as f64);
+        }
+        ctx.delay(gpu.h2d_span(env.bytes));
+        charge(ctx, &mut cpu, fw.cuda_launch, 0.0);
+        ctx.delay(gpu.step_span(env.len));
+        let oh = tracer.on_batch_consumed(
+            MAIN_OS_PID,
+            rcvd,
+            consume_start,
+            ctx.now().since(consume_start),
+            env.len,
+        );
+        if !oh.is_zero() {
+            ctx.delay(oh);
+        }
+    }
+
+    for q in index_qs {
+        q.push(ctx, WorkerMsg::Shutdown);
+    }
+}

@@ -1,0 +1,86 @@
+//! Instrumentation hooks into the data flow.
+//!
+//! The dataflow engine emits ground-truth events (per-op timings, batch
+//! fetches, waits, consumptions) to a [`Tracer`]. LotusTrace records them
+//! into its log; baseline profiler models subsample or ignore them and
+//! charge their own interference. Each hook returns the virtual-time
+//! overhead the instrumentation itself costs at that point, which the
+//! engine adds to the emitting process's timeline — this is how
+//! per-profiler wall-time overhead (the paper's Table III) arises.
+
+use lotus_sim::{Span, Time};
+
+/// Observer of data-flow events. All methods default to "not captured, no
+/// overhead".
+pub trait Tracer: Send + Sync {
+    /// One preprocessing operation finished on a worker (\[T3\]).
+    /// `batch_id` is the batch the item belongs to.
+    fn on_op(&self, pid: u32, batch_id: u64, name: &str, start: Time, dur: Span) -> Span {
+        let _ = (pid, batch_id, name, start, dur);
+        Span::ZERO
+    }
+
+    /// A worker finished fetching (preprocessing) a whole batch (\[T1\]).
+    fn on_batch_preprocessed(&self, pid: u32, batch_id: u64, start: Time, dur: Span) -> Span {
+        let _ = (pid, batch_id, start, dur);
+        Span::ZERO
+    }
+
+    /// The main process finished waiting for a batch (\[T2\]).
+    /// `out_of_order` is true when the batch was served from the pinned
+    /// cache (the paper marks these with a 1 µs duration).
+    fn on_batch_wait(
+        &self,
+        pid: u32,
+        batch_id: u64,
+        start: Time,
+        dur: Span,
+        out_of_order: bool,
+    ) -> Span {
+        let _ = (pid, batch_id, start, dur, out_of_order);
+        Span::ZERO
+    }
+
+    /// The main process consumed a batch of `batch_len` samples (H2D
+    /// transfer + GPU step).
+    fn on_batch_consumed(
+        &self,
+        pid: u32,
+        batch_id: u64,
+        start: Time,
+        dur: Span,
+        batch_len: usize,
+    ) -> Span {
+        let _ = (pid, batch_id, start, dur, batch_len);
+        Span::ZERO
+    }
+
+    /// Multiplicative slowdown this instrumentation imposes on all
+    /// preprocessing compute (in-process sampling/allocation interception
+    /// interference; 1.0 = none).
+    fn compute_dilation(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A tracer that captures nothing and costs nothing (the "no profiler"
+/// baseline of Table III).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_free() {
+        let t = NullTracer;
+        assert_eq!(t.on_op(1, 0, "X", Time::ZERO, Span::from_micros(5)), Span::ZERO);
+        assert_eq!(t.on_batch_preprocessed(1, 0, Time::ZERO, Span::ZERO), Span::ZERO);
+        assert_eq!(t.on_batch_wait(1, 0, Time::ZERO, Span::ZERO, false), Span::ZERO);
+        assert_eq!(t.on_batch_consumed(1, 0, Time::ZERO, Span::ZERO, 8), Span::ZERO);
+        assert_eq!(t.compute_dilation(), 1.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Integration tests for the DataLoader protocol: event completeness,
+//! ordering invariants, out-of-order handling and bottleneck behaviour.
+
+use std::sync::{Arc, Mutex};
+
+use lotus_data::DType;
+use lotus_dataflow::{
+    DataLoaderConfig, Dataset, GpuConfig, NullTracer, Sampler, Tracer, TrainingJob, MAIN_OS_PID,
+};
+use lotus_sim::{Span, Time};
+use lotus_transforms::{Sample, TransformCtx, TransformObserver};
+use lotus_uarch::{CostCoeffs, KernelId, Machine, MachineConfig};
+
+/// A dataset whose items cost a fixed amount of decode work.
+struct StubDataset {
+    len: u64,
+    work_per_item: f64,
+    kernel: KernelId,
+}
+
+impl StubDataset {
+    fn new(machine: &Machine, len: u64, work_per_item: f64) -> StubDataset {
+        StubDataset {
+            len,
+            work_per_item,
+            kernel: machine.kernel("stub_decode", "libstub.so", CostCoeffs::compute_default()),
+        }
+    }
+}
+
+impl Dataset for StubDataset {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn get_item(
+        &self,
+        index: u64,
+        ctx: &mut TransformCtx<'_>,
+        observer: &mut dyn TransformObserver,
+    ) -> Sample {
+        let start = ctx.cpu.cursor();
+        // Vary per-item work so batches finish at staggered times (the
+        // source of out-of-order arrivals, like variable image sizes).
+        let work = self.work_per_item * (1.0 + (index % 5) as f64 / 2.0);
+        ctx.cpu.exec(self.kernel, work);
+        observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
+        Sample::tensor_meta(&[3, 16, 16], DType::F32)
+    }
+}
+
+/// One observed op event: (pid, batch, name, start ns, duration ns).
+type OpEvent = (u32, u64, String, u64, u64);
+
+/// Records every tracer event for assertions.
+#[derive(Default)]
+struct Recorder {
+    ops: Mutex<Vec<OpEvent>>,
+    preprocessed: Mutex<Vec<(u32, u64, u64, u64)>>,
+    waits: Mutex<Vec<(u64, u64, u64, bool)>>,
+    consumed: Mutex<Vec<(u64, u64, u64)>>,
+}
+
+impl Tracer for Recorder {
+    fn on_op(&self, pid: u32, batch_id: u64, name: &str, start: Time, dur: Span) -> Span {
+        self.ops.lock().unwrap().push((
+            pid,
+            batch_id,
+            name.to_string(),
+            start.as_nanos(),
+            dur.as_nanos(),
+        ));
+        Span::ZERO
+    }
+
+    fn on_batch_preprocessed(&self, pid: u32, batch_id: u64, start: Time, dur: Span) -> Span {
+        self.preprocessed.lock().unwrap().push((pid, batch_id, start.as_nanos(), dur.as_nanos()));
+        Span::ZERO
+    }
+
+    fn on_batch_wait(&self, pid: u32, batch_id: u64, start: Time, dur: Span, ooo: bool) -> Span {
+        assert_eq!(pid, MAIN_OS_PID, "waits happen on the main process");
+        self.waits.lock().unwrap().push((batch_id, start.as_nanos(), dur.as_nanos(), ooo));
+        Span::ZERO
+    }
+
+    fn on_batch_consumed(
+        &self,
+        pid: u32,
+        batch_id: u64,
+        start: Time,
+        dur: Span,
+        _batch_len: usize,
+    ) -> Span {
+        assert_eq!(pid, MAIN_OS_PID);
+        self.consumed.lock().unwrap().push((batch_id, start.as_nanos(), dur.as_nanos()));
+        Span::ZERO
+    }
+}
+
+fn job(
+    machine: &Arc<Machine>,
+    dataset_len: u64,
+    work: f64,
+    workers: usize,
+    batch: usize,
+    tracer: Arc<dyn Tracer>,
+    step: Span,
+) -> TrainingJob {
+    TrainingJob {
+        machine: Arc::clone(machine),
+        dataset: Arc::new(StubDataset::new(machine, dataset_len, work)),
+        loader: DataLoaderConfig {
+            batch_size: batch,
+            num_workers: workers,
+            prefetch_factor: 2,
+            pin_memory: true,
+            sampler: Sampler::Sequential,
+            drop_last: true,
+        },
+        gpu: GpuConfig {
+            step_overhead: Span::from_micros(20),
+            ..GpuConfig::v100(1, step)
+        },
+        tracer,
+        hw_profiler: None,
+        seed: 7,
+        epochs: 1,
+    }
+}
+
+#[test]
+fn epoch_consumes_every_batch_exactly_once() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let rec = Arc::new(Recorder::default());
+    let report = job(&machine, 64, 50_000.0, 2, 8, Arc::clone(&rec) as _, Span::from_micros(200))
+        .run()
+        .unwrap();
+    assert_eq!(report.batches, 8);
+    assert_eq!(report.samples, 64);
+
+    let consumed = rec.consumed.lock().unwrap();
+    let ids: Vec<u64> = consumed.iter().map(|(id, _, _)| *id).collect();
+    assert_eq!(ids, (0..8).collect::<Vec<_>>(), "batches must be consumed in order");
+    let waits = rec.waits.lock().unwrap();
+    assert_eq!(waits.len(), 8);
+    let preprocessed = rec.preprocessed.lock().unwrap();
+    assert_eq!(preprocessed.len(), 8);
+}
+
+#[test]
+fn per_op_records_cover_every_item_plus_collation() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let rec = Arc::new(Recorder::default());
+    job(&machine, 24, 10_000.0, 1, 4, Arc::clone(&rec) as _, Span::from_micros(100))
+        .run()
+        .unwrap();
+    let ops = rec.ops.lock().unwrap();
+    let loaders = ops.iter().filter(|(_, _, n, _, _)| n == "Loader").count();
+    let collates = ops.iter().filter(|(_, _, n, _, _)| n == "C(4)").count();
+    assert_eq!(loaders, 24, "one Loader record per item");
+    assert_eq!(collates, 6, "one collation record per batch");
+}
+
+#[test]
+fn multiple_workers_produce_out_of_order_arrivals() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let rec = Arc::new(Recorder::default());
+    // Fast GPU + slow preprocessing: the main process drains arrivals as
+    // they come, and with 4 workers some arrive out of order.
+    job(&machine, 256, 400_000.0, 4, 8, Arc::clone(&rec) as _, Span::from_micros(10))
+        .run()
+        .unwrap();
+    let waits = rec.waits.lock().unwrap();
+    let ooo = waits.iter().filter(|(_, _, _, ooo)| *ooo).count();
+    assert!(ooo > 0, "expected at least one out-of-order batch with 4 workers");
+    // Out-of-order waits carry the paper's 1 µs marker.
+    for (_, _, dur, is_ooo) in waits.iter() {
+        if *is_ooo {
+            assert_eq!(*dur, 1_000);
+        }
+    }
+}
+
+#[test]
+fn single_worker_never_reorders() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let rec = Arc::new(Recorder::default());
+    job(&machine, 64, 100_000.0, 1, 8, Arc::clone(&rec) as _, Span::from_micros(50))
+        .run()
+        .unwrap();
+    let waits = rec.waits.lock().unwrap();
+    assert!(waits.iter().all(|(_, _, _, ooo)| !ooo));
+}
+
+#[test]
+fn preprocessing_bottleneck_means_long_waits_short_delays() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let rec = Arc::new(Recorder::default());
+    // Heavy preprocessing, nearly-free GPU.
+    job(&machine, 64, 2_000_000.0, 1, 8, Arc::clone(&rec) as _, Span::from_micros(1))
+        .run()
+        .unwrap();
+    let waits = rec.waits.lock().unwrap();
+    let mean_wait: f64 =
+        waits.iter().map(|(_, _, d, _)| *d as f64).sum::<f64>() / waits.len() as f64;
+    // Delay = consumed.start − preprocessed.end, per batch.
+    let preprocessed = rec.preprocessed.lock().unwrap();
+    let consumed = rec.consumed.lock().unwrap();
+    let mean_delay: f64 = consumed
+        .iter()
+        .map(|(id, start, _)| {
+            let (_, _, p_start, p_dur) =
+                preprocessed.iter().find(|(_, pid, _, _)| pid == id).unwrap();
+            (*start - (p_start + p_dur)) as f64
+        })
+        .sum::<f64>()
+        / consumed.len() as f64;
+    assert!(
+        mean_wait > 10.0 * mean_delay,
+        "preprocessing-bound: waits ({mean_wait} ns) should dwarf delays ({mean_delay} ns)"
+    );
+}
+
+#[test]
+fn gpu_bottleneck_means_long_delays_short_waits() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let rec = Arc::new(Recorder::default());
+    // Light preprocessing, slow GPU (100 ms steps), several workers.
+    job(&machine, 64, 20_000.0, 4, 2, Arc::clone(&rec) as _, Span::from_millis(50))
+        .run()
+        .unwrap();
+    let preprocessed = rec.preprocessed.lock().unwrap();
+    let consumed = rec.consumed.lock().unwrap();
+    let delays: Vec<f64> = consumed
+        .iter()
+        .map(|(id, start, _)| {
+            let (_, _, p_start, p_dur) =
+                preprocessed.iter().find(|(_, pid, _, _)| pid == id).unwrap();
+            (*start - (p_start + p_dur)) as f64
+        })
+        .collect();
+    let mean_delay = delays.iter().sum::<f64>() / delays.len() as f64;
+    assert!(
+        mean_delay > 50e6,
+        "GPU-bound: batches should sit preprocessed for ≥ one step ({mean_delay} ns)"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        job(&machine, 128, 75_000.0, 3, 16, Arc::new(NullTracer) as _, Span::from_millis(1))
+            .run()
+            .unwrap()
+            .elapsed
+            .as_nanos()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn more_workers_shorten_a_preprocessing_bound_epoch() {
+    let elapsed = |workers: usize| {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        job(
+            &machine,
+            256,
+            1_000_000.0,
+            workers,
+            8,
+            Arc::new(NullTracer) as _,
+            Span::from_micros(10),
+        )
+        .run()
+        .unwrap()
+        .elapsed
+        .as_nanos()
+    };
+    let one = elapsed(1);
+    let four = elapsed(4);
+    assert!(
+        (four as f64) < 0.5 * one as f64,
+        "4 workers ({four} ns) should be much faster than 1 ({one} ns)"
+    );
+}
+
+#[test]
+fn tracer_overhead_lengthens_the_run() {
+    struct CostlyTracer;
+    impl Tracer for CostlyTracer {
+        fn on_op(&self, _: u32, _: u64, _: &str, _: Time, _: Span) -> Span {
+            Span::from_micros(200)
+        }
+    }
+    let run = |tracer: Arc<dyn Tracer>| {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        job(&machine, 64, 50_000.0, 1, 8, tracer, Span::from_micros(10))
+            .run()
+            .unwrap()
+            .elapsed
+            .as_nanos()
+    };
+    let base = run(Arc::new(NullTracer));
+    let traced = run(Arc::new(CostlyTracer));
+    assert!(traced > base, "per-op overhead must show up in wall time");
+}
+
+#[test]
+fn compute_dilation_slows_preprocessing() {
+    struct Dilating;
+    impl Tracer for Dilating {
+        fn compute_dilation(&self) -> f64 {
+            2.0
+        }
+    }
+    let run = |tracer: Arc<dyn Tracer>| {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        job(&machine, 64, 500_000.0, 1, 8, tracer, Span::from_micros(10))
+            .run()
+            .unwrap()
+            .elapsed
+            .as_nanos()
+    };
+    let base = run(Arc::new(NullTracer));
+    let dilated = run(Arc::new(Dilating));
+    let ratio = dilated as f64 / base as f64;
+    assert!(ratio > 1.5, "2x dilation on a preprocessing-bound job: ratio {ratio}");
+}
+
+#[test]
+fn partial_batches_respect_drop_last() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let mut j = job(&machine, 10, 10_000.0, 1, 4, Arc::new(NullTracer) as _, Span::from_micros(10));
+    j.loader.drop_last = false;
+    let report = j.run().unwrap();
+    assert_eq!(report.batches, 3);
+    assert_eq!(report.samples, 10);
+}
+
+#[test]
+fn multiple_epochs_reshuffle_and_keep_batch_ids_counting() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let rec = Arc::new(Recorder::default());
+    let mut j = job(&machine, 32, 40_000.0, 2, 8, Arc::clone(&rec) as _, Span::from_micros(100));
+    j.epochs = 3;
+    j.loader.sampler = Sampler::Random { seed: 5 };
+    let report = j.run().unwrap();
+    // 4 batches per epoch × 3 epochs.
+    assert_eq!(report.batches, 12);
+    assert_eq!(report.samples, 96);
+    let consumed = rec.consumed.lock().unwrap();
+    let ids: Vec<u64> = consumed.iter().map(|(id, _, _)| *id).collect();
+    assert_eq!(ids, (0..12).collect::<Vec<_>>(), "batch ids count across epochs");
+}

@@ -1,0 +1,130 @@
+//! The functionality matrix of Table IV: which preprocessing metrics each
+//! profiler's output can deliver.
+
+use lotus_core::trace::{SpanKind, TraceRecord};
+
+/// The five capabilities the paper compares (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities {
+    /// Overall and per-operation elapsed times for the epoch.
+    pub epoch: bool,
+    /// Per-batch elapsed time.
+    pub batch: bool,
+    /// Asynchronous main-process ↔ worker interaction (data-flow
+    /// visualization).
+    pub async_flow: bool,
+    /// Main-process batch wait time.
+    pub wait: bool,
+    /// Batch consumption delay time.
+    pub delay: bool,
+}
+
+impl Capabilities {
+    /// Renders a Table IV row (`✓` / `✗` per column).
+    #[must_use]
+    pub fn row(&self) -> String {
+        let mark = |b: bool| if b { "yes" } else { "no " };
+        format!(
+            "{}   {}   {}   {}   {}",
+            mark(self.epoch),
+            mark(self.batch),
+            mark(self.async_flow),
+            mark(self.wait),
+            mark(self.delay)
+        )
+    }
+
+    /// Number of supported capabilities.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        [self.epoch, self.batch, self.async_flow, self.wait, self.delay]
+            .into_iter()
+            .filter(|&b| b)
+            .count()
+    }
+}
+
+/// Derives LotusTrace's capabilities *from its actual output*: each
+/// capability is granted only if the records contain the data needed to
+/// compute the metric.
+#[must_use]
+pub fn lotus_capabilities(records: &[TraceRecord]) -> Capabilities {
+    let has_ops = records.iter().any(|r| matches!(r.kind, SpanKind::Op(_)));
+    let has_batches = records.iter().any(|r| r.kind == SpanKind::BatchPreprocessed);
+    let has_waits = records.iter().any(|r| r.kind == SpanKind::BatchWait);
+    let has_consumed = records.iter().any(|r| r.kind == SpanKind::BatchConsumed);
+    // Async flow visualization needs spans on both the main process and
+    // worker processes.
+    let worker_pids: std::collections::HashSet<u32> = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::BatchPreprocessed)
+        .map(|r| r.pid)
+        .collect();
+    let main_pids: std::collections::HashSet<u32> =
+        records.iter().filter(|r| r.kind == SpanKind::BatchWait).map(|r| r.pid).collect();
+    let cross_process = !worker_pids.is_empty()
+        && !main_pids.is_empty()
+        && worker_pids.is_disjoint(&main_pids);
+    Capabilities {
+        epoch: has_ops,
+        batch: has_batches,
+        async_flow: cross_process,
+        wait: has_waits,
+        delay: has_batches && has_consumed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_sim::{Span, Time};
+
+    fn rec(kind: SpanKind, pid: u32) -> TraceRecord {
+        TraceRecord {
+            kind,
+            pid,
+            batch_id: 0,
+            start: Time::ZERO,
+            duration: Span::from_micros(10),
+            out_of_order: false,
+        }
+    }
+
+    #[test]
+    fn full_log_grants_everything() {
+        let records = vec![
+            rec(SpanKind::Op("Loader".into()), 2),
+            rec(SpanKind::BatchPreprocessed, 2),
+            rec(SpanKind::BatchWait, 1),
+            rec(SpanKind::BatchConsumed, 1),
+        ];
+        let caps = lotus_capabilities(&records);
+        assert_eq!(caps.count(), 5);
+    }
+
+    #[test]
+    fn batch_only_log_loses_epoch_ops() {
+        let records = vec![
+            rec(SpanKind::BatchPreprocessed, 2),
+            rec(SpanKind::BatchWait, 1),
+            rec(SpanKind::BatchConsumed, 1),
+        ];
+        let caps = lotus_capabilities(&records);
+        assert!(!caps.epoch);
+        assert!(caps.batch && caps.wait && caps.delay);
+    }
+
+    #[test]
+    fn single_process_log_cannot_show_async_flow() {
+        let records = vec![rec(SpanKind::BatchPreprocessed, 1), rec(SpanKind::BatchWait, 1)];
+        assert!(!lotus_capabilities(&records).async_flow);
+    }
+
+    #[test]
+    fn row_renders_five_columns() {
+        let caps = Capabilities { epoch: true, ..Capabilities::default() };
+        let row = caps.row();
+        assert!(row.starts_with("yes"));
+        assert_eq!(row.matches("no ").count(), 4);
+    }
+}

@@ -1,0 +1,213 @@
+//! The profiler comparison harness behind Tables III and IV: run the same
+//! pipeline with no profiler, with LotusTrace, and with each baseline
+//! model; compare wall-time overhead, log storage and functionality.
+
+use std::sync::Arc;
+
+use lotus_core::trace::LotusTrace;
+use lotus_dataflow::{NullTracer, Tracer};
+use lotus_sim::Span;
+use lotus_uarch::{Machine, MachineConfig};
+use lotus_workloads::ExperimentConfig;
+
+use crate::capabilities::{lotus_capabilities, Capabilities};
+use crate::models::{ProfilerModel, SamplingProfiler, TorchProfiler};
+
+/// The four baseline profilers of §VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineProfiler {
+    /// Scalene (in-process CPU/GPU/memory sampler).
+    Scalene,
+    /// py-spy (external sampler).
+    PySpy,
+    /// austin (external high-rate sampler).
+    Austin,
+    /// The built-in `torch.profiler`.
+    TorchProfiler,
+}
+
+impl BaselineProfiler {
+    /// All four baselines, in the paper's Table III order.
+    pub const ALL: [BaselineProfiler; 4] = [
+        BaselineProfiler::Scalene,
+        BaselineProfiler::PySpy,
+        BaselineProfiler::Austin,
+        BaselineProfiler::TorchProfiler,
+    ];
+
+    /// Builds a fresh session of this profiler model.
+    #[must_use]
+    pub fn build(self) -> Arc<dyn ProfilerModel> {
+        match self {
+            BaselineProfiler::Scalene => Arc::new(SamplingProfiler::scalene()),
+            BaselineProfiler::PySpy => Arc::new(SamplingProfiler::py_spy()),
+            BaselineProfiler::Austin => Arc::new(SamplingProfiler::austin()),
+            BaselineProfiler::TorchProfiler => Arc::new(TorchProfiler::new()),
+        }
+    }
+}
+
+/// One comparison row (Table III + Table IV combined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Profiler name.
+    pub profiler: String,
+    /// End-to-end wall time with the profiler attached.
+    pub wall_time: Span,
+    /// Wall-time overhead vs. the unprofiled baseline, as a fraction
+    /// (0.08 = 8 %).
+    pub wall_overhead: f64,
+    /// Profile/log storage written.
+    pub log_bytes: u64,
+    /// Whether the profiler ran out of memory at this scale.
+    pub out_of_memory: bool,
+    /// Functionality (Table IV).
+    pub capabilities: Capabilities,
+}
+
+/// Runs one experiment configuration under every profiler.
+#[derive(Debug, Clone)]
+pub struct ComparisonHarness {
+    config: ExperimentConfig,
+}
+
+impl ComparisonHarness {
+    /// Creates a harness for `config` (the paper uses IC with batch 512,
+    /// 1 GPU, 1 DataLoader).
+    #[must_use]
+    pub fn new(config: ExperimentConfig) -> ComparisonHarness {
+        ComparisonHarness { config }
+    }
+
+    fn run_with(&self, tracer: Arc<dyn Tracer>) -> Span {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        let report = self
+            .config
+            .build(&machine, tracer, None)
+            .run()
+            .expect("comparison run must complete");
+        report.elapsed
+    }
+
+    /// Wall time with no profiler attached.
+    #[must_use]
+    pub fn baseline_wall(&self) -> Span {
+        self.run_with(Arc::new(NullTracer))
+    }
+
+    /// Runs with LotusTrace and derives its row (capabilities come from
+    /// the actual records).
+    #[must_use]
+    pub fn run_lotus(&self, baseline: Span) -> ComparisonRow {
+        let trace = Arc::new(LotusTrace::new());
+        let wall = self.run_with(Arc::clone(&trace) as Arc<dyn Tracer>);
+        ComparisonRow {
+            profiler: "Lotus".to_string(),
+            wall_time: wall,
+            wall_overhead: overhead(baseline, wall),
+            log_bytes: trace.log_storage_bytes(),
+            out_of_memory: false,
+            capabilities: lotus_capabilities(&trace.records()),
+        }
+    }
+
+    /// Runs with one baseline profiler model.
+    #[must_use]
+    pub fn run_baseline(&self, which: BaselineProfiler, baseline: Span) -> ComparisonRow {
+        let model = which.build();
+        let wall = self.run_with(Arc::clone(&model) as Arc<dyn Tracer>);
+        let processes = self.config.num_workers + 1;
+        let output = model.finish(wall, processes);
+        ComparisonRow {
+            profiler: output.name,
+            wall_time: wall,
+            wall_overhead: overhead(baseline, wall),
+            log_bytes: output.log_bytes,
+            out_of_memory: output.out_of_memory,
+            capabilities: output.capabilities,
+        }
+    }
+
+    /// Runs the whole comparison: Lotus plus all four baselines.
+    #[must_use]
+    pub fn run_all(&self) -> Vec<ComparisonRow> {
+        let baseline = self.baseline_wall();
+        let mut rows = vec![self.run_lotus(baseline)];
+        for which in BaselineProfiler::ALL {
+            rows.push(self.run_baseline(which, baseline));
+        }
+        rows
+    }
+}
+
+fn overhead(baseline: Span, with_profiler: Span) -> f64 {
+    let b = baseline.as_nanos() as f64;
+    if b == 0.0 {
+        return 0.0;
+    }
+    (with_profiler.as_nanos() as f64 - b) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_workloads::PipelineKind;
+
+    fn small_ic() -> ComparisonHarness {
+        let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+        config.batch_size = 512;
+        config.num_workers = 1;
+        config.num_gpus = 1;
+        ComparisonHarness::new(config.scaled_to(2_048))
+    }
+
+    #[test]
+    fn lotus_has_low_overhead_and_full_functionality() {
+        let h = small_ic();
+        let baseline = h.baseline_wall();
+        let row = h.run_lotus(baseline);
+        assert!(row.wall_overhead < 0.05, "Lotus overhead {}", row.wall_overhead);
+        assert_eq!(row.capabilities.count(), 5);
+        assert!(row.log_bytes > 0);
+    }
+
+    #[test]
+    fn scalene_nearly_doubles_a_preprocessing_bound_run() {
+        let h = small_ic();
+        let baseline = h.baseline_wall();
+        let row = h.run_baseline(BaselineProfiler::Scalene, baseline);
+        assert!(
+            (0.7..1.2).contains(&row.wall_overhead),
+            "Scalene overhead {}",
+            row.wall_overhead
+        );
+        assert_eq!(row.capabilities.count(), 0);
+    }
+
+    #[test]
+    fn austin_writes_orders_of_magnitude_more_log_than_pyspy() {
+        let h = small_ic();
+        let baseline = h.baseline_wall();
+        let austin = h.run_baseline(BaselineProfiler::Austin, baseline);
+        let pyspy = h.run_baseline(BaselineProfiler::PySpy, baseline);
+        assert!(
+            austin.log_bytes > 100 * pyspy.log_bytes,
+            "austin {} vs py-spy {}",
+            austin.log_bytes,
+            pyspy.log_bytes
+        );
+        assert!(austin.capabilities.epoch);
+        assert!(pyspy.capabilities.epoch);
+        assert!(!pyspy.capabilities.batch);
+    }
+
+    #[test]
+    fn torch_profiler_slows_the_run_and_only_sees_waits() {
+        let h = small_ic();
+        let baseline = h.baseline_wall();
+        let row = h.run_baseline(BaselineProfiler::TorchProfiler, baseline);
+        assert!(row.wall_overhead > 0.4, "torch profiler overhead {}", row.wall_overhead);
+        assert!(row.capabilities.wait);
+        assert_eq!(row.capabilities.count(), 1);
+    }
+}

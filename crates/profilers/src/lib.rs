@@ -1,0 +1,22 @@
+//! # lotus-profilers — baseline profiler models
+//!
+//! Behavioural models of the profilers the Lotus paper compares against
+//! (§VI): Scalene, py-spy, austin and the PyTorch profiler. Each model
+//! plugs into the same [`lotus_dataflow::Tracer`] hook points as
+//! LotusTrace, keeps only what its mechanism would capture (sampling
+//! grids, main-process-only traces) and charges its interference back to
+//! the simulated program — so Table III's overhead numbers and Table IV's
+//! functionality matrix are *outputs* of the models, not constants.
+//!
+//! The [`ComparisonHarness`] reruns one experiment configuration under
+//! every profiler and assembles the comparison rows.
+
+#![warn(missing_docs)]
+
+mod capabilities;
+mod comparison;
+mod models;
+
+pub use capabilities::{lotus_capabilities, Capabilities};
+pub use comparison::{BaselineProfiler, ComparisonHarness, ComparisonRow};
+pub use models::{ProfilerModel, ProfilerOutput, SamplingConfig, SamplingProfiler, TorchProfiler};

@@ -1,0 +1,388 @@
+//! Behavioural models of the four baseline profilers the paper compares
+//! against (§VI): Scalene, py-spy, austin and the PyTorch profiler.
+//!
+//! Each model consumes the ground-truth event stream through the
+//! [`Tracer`] hooks, keeps only what its mechanism would actually capture,
+//! and charges its interference (compute dilation for in-process
+//! machinery, per-event costs for tracing) back to the simulated program.
+//! Overhead constants are calibrated to the paper's Table III and
+//! documented inline.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use lotus_dataflow::Tracer;
+use lotus_sim::{Span, Time};
+
+use crate::capabilities::Capabilities;
+
+/// Result of a profiler session over one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilerOutput {
+    /// Profiler name.
+    pub name: String,
+    /// Bytes of profile output written to storage.
+    pub log_bytes: u64,
+    /// Peak in-memory buffering, for profilers that hold data until exit.
+    pub buffered_bytes: u64,
+    /// Whether buffering exceeded machine memory (the PyTorch profiler
+    /// OOMs on full ImageNet in the paper).
+    pub out_of_memory: bool,
+    /// Per-operation elapsed-time totals the profiler can reconstruct, if
+    /// its output supports that at all.
+    pub per_op_epoch_totals: Option<BTreeMap<String, Span>>,
+    /// The Table IV functionality row.
+    pub capabilities: Capabilities,
+}
+
+/// A baseline profiler model: a [`Tracer`] that can summarize what it
+/// captured once the run finishes.
+pub trait ProfilerModel: Tracer {
+    /// Profiler name as it appears in Tables III/IV.
+    fn name(&self) -> &'static str;
+
+    /// Finalizes the session. `wall_time` is the traced program's
+    /// end-to-end elapsed time and `processes` the number of OS processes
+    /// it ran (sampling profilers write output proportional to both).
+    fn finish(&self, wall_time: Span, processes: usize) -> ProfilerOutput;
+}
+
+/// Configuration of a sampling-based profiler model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingConfig {
+    /// Sampling period.
+    pub interval: Span,
+    /// Multiplicative slowdown imposed on the traced program's compute.
+    /// In-process samplers (Scalene's signal handlers and allocation
+    /// interception) dilate heavily; external attachers (py-spy, austin)
+    /// only pause the target briefly per sample.
+    pub dilation: f64,
+    /// Output bytes written per sample (stack record). Zero for
+    /// report-style outputs.
+    pub bytes_per_sample: u64,
+    /// Fixed output size (Scalene's aggregated report).
+    pub report_bytes: u64,
+    /// Whether per-function aggregates over the epoch can be recovered
+    /// from the output (py-spy/austin flamegraph data can; Scalene's
+    /// line-level report does not resolve worker-process preprocessing
+    /// operations, per Table IV).
+    pub resolves_ops: bool,
+}
+
+impl SamplingConfig {
+    /// Scalene: in-process CPU+memory sampler. The ~96 % wall overhead of
+    /// Table III comes from allocation interception on every tensor op.
+    #[must_use]
+    pub fn scalene() -> SamplingConfig {
+        SamplingConfig {
+            interval: Span::from_millis(10),
+            dilation: 1.96,
+            bytes_per_sample: 0,
+            report_bytes: 2_500_000,
+            resolves_ops: false,
+        }
+    }
+
+    /// py-spy: external sampler, 10 ms default rate, ~50 B per sample in
+    /// its raw format; ~8 % overhead from ptrace stops.
+    #[must_use]
+    pub fn py_spy() -> SamplingConfig {
+        SamplingConfig {
+            interval: Span::from_millis(10),
+            dilation: 1.08,
+            bytes_per_sample: 50,
+            report_bytes: 0,
+            resolves_ops: true,
+        }
+    }
+
+    /// austin: external sampler at 100 µs, writing a full text stack per
+    /// sample (~1.7 KB) — the 1000× storage blow-up of Table III.
+    #[must_use]
+    pub fn austin() -> SamplingConfig {
+        SamplingConfig {
+            interval: Span::from_micros(100),
+            dilation: 1.032,
+            bytes_per_sample: 1_700,
+            report_bytes: 0,
+            resolves_ops: true,
+        }
+    }
+}
+
+/// A sampling-based profiler (Scalene / py-spy / austin) model.
+#[derive(Debug)]
+pub struct SamplingProfiler {
+    name: &'static str,
+    config: SamplingConfig,
+    state: Mutex<SamplingState>,
+}
+
+#[derive(Debug, Default)]
+struct SamplingState {
+    /// Samples attributed to each operation (grid points landing inside
+    /// its spans).
+    op_samples: BTreeMap<String, u64>,
+}
+
+impl SamplingProfiler {
+    /// Creates a sampling profiler model.
+    #[must_use]
+    pub fn new(name: &'static str, config: SamplingConfig) -> SamplingProfiler {
+        SamplingProfiler { name, config, state: Mutex::new(SamplingState::default()) }
+    }
+
+    /// Scalene with its default configuration.
+    #[must_use]
+    pub fn scalene() -> SamplingProfiler {
+        SamplingProfiler::new("Scalene", SamplingConfig::scalene())
+    }
+
+    /// py-spy with its default configuration.
+    #[must_use]
+    pub fn py_spy() -> SamplingProfiler {
+        SamplingProfiler::new("py-spy", SamplingConfig::py_spy())
+    }
+
+    /// austin with its default configuration.
+    #[must_use]
+    pub fn austin() -> SamplingProfiler {
+        SamplingProfiler::new("austin", SamplingConfig::austin())
+    }
+
+    fn samples_in(&self, start: Time, dur: Span) -> u64 {
+        let interval = self.config.interval.as_nanos();
+        let begin = start.as_nanos();
+        let end = begin + dur.as_nanos();
+        let first = begin.div_ceil(interval) * interval;
+        if first >= end { 0 } else { (end - first).div_ceil(interval) }
+    }
+}
+
+impl Tracer for SamplingProfiler {
+    fn on_op(&self, _pid: u32, _batch: u64, name: &str, start: Time, dur: Span) -> Span {
+        let n = self.samples_in(start, dur);
+        if n > 0 {
+            let mut st = self.state.lock().expect("profiler poisoned");
+            *st.op_samples.entry(name.to_string()).or_insert(0) += n;
+        }
+        Span::ZERO // sampling costs are modelled as dilation, not per-event
+    }
+
+    fn compute_dilation(&self) -> f64 {
+        self.config.dilation
+    }
+}
+
+impl ProfilerModel for SamplingProfiler {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn finish(&self, wall_time: Span, processes: usize) -> ProfilerOutput {
+        let st = self.state.lock().expect("profiler poisoned");
+        let total_samples =
+            wall_time.as_nanos() / self.config.interval.as_nanos().max(1) * processes as u64;
+        let log_bytes = self.config.report_bytes + total_samples * self.config.bytes_per_sample;
+        let per_op = self.config.resolves_ops.then(|| {
+            st.op_samples
+                .iter()
+                .map(|(name, &samples)| (name.clone(), self.config.interval * samples))
+                .collect()
+        });
+        ProfilerOutput {
+            name: self.name.to_string(),
+            log_bytes,
+            buffered_bytes: 0,
+            out_of_memory: false,
+            // Sampling profilers have no batch boundaries, no worker
+            // data-flow view, and no wait/delay markers (Table IV).
+            capabilities: Capabilities {
+                epoch: per_op.is_some(),
+                ..Capabilities::default()
+            },
+            per_op_epoch_totals: per_op,
+        }
+    }
+}
+
+/// The PyTorch profiler model: trace-based, main-process + GPU events
+/// only, buffered in memory until exit.
+#[derive(Debug)]
+pub struct TorchProfiler {
+    /// Per-sample event cost on the main process (aten op enter/exit
+    /// records for forward+backward, allocator events, …). Calibrated to
+    /// Table III's 86 % wall overhead.
+    per_sample_event_cost: Span,
+    /// Events recorded per consumed sample.
+    events_per_sample: u64,
+    /// Bytes per event when exported to the Chrome trace.
+    bytes_per_event: u64,
+    /// Bytes per event while buffered in memory.
+    buffered_bytes_per_event: u64,
+    /// Machine memory available for buffering.
+    memory_limit: u64,
+    events: AtomicU64,
+    waits_seen: AtomicU64,
+}
+
+impl Default for TorchProfiler {
+    fn default() -> Self {
+        TorchProfiler::new()
+    }
+}
+
+impl TorchProfiler {
+    /// Creates the model with defaults matching the paper's setup
+    /// (128 GiB machine).
+    #[must_use]
+    pub fn new() -> TorchProfiler {
+        TorchProfiler {
+            per_sample_event_cost: Span::from_micros(13_000),
+            events_per_sample: 8,
+            bytes_per_event: 145,
+            // In-memory events carry shapes and Python stacks, far larger
+            // than their serialized form — large enough that one full
+            // ImageNet epoch (~10 M events) exceeds the 128 GiB machine,
+            // reproducing the paper's OOM observation.
+            buffered_bytes_per_event: 16_000,
+            memory_limit: 128 * (1 << 30),
+            events: AtomicU64::new(0),
+            waits_seen: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Tracer for TorchProfiler {
+    fn on_batch_wait(&self, _pid: u32, _batch: u64, _start: Time, _dur: Span, _ooo: bool) -> Span {
+        // The profiler sees the main process block in `_next_data` and
+        // records it (this is how it reports "preprocessing time").
+        self.waits_seen.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(1, Ordering::Relaxed);
+        Span::ZERO
+    }
+
+    fn on_batch_consumed(
+        &self,
+        _pid: u32,
+        _batch: u64,
+        _start: Time,
+        _dur: Span,
+        batch_len: usize,
+    ) -> Span {
+        // Recording every aten/CUDA event for the batch's forward and
+        // backward passes slows the main process.
+        self.events
+            .fetch_add(self.events_per_sample * batch_len as u64, Ordering::Relaxed);
+        self.per_sample_event_cost * batch_len as u64
+    }
+}
+
+impl ProfilerModel for TorchProfiler {
+    fn name(&self) -> &'static str {
+        "PyTorch Profiler"
+    }
+
+    fn finish(&self, _wall_time: Span, _processes: usize) -> ProfilerOutput {
+        let events = self.events.load(Ordering::Relaxed);
+        let buffered = events * self.buffered_bytes_per_event;
+        ProfilerOutput {
+            name: "PyTorch Profiler".to_string(),
+            log_bytes: events * self.bytes_per_event,
+            buffered_bytes: buffered,
+            out_of_memory: buffered > self.memory_limit,
+            per_op_epoch_totals: None,
+            // Captures the main process's wait for workers but nothing
+            // inside them (Table IV: only Wait).
+            capabilities: Capabilities {
+                wait: self.waits_seen.load(Ordering::Relaxed) > 0,
+                ..Capabilities::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_counts_grid_points() {
+        let p = SamplingProfiler::py_spy();
+        // 35 ms op starting at 2 ms: grid points at 10/20/30 ms.
+        let _ = p.on_op(1, 0, "Loader", Time::from_nanos(2_000_000), Span::from_millis(35));
+        // 1 ms op straddling no grid point.
+        let _ = p.on_op(1, 0, "Flip", Time::from_nanos(41_000_000), Span::from_millis(1));
+        let out = p.finish(Span::from_secs(1), 2);
+        let per_op = out.per_op_epoch_totals.unwrap();
+        assert_eq!(per_op["Loader"], Span::from_millis(30));
+        assert!(!per_op.contains_key("Flip"), "sub-interval ops are missed");
+    }
+
+    #[test]
+    fn log_bytes_scale_with_wall_time_and_processes() {
+        let p = SamplingProfiler::austin();
+        let small = p.finish(Span::from_secs(10), 2).log_bytes;
+        let big = p.finish(Span::from_secs(100), 2).log_bytes;
+        assert_eq!(big, small * 10);
+        let more_procs = p.finish(Span::from_secs(10), 4).log_bytes;
+        assert_eq!(more_procs, small * 2);
+    }
+
+    #[test]
+    fn scalene_report_is_fixed_size_and_opaque() {
+        let p = SamplingProfiler::scalene();
+        let _ = p.on_op(1, 0, "Loader", Time::ZERO, Span::from_secs(1));
+        let out = p.finish(Span::from_secs(100), 2);
+        assert_eq!(out.log_bytes, 2_500_000);
+        assert!(out.per_op_epoch_totals.is_none());
+        assert_eq!(out.capabilities.count(), 0);
+    }
+
+    #[test]
+    fn pyspy_epoch_estimates_track_truth_closely() {
+        let p = SamplingProfiler::py_spy();
+        // 10 000 ops of 7 ms each: truth 70 s.
+        let mut t = 0u64;
+        for _ in 0..10_000 {
+            let _ = p.on_op(1, 0, "Loader", Time::from_nanos(t), Span::from_micros(7_000));
+            t += 7_137_000; // keep grid phase sliding
+        }
+        let per_op = p.finish(Span::from_secs(80), 2).per_op_epoch_totals.unwrap();
+        let est = per_op["Loader"].as_secs_f64();
+        assert!((est - 70.0).abs() / 70.0 < 0.02, "estimate {est}s vs 70s truth");
+    }
+
+    #[test]
+    fn torch_profiler_ooms_only_at_scale() {
+        let small = TorchProfiler::new();
+        let _ = small.on_batch_consumed(1, 0, Time::ZERO, Span::from_millis(100), 512);
+        assert!(!small.finish(Span::from_secs(1), 1).out_of_memory);
+
+        let big = TorchProfiler::new();
+        // Full-ImageNet scale: ~10 000 batches of 512.
+        for i in 0..10_000 {
+            let _ = big.on_batch_consumed(1, i, Time::ZERO, Span::from_millis(100), 512);
+        }
+        let out = big.finish(Span::from_secs(1), 1);
+        assert!(out.out_of_memory, "buffered {} bytes", out.buffered_bytes);
+    }
+
+    #[test]
+    fn torch_profiler_captures_only_wait() {
+        let p = TorchProfiler::new();
+        let _ = p.on_batch_wait(1, 0, Time::ZERO, Span::from_millis(5), false);
+        let _ = p.on_batch_consumed(1, 0, Time::ZERO, Span::from_millis(100), 8);
+        let caps = p.finish(Span::from_secs(1), 1).capabilities;
+        assert!(caps.wait);
+        assert_eq!(caps.count(), 1);
+    }
+
+    #[test]
+    fn torch_profiler_charges_tracing_on_the_main_process() {
+        let p = TorchProfiler::new();
+        let oh = p.on_batch_consumed(1, 0, Time::ZERO, Span::from_millis(100), 512);
+        assert!(oh > Span::from_secs(5), "per-batch tracing cost should be seconds: {oh}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Simulation error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// A process that was still blocked when the event queue drained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedProcess {
+    /// Process name given at spawn time.
+    pub name: String,
+    /// Short description of what the process was waiting on.
+    pub waiting_on: String,
+}
+
+/// Error returned by [`crate::Simulation::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while one or more processes were still
+    /// blocked: the simulated system deadlocked (or was shut down
+    /// incompletely).
+    Deadlock {
+        /// Processes that were blocked at the time, with their wait labels.
+        blocked: Vec<BlockedProcess>,
+    },
+    /// A simulated process panicked; the message carries the panic payload
+    /// and the process name.
+    ProcessPanic {
+        /// Name of the panicking process.
+        process: String,
+        /// Rendered panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlocked with {} blocked process(es):", blocked.len())?;
+                for p in blocked {
+                    write!(f, " [{} waiting on {}]", p.name, p.waiting_on)?;
+                }
+                Ok(())
+            }
+            SimError::ProcessPanic { process, message } => {
+                write!(f, "simulated process '{process}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_lists_processes() {
+        let err = SimError::Deadlock {
+            blocked: vec![BlockedProcess {
+                name: "worker0".into(),
+                waiting_on: "queue pop".into(),
+            }],
+        };
+        let s = err.to_string();
+        assert!(s.contains("worker0"));
+        assert!(s.contains("queue pop"));
+    }
+
+    #[test]
+    fn panic_display_names_process() {
+        let err = SimError::ProcessPanic { process: "main".into(), message: "boom".into() };
+        assert!(err.to_string().contains("main"));
+        assert!(err.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The simulation kernel: event queue, process table and the
+//! scheduler/process handoff protocol.
+//!
+//! Every simulated process runs on its own OS thread, but the kernel
+//! guarantees that **at most one thread runs at a time**: the scheduler hands
+//! a "baton" to exactly one process, which runs until it blocks (on a delay,
+//! a queue, or a resource) and hands the baton back. Events at equal virtual
+//! time are ordered by a monotonically increasing sequence number, so a run
+//! is fully deterministic regardless of OS scheduling.
+//!
+//! Lock ordering (outermost first): process baton → user structure lock
+//! (queue/pool) → kernel state. The scheduler never holds the kernel state
+//! lock while acquiring a baton.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::{BlockedProcess, SimError};
+use crate::time::Time;
+
+/// Identifier of a simulated process within one [`crate::Simulation`].
+///
+/// `Pid`s are dense indices assigned in spawn order; they are stable for the
+/// lifetime of the simulation and suitable for use as map keys or display in
+/// logs.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub(crate) u32);
+
+impl Pid {
+    /// The dense index of this process (spawn order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Per-process wake-up baton. `go == true` means the process holds the right
+/// to run; it consumes the permit when it wakes.
+pub(crate) struct Baton {
+    pub(crate) go: Mutex<bool>,
+    pub(crate) cv: Condvar,
+}
+
+impl Baton {
+    fn new() -> Arc<Baton> {
+        Arc::new(Baton { go: Mutex::new(false), cv: Condvar::new() })
+    }
+}
+
+/// Sentinel panic payload used to unwind process stacks at shutdown.
+pub(crate) struct ShutdownSignal;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Turn {
+    Scheduler,
+    Process(Pid),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    /// Blocked waiting for a wake event; the label describes what on.
+    Blocked(&'static str),
+    Running,
+    Finished,
+}
+
+pub(crate) struct ProcSlot {
+    pub(crate) name: String,
+    pub(crate) state: ProcState,
+    pub(crate) baton: Arc<Baton>,
+    /// Incremented each time the process blocks; wake events carry the
+    /// generation they target so stale events are skipped.
+    pub(crate) wake_gen: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    pid: Pid,
+    gen: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+pub(crate) struct KernelState {
+    pub(crate) now: Time,
+    next_seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    pub(crate) procs: Vec<ProcSlot>,
+    pub(crate) turn: Turn,
+    pub(crate) shutdown: bool,
+    pub(crate) panic: Option<(String, String)>,
+}
+
+impl KernelState {
+    /// Registers a new process slot and schedules its initial wake at the
+    /// current virtual time. Returns the new pid.
+    pub(crate) fn add_proc(&mut self, name: String) -> (Pid, Arc<Baton>) {
+        let pid = Pid(u32::try_from(self.procs.len()).expect("too many processes"));
+        let baton = Baton::new();
+        self.procs.push(ProcSlot {
+            name,
+            state: ProcState::Blocked("spawn"),
+            baton: Arc::clone(&baton),
+            wake_gen: 0,
+        });
+        let now = self.now;
+        self.schedule_wake_at(pid, now);
+        (pid, baton)
+    }
+
+    /// Marks the current process blocked and bumps its wake generation.
+    /// Must be followed (in the same critical section) by scheduling a wake
+    /// or registering the process with a waker (queue/pool).
+    pub(crate) fn block_current(&mut self, pid: Pid, label: &'static str) {
+        let slot = &mut self.procs[pid.index()];
+        debug_assert_eq!(slot.state, ProcState::Running, "only a running process can block");
+        slot.state = ProcState::Blocked(label);
+        slot.wake_gen += 1;
+        self.turn = Turn::Scheduler;
+    }
+
+    /// Schedules a wake event for `pid` at time `at`, targeting its current
+    /// wake generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub(crate) fn schedule_wake_at(&mut self, pid: Pid, at: Time) {
+        assert!(at >= self.now, "cannot schedule a wake in the past");
+        let gen = self.procs[pid.index()].wake_gen;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event { time: at, seq, pid, gen }));
+    }
+
+    /// Schedules a wake for `pid` at the current virtual time.
+    pub(crate) fn wake_now(&mut self, pid: Pid) {
+        let now = self.now;
+        self.schedule_wake_at(pid, now);
+    }
+
+    fn pop_runnable(&mut self) -> Option<Event> {
+        while let Some(Reverse(ev)) = self.events.pop() {
+            let slot = &self.procs[ev.pid.index()];
+            let stale = slot.wake_gen != ev.gen || !matches!(slot.state, ProcState::Blocked(_));
+            if !stale {
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    fn blocked_report(&self) -> Vec<BlockedProcess> {
+        self.procs
+            .iter()
+            .filter_map(|p| match p.state {
+                ProcState::Blocked(label) => Some(BlockedProcess {
+                    name: p.name.clone(),
+                    waiting_on: label.to_string(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+pub(crate) struct Kernel {
+    pub(crate) state: Mutex<KernelState>,
+    pub(crate) sched_cv: Condvar,
+}
+
+impl Kernel {
+    pub(crate) fn new() -> Arc<Kernel> {
+        Arc::new(Kernel {
+            state: Mutex::new(KernelState {
+                now: Time::ZERO,
+                next_seq: 0,
+                events: BinaryHeap::new(),
+                procs: Vec::new(),
+                turn: Turn::Scheduler,
+                shutdown: false,
+                panic: None,
+            }),
+            sched_cv: Condvar::new(),
+        })
+    }
+
+    /// Parks the calling process until the scheduler grants it the baton.
+    /// `prepare` runs under the kernel state lock *after* the process has
+    /// been marked blocked (so wake events it schedules target the right
+    /// generation); it typically schedules a timed wake or registers the
+    /// process with a queue. Any user-structure lock guard the caller still
+    /// holds should be moved into `prepare` and dropped there.
+    pub(crate) fn park<F>(&self, pid: Pid, baton: &Baton, label: &'static str, prepare: F)
+    where
+        F: FnOnce(&mut KernelState),
+    {
+        let mut go = baton.go.lock().expect("baton poisoned");
+        {
+            let mut st = self.state.lock().expect("kernel poisoned");
+            st.block_current(pid, label);
+            prepare(&mut st);
+            self.sched_cv.notify_one();
+        }
+        while !*go {
+            go = baton.cv.wait(go).expect("baton poisoned");
+        }
+        *go = false;
+        drop(go);
+        if self.state.lock().expect("kernel poisoned").shutdown {
+            panic::resume_unwind(Box::new(ShutdownSignal));
+        }
+    }
+
+    /// Runs the scheduler loop until all processes finish.
+    pub(crate) fn run_scheduler(&self) -> Result<(), SimError> {
+        loop {
+            let resume = {
+                let mut st = self.state.lock().expect("kernel poisoned");
+                debug_assert_eq!(st.turn, Turn::Scheduler);
+                match st.pop_runnable() {
+                    Some(ev) => {
+                        st.now = ev.time;
+                        st.turn = Turn::Process(ev.pid);
+                        let slot = &mut st.procs[ev.pid.index()];
+                        slot.state = ProcState::Running;
+                        Some(Arc::clone(&slot.baton))
+                    }
+                    None => {
+                        let blocked = st.blocked_report();
+                        if blocked.is_empty() {
+                            return Ok(());
+                        }
+                        return Err(SimError::Deadlock { blocked });
+                    }
+                }
+            };
+            if let Some(baton) = resume {
+                {
+                    let mut go = baton.go.lock().expect("baton poisoned");
+                    *go = true;
+                    baton.cv.notify_one();
+                }
+                let mut st = self.state.lock().expect("kernel poisoned");
+                while st.turn != Turn::Scheduler {
+                    st = self.sched_cv.wait(st).expect("kernel poisoned");
+                }
+                if let Some((process, message)) = st.panic.take() {
+                    st.shutdown = true;
+                    return Err(SimError::ProcessPanic { process, message });
+                }
+            }
+        }
+    }
+
+    /// Wakes every parked thread with the shutdown flag set so their stacks
+    /// unwind; called from `Simulation::drop`.
+    pub(crate) fn begin_shutdown(&self) {
+        let batons: Vec<Arc<Baton>> = {
+            let mut st = self.state.lock().expect("kernel poisoned");
+            st.shutdown = true;
+            st.procs
+                .iter()
+                .filter(|p| !matches!(p.state, ProcState::Finished))
+                .map(|p| Arc::clone(&p.baton))
+                .collect()
+        };
+        for baton in batons {
+            let mut go = baton.go.lock().expect("baton poisoned");
+            *go = true;
+            baton.cv.notify_one();
+        }
+    }
+
+    /// Marks the calling process finished and returns the baton to the
+    /// scheduler. `panic_message`, if set, aborts the whole simulation.
+    pub(crate) fn finish(&self, pid: Pid, panic_message: Option<String>) {
+        let mut st = self.state.lock().expect("kernel poisoned");
+        let name = st.procs[pid.index()].name.clone();
+        st.procs[pid.index()].state = ProcState::Finished;
+        if let Some(message) = panic_message {
+            st.panic = Some((name, message));
+        }
+        st.turn = Turn::Scheduler;
+        self.sched_cv.notify_one();
+    }
+}

@@ -1,0 +1,134 @@
+//! A pool of CPU cores that simulated processes compute on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::ctx::Ctx;
+use crate::kernel::{Kernel, Pid};
+
+struct PoolInner {
+    total: usize,
+    available: usize,
+    waiters: VecDeque<Pid>,
+    /// High-water mark of concurrently held cores over the pool's lifetime.
+    peak_active: usize,
+}
+
+/// A counted pool of CPU cores.
+///
+/// A process acquires a core before running compute and releases it after
+/// (dropping the returned [`CoreGuard`] releases it automatically). The
+/// instantaneous number of held cores is exposed via [`CorePool::active`],
+/// which the micro-architecture model uses to derive shared-resource
+/// contention (LLC, DRAM bandwidth, instruction fetch).
+///
+/// ```
+/// use lotus_sim::{Simulation, Span};
+///
+/// let mut sim = Simulation::new();
+/// let pool = sim.core_pool(1);
+/// for w in 0..2 {
+///     let pool = pool.clone();
+///     sim.spawn(format!("worker{w}"), move |ctx| {
+///         let _core = pool.acquire(&ctx);
+///         ctx.delay(Span::from_millis(1));
+///     });
+/// }
+/// let report = sim.run().unwrap();
+/// // One core: the two 1 ms jobs serialize.
+/// assert_eq!(report.end_time.as_nanos(), 2_000_000);
+/// ```
+pub struct CorePool {
+    kernel: Arc<Kernel>,
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl Clone for CorePool {
+    fn clone(&self) -> Self {
+        CorePool { kernel: Arc::clone(&self.kernel), inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl std::fmt::Debug for CorePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("pool poisoned");
+        f.debug_struct("CorePool")
+            .field("total", &inner.total)
+            .field("active", &(inner.total - inner.available))
+            .finish()
+    }
+}
+
+impl CorePool {
+    pub(crate) fn new(kernel: Arc<Kernel>, cores: usize) -> CorePool {
+        assert!(cores > 0, "a core pool needs at least one core");
+        CorePool {
+            kernel,
+            inner: Arc::new(Mutex::new(PoolInner {
+                total: cores,
+                available: cores,
+                waiters: VecDeque::new(),
+                peak_active: 0,
+            })),
+        }
+    }
+
+    /// Total number of cores in the pool.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.inner.lock().expect("pool poisoned").total
+    }
+
+    /// Number of cores currently held.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        let inner = self.inner.lock().expect("pool poisoned");
+        inner.total - inner.available
+    }
+
+    /// High-water mark of concurrently held cores.
+    #[must_use]
+    pub fn peak_active(&self) -> usize {
+        self.inner.lock().expect("pool poisoned").peak_active
+    }
+
+    /// Acquires a core, blocking the calling process until one is free.
+    /// The core is released when the returned guard is dropped.
+    #[must_use]
+    pub fn acquire<'a>(&'a self, ctx: &'a Ctx) -> CoreGuard<'a> {
+        loop {
+            let mut inner = self.inner.lock().expect("pool poisoned");
+            if inner.available > 0 {
+                inner.available -= 1;
+                let active = inner.total - inner.available;
+                inner.peak_active = inner.peak_active.max(active);
+                return CoreGuard { pool: self, _ctx: ctx };
+            }
+            inner.waiters.push_back(ctx.pid());
+            ctx.park("core.acquire", move |_st| drop(inner));
+        }
+    }
+
+    fn release(&self) {
+        let mut inner = self.inner.lock().expect("pool poisoned");
+        inner.available += 1;
+        debug_assert!(inner.available <= inner.total, "core released twice");
+        if let Some(waiter) = inner.waiters.pop_front() {
+            let mut st = self.kernel.state.lock().expect("kernel poisoned");
+            st.wake_now(waiter);
+        }
+    }
+}
+
+/// RAII guard for a held core; releases the core when dropped.
+#[derive(Debug)]
+pub struct CoreGuard<'a> {
+    pool: &'a CorePool,
+    _ctx: &'a Ctx,
+}
+
+impl Drop for CoreGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release();
+    }
+}

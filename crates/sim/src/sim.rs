@@ -1,0 +1,221 @@
+//! The [`Simulation`] front-end: spawning processes and running the
+//! scheduler to completion.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::ctx::Ctx;
+use crate::error::SimError;
+use crate::kernel::{Kernel, Pid, ShutdownSignal};
+use crate::time::Time;
+
+/// A deterministic discrete-event simulation.
+///
+/// Processes are spawned with [`Simulation::spawn`] (or dynamically with
+/// [`Ctx::spawn`]) and communicate over [`crate::Queue`]s; [`Simulation::run`]
+/// drives virtual time forward until every process finishes.
+///
+/// Determinism: exactly one process executes at a time, events at equal
+/// virtual time fire in creation order, and no wall-clock values leak in, so
+/// two runs of the same program produce identical traces.
+///
+/// ```
+/// use lotus_sim::{Queue, Simulation, Span};
+///
+/// let mut sim = Simulation::new();
+/// let q = sim.queue::<u32>("numbers", Some(1));
+/// let tx = q.clone();
+/// sim.spawn("producer", move |ctx| {
+///     for i in 0..3 {
+///         ctx.delay(Span::from_micros(10));
+///         tx.push(&ctx, i);
+///     }
+/// });
+/// sim.spawn("consumer", move |ctx| {
+///     for expect in 0..3 {
+///         assert_eq!(q.pop(&ctx), expect);
+///     }
+/// });
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.end_time.as_nanos(), 30_000);
+/// ```
+pub struct Simulation {
+    kernel: Arc<Kernel>,
+    threads: ThreadRegistry,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.kernel.state.lock().expect("kernel poisoned");
+        f.debug_struct("Simulation")
+            .field("now", &st.now)
+            .field("processes", &st.procs.len())
+            .finish()
+    }
+}
+
+/// Summary returned by a successful [`Simulation::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Virtual time at which the last process finished.
+    pub end_time: Time,
+    /// Number of processes that ran over the simulation's lifetime.
+    pub processes: usize,
+}
+
+/// Shared registry of the OS threads backing one simulation's processes.
+type ThreadRegistry = Arc<Mutex<Vec<JoinHandle<()>>>>;
+
+thread_local! {
+    static THREAD_REGISTRY: std::cell::RefCell<Option<ThreadRegistry>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl Simulation {
+    /// Creates an empty simulation with the clock at [`Time::ZERO`].
+    #[must_use]
+    pub fn new() -> Simulation {
+        Simulation { kernel: Kernel::new(), threads: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Spawns a process that will start at the current virtual time when
+    /// [`Simulation::run`] is (next) called. Returns its [`Pid`].
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> Pid
+    where
+        F: FnOnce(Ctx) + Send + 'static,
+    {
+        register_thread_registry(&self.threads);
+        spawn_process(&self.kernel, name.into(), body)
+    }
+
+    /// Creates a simulated queue bound to this simulation.
+    ///
+    /// `capacity` of `None` means unbounded; `Some(n)` blocks pushers when
+    /// `n` items are in flight.
+    #[must_use]
+    pub fn queue<T: Send + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        capacity: Option<usize>,
+    ) -> crate::Queue<T> {
+        crate::Queue::new(Arc::clone(&self.kernel), name.into(), capacity)
+    }
+
+    /// Creates a pool of `cores` CPU cores bound to this simulation.
+    #[must_use]
+    pub fn core_pool(&mut self, cores: usize) -> crate::CorePool {
+        crate::CorePool::new(Arc::clone(&self.kernel), cores)
+    }
+
+    /// Runs the simulation until every process has finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the event queue drains while
+    /// processes are still blocked, and [`SimError::ProcessPanic`] if any
+    /// simulated process panics.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        let result = self.kernel.run_scheduler();
+        match result {
+            Ok(()) => {
+                let st = self.kernel.state.lock().expect("kernel poisoned");
+                Ok(RunReport { end_time: st.now, processes: st.procs.len() })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Current virtual time (useful after [`Simulation::run`] returns).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.kernel.state.lock().expect("kernel poisoned").now
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        self.kernel.begin_shutdown();
+        let mut threads = self.threads.lock().expect("thread registry poisoned");
+        for handle in threads.drain(..) {
+            // A process thread can only terminate by finishing or unwinding
+            // on the shutdown signal, both of which we have arranged.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn register_thread_registry(registry: &ThreadRegistry) {
+    THREAD_REGISTRY.with(|slot| {
+        *slot.borrow_mut() = Some(Arc::clone(registry));
+    });
+}
+
+/// Spawns the OS thread backing a simulated process. Shared by
+/// [`Simulation::spawn`] and [`Ctx::spawn`].
+pub(crate) fn spawn_process<F>(kernel: &Arc<Kernel>, name: String, body: F) -> Pid
+where
+    F: FnOnce(Ctx) + Send + 'static,
+{
+    let (pid, baton) = {
+        let mut st = kernel.state.lock().expect("kernel poisoned");
+        st.add_proc(name.clone())
+    };
+    let kernel_for_thread = Arc::clone(kernel);
+    let registry = THREAD_REGISTRY
+        .with(|slot| slot.borrow().clone())
+        .expect("spawn_process called outside a Simulation");
+    let registry_for_thread = Arc::clone(&registry);
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-{name}"))
+        .spawn(move || {
+            // Child processes spawned from this thread must register into
+            // the same simulation's thread registry.
+            register_thread_registry(&registry_for_thread);
+            // Wait for the scheduler to hand over the baton for the first
+            // time (the spawn event).
+            {
+                let mut go = baton.go.lock().expect("baton poisoned");
+                while !*go {
+                    go = baton.cv.wait(go).expect("baton poisoned");
+                }
+                *go = false;
+            }
+            if kernel_for_thread.state.lock().expect("kernel poisoned").shutdown {
+                return;
+            }
+            let ctx = Ctx::new(Arc::clone(&kernel_for_thread), pid, baton);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(move || body(ctx)));
+            let panic_message = match outcome {
+                Ok(()) => None,
+                Err(payload) => {
+                    if payload.is::<ShutdownSignal>() {
+                        // Unwound by Simulation::drop; nothing left to do —
+                        // the scheduler is no longer waiting on us.
+                        return;
+                    }
+                    Some(render_panic(&*payload))
+                }
+            };
+            kernel_for_thread.finish(pid, panic_message);
+        })
+        .expect("failed to spawn simulation thread");
+    registry.lock().expect("thread registry poisoned").push(handle);
+    pid
+}
+
+fn render_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,346 @@
+//! Virtual time types.
+//!
+//! The simulation clock counts nanoseconds from the start of the run. Two
+//! newtypes keep instants and durations apart (mirroring
+//! [`std::time::Instant`] / [`std::time::Duration`]): [`Time`] is a point on
+//! the virtual clock and [`Span`] is a length of virtual time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// ```
+/// use lotus_sim::{Span, Time};
+///
+/// let t = Time::ZERO + Span::from_millis(3);
+/// assert_eq!(t.as_nanos(), 3_000_000);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A length of virtual time, in nanoseconds.
+///
+/// ```
+/// use lotus_sim::Span;
+///
+/// assert_eq!(Span::from_micros(5) * 3, Span::from_nanos(15_000));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span(u64);
+
+impl Time {
+    /// The origin of the simulation clock.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from raw nanoseconds since simulation start.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Nanoseconds since simulation start.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (lossy; for reporting).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since simulation start, as a float (lossy; for reporting).
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Microseconds since simulation start, as a float (lossy; for reporting).
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` (debug builds); saturates to
+    /// zero in release builds via `saturating_since`.
+    #[must_use]
+    pub fn since(self, earlier: Time) -> Span {
+        debug_assert!(
+            earlier <= self,
+            "Time::since: earlier ({earlier:?}) is after self ({self:?})"
+        );
+        Span(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span from `earlier` to `self`, or [`Span::ZERO`] if `earlier` is
+    /// later.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Time) -> Span {
+        Span(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Span {
+    /// The empty span.
+    pub const ZERO: Span = Span(0);
+
+    /// Creates a span from nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Span(ns)
+    }
+
+    /// Creates a span from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        Span(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Span(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        Span(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to whole nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "span seconds must be finite and non-negative");
+        Span((s * 1e9).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds, as a float (lossy; for reporting).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Length in milliseconds, as a float (lossy; for reporting).
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Length in microseconds, as a float (lossy; for reporting).
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// True if the span is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies by a float factor, rounding to whole nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> Span {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "span factor must be finite and non-negative"
+        );
+        Span((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Span) -> Span {
+        Span(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Span> for Time {
+    type Output = Time;
+    fn add(self, rhs: Span) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Span> for Time {
+    fn add_assign(&mut self, rhs: Span) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Span> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Span) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Span;
+    fn sub(self, rhs: Time) -> Span {
+        self.since(rhs)
+    }
+}
+
+impl Add for Span {
+    type Output = Span;
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Span {
+    fn add_assign(&mut self, rhs: Span) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Span {
+    type Output = Span;
+    fn sub(self, rhs: Span) -> Span {
+        debug_assert!(rhs <= self, "Span subtraction underflow");
+        Span(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Span {
+    fn sub_assign(&mut self, rhs: Span) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Span {
+    type Output = Span;
+    fn mul(self, rhs: u64) -> Span {
+        Span(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Span {
+    type Output = Span;
+    fn div(self, rhs: u64) -> Span {
+        Span(self.0 / rhs)
+    }
+}
+
+impl Sum for Span {
+    fn sum<I: Iterator<Item = Span>>(iter: I) -> Span {
+        iter.fold(Span::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_ns(self.0))
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Span {
+    fn from(ns: u64) -> Self {
+        Span(ns)
+    }
+}
+
+/// Formats a nanosecond count with a human-friendly unit.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Span::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Span::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Span::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Span::from_secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t0 = Time::from_nanos(100);
+        let t1 = t0 + Span::from_nanos(50);
+        assert_eq!(t1 - t0, Span::from_nanos(50));
+        assert_eq!(t1 - Span::from_nanos(50), t0);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = Time::from_nanos(10);
+        let late = Time::from_nanos(20);
+        assert_eq!(early.saturating_since(late), Span::ZERO);
+        assert_eq!(late.saturating_since(early), Span::from_nanos(10));
+    }
+
+    #[test]
+    fn span_sum_and_scale() {
+        let total: Span = [Span::from_nanos(1), Span::from_nanos(2)].into_iter().sum();
+        assert_eq!(total, Span::from_nanos(3));
+        assert_eq!(Span::from_nanos(10).mul_f64(2.5), Span::from_nanos(25));
+        assert_eq!(Span::from_nanos(10) / 2, Span::from_nanos(5));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Span::from_nanos(10)), "10ns");
+        assert_eq!(format!("{}", Span::from_micros(10)), "10.000us");
+        assert_eq!(format!("{}", Span::from_millis(10)), "10.000ms");
+        assert_eq!(format!("{}", Span::from_secs(10)), "10.000s");
+    }
+
+    #[test]
+    fn ordering_is_by_instant() {
+        assert!(Time::from_nanos(1) < Time::from_nanos(2));
+        assert!(Span::from_nanos(1) < Span::from_micros(1));
+    }
+}

@@ -1,0 +1,337 @@
+//! Integration tests for the simulation kernel: determinism, blocking
+//! semantics, deadlock detection and panic propagation.
+
+use std::sync::{Arc, Mutex};
+
+use lotus_sim::{SimError, Simulation, Span, Time};
+
+#[test]
+fn virtual_time_advances_only_by_delays() {
+    let mut sim = Simulation::new();
+    sim.spawn("p", |ctx| {
+        assert_eq!(ctx.now(), Time::ZERO);
+        ctx.delay(Span::from_micros(7));
+        assert_eq!(ctx.now().as_nanos(), 7_000);
+        ctx.delay(Span::ZERO);
+        assert_eq!(ctx.now().as_nanos(), 7_000);
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(report.end_time.as_nanos(), 7_000);
+    assert_eq!(report.processes, 1);
+}
+
+#[test]
+fn events_at_equal_time_fire_in_spawn_order() {
+    for _ in 0..5 {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for i in 0..10 {
+            let order = Arc::clone(&order);
+            sim.spawn(format!("p{i}"), move |ctx| {
+                ctx.delay(Span::from_millis(1));
+                order.lock().unwrap().push(i);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn queue_blocks_consumer_until_producer_pushes() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u64>("q", None);
+    let tx = q.clone();
+    sim.spawn("producer", move |ctx| {
+        ctx.delay(Span::from_millis(10));
+        tx.push(&ctx, 42);
+    });
+    let observed = Arc::new(Mutex::new(None));
+    let observed_w = Arc::clone(&observed);
+    sim.spawn("consumer", move |ctx| {
+        let v = q.pop(&ctx);
+        *observed_w.lock().unwrap() = Some((v, ctx.now()));
+    });
+    sim.run().unwrap();
+    let (v, at) = observed.lock().unwrap().unwrap();
+    assert_eq!(v, 42);
+    assert_eq!(at.as_nanos(), 10_000_000);
+}
+
+#[test]
+fn bounded_queue_applies_backpressure() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u32>("bounded", Some(2));
+    let tx = q.clone();
+    let push_times = Arc::new(Mutex::new(Vec::new()));
+    let push_times_w = Arc::clone(&push_times);
+    sim.spawn("producer", move |ctx| {
+        for i in 0..4 {
+            tx.push(&ctx, i);
+            push_times_w.lock().unwrap().push(ctx.now().as_nanos());
+        }
+    });
+    sim.spawn("consumer", move |ctx| {
+        for _ in 0..4 {
+            ctx.delay(Span::from_millis(1));
+            let _ = q.pop(&ctx);
+        }
+    });
+    sim.run().unwrap();
+    let times = push_times.lock().unwrap().clone();
+    // First two pushes are immediate; the rest wait for pops at 1 ms and 2 ms.
+    assert_eq!(times, vec![0, 0, 1_000_000, 2_000_000]);
+}
+
+#[test]
+fn queue_is_fifo_across_multiple_producers() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<(usize, u32)>("multi", None);
+    for w in 0..4 {
+        let q = q.clone();
+        sim.spawn(format!("producer{w}"), move |ctx| {
+            for i in 0..5 {
+                ctx.delay(Span::from_micros(100 * (w as u64 + 1)));
+                q.push(&ctx, (w, i));
+            }
+        });
+    }
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let seen_w = Arc::clone(&seen);
+    sim.spawn("consumer", move |ctx| {
+        for _ in 0..20 {
+            seen_w.lock().unwrap().push(q.pop(&ctx));
+        }
+    });
+    sim.run().unwrap();
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), 20);
+    // Per-producer order must be preserved even though arrivals interleave.
+    for w in 0..4 {
+        let per: Vec<u32> = seen.iter().filter(|(p, _)| *p == w).map(|(_, i)| *i).collect();
+        assert_eq!(per, vec![0, 1, 2, 3, 4]);
+    }
+}
+
+#[test]
+fn deadlock_is_reported_with_blocked_process_names() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u8>("never", None);
+    sim.spawn("starved", move |ctx| {
+        let _ = q.pop(&ctx);
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked }) => {
+            assert_eq!(blocked.len(), 1);
+            assert_eq!(blocked[0].name, "starved");
+            assert_eq!(blocked[0].waiting_on, "queue.pop");
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn process_panic_aborts_the_run_with_context() {
+    let mut sim = Simulation::new();
+    sim.spawn("bomber", |ctx| {
+        ctx.delay(Span::from_micros(1));
+        panic!("kaboom");
+    });
+    match sim.run() {
+        Err(SimError::ProcessPanic { process, message }) => {
+            assert_eq!(process, "bomber");
+            assert!(message.contains("kaboom"));
+        }
+        other => panic!("expected panic error, got {other:?}"),
+    }
+}
+
+#[test]
+fn dynamically_spawned_processes_run() {
+    let mut sim = Simulation::new();
+    let done = Arc::new(Mutex::new(Vec::new()));
+    let done_w = Arc::clone(&done);
+    sim.spawn("parent", move |ctx| {
+        for i in 0..3 {
+            let done = Arc::clone(&done_w);
+            ctx.spawn(format!("child{i}"), move |cctx| {
+                cctx.delay(Span::from_millis(i + 1));
+                done.lock().unwrap().push(i);
+            });
+        }
+        ctx.delay(Span::from_millis(10));
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(report.processes, 4);
+    assert_eq!(*done.lock().unwrap(), vec![0, 1, 2]);
+}
+
+#[test]
+fn core_pool_serializes_oversubscribed_compute() {
+    let mut sim = Simulation::new();
+    let pool = sim.core_pool(2);
+    let finish = Arc::new(Mutex::new(Vec::new()));
+    for w in 0..4 {
+        let pool = pool.clone();
+        let finish = Arc::clone(&finish);
+        sim.spawn(format!("w{w}"), move |ctx| {
+            let core = pool.acquire(&ctx);
+            ctx.delay(Span::from_millis(10));
+            drop(core);
+            finish.lock().unwrap().push(ctx.now().as_nanos());
+        });
+    }
+    let report = sim.run().unwrap();
+    // Two waves of two jobs each.
+    assert_eq!(report.end_time.as_nanos(), 20_000_000);
+    let finishes = finish.lock().unwrap().clone();
+    assert_eq!(finishes.iter().filter(|&&t| t == 10_000_000).count(), 2);
+    assert_eq!(finishes.iter().filter(|&&t| t == 20_000_000).count(), 2);
+}
+
+#[test]
+fn core_pool_tracks_peak_active() {
+    let mut sim = Simulation::new();
+    let pool = sim.core_pool(8);
+    for w in 0..3 {
+        let pool = pool.clone();
+        sim.spawn(format!("w{w}"), move |ctx| {
+            let _core = pool.acquire(&ctx);
+            ctx.delay(Span::from_millis(1));
+        });
+    }
+    let probe = pool.clone();
+    sim.run().unwrap();
+    assert_eq!(probe.peak_active(), 3);
+    assert_eq!(probe.active(), 0);
+}
+
+#[test]
+fn identical_programs_produce_identical_schedules() {
+    fn run_once() -> Vec<(u64, usize, u32)> {
+        let mut sim = Simulation::new();
+        let q = sim.queue::<(usize, u32)>("q", Some(3));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for w in 0..3 {
+            let q = q.clone();
+            sim.spawn(format!("p{w}"), move |ctx| {
+                for i in 0..10 {
+                    ctx.delay(Span::from_micros(((w as u64) * 37 + 13) % 91 + 1));
+                    q.push(&ctx, (w, i));
+                }
+            });
+        }
+        let log_w = Arc::clone(&log);
+        sim.spawn("c", move |ctx| {
+            for _ in 0..30 {
+                let (w, i) = q.pop(&ctx);
+                log_w.lock().unwrap().push((ctx.now().as_nanos(), w, i));
+            }
+        });
+        sim.run().unwrap();
+        let result = log.lock().unwrap().clone();
+        result
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn dropping_an_unrun_simulation_does_not_hang() {
+    let mut sim = Simulation::new();
+    sim.spawn("never-started", |ctx| {
+        ctx.delay(Span::from_secs(1));
+    });
+    drop(sim);
+}
+
+#[test]
+fn dropping_a_deadlocked_simulation_unwinds_blocked_threads() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u8>("never", None);
+    for i in 0..4 {
+        let q = q.clone();
+        sim.spawn(format!("blocked{i}"), move |ctx| {
+            let _ = q.pop(&ctx);
+        });
+    }
+    assert!(sim.run().is_err());
+    drop(sim); // must join all threads without hanging
+}
+
+#[test]
+fn try_pop_never_blocks() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u8>("tp", None);
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let results_w = Arc::clone(&results);
+    let tx = q.clone();
+    sim.spawn("p", move |ctx| {
+        results_w.lock().unwrap().push(tx.try_pop());
+        tx.push(&ctx, 9);
+        results_w.lock().unwrap().push(tx.try_pop());
+    });
+    sim.run().unwrap();
+    assert_eq!(*results.lock().unwrap(), vec![None, Some(9)]);
+}
+
+#[test]
+fn pop_timeout_returns_none_when_nothing_arrives() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u8>("quiet", None);
+    let outcome = Arc::new(Mutex::new(None));
+    let outcome_w = Arc::clone(&outcome);
+    sim.spawn("poller", move |ctx| {
+        let got = q.pop_timeout(&ctx, Span::from_millis(5));
+        *outcome_w.lock().unwrap() = Some((got, ctx.now().as_nanos()));
+    });
+    sim.run().unwrap();
+    let (got, at) = outcome.lock().unwrap().take().unwrap();
+    assert_eq!(got, None);
+    assert_eq!(at, 5_000_000, "the poller gives up exactly at the deadline");
+}
+
+#[test]
+fn pop_timeout_returns_items_that_arrive_in_time() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u8>("timely", None);
+    let tx = q.clone();
+    sim.spawn("producer", move |ctx| {
+        ctx.delay(Span::from_millis(2));
+        tx.push(&ctx, 77);
+    });
+    let outcome = Arc::new(Mutex::new(None));
+    let outcome_w = Arc::clone(&outcome);
+    sim.spawn("poller", move |ctx| {
+        let got = q.pop_timeout(&ctx, Span::from_millis(5));
+        *outcome_w.lock().unwrap() = Some((got, ctx.now().as_nanos()));
+    });
+    sim.run().unwrap();
+    let (got, at) = outcome.lock().unwrap().take().unwrap();
+    assert_eq!(got, Some(77));
+    assert_eq!(at, 2_000_000);
+}
+
+#[test]
+fn pop_timeout_polling_loop_mirrors_pytorch_status_checks() {
+    // The PyTorch main process polls the data queue every 5 s
+    // (MP_STATUS_CHECK_INTERVAL); model three empty polls then success.
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u8>("poll", None);
+    let tx = q.clone();
+    sim.spawn("slow-producer", move |ctx| {
+        ctx.delay(Span::from_secs(12));
+        tx.push(&ctx, 1);
+    });
+    let polls = Arc::new(Mutex::new(0u32));
+    let polls_w = Arc::clone(&polls);
+    sim.spawn("main", move |ctx| {
+        loop {
+            *polls_w.lock().unwrap() += 1;
+            if q.pop_timeout(&ctx, Span::from_secs(5)).is_some() {
+                break;
+            }
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(*polls.lock().unwrap(), 3, "two timeouts then a hit");
+}

@@ -1,0 +1,472 @@
+//! Audio-domain transforms — the repository's extension pipeline for the
+//! audio-classification workload class the paper's introduction names as
+//! preprocessing-bound (via Mohan et al. [1]).
+//!
+//! Real implementations run on 1-D f32 waveform tensors using the DSP
+//! substrate in [`lotus_codec::dsp`]; costs are charged as torchaudio-like
+//! native kernels.
+
+use lotus_codec::dsp::{hann_window, power_spectrum, MelFilterbank};
+use lotus_data::{DType, Tensor};
+use lotus_uarch::{CostCoeffs, KernelId, Machine};
+use rand::Rng;
+
+use crate::sample::Sample;
+use crate::transform::{Transform, TransformCtx};
+
+const LIBSAMPLERATE: &str = "libsamplerate.so.0";
+const LIBTORCH: &str = "libtorch_cpu.so";
+const OPENBLAS: &str = "libopenblas.so.0";
+
+fn waveform_len(sample: &Sample) -> usize {
+    match sample {
+        Sample::Tensor { shape, dtype, .. } if shape.len() == 1 && *dtype == DType::F32 => {
+            shape[0]
+        }
+        other => panic!("audio transforms expect a 1-D f32 waveform, got {other:?}"),
+    }
+}
+
+/// `torchaudio.transforms.Resample`: sinc-interpolated sample-rate
+/// conversion (libsamplerate's `src_process`).
+pub struct Resample {
+    from_hz: u32,
+    to_hz: u32,
+    kernel: KernelId,
+}
+
+impl std::fmt::Debug for Resample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resample").field("from", &self.from_hz).field("to", &self.to_hz).finish()
+    }
+}
+
+impl Resample {
+    /// Creates a resampler from `from_hz` to `to_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is zero.
+    #[must_use]
+    pub fn new(machine: &Machine, from_hz: u32, to_hz: u32) -> Resample {
+        assert!(from_hz > 0 && to_hz > 0, "sample rates must be positive");
+        Resample {
+            from_hz,
+            to_hz,
+            kernel: machine.kernel(
+                "src_process",
+                LIBSAMPLERATE,
+                CostCoeffs {
+                    base_insts: 2_000.0,
+                    insts_per_unit: 70.0, // per output sample (sinc taps)
+                    uops_per_inst: 1.1,
+                    ipc_base: 2.6,
+                    l1_miss_per_unit: 0.02,
+                    l2_miss_per_unit: 0.004,
+                    llc_miss_per_unit: 0.001,
+                    branches_per_unit: 2.0,
+                    mispredict_rate: 0.01,
+                    frontend_sensitivity: 0.2,
+                },
+            ),
+        }
+    }
+}
+
+impl Transform for Resample {
+    fn name(&self) -> &str {
+        "Resample"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let in_len = waveform_len(&sample);
+        let out_len =
+            (in_len as u64 * u64::from(self.to_hz) / u64::from(self.from_hz)) as usize;
+        ctx.cpu.exec(self.kernel, out_len as f64);
+        let data = match sample {
+            Sample::Tensor { data: Some(t), .. } => {
+                let src = t.as_f32();
+                let ratio = in_len as f64 / out_len.max(1) as f64;
+                let out: Vec<f32> = (0..out_len)
+                    .map(|i| {
+                        let pos = i as f64 * ratio;
+                        let idx = (pos as usize).min(in_len.saturating_sub(2));
+                        let frac = (pos - idx as f64) as f32;
+                        src[idx] * (1.0 - frac) + src[(idx + 1).min(in_len - 1)] * frac
+                    })
+                    .collect();
+                Some(Tensor::from_f32(&[out_len], out))
+            }
+            _ => None,
+        };
+        Sample::Tensor { shape: vec![out_len], dtype: DType::F32, data }
+    }
+}
+
+/// `torchaudio.transforms.MelSpectrogram`: STFT power spectra through a
+/// mel filterbank, producing a `[n_mels × frames]` feature tensor.
+pub struct MelSpectrogram {
+    n_fft: usize,
+    hop: usize,
+    filterbank: MelFilterbank,
+    fft_kernel: KernelId,
+    matmul_kernel: KernelId,
+}
+
+impl std::fmt::Debug for MelSpectrogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MelSpectrogram")
+            .field("n_fft", &self.n_fft)
+            .field("hop", &self.hop)
+            .field("n_mels", &self.filterbank.n_mels())
+            .finish()
+    }
+}
+
+impl MelSpectrogram {
+    /// Creates the transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n_fft` is a power of two and `0 < hop ≤ n_fft`.
+    #[must_use]
+    pub fn new(
+        machine: &Machine,
+        sample_rate: u32,
+        n_fft: usize,
+        hop: usize,
+        n_mels: usize,
+    ) -> MelSpectrogram {
+        assert!(n_fft.is_power_of_two(), "n_fft must be a power of two");
+        assert!(hop > 0 && hop <= n_fft, "hop must be in (0, n_fft]");
+        MelSpectrogram {
+            n_fft,
+            hop,
+            filterbank: MelFilterbank::new(f64::from(sample_rate), n_fft, n_mels),
+            fft_kernel: machine.kernel(
+                "at_native_fft_r2c_kernel",
+                LIBTORCH,
+                CostCoeffs {
+                    base_insts: 1_200.0,
+                    insts_per_unit: 8.0, // per butterfly (n·log n units)
+                    uops_per_inst: 1.1,
+                    ipc_base: 2.7,
+                    l1_miss_per_unit: 0.015,
+                    l2_miss_per_unit: 0.003,
+                    llc_miss_per_unit: 0.001,
+                    branches_per_unit: 0.3,
+                    mispredict_rate: 0.005,
+                    frontend_sensitivity: 0.25,
+                },
+            ),
+            matmul_kernel: machine.kernel(
+                "cblas_sgemm",
+                OPENBLAS,
+                CostCoeffs {
+                    base_insts: 800.0,
+                    insts_per_unit: 2.2, // per multiply-accumulate
+                    uops_per_inst: 1.05,
+                    ipc_base: 3.2,
+                    l1_miss_per_unit: 0.01,
+                    l2_miss_per_unit: 0.002,
+                    llc_miss_per_unit: 0.0006,
+                    branches_per_unit: 0.05,
+                    mispredict_rate: 0.002,
+                    frontend_sensitivity: 0.1,
+                },
+            ),
+        }
+    }
+
+    /// Number of STFT frames for a waveform of `len` samples (the signal
+    /// is zero-padded to at least one frame).
+    #[must_use]
+    pub fn frames_for(&self, len: usize) -> usize {
+        if len <= self.n_fft { 1 } else { 1 + (len - self.n_fft).div_ceil(self.hop) }
+    }
+}
+
+impl Transform for MelSpectrogram {
+    fn name(&self) -> &str {
+        "MelSpectrogram"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let len = waveform_len(&sample);
+        let frames = self.frames_for(len);
+        let n_mels = self.filterbank.n_mels();
+        let log2n = self.n_fft.trailing_zeros() as f64;
+        ctx.cpu.exec(self.fft_kernel, frames as f64 * self.n_fft as f64 * log2n);
+        ctx.cpu
+            .exec(self.matmul_kernel, (frames * n_mels * self.filterbank.n_bins()) as f64);
+        let out_shape = vec![n_mels, frames];
+        let data = match sample {
+            Sample::Tensor { data: Some(t), .. } => {
+                let src = t.as_f32();
+                let window = hann_window(self.n_fft);
+                let mut out = vec![0.0f32; n_mels * frames];
+                for frame in 0..frames {
+                    let start = frame * self.hop;
+                    let slice: Vec<f64> = (0..self.n_fft)
+                        .map(|i| src.get(start + i).copied().unwrap_or(0.0) as f64)
+                        .collect();
+                    let mel = self.filterbank.apply(&power_spectrum(&slice, &window));
+                    for (m, &v) in mel.iter().enumerate() {
+                        out[m * frames + frame] = v as f32;
+                    }
+                }
+                Some(Tensor::from_f32(&out_shape, out))
+            }
+            _ => None,
+        };
+        Sample::Tensor { shape: out_shape, dtype: DType::F32, data }
+    }
+}
+
+/// Pads (with zeros) or trims the waveform to a fixed length — the
+/// standard torchaudio practice that keeps batches rectangular despite
+/// variable clip durations.
+pub struct PadTrim {
+    target_len: usize,
+    kernel: KernelId,
+}
+
+impl std::fmt::Debug for PadTrim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PadTrim").field("target_len", &self.target_len).finish()
+    }
+}
+
+impl PadTrim {
+    /// Creates the transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_len == 0`.
+    #[must_use]
+    pub fn new(machine: &Machine, target_len: usize) -> PadTrim {
+        assert!(target_len > 0, "target length must be positive");
+        PadTrim {
+            target_len,
+            kernel: machine.kernel(
+                "at_native_constant_pad_nd",
+                LIBTORCH,
+                CostCoeffs::streaming_default(),
+            ),
+        }
+    }
+}
+
+impl Transform for PadTrim {
+    fn name(&self) -> &str {
+        "PadTrim"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let len = waveform_len(&sample);
+        ctx.cpu.exec(self.kernel, self.target_len as f64 * 4.0); // f32 bytes
+        let data = match sample {
+            Sample::Tensor { data: Some(t), .. } => {
+                let src = t.as_f32();
+                let mut out = vec![0.0f32; self.target_len];
+                let copy = len.min(self.target_len);
+                out[..copy].copy_from_slice(&src[..copy]);
+                Some(Tensor::from_f32(&[self.target_len], out))
+            }
+            _ => None,
+        };
+        Sample::Tensor { shape: vec![self.target_len], dtype: DType::F32, data }
+    }
+}
+
+/// SpecAugment-style masking: zeroes one random time strip and one random
+/// frequency strip of the spectrogram.
+pub struct SpecAugment {
+    max_time_frames: usize,
+    max_freq_bands: usize,
+    kernel: KernelId,
+}
+
+impl std::fmt::Debug for SpecAugment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecAugment")
+            .field("max_time", &self.max_time_frames)
+            .field("max_freq", &self.max_freq_bands)
+            .finish()
+    }
+}
+
+impl SpecAugment {
+    /// Creates the transform with maximum mask extents.
+    #[must_use]
+    pub fn new(machine: &Machine, max_time_frames: usize, max_freq_bands: usize) -> SpecAugment {
+        SpecAugment {
+            max_time_frames,
+            max_freq_bands,
+            kernel: machine.kernel(
+                "at_native_index_fill_kernel",
+                LIBTORCH,
+                CostCoeffs {
+                    base_insts: 400.0,
+                    insts_per_unit: 0.6, // per masked element
+                    ..CostCoeffs::compute_default()
+                },
+            ),
+        }
+    }
+}
+
+impl Transform for SpecAugment {
+    fn name(&self) -> &str {
+        "SpecAugment"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let Sample::Tensor { shape, dtype, data } = sample else {
+            panic!("SpecAugment expects a spectrogram tensor");
+        };
+        assert_eq!(shape.len(), 2, "SpecAugment expects [n_mels × frames], got {shape:?}");
+        let (mels, frames) = (shape[0], shape[1]);
+        let t_width = ctx.rng.gen_range(0..=self.max_time_frames.min(frames));
+        let f_width = ctx.rng.gen_range(0..=self.max_freq_bands.min(mels));
+        let t_start = ctx.rng.gen_range(0..=frames - t_width);
+        let f_start = ctx.rng.gen_range(0..=mels - f_width);
+        let masked = t_width * mels + f_width * frames;
+        if masked > 0 {
+            ctx.cpu.exec(self.kernel, masked as f64);
+        }
+        let data = data.map(|mut t| {
+            {
+                let v = t.as_f32_mut();
+                for m in 0..mels {
+                    for f in t_start..t_start + t_width {
+                        v[m * frames + f] = 0.0;
+                    }
+                }
+                for m in f_start..f_start + f_width {
+                    for f in 0..frames {
+                        v[m * frames + f] = 0.0;
+                    }
+                }
+            }
+            t
+        });
+        Sample::Tensor { shape, dtype, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_uarch::{CpuThread, MachineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Machine>, CpuThread, StdRng) {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        let cpu = CpuThread::new(Arc::clone(&machine));
+        (machine, cpu, StdRng::seed_from_u64(4))
+    }
+
+    fn tone(len: usize, hz: f64, sr: f64) -> Tensor {
+        let v: Vec<f32> = (0..len)
+            .map(|i| (2.0 * std::f64::consts::PI * hz * i as f64 / sr).sin() as f32)
+            .collect();
+        Tensor::from_f32(&[len], v)
+    }
+
+    #[test]
+    fn resample_scales_the_length() {
+        let (machine, mut cpu, mut rng) = setup();
+        let rs = Resample::new(&machine, 22_050, 16_000);
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let out = rs.apply(Sample::tensor(tone(22_050, 440.0, 22_050.0)), &mut ctx);
+        let Sample::Tensor { shape, data: Some(t), .. } = out else { unreachable!() };
+        assert_eq!(shape, vec![16_000]);
+        assert_eq!(t.as_f32().len(), 16_000);
+        assert!(cpu.cursor().as_nanos() > 0);
+    }
+
+    #[test]
+    fn mel_spectrogram_shape_and_tone_localization() {
+        let (machine, mut cpu, mut rng) = setup();
+        let mel = MelSpectrogram::new(&machine, 16_000, 1024, 512, 64);
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let out = mel.apply(Sample::tensor(tone(16_000, 2_000.0, 16_000.0)), &mut ctx);
+        let Sample::Tensor { shape, data: Some(t), .. } = out else { unreachable!() };
+        assert_eq!(shape[0], 64);
+        assert_eq!(shape[1], mel.frames_for(16_000));
+        // The 2 kHz tone concentrates energy in a mid-high band.
+        let frames = shape[1];
+        let band_energy: Vec<f32> =
+            (0..64).map(|m| t.as_f32()[m * frames..(m + 1) * frames].iter().sum()).collect();
+        let peak = band_energy
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((28..=40).contains(&peak), "peak band {peak}");
+    }
+
+    #[test]
+    fn mel_spectrogram_meta_path_matches_real_geometry() {
+        let (machine, _, _) = setup();
+        let mel = MelSpectrogram::new(&machine, 16_000, 1024, 512, 64);
+        let mut cpu_a = CpuThread::new(Arc::clone(&machine));
+        let mut cpu_b = CpuThread::new(Arc::clone(&machine));
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let meta = mel.apply(
+            Sample::tensor_meta(&[16_000], DType::F32),
+            &mut TransformCtx { cpu: &mut cpu_a, rng: &mut rng_a },
+        );
+        let real = mel.apply(
+            Sample::tensor(tone(16_000, 440.0, 16_000.0)),
+            &mut TransformCtx { cpu: &mut cpu_b, rng: &mut rng_b },
+        );
+        let (Sample::Tensor { shape: sa, .. }, Sample::Tensor { shape: sb, .. }) = (meta, real)
+        else {
+            unreachable!()
+        };
+        assert_eq!(sa, sb);
+        assert_eq!(cpu_a.cursor(), cpu_b.cursor(), "identical charged cost");
+    }
+
+    #[test]
+    fn pad_trim_fixes_the_length() {
+        let (machine, mut cpu, mut rng) = setup();
+        let pt = PadTrim::new(&machine, 1_000);
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let short = pt.apply(Sample::tensor(tone(600, 100.0, 16_000.0)), &mut ctx);
+        let Sample::Tensor { shape, data: Some(t), .. } = short else { unreachable!() };
+        assert_eq!(shape, vec![1_000]);
+        assert!(t.as_f32()[600..].iter().all(|&v| v == 0.0), "padding is silence");
+        let long = pt.apply(Sample::tensor(tone(5_000, 100.0, 16_000.0)), &mut ctx);
+        assert!(matches!(long, Sample::Tensor { ref shape, .. } if shape == &vec![1_000]));
+    }
+
+    #[test]
+    fn spec_augment_zeroes_strips() {
+        let (machine, mut cpu, mut rng) = setup();
+        let aug = SpecAugment::new(&machine, 8, 8);
+        let t = Tensor::from_f32(&[16, 32], vec![1.0; 16 * 32]);
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let out = aug.apply(Sample::tensor(t), &mut ctx);
+        let Sample::Tensor { data: Some(t), .. } = out else { unreachable!() };
+        let zeros = t.as_f32().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 0, "some cells must be masked");
+        assert!(zeros < 16 * 32, "not everything");
+    }
+
+    #[test]
+    fn frames_for_covers_short_and_long_signals() {
+        let (machine, _, _) = setup();
+        let mel = MelSpectrogram::new(&machine, 16_000, 1024, 512, 32);
+        assert_eq!(mel.frames_for(100), 1);
+        assert_eq!(mel.frames_for(1024), 1);
+        assert_eq!(mel.frames_for(1025), 2);
+        assert_eq!(mel.frames_for(16_000), 1 + (16_000usize - 1024).div_ceil(512));
+    }
+}

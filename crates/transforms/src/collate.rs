@@ -1,0 +1,196 @@
+//! Batch collation (`torch.utils.data._utils.collate.default_collate`).
+
+use lotus_data::{DType, Tensor};
+use lotus_uarch::{CostCoeffs, KernelId, Machine};
+
+use crate::sample::{Batch, Sample};
+use crate::transform::TransformCtx;
+
+/// Stacks per-sample tensors into a batch tensor, the `Collation(C(k))`
+/// step of the paper's pipelines.
+pub struct Collate {
+    stack_kernel: KernelId,
+    memcpy_kernel: KernelId,
+}
+
+impl std::fmt::Debug for Collate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Collate")
+    }
+}
+
+impl Collate {
+    /// The name LotusTrace logs for this step, parameterized by batch size
+    /// (`C(128)` in Table II).
+    #[must_use]
+    pub fn display_name(batch_size: usize) -> String {
+        format!("C({batch_size})")
+    }
+
+    /// Creates the collation step.
+    #[must_use]
+    pub fn new(machine: &Machine) -> Collate {
+        Collate {
+            stack_kernel: machine.kernel(
+                "at_native_stack_serial_kernel",
+                "libtorch_cpu.so",
+                CostCoeffs {
+                    base_insts: 2_000.0,
+                    insts_per_unit: 0.12, // per byte stacked
+                    uops_per_inst: 1.05,
+                    ipc_base: 2.4,
+                    l1_miss_per_unit: 1.0 / 64.0,
+                    l2_miss_per_unit: 0.9 / 64.0,
+                    llc_miss_per_unit: 0.85 / 64.0,
+                    branches_per_unit: 0.01,
+                    mispredict_rate: 0.005,
+                    frontend_sensitivity: 0.1,
+                },
+            ),
+            memcpy_kernel: machine.kernel(
+                "__memcpy_avx_unaligned_erms",
+                "libc.so.6",
+                CostCoeffs::streaming_default(),
+            ),
+        }
+    }
+
+    /// Collates `samples` into a batch, charging kernel costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, contains non-tensor samples, or the
+    /// samples disagree on shape/dtype (the same conditions under which
+    /// PyTorch's `default_collate` raises).
+    #[must_use]
+    pub fn apply(&self, samples: Vec<Sample>, ctx: &mut TransformCtx<'_>) -> Batch {
+        assert!(!samples.is_empty(), "cannot collate an empty batch");
+        let (first_shape, dtype) = match &samples[0] {
+            Sample::Tensor { shape, dtype, .. } => (shape.clone(), *dtype),
+            Sample::Image { .. } => panic!("collate expects tensor samples (apply ToTensor first)"),
+        };
+        let mut total_bytes = 0u64;
+        for s in &samples {
+            match s {
+                Sample::Tensor { shape, dtype: d, .. } => {
+                    assert_eq!(shape, &first_shape, "ragged batch: shapes differ");
+                    assert_eq!(*d, dtype, "ragged batch: dtypes differ");
+                }
+                Sample::Image { .. } => panic!("collate expects tensor samples"),
+            }
+            total_bytes += s.bytes();
+        }
+        ctx.cpu.exec(self.stack_kernel, total_bytes as f64);
+        ctx.cpu.exec(self.memcpy_kernel, total_bytes as f64);
+
+        let mut shape = Vec::with_capacity(first_shape.len() + 1);
+        shape.push(samples.len());
+        shape.extend_from_slice(&first_shape);
+
+        let all_materialized = samples.iter().all(Sample::is_materialized);
+        let data = all_materialized.then(|| stack_tensors(&samples, &shape, dtype));
+        Batch { len: samples.len(), shape, bytes: total_bytes, data }
+    }
+}
+
+fn stack_tensors(samples: &[Sample], shape: &[usize], dtype: DType) -> Tensor {
+    match dtype {
+        DType::F32 => {
+            let mut out = Vec::with_capacity(shape.iter().product());
+            for s in samples {
+                let Sample::Tensor { data: Some(t), .. } = s else { unreachable!() };
+                out.extend_from_slice(t.as_f32());
+            }
+            Tensor::from_f32(shape, out)
+        }
+        DType::U8 => {
+            let mut out = Vec::with_capacity(shape.iter().product());
+            for s in samples {
+                let Sample::Tensor { data: Some(t), .. } = s else { unreachable!() };
+                out.extend_from_slice(t.as_u8());
+            }
+            Tensor::from_u8(shape, out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_uarch::{CpuThread, MachineConfig};
+    use lotus_uarch::Machine as M;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<M>, CpuThread, StdRng) {
+        let machine = M::new(MachineConfig::cloudlab_c4130());
+        let cpu = CpuThread::new(Arc::clone(&machine));
+        (machine, cpu, StdRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn collate_stacks_meta_samples() {
+        let (machine, mut cpu, mut rng) = setup();
+        let collate = Collate::new(&machine);
+        let samples: Vec<Sample> =
+            (0..4).map(|_| Sample::tensor_meta(&[3, 8, 8], DType::F32)).collect();
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let batch = collate.apply(samples, &mut ctx);
+        assert_eq!(batch.len, 4);
+        assert_eq!(batch.shape, vec![4, 3, 8, 8]);
+        assert_eq!(batch.bytes, 4 * 3 * 8 * 8 * 4);
+        assert!(batch.data.is_none());
+        assert!(cpu.cursor().as_nanos() > 0);
+    }
+
+    #[test]
+    fn collate_stacks_real_tensors() {
+        let (machine, mut cpu, mut rng) = setup();
+        let collate = Collate::new(&machine);
+        let samples: Vec<Sample> = (0..2)
+            .map(|i| Sample::tensor(Tensor::from_f32(&[2], vec![i as f32, i as f32 + 0.5])))
+            .collect();
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let batch = collate.apply(samples, &mut ctx);
+        let t = batch.data.unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.as_f32(), &[0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn collate_cost_scales_with_batch_size() {
+        let (machine, _, _) = setup();
+        let collate = Collate::new(&machine);
+        let cost = |n: usize| {
+            let mut cpu = CpuThread::new(Arc::clone(&machine));
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+            let samples: Vec<Sample> =
+                (0..n).map(|_| Sample::tensor_meta(&[3, 224, 224], DType::F32)).collect();
+            let _ = collate.apply(samples, &mut ctx);
+            cpu.cursor().as_nanos()
+        };
+        let c2 = cost(2);
+        let c128 = cost(128);
+        assert!(c128 > 40 * c2, "c2={c2} c128={c128}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged batch")]
+    fn ragged_batches_are_rejected() {
+        let (machine, mut cpu, mut rng) = setup();
+        let collate = Collate::new(&machine);
+        let samples = vec![
+            Sample::tensor_meta(&[3, 8, 8], DType::F32),
+            Sample::tensor_meta(&[3, 9, 9], DType::F32),
+        ];
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let _ = collate.apply(samples, &mut ctx);
+    }
+
+    #[test]
+    fn display_name_matches_paper_notation() {
+        assert_eq!(Collate::display_name(128), "C(128)");
+    }
+}

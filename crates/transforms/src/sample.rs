@@ -1,0 +1,129 @@
+//! Values flowing through a preprocessing pipeline.
+
+use lotus_data::{DType, Image, Tensor};
+
+/// A sample at some stage of a preprocessing pipeline.
+///
+/// Every sample carries its *geometry* (dimensions, dtype) so the cost
+/// model can run without materialized data; the `data` field optionally
+/// carries real pixels/values for the real-compute path (examples, codec
+/// round-trips, LotusMap isolation runs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sample {
+    /// A decoded image (HWC, u8).
+    Image {
+        /// Height in pixels.
+        height: usize,
+        /// Width in pixels.
+        width: usize,
+        /// Real pixels, if materialized.
+        data: Option<Image>,
+    },
+    /// A tensor (CHW after `ToTensor`, or a 3-D/4-D volume).
+    Tensor {
+        /// Tensor shape.
+        shape: Vec<usize>,
+        /// Element type.
+        dtype: DType,
+        /// Real values, if materialized.
+        data: Option<Tensor>,
+    },
+}
+
+impl Sample {
+    /// A cost-only image sample.
+    #[must_use]
+    pub fn image_meta(height: usize, width: usize) -> Sample {
+        Sample::Image { height, width, data: None }
+    }
+
+    /// A materialized image sample.
+    #[must_use]
+    pub fn image(image: Image) -> Sample {
+        Sample::Image { height: image.height(), width: image.width(), data: Some(image) }
+    }
+
+    /// A cost-only tensor sample.
+    #[must_use]
+    pub fn tensor_meta(shape: &[usize], dtype: DType) -> Sample {
+        Sample::Tensor { shape: shape.to_vec(), dtype, data: None }
+    }
+
+    /// A materialized tensor sample.
+    #[must_use]
+    pub fn tensor(tensor: Tensor) -> Sample {
+        Sample::Tensor {
+            shape: tensor.shape().to_vec(),
+            dtype: tensor.dtype(),
+            data: Some(tensor),
+        }
+    }
+
+    /// Logical element count (pixels × channels, or tensor elements).
+    #[must_use]
+    pub fn elements(&self) -> u64 {
+        match self {
+            Sample::Image { height, width, .. } => (height * width * Image::CHANNELS) as u64,
+            Sample::Tensor { shape, .. } => shape.iter().product::<usize>() as u64,
+        }
+    }
+
+    /// Payload size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Sample::Image { .. } => self.elements(),
+            Sample::Tensor { dtype, .. } => self.elements() * dtype.size_bytes() as u64,
+        }
+    }
+
+    /// True if real data is attached.
+    #[must_use]
+    pub fn is_materialized(&self) -> bool {
+        match self {
+            Sample::Image { data, .. } => data.is_some(),
+            Sample::Tensor { data, .. } => data.is_some(),
+        }
+    }
+}
+
+/// A collated batch ready for transfer to an accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Number of samples collated.
+    pub len: usize,
+    /// Stacked tensor shape (leading batch dimension included).
+    pub shape: Vec<usize>,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Real stacked values, if every input was materialized.
+    pub data: Option<Tensor>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_geometry_and_bytes() {
+        let s = Sample::image_meta(10, 20);
+        assert_eq!(s.elements(), 600);
+        assert_eq!(s.bytes(), 600);
+        assert!(!s.is_materialized());
+    }
+
+    #[test]
+    fn f32_tensor_bytes_are_4x_elements() {
+        let s = Sample::tensor_meta(&[3, 224, 224], DType::F32);
+        assert_eq!(s.elements(), 3 * 224 * 224);
+        assert_eq!(s.bytes(), 3 * 224 * 224 * 4);
+    }
+
+    #[test]
+    fn materialized_samples_report_real_geometry() {
+        let img = Image::filled(4, 6, [1, 2, 3]);
+        let s = Sample::image(img);
+        assert!(s.is_materialized());
+        assert_eq!(s.elements(), 72);
+    }
+}

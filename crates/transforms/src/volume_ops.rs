@@ -1,0 +1,566 @@
+//! Volumetric transforms: the IS (image segmentation / U-Net3D) pipeline
+//! operations, mirroring the MLPerf reference implementation's numpy code.
+
+use lotus_data::dist::Normal;
+use lotus_data::{DType, Tensor};
+use lotus_uarch::{CostCoeffs, KernelId, Machine};
+use rand::Rng;
+
+use crate::sample::Sample;
+use crate::transform::{Transform, TransformCtx};
+
+const NUMPY: &str = "_multiarray_umath.cpython-310-x86_64-linux-gnu.so";
+
+fn elementwise_cost(insts_per_unit: f64) -> CostCoeffs {
+    CostCoeffs {
+        base_insts: 300.0,
+        insts_per_unit,
+        uops_per_inst: 1.05,
+        ipc_base: 2.8,
+        l1_miss_per_unit: 4.0 / 64.0,
+        l2_miss_per_unit: 0.05,
+        llc_miss_per_unit: 0.04,
+        branches_per_unit: 0.05,
+        mispredict_rate: 0.003,
+        frontend_sensitivity: 0.08,
+    }
+}
+
+fn volume_dims(shape: &[usize]) -> (usize, usize, usize) {
+    assert_eq!(shape.len(), 3, "volume ops expect 3-D tensors, got {shape:?}");
+    (shape[0], shape[1], shape[2])
+}
+
+/// `RandBalancedCrop`: foreground-aware patch cropping. With probability
+/// `oversampling` the crop is centered on a foreground voxel, which
+/// requires scanning the label volume (expensive); otherwise the origin is
+/// uniform (nearly free — numpy slicing is a view). This bimodality is the
+/// source of RBC's enormous variance in the paper's Table II
+/// (61 % of executions < 100 µs, P90 ≈ 300 ms).
+pub struct RandBalancedCrop {
+    patch: (usize, usize, usize),
+    oversampling: f64,
+    scan_kernel: KernelId,
+    copy_kernel: KernelId,
+}
+
+impl std::fmt::Debug for RandBalancedCrop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandBalancedCrop")
+            .field("patch", &self.patch)
+            .field("oversampling", &self.oversampling)
+            .finish()
+    }
+}
+
+impl RandBalancedCrop {
+    /// Creates the transform (MLPerf default: 128³ patch, oversampling 0.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oversampling` is outside `[0, 1]` or the patch is empty.
+    #[must_use]
+    pub fn new(machine: &Machine, patch: (usize, usize, usize), oversampling: f64) -> RandBalancedCrop {
+        assert!((0.0..=1.0).contains(&oversampling), "oversampling must be in [0,1]");
+        assert!(patch.0 > 0 && patch.1 > 0 && patch.2 > 0, "patch must be non-empty");
+        RandBalancedCrop {
+            patch,
+            oversampling,
+            scan_kernel: machine.kernel(
+                "np_argwhere_nonzero",
+                NUMPY,
+                CostCoeffs {
+                    // np.argwhere materializes large index arrays: heavy
+                    // per-voxel instruction count and poor locality.
+                    base_insts: 800.0,
+                    insts_per_unit: 60.0, // per voxel scanned
+                    uops_per_inst: 1.1,
+                    ipc_base: 2.2,
+                    l1_miss_per_unit: 0.18,
+                    l2_miss_per_unit: 0.16,
+                    llc_miss_per_unit: 0.15,
+                    branches_per_unit: 1.0,
+                    mispredict_rate: 0.03,
+                    frontend_sensitivity: 0.2,
+                },
+            ),
+            copy_kernel: machine.kernel("np_slice_copy", NUMPY, CostCoeffs::streaming_default()),
+        }
+    }
+}
+
+impl Transform for RandBalancedCrop {
+    fn name(&self) -> &str {
+        "RandBalancedCrop"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let Sample::Tensor { shape, dtype, data } = sample else {
+            panic!("RandBalancedCrop expects a volume tensor");
+        };
+        let (d, h, w) = volume_dims(&shape);
+        let foreground = ctx.rng.gen_bool(self.oversampling);
+        if foreground {
+            // Scan the label volume for foreground voxels.
+            ctx.cpu.exec(self.scan_kernel, (d * h * w) as f64);
+        }
+        // The output patch always has the configured dimensions: volumes
+        // smaller than the patch are zero-padded (as MLPerf's reference
+        // implementation pads), keeping batches rectangular.
+        let out_shape = vec![self.patch.0, self.patch.1, self.patch.2];
+        if foreground {
+            // The foreground path materializes the patch (copy); the
+            // random path returns a numpy view, which is free.
+            let patch_bytes: usize =
+                out_shape.iter().product::<usize>() * dtype.size_bytes();
+            ctx.cpu.exec(self.copy_kernel, patch_bytes as f64);
+        }
+        let origin = (
+            ctx.rng.gen_range(0..=d.saturating_sub(self.patch.0)),
+            ctx.rng.gen_range(0..=h.saturating_sub(self.patch.1)),
+            ctx.rng.gen_range(0..=w.saturating_sub(self.patch.2)),
+        );
+        let out = data.map(|t| crop_volume(&t, &shape, origin, self.patch));
+        Sample::Tensor { shape: out_shape, dtype, data: out }
+    }
+}
+
+/// Extracts a patch starting at `origin`, zero-padding where the patch
+/// extends past the volume.
+fn crop_volume(
+    t: &Tensor,
+    shape: &[usize],
+    origin: (usize, usize, usize),
+    patch: (usize, usize, usize),
+) -> Tensor {
+    let (d, h, w) = volume_dims(shape);
+    let src = t.as_f32();
+    let mut out = Vec::with_capacity(patch.0 * patch.1 * patch.2);
+    for z in 0..patch.0 {
+        for y in 0..patch.1 {
+            for x in 0..patch.2 {
+                let (sz, sy, sx) = (origin.0 + z, origin.1 + y, origin.2 + x);
+                if sz < d && sy < h && sx < w {
+                    out.push(src[sz * h * w + sy * w + sx]);
+                } else {
+                    out.push(0.0);
+                }
+            }
+        }
+    }
+    Tensor::from_f32(&[patch.0, patch.1, patch.2], out)
+}
+
+/// `RandomFlip`: reverses the volume along each axis independently with
+/// probability 1/3 (so ~30 % of calls flip nothing, matching the paper's
+/// 28.6 % of RF executions under 100 µs).
+pub struct RandomFlip3d {
+    axis_p: f64,
+    flip_kernel: KernelId,
+}
+
+impl std::fmt::Debug for RandomFlip3d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomFlip3d").field("axis_p", &self.axis_p).finish()
+    }
+}
+
+impl RandomFlip3d {
+    /// Creates the transform with per-axis flip probability `axis_p`
+    /// (MLPerf uses 1/3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis_p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(machine: &Machine, axis_p: f64) -> RandomFlip3d {
+        assert!((0.0..=1.0).contains(&axis_p), "probability must be in [0,1]");
+        RandomFlip3d {
+            axis_p,
+            flip_kernel: machine.kernel(
+                "np_flip_copy",
+                NUMPY,
+                CostCoeffs {
+                    base_insts: 300.0,
+                    insts_per_unit: 0.4, // per byte moved
+                    uops_per_inst: 1.05,
+                    ipc_base: 2.7,
+                    l1_miss_per_unit: 2.0 / 64.0,
+                    l2_miss_per_unit: 0.025,
+                    llc_miss_per_unit: 0.02,
+                    branches_per_unit: 0.05,
+                    mispredict_rate: 0.002,
+                    frontend_sensitivity: 0.06,
+                },
+            ),
+        }
+    }
+}
+
+impl Transform for RandomFlip3d {
+    fn name(&self) -> &str {
+        "RandomFlip"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let Sample::Tensor { shape, dtype, data } = sample else {
+            panic!("RandomFlip expects a volume tensor");
+        };
+        let axes: Vec<bool> = (0..3).map(|_| ctx.rng.gen_bool(self.axis_p)).collect();
+        let flips = axes.iter().filter(|&&f| f).count();
+        if flips == 0 {
+            return Sample::Tensor { shape, dtype, data };
+        }
+        let bytes: usize = shape.iter().product::<usize>() * dtype.size_bytes();
+        ctx.cpu.exec(self.flip_kernel, (bytes * flips) as f64);
+        let out = data.map(|t| flip_volume(&t, &shape, &axes));
+        Sample::Tensor { shape, dtype, data: out }
+    }
+}
+
+fn flip_volume(t: &Tensor, shape: &[usize], axes: &[bool]) -> Tensor {
+    let (d, h, w) = volume_dims(shape);
+    let src = t.as_f32();
+    let mut out = vec![0.0f32; src.len()];
+    for z in 0..d {
+        for y in 0..h {
+            for x in 0..w {
+                let sz = if axes[0] { d - 1 - z } else { z };
+                let sy = if axes[1] { h - 1 - y } else { y };
+                let sx = if axes[2] { w - 1 - x } else { x };
+                out[z * h * w + y * w + x] = src[sz * h * w + sy * w + sx];
+            }
+        }
+    }
+    Tensor::from_f32(shape, out)
+}
+
+/// `Cast`: converts the volume from float32 to uint8 (the IS pipeline's
+/// dtype squeeze).
+pub struct Cast {
+    cast_kernel: KernelId,
+}
+
+impl std::fmt::Debug for Cast {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Cast")
+    }
+}
+
+impl Cast {
+    /// Creates the transform.
+    #[must_use]
+    pub fn new(machine: &Machine) -> Cast {
+        Cast { cast_kernel: machine.kernel("np_cast_f32_u8", NUMPY, elementwise_cost(1.2)) }
+    }
+}
+
+impl Transform for Cast {
+    fn name(&self) -> &str {
+        "Cast"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let Sample::Tensor { shape, dtype, data } = sample else {
+            panic!("Cast expects a tensor");
+        };
+        if dtype == DType::U8 {
+            return Sample::Tensor { shape, dtype, data };
+        }
+        let elements: usize = shape.iter().product();
+        ctx.cpu.exec(self.cast_kernel, elements as f64);
+        let out = data.map(|t| t.to_u8_saturating());
+        Sample::Tensor { shape, dtype: DType::U8, data: out }
+    }
+}
+
+/// `RandomBrightnessAugmentation`: with probability `p`, scales the volume
+/// by a random factor (no-op otherwise — hence 88.7 % of executions under
+/// 100 µs in Table II).
+pub struct RandomBrightnessAugmentation {
+    p: f64,
+    factor_range: (f64, f64),
+    mul_kernel: KernelId,
+}
+
+impl std::fmt::Debug for RandomBrightnessAugmentation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomBrightnessAugmentation").field("p", &self.p).finish()
+    }
+}
+
+impl RandomBrightnessAugmentation {
+    /// Creates the transform (MLPerf default: p = 0.1, factor ±0.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(machine: &Machine, p: f64) -> RandomBrightnessAugmentation {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        RandomBrightnessAugmentation {
+            p,
+            factor_range: (0.7, 1.3),
+            // numpy upcasts u8→float, scales, clips and casts back:
+            // three full passes over the volume.
+            mul_kernel: machine.kernel("np_multiply_scalar", NUMPY, elementwise_cost(22.0)),
+        }
+    }
+}
+
+impl Transform for RandomBrightnessAugmentation {
+    fn name(&self) -> &str {
+        "RandomBrightnessAugmentation"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let Sample::Tensor { shape, dtype, data } = sample else {
+            panic!("RandomBrightnessAugmentation expects a tensor");
+        };
+        if !ctx.rng.gen_bool(self.p) {
+            return Sample::Tensor { shape, dtype, data };
+        }
+        let factor = ctx.rng.gen_range(self.factor_range.0..=self.factor_range.1) as f32;
+        let elements: usize = shape.iter().product();
+        ctx.cpu.exec(self.mul_kernel, elements as f64);
+        let out = data.map(|mut t| {
+            if dtype == DType::F32 {
+                for v in t.as_f32_mut() {
+                    *v *= factor;
+                }
+            } else {
+                for v in t.as_u8_mut() {
+                    *v = (f32::from(*v) * factor).clamp(0.0, 255.0) as u8;
+                }
+            }
+            t
+        });
+        Sample::Tensor { shape, dtype, data: out }
+    }
+}
+
+/// `GaussianNoise`: with probability `p`, adds element-wise Gaussian noise
+/// (expensive when taken: one normal draw per voxel).
+pub struct GaussianNoise {
+    p: f64,
+    std: f64,
+    rng_kernel: KernelId,
+    add_kernel: KernelId,
+}
+
+impl std::fmt::Debug for GaussianNoise {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaussianNoise").field("p", &self.p).field("std", &self.std).finish()
+    }
+}
+
+impl GaussianNoise {
+    /// Creates the transform (MLPerf default: p = 0.1, σ = 0.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or `std` is negative.
+    #[must_use]
+    pub fn new(machine: &Machine, p: f64, std: f64) -> GaussianNoise {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        assert!(std >= 0.0, "std must be non-negative");
+        GaussianNoise {
+            p,
+            std,
+            rng_kernel: machine.kernel(
+                "np_random_standard_normal",
+                NUMPY,
+                CostCoeffs {
+                    base_insts: 600.0,
+                    insts_per_unit: 170.0, // per voxel: legacy-generator gaussian draws
+                    uops_per_inst: 1.15,
+                    ipc_base: 1.9,
+                    l1_miss_per_unit: 0.01,
+                    l2_miss_per_unit: 0.003,
+                    llc_miss_per_unit: 0.001,
+                    branches_per_unit: 4.0,
+                    mispredict_rate: 0.02,
+                    frontend_sensitivity: 0.45,
+                },
+            ),
+            add_kernel: machine.kernel("np_add_arrays", NUMPY, elementwise_cost(0.8)),
+        }
+    }
+}
+
+impl Transform for GaussianNoise {
+    fn name(&self) -> &str {
+        "GaussianNoise"
+    }
+
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+        let Sample::Tensor { shape, dtype, data } = sample else {
+            panic!("GaussianNoise expects a tensor");
+        };
+        if !ctx.rng.gen_bool(self.p) {
+            return Sample::Tensor { shape, dtype, data };
+        }
+        let elements: usize = shape.iter().product();
+        ctx.cpu.exec(self.rng_kernel, elements as f64);
+        ctx.cpu.exec(self.add_kernel, elements as f64);
+        let dist = Normal::new(0.0, self.std);
+        let out = data.map(|mut t| {
+            if dtype == DType::F32 {
+                for v in t.as_f32_mut() {
+                    *v += dist.sample(ctx.rng) as f32;
+                }
+            }
+            t
+        });
+        Sample::Tensor { shape, dtype, data: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_uarch::{CpuThread, MachineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Machine>, CpuThread, StdRng) {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        let cpu = CpuThread::new(Arc::clone(&machine));
+        (machine, cpu, StdRng::seed_from_u64(11))
+    }
+
+    fn meta_volume(d: usize, h: usize, w: usize) -> Sample {
+        Sample::tensor_meta(&[d, h, w], DType::F32)
+    }
+
+    #[test]
+    fn rbc_is_bimodal_in_cost() {
+        let (machine, _, _) = setup();
+        let rbc = RandBalancedCrop::new(&machine, (32, 32, 32), 0.4);
+        let mut cheap = 0u32;
+        let mut costs = Vec::new();
+        for seed in 0..200 {
+            let mut cpu = CpuThread::new(Arc::clone(&machine));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+            let _ = rbc.apply(meta_volume(200, 256, 256), &mut ctx);
+            let ns = cpu.cursor().as_nanos();
+            if ns < 100_000 {
+                cheap += 1;
+            }
+            costs.push(ns);
+        }
+        // ~60% of executions take the nearly-free random-crop path.
+        assert!((90..=150).contains(&cheap), "cheap path count {cheap}");
+        let max = costs.iter().max().unwrap();
+        let min = costs.iter().min().unwrap();
+        assert!(max / (min + 1) > 100, "expected bimodal cost: {min}..{max}");
+    }
+
+    #[test]
+    fn rbc_crops_to_patch_and_respects_small_volumes() {
+        let (machine, mut cpu, mut rng) = setup();
+        let rbc = RandBalancedCrop::new(&machine, (128, 128, 128), 0.4);
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let out = rbc.apply(meta_volume(64, 300, 300), &mut ctx);
+        let Sample::Tensor { shape, .. } = out else { unreachable!() };
+        assert_eq!(shape, vec![128, 128, 128], "shallow volumes are padded to the patch");
+    }
+
+    #[test]
+    fn rbc_real_crop_extracts_values() {
+        let (machine, mut cpu, mut rng) = setup();
+        let rbc = RandBalancedCrop::new(&machine, (2, 2, 2), 1.0);
+        let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let t = Tensor::from_f32(&[4, 4, 4], data);
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let out = rbc.apply(Sample::tensor(t), &mut ctx);
+        let Sample::Tensor { shape, data: Some(patch), .. } = out else { unreachable!() };
+        assert_eq!(shape, vec![2, 2, 2]);
+        assert_eq!(patch.as_f32().len(), 8);
+    }
+
+    #[test]
+    fn flip_all_axes_reverses_corner() {
+        let t = {
+            let mut v = vec![0.0f32; 8];
+            v[0] = 1.0; // corner (0,0,0)
+            Tensor::from_f32(&[2, 2, 2], v)
+        };
+        let flipped = flip_volume(&t, &[2, 2, 2], &[true, true, true]);
+        assert_eq!(flipped.as_f32()[7], 1.0);
+        assert_eq!(flipped.as_f32()[0], 0.0);
+    }
+
+    #[test]
+    fn flip_no_op_rate_matches_axis_probability() {
+        let (machine, _, _) = setup();
+        let rf = RandomFlip3d::new(&machine, 1.0 / 3.0);
+        let mut noop = 0;
+        for seed in 0..3000 {
+            let mut cpu = CpuThread::new(Arc::clone(&machine));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+            let _ = rf.apply(meta_volume(16, 16, 16), &mut ctx);
+            if cpu.cursor().as_nanos() == 0 {
+                noop += 1;
+            }
+        }
+        let rate = f64::from(noop) / 3000.0;
+        // (2/3)^3 ≈ 0.296, the paper's 28.6% of sub-100 µs RF executions.
+        assert!((0.25..0.35).contains(&rate), "no-op rate {rate}");
+    }
+
+    #[test]
+    fn cast_changes_dtype_and_is_idempotent() {
+        let (machine, mut cpu, mut rng) = setup();
+        let cast = Cast::new(&machine);
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let out = cast.apply(Sample::tensor(Tensor::from_f32(&[2, 2, 2], vec![300.0; 8])), &mut ctx);
+        let Sample::Tensor { dtype, data: Some(t), .. } = out else { unreachable!() };
+        assert_eq!(dtype, DType::U8);
+        assert!(t.as_u8().iter().all(|&b| b == 255));
+        let again = cast.apply(Sample::tensor(t), &mut ctx);
+        assert!(matches!(again, Sample::Tensor { dtype: DType::U8, .. }));
+    }
+
+    #[test]
+    fn rba_and_noise_are_usually_noops_at_p01() {
+        let (machine, _, _) = setup();
+        let rba = RandomBrightnessAugmentation::new(&machine, 0.1);
+        let gn = GaussianNoise::new(&machine, 0.1, 0.1);
+        let mut rba_noop = 0;
+        let mut gn_noop = 0;
+        for seed in 0..2000 {
+            for (which, t) in [(&rba as &dyn Transform, 0), (&gn as &dyn Transform, 1)] {
+                let mut cpu = CpuThread::new(Arc::clone(&machine));
+                let mut rng = StdRng::seed_from_u64(seed * 2 + t);
+                let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+                let _ = which.apply(meta_volume(8, 8, 8), &mut ctx);
+                if cpu.cursor().as_nanos() == 0 {
+                    if t == 0 {
+                        rba_noop += 1;
+                    } else {
+                        gn_noop += 1;
+                    }
+                }
+            }
+        }
+        for (label, n) in [("rba", rba_noop), ("gn", gn_noop)] {
+            let rate = f64::from(n) / 2000.0;
+            assert!((0.85..0.95).contains(&rate), "{label} no-op rate {rate}");
+        }
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_values_when_applied() {
+        let (machine, mut cpu, mut rng) = setup();
+        let gn = GaussianNoise::new(&machine, 1.0, 0.5);
+        let t = Tensor::from_f32(&[4, 4, 4], vec![0.0; 64]);
+        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let out = gn.apply(Sample::tensor(t), &mut ctx);
+        let Sample::Tensor { data: Some(t), .. } = out else { unreachable!() };
+        assert!(t.as_f32().iter().any(|&v| v != 0.0));
+    }
+}

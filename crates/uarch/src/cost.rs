@@ -1,0 +1,165 @@
+//! The analytic cost model: kernel invocation → elapsed cycles and
+//! hardware events.
+
+use lotus_sim::Span;
+
+use crate::events::HwEvents;
+use crate::kernels::CostCoeffs;
+use crate::machine::MachineConfig;
+
+/// Result of evaluating one kernel invocation under the cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Elapsed virtual time of the invocation.
+    pub elapsed: Span,
+    /// Hardware events charged to the invocation.
+    pub events: HwEvents,
+}
+
+/// Evaluates the cost of running a kernel over `work` units at machine
+/// load `load` (fraction of cores busy, see [`crate::Machine::load`]).
+///
+/// The model is a standard top-down decomposition:
+///
+/// * compute cycles = instructions / base IPC
+/// * memory stall cycles = Σ (misses at level L × latency of next level),
+///   with LLC→DRAM latency inflated by bandwidth contention
+///   (`1 + mem_contention × load`), and a fraction `mem_overlap` hidden by
+///   out-of-order execution;
+/// * front-end stall cycles = instructions × frontend_sensitivity ×
+///   fe_contention × load — shared fetch/decode and I-cache pressure grow
+///   with concurrently active workers (this is what Figure 6(f,g) of the
+///   paper observes as workers increase);
+/// * bad-speculation cycles = mispredicts × penalty.
+///
+/// Pipeline slots (`issue_width × clockticks`) are partitioned into
+/// retiring / front-end bound / backend bound / bad speculation, with the
+/// DRAM share of backend stalls tracked separately for the paper's
+/// "loads serviced by local DRAM" drill-down.
+#[must_use]
+pub fn evaluate(config: &MachineConfig, cost: &CostCoeffs, work: f64, load: f64) -> KernelCost {
+    debug_assert!(work >= 0.0, "work must be non-negative");
+    debug_assert!(load >= 0.0, "load must be non-negative");
+
+    let insts = cost.base_insts + cost.insts_per_unit * work;
+    let uops = insts * cost.uops_per_inst;
+    let branches = cost.branches_per_unit * work;
+    let mispredicts = branches * cost.mispredict_rate;
+
+    let l1 = cost.l1_miss_per_unit * work;
+    let l2 = cost.l2_miss_per_unit * work;
+    let llc = cost.llc_miss_per_unit * work;
+
+    let compute_cycles = insts / cost.ipc_base;
+
+    let dram_latency = config.dram_latency * (1.0 + config.mem_contention * load);
+    let l2_service = (l1 - l2) * config.l2_latency;
+    let llc_service = (l2 - llc) * config.llc_latency;
+    let dram_service = llc * dram_latency;
+    // Front-end pressure: shared fetch/decode and I-cache contention grows
+    // with machine load, scaled by the kernel's code-footprint sensitivity.
+    let fe_pressure = cost.frontend_sensitivity * config.fe_contention * load;
+    let exposed = 1.0 - config.mem_overlap;
+    let mem_cycles = (l2_service + llc_service + dram_service) * exposed;
+    // When the front-end undersupplies uops, fewer loads are in flight and
+    // the remaining memory stalls overlap more deeply — the paper's
+    // Figure 6(f–h) observation that the *visible* DRAM pressure falls as
+    // workers (and front-end stalls) grow. The effect shows up in the
+    // DRAM-bound accounting; total elapsed time stays monotone in load.
+    let dram_cycles = dram_service * exposed / (1.0 + fe_pressure);
+
+    let fe_cycles = insts * fe_pressure / cost.ipc_base;
+    let spec_cycles = mispredicts * config.mispredict_penalty;
+
+    let clockticks = compute_cycles + mem_cycles + fe_cycles + spec_cycles;
+    let slots = clockticks * config.issue_width;
+
+    let frontend_bound_slots = fe_cycles * config.issue_width;
+    let backend_bound_slots = mem_cycles * config.issue_width;
+    let dram_bound_slots = dram_cycles * config.issue_width;
+    let bad_speculation_slots = spec_cycles * config.issue_width;
+    let retiring_slots =
+        (slots - frontend_bound_slots - backend_bound_slots - bad_speculation_slots).max(0.0);
+
+    let nanos = clockticks / config.cycles_per_ns();
+    KernelCost {
+        elapsed: Span::from_nanos(nanos.round() as u64),
+        events: HwEvents {
+            clockticks,
+            instructions: insts,
+            uops,
+            l1_misses: l1,
+            l2_misses: l2,
+            llc_misses: llc,
+            branches,
+            branch_mispredicts: mispredicts,
+            frontend_bound_slots,
+            backend_bound_slots,
+            dram_bound_slots,
+            bad_speculation_slots,
+            retiring_slots,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    fn config() -> MachineConfig {
+        MachineConfig::cloudlab_c4130()
+    }
+
+    #[test]
+    fn zero_work_still_charges_base_cost() {
+        let c = evaluate(&config(), &CostCoeffs::compute_default(), 0.0, 0.0);
+        assert!(c.elapsed.as_nanos() > 0);
+        assert!(c.events.instructions > 0.0);
+    }
+
+    #[test]
+    fn cost_scales_roughly_linearly_in_work() {
+        let small = evaluate(&config(), &CostCoeffs::compute_default(), 10_000.0, 0.0);
+        let large = evaluate(&config(), &CostCoeffs::compute_default(), 100_000.0, 0.0);
+        let ratio = large.elapsed.as_nanos() as f64 / small.elapsed.as_nanos() as f64;
+        assert!((9.0..=10.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn load_increases_frontend_bound_and_elapsed() {
+        let idle = evaluate(&config(), &CostCoeffs::compute_default(), 50_000.0, 0.0);
+        let busy = evaluate(&config(), &CostCoeffs::compute_default(), 50_000.0, 0.9);
+        assert!(busy.elapsed > idle.elapsed);
+        assert!(
+            busy.events.frontend_bound_fraction() > idle.events.frontend_bound_fraction(),
+            "frontend bound should grow with load"
+        );
+        // uop *supply rate* to the backend drops under contention.
+        assert!(busy.events.uops_per_cycle() < idle.events.uops_per_cycle());
+        // The DRAM share of total slots shrinks as the front-end dominates.
+        assert!(busy.events.dram_bound_fraction() < idle.events.dram_bound_fraction());
+    }
+
+    #[test]
+    fn streaming_kernels_are_dram_bound() {
+        let c = evaluate(&config(), &CostCoeffs::streaming_default(), 1_000_000.0, 0.0);
+        assert!(c.events.dram_bound_fraction() > 0.3, "{}", c.events.dram_bound_fraction());
+        assert!(c.events.frontend_bound_fraction() < 0.05);
+    }
+
+    #[test]
+    fn slot_partition_accounts_for_all_slots() {
+        let c = evaluate(&config(), &CostCoeffs::compute_default(), 12_345.0, 0.4);
+        let total = c.events.total_slots();
+        let expected = c.events.clockticks * config().issue_width;
+        assert!((total - expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn elapsed_matches_clockticks_at_frequency() {
+        let c = evaluate(&config(), &CostCoeffs::compute_default(), 10_000.0, 0.0);
+        let expected_ns = c.events.clockticks / 3.2;
+        assert!((c.elapsed.as_nanos() as f64 - expected_ns).abs() <= 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Hardware performance-event vectors.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A bundle of hardware performance-monitoring counters, as collected by the
+/// simulated sampling driver (the Intel VTune / AMD uProf analog).
+///
+/// All values are event *counts* accumulated over some attribution scope
+/// (one kernel invocation, one sample, or one function over a whole run).
+/// Top-down analysis slots follow the 4-wide issue convention:
+/// `slots = issue_width × clockticks`, partitioned into retiring /
+/// front-end bound / backend (memory + core) bound / bad speculation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HwEvents {
+    /// Unhalted core clock ticks.
+    pub clockticks: f64,
+    /// Retired instructions.
+    pub instructions: f64,
+    /// Micro-operations issued to the backend.
+    pub uops: f64,
+    /// L1 data-cache misses.
+    pub l1_misses: f64,
+    /// L2 cache misses.
+    pub l2_misses: f64,
+    /// Last-level-cache misses (serviced by DRAM).
+    pub llc_misses: f64,
+    /// Retired branch instructions.
+    pub branches: f64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: f64,
+    /// Pipeline slots lost to instruction-fetch/decode starvation.
+    pub frontend_bound_slots: f64,
+    /// Pipeline slots lost to memory stalls (all levels).
+    pub backend_bound_slots: f64,
+    /// Pipeline slots lost specifically to loads serviced by local DRAM.
+    pub dram_bound_slots: f64,
+    /// Pipeline slots lost to branch mispredict recovery.
+    pub bad_speculation_slots: f64,
+    /// Pipeline slots that retired micro-operations.
+    pub retiring_slots: f64,
+}
+
+impl HwEvents {
+    /// An all-zero event bundle.
+    pub const ZERO: HwEvents = HwEvents {
+        clockticks: 0.0,
+        instructions: 0.0,
+        uops: 0.0,
+        l1_misses: 0.0,
+        l2_misses: 0.0,
+        llc_misses: 0.0,
+        branches: 0.0,
+        branch_mispredicts: 0.0,
+        frontend_bound_slots: 0.0,
+        backend_bound_slots: 0.0,
+        dram_bound_slots: 0.0,
+        bad_speculation_slots: 0.0,
+        retiring_slots: 0.0,
+    };
+
+    /// Total pipeline slots (`issue_width × clockticks` at synthesis time).
+    #[must_use]
+    pub fn total_slots(&self) -> f64 {
+        self.retiring_slots
+            + self.frontend_bound_slots
+            + self.backend_bound_slots
+            + self.bad_speculation_slots
+    }
+
+    /// Fraction of slots lost to front-end starvation (VTune's
+    /// "Front-End Bound" metric). Zero if no slots were recorded.
+    #[must_use]
+    pub fn frontend_bound_fraction(&self) -> f64 {
+        let total = self.total_slots();
+        if total == 0.0 { 0.0 } else { self.frontend_bound_slots / total }
+    }
+
+    /// Fraction of slots lost to loads serviced by local DRAM (VTune's
+    /// "Memory Bound → DRAM Bound → Local DRAM" drill-down).
+    #[must_use]
+    pub fn dram_bound_fraction(&self) -> f64 {
+        let total = self.total_slots();
+        if total == 0.0 { 0.0 } else { self.dram_bound_slots / total }
+    }
+
+    /// Micro-operations delivered to the backend per cycle (uop supply;
+    /// low values indicate front-end undersupply).
+    #[must_use]
+    pub fn uops_per_cycle(&self) -> f64 {
+        if self.clockticks == 0.0 { 0.0 } else { self.uops / self.clockticks }
+    }
+
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.clockticks == 0.0 { 0.0 } else { self.instructions / self.clockticks }
+    }
+
+    /// True if every counter is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == HwEvents::ZERO
+    }
+}
+
+impl Add for HwEvents {
+    type Output = HwEvents;
+    fn add(self, rhs: HwEvents) -> HwEvents {
+        HwEvents {
+            clockticks: self.clockticks + rhs.clockticks,
+            instructions: self.instructions + rhs.instructions,
+            uops: self.uops + rhs.uops,
+            l1_misses: self.l1_misses + rhs.l1_misses,
+            l2_misses: self.l2_misses + rhs.l2_misses,
+            llc_misses: self.llc_misses + rhs.llc_misses,
+            branches: self.branches + rhs.branches,
+            branch_mispredicts: self.branch_mispredicts + rhs.branch_mispredicts,
+            frontend_bound_slots: self.frontend_bound_slots + rhs.frontend_bound_slots,
+            backend_bound_slots: self.backend_bound_slots + rhs.backend_bound_slots,
+            dram_bound_slots: self.dram_bound_slots + rhs.dram_bound_slots,
+            bad_speculation_slots: self.bad_speculation_slots + rhs.bad_speculation_slots,
+            retiring_slots: self.retiring_slots + rhs.retiring_slots,
+        }
+    }
+}
+
+impl AddAssign for HwEvents {
+    fn add_assign(&mut self, rhs: HwEvents) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for HwEvents {
+    type Output = HwEvents;
+    fn mul(self, k: f64) -> HwEvents {
+        HwEvents {
+            clockticks: self.clockticks * k,
+            instructions: self.instructions * k,
+            uops: self.uops * k,
+            l1_misses: self.l1_misses * k,
+            l2_misses: self.l2_misses * k,
+            llc_misses: self.llc_misses * k,
+            branches: self.branches * k,
+            branch_mispredicts: self.branch_mispredicts * k,
+            frontend_bound_slots: self.frontend_bound_slots * k,
+            backend_bound_slots: self.backend_bound_slots * k,
+            dram_bound_slots: self.dram_bound_slots * k,
+            bad_speculation_slots: self.bad_speculation_slots * k,
+            retiring_slots: self.retiring_slots * k,
+        }
+    }
+}
+
+impl Sum for HwEvents {
+    fn sum<I: Iterator<Item = HwEvents>>(iter: I) -> HwEvents {
+        iter.fold(HwEvents::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HwEvents {
+        HwEvents {
+            clockticks: 100.0,
+            instructions: 200.0,
+            uops: 220.0,
+            l1_misses: 10.0,
+            l2_misses: 4.0,
+            llc_misses: 1.0,
+            branches: 20.0,
+            branch_mispredicts: 1.0,
+            frontend_bound_slots: 40.0,
+            backend_bound_slots: 60.0,
+            dram_bound_slots: 30.0,
+            bad_speculation_slots: 20.0,
+            retiring_slots: 280.0,
+        }
+    }
+
+    #[test]
+    fn addition_is_elementwise() {
+        let a = sample();
+        let b = a + a;
+        assert_eq!(b.clockticks, 200.0);
+        assert_eq!(b.retiring_slots, 560.0);
+    }
+
+    #[test]
+    fn scaling_is_elementwise() {
+        let half = sample() * 0.5;
+        assert_eq!(half.instructions, 100.0);
+        assert_eq!(half.dram_bound_slots, 15.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let e = sample();
+        assert_eq!(e.total_slots(), 400.0);
+        assert!((e.frontend_bound_fraction() - 0.1).abs() < 1e-12);
+        assert!((e.dram_bound_fraction() - 0.075).abs() < 1e-12);
+        assert!((e.uops_per_cycle() - 2.2).abs() < 1e-12);
+        assert!((e.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_is_safe_for_ratios() {
+        assert_eq!(HwEvents::ZERO.frontend_bound_fraction(), 0.0);
+        assert_eq!(HwEvents::ZERO.ipc(), 0.0);
+        assert!(HwEvents::ZERO.is_zero());
+    }
+
+    #[test]
+    fn sum_folds_from_zero() {
+        let total: HwEvents = vec![sample(); 3].into_iter().sum();
+        assert_eq!(total.clockticks, 300.0);
+    }
+}

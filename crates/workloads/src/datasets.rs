@@ -1,0 +1,279 @@
+//! Dataset implementations: `ImageFolder`-style encoded-image datasets and
+//! numpy-volume datasets, both reporting their `Loader` step to the
+//! LotusTrace observer.
+
+use lotus_codec::Codec;
+use lotus_data::{AudioDatasetModel, DType, ImageDatasetModel, VolumeDatasetModel};
+use lotus_dataflow::Dataset;
+use lotus_sim::Time;
+use lotus_transforms::{python_interp_kernel, Compose, Sample, TransformCtx, TransformObserver};
+use lotus_uarch::{CostCoeffs, KernelId, Machine};
+
+use crate::io::IoModel;
+
+/// `torchvision.datasets.ImageFolder` over a synthetic encoded-image
+/// dataset: `get_item` reads the file (I/O), decodes it through the SJPG
+/// codec ("Loader" in Table II), then applies the transform chain.
+pub struct ImageFolderDataset {
+    model: ImageDatasetModel,
+    codec: Codec,
+    io: IoModel,
+    transforms: Compose,
+    python_overhead: KernelId,
+    /// When true, real pixels are synthesized, encoded and decoded (for
+    /// examples and small runs exercising the full compute path).
+    materialize: bool,
+}
+
+impl std::fmt::Debug for ImageFolderDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImageFolderDataset")
+            .field("dataset", &self.model.name())
+            .field("len", &self.model.len())
+            .field("materialize", &self.materialize)
+            .finish()
+    }
+}
+
+impl ImageFolderDataset {
+    /// Creates the dataset in cost-only mode (the default for large
+    /// simulated epochs).
+    #[must_use]
+    pub fn new(
+        machine: &Machine,
+        model: ImageDatasetModel,
+        io: IoModel,
+        transforms: Compose,
+    ) -> ImageFolderDataset {
+        ImageFolderDataset {
+            model,
+            codec: Codec::new(machine),
+            io,
+            transforms,
+            python_overhead: python_interp_kernel(machine),
+            materialize: false,
+        }
+    }
+
+    /// Switches on real pixel materialization (encode + decode real
+    /// content). Orders of magnitude slower; meant for examples and
+    /// correctness tests.
+    #[must_use]
+    pub fn materialized(mut self) -> ImageFolderDataset {
+        self.materialize = true;
+        self
+    }
+
+    /// The underlying dataset model.
+    #[must_use]
+    pub fn model(&self) -> &ImageDatasetModel {
+        &self.model
+    }
+}
+
+impl Dataset for ImageFolderDataset {
+    fn len(&self) -> u64 {
+        self.model.len()
+    }
+
+    fn get_item(
+        &self,
+        index: u64,
+        ctx: &mut TransformCtx<'_>,
+        observer: &mut dyn TransformObserver,
+    ) -> Sample {
+        let record = self.model.record(index);
+        let start = ctx.cpu.cursor();
+        // Python-level dispatch (dataset __getitem__, PIL open).
+        ctx.cpu.exec(self.python_overhead, 0.0);
+        // File read from storage: off-CPU wait (with the straggler tail).
+        ctx.cpu.idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        let sample = if self.materialize {
+            // Real path: synthesize content, encode, decode. Encoding is
+            // performed on a scratch thread so only decode cost lands in
+            // the Loader span (the stored file was encoded offline).
+            let image = record.materialize();
+            let mut scratch = lotus_uarch::CpuThread::new(std::sync::Arc::clone(
+                ctx.cpu.machine(),
+            ));
+            let encoded = self.codec.encode(&image, 85, &mut scratch);
+            let decoded =
+                self.codec.decode(&encoded, ctx.cpu).expect("self-encoded image must decode");
+            Sample::image(decoded)
+        } else {
+            self.codec.charge_decode(record.width, record.height, record.file_bytes, ctx.cpu);
+            Sample::image_meta(record.height as usize, record.width as usize)
+        };
+        observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
+        self.transforms.apply_observed(sample, ctx, observer)
+    }
+}
+
+/// The IS pipeline's dataset: preprocessed KiTS19 cases stored as numpy
+/// arrays on local disk; `get_item` reads and parses the volume ("Load"),
+/// then applies the volumetric transform chain.
+pub struct VolumeDataset {
+    model: VolumeDatasetModel,
+    io: IoModel,
+    transforms: Compose,
+    npy_read: KernelId,
+    python_overhead: KernelId,
+    /// Number of items one epoch draws; indices wrap over the 210 cases
+    /// (MLPerf's epoch-level oversampling).
+    epoch_items: u64,
+}
+
+impl std::fmt::Debug for VolumeDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VolumeDataset")
+            .field("cases", &self.model.len())
+            .field("epoch_items", &self.epoch_items)
+            .finish()
+    }
+}
+
+impl VolumeDataset {
+    /// Creates the dataset. `epoch_items` is the number of samples one
+    /// epoch draws (indices wrap over the case list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_items == 0`.
+    #[must_use]
+    pub fn new(
+        machine: &Machine,
+        model: VolumeDatasetModel,
+        io: IoModel,
+        transforms: Compose,
+        epoch_items: u64,
+    ) -> VolumeDataset {
+        assert!(epoch_items > 0, "epoch_items must be positive");
+        VolumeDataset {
+            model,
+            io,
+            transforms,
+            npy_read: machine.kernel(
+                "npy_fromfile",
+                "_multiarray_umath.cpython-310-x86_64-linux-gnu.so",
+                CostCoeffs::streaming_default(),
+            ),
+            python_overhead: python_interp_kernel(machine),
+            epoch_items,
+        }
+    }
+}
+
+impl Dataset for VolumeDataset {
+    fn len(&self) -> u64 {
+        self.epoch_items
+    }
+
+    fn get_item(
+        &self,
+        index: u64,
+        ctx: &mut TransformCtx<'_>,
+        observer: &mut dyn TransformObserver,
+    ) -> Sample {
+        let record = self.model.record(index % self.model.len());
+        let start = ctx.cpu.cursor();
+        ctx.cpu.exec(self.python_overhead, 0.0);
+        ctx.cpu.idle(self.io.read_span_with(record.stored_bytes, ctx.rng));
+        // numpy materializes the array from the raw bytes.
+        ctx.cpu.exec(self.npy_read, record.stored_bytes as f64);
+        let sample = Sample::tensor_meta(
+            &[record.dims.0 as usize, record.dims.1 as usize, record.dims.2 as usize],
+            DType::F32,
+        );
+        observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
+        self.transforms.apply_observed(sample, ctx, observer)
+    }
+}
+
+/// The audio-classification extension's dataset: FLAC-like compressed
+/// clips; `get_item` reads and decodes the clip ("Loader"), then applies
+/// the audio transform chain.
+pub struct AudioClipDataset {
+    model: AudioDatasetModel,
+    io: IoModel,
+    transforms: Compose,
+    flac_decode: KernelId,
+    python_overhead: KernelId,
+}
+
+impl std::fmt::Debug for AudioClipDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AudioClipDataset").field("len", &self.model.len()).finish()
+    }
+}
+
+impl AudioClipDataset {
+    /// Creates the dataset.
+    #[must_use]
+    pub fn new(
+        machine: &Machine,
+        model: AudioDatasetModel,
+        io: IoModel,
+        transforms: Compose,
+    ) -> AudioClipDataset {
+        AudioClipDataset {
+            model,
+            io,
+            transforms,
+            flac_decode: machine.kernel(
+                "FLAC__stream_decoder_process_single",
+                "libFLAC.so.8",
+                CostCoeffs {
+                    base_insts: 3_000.0,
+                    insts_per_unit: 95.0, // per decoded sample
+                    uops_per_inst: 1.15,
+                    ipc_base: 1.9,
+                    l1_miss_per_unit: 0.02,
+                    l2_miss_per_unit: 0.004,
+                    llc_miss_per_unit: 0.001,
+                    branches_per_unit: 6.0,
+                    mispredict_rate: 0.04,
+                    frontend_sensitivity: 0.6,
+                },
+            ),
+            python_overhead: python_interp_kernel(machine),
+        }
+    }
+}
+
+impl Dataset for AudioClipDataset {
+    fn len(&self) -> u64 {
+        self.model.len()
+    }
+
+    fn get_item(
+        &self,
+        index: u64,
+        ctx: &mut TransformCtx<'_>,
+        observer: &mut dyn TransformObserver,
+    ) -> Sample {
+        let record = self.model.record(index);
+        let start = ctx.cpu.cursor();
+        ctx.cpu.exec(self.python_overhead, 0.0);
+        ctx.cpu.idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        ctx.cpu.exec(self.flac_decode, record.samples as f64);
+        let sample = Sample::tensor_meta(&[record.samples as usize], DType::F32);
+        observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
+        self.transforms.apply_observed(sample, ctx, observer)
+    }
+}
+
+/// Convenience observer that discards events but asserts monotonic starts
+/// (used in tests).
+#[derive(Debug, Default)]
+pub struct MonotonicObserver {
+    last_start: Option<Time>,
+}
+
+impl TransformObserver for MonotonicObserver {
+    fn on_transform(&mut self, _name: &str, start: Time, _elapsed: lotus_sim::Span) {
+        if let Some(prev) = self.last_start {
+            assert!(start >= prev, "op starts must be monotonic within a worker");
+        }
+        self.last_start = Some(start);
+    }
+}

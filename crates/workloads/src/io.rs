@@ -1,0 +1,118 @@
+//! Storage I/O model for dataset reads.
+
+use lotus_sim::Span;
+use rand::Rng;
+
+/// A latency + bandwidth model of dataset storage, with a heavy tail.
+///
+/// The paper's testbed mounts the dataset from a remote node as a ZFS zvol
+/// exported over iSCSI; reads therefore pay network latency, share a
+/// modest effective bandwidth, and occasionally stall for tens to hundreds
+/// of milliseconds (queueing on the shared export, page-cache misses).
+/// Those rare stragglers are what makes per-batch preprocessing time
+/// spread grow so strongly with batch size in the paper's Figure 4: the
+/// probability that *some* image in a batch straggles approaches 1 as the
+/// batch grows. Reads are off-CPU time: they advance the reading worker's
+/// clock without occupying a core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoModel {
+    /// Fixed per-read latency (request round trip, metadata).
+    pub latency: Span,
+    /// Effective sequential read bandwidth in bytes/second.
+    pub bytes_per_sec: f64,
+    /// Probability that a read straggles.
+    pub straggler_prob: f64,
+    /// Extra stall of a straggling read, uniform in `[min, max]`.
+    pub straggler_stall: (Span, Span),
+}
+
+impl IoModel {
+    /// The remote iSCSI zvol of the paper's CloudLab setup (small-file
+    /// effective throughput, including page-cache misses).
+    #[must_use]
+    pub fn cloudlab_iscsi() -> IoModel {
+        IoModel {
+            latency: Span::from_micros(150),
+            bytes_per_sec: 120.0e6,
+            straggler_prob: 0.0025,
+            straggler_stall: (Span::from_millis(30), Span::from_millis(260)),
+        }
+    }
+
+    /// A fast local NVMe (used by the IS pipeline, whose preprocessed
+    /// numpy volumes live on local disk in the reference setup).
+    #[must_use]
+    pub fn local_nvme() -> IoModel {
+        IoModel {
+            latency: Span::from_micros(60),
+            bytes_per_sec: 1.6e9,
+            straggler_prob: 0.002,
+            straggler_stall: (Span::from_millis(5), Span::from_millis(60)),
+        }
+    }
+
+    /// Deterministic (tail-free) wall time to read `bytes`.
+    #[must_use]
+    pub fn read_span(&self, bytes: u64) -> Span {
+        self.latency + Span::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Wall time to read `bytes`, including the straggler tail.
+    pub fn read_span_with(&self, bytes: u64, rng: &mut impl Rng) -> Span {
+        let mut span = self.read_span(bytes);
+        if self.straggler_prob > 0.0 && rng.gen_bool(self.straggler_prob) {
+            let (lo, hi) = self.straggler_stall;
+            span += Span::from_nanos(rng.gen_range(lo.as_nanos()..=hi.as_nanos().max(lo.as_nanos() + 1)));
+        }
+        span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn read_span_is_latency_plus_transfer() {
+        let io = IoModel {
+            latency: Span::from_micros(100),
+            bytes_per_sec: 1e9,
+            straggler_prob: 0.0,
+            straggler_stall: (Span::ZERO, Span::ZERO),
+        };
+        assert_eq!(io.read_span(0), Span::from_micros(100));
+        assert_eq!(io.read_span(1_000_000), Span::from_micros(1_100));
+    }
+
+    #[test]
+    fn iscsi_is_much_slower_than_nvme() {
+        let remote = IoModel::cloudlab_iscsi().read_span(111_000);
+        let local = IoModel::local_nvme().read_span(111_000);
+        assert!(remote > local * 5);
+    }
+
+    #[test]
+    fn stragglers_are_rare_but_large() {
+        let io = IoModel::cloudlab_iscsi();
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = io.read_span(111_000);
+        let reads: Vec<Span> = (0..20_000).map(|_| io.read_span_with(111_000, &mut rng)).collect();
+        let stragglers = reads.iter().filter(|&&r| r > base + Span::from_millis(10)).count();
+        let rate = stragglers as f64 / reads.len() as f64;
+        assert!((0.002..0.007).contains(&rate), "straggler rate {rate}");
+        let worst = reads.iter().max().unwrap();
+        assert!(*worst > base + Span::from_millis(100), "tail too light: {worst}");
+    }
+
+    #[test]
+    fn zero_probability_disables_the_tail() {
+        let mut io = IoModel::cloudlab_iscsi();
+        io.straggler_prob = 0.0;
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(io.read_span_with(111_000, &mut rng), io.read_span(111_000));
+        }
+    }
+}

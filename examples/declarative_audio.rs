@@ -1,0 +1,88 @@
+//! Declarative pipelines beyond torchvision: a tf.data-style declaration
+//! of the audio-classification extension pipeline, traced by LotusTrace
+//! without any pipeline-specific instrumentation — the paper's
+//! generality argument (§I, §II-A) in action.
+//!
+//! ```sh
+//! cargo run --release --example declarative_audio
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use lotus::core::trace::insights::analyze;
+use lotus::core::trace::LotusTrace;
+use lotus::data::{AudioDatasetModel, DType};
+use lotus::dataflow::{GpuConfig, Pipeline, Source};
+use lotus::sim::Span;
+use lotus::transforms::{
+    MelSpectrogram, PadTrim, Resample, Sample, SpecAugment, TransformCtx,
+};
+use lotus::uarch::{CostCoeffs, KernelId, Machine, MachineConfig};
+use lotus::workloads::IoModel;
+
+/// A FLAC-clip source (the `tf.data` source dataset analog).
+struct FlacSource {
+    model: AudioDatasetModel,
+    io: IoModel,
+    decode: KernelId,
+}
+
+impl Source for FlacSource {
+    fn len(&self) -> u64 {
+        self.model.len()
+    }
+
+    fn load(&self, index: u64, ctx: &mut TransformCtx<'_>) -> Sample {
+        let record = self.model.record(index);
+        ctx.cpu.idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        ctx.cpu.exec(self.decode, record.samples as f64);
+        Sample::tensor_meta(&[record.samples as usize], DType::F32)
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let source = Arc::new(FlacSource {
+        model: AudioDatasetModel::audioset(21).truncated(4_096),
+        io: IoModel::cloudlab_iscsi(),
+        decode: machine.kernel(
+            "FLAC__stream_decoder_process_single",
+            "libFLAC.so.8",
+            CostCoeffs { base_insts: 3_000.0, insts_per_unit: 95.0, ..CostCoeffs::compute_default() },
+        ),
+    });
+
+    // The declarative pipeline: source → resample → pad → mel → augment,
+    // batched and prefetched — the hooks LotusTrace instruments are the
+    // declaration itself.
+    let trace = Arc::new(LotusTrace::new());
+    let report = Pipeline::from_source(source)
+        .map(Box::new(Resample::new(&machine, 22_050, 16_000)))
+        .map(Box::new(PadTrim::new(&machine, 64_000)))
+        .map(Box::new(MelSpectrogram::new(&machine, 16_000, 1024, 512, 64)))
+        .map(Box::new(SpecAugment::new(&machine, 16, 8)))
+        .batch(64)
+        .prefetch(2)
+        .workers(4)
+        .shuffle(7)
+        .build_job_with(
+            &machine,
+            GpuConfig::v100(1, Span::from_micros(1_200)),
+            Arc::clone(&trace) as _,
+        )
+        .run()?;
+
+    println!(
+        "audio epoch: {} batches / {} clips in {:.1}s of virtual time\n",
+        report.batches,
+        report.samples,
+        report.elapsed.as_secs_f64()
+    );
+    println!("{:<20} {:>9} {:>9}", "stage", "avg ms", "P90 ms");
+    for op in trace.op_stats() {
+        println!("{:<20} {:>9.2} {:>9.2}", op.name, op.summary.mean, op.summary.p90);
+    }
+    println!("\n{}", analyze(&trace.records()));
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! LotusMap end to end: build the Python-op → C/C++-function mapping by
+//! isolating each op under the simulated VTune sampling driver, then use
+//! it to attribute a whole pipeline's hardware counters to the ops.
+//!
+//! ```sh
+//! cargo run --release --example hardware_mapping
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::sync::Arc;
+
+use lotus::core::map::{required_runs, split_metrics, IsolationConfig};
+use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
+use lotus::sim::Span;
+use lotus::uarch::{
+    CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
+};
+use lotus::workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // §IV-B: how many isolation runs does a 660 µs function need under
+    // VTune's 10 ms sampling to be caught with 75 % probability?
+    let runs = required_runs(0.75, Span::from_micros(660), Span::from_millis(10));
+    println!("run-count formula: a 660 µs function needs {runs} runs (paper: 20)\n");
+
+    // Step 1 — the one-time mapping (Listing 4's isolation flow: warm-up,
+    // sleep() gaps, resume/detach around the op of interest).
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let mapping = build_ic_mapping(&machine, IsolationConfig::default());
+    println!("{}", mapping.to_table_string());
+
+    // Step 2 — profile a training run with the hardware profiler attached
+    // (the VTune µarch-exploration collection of §V-D) plus LotusTrace.
+    let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+        op_mode: OpLogMode::Aggregate,
+        ..LotusTraceConfig::default()
+    }));
+    let hw = Arc::new(HwProfiler::new(ProfilerConfig {
+        sampling_interval: Span::from_millis(10),
+        skid: Span::from_micros(120),
+        mode: CollectionMode::Sampling,
+        start_paused: false,
+    }));
+    ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+        .scaled_to(8_192)
+        .build(&machine, Arc::clone(&trace) as _, Some(Arc::clone(&hw)))
+        .run()?;
+
+    // Step 3 — split the per-function counters onto the Python ops using
+    // LotusTrace's elapsed-time weights.
+    let op_times: BTreeMap<String, Span> =
+        trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    let profile = hw.report(&machine);
+    println!(
+        "the profiler saw {} native functions; the mapping keeps the relevant ones\n",
+        profile.len()
+    );
+    println!(
+        "{:<24} {:>12} {:>10} {:>12} {:>12}",
+        "op", "CPU (s)", "IPC", "FE-bound %", "DRAM-bound %"
+    );
+    for op in split_metrics(&profile, &mapping, &op_times) {
+        if op.cpu_time.is_zero() {
+            continue;
+        }
+        println!(
+            "{:<24} {:>12.2} {:>10.2} {:>12.2} {:>12.2}",
+            op.op,
+            op.cpu_time.as_secs_f64(),
+            op.events.ipc(),
+            op.events.frontend_bound_fraction() * 100.0,
+            op.events.dram_bound_fraction() * 100.0
+        );
+    }
+    Ok(())
+}

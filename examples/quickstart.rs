@@ -1,0 +1,65 @@
+//! Quickstart: trace one (scaled-down) image-classification epoch with
+//! LotusTrace and look at what the paper's Table II reports.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use lotus::core::trace::analysis::{batch_timelines, BatchTimeline};
+use lotus::core::trace::chrome::{to_chrome_trace, ChromeTraceOptions};
+use lotus::core::trace::LotusTrace;
+use lotus::uarch::{Machine, MachineConfig};
+use lotus::workloads::{ExperimentConfig, PipelineKind};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The simulated testbed: the paper's CloudLab c4130 node.
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+
+    // LotusTrace plugs into the DataLoader's tracer hooks.
+    let trace = Arc::new(LotusTrace::new());
+
+    // The paper's IC pipeline (ImageNet + ResNet18), truncated to 4096
+    // images so this example finishes in about a second.
+    let config = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+        .scaled_to(4_096);
+    let report = config.build(&machine, Arc::clone(&trace) as _, None).run()?;
+
+    println!(
+        "epoch finished: {} batches, {} samples, {:.1}s of virtual time",
+        report.batches,
+        report.samples,
+        report.elapsed.as_secs_f64()
+    );
+
+    // [T3] Per-operation elapsed times (Table II).
+    println!("\nper-op elapsed time:");
+    for op in trace.op_stats() {
+        println!(
+            "  {:<24} avg {:>8.2} ms   P90 {:>8.2} ms   <10ms {:>5.1}%",
+            op.name,
+            op.summary.mean,
+            op.summary.p90,
+            op.frac_below_10ms * 100.0
+        );
+    }
+
+    // [T1]/[T2] Per-batch fetch, wait and delay.
+    let timelines = batch_timelines(&trace.records());
+    let mean_wait: f64 = timelines
+        .iter()
+        .filter_map(BatchTimeline::wait_span)
+        .map(|s| s.as_millis_f64())
+        .sum::<f64>()
+        / timelines.len() as f64;
+    println!("\nmean main-process wait per batch: {mean_wait:.1} ms");
+
+    // Visualization: a Chrome Trace Viewer file with flow arrows.
+    let doc = to_chrome_trace(&trace.records(), ChromeTraceOptions { coarse: true });
+    let path = "target/quickstart_trace.json";
+    std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
+    println!("coarse trace written to {path} — open it in chrome://tracing");
+    Ok(())
+}

@@ -1,0 +1,263 @@
+//! The `lotus` command-line tool: trace a pipeline, build the hardware
+//! mapping, attribute counters to operations, or compare profilers — the
+//! workflows of the paper's artifact, as one binary.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use lotus::core::map::{
+    split_metrics, split_metrics_mix_aware, IsolationConfig, Mapping,
+};
+use lotus::core::trace::chrome::{to_chrome_trace, ChromeTraceOptions};
+use lotus::core::trace::insights::analyze;
+use lotus::core::trace::viz::{render_timeline, TimelineOptions};
+use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
+use lotus::profilers::ComparisonHarness;
+use lotus::sim::Span;
+use lotus::uarch::{
+    format_report, CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
+};
+use lotus::workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
+
+const USAGE: &str = "\
+lotus — characterization of ML preprocessing pipelines (paper reproduction)
+
+USAGE:
+  lotus trace     [--pipeline ic|is|od] [--items N] [--batch B] [--workers W]
+                  [--gpus G] [--out FILE.json] [--timeline]
+      Run one epoch under LotusTrace; print per-op stats, the automated
+      diagnosis, optionally an ASCII timeline and a Chrome trace file.
+
+  lotus map       [--vendor intel|amd] [--runs N] [--no-sleep-gap]
+                  [--out FILE.json]
+      Build the Python-op → C/C++-function mapping (Table I) by isolating
+      each IC operation under the hardware profiler.
+
+  lotus attribute [--items N] [--workers W] [--mix-aware] [--functions]
+      Profile an IC epoch with the simulated VTune, build the mapping, and
+      attribute hardware counters to Python operations (Figure 6 e–h).
+      --functions additionally prints the raw per-function profile.
+
+  lotus compare   [--items N]
+      Run the profiler comparison (Tables III and IV).
+
+  lotus help
+";
+
+struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut flags = BTreeMap::new();
+        let mut raw = raw.peekable();
+        while let Some(arg) = raw.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}' (flags start with --)"));
+            };
+            let value = match raw.peek() {
+                Some(v) if !v.starts_with("--") => raw.next().unwrap_or_default(),
+                _ => "true".to_string(), // boolean flag
+            };
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: '{v}'")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn pipeline_of(name: &str) -> Result<PipelineKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "ic" => Ok(PipelineKind::ImageClassification),
+        "is" => Ok(PipelineKind::ImageSegmentation),
+        "od" => Ok(PipelineKind::ObjectDetection),
+        other => Err(format!("unknown pipeline '{other}' (expected ic, is or od)")),
+    }
+}
+
+fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = pipeline_of(&args.get("pipeline", "ic".to_string())?)?;
+    let mut config = ExperimentConfig::paper_default(kind);
+    config.batch_size = args.get("batch", config.batch_size)?;
+    config.num_workers = args.get("workers", config.num_workers)?;
+    config.num_gpus = args.get("gpus", config.num_gpus)?;
+    let default_items = match kind {
+        PipelineKind::ImageSegmentation => 210,
+        _ => 8 * config.batch_size as u64,
+    };
+    let config = config.scaled_to(args.get("items", default_items)?);
+
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let trace = Arc::new(LotusTrace::new());
+    let report = config.build(&machine, Arc::clone(&trace) as _, None).run()?;
+    println!(
+        "{}: {} batches / {} samples in {:.2}s of virtual time\n",
+        kind.abbrev(),
+        report.batches,
+        report.samples,
+        report.elapsed.as_secs_f64()
+    );
+    println!("{:<30} {:>9} {:>9} {:>8} {:>8}", "op", "avg ms", "P90 ms", "<10ms %", "<100us %");
+    for op in trace.op_stats() {
+        println!(
+            "{:<30} {:>9.2} {:>9.2} {:>8.2} {:>8.2}",
+            op.name,
+            op.summary.mean,
+            op.summary.p90,
+            op.frac_below_10ms * 100.0,
+            op.frac_below_100us * 100.0
+        );
+    }
+    println!("\n{}", analyze(&trace.records()));
+    if args.has("timeline") {
+        println!("{}", render_timeline(&trace.records(), TimelineOptions::default()));
+    }
+    if let Some(path) = args.flags.get("out") {
+        let doc = to_chrome_trace(&trace.records(), ChromeTraceOptions { coarse: true });
+        std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
+        println!("chrome trace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_map(args: &Args) -> Result<(), Box<dyn Error>> {
+    let machine_config = match args.get("vendor", "intel".to_string())?.as_str() {
+        "intel" => MachineConfig::cloudlab_c4130(),
+        "amd" => MachineConfig::amd_rome(),
+        other => return Err(format!("unknown vendor '{other}'").into()),
+    };
+    let mut isolation = IsolationConfig::default();
+    if args.has("runs") {
+        isolation.runs_override = Some(args.get("runs", 20usize)?);
+    }
+    isolation.use_sleep_gap = !args.has("no-sleep-gap");
+    let machine = Machine::new(machine_config);
+    let mapping = build_ic_mapping(&machine, isolation);
+    print!("{}", mapping.to_table_string());
+    if let Some(path) = args.flags.get("out") {
+        std::fs::write(path, mapping.to_json())?;
+        println!("\nmapping written to {path}");
+    }
+    Ok(())
+}
+
+fn build_mapping_quick(machine: &Arc<Machine>) -> Mapping {
+    build_ic_mapping(machine, IsolationConfig::default())
+}
+
+fn cmd_attribute(args: &Args) -> Result<(), Box<dyn Error>> {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let mapping = build_mapping_quick(&machine);
+    let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+    config.num_workers = args.get("workers", config.num_workers)?;
+    let config = config.scaled_to(args.get("items", 8_192u64)?);
+
+    let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+        op_mode: OpLogMode::Aggregate,
+        ..LotusTraceConfig::default()
+    }));
+    let hw = Arc::new(HwProfiler::new(ProfilerConfig {
+        sampling_interval: Span::from_millis(10),
+        skid: Span::from_micros(120),
+        mode: CollectionMode::Sampling,
+        start_paused: false,
+    }));
+    config.build(&machine, Arc::clone(&trace) as _, Some(Arc::clone(&hw))).run()?;
+    let op_times: BTreeMap<String, Span> =
+        trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    let profile = hw.report(&machine);
+    if args.has("functions") {
+        println!("-- per-function hardware profile (VTune µarch exploration) --");
+        print!("{}", format_report(&profile));
+        println!();
+    }
+    let split = if args.has("mix-aware") {
+        println!("(mix-aware splitting)");
+        split_metrics_mix_aware(&profile, &mapping, &op_times)
+    } else {
+        split_metrics(&profile, &mapping, &op_times)
+    };
+    println!(
+        "{:<30} {:>12} {:>10} {:>12} {:>12}",
+        "op", "CPU (s)", "IPC", "FE-bound %", "DRAM-bound %"
+    );
+    for op in split {
+        if op.cpu_time.is_zero() {
+            continue;
+        }
+        println!(
+            "{:<30} {:>12.2} {:>10.2} {:>12.2} {:>12.2}",
+            op.op,
+            op.cpu_time.as_secs_f64(),
+            op.events.ipc(),
+            op.events.frontend_bound_fraction() * 100.0,
+            op.events.dram_bound_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), Box<dyn Error>> {
+    let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+    config.batch_size = 512;
+    let harness = ComparisonHarness::new(config.scaled_to(args.get("items", 8_192u64)?));
+    println!(
+        "{:<18} {:>11} {:>12} {:>14}   Epoch/Batch/Async/Wait/Delay",
+        "profiler", "wall (s)", "overhead %", "log bytes"
+    );
+    for row in harness.run_all() {
+        println!(
+            "{:<18} {:>11.1} {:>12.1} {:>14}   {}{}",
+            row.profiler,
+            row.wall_time.as_secs_f64(),
+            row.wall_overhead * 100.0,
+            row.log_bytes,
+            row.capabilities.row(),
+            if row.out_of_memory { "  (OOM!)" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let mut raw = std::env::args().skip(1);
+    let Some(command) = raw.next() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(raw)?;
+    match command.as_str() {
+        "trace" => cmd_trace(&args),
+        "map" => cmd_map(&args),
+        "attribute" => cmd_attribute(&args),
+        "compare" => cmd_compare(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}").into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

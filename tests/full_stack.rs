@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full Lotus flow (trace → map →
+//! attribute), determinism, and log/visualization round trips.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lotus::core::map::{split_metrics, IsolationConfig};
+use lotus::core::trace::analysis::{batch_timelines, per_op_stats};
+use lotus::core::trace::chrome::{merge_traces, to_chrome_trace, ChromeTraceOptions};
+use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode, TraceRecord};
+use lotus::sim::Span;
+use lotus::uarch::{CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig};
+use lotus::workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
+
+fn traced_run(items: u64, seed: u64) -> (Arc<LotusTrace>, lotus::dataflow::JobReport) {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let trace = Arc::new(LotusTrace::new());
+    let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+        .scaled_to(items);
+    config.seed = seed;
+    let report = config.build(&machine, Arc::clone(&trace) as _, None).run().unwrap();
+    (trace, report)
+}
+
+#[test]
+fn identical_configurations_produce_identical_traces() {
+    let (a, ra) = traced_run(1_024, 7);
+    let (b, rb) = traced_run(1_024, 7);
+    assert_eq!(ra, rb);
+    assert_eq!(a.records(), b.records(), "virtual-time traces must be bit-identical");
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let (a, _) = traced_run(1_024, 7);
+    let (b, _) = traced_run(1_024, 8);
+    assert_ne!(a.records(), b.records());
+}
+
+#[test]
+fn log_lines_round_trip_through_the_text_format() {
+    let (trace, _) = traced_run(512, 3);
+    let text = trace.to_log_string();
+    let parsed: Vec<TraceRecord> = text
+        .lines()
+        .map(|l| TraceRecord::parse_log_line(l).expect("every emitted line parses"))
+        .collect();
+    assert_eq!(parsed.len(), trace.len());
+    // Batch-level analysis is identical on the parsed records.
+    let original = batch_timelines(&trace.records());
+    let reparsed = batch_timelines(&parsed);
+    assert_eq!(original.len(), reparsed.len());
+    for (o, r) in original.iter().zip(&reparsed) {
+        assert_eq!(o.preprocessed, r.preprocessed);
+        assert_eq!(o.wait, r.wait);
+    }
+}
+
+#[test]
+fn chrome_export_merges_with_a_pytorch_profiler_trace() {
+    let (trace, _) = traced_run(512, 3);
+    let lotus_doc = to_chrome_trace(&trace.records(), ChromeTraceOptions { coarse: true });
+    let torch_doc = serde_json::json!({
+        "traceEvents": [
+            { "name": "aten::convolution", "ph": "X", "ts": 100.0, "dur": 5.0, "pid": 1, "tid": 1, "id": 17 }
+        ]
+    });
+    let merged = merge_traces(&torch_doc, &lotus_doc);
+    let events = merged["traceEvents"].as_array().unwrap();
+    let has_torch = events.iter().any(|e| e["name"] == "aten::convolution");
+    let has_lotus = events.iter().any(|e| {
+        e["name"].as_str().is_some_and(|n| n.starts_with("SBatchPreprocessed"))
+    });
+    assert!(has_torch && has_lotus);
+    // No id collisions: Lotus ids negative, PyTorch ids positive.
+    for e in events {
+        if let Some(id) = e.get("id").and_then(serde_json::Value::as_i64) {
+            let name = e["name"].as_str().unwrap_or("");
+            if name.starts_with('S') || name.contains("flow") {
+                assert!(id < 0, "lotus event {name} has non-negative id {id}");
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_map_attribute_flow_is_consistent() {
+    // One machine hosts the mapping, the traced+profiled run, and the
+    // attribution — the full §V-D case study in miniature.
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let mapping = build_ic_mapping(
+        &machine,
+        IsolationConfig { runs_override: Some(30), ..IsolationConfig::default() },
+    );
+    let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+        op_mode: OpLogMode::Aggregate,
+        ..LotusTraceConfig::default()
+    }));
+    let hw = Arc::new(HwProfiler::new(ProfilerConfig {
+        sampling_interval: Span::from_millis(10),
+        skid: Span::from_micros(120),
+        mode: CollectionMode::Sampling,
+        start_paused: false,
+    }));
+    ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+        .scaled_to(4_096)
+        .build(&machine, Arc::clone(&trace) as _, Some(Arc::clone(&hw)))
+        .run()
+        .unwrap();
+
+    let op_times: BTreeMap<String, Span> =
+        trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    let profile = hw.report(&machine);
+    assert!(profile.len() >= 20, "the profile should contain the function zoo");
+    let split = split_metrics(&profile, &mapping, &op_times);
+
+    // Attributed CPU cannot exceed what the profiler collected.
+    let attributed: f64 = split.iter().map(|o| o.cpu_time.as_secs_f64()).sum();
+    let collected: f64 = profile.iter().map(|r| r.stats.cpu_time.as_secs_f64()).sum();
+    assert!(attributed <= collected + 1e-6, "{attributed} vs {collected}");
+    assert!(attributed > 0.3 * collected, "most CPU belongs to preprocessing");
+
+    // Loader dominates, matching its Table II elapsed-time share.
+    let cpu = |op: &str| {
+        split.iter().find(|o| o.op == op).map_or(0.0, |o| o.cpu_time.as_secs_f64())
+    };
+    assert!(cpu("Loader") > cpu("RandomResizedCrop"));
+    assert!(cpu("RandomResizedCrop") > cpu("RandomHorizontalFlip"));
+}
+
+#[test]
+fn aggregate_and_full_op_modes_agree_end_to_end() {
+    let run = |mode: OpLogMode| {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+            op_mode: mode,
+            ..LotusTraceConfig::default()
+        }));
+        ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+            .scaled_to(2_048)
+            .build(&machine, Arc::clone(&trace) as _, None)
+            .run()
+            .unwrap();
+        trace
+    };
+    let full = run(OpLogMode::Full);
+    let agg = run(OpLogMode::Aggregate);
+    let full_stats = per_op_stats(&full.records());
+    let agg_stats = agg.op_stats();
+    assert_eq!(full_stats.len(), agg_stats.len());
+    for (f, a) in full_stats.iter().zip(&agg_stats) {
+        assert_eq!(f.name, a.name);
+        assert_eq!(f.count, a.count);
+        let rel = (f.summary.mean - a.summary.mean).abs() / f.summary.mean;
+        assert!(rel < 1e-9, "{}: exact means must agree ({rel})", f.name);
+    }
+}
+
+#[test]
+fn out_of_order_wait_markers_survive_the_whole_stack() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let trace = Arc::new(LotusTrace::new());
+    let mut config =
+        ExperimentConfig::paper_default(PipelineKind::ImageClassification).scaled_to(8_192);
+    config.num_workers = 4;
+    config.num_gpus = 4;
+    config.build(&machine, Arc::clone(&trace) as _, None).run().unwrap();
+    let ooo: Vec<_> = trace
+        .records()
+        .into_iter()
+        .filter(|r| r.out_of_order)
+        .collect();
+    assert!(!ooo.is_empty(), "4 workers must reorder at least once");
+    for r in &ooo {
+        assert_eq!(r.duration, Span::from_micros(1), "the paper's 1 µs marker");
+    }
+}
