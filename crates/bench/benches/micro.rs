@@ -65,5 +65,11 @@ fn bench_histogram(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sim_queue, bench_codec_decode, bench_cost_model, bench_histogram);
+criterion_group!(
+    benches,
+    bench_sim_queue,
+    bench_codec_decode,
+    bench_cost_model,
+    bench_histogram
+);
 criterion_main!(benches);

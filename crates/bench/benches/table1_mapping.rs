@@ -7,8 +7,10 @@ use lotus_sim::Span;
 fn main() {
     // Target the smallest function of interest (~100 µs) so the run-count
     // formula yields a mapping that is complete on both vendors.
-    let config =
-        IsolationConfig { expected_fn_span: Span::from_micros(100), ..IsolationConfig::default() };
+    let config = IsolationConfig {
+        expected_fn_span: Span::from_micros(100),
+        ..IsolationConfig::default()
+    };
     let table = lotus_bench::table1::run(config);
     println!("{table}");
     let path = lotus_bench::results_dir().join("mapping_funcs.json");

@@ -15,9 +15,7 @@ use lotus_core::map::{split_metrics, IsolationConfig, Mapping};
 use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
 use lotus_profilers::{ProfilerModel, SamplingConfig, SamplingProfiler};
 use lotus_sim::Span;
-use lotus_uarch::{
-    CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
-};
+use lotus_uarch::{CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig};
 use lotus_workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
 
 /// Result of the sleep-gap ablation.
@@ -52,7 +50,11 @@ impl SleepGapAblation {
 
 fn relative(clean: Span, inflated: Span) -> f64 {
     let c = clean.as_nanos() as f64;
-    if c == 0.0 { 0.0 } else { (inflated.as_nanos() as f64 - c) / c }
+    if c == 0.0 {
+        0.0
+    } else {
+        (inflated.as_nanos() as f64 - c) / c
+    }
 }
 
 /// Runs the sleep-gap ablation: same pipeline profile, two mappings.
@@ -91,8 +93,11 @@ pub fn sleep_gap() -> SleepGapAblation {
         .build(&machine, Arc::clone(&trace) as _, Some(Arc::clone(&hw)))
         .run()
         .expect("ablation run must complete");
-    let op_times: BTreeMap<String, Span> =
-        trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    let op_times: BTreeMap<String, Span> = trace
+        .op_stats()
+        .iter()
+        .map(|o| (o.name.clone(), o.total_cpu))
+        .collect();
     let profile = hw.report(&machine);
 
     let rrc_cpu = |mapping: &Mapping| {
@@ -140,15 +145,31 @@ pub fn sleep_gap() -> SleepGapAblation {
 impl fmt::Display for SleepGapAblation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Ablation — LotusMap sleep-gap bucketing")?;
-        writeln!(f, "RRC attributed CPU, clean mapping:    {}", self.rrc_cpu_clean)?;
-        writeln!(f, "RRC attributed CPU, polluted mapping: {}", self.rrc_cpu_polluted)?;
-        writeln!(f, "skid-leakage inflation: {:.1}%", self.inflation() * 100.0)?;
+        writeln!(
+            f,
+            "RRC attributed CPU, clean mapping:    {}",
+            self.rrc_cpu_clean
+        )?;
+        writeln!(
+            f,
+            "RRC attributed CPU, polluted mapping: {}",
+            self.rrc_cpu_polluted
+        )?;
+        writeln!(
+            f,
+            "skid-leakage inflation: {:.1}%",
+            self.inflation() * 100.0
+        )?;
         writeln!(
             f,
             "decode_mcu-in-RRC hypothetical inflation: {:.1}% (paper: 30.21%)",
             self.decode_misbucket_inflation() * 100.0
         )?;
-        writeln!(f, "functions leaked into the RRC bucket: {:?}", self.leaked_functions)
+        writeln!(
+            f,
+            "functions leaked into the RRC bucket: {:?}",
+            self.leaked_functions
+        )
     }
 }
 
@@ -189,7 +210,11 @@ pub fn sampling_frontier() -> SamplingFrontier {
     };
     let run = |tracer: Arc<dyn lotus_dataflow::Tracer>| {
         let machine = Machine::new(MachineConfig::cloudlab_c4130());
-        config.build(&machine, tracer, None).run().expect("frontier run must complete").elapsed
+        config
+            .build(&machine, tracer, None)
+            .run()
+            .expect("frontier run must complete")
+            .elapsed
     };
 
     // Ground truth per-op totals + baseline wall time.
@@ -198,8 +223,11 @@ pub fn sampling_frontier() -> SamplingFrontier {
         per_log_overhead: Span::ZERO,
     }));
     let baseline_wall = run(Arc::clone(&truth_trace) as _);
-    let truth: BTreeMap<String, Span> =
-        truth_trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    let truth: BTreeMap<String, Span> = truth_trace
+        .op_stats()
+        .iter()
+        .map(|o| (o.name.clone(), o.total_cpu))
+        .collect();
 
     let mut points = Vec::new();
     // LotusTrace itself (with its real per-log overhead).
@@ -209,8 +237,11 @@ pub fn sampling_frontier() -> SamplingFrontier {
             ..LotusTraceConfig::default()
         }));
         let wall = run(Arc::clone(&trace) as _);
-        let estimates: BTreeMap<String, Span> =
-            trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+        let estimates: BTreeMap<String, Span> = trace
+            .op_stats()
+            .iter()
+            .map(|o| (o.name.clone(), o.total_cpu))
+            .collect();
         points.push(FrontierPoint {
             label: "lotus (instrumented)".into(),
             epoch_error: epoch_error(&truth, &estimates),
@@ -218,7 +249,11 @@ pub fn sampling_frontier() -> SamplingFrontier {
             overhead: overhead(baseline_wall, wall),
         });
     }
-    for interval in [Span::from_millis(10), Span::from_millis(1), Span::from_micros(100)] {
+    for interval in [
+        Span::from_millis(10),
+        Span::from_millis(1),
+        Span::from_micros(100),
+    ] {
         // External sampler: per-sample target pause of ~3.2 µs.
         let dilation = 1.0 + 3_200.0 / interval.as_nanos() as f64;
         let profiler = Arc::new(SamplingProfiler::new(
@@ -256,7 +291,11 @@ fn epoch_error(truth: &BTreeMap<String, Span>, estimate: &BTreeMap<String, Span>
         total += ((e - t) / t).abs();
         n += 1;
     }
-    if n == 0 { 0.0 } else { total / n as f64 }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
 }
 
 fn overhead(baseline: Span, wall: Span) -> f64 {
@@ -265,7 +304,10 @@ fn overhead(baseline: Span, wall: Span) -> f64 {
 
 impl fmt::Display for SamplingFrontier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ablation — sampling-rate fidelity/overhead frontier (IC, batch 512)")?;
+        writeln!(
+            f,
+            "Ablation — sampling-rate fidelity/overhead frontier (IC, batch 512)"
+        )?;
         writeln!(
             f,
             "{:<24} {:>14} {:>14} {:>12}",
@@ -292,7 +334,10 @@ mod tests {
     #[test]
     fn mis_bucketing_inflates_rrc_substantially() {
         let ab = sleep_gap();
-        assert!(!ab.leaked_functions.is_empty(), "the gap-off mapping must be polluted");
+        assert!(
+            !ab.leaked_functions.is_empty(),
+            "the gap-off mapping must be polluted"
+        );
         assert!(
             ab.inflation() > 0.02,
             "skid leakage inflation {:.3} should be measurable",
@@ -319,8 +364,14 @@ mod tests {
         };
         let coarse = by_label("10.000ms");
         let fine = by_label("100.000us");
-        assert!(fine.epoch_error < coarse.epoch_error, "finer sampling is more accurate");
-        assert!(fine.log_bytes > 20 * coarse.log_bytes, "…but writes far more log");
+        assert!(
+            fine.epoch_error < coarse.epoch_error,
+            "finer sampling is more accurate"
+        );
+        assert!(
+            fine.log_bytes > 20 * coarse.log_bytes,
+            "…but writes far more log"
+        );
         let lotus = by_label("lotus");
         assert!(lotus.epoch_error < 0.02, "instrumentation is near-exact");
         assert!(

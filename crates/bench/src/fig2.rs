@@ -114,8 +114,11 @@ pub fn run(scale: Scale) -> Fig2 {
             kind.abbrev().to_lowercase()
         ));
         let doc = to_chrome_trace(&records, ChromeTraceOptions { coarse: true });
-        std::fs::write(&trace_path, serde_json::to_string_pretty(&doc).expect("serialize"))
-            .expect("write trace file");
+        std::fs::write(
+            &trace_path,
+            serde_json::to_string_pretty(&doc).expect("serialize"),
+        )
+        .expect("write trace file");
         rows.push(Fig2Row {
             pipeline: kind.abbrev(),
             mean_wait,
@@ -130,7 +133,10 @@ pub fn run(scale: Scale) -> Fig2 {
 
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 2 — coarse traces (open the JSON in chrome://tracing)")?;
+        writeln!(
+            f,
+            "Figure 2 — coarse traces (open the JSON in chrome://tracing)"
+        )?;
         writeln!(
             f,
             "{:<4} {:>14} {:>14} {:>14}  {:<20} trace file",

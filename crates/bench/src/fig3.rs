@@ -55,12 +55,20 @@ pub fn run() -> Fig3 {
     let episodes: Vec<OooEpisode> = timelines
         .iter()
         .filter(|t| t.wait.is_some_and(|(_, _, ooo)| ooo))
-        .filter_map(|t| t.delay().map(|delay| OooEpisode { early_batch: *t, delay }))
+        .filter_map(|t| {
+            t.delay().map(|delay| OooEpisode {
+                early_batch: *t,
+                delay,
+            })
+        })
         .take(5)
         .collect();
     Fig3 {
         total_batches: timelines.len(),
-        ooo_batches: timelines.iter().filter(|t| t.wait.is_some_and(|(_, _, o)| o)).count(),
+        ooo_batches: timelines
+            .iter()
+            .filter(|t| t.wait.is_some_and(|(_, _, o)| o))
+            .count(),
         episodes,
     }
 }
@@ -97,7 +105,10 @@ mod tests {
     #[test]
     fn out_of_order_episodes_exist_with_multiple_workers() {
         let fig = run();
-        assert!(fig.ooo_batches > 0, "4 workers + variable image sizes must reorder");
+        assert!(
+            fig.ooo_batches > 0,
+            "4 workers + variable image sizes must reorder"
+        );
         assert!(!fig.episodes.is_empty());
     }
 

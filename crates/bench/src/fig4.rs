@@ -43,7 +43,9 @@ impl Fig4 {
     /// The cell for one configuration.
     #[must_use]
     pub fn cell(&self, batch_size: usize, gpus: usize) -> Option<&Fig4Cell> {
-        self.cells.iter().find(|c| c.batch_size == batch_size && c.gpus == gpus)
+        self.cells
+            .iter()
+            .find(|c| c.batch_size == batch_size && c.gpus == gpus)
     }
 
     /// Range of coefficients of variation across configurations.
@@ -87,8 +89,7 @@ pub fn run(scale: Scale) -> Fig4 {
                 op_mode: OpLogMode::Off,
                 ..LotusTraceConfig::default()
             }));
-            let mut config =
-                ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+            let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
             config.batch_size = batch_size;
             config.num_gpus = gpus;
             config.num_workers = gpus;

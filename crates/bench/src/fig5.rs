@@ -61,7 +61,10 @@ pub fn run(scale: Scale) -> Fig5 {
             .expect("fig5 run must complete");
         let records = trace.records();
         let timelines = lotus_core::trace::analysis::batch_timelines(&records);
-        let ooo = timelines.iter().filter(|t| t.wait.is_some_and(|(_, _, o)| o)).count();
+        let ooo = timelines
+            .iter()
+            .filter(|t| t.wait.is_some_and(|(_, _, o)| o))
+            .count();
         rows.push(Fig5Row {
             gpus,
             wait_above_500ms: fraction_wait_above(&records, threshold),

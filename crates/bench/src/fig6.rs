@@ -7,13 +7,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use lotus_core::map::{relevant_functions, split_metrics, IsolationConfig, Mapping, OpHardwareProfile};
+use lotus_core::map::{
+    relevant_functions, split_metrics, IsolationConfig, Mapping, OpHardwareProfile,
+};
 use lotus_core::trace::analysis::total_preprocess_cpu;
 use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
 use lotus_sim::Span;
-use lotus_uarch::{
-    CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
-};
+use lotus_uarch::{CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig};
 use lotus_workloads::{build_ic_mapping_for_batch, ExperimentConfig, PipelineKind};
 
 use crate::Scale;
@@ -50,16 +50,14 @@ impl Fig6Point {
     /// (Figure 6(f): uop supply to the backend).
     #[must_use]
     pub fn uops_per_cycle(&self) -> f64 {
-        let events: lotus_uarch::HwEvents =
-            self.per_op_hw.iter().map(|o| o.events).sum();
+        let events: lotus_uarch::HwEvents = self.per_op_hw.iter().map(|o| o.events).sum();
         events.uops_per_cycle()
     }
 
     /// Aggregate front-end-bound fraction (Figure 6(g)).
     #[must_use]
     pub fn frontend_bound(&self) -> f64 {
-        let events: lotus_uarch::HwEvents =
-            self.per_op_hw.iter().map(|o| o.events).sum();
+        let events: lotus_uarch::HwEvents = self.per_op_hw.iter().map(|o| o.events).sum();
         events.frontend_bound_fraction()
     }
 
@@ -67,8 +65,7 @@ impl Fig6Point {
     /// serviced by local DRAM).
     #[must_use]
     pub fn dram_bound(&self) -> f64 {
-        let events: lotus_uarch::HwEvents =
-            self.per_op_hw.iter().map(|o| o.events).sum();
+        let events: lotus_uarch::HwEvents = self.per_op_hw.iter().map(|o| o.events).sum();
         events.dram_bound_fraction()
     }
 }
@@ -113,11 +110,7 @@ pub fn run_on(scale: Scale, machine_config: MachineConfig) -> Fig6 {
     // The mapping is a one-time preparatory step on the same machine type
     // (§IV-B); function names are stable across machine instances.
     let mapping_machine = Machine::new(machine_config.clone());
-    let mapping = build_ic_mapping_for_batch(
-        &mapping_machine,
-        IsolationConfig::default(),
-        BATCH,
-    );
+    let mapping = build_ic_mapping_for_batch(&mapping_machine, IsolationConfig::default(), BATCH);
 
     let mut points = Vec::new();
     for workers in [8usize, 12, 16, 20, 24, 28] {
@@ -145,8 +138,10 @@ pub fn run_on(scale: Scale, machine_config: MachineConfig) -> Fig6 {
             .expect("fig6 run must complete");
 
         let op_stats = trace.op_stats();
-        let per_op_cpu: BTreeMap<String, Span> =
-            op_stats.iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+        let per_op_cpu: BTreeMap<String, Span> = op_stats
+            .iter()
+            .map(|o| (o.name.clone(), o.total_cpu))
+            .collect();
         let profile = hw.report(&machine);
         let relevant = relevant_functions(&profile, &mapping).len();
         let per_op_hw = split_metrics(&profile, &mapping, &per_op_cpu);
@@ -199,7 +194,11 @@ impl fmt::Display for Fig6 {
                     write!(
                         f,
                         " {:>18.1}",
-                        p.per_op_cpu.get(*op).copied().unwrap_or(Span::ZERO).as_secs_f64()
+                        p.per_op_cpu
+                            .get(*op)
+                            .copied()
+                            .unwrap_or(Span::ZERO)
+                            .as_secs_f64()
                     )?;
                 }
                 writeln!(f)?;
@@ -263,7 +262,11 @@ mod tests {
                 p.relevant_functions,
                 p.profiled_functions
             );
-            assert!(p.relevant_functions >= 8, "mapped functions: {}", p.relevant_functions);
+            assert!(
+                p.relevant_functions >= 8,
+                "mapped functions: {}",
+                p.relevant_functions
+            );
         }
     }
 
@@ -304,7 +307,11 @@ mod tests {
         assert!(last.frontend_bound() > first.frontend_bound());
         assert!(last.dram_bound() < first.dram_bound());
         // The AMD inventory is in play.
-        assert!(fig.mapping.functions_for("Loader").unwrap().contains("sep_upsample"));
+        assert!(fig
+            .mapping
+            .functions_for("Loader")
+            .unwrap()
+            .contains("sep_upsample"));
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl Scale {
     /// Reads `LOTUS_FULL` from the environment.
     #[must_use]
     pub fn from_env() -> Scale {
-        Scale { full: std::env::var("LOTUS_FULL").is_ok_and(|v| v == "1") }
+        Scale {
+            full: std::env::var("LOTUS_FULL").is_ok_and(|v| v == "1"),
+        }
     }
 
     /// A fixed scaled-down configuration (used by tests).
@@ -50,7 +52,11 @@ impl Scale {
     /// otherwise `Some(scaled_items)`.
     #[must_use]
     pub fn items(&self, scaled_items: u64) -> Option<u64> {
-        if self.full { None } else { Some(scaled_items) }
+        if self.full {
+            None
+        } else {
+            Some(scaled_items)
+        }
     }
 }
 

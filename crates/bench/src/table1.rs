@@ -31,13 +31,13 @@ impl Table1 {
 }
 
 fn vendor_specific(this: &Mapping, other: &Mapping, op: &str) -> Vec<String> {
-    let Some(bucket) = this.functions_for(op) else { return Vec::new() };
+    let Some(bucket) = this.functions_for(op) else {
+        return Vec::new();
+    };
     bucket
         .functions
         .iter()
-        .filter(|f| {
-            other.functions_for(op).is_none_or(|o| !o.contains(&f.name))
-        })
+        .filter(|f| other.functions_for(op).is_none_or(|o| !o.contains(&f.name)))
         .map(|f| f.name.clone())
         .collect()
 }
@@ -55,7 +55,10 @@ pub fn run(config: IsolationConfig) -> Table1 {
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table I — mapping of Python functions to C/C++ functions")?;
+        writeln!(
+            f,
+            "Table I — mapping of Python functions to C/C++ functions"
+        )?;
         writeln!(f, "\n-- Intel (VTune, 10 ms sampling) --")?;
         f.write_str(&self.intel.to_table_string())?;
         writeln!(f, "\n-- AMD (uProf, 1 ms sampling) --")?;
@@ -73,7 +76,10 @@ mod tests {
     use super::*;
 
     fn quick() -> Table1 {
-        run(IsolationConfig { runs_override: Some(25), ..IsolationConfig::default() })
+        run(IsolationConfig {
+            runs_override: Some(25),
+            ..IsolationConfig::default()
+        })
     }
 
     #[test]
@@ -92,9 +98,15 @@ mod tests {
         // AMD surfaces process_data_simple_main / sep_upsample; Intel has
         // decompress_onepass and __libc_calloc (Table I).
         let amd_loader = t.amd.functions_for("Loader").unwrap();
-        assert!(amd_loader.contains("process_data_simple_main"), "{amd_loader:?}");
+        assert!(
+            amd_loader.contains("process_data_simple_main"),
+            "{amd_loader:?}"
+        );
         let intel_loader = t.intel.functions_for("Loader").unwrap();
-        assert!(intel_loader.contains("decompress_onepass"), "{intel_loader:?}");
+        assert!(
+            intel_loader.contains("decompress_onepass"),
+            "{intel_loader:?}"
+        );
         assert!(!intel_loader.contains("process_data_simple_main"));
     }
 
@@ -105,8 +117,21 @@ mod tests {
         // 10 ms usually doesn't — the paper lists it as AMD-specific.
         let amd_rrc = t.amd.functions_for("RandomResizedCrop").unwrap();
         assert!(amd_rrc.contains("precompute_coeffs"), "{amd_rrc:?}");
-        let amd_total: usize = t.amd.ops().iter().map(|op| t.amd.functions_for(op).unwrap().functions.len()).sum();
-        let intel_total: usize = t.intel.ops().iter().map(|op| t.intel.functions_for(op).unwrap().functions.len()).sum();
-        assert!(amd_total >= intel_total, "amd {amd_total} vs intel {intel_total}");
+        let amd_total: usize = t
+            .amd
+            .ops()
+            .iter()
+            .map(|op| t.amd.functions_for(op).unwrap().functions.len())
+            .sum();
+        let intel_total: usize = t
+            .intel
+            .ops()
+            .iter()
+            .map(|op| t.intel.functions_for(op).unwrap().functions.len())
+            .sum();
+        assert!(
+            amd_total >= intel_total,
+            "amd {amd_total} vs intel {intel_total}"
+        );
     }
 }

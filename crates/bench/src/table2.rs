@@ -74,7 +74,10 @@ pub fn run(scale: Scale) -> Table2 {
             .build(&machine, Arc::clone(&trace) as _, None)
             .run()
             .expect("table2 run must complete");
-        pipelines.push(PipelineOpStats { pipeline: kind.abbrev(), ops: trace.op_stats() });
+        pipelines.push(PipelineOpStats {
+            pipeline: kind.abbrev(),
+            ops: trace.op_stats(),
+        });
     }
     Table2 { pipelines }
 }
@@ -87,7 +90,10 @@ impl fmt::Display for Table2 {
         )?;
         for p in &self.pipelines {
             let title = if p.pipeline == "AC" {
-                format!("\n[{} — repository extension, not in the paper]", p.pipeline)
+                format!(
+                    "\n[{} — repository extension, not in the paper]",
+                    p.pipeline
+                )
             } else {
                 format!("\n[{}]", p.pipeline)
             };
@@ -120,7 +126,10 @@ mod tests {
                 .build(&machine, Arc::clone(&trace) as _, None)
                 .run()
                 .unwrap();
-            t2.push(PipelineOpStats { pipeline: kind.abbrev(), ops: trace.op_stats() });
+            t2.push(PipelineOpStats {
+                pipeline: kind.abbrev(),
+                ops: trace.op_stats(),
+            });
         }
         Table2 { pipelines: t2 }
     }
@@ -132,15 +141,30 @@ mod tests {
         let t = quick();
         let ic = t.pipeline("IC").unwrap();
         let loader = ic.op("Loader").unwrap();
-        assert!((3.0..7.0).contains(&loader.summary.mean), "Loader avg {}", loader.summary.mean);
+        assert!(
+            (3.0..7.0).contains(&loader.summary.mean),
+            "Loader avg {}",
+            loader.summary.mean
+        );
         let rrc = ic.op("RandomResizedCrop").unwrap();
-        assert!((0.6..1.7).contains(&rrc.summary.mean), "RRC avg {}", rrc.summary.mean);
+        assert!(
+            (0.6..1.7).contains(&rrc.summary.mean),
+            "RRC avg {}",
+            rrc.summary.mean
+        );
         let rhf = ic.op("RandomHorizontalFlip").unwrap();
         assert!(rhf.summary.mean < 0.15, "RHF avg {}", rhf.summary.mean);
         assert!(rhf.frac_below_100us > 0.9);
         let collate = ic.op("C(128)").unwrap();
-        assert!((35.0..75.0).contains(&collate.summary.mean), "C(128) avg {}", collate.summary.mean);
-        assert!(collate.frac_below_10ms < 0.05, "collation is never under 10 ms");
+        assert!(
+            (35.0..75.0).contains(&collate.summary.mean),
+            "C(128) avg {}",
+            collate.summary.mean
+        );
+        assert!(
+            collate.frac_below_10ms < 0.05,
+            "collation is never under 10 ms"
+        );
         // Takeaway 1: ops with sub-10 ms (even sub-100 µs) elapsed times
         // exist in every pipeline.
         assert!(ic.ops.iter().any(|o| o.frac_below_100us > 0.9));
@@ -151,18 +175,40 @@ mod tests {
         let t = quick();
         let is = t.pipeline("IS").unwrap();
         let rbc = is.op("RandBalancedCrop").unwrap();
-        assert!((40.0..150.0).contains(&rbc.summary.mean), "RBC avg {}", rbc.summary.mean);
+        assert!(
+            (40.0..150.0).contains(&rbc.summary.mean),
+            "RBC avg {}",
+            rbc.summary.mean
+        );
         // RBC's bimodality: most executions are nearly free, the tail is
         // enormous (paper: 61% < 100 µs, P90 ≈ 300 ms).
-        assert!((0.4..0.75).contains(&rbc.frac_below_100us), "RBC <100us {}", rbc.frac_below_100us);
+        assert!(
+            (0.4..0.75).contains(&rbc.frac_below_100us),
+            "RBC <100us {}",
+            rbc.frac_below_100us
+        );
         assert!(rbc.summary.p90 > 100.0, "RBC p90 {}", rbc.summary.p90);
         let rba = is.op("RandomBrightnessAugmentation").unwrap();
-        assert!((0.8..0.95).contains(&rba.frac_below_100us), "RBA mostly a no-op");
+        assert!(
+            (0.8..0.95).contains(&rba.frac_below_100us),
+            "RBA mostly a no-op"
+        );
         let gn = is.op("GaussianNoise").unwrap();
-        assert!((0.8..0.95).contains(&gn.frac_below_100us), "GN mostly a no-op");
-        assert!((2.0..12.0).contains(&gn.summary.mean), "GN avg {}", gn.summary.mean);
+        assert!(
+            (0.8..0.95).contains(&gn.frac_below_100us),
+            "GN mostly a no-op"
+        );
+        assert!(
+            (2.0..12.0).contains(&gn.summary.mean),
+            "GN avg {}",
+            gn.summary.mean
+        );
         let loader = is.op("Loader").unwrap();
-        assert!((40.0..150.0).contains(&loader.summary.mean), "Loader avg {}", loader.summary.mean);
+        assert!(
+            (40.0..150.0).contains(&loader.summary.mean),
+            "Loader avg {}",
+            loader.summary.mean
+        );
         assert!(loader.frac_below_10ms < 0.1, "IS loads are never fast");
     }
 
@@ -172,12 +218,20 @@ mod tests {
         let ac = t.pipeline("AC").unwrap();
         let loader = ac.op("Loader").unwrap();
         // FLAC decode of multi-second clips takes milliseconds.
-        assert!((1.0..20.0).contains(&loader.summary.mean), "Loader avg {}", loader.summary.mean);
+        assert!(
+            (1.0..20.0).contains(&loader.summary.mean),
+            "Loader avg {}",
+            loader.summary.mean
+        );
         let mel = ac.op("MelSpectrogram").unwrap();
         assert!(mel.summary.mean > 0.3, "Mel avg {}", mel.summary.mean);
         // SpecAugment is nearly free.
         let aug = ac.op("SpecAugment").unwrap();
-        assert!(aug.summary.mean < 0.2, "SpecAugment avg {}", aug.summary.mean);
+        assert!(
+            aug.summary.mean < 0.2,
+            "SpecAugment avg {}",
+            aug.summary.mean
+        );
         // Fixed-size features: collation present.
         assert!(ac.op("C(64)").is_some());
     }

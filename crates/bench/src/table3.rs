@@ -91,7 +91,10 @@ fn human_bytes(bytes: u64) -> String {
 
 impl fmt::Display for Table3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table III — profiler overheads (vs. no-profiler baseline)")?;
+        writeln!(
+            f,
+            "Table III — profiler overheads (vs. no-profiler baseline)"
+        )?;
         for d in &self.datasets {
             writeln!(f, "\n[{}]", d.dataset)?;
             writeln!(
@@ -142,7 +145,11 @@ mod tests {
     fn lotus_wins_on_overhead_among_op_resolving_profilers() {
         let d = quick();
         let lotus = d.row("Lotus").unwrap();
-        assert!(lotus.wall_overhead < 0.05, "Lotus overhead {}", lotus.wall_overhead);
+        assert!(
+            lotus.wall_overhead < 0.05,
+            "Lotus overhead {}",
+            lotus.wall_overhead
+        );
         for other in ["Scalene", "PyTorch Profiler"] {
             let row = d.row(other).unwrap();
             assert!(
@@ -158,8 +165,18 @@ mod tests {
     fn overhead_ordering_matches_table_3() {
         let d = quick();
         let oh = |p: &str| d.row(p).unwrap().wall_overhead;
-        assert!(oh("Scalene") > oh("py-spy"), "Scalene {} vs py-spy {}", oh("Scalene"), oh("py-spy"));
-        assert!(oh("py-spy") > oh("austin"), "py-spy {} vs austin {}", oh("py-spy"), oh("austin"));
+        assert!(
+            oh("Scalene") > oh("py-spy"),
+            "Scalene {} vs py-spy {}",
+            oh("Scalene"),
+            oh("py-spy")
+        );
+        assert!(
+            oh("py-spy") > oh("austin"),
+            "py-spy {} vs austin {}",
+            oh("py-spy"),
+            oh("austin")
+        );
         assert!(oh("PyTorch Profiler") > oh("py-spy"));
     }
 

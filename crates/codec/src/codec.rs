@@ -7,7 +7,7 @@ use lotus_uarch::{CpuThread, Machine, Vendor};
 use crate::bits::{BitReader, BitWriter};
 use crate::color::{planar_420_to_rgb, rgb_to_planar_420, PlanarYcc};
 use crate::dct::{
-    dequantize, fdct8x8, idct8x8, quantize, scale_quant_table, CHROMA_QUANT, BLOCK, BLOCK_LEN,
+    dequantize, fdct8x8, idct8x8, quantize, scale_quant_table, BLOCK, BLOCK_LEN, CHROMA_QUANT,
     LUMA_QUANT,
 };
 use crate::entropy::{decode_blocks, encode_blocks};
@@ -126,7 +126,10 @@ impl Codec {
     /// Creates a codec, registering its kernel inventory on `machine`.
     #[must_use]
     pub fn new(machine: &Machine) -> Codec {
-        Codec { kernels: CodecKernels::register(machine), vendor: machine.config().vendor }
+        Codec {
+            kernels: CodecKernels::register(machine),
+            vendor: machine.config().vendor,
+        }
     }
 
     /// The codec's kernel ids (for mapping and attribution tests).
@@ -154,10 +157,18 @@ impl Codec {
             (geo.luma_blocks + 2 * geo.chroma_blocks_per_plane) as f64 * BLOCK_LEN as f64,
         );
         let y_blocks = plane_to_blocks(&planar.y, planar.height, planar.width, &luma_table);
-        let cb_blocks =
-            plane_to_blocks(&planar.cb, planar.chroma_height(), planar.chroma_width(), &chroma_table);
-        let cr_blocks =
-            plane_to_blocks(&planar.cr, planar.chroma_height(), planar.chroma_width(), &chroma_table);
+        let cb_blocks = plane_to_blocks(
+            &planar.cb,
+            planar.chroma_height(),
+            planar.chroma_width(),
+            &chroma_table,
+        );
+        let cr_blocks = plane_to_blocks(
+            &planar.cr,
+            planar.chroma_height(),
+            planar.chroma_width(),
+            &chroma_table,
+        );
 
         let mut writer = BitWriter::new();
         encode_blocks(&y_blocks, &mut writer);
@@ -240,7 +251,10 @@ impl Codec {
         cpu.exec(self.kernels.memset, decoded_bytes);
         cpu.exec(self.kernels.fill_bit_buffer, payload);
         cpu.exec(self.kernels.decode_mcu, payload);
-        cpu.exec(self.kernels.idct_islow, (geo.luma_blocks * BLOCK_LEN as u64) as f64);
+        cpu.exec(
+            self.kernels.idct_islow,
+            (geo.luma_blocks * BLOCK_LEN as u64) as f64,
+        );
         cpu.exec(
             self.kernels.idct_16x16,
             (2 * geo.chroma_blocks_per_plane * BLOCK_LEN as u64) as f64,
@@ -309,7 +323,8 @@ fn blocks_to_plane(
                 let py = by * BLOCK + y;
                 let px = bx * BLOCK + x;
                 if py < height && px < width {
-                    plane[py * width + px] = (samples[y * BLOCK + x] + 128.0).round().clamp(0.0, 255.0) as u8;
+                    plane[py * width + px] =
+                        (samples[y * BLOCK + x] + 128.0).round().clamp(0.0, 255.0) as u8;
                 }
             }
         }
@@ -340,7 +355,11 @@ mod tests {
             .map(|(&x, &y)| (f64::from(x) - f64::from(y)).powi(2))
             .sum::<f64>()
             / a.pixels().len() as f64;
-        if mse == 0.0 { f64::INFINITY } else { 10.0 * (255.0f64 * 255.0 / mse).log10() }
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
     }
 
     #[test]
@@ -391,7 +410,12 @@ mod tests {
         let mut real_cpu = CpuThread::new(Arc::clone(&machine));
         codec.decode(&encoded, &mut real_cpu).unwrap();
         let mut cost_cpu = CpuThread::new(Arc::clone(&machine));
-        codec.charge_decode(encoded.width, encoded.height, encoded.file_bytes(), &mut cost_cpu);
+        codec.charge_decode(
+            encoded.width,
+            encoded.height,
+            encoded.file_bytes(),
+            &mut cost_cpu,
+        );
         assert_eq!(real_cpu.cursor(), cost_cpu.cursor());
     }
 
@@ -425,7 +449,12 @@ mod tests {
     #[test]
     fn zero_dimensions_are_rejected() {
         let (_m, codec, mut cpu) = setup();
-        let bogus = EncodedImage { width: 0, height: 32, quality: 80, data: vec![] };
+        let bogus = EncodedImage {
+            width: 0,
+            height: 32,
+            quality: 80,
+            data: vec![],
+        };
         assert!(matches!(
             codec.decode(&bogus, &mut cpu),
             Err(CodecError::InvalidDimensions { .. })

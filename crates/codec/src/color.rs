@@ -46,8 +46,11 @@ pub fn rgb_to_ycc(rgb: [u8; 3]) -> [u8; 3] {
 /// Converts one YCbCr pixel back to RGB (libjpeg's `ycc_rgb_convert`).
 #[must_use]
 pub fn ycc_to_rgb(ycc: [u8; 3]) -> [u8; 3] {
-    let (y, cb, cr) =
-        (f64::from(ycc[0]), f64::from(ycc[1]) - 128.0, f64::from(ycc[2]) - 128.0);
+    let (y, cb, cr) = (
+        f64::from(ycc[0]),
+        f64::from(ycc[1]) - 128.0,
+        f64::from(ycc[2]) - 128.0,
+    );
     let r = y + 1.402 * cr;
     let g = y - 0.344_136 * cb - 0.714_136 * cr;
     let b = y + 1.772 * cb;
@@ -84,9 +87,23 @@ pub fn rgb_to_planar_420(rgb: &[u8], height: usize, width: usize) -> PlanarYcc {
             counts[ci] += 1;
         }
     }
-    let cb = cb_acc.iter().zip(&counts).map(|(&a, &n)| (a / n.max(1)) as u8).collect();
-    let cr = cr_acc.iter().zip(&counts).map(|(&a, &n)| (a / n.max(1)) as u8).collect();
-    PlanarYcc { height, width, y: y_plane, cb, cr }
+    let cb = cb_acc
+        .iter()
+        .zip(&counts)
+        .map(|(&a, &n)| (a / n.max(1)) as u8)
+        .collect();
+    let cr = cr_acc
+        .iter()
+        .zip(&counts)
+        .map(|(&a, &n)| (a / n.max(1)) as u8)
+        .collect();
+    PlanarYcc {
+        height,
+        width,
+        y: y_plane,
+        cb,
+        cr,
+    }
 }
 
 /// Upsamples the chroma planes (nearest-neighbour, libjpeg's
@@ -112,8 +129,14 @@ mod tests {
 
     #[test]
     fn primaries_round_trip_approximately() {
-        for rgb in [[255, 0, 0], [0, 255, 0], [0, 0, 255], [128, 64, 200], [0, 0, 0], [255, 255, 255]]
-        {
+        for rgb in [
+            [255, 0, 0],
+            [0, 255, 0],
+            [0, 0, 255],
+            [128, 64, 200],
+            [0, 0, 0],
+            [255, 255, 255],
+        ] {
             let back = ycc_to_rgb(rgb_to_ycc(rgb));
             for c in 0..3 {
                 assert!(

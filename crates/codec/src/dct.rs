@@ -34,9 +34,9 @@ pub const CHROMA_QUANT: [u16; BLOCK_LEN] = [
 /// The JPEG zig-zag scan order (index `i` of the scan reads flat position
 /// `ZIGZAG[i]`).
 pub const ZIGZAG: [usize; BLOCK_LEN] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Scales a base quantization table by JPEG quality (1–100).
@@ -47,7 +47,11 @@ pub const ZIGZAG: [usize; BLOCK_LEN] = [
 #[must_use]
 pub fn scale_quant_table(base: &[u16; BLOCK_LEN], quality: u8) -> [u16; BLOCK_LEN] {
     assert!((1..=100).contains(&quality), "quality must be 1..=100");
-    let scale: i64 = if quality < 50 { 5000 / i64::from(quality) } else { 200 - 2 * i64::from(quality) };
+    let scale: i64 = if quality < 50 {
+        5000 / i64::from(quality)
+    } else {
+        200 - 2 * i64::from(quality)
+    };
     let mut out = [0u16; BLOCK_LEN];
     for (o, &b) in out.iter_mut().zip(base.iter()) {
         let v = (i64::from(b) * scale + 50) / 100;
@@ -107,7 +111,9 @@ pub fn idct8x8(coeffs: &[f64; BLOCK_LEN]) -> [f64; BLOCK_LEN] {
 pub fn quantize(coeffs: &[f64; BLOCK_LEN], table: &[u16; BLOCK_LEN]) -> [i16; BLOCK_LEN] {
     let mut out = [0i16; BLOCK_LEN];
     for i in 0..BLOCK_LEN {
-        out[i] = (coeffs[i] / f64::from(table[i])).round().clamp(-2047.0, 2047.0) as i16;
+        out[i] = (coeffs[i] / f64::from(table[i]))
+            .round()
+            .clamp(-2047.0, 2047.0) as i16;
     }
     out
 }

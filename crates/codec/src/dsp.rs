@@ -31,7 +31,10 @@ impl Complex {
     }
 
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
     }
 
     fn add(self, rhs: Complex) -> Complex {
@@ -53,7 +56,10 @@ impl Complex {
 /// Panics unless `data.len()` is a power of two.
 pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -114,7 +120,11 @@ pub fn ifft(spectrum: &[Complex]) -> Vec<f64> {
 pub fn hann_window(n: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
-            if n <= 1 { 1.0 } else { 0.5 * (1.0 - (2.0 * PI * i as f64 / (n - 1) as f64).cos()) }
+            if n <= 1 {
+                1.0
+            } else {
+                0.5 * (1.0 - (2.0 * PI * i as f64 / (n - 1) as f64).cos())
+            }
         })
         .collect()
 }
@@ -129,7 +139,10 @@ pub fn power_spectrum(frame: &[f64], window: &[f64]) -> Vec<f64> {
     assert_eq!(frame.len(), window.len(), "frame/window length mismatch");
     let windowed: Vec<f64> = frame.iter().zip(window).map(|(&x, &w)| x * w).collect();
     let spectrum = fft(&windowed);
-    spectrum[..=frame.len() / 2].iter().map(|c| c.norm_sq()).collect()
+    spectrum[..=frame.len() / 2]
+        .iter()
+        .map(|c| c.norm_sq())
+        .collect()
 }
 
 /// Hz → mel (HTK formula).
@@ -167,13 +180,17 @@ impl MelFilterbank {
         let n_bins = n_fft / 2 + 1;
         let max_mel = hz_to_mel(sample_rate / 2.0);
         // n_mels + 2 equally spaced mel points.
-        let mel_points: Vec<f64> =
-            (0..n_mels + 2).map(|i| max_mel * i as f64 / (n_mels + 1) as f64).collect();
+        let mel_points: Vec<f64> = (0..n_mels + 2)
+            .map(|i| max_mel * i as f64 / (n_mels + 1) as f64)
+            .collect();
         let bin_of = |mel: f64| mel_to_hz(mel) * n_fft as f64 / sample_rate;
         let mut weights = vec![0.0; n_mels * n_bins];
         for m in 0..n_mels {
-            let (lo, mid, hi) =
-                (bin_of(mel_points[m]), bin_of(mel_points[m + 1]), bin_of(mel_points[m + 2]));
+            let (lo, mid, hi) = (
+                bin_of(mel_points[m]),
+                bin_of(mel_points[m + 1]),
+                bin_of(mel_points[m + 2]),
+            );
             for bin in 0..n_bins {
                 let f = bin as f64;
                 let w = if f >= lo && f <= mid && mid > lo {
@@ -186,7 +203,11 @@ impl MelFilterbank {
                 weights[m * n_bins + bin] = w.max(0.0);
             }
         }
-        MelFilterbank { n_mels, n_bins, weights }
+        MelFilterbank {
+            n_mels,
+            n_bins,
+            weights,
+        }
     }
 
     /// Number of mel bands.
@@ -237,7 +258,9 @@ mod tests {
 
     #[test]
     fn fft_round_trips() {
-        let signal: Vec<f64> = (0..256).map(|i| ((i * 13) % 31) as f64 / 31.0 - 0.5).collect();
+        let signal: Vec<f64> = (0..256)
+            .map(|i| ((i * 13) % 31) as f64 / 31.0 - 0.5)
+            .collect();
         let back = ifft(&fft(&signal));
         for (a, b) in signal.iter().zip(&back) {
             assert!((a - b).abs() < 1e-9);
@@ -248,8 +271,9 @@ mod tests {
     fn sinusoid_peaks_at_its_bin() {
         let n = 512;
         let k = 37;
-        let signal: Vec<f64> =
-            (0..n).map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
         let power = power_spectrum(&signal, &vec![1.0; n]);
         let argmax = power
             .iter()
@@ -303,8 +327,9 @@ mod tests {
         let fb = MelFilterbank::new(sr, n_fft, 64);
         // A 2 kHz tone.
         let n = n_fft;
-        let signal: Vec<f64> =
-            (0..n).map(|i| (2.0 * PI * 2000.0 * i as f64 / sr).sin()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 2000.0 * i as f64 / sr).sin())
+            .collect();
         let power = power_spectrum(&signal, &hann_window(n));
         let mel = fb.apply(&power);
         let peak_band = mel

@@ -7,7 +7,10 @@ use crate::dct::{BLOCK_LEN, ZIGZAG};
 /// Number of bits needed to represent `v.abs()` (JPEG "category"; 0 for 0).
 #[must_use]
 pub fn category(v: i16) -> u8 {
-    (16 - i32::from(v).unsigned_abs().leading_zeros().saturating_sub(16)) as u8
+    (16 - i32::from(v)
+        .unsigned_abs()
+        .leading_zeros()
+        .saturating_sub(16)) as u8
 }
 
 fn magnitude_bits(v: i16, cat: u8) -> u32 {

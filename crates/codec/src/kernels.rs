@@ -139,9 +139,7 @@ impl CodecKernels {
         };
         let decompress_driver = match vendor {
             Vendor::Intel => machine.kernel("decompress_onepass", libs::LIBJPEG, driver_cost),
-            Vendor::Amd => {
-                machine.kernel("process_data_simple_main", libs::LIBJPEG, driver_cost)
-            }
+            Vendor::Amd => machine.kernel("process_data_simple_main", libs::LIBJPEG, driver_cost),
         };
         let sep_upsample = match vendor {
             Vendor::Intel => None,
@@ -221,8 +219,11 @@ impl CodecKernels {
             Vendor::Amd => libs::LIBC_AMD,
         };
         let memset = machine.kernel(memset_name, libc_name, CostCoeffs::streaming_default());
-        let memcpy =
-            machine.kernel("__memcpy_avx_unaligned_erms", libc_name, CostCoeffs::streaming_default());
+        let memcpy = machine.kernel(
+            "__memcpy_avx_unaligned_erms",
+            libc_name,
+            CostCoeffs::streaming_default(),
+        );
         let rgb_ycc_convert = machine.kernel(
             "rgb_ycc_convert",
             libs::LIBJPEG,
@@ -288,7 +289,10 @@ mod tests {
         assert!(machine.kernel_by_name("__libc_calloc").is_some());
         assert!(machine.kernel_by_name("process_data_simple_main").is_none());
         assert!(k.sep_upsample.is_none());
-        assert_eq!(machine.kernel_spec(k.memset).name, "__memset_avx2_unaligned_erms");
+        assert_eq!(
+            machine.kernel_spec(k.memset).name,
+            "__memset_avx2_unaligned_erms"
+        );
     }
 
     #[test]
@@ -299,7 +303,10 @@ mod tests {
         assert!(machine.kernel_by_name("sep_upsample").is_some());
         assert!(machine.kernel_by_name("__libc_calloc").is_none());
         assert_eq!(machine.kernel_spec(k.alloc_output).name, "copy");
-        assert_eq!(machine.kernel_spec(k.memset).name, "__memset_avx2_unaligned");
+        assert_eq!(
+            machine.kernel_spec(k.memset).name,
+            "__memset_avx2_unaligned"
+        );
         assert_eq!(machine.kernel_spec(k.memset).library, libs::LIBC_AMD);
     }
 

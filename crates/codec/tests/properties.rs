@@ -8,7 +8,6 @@ use lotus_data::Image;
 use lotus_uarch::{CpuThread, Machine, MachineConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

@@ -25,7 +25,10 @@ use super::mapping::{MappedFunction, OpMapping};
 /// Panics unless `0 < confidence < 1` and both spans are positive.
 #[must_use]
 pub fn required_runs(confidence: f64, f: Span, s: Span) -> usize {
-    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence must be in (0,1)"
+    );
     assert!(!f.is_zero() && !s.is_zero(), "spans must be positive");
     let ratio = f.as_nanos() as f64 / s.as_nanos() as f64;
     if ratio >= 1.0 {
@@ -167,16 +170,21 @@ impl OpIsolator {
 
         let mut functions: Vec<MappedFunction> = captured
             .into_iter()
-            .map(|((name, library), (captured_runs, samples))| MappedFunction {
-                name,
-                library,
-                captured_runs,
-                total_runs: runs,
-                samples,
-            })
+            .map(
+                |((name, library), (captured_runs, samples))| MappedFunction {
+                    name,
+                    library,
+                    captured_runs,
+                    total_runs: runs,
+                    samples,
+                },
+            )
             .collect();
         functions.sort_by(|a, b| b.samples.cmp(&a.samples).then_with(|| a.name.cmp(&b.name)));
-        OpMapping { op: op_name.to_string(), functions }
+        OpMapping {
+            op: op_name.to_string(),
+            functions,
+        }
     }
 }
 
@@ -188,12 +196,18 @@ mod tests {
     #[test]
     fn run_count_formula_matches_paper_example() {
         // f = 660 µs, s = 10 ms, C = 75% → 20 runs (§IV-B).
-        assert_eq!(required_runs(0.75, Span::from_micros(660), Span::from_millis(10)), 20);
+        assert_eq!(
+            required_runs(0.75, Span::from_micros(660), Span::from_millis(10)),
+            20
+        );
     }
 
     #[test]
     fn long_functions_need_one_run() {
-        assert_eq!(required_runs(0.99, Span::from_millis(20), Span::from_millis(10)), 1);
+        assert_eq!(
+            required_runs(0.99, Span::from_millis(20), Span::from_millis(10)),
+            1
+        );
     }
 
     #[test]
@@ -217,7 +231,10 @@ mod tests {
         let k = machine.kernel("big_kernel", "lib.so", CostCoeffs::compute_default());
         let isolator = OpIsolator::new(
             Arc::clone(&machine),
-            IsolationConfig { runs_override: Some(5), ..IsolationConfig::default() },
+            IsolationConfig {
+                runs_override: Some(5),
+                ..IsolationConfig::default()
+            },
         );
         // ~30 ms of work: guaranteed ≥ 2 samples per run at 10 ms.
         let mapping = isolator.isolate(
@@ -289,7 +306,10 @@ mod tests {
             );
             mapping.contains("preamble_fn")
         };
-        assert!(run(false), "without the sleep gap, skid pollutes the bucket");
+        assert!(
+            run(false),
+            "without the sleep gap, skid pollutes the bucket"
+        );
         assert!(!run(true), "the sleep gap keeps the bucket clean");
     }
 }

@@ -2,10 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 
 /// One native function bucketed under a Python operation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MappedFunction {
     /// Function symbol name.
     pub name: String,
@@ -32,7 +32,7 @@ impl MappedFunction {
 }
 
 /// The bucket of native functions for one Python operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpMapping {
     /// Python operation name (e.g. `RandomResizedCrop`).
     pub op: String,
@@ -58,9 +58,88 @@ impl OpMapping {
 
 /// A full mapping: one bucket per Python operation. Serializable to the
 /// artifact's `mapping_funcs.json` shape.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Mapping {
     ops: BTreeMap<String, OpMapping>,
+}
+
+// The vendored serde stub has no derive macro, so the three mapping types
+// implement the traits by hand against its `Content` data model. The JSON
+// shape matches what derive would emit (structs as field maps).
+
+impl Serialize for MappedFunction {
+    fn serialize_content(&self) -> Content {
+        Content::Map(vec![
+            ("name".to_string(), self.name.serialize_content()),
+            ("library".to_string(), self.library.serialize_content()),
+            (
+                "captured_runs".to_string(),
+                self.captured_runs.serialize_content(),
+            ),
+            (
+                "total_runs".to_string(),
+                self.total_runs.serialize_content(),
+            ),
+            ("samples".to_string(), self.samples.serialize_content()),
+        ])
+    }
+}
+
+impl Deserialize for MappedFunction {
+    fn deserialize_content(content: &Content) -> Result<MappedFunction, String> {
+        let field = |key: &str| {
+            content
+                .get_field(key)
+                .ok_or_else(|| format!("MappedFunction missing field `{key}`"))
+        };
+        Ok(MappedFunction {
+            name: String::deserialize_content(field("name")?)?,
+            library: String::deserialize_content(field("library")?)?,
+            captured_runs: usize::deserialize_content(field("captured_runs")?)?,
+            total_runs: usize::deserialize_content(field("total_runs")?)?,
+            samples: u64::deserialize_content(field("samples")?)?,
+        })
+    }
+}
+
+impl Serialize for OpMapping {
+    fn serialize_content(&self) -> Content {
+        Content::Map(vec![
+            ("op".to_string(), self.op.serialize_content()),
+            ("functions".to_string(), self.functions.serialize_content()),
+        ])
+    }
+}
+
+impl Deserialize for OpMapping {
+    fn deserialize_content(content: &Content) -> Result<OpMapping, String> {
+        let field = |key: &str| {
+            content
+                .get_field(key)
+                .ok_or_else(|| format!("OpMapping missing field `{key}`"))
+        };
+        Ok(OpMapping {
+            op: String::deserialize_content(field("op")?)?,
+            functions: Vec::deserialize_content(field("functions")?)?,
+        })
+    }
+}
+
+impl Serialize for Mapping {
+    fn serialize_content(&self) -> Content {
+        Content::Map(vec![("ops".to_string(), self.ops.serialize_content())])
+    }
+}
+
+impl Deserialize for Mapping {
+    fn deserialize_content(content: &Content) -> Result<Mapping, String> {
+        let ops = content
+            .get_field("ops")
+            .ok_or("Mapping missing field `ops`")?;
+        Ok(Mapping {
+            ops: BTreeMap::deserialize_content(ops)?,
+        })
+    }
 }
 
 impl Mapping {
@@ -124,12 +203,7 @@ impl Mapping {
                 let op = if i == 0 { m.op.as_str() } else { "" };
                 out.push_str(&format!(
                     "{:<30} {:<36} {:<44} {:>4}/{:<3} {:>8}\n",
-                    op,
-                    f.name,
-                    f.library,
-                    f.captured_runs,
-                    f.total_runs,
-                    f.samples
+                    op, f.name, f.library, f.captured_runs, f.total_runs, f.samples
                 ));
             }
         }
@@ -176,11 +250,17 @@ mod tests {
         let mut m = Mapping::new();
         m.insert(OpMapping {
             op: "Loader".into(),
-            functions: vec![f("decode_mcu", 20, 300), f("__memcpy_avx_unaligned_erms", 6, 10)],
+            functions: vec![
+                f("decode_mcu", 20, 300),
+                f("__memcpy_avx_unaligned_erms", 6, 10),
+            ],
         });
         m.insert(OpMapping {
             op: "RandomResizedCrop".into(),
-            functions: vec![f("ImagingResampleHorizontal_8bpc", 18, 120), f("__memcpy_avx_unaligned_erms", 4, 6)],
+            functions: vec![
+                f("ImagingResampleHorizontal_8bpc", 18, 120),
+                f("__memcpy_avx_unaligned_erms", 4, 6),
+            ],
         });
         assert_eq!(m.len(), 2);
         assert!(m.functions_for("Loader").unwrap().contains("decode_mcu"));
@@ -194,7 +274,11 @@ mod tests {
     fn noise_filter_keeps_well_captured_or_heavily_sampled() {
         let mut om = OpMapping {
             op: "X".into(),
-            functions: vec![f("solid", 15, 40), f("rare_but_big", 1, 50), f("fluke", 1, 1)],
+            functions: vec![
+                f("solid", 15, 40),
+                f("rare_but_big", 1, 50),
+                f("fluke", 1, 1),
+            ],
         };
         om.filter_noise(3, 10);
         let names: Vec<&str> = om.functions.iter().map(|x| x.name.as_str()).collect();
@@ -204,7 +288,10 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let mut m = Mapping::new();
-        m.insert(OpMapping { op: "Loader".into(), functions: vec![f("decode_mcu", 20, 300)] });
+        m.insert(OpMapping {
+            op: "Loader".into(),
+            functions: vec![f("decode_mcu", 20, 300)],
+        });
         let parsed = Mapping::from_json(&m.to_json()).unwrap();
         assert_eq!(parsed, m);
     }

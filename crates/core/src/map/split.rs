@@ -42,7 +42,11 @@ pub fn split_metrics(
         .map(|op| {
             (
                 op.clone(),
-                OpHardwareProfile { op: op.clone(), cpu_time: Span::ZERO, events: HwEvents::ZERO },
+                OpHardwareProfile {
+                    op: op.clone(),
+                    cpu_time: Span::ZERO,
+                    events: HwEvents::ZERO,
+                },
             )
         })
         .collect();
@@ -61,7 +65,9 @@ pub fn split_metrics(
             continue;
         }
         for op in ops {
-            let Some(op_time) = op_times.get(op) else { continue };
+            let Some(op_time) = op_times.get(op) else {
+                continue;
+            };
             let weight = op_time.as_nanos() as f64 / total;
             let entry = out.get_mut(op).expect("op pre-seeded");
             entry.cpu_time += row.stats.cpu_time.mul_f64(weight);
@@ -79,7 +85,10 @@ pub fn relevant_functions<'p>(
     profile: &'p [FunctionProfile],
     mapping: &Mapping,
 ) -> Vec<&'p FunctionProfile> {
-    profile.iter().filter(|row| !mapping.ops_containing(&row.name).is_empty()).collect()
+    profile
+        .iter()
+        .filter(|row| !mapping.ops_containing(&row.name).is_empty())
+        .collect()
 }
 
 /// Splits a whole-pipeline hardware profile onto Python operations using
@@ -104,7 +113,11 @@ pub fn split_metrics_mix_aware(
         .map(|op| {
             (
                 op.clone(),
-                OpHardwareProfile { op: op.clone(), cpu_time: Span::ZERO, events: HwEvents::ZERO },
+                OpHardwareProfile {
+                    op: op.clone(),
+                    cpu_time: Span::ZERO,
+                    events: HwEvents::ZERO,
+                },
             )
         })
         .collect();
@@ -171,7 +184,10 @@ mod tests {
             stats: FnStats {
                 samples: 1,
                 cpu_time: Span::from_millis(cpu_ms),
-                events: HwEvents { instructions: insts, ..HwEvents::ZERO },
+                events: HwEvents {
+                    instructions: insts,
+                    ..HwEvents::ZERO
+                },
             },
         }
     }
@@ -185,9 +201,18 @@ mod tests {
             total_runs: 10,
             samples: 50,
         };
-        m.insert(OpMapping { op: "Loader".into(), functions: vec![mf("decode_mcu"), mf("__memmove")] });
-        m.insert(OpMapping { op: "RandomResizedCrop".into(), functions: vec![mf("resample"), mf("__memmove")] });
-        m.insert(OpMapping { op: "ToTensor".into(), functions: vec![mf("__memmove")] });
+        m.insert(OpMapping {
+            op: "Loader".into(),
+            functions: vec![mf("decode_mcu"), mf("__memmove")],
+        });
+        m.insert(OpMapping {
+            op: "RandomResizedCrop".into(),
+            functions: vec![mf("resample"), mf("__memmove")],
+        });
+        m.insert(OpMapping {
+            op: "ToTensor".into(),
+            functions: vec![mf("__memmove")],
+        });
         m
     }
 
@@ -221,7 +246,10 @@ mod tests {
         assert_eq!(get("RandomResizedCrop").cpu_time, Span::from_millis(3));
         assert_eq!(get("ToTensor").cpu_time, Span::from_millis(1));
         let total: f64 = split.iter().map(|o| o.events.instructions).sum();
-        assert!((total - 100.0).abs() < 1e-9, "splitting must conserve events");
+        assert!(
+            (total - 100.0).abs() < 1e-9,
+            "splitting must conserve events"
+        );
     }
 
     #[test]
@@ -232,7 +260,11 @@ mod tests {
         ];
         let split = split_metrics(&profile, &mapping(), &op_times());
         let total_cpu: u64 = split.iter().map(|o| o.cpu_time.as_nanos()).sum();
-        assert_eq!(total_cpu, Span::from_millis(10).as_nanos(), "unmapped CPU time is excluded");
+        assert_eq!(
+            total_cpu,
+            Span::from_millis(10).as_nanos(),
+            "unmapped CPU time is excluded"
+        );
         let relevant = relevant_functions(&profile, &mapping());
         assert_eq!(relevant.len(), 1);
         assert_eq!(relevant[0].name, "decode_mcu");
@@ -251,8 +283,14 @@ mod tests {
             total_runs: 10,
             samples,
         };
-        m.insert(OpMapping { op: "A".into(), functions: vec![mf("shared", 10), mf("a_only", 90)] });
-        m.insert(OpMapping { op: "B".into(), functions: vec![mf("shared", 90), mf("b_only", 10)] });
+        m.insert(OpMapping {
+            op: "A".into(),
+            functions: vec![mf("shared", 10), mf("a_only", 90)],
+        });
+        m.insert(OpMapping {
+            op: "B".into(),
+            functions: vec![mf("shared", 90), mf("b_only", 10)],
+        });
         let op_times = BTreeMap::from([
             ("A".to_string(), Span::from_secs(1)),
             ("B".to_string(), Span::from_secs(1)),
@@ -300,9 +338,20 @@ mod tests {
         let profile = vec![profile_row("decode_mcu", 90, 900.0)];
         let good_split = split_metrics(&profile, &mapping(), &op_times());
         let bad_split = split_metrics(&profile, &bad, &op_times());
-        let rrc_good = good_split.iter().find(|o| o.op == "RandomResizedCrop").unwrap().cpu_time;
-        let rrc_bad = bad_split.iter().find(|o| o.op == "RandomResizedCrop").unwrap().cpu_time;
+        let rrc_good = good_split
+            .iter()
+            .find(|o| o.op == "RandomResizedCrop")
+            .unwrap()
+            .cpu_time;
+        let rrc_bad = bad_split
+            .iter()
+            .find(|o| o.op == "RandomResizedCrop")
+            .unwrap()
+            .cpu_time;
         assert_eq!(rrc_good, Span::ZERO);
-        assert!(rrc_bad > Span::from_millis(25), "mis-bucketing inflates RRC: {rrc_bad}");
+        assert!(
+            rrc_bad > Span::from_millis(25),
+            "mis-bucketing inflates RRC: {rrc_bad}"
+        );
     }
 }

@@ -36,7 +36,10 @@ pub fn per_op_stats(records: &[TraceRecord]) -> Vec<OpStats> {
             if !durations.contains_key(name) {
                 order.push(name.clone());
             }
-            durations.entry(name.clone()).or_default().push(r.duration.as_millis_f64());
+            durations
+                .entry(name.clone())
+                .or_default()
+                .push(r.duration.as_millis_f64());
         }
     }
     order
@@ -93,6 +96,9 @@ impl BatchTimeline {
 pub fn batch_timelines(records: &[TraceRecord]) -> Vec<BatchTimeline> {
     let mut map: BTreeMap<u64, BatchTimeline> = BTreeMap::new();
     for r in records {
+        if matches!(r.kind, SpanKind::Op(_)) || r.kind.is_instant() {
+            continue; // per-item ops and fault marks are not batch spans
+        }
         let entry = map.entry(r.batch_id).or_insert_with(|| BatchTimeline {
             batch_id: r.batch_id,
             ..BatchTimeline::default()
@@ -104,10 +110,45 @@ pub fn batch_timelines(records: &[TraceRecord]) -> Vec<BatchTimeline> {
             }
             SpanKind::BatchWait => entry.wait = Some((r.start, r.duration, r.out_of_order)),
             SpanKind::BatchConsumed => entry.consumed = Some((r.start, r.duration)),
-            SpanKind::Op(_) => {}
+            _ => unreachable!("filtered above"),
         }
     }
     map.into_values().collect()
+}
+
+/// Aggregate view of the fault events in a log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// Injected per-sample errors, as `(batch_id, op)` pairs.
+    pub injected: Vec<(u64, String)>,
+    /// Pids of workers observed to have died.
+    pub dead_workers: Vec<u32>,
+    /// Batch ids that were redispatched to a surviving worker.
+    pub redispatched: Vec<u64>,
+}
+
+impl FaultSummary {
+    /// True if the log contains no fault events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.injected.is_empty() && self.dead_workers.is_empty() && self.redispatched.is_empty()
+    }
+}
+
+/// Collects the fault-injection marks (`FaultInjected`, `WorkerDied`,
+/// `BatchRedispatched`) out of a record stream, in log order.
+#[must_use]
+pub fn fault_summary(records: &[TraceRecord]) -> FaultSummary {
+    let mut summary = FaultSummary::default();
+    for r in records {
+        match &r.kind {
+            SpanKind::FaultInjected(op) => summary.injected.push((r.batch_id, op.clone())),
+            SpanKind::WorkerDied => summary.dead_workers.push(r.pid),
+            SpanKind::BatchRedispatched => summary.redispatched.push(r.batch_id),
+            _ => {}
+        }
+    }
+    summary
 }
 
 /// Distribution of per-batch preprocessing times, in milliseconds
@@ -134,7 +175,10 @@ pub fn fraction_wait_above(records: &[TraceRecord], threshold: Span) -> f64 {
     if waits.is_empty() {
         return 0.0;
     }
-    waits.iter().filter(|b| b.wait_span().unwrap_or(Span::ZERO) > threshold).count() as f64
+    waits
+        .iter()
+        .filter(|b| b.wait_span().unwrap_or(Span::ZERO) > threshold)
+        .count() as f64
         / waits.len() as f64
 }
 
@@ -185,6 +229,7 @@ mod tests {
             start: Time::from_nanos(start_ns),
             duration: Span::from_nanos(dur_ns),
             out_of_order: false,
+            queue_delay: Span::ZERO,
         }
     }
 
@@ -249,5 +294,26 @@ mod tests {
         let s = preprocess_time_summary(&sample_log());
         assert_eq!(s.count, 2);
         assert!((s.mean - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_marks_summarize_and_stay_out_of_timelines() {
+        let mut log = sample_log();
+        log.push(rec(
+            SpanKind::FaultInjected("ToTensor".into()),
+            7,
+            50_000_000,
+            0,
+        ));
+        log.push(rec(SpanKind::WorkerDied, 0, 60_000_000, 0));
+        log.push(rec(SpanKind::BatchRedispatched, 7, 61_000_000, 0));
+        let summary = fault_summary(&log);
+        assert_eq!(summary.injected, vec![(7, "ToTensor".to_string())]);
+        assert_eq!(summary.dead_workers, vec![1]);
+        assert_eq!(summary.redispatched, vec![7]);
+        assert!(!summary.is_empty());
+        // The marks do not create phantom batch timelines.
+        assert_eq!(batch_timelines(&log).len(), 2);
+        assert!(fault_summary(&sample_log()).is_empty());
     }
 }

@@ -1,11 +1,14 @@
 //! Chrome Trace Viewer export (the format the PyTorch profiler emits and
 //! `chrome://tracing` consumes), including the data-flow arrows between
 //! `SBatchPreprocessed` spans and their `SBatchConsumed` counterparts.
+//! Fault-injection marks (`SFaultInjected_*`, `SWorkerDied`,
+//! `SBatchRedispatched_*`) render as instant events on the process they
+//! happened on.
 
 use serde_json::{json, Value};
 
 use super::analysis::batch_timelines;
-use super::record::{SpanKind, TraceRecord};
+use super::record::{parse_label, SpanKind, TraceRecord};
 
 /// Export options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +37,23 @@ pub fn to_chrome_trace(records: &[TraceRecord], options: ChromeTraceOptions) -> 
         if options.coarse && matches!(r.kind, SpanKind::Op(_)) {
             continue;
         }
+        if r.kind.is_instant() {
+            // Zero-duration lifecycle marks (faults, deaths, redispatches)
+            // become process-scoped instant events.
+            events.push(json!({
+                "name": r.kind.label(r.batch_id),
+                "ph": "i",
+                "s": "p",
+                "ts": r.start.as_nanos() as f64 / 1e3,
+                "pid": r.pid,
+                "tid": r.pid,
+                "id": take_id(),
+                "args": json!({
+                    "batch_id": r.batch_id,
+                }),
+            }));
+            continue;
+        }
         events.push(json!({
             "name": r.kind.label(r.batch_id),
             "ph": "X",
@@ -42,18 +62,21 @@ pub fn to_chrome_trace(records: &[TraceRecord], options: ChromeTraceOptions) -> 
             "pid": r.pid,
             "tid": r.pid,
             "id": take_id(),
-            "args": {
+            "args": json!({
                 "batch_id": r.batch_id,
                 "out_of_order": r.out_of_order,
-            },
+                "queue_delay_ns": r.queue_delay.as_nanos(),
+            }),
         }));
     }
 
     // Flow arrows: SBatchPreprocessed end → SBatchConsumed start.
     for timeline in batch_timelines(records) {
-        let (Some((p_start, p_dur)), Some((c_start, _)), Some(worker)) =
-            (timeline.preprocessed, timeline.consumed, timeline.worker_pid)
-        else {
+        let (Some((p_start, p_dur)), Some((c_start, _)), Some(worker)) = (
+            timeline.preprocessed,
+            timeline.consumed,
+            timeline.worker_pid,
+        ) else {
             continue;
         };
         let flow_id = take_id();
@@ -63,7 +86,7 @@ pub fn to_chrome_trace(records: &[TraceRecord], options: ChromeTraceOptions) -> 
             .find(|r| r.kind == SpanKind::BatchConsumed && r.batch_id == timeline.batch_id)
             .map_or(0, |r| r.pid);
         events.push(json!({
-            "name": name,
+            "name": name.clone(),
             "ph": "s",
             "ts": (p_start + p_dur).as_nanos() as f64 / 1e3,
             "pid": worker,
@@ -124,21 +147,39 @@ pub fn from_chrome_trace(doc: &Value) -> Result<Vec<TraceRecord>, String> {
         .ok_or_else(|| "document missing traceEvents".to_string())?;
     let mut records = Vec::new();
     for e in events {
-        if e.get("ph").and_then(Value::as_str) != Some("X") {
+        let ph = e.get("ph").and_then(Value::as_str);
+        let instant = ph == Some("i");
+        if ph != Some("X") && !instant {
             continue; // flow arrows, metadata
         }
-        let Some(name) = e.get("name").and_then(Value::as_str) else { continue };
+        let Some(name) = e.get("name").and_then(Value::as_str) else {
+            continue;
+        };
         if !name.starts_with('S') {
             continue; // a foreign (e.g. PyTorch profiler) event
         }
         // Negative ids mark LotusTrace events.
-        if e.get("id").and_then(Value::as_i64).is_some_and(|id| id >= 0) {
+        if e.get("id")
+            .and_then(Value::as_i64)
+            .is_some_and(|id| id >= 0)
+        {
             continue;
         }
-        let ts_us = e.get("ts").and_then(Value::as_f64).ok_or("event missing ts")?;
-        let dur_us = e.get("dur").and_then(Value::as_f64).ok_or("event missing dur")?;
-        let pid =
-            e.get("pid").and_then(Value::as_u64).ok_or("event missing pid")? as u32;
+        let ts_us = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or("event missing ts")?;
+        let dur_us = if instant {
+            0.0
+        } else {
+            e.get("dur")
+                .and_then(Value::as_f64)
+                .ok_or("event missing dur")?
+        };
+        let pid = e
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or("event missing pid")? as u32;
         let batch_id = e
             .pointer("/args/batch_id")
             .and_then(Value::as_u64)
@@ -147,15 +188,11 @@ pub fn from_chrome_trace(doc: &Value) -> Result<Vec<TraceRecord>, String> {
             .pointer("/args/out_of_order")
             .and_then(Value::as_bool)
             .unwrap_or(false);
-        let kind = if name.starts_with("SBatchPreprocessed_") {
-            SpanKind::BatchPreprocessed
-        } else if name.starts_with("SBatchWait_") {
-            SpanKind::BatchWait
-        } else if name.starts_with("SBatchConsumed_") {
-            SpanKind::BatchConsumed
-        } else {
-            SpanKind::Op(name[1..].to_string())
-        };
+        let queue_delay_ns = e
+            .pointer("/args/queue_delay_ns")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        let (kind, _) = parse_label(name)?;
         records.push(TraceRecord {
             kind,
             pid,
@@ -163,6 +200,7 @@ pub fn from_chrome_trace(doc: &Value) -> Result<Vec<TraceRecord>, String> {
             start: lotus_sim::Time::from_nanos((ts_us * 1e3).round() as u64),
             duration: lotus_sim::Span::from_nanos((dur_us * 1e3).round() as u64),
             out_of_order,
+            queue_delay: lotus_sim::Span::from_nanos(queue_delay_ns),
         });
     }
     Ok(records)
@@ -182,6 +220,7 @@ mod tests {
                 start: Time::from_nanos(0),
                 duration: Span::from_micros(800),
                 out_of_order: false,
+                queue_delay: Span::ZERO,
             },
             TraceRecord {
                 kind: SpanKind::BatchPreprocessed,
@@ -190,6 +229,7 @@ mod tests {
                 start: Time::from_nanos(0),
                 duration: Span::from_millis(2),
                 out_of_order: false,
+                queue_delay: Span::ZERO,
             },
             TraceRecord {
                 kind: SpanKind::BatchConsumed,
@@ -198,6 +238,7 @@ mod tests {
                 start: Time::from_nanos(3_000_000),
                 duration: Span::from_millis(1),
                 out_of_order: false,
+                queue_delay: Span::ZERO,
             },
         ]
     }
@@ -222,7 +263,10 @@ mod tests {
     #[test]
     fn coarse_trace_drops_op_spans() {
         let doc = to_chrome_trace(&sample(), ChromeTraceOptions { coarse: true });
-        let names: Vec<&str> = events(&doc).iter().filter_map(|e| e["name"].as_str()).collect();
+        let names: Vec<&str> = events(&doc)
+            .iter()
+            .filter_map(|e| e["name"].as_str())
+            .collect();
         assert!(!names.contains(&"SLoader"));
         assert!(names.contains(&"SBatchPreprocessed_0"));
     }
@@ -262,19 +306,80 @@ mod tests {
     }
 
     #[test]
+    fn fault_marks_export_as_instants_and_round_trip() {
+        let records = vec![
+            TraceRecord {
+                kind: SpanKind::FaultInjected("ToTensor".into()),
+                pid: 4243,
+                batch_id: 4,
+                start: Time::from_nanos(5_000),
+                duration: Span::ZERO,
+                out_of_order: false,
+                queue_delay: Span::ZERO,
+            },
+            TraceRecord {
+                kind: SpanKind::WorkerDied,
+                pid: 4244,
+                batch_id: 0,
+                start: Time::from_nanos(9_000),
+                duration: Span::ZERO,
+                out_of_order: false,
+                queue_delay: Span::ZERO,
+            },
+            TraceRecord {
+                kind: SpanKind::BatchRedispatched,
+                pid: 4245,
+                batch_id: 4,
+                start: Time::from_nanos(10_000),
+                duration: Span::ZERO,
+                out_of_order: false,
+                queue_delay: Span::ZERO,
+            },
+        ];
+        let doc = to_chrome_trace(&records, ChromeTraceOptions::default());
+        let instants: Vec<&Value> = events(&doc).iter().filter(|e| e["ph"] == "i").collect();
+        assert_eq!(instants.len(), 3);
+        assert!(
+            instants.iter().all(|e| e["s"] == "p"),
+            "process-scoped instants"
+        );
+        let parsed = from_chrome_trace(&doc).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn wait_queue_delay_survives_the_chrome_round_trip() {
+        let records = vec![TraceRecord {
+            kind: SpanKind::BatchWait,
+            pid: 1,
+            batch_id: 3,
+            start: Time::from_nanos(1_000),
+            duration: Span::from_micros(1),
+            out_of_order: true,
+            queue_delay: Span::from_nanos(123_456),
+        }];
+        let doc = to_chrome_trace(&records, ChromeTraceOptions::default());
+        let parsed = from_chrome_trace(&doc).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
     fn import_skips_foreign_events() {
-        let torch = json!({ "traceEvents": [
-            { "name": "aten::conv2d", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 1, "id": 5 }
-        ]});
+        let torch = json!({ "traceEvents": json!([json!({
+            "name": "aten::conv2d", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 1, "id": 5
+        })])});
         assert!(from_chrome_trace(&torch).unwrap().is_empty());
     }
 
     #[test]
     fn merge_keeps_both_event_sets() {
-        let torch = json!({ "traceEvents": [{ "name": "aten::conv2d", "ph": "X", "id": 5 }] });
+        let torch = json!({ "traceEvents": json!([json!({ "name": "aten::conv2d", "ph": "X", "id": 5 })]) });
         let lotus = to_chrome_trace(&sample(), ChromeTraceOptions { coarse: true });
         let merged = merge_traces(&torch, &lotus);
-        let names: Vec<&str> = events(&merged).iter().filter_map(|e| e["name"].as_str()).collect();
+        let names: Vec<&str> = events(&merged)
+            .iter()
+            .filter_map(|e| e["name"].as_str())
+            .collect();
         assert!(names.contains(&"aten::conv2d"));
         assert!(names.contains(&"SBatchPreprocessed_0"));
     }

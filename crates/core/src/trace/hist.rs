@@ -77,7 +77,11 @@ impl LogHistogram {
     /// Exact mean in nanoseconds. Zero when empty.
     #[must_use]
     pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.sum_ns / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.count as f64
+        }
     }
 
     /// Approximate percentile (`p` in 0–100), in nanoseconds.

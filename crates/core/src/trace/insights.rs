@@ -89,15 +89,20 @@ pub fn analyze(records: &[TraceRecord]) -> Insights {
     let mean_wait = mean(timelines.iter().filter_map(BatchTimeline::wait_span));
     let mean_delay = mean(timelines.iter().filter_map(BatchTimeline::delay));
     let with_wait = timelines.iter().filter(|t| t.wait.is_some()).count().max(1);
-    let ooo = timelines.iter().filter(|t| t.wait.is_some_and(|(_, _, o)| o)).count();
+    let ooo = timelines
+        .iter()
+        .filter(|t| t.wait.is_some_and(|(_, _, o)| o))
+        .count();
     let ooo_fraction = ooo as f64 / with_wait as f64;
 
     let mut per_worker: BTreeMap<u32, WorkerStats> = BTreeMap::new();
     for r in records {
         if r.kind == SpanKind::BatchPreprocessed {
-            let w = per_worker
-                .entry(r.pid)
-                .or_insert(WorkerStats { pid: r.pid, batches: 0, busy: Span::ZERO });
+            let w = per_worker.entry(r.pid).or_insert(WorkerStats {
+                pid: r.pid,
+                batches: 0,
+                busy: Span::ZERO,
+            });
             w.batches += 1;
             w.busy += r.duration;
         }
@@ -105,7 +110,10 @@ pub fn analyze(records: &[TraceRecord]) -> Insights {
     let workers: Vec<WorkerStats> = per_worker.into_values().collect();
     let worker_imbalance = {
         let busies: Vec<f64> = workers.iter().map(|w| w.busy.as_secs_f64()).collect();
-        match (busies.iter().cloned().fold(f64::INFINITY, f64::min), busies.iter().cloned().fold(0.0, f64::max)) {
+        match (
+            busies.iter().cloned().fold(f64::INFINITY, f64::min),
+            busies.iter().cloned().fold(0.0, f64::max),
+        ) {
             (min, max) if workers.len() > 1 && max > 0.0 => (max - min) / max,
             _ => 0.0,
         }
@@ -117,9 +125,21 @@ pub fn analyze(records: &[TraceRecord]) -> Insights {
             .filter(|r| r.kind == SpanKind::BatchConsumed)
             .map(|r| r.duration.as_nanos())
             .sum();
-        let start = records.iter().map(|r| r.start.as_nanos()).min().unwrap_or(0);
-        let end = records.iter().map(|r| r.end().as_nanos()).max().unwrap_or(0);
-        if end > start { consumed as f64 / (end - start) as f64 } else { 0.0 }
+        let start = records
+            .iter()
+            .map(|r| r.start.as_nanos())
+            .min()
+            .unwrap_or(0);
+        let end = records
+            .iter()
+            .map(|r| r.end().as_nanos())
+            .max()
+            .unwrap_or(0);
+        if end > start {
+            consumed as f64 / (end - start) as f64
+        } else {
+            0.0
+        }
     };
 
     let op_totals = per_op_cpu_totals(records);
@@ -208,10 +228,18 @@ impl fmt::Display for Insights {
             self.gpu_busy_fraction * 100.0
         )?;
         if let Some((op, share)) = &self.dominant_op {
-            writeln!(f, "dominant op: {op} ({:.0}% of preprocessing CPU)", share * 100.0)?;
+            writeln!(
+                f,
+                "dominant op: {op} ({:.0}% of preprocessing CPU)",
+                share * 100.0
+            )?;
         }
         for w in &self.workers {
-            writeln!(f, "worker {}: {} batches, busy {}", w.pid, w.batches, w.busy)?;
+            writeln!(
+                f,
+                "worker {}: {} batches, busy {}",
+                w.pid, w.batches, w.busy
+            )?;
         }
         for r in &self.recommendations {
             writeln!(f, "→ {r}")?;
@@ -225,7 +253,14 @@ mod tests {
     use super::*;
     use lotus_sim::Time;
 
-    fn rec(kind: SpanKind, pid: u32, batch: u64, start_ms: u64, dur_ms: u64, ooo: bool) -> TraceRecord {
+    fn rec(
+        kind: SpanKind,
+        pid: u32,
+        batch: u64,
+        start_ms: u64,
+        dur_ms: u64,
+        ooo: bool,
+    ) -> TraceRecord {
         TraceRecord {
             kind,
             pid,
@@ -233,17 +268,39 @@ mod tests {
             start: Time::from_nanos(start_ms * 1_000_000),
             duration: Span::from_millis(dur_ms),
             out_of_order: ooo,
+            queue_delay: Span::ZERO,
         }
     }
 
     fn preprocessing_bound_log() -> Vec<TraceRecord> {
         let mut log = Vec::new();
         for b in 0..10 {
-            log.push(rec(SpanKind::Op("Loader".into()), 2, b, b * 1000, 700, false));
-            log.push(rec(SpanKind::Op("Normalize".into()), 2, b, b * 1000 + 700, 100, false));
+            log.push(rec(
+                SpanKind::Op("Loader".into()),
+                2,
+                b,
+                b * 1000,
+                700,
+                false,
+            ));
+            log.push(rec(
+                SpanKind::Op("Normalize".into()),
+                2,
+                b,
+                b * 1000 + 700,
+                100,
+                false,
+            ));
             log.push(rec(SpanKind::BatchPreprocessed, 2, b, b * 1000, 900, false));
             log.push(rec(SpanKind::BatchWait, 1, b, b * 1000, 850, false));
-            log.push(rec(SpanKind::BatchConsumed, 1, b, b * 1000 + 910, 50, false));
+            log.push(rec(
+                SpanKind::BatchConsumed,
+                1,
+                b,
+                b * 1000 + 910,
+                50,
+                false,
+            ));
         }
         log
     }
@@ -253,12 +310,19 @@ mod tests {
         let insights = analyze(&preprocessing_bound_log());
         assert_eq!(insights.verdict, Verdict::PreprocessingBound);
         // GPU consumes 50 ms of each ~1 s batch interval: heavily starved.
-        assert!(insights.gpu_busy_fraction < 0.1, "{}", insights.gpu_busy_fraction);
+        assert!(
+            insights.gpu_busy_fraction < 0.1,
+            "{}",
+            insights.gpu_busy_fraction
+        );
         let (op, share) = insights.dominant_op.unwrap();
         assert_eq!(op, "Loader");
         assert!(share > 0.8);
         assert!(
-            insights.recommendations.iter().any(|r| r.contains("Loader")),
+            insights
+                .recommendations
+                .iter()
+                .any(|r| r.contains("Loader")),
             "{:?}",
             insights.recommendations
         );
@@ -271,11 +335,21 @@ mod tests {
             log.push(rec(SpanKind::BatchPreprocessed, 2, b, b * 100, 80, false));
             log.push(rec(SpanKind::BatchWait, 1, b, b * 1000, 0, false));
             // Consumed long after preprocessing finished.
-            log.push(rec(SpanKind::BatchConsumed, 1, b, b * 1000 + 5000, 700, false));
+            log.push(rec(
+                SpanKind::BatchConsumed,
+                1,
+                b,
+                b * 1000 + 5000,
+                700,
+                false,
+            ));
         }
         let insights = analyze(&log);
         assert_eq!(insights.verdict, Verdict::GpuBound);
-        assert!(insights.recommendations.iter().any(|r| r.contains("headroom")));
+        assert!(insights
+            .recommendations
+            .iter()
+            .any(|r| r.contains("headroom")));
     }
 
     #[test]
@@ -285,15 +359,39 @@ mod tests {
             let pid = 2 + (b % 2) as u32;
             // Worker 3 is twice as slow.
             let dur = if pid == 3 { 1800 } else { 900 };
-            log.push(rec(SpanKind::BatchPreprocessed, pid, b, b * 1000, dur, false));
-            log.push(rec(SpanKind::BatchWait, 1, b, b * 1000, 1, b % 2 == 0, ));
-            log.push(rec(SpanKind::BatchConsumed, 1, b, b * 1000 + 2000, 50, false));
+            log.push(rec(
+                SpanKind::BatchPreprocessed,
+                pid,
+                b,
+                b * 1000,
+                dur,
+                false,
+            ));
+            log.push(rec(SpanKind::BatchWait, 1, b, b * 1000, 1, b % 2 == 0));
+            log.push(rec(
+                SpanKind::BatchConsumed,
+                1,
+                b,
+                b * 1000 + 2000,
+                50,
+                false,
+            ));
         }
         let insights = analyze(&log);
         assert!(insights.ooo_fraction >= 0.5);
-        assert!(insights.worker_imbalance > 0.4, "{}", insights.worker_imbalance);
-        assert!(insights.recommendations.iter().any(|r| r.contains("out of order")));
-        assert!(insights.recommendations.iter().any(|r| r.contains("load-balance")));
+        assert!(
+            insights.worker_imbalance > 0.4,
+            "{}",
+            insights.worker_imbalance
+        );
+        assert!(insights
+            .recommendations
+            .iter()
+            .any(|r| r.contains("out of order")));
+        assert!(insights
+            .recommendations
+            .iter()
+            .any(|r| r.contains("load-balance")));
         assert_eq!(insights.workers.len(), 2);
     }
 

@@ -39,7 +39,10 @@ pub struct LotusTraceConfig {
 
 impl Default for LotusTraceConfig {
     fn default() -> Self {
-        LotusTraceConfig { per_log_overhead: Span::from_nanos(1_500), op_mode: OpLogMode::Full }
+        LotusTraceConfig {
+            per_log_overhead: Span::from_nanos(1_500),
+            op_mode: OpLogMode::Full,
+        }
     }
 }
 
@@ -84,7 +87,8 @@ impl LotusTrace {
     }
 
     fn push(&self, record: TraceRecord) -> Span {
-        self.log_bytes.fetch_add(record.log_bytes(), Ordering::Relaxed);
+        self.log_bytes
+            .fetch_add(record.log_bytes(), Ordering::Relaxed);
         self.records.lock().expect("trace poisoned").push(record);
         self.config.per_log_overhead
     }
@@ -163,6 +167,7 @@ impl Tracer for LotusTrace {
                 start,
                 duration: dur,
                 out_of_order: false,
+                queue_delay: Span::ZERO,
             }),
             OpLogMode::Aggregate => {
                 let record = TraceRecord {
@@ -172,14 +177,19 @@ impl Tracer for LotusTrace {
                     start,
                     duration: dur,
                     out_of_order: false,
+                    queue_delay: Span::ZERO,
                 };
-                self.log_bytes.fetch_add(record.log_bytes(), Ordering::Relaxed);
+                self.log_bytes
+                    .fetch_add(record.log_bytes(), Ordering::Relaxed);
                 let mut agg = self.op_aggregates.lock().expect("trace poisoned");
                 if !agg.by_name.contains_key(name) {
                     agg.order.push(name.to_string());
                     agg.by_name.insert(name.to_string(), LogHistogram::new());
                 }
-                agg.by_name.get_mut(name).expect("just inserted").record(dur);
+                agg.by_name
+                    .get_mut(name)
+                    .expect("just inserted")
+                    .record(dur);
                 self.config.per_log_overhead
             }
         }
@@ -193,6 +203,7 @@ impl Tracer for LotusTrace {
             start,
             duration: dur,
             out_of_order: false,
+            queue_delay: Span::ZERO,
         })
     }
 
@@ -203,6 +214,7 @@ impl Tracer for LotusTrace {
         start: Time,
         dur: Span,
         out_of_order: bool,
+        queue_delay: Span,
     ) -> Span {
         self.push(TraceRecord {
             kind: SpanKind::BatchWait,
@@ -211,6 +223,7 @@ impl Tracer for LotusTrace {
             start,
             duration: dur,
             out_of_order,
+            queue_delay,
         })
     }
 
@@ -229,6 +242,43 @@ impl Tracer for LotusTrace {
             start,
             duration: dur,
             out_of_order: false,
+            queue_delay: Span::ZERO,
+        })
+    }
+
+    fn on_fault_injected(&self, pid: u32, batch_id: u64, op: &str, at: Time) -> Span {
+        self.push(TraceRecord {
+            kind: SpanKind::FaultInjected(op.to_string()),
+            pid,
+            batch_id,
+            start: at,
+            duration: Span::ZERO,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        })
+    }
+
+    fn on_worker_died(&self, pid: u32, at: Time) -> Span {
+        self.push(TraceRecord {
+            kind: SpanKind::WorkerDied,
+            pid,
+            batch_id: 0,
+            start: at,
+            duration: Span::ZERO,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        })
+    }
+
+    fn on_batch_redispatched(&self, batch_id: u64, _from_pid: u32, to_pid: u32, at: Time) -> Span {
+        self.push(TraceRecord {
+            kind: SpanKind::BatchRedispatched,
+            pid: to_pid,
+            batch_id,
+            start: at,
+            duration: Span::ZERO,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
         })
     }
 }
@@ -242,9 +292,12 @@ mod tests {
         let trace = LotusTrace::new();
         let oh = trace.on_op(1, 0, "Loader", Time::ZERO, Span::from_micros(5));
         assert_eq!(oh, LotusTraceConfig::default().per_log_overhead);
-        let _ = trace.on_batch_wait(2, 0, Time::ZERO, Span::from_micros(1), true);
+        let _ = trace.on_batch_wait(2, 0, Time::ZERO, Span::from_micros(1), true, Span::ZERO);
         assert_eq!(trace.len(), 2);
-        assert_eq!(trace.log_storage_bytes(), trace.to_log_string().len() as u64);
+        assert_eq!(
+            trace.log_storage_bytes(),
+            trace.to_log_string().len() as u64
+        );
         assert!(!trace.is_empty());
     }
 
@@ -254,7 +307,10 @@ mod tests {
             per_log_overhead: Span::from_nanos(100),
             op_mode: OpLogMode::Off,
         });
-        assert_eq!(trace.on_op(1, 0, "Loader", Time::ZERO, Span::ZERO), Span::ZERO);
+        assert_eq!(
+            trace.on_op(1, 0, "Loader", Time::ZERO, Span::ZERO),
+            Span::ZERO
+        );
         let _ = trace.on_batch_preprocessed(1, 0, Time::ZERO, Span::from_millis(1));
         assert_eq!(trace.len(), 1);
         assert!(trace.op_stats().is_empty());
@@ -283,7 +339,9 @@ mod tests {
             assert!((fs.summary.mean - as_.summary.mean).abs() / fs.summary.mean < 1e-9);
             assert!(
                 (fs.summary.p90 - as_.summary.p90).abs() / fs.summary.p90 < 0.06,
-                "p90 {} vs {}", fs.summary.p90, as_.summary.p90
+                "p90 {} vs {}",
+                fs.summary.p90,
+                as_.summary.p90
             );
             assert!((fs.frac_below_10ms - as_.frac_below_10ms).abs() < 0.05);
         }
@@ -294,7 +352,37 @@ mod tests {
     #[test]
     fn out_of_order_flag_is_preserved() {
         let trace = LotusTrace::new();
-        let _ = trace.on_batch_wait(1, 3, Time::ZERO, Span::from_micros(1), true);
+        let _ = trace.on_batch_wait(
+            1,
+            3,
+            Time::ZERO,
+            Span::from_micros(1),
+            true,
+            Span::from_nanos(9),
+        );
         assert!(trace.records()[0].out_of_order);
+        assert_eq!(trace.records()[0].queue_delay, Span::from_nanos(9));
+    }
+
+    #[test]
+    fn fault_hooks_record_instant_marks() {
+        let trace = LotusTrace::new();
+        let _ = trace.on_fault_injected(4243, 5, "ToTensor", Time::from_nanos(10));
+        let _ = trace.on_worker_died(4244, Time::from_nanos(20));
+        let _ = trace.on_batch_redispatched(5, 4244, 4245, Time::from_nanos(30));
+        let records = trace.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, SpanKind::FaultInjected("ToTensor".into()));
+        assert_eq!(records[0].batch_id, 5);
+        assert_eq!(records[1].kind, SpanKind::WorkerDied);
+        assert_eq!(records[1].pid, 4244);
+        assert_eq!(records[2].kind, SpanKind::BatchRedispatched);
+        assert_eq!(
+            records[2].pid, 4245,
+            "redispatch records the receiving worker"
+        );
+        assert!(records
+            .iter()
+            .all(|r| r.duration.is_zero() && r.kind.is_instant()));
     }
 }

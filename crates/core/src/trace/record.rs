@@ -15,6 +15,15 @@ pub enum SpanKind {
     /// One preprocessing operation on one item (\[T3\]), e.g.
     /// `RandomResizedCrop`.
     Op(String),
+    /// A fault plan injected an error into the named op while a worker
+    /// fetched this batch — `SFaultInjected_idx_op`.
+    FaultInjected(String),
+    /// The main process observed a DataLoader worker's death —
+    /// `SWorkerDied` (an instant, duration zero).
+    WorkerDied,
+    /// An in-flight batch owned by a dead worker was re-sent to a
+    /// survivor — `SBatchRedispatched_idx` (an instant, duration zero).
+    BatchRedispatched,
 }
 
 impl SpanKind {
@@ -26,7 +35,20 @@ impl SpanKind {
             SpanKind::BatchWait => format!("SBatchWait_{batch_id}"),
             SpanKind::BatchConsumed => format!("SBatchConsumed_{batch_id}"),
             SpanKind::Op(name) => format!("S{name}"),
+            SpanKind::FaultInjected(op) => format!("SFaultInjected_{batch_id}_{op}"),
+            SpanKind::WorkerDied => "SWorkerDied".to_string(),
+            SpanKind::BatchRedispatched => format!("SBatchRedispatched_{batch_id}"),
         }
+    }
+
+    /// True for the zero-duration fault/lifecycle marks (rendered as
+    /// instant events in the Chrome trace).
+    #[must_use]
+    pub fn is_instant(&self) -> bool {
+        matches!(
+            self,
+            SpanKind::FaultInjected(_) | SpanKind::WorkerDied | SpanKind::BatchRedispatched
+        )
     }
 }
 
@@ -48,6 +70,10 @@ pub struct TraceRecord {
     /// True for wait records satisfied from the out-of-order cache
     /// (logged with the 1 µs marker duration).
     pub out_of_order: bool,
+    /// For wait records: how long the batch sat between the end of its
+    /// fetch on the worker and delivery to the main loop (shared-queue
+    /// residency). Zero for all other kinds.
+    pub queue_delay: Span,
 }
 
 impl TraceRecord {
@@ -55,12 +81,13 @@ impl TraceRecord {
     #[must_use]
     pub fn to_log_line(&self) -> String {
         format!(
-            "{},{},{},{},{}\n",
+            "{},{},{},{},{},{}\n",
             self.kind.label(self.batch_id),
             self.pid,
             self.start.as_nanos(),
             self.duration.as_nanos(),
             u8::from(self.out_of_order),
+            self.queue_delay.as_nanos(),
         )
     }
 
@@ -83,14 +110,17 @@ impl TraceRecord {
     /// Returns a description of the malformed field.
     pub fn parse_log_line(line: &str) -> Result<TraceRecord, String> {
         let parts: Vec<&str> = line.trim_end().split(',').collect();
-        if parts.len() != 5 {
-            return Err(format!("expected 5 fields, got {}", parts.len()));
+        if parts.len() != 6 {
+            return Err(format!("expected 6 fields, got {}", parts.len()));
         }
         let (label, rest) = (parts[0], &parts[1..]);
         let pid: u32 = rest[0].parse().map_err(|e| format!("bad pid: {e}"))?;
         let start: u64 = rest[1].parse().map_err(|e| format!("bad start: {e}"))?;
         let duration: u64 = rest[2].parse().map_err(|e| format!("bad duration: {e}"))?;
         let ooo = rest[3] == "1";
+        let queue_delay: u64 = rest[4]
+            .parse()
+            .map_err(|e| format!("bad queue delay: {e}"))?;
         let (kind, batch_id) = parse_label(label)?;
         Ok(TraceRecord {
             kind,
@@ -99,20 +129,34 @@ impl TraceRecord {
             start: Time::from_nanos(start),
             duration: Span::from_nanos(duration),
             out_of_order: ooo,
+            queue_delay: Span::from_nanos(queue_delay),
         })
     }
 }
 
-fn parse_label(label: &str) -> Result<(SpanKind, u64), String> {
+/// Parses a span label back into its kind and batch id (shared by the log
+/// and Chrome-trace importers).
+pub(crate) fn parse_label(label: &str) -> Result<(SpanKind, u64), String> {
     for (prefix, ctor) in [
         ("SBatchPreprocessed_", SpanKind::BatchPreprocessed),
         ("SBatchWait_", SpanKind::BatchWait),
         ("SBatchConsumed_", SpanKind::BatchConsumed),
+        ("SBatchRedispatched_", SpanKind::BatchRedispatched),
     ] {
         if let Some(idx) = label.strip_prefix(prefix) {
             let id = idx.parse().map_err(|e| format!("bad batch id: {e}"))?;
             return Ok((ctor, id));
         }
+    }
+    if let Some(rest) = label.strip_prefix("SFaultInjected_") {
+        let (idx, op) = rest
+            .split_once('_')
+            .ok_or_else(|| format!("fault label '{label}' missing op"))?;
+        let id = idx.parse().map_err(|e| format!("bad batch id: {e}"))?;
+        return Ok((SpanKind::FaultInjected(op.to_string()), id));
+    }
+    if label == "SWorkerDied" {
+        return Ok((SpanKind::WorkerDied, 0));
     }
     match label.strip_prefix('S') {
         Some(name) if !name.is_empty() => Ok((SpanKind::Op(name.to_string()), 0)),
@@ -132,24 +176,59 @@ mod tests {
             start: Time::from_nanos(1_000),
             duration: Span::from_nanos(250),
             out_of_order: false,
+            queue_delay: Span::from_nanos(77),
         }
     }
 
     #[test]
     fn labels_match_paper_notation() {
-        assert_eq!(SpanKind::BatchPreprocessed.label(699), "SBatchPreprocessed_699");
+        assert_eq!(
+            SpanKind::BatchPreprocessed.label(699),
+            "SBatchPreprocessed_699"
+        );
         assert_eq!(SpanKind::BatchWait.label(699), "SBatchWait_699");
         assert_eq!(SpanKind::BatchConsumed.label(699), "SBatchConsumed_699");
-        assert_eq!(SpanKind::Op("RandomResizedCrop".into()).label(0), "SRandomResizedCrop");
+        assert_eq!(
+            SpanKind::Op("RandomResizedCrop".into()).label(0),
+            "SRandomResizedCrop"
+        );
+        assert_eq!(
+            SpanKind::FaultInjected("ToTensor".into()).label(12),
+            "SFaultInjected_12_ToTensor"
+        );
+        assert_eq!(SpanKind::WorkerDied.label(0), "SWorkerDied");
+        assert_eq!(SpanKind::BatchRedispatched.label(9), "SBatchRedispatched_9");
     }
 
     #[test]
     fn batch_records_round_trip_through_log_lines() {
-        for kind in [SpanKind::BatchPreprocessed, SpanKind::BatchWait, SpanKind::BatchConsumed] {
+        for kind in [
+            SpanKind::BatchPreprocessed,
+            SpanKind::BatchWait,
+            SpanKind::BatchConsumed,
+            SpanKind::BatchRedispatched,
+            SpanKind::FaultInjected("Normalize".into()),
+        ] {
             let r = record(kind);
             let parsed = TraceRecord::parse_log_line(&r.to_log_line()).unwrap();
             assert_eq!(parsed, r);
         }
+        // WorkerDied carries no batch id in its label; it parses back as 0.
+        let r = TraceRecord {
+            batch_id: 0,
+            ..record(SpanKind::WorkerDied)
+        };
+        let parsed = TraceRecord::parse_log_line(&r.to_log_line()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn fault_kinds_are_instants() {
+        assert!(SpanKind::WorkerDied.is_instant());
+        assert!(SpanKind::BatchRedispatched.is_instant());
+        assert!(SpanKind::FaultInjected("X".into()).is_instant());
+        assert!(!SpanKind::BatchWait.is_instant());
+        assert!(!SpanKind::Op("X".into()).is_instant());
     }
 
     #[test]
@@ -166,8 +245,11 @@ mod tests {
     #[test]
     fn malformed_lines_are_rejected() {
         assert!(TraceRecord::parse_log_line("nonsense").is_err());
-        assert!(TraceRecord::parse_log_line("SBatchWait_x,1,2,3,0").is_err());
-        assert!(TraceRecord::parse_log_line("S,1,2,3,0").is_err());
+        assert!(TraceRecord::parse_log_line("SBatchWait_x,1,2,3,0,0").is_err());
+        assert!(TraceRecord::parse_log_line("S,1,2,3,0,0").is_err());
+        // Old 5-field lines are rejected, not silently mis-parsed.
+        assert!(TraceRecord::parse_log_line("SBatchWait_1,1,2,3,0").is_err());
+        assert!(TraceRecord::parse_log_line("SFaultInjected_3,1,2,3,0,0").is_err());
     }
 
     #[test]

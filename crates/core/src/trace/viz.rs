@@ -20,7 +20,10 @@ pub struct TimelineOptions {
 
 impl Default for TimelineOptions {
     fn default() -> Self {
-        TimelineOptions { width: 100, window: None }
+        TimelineOptions {
+            width: 100,
+            window: None,
+        }
     }
 }
 
@@ -28,12 +31,18 @@ impl Default for TimelineOptions {
 const FETCH: char = '▓';
 const WAIT: char = '·';
 const CONSUME: char = '█';
+/// Glyphs for the zero-duration fault marks.
+const FAULT: char = 'x';
+const DIED: char = '†';
+const REDISPATCH: char = '»';
 
 /// Renders batch-level spans as one row per process.
 ///
 /// The main process row shows waits (`·`) and batch consumption (`█`);
 /// each DataLoader worker row shows its fetch spans (`▓`). Out-of-order
-/// consumptions are marked with `!` at their start cell.
+/// consumptions are marked with `!` at their start cell. Fault marks are
+/// single cells: `x` for an injected sample error, `†` where a worker
+/// died, `»` on the survivor that a batch was redispatched to.
 ///
 /// # Panics
 ///
@@ -41,14 +50,24 @@ const CONSUME: char = '█';
 #[must_use]
 pub fn render_timeline(records: &[TraceRecord], options: TimelineOptions) -> String {
     assert!(options.width > 0, "timeline width must be positive");
-    let batch_level: Vec<&TraceRecord> =
-        records.iter().filter(|r| !matches!(r.kind, SpanKind::Op(_))).collect();
+    let batch_level: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| !matches!(r.kind, SpanKind::Op(_)))
+        .collect();
     if batch_level.is_empty() {
         return "(empty trace)\n".to_string();
     }
     let (t0, t1) = options.window.unwrap_or_else(|| {
-        let start = batch_level.iter().map(|r| r.start.as_nanos()).min().unwrap_or(0);
-        let end = batch_level.iter().map(|r| r.end().as_nanos()).max().unwrap_or(1);
+        let start = batch_level
+            .iter()
+            .map(|r| r.start.as_nanos())
+            .min()
+            .unwrap_or(0);
+        let end = batch_level
+            .iter()
+            .map(|r| r.end().as_nanos())
+            .max()
+            .unwrap_or(1);
         (start, end.max(start + 1))
     });
     let span_ns = (t1 - t0).max(1);
@@ -61,15 +80,29 @@ pub fn render_timeline(records: &[TraceRecord], options: TimelineOptions) -> Str
     let row_of = |pid: u32, is_main: bool| (u8::from(!is_main), pid);
     let mut ooo_marks: Vec<(u32, usize)> = Vec::new();
     for r in &batch_level {
+        if r.end().as_nanos() < t0 || r.start.as_nanos() > t1 {
+            continue;
+        }
+        if r.kind.is_instant() {
+            // Fault marks are single cells on the owning worker's row and
+            // win over any span glyph already there.
+            let mark = match &r.kind {
+                SpanKind::FaultInjected(_) => FAULT,
+                SpanKind::WorkerDied => DIED,
+                SpanKind::BatchRedispatched => REDISPATCH,
+                _ => unreachable!("is_instant covers exactly these"),
+            };
+            let key = row_of(r.pid, false);
+            let row = rows.entry(key).or_insert_with(|| vec![' '; options.width]);
+            row[cell(r.start.as_nanos()).min(options.width - 1)] = mark;
+            continue;
+        }
         let (glyph, is_main) = match r.kind {
             SpanKind::BatchPreprocessed => (FETCH, false),
             SpanKind::BatchWait => (WAIT, true),
             SpanKind::BatchConsumed => (CONSUME, true),
-            SpanKind::Op(_) => unreachable!("filtered above"),
+            _ => unreachable!("ops and instants filtered above"),
         };
-        if r.end().as_nanos() < t0 || r.start.as_nanos() > t1 {
-            continue;
-        }
         let key = row_of(r.pid, is_main);
         let row = rows.entry(key).or_insert_with(|| vec![' '; options.width]);
         let from = cell(r.start.as_nanos()).min(options.width - 1);
@@ -97,13 +130,18 @@ pub fn render_timeline(records: &[TraceRecord], options: TimelineOptions) -> Str
     let end_time = Time::from_nanos(t1);
     let _ = writeln!(out, "timeline {start_time} .. {end_time}");
     for ((kind, pid), row) in &rows {
-        let label = if *kind == 0 { format!("main {pid}") } else { format!("work {pid}") };
+        let label = if *kind == 0 {
+            format!("main {pid}")
+        } else {
+            format!("work {pid}")
+        };
         let _ = writeln!(out, "{label:>10} |{}|", row.iter().collect::<String>());
     }
     let _ = writeln!(
         out,
-        "{:>10}  {} fetch   {} wait   {} consume   ! out-of-order cache hit",
-        "legend:", FETCH, WAIT, CONSUME
+        "{:>10}  {} fetch   {} wait   {} consume   ! out-of-order cache hit   \
+         {} fault   {} died   {} redispatch",
+        "legend:", FETCH, WAIT, CONSUME, FAULT, DIED, REDISPATCH
     );
     out
 }
@@ -121,6 +159,7 @@ mod tests {
             start: Time::from_nanos(start_ms * 1_000_000),
             duration: Span::from_millis(dur_ms),
             out_of_order: ooo,
+            queue_delay: Span::ZERO,
         }
     }
 
@@ -166,20 +205,51 @@ mod tests {
     fn windowing_clips_spans() {
         let out = render_timeline(
             &sample(),
-            TimelineOptions { width: 50, window: Some((0, 5_000_000)) },
+            TimelineOptions {
+                width: 50,
+                window: Some((0, 5_000_000)),
+            },
         );
         // Worker 3 starts at 10 ms, outside the 5 ms window.
-        assert!(!out.contains("work 3") || !out.lines().any(|l| l.contains("work 3") && l.contains(FETCH)));
+        assert!(
+            !out.contains("work 3")
+                || !out
+                    .lines()
+                    .any(|l| l.contains("work 3") && l.contains(FETCH))
+        );
+    }
+
+    #[test]
+    fn fault_marks_render_on_worker_rows() {
+        let mut records = sample();
+        records.push(rec(SpanKind::WorkerDied, 2, 20, 0, false));
+        records.push(rec(SpanKind::BatchRedispatched, 3, 21, 0, false));
+        records.push(rec(SpanKind::FaultInjected("Cast".into()), 3, 30, 0, false));
+        let out = render_timeline(&records, TimelineOptions::default());
+        let worker2 = out.lines().find(|l| l.contains("work 2")).unwrap();
+        assert!(worker2.contains(DIED));
+        let worker3 = out.lines().find(|l| l.contains("work 3")).unwrap();
+        assert!(worker3.contains(REDISPATCH));
+        assert!(worker3.contains(FAULT));
     }
 
     #[test]
     fn empty_trace_is_handled() {
-        assert_eq!(render_timeline(&[], TimelineOptions::default()), "(empty trace)\n");
+        assert_eq!(
+            render_timeline(&[], TimelineOptions::default()),
+            "(empty trace)\n"
+        );
     }
 
     #[test]
     fn rows_never_exceed_requested_width() {
-        let out = render_timeline(&sample(), TimelineOptions { width: 30, window: None });
+        let out = render_timeline(
+            &sample(),
+            TimelineOptions {
+                width: 30,
+                window: None,
+            },
+        );
         for line in out.lines().skip(1) {
             if let Some(bar) = line.find('|') {
                 let inner = &line[bar + 1..line.rfind('|').unwrap_or(line.len())];

@@ -4,9 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use lotus_core::map::{
-    split_metrics, split_metrics_mix_aware, MappedFunction, Mapping, OpMapping,
-};
+use lotus_core::map::{split_metrics, split_metrics_mix_aware, MappedFunction, Mapping, OpMapping};
 use lotus_core::trace::hist::LogHistogram;
 use lotus_core::trace::{SpanKind, TraceRecord};
 use lotus_data::stats::Summary;
@@ -19,7 +17,10 @@ fn arb_kind() -> impl Strategy<Value = SpanKind> {
         Just(SpanKind::BatchPreprocessed),
         Just(SpanKind::BatchWait),
         Just(SpanKind::BatchConsumed),
+        Just(SpanKind::WorkerDied),
+        Just(SpanKind::BatchRedispatched),
         "[A-Za-z][A-Za-z0-9_()]{0,24}".prop_map(SpanKind::Op),
+        "[A-Za-z][A-Za-z0-9_()]{0,24}".prop_map(SpanKind::FaultInjected),
     ]
 }
 
@@ -32,6 +33,7 @@ proptest! {
         start in 0u64..1 << 50,
         dur in 0u64..1 << 50,
         ooo in any::<bool>(),
+        queue_delay in 0u64..1 << 50,
     ) {
         let record = TraceRecord {
             kind: kind.clone(),
@@ -40,6 +42,7 @@ proptest! {
             start: Time::from_nanos(start),
             duration: Span::from_nanos(dur),
             out_of_order: ooo,
+            queue_delay: Span::from_nanos(queue_delay),
         };
         let parsed = TraceRecord::parse_log_line(&record.to_log_line()).unwrap();
         prop_assert_eq!(&parsed.kind, &record.kind);
@@ -47,7 +50,9 @@ proptest! {
         prop_assert_eq!(parsed.start, record.start);
         prop_assert_eq!(parsed.duration, record.duration);
         prop_assert_eq!(parsed.out_of_order, record.out_of_order);
-        if !matches!(record.kind, SpanKind::Op(_)) {
+        prop_assert_eq!(parsed.queue_delay, record.queue_delay);
+        // Op and WorkerDied labels carry no batch id; all others round-trip it.
+        if !matches!(record.kind, SpanKind::Op(_) | SpanKind::WorkerDied) {
             prop_assert_eq!(parsed.batch_id, record.batch_id);
         }
     }

@@ -127,7 +127,10 @@ impl ImageDatasetModel {
         bytes_per_pixel: f64,
     ) -> ImageDatasetModel {
         assert!(len > 0, "dataset must be non-empty");
-        assert!(side_bounds.0 > 0 && side_bounds.0 <= side_bounds.1, "invalid side bounds");
+        assert!(
+            side_bounds.0 > 0 && side_bounds.0 <= side_bounds.1,
+            "invalid side bounds"
+        );
         ImageDatasetModel {
             name: name.into(),
             len,
@@ -178,7 +181,11 @@ impl ImageDatasetModel {
     /// Panics if `index >= len()`.
     #[must_use]
     pub fn record(&self, index: u64) -> ImageRecord {
-        assert!(index < self.len, "index {index} out of range (len {})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of range (len {})",
+            self.len
+        );
         let item_seed = mix_seed(self.seed, index);
         let mut rng = StdRng::seed_from_u64(item_seed);
         let file_bytes = (self.file_size.sample(&mut rng).max(4096.0)) as u64;
@@ -202,7 +209,10 @@ impl ImageDatasetModel {
     #[must_use]
     pub fn sample_mean_file_bytes(&self, sample_n: u64) -> f64 {
         let n = sample_n.min(self.len).max(1);
-        (0..n).map(|i| self.record(i).file_bytes as f64).sum::<f64>() / n as f64
+        (0..n)
+            .map(|i| self.record(i).file_bytes as f64)
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -264,7 +274,11 @@ impl VolumeDatasetModel {
     /// Panics if `index >= len()`.
     #[must_use]
     pub fn record(&self, index: u64) -> VolumeRecord {
-        assert!(index < self.len, "case {index} out of range (len {})", self.len);
+        assert!(
+            index < self.len,
+            "case {index} out of range (len {})",
+            self.len
+        );
         let item_seed = mix_seed(self.seed.wrapping_add(0x5E6), index);
         let mut rng = StdRng::seed_from_u64(item_seed);
         // KiTS19 axial slice counts roughly 30–1000; H×W fixed-ish after
@@ -386,7 +400,11 @@ impl AudioDatasetModel {
     /// Panics if `index >= len()`.
     #[must_use]
     pub fn record(&self, index: u64) -> AudioRecord {
-        assert!(index < self.len, "clip {index} out of range (len {})", self.len);
+        assert!(
+            index < self.len,
+            "clip {index} out of range (len {})",
+            self.len
+        );
         let item_seed = mix_seed(self.seed.wrapping_add(0xA0D10), index);
         let mut rng = StdRng::seed_from_u64(item_seed);
         let duration = self.duration.sample(&mut rng).clamp(0.5, 30.0);

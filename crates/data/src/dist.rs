@@ -31,7 +31,10 @@ impl Normal {
     /// Panics if `std` is negative or not finite.
     #[must_use]
     pub fn new(mean: f64, std: f64) -> Normal {
-        assert!(std.is_finite() && std >= 0.0, "std must be finite and non-negative");
+        assert!(
+            std.is_finite() && std >= 0.0,
+            "std must be finite and non-negative"
+        );
         Normal { mean, std }
     }
 
@@ -73,7 +76,9 @@ impl LogNormal {
     /// Panics if `sigma` is negative or not finite.
     #[must_use]
     pub fn new(mu: f64, sigma: f64) -> LogNormal {
-        LogNormal { normal: Normal::new(mu, sigma) }
+        LogNormal {
+            normal: Normal::new(mu, sigma),
+        }
     }
 
     /// Creates a log-normal distribution with the given *arithmetic* mean

@@ -32,7 +32,11 @@ impl Image {
         for _ in 0..height * width {
             pixels.extend_from_slice(&rgb);
         }
-        Image { height, width, pixels }
+        Image {
+            height,
+            width,
+            pixels,
+        }
     }
 
     /// Wraps an owned HWC pixel buffer.
@@ -42,8 +46,16 @@ impl Image {
     /// Panics if `pixels.len() != height * width * 3`.
     #[must_use]
     pub fn from_pixels(height: usize, width: usize, pixels: Vec<u8>) -> Image {
-        assert_eq!(pixels.len(), height * width * Self::CHANNELS, "pixel buffer size mismatch");
-        Image { height, width, pixels }
+        assert_eq!(
+            pixels.len(),
+            height * width * Self::CHANNELS,
+            "pixel buffer size mismatch"
+        );
+        Image {
+            height,
+            width,
+            pixels,
+        }
     }
 
     /// Generates a synthetic photo-like image: smooth gradients plus
@@ -66,7 +78,11 @@ impl Image {
                 }
             }
         }
-        Image { height, width, pixels }
+        Image {
+            height,
+            width,
+            pixels,
+        }
     }
 
     /// Image height in pixels.
@@ -105,9 +121,16 @@ impl Image {
     /// Panics if out of bounds.
     #[must_use]
     pub fn pixel(&self, y: usize, x: usize) -> [u8; 3] {
-        assert!(y < self.height && x < self.width, "pixel ({y},{x}) out of bounds");
+        assert!(
+            y < self.height && x < self.width,
+            "pixel ({y},{x}) out of bounds"
+        );
         let base = (y * self.width + x) * Self::CHANNELS;
-        [self.pixels[base], self.pixels[base + 1], self.pixels[base + 2]]
+        [
+            self.pixels[base],
+            self.pixels[base + 1],
+            self.pixels[base + 2],
+        ]
     }
 
     /// Sets the RGB value at `(y, x)`.
@@ -116,7 +139,10 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn set_pixel(&mut self, y: usize, x: usize, rgb: [u8; 3]) {
-        assert!(y < self.height && x < self.width, "pixel ({y},{x}) out of bounds");
+        assert!(
+            y < self.height && x < self.width,
+            "pixel ({y},{x}) out of bounds"
+        );
         let base = (y * self.width + x) * Self::CHANNELS;
         self.pixels[base..base + 3].copy_from_slice(&rgb);
     }

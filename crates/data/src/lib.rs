@@ -27,8 +27,8 @@ mod image;
 mod tensor;
 
 pub use dataset::{
-    mix_seed, AudioDatasetModel, AudioRecord, ImageDatasetModel, ImageRecord,
-    VolumeDatasetModel, VolumeRecord,
+    mix_seed, AudioDatasetModel, AudioRecord, ImageDatasetModel, ImageRecord, VolumeDatasetModel,
+    VolumeRecord,
 };
 pub use image::Image;
 pub use tensor::{DType, Tensor, TensorData};

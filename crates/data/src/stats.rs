@@ -54,7 +54,11 @@ impl Summary {
     /// Coefficient of variation (`std / mean`), or 0 for a zero mean.
     #[must_use]
     pub fn cv(&self) -> f64 {
-        if self.mean == 0.0 { 0.0 } else { self.std / self.mean }
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
     }
 }
 

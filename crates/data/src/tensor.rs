@@ -56,13 +56,19 @@ impl Tensor {
     /// Panics if the shape is empty.
     #[must_use]
     pub fn zeros(shape: &[usize], dtype: DType) -> Tensor {
-        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        assert!(
+            !shape.is_empty(),
+            "tensor shape must have at least one dimension"
+        );
         let len = shape.iter().product();
         let data = match dtype {
             DType::U8 => TensorData::U8(vec![0; len]),
             DType::F32 => TensorData::F32(vec![0.0; len]),
         };
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Wraps an owned u8 buffer.
@@ -72,8 +78,15 @@ impl Tensor {
     /// Panics if `data.len()` does not match the shape's element count.
     #[must_use]
     pub fn from_u8(shape: &[usize], data: Vec<u8>) -> Tensor {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
-        Tensor { shape: shape.to_vec(), data: TensorData::U8(data) }
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: TensorData::U8(data),
+        }
     }
 
     /// Wraps an owned f32 buffer.
@@ -83,8 +96,15 @@ impl Tensor {
     /// Panics if `data.len()` does not match the shape's element count.
     #[must_use]
     pub fn from_f32(shape: &[usize], data: Vec<f32>) -> Tensor {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
-        Tensor { shape: shape.to_vec(), data: TensorData::F32(data) }
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: TensorData::F32(data),
+        }
     }
 
     /// The tensor's shape.
@@ -120,17 +140,33 @@ impl Tensor {
         self.len() * self.dtype().size_bytes()
     }
 
+    /// Borrows the u8 buffer, or `None` if the dtype is not [`DType::U8`].
+    #[must_use]
+    pub fn try_as_u8(&self) -> Option<&[u8]> {
+        match &self.data {
+            TensorData::U8(v) => Some(v),
+            TensorData::F32(_) => None,
+        }
+    }
+
+    /// Mutably borrows the u8 buffer, or `None` if the dtype is not
+    /// [`DType::U8`].
+    pub fn try_as_u8_mut(&mut self) -> Option<&mut [u8]> {
+        match &mut self.data {
+            TensorData::U8(v) => Some(v),
+            TensorData::F32(_) => None,
+        }
+    }
+
     /// Borrows the u8 buffer.
     ///
     /// # Panics
     ///
-    /// Panics if the dtype is not [`DType::U8`].
+    /// Panics if the dtype is not [`DType::U8`]; use [`Tensor::try_as_u8`]
+    /// where a typed error is needed instead.
     #[must_use]
     pub fn as_u8(&self) -> &[u8] {
-        match &self.data {
-            TensorData::U8(v) => v,
-            TensorData::F32(_) => panic!("tensor is f32, expected u8"),
-        }
+        self.try_as_u8().expect("tensor is f32, expected u8")
     }
 
     /// Mutably borrows the u8 buffer.
@@ -139,9 +175,24 @@ impl Tensor {
     ///
     /// Panics if the dtype is not [`DType::U8`].
     pub fn as_u8_mut(&mut self) -> &mut [u8] {
+        self.try_as_u8_mut().expect("tensor is f32, expected u8")
+    }
+
+    /// Borrows the f32 buffer, or `None` if the dtype is not [`DType::F32`].
+    #[must_use]
+    pub fn try_as_f32(&self) -> Option<&[f32]> {
+        match &self.data {
+            TensorData::F32(v) => Some(v),
+            TensorData::U8(_) => None,
+        }
+    }
+
+    /// Mutably borrows the f32 buffer, or `None` if the dtype is not
+    /// [`DType::F32`].
+    pub fn try_as_f32_mut(&mut self) -> Option<&mut [f32]> {
         match &mut self.data {
-            TensorData::U8(v) => v,
-            TensorData::F32(_) => panic!("tensor is f32, expected u8"),
+            TensorData::F32(v) => Some(v),
+            TensorData::U8(_) => None,
         }
     }
 
@@ -149,13 +200,11 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if the dtype is not [`DType::F32`].
+    /// Panics if the dtype is not [`DType::F32`]; use [`Tensor::try_as_f32`]
+    /// where a typed error is needed instead.
     #[must_use]
     pub fn as_f32(&self) -> &[f32] {
-        match &self.data {
-            TensorData::F32(v) => v,
-            TensorData::U8(_) => panic!("tensor is u8, expected f32"),
-        }
+        self.try_as_f32().expect("tensor is u8, expected f32")
     }
 
     /// Mutably borrows the f32 buffer.
@@ -164,10 +213,7 @@ impl Tensor {
     ///
     /// Panics if the dtype is not [`DType::F32`].
     pub fn as_f32_mut(&mut self) -> &mut [f32] {
-        match &mut self.data {
-            TensorData::F32(v) => v,
-            TensorData::U8(_) => panic!("tensor is u8, expected f32"),
-        }
+        self.try_as_f32_mut().expect("tensor is u8, expected f32")
     }
 
     /// Converts to f32 in `[0, 1]` (PyTorch `ToTensor` scaling) if u8;

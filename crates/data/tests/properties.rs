@@ -5,7 +5,6 @@ use lotus_data::stats::{fraction_above, fraction_below, percentile, Summary};
 use lotus_data::{mix_seed, ImageDatasetModel, VolumeDatasetModel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #[test]

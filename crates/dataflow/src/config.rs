@@ -113,12 +113,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let zero_batch = DataLoaderConfig { batch_size: 0, ..DataLoaderConfig::default() };
+        let zero_batch = DataLoaderConfig {
+            batch_size: 0,
+            ..DataLoaderConfig::default()
+        };
         assert!(zero_batch.validate().is_err());
-        let zero_workers = DataLoaderConfig { num_workers: 0, ..DataLoaderConfig::default() };
+        let zero_workers = DataLoaderConfig {
+            num_workers: 0,
+            ..DataLoaderConfig::default()
+        };
         assert!(zero_workers.validate().is_err());
-        let zero_prefetch =
-            DataLoaderConfig { prefetch_factor: 0, ..DataLoaderConfig::default() };
+        let zero_prefetch = DataLoaderConfig {
+            prefetch_factor: 0,
+            ..DataLoaderConfig::default()
+        };
         assert!(zero_prefetch.validate().is_err());
     }
 
@@ -128,7 +136,10 @@ mod tests {
         let four = GpuConfig::v100(4, Span::from_micros(500));
         assert!(four.step_span(512) < one.step_span(512));
         // 512 samples / 4 GPUs = 128 per GPU.
-        assert_eq!(four.step_span(512), Span::from_millis(6) + Span::from_micros(500) * 128);
+        assert_eq!(
+            four.step_span(512),
+            Span::from_millis(6) + Span::from_micros(500) * 128
+        );
     }
 
     #[test]

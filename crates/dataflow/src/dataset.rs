@@ -1,7 +1,7 @@
 //! Datasets and samplers (`torch.utils.data.Dataset` / `Sampler`).
 
 use lotus_data::mix_seed;
-use lotus_transforms::{Sample, TransformCtx, TransformObserver};
+use lotus_transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -22,12 +22,19 @@ pub trait Dataset: Send + Sync {
     }
 
     /// Loads and preprocesses item `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when decoding or a transform fails —
+    /// the analog of a Python exception escaping `__getitem__`, which a
+    /// DataLoader worker catches into an `ExceptionWrapper` rather than
+    /// crashing on.
     fn get_item(
         &self,
         index: u64,
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
-    ) -> Sample;
+    ) -> Result<Sample, PipelineError>;
 }
 
 /// Index-ordering policy for one epoch (`torch.utils.data.Sampler`).
@@ -73,8 +80,7 @@ impl BatchSampler {
     #[must_use]
     pub fn batches(&self, order: &[u64]) -> Vec<Vec<u64>> {
         assert!(self.batch_size > 0, "batch size must be positive");
-        let mut out: Vec<Vec<u64>> =
-            order.chunks(self.batch_size).map(<[u64]>::to_vec).collect();
+        let mut out: Vec<Vec<u64>> = order.chunks(self.batch_size).map(<[u64]>::to_vec).collect();
         if self.drop_last && out.last().is_some_and(|b| b.len() < self.batch_size) {
             out.pop();
         }
@@ -106,17 +112,29 @@ mod tests {
     #[test]
     fn batch_sampler_chunks_and_optionally_drops() {
         let order: Vec<u64> = (0..10).collect();
-        let keep = BatchSampler { batch_size: 4, drop_last: false }.batches(&order);
+        let keep = BatchSampler {
+            batch_size: 4,
+            drop_last: false,
+        }
+        .batches(&order);
         assert_eq!(keep.len(), 3);
         assert_eq!(keep[2], vec![8, 9]);
-        let drop = BatchSampler { batch_size: 4, drop_last: true }.batches(&order);
+        let drop = BatchSampler {
+            batch_size: 4,
+            drop_last: true,
+        }
+        .batches(&order);
         assert_eq!(drop.len(), 2);
     }
 
     #[test]
     fn exact_multiple_keeps_all_batches_under_drop_last() {
         let order: Vec<u64> = (0..8).collect();
-        let drop = BatchSampler { batch_size: 4, drop_last: true }.batches(&order);
+        let drop = BatchSampler {
+            batch_size: 4,
+            drop_last: true,
+        }
+        .batches(&order);
         assert_eq!(drop.len(), 2);
     }
 }

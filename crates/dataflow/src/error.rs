@@ -1,0 +1,110 @@
+//! Typed job-level failures.
+//!
+//! PyTorch surfaces DataLoader failures in two ways: a worker that raises
+//! inside `__getitem__` ships an `ExceptionWrapper` through the data queue
+//! and the main process re-raises it, while a worker that *dies* is
+//! detected by the `w.is_alive()` check after a queue-poll timeout and
+//! turns into a `RuntimeError: DataLoader worker (pid X) exited
+//! unexpectedly`. [`JobError`] is the typed analog of both, plus the
+//! simulator- and configuration-level failures a run can hit.
+
+use lotus_sim::SimError;
+use lotus_transforms::PipelineError;
+
+/// Failure of a [`crate::TrainingJob`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The DataLoader configuration failed validation
+    /// ([`crate::DataLoaderConfig::validate`]).
+    InvalidConfig(String),
+    /// A sample raised inside a worker; the main process re-raises it
+    /// (PyTorch's `ExceptionWrapper` path).
+    Sample {
+        /// Batch being fetched when the error occurred.
+        batch_id: u64,
+        /// Worker index that hit the error.
+        worker: usize,
+        /// The underlying preprocessing error.
+        error: PipelineError,
+    },
+    /// Every worker died with batches still outstanding, so the epoch can
+    /// never complete (PyTorch's "DataLoader worker exited unexpectedly"
+    /// with no survivors to redispatch to).
+    AllWorkersDied {
+        /// Total number of workers the job started with.
+        workers: usize,
+        /// In-flight batches that were never produced.
+        outstanding: usize,
+    },
+    /// The underlying simulation failed (deadlock or process panic).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::InvalidConfig(msg) => write!(f, "invalid DataLoader config: {msg}"),
+            JobError::Sample {
+                batch_id,
+                worker,
+                error,
+            } => write!(
+                f,
+                "DataLoader worker {worker} failed fetching batch {batch_id}: {error}"
+            ),
+            JobError::AllWorkersDied {
+                workers,
+                outstanding,
+            } => write!(
+                f,
+                "all {workers} DataLoader workers exited unexpectedly with \
+                 {outstanding} batches outstanding"
+            ),
+            JobError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Sample { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for JobError {
+    fn from(e: SimError) -> JobError {
+        JobError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_op_and_batch() {
+        let e = JobError::Sample {
+            batch_id: 7,
+            worker: 2,
+            error: PipelineError::Injected {
+                op: "ToTensor".to_string(),
+                index: 93,
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("worker 2"), "{msg}");
+        assert!(msg.contains("batch 7"), "{msg}");
+        assert!(msg.contains("ToTensor"), "{msg}");
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let sim = SimError::Deadlock {
+            blocked: Vec::new(),
+        };
+        assert_eq!(JobError::from(sim.clone()), JobError::Sim(sim));
+    }
+}

@@ -22,12 +22,16 @@
 
 mod config;
 mod dataset;
+mod error;
 mod loader;
 mod pipeline;
 mod tracer;
 
 pub use config::{DataLoaderConfig, GpuConfig};
 pub use dataset::{BatchSampler, Dataset, Sampler};
+pub use error::JobError;
 pub use loader::{worker_os_pid, JobReport, TrainingJob, MAIN_OS_PID};
 pub use pipeline::{Pipeline, Source};
 pub use tracer::{NullTracer, Tracer};
+
+pub use lotus_sim::FaultPlan;

@@ -2,23 +2,32 @@
 //! queues and the GPU step — PyTorch's asynchronous data flow (§II-B of
 //! the paper) on the simulator.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 
 use lotus_data::mix_seed;
-use lotus_sim::{Ctx, Queue, SimError, Simulation, Span, Time};
-use lotus_transforms::{Collate, TransformCtx, TransformObserver};
+use lotus_sim::{Ctx, FaultPlan, Queue, Simulation, Span, Time};
+use lotus_transforms::{Batch, Collate, PipelineError, TransformCtx, TransformObserver};
 use lotus_uarch::{CostCoeffs, CpuThread, HwProfiler, KernelId, Machine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{DataLoaderConfig, GpuConfig};
 use crate::dataset::{BatchSampler, Dataset};
+use crate::error::JobError;
 use crate::tracer::Tracer;
 
 /// Simulated OS pid of the main process (the paper logs real pids via
 /// `psutil`; we use stable synthetic ones).
 pub const MAIN_OS_PID: u32 = 4242;
+
+/// How often the main process gives up waiting on the data queue to check
+/// worker liveness (PyTorch's `MP_STATUS_CHECK_INTERVAL` of 5 s).
+const WORKER_STATUS_CHECK: Span = Span::from_secs(5);
+
+/// Serialized size of an error envelope: a pickled `ExceptionWrapper`
+/// (traceback string), not tensor storage.
+const EXCEPTION_WRAPPER_BYTES: u64 = 512;
 
 /// Simulated OS pid of DataLoader worker `w`.
 #[must_use]
@@ -35,16 +44,35 @@ enum WorkerMsg {
     Shutdown,
 }
 
-/// A preprocessed batch travelling through the shared data queue.
+/// The successful contents of an [`Envelope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchPayload {
+    bytes: u64,
+    len: usize,
+}
+
+/// A preprocessed batch — or the error its fetch raised — travelling
+/// through the shared data queue. Carrying the `Result` in-band is
+/// PyTorch's `ExceptionWrapper` protocol: a worker never crashes on a
+/// sample error, it ships the exception to the main process instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Envelope {
     batch_id: u64,
-    bytes: u64,
-    len: usize,
+    payload: Result<BatchPayload, PipelineError>,
     /// Virtual time at which preprocessing (the fetch) finished.
     produced_at: Time,
     worker: usize,
     pinned: bool,
+}
+
+impl Envelope {
+    /// Serialized size on the queue.
+    fn bytes(&self) -> u64 {
+        match &self.payload {
+            Ok(p) => p.bytes,
+            Err(_) => EXCEPTION_WRAPPER_BYTES,
+        }
+    }
 }
 
 /// Framework-side native kernels (queue serialization, pinning, CUDA
@@ -104,7 +132,11 @@ impl FrameworkKernels {
             cuda_launch: machine.kernel(
                 "cudaLaunchKernel",
                 "libcudart.so.11.8",
-                CostCoeffs { base_insts: 8_000.0, insts_per_unit: 0.0, ..CostCoeffs::compute_default() },
+                CostCoeffs {
+                    base_insts: 8_000.0,
+                    insts_per_unit: 0.0,
+                    ..CostCoeffs::compute_default()
+                },
             ),
         }
     }
@@ -146,6 +178,9 @@ pub struct TrainingJob {
     /// PyTorch's `persistent_workers=True`; the sampler reshuffles per
     /// epoch and batch ids keep counting). Zero is treated as one.
     pub epochs: usize,
+    /// Deterministic fault-injection plan (worker kills, per-sample
+    /// errors, queue slowdowns). [`FaultPlan::default`] injects nothing.
+    pub faults: FaultPlan,
 }
 
 /// Result of a completed training job.
@@ -168,7 +203,9 @@ struct OpBridge<'a> {
 
 impl TransformObserver for OpBridge<'_> {
     fn on_transform(&mut self, name: &str, start: Time, elapsed: Span) {
-        self.overhead += self.tracer.on_op(self.pid, self.batch_id, name, start, elapsed);
+        self.overhead += self
+            .tracer
+            .on_op(self.pid, self.batch_id, name, start, elapsed);
     }
 }
 
@@ -177,23 +214,32 @@ impl TrainingJob {
     ///
     /// # Errors
     ///
-    /// Returns the underlying [`SimError`] if the simulated system
-    /// deadlocks or a process panics, and a [`SimError::ProcessPanic`]
-    /// carrying the validation message if the configuration is invalid.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the DataLoader configuration is invalid (see
-    /// [`DataLoaderConfig::validate`]).
-    pub fn run(self) -> Result<JobReport, SimError> {
-        self.loader.validate().unwrap_or_else(|e| panic!("invalid DataLoader config: {e}"));
-        let TrainingJob { machine, dataset, loader, gpu, tracer, hw_profiler, seed, epochs } =
-            self;
+    /// Returns [`JobError::InvalidConfig`] if the configuration fails
+    /// [`DataLoaderConfig::validate`], [`JobError::Sample`] when a worker
+    /// ships a preprocessing error through the data queue (the
+    /// `ExceptionWrapper` path), [`JobError::AllWorkersDied`] when no
+    /// worker survives to finish the epoch, and [`JobError::Sim`] if the
+    /// simulated system deadlocks or a process panics.
+    pub fn run(self) -> Result<JobReport, JobError> {
+        self.loader.validate().map_err(JobError::InvalidConfig)?;
+        let TrainingJob {
+            machine,
+            dataset,
+            loader,
+            gpu,
+            tracer,
+            hw_profiler,
+            seed,
+            epochs,
+            faults,
+        } = self;
         let fw = FrameworkKernels::register(&machine);
 
         let epochs = epochs.max(1) as u64;
-        let batch_sampler =
-            BatchSampler { batch_size: loader.batch_size, drop_last: loader.drop_last };
+        let batch_sampler = BatchSampler {
+            batch_size: loader.batch_size,
+            drop_last: loader.drop_last,
+        };
         let mut batches = Vec::new();
         for epoch in 0..epochs {
             let order = loader.sampler.epoch_order(dataset.len(), epoch);
@@ -202,7 +248,11 @@ impl TrainingJob {
         let num_batches = batches.len() as u64;
         let total_samples: u64 = batches.iter().map(|b| b.len() as u64).sum();
         if num_batches == 0 {
-            return Ok(JobReport { elapsed: Span::ZERO, batches: 0, samples: 0 });
+            return Ok(JobReport {
+                elapsed: Span::ZERO,
+                batches: 0,
+                samples: 0,
+            });
         }
 
         let mut sim = Simulation::new();
@@ -211,6 +261,8 @@ impl TrainingJob {
             .map(|w| sim.queue(format!("index_queue_{w}"), None))
             .collect();
 
+        let job_error: Arc<Mutex<Option<JobError>>> = Arc::new(Mutex::new(None));
+
         for (w, worker_index_q) in index_qs.iter().enumerate() {
             let machine = Arc::clone(&machine);
             let dataset = Arc::clone(&dataset);
@@ -218,10 +270,20 @@ impl TrainingJob {
             let hw_profiler = hw_profiler.clone();
             let index_q = worker_index_q.clone();
             let data_q = data_q.clone();
+            let faults = faults.clone();
             sim.spawn(format!("dataloader{w}"), move |ctx| {
                 worker_loop(
-                    &ctx, w, &machine, &*dataset, &*tracer, hw_profiler, &index_q, &data_q, fw,
+                    &ctx,
+                    w,
+                    &machine,
+                    &*dataset,
+                    &*tracer,
+                    hw_profiler,
+                    &index_q,
+                    &data_q,
+                    fw,
                     seed,
+                    &faults,
                 );
             });
         }
@@ -232,15 +294,30 @@ impl TrainingJob {
             let hw_profiler = hw_profiler.clone();
             let index_qs = index_qs.clone();
             let data_q = data_q.clone();
+            let faults = faults.clone();
+            let job_error = Arc::clone(&job_error);
             sim.spawn("main", move |ctx| {
                 main_loop(
-                    &ctx, &machine, &*tracer, hw_profiler, &index_qs, &data_q, fw, &loader, &gpu,
+                    &ctx,
+                    &machine,
+                    &*tracer,
+                    hw_profiler,
+                    &index_qs,
+                    &data_q,
+                    fw,
+                    &loader,
+                    &gpu,
                     batches,
+                    &faults,
+                    &job_error,
                 );
             });
         }
 
         let report = sim.run()?;
+        if let Some(e) = job_error.lock().expect("job error slot poisoned").take() {
+            return Err(e);
+        }
         Ok(JobReport {
             elapsed: report.end_time.since(Time::ZERO),
             batches: num_batches,
@@ -261,6 +338,7 @@ fn worker_loop(
     data_q: &Queue<Envelope>,
     fw: FrameworkKernels,
     seed: u64,
+    faults: &FaultPlan,
 ) {
     let mut cpu = CpuThread::new(Arc::clone(machine));
     if let Some(p) = hw_profiler {
@@ -270,32 +348,88 @@ fn worker_loop(
     let collate = Collate::new(machine);
     let os_pid = worker_os_pid(worker);
     let dilation = tracer.compute_dilation();
-    assert!(dilation >= 1.0, "compute dilation cannot speed the program up");
+    assert!(
+        dilation >= 1.0,
+        "compute dilation cannot speed the program up"
+    );
+    let kill_time = faults.kill_time(&ctx.name());
+    let queue_factor = faults.queue_factor("data_queue");
 
     loop {
-        let msg = index_q.pop(ctx);
-        let WorkerMsg::Batch { id, indices } = msg else { break };
+        // A killed worker dies silently: the main process discovers it via
+        // the liveness check, exactly like PyTorch's `w.is_alive()`.
+        let msg = match kill_time {
+            Some(at) => {
+                if ctx.now() >= at {
+                    return;
+                }
+                match index_q.pop_timeout(ctx, at.since(ctx.now())) {
+                    Some(msg) => msg,
+                    None => return, // died while idle
+                }
+            }
+            None => index_q.pop(ctx),
+        };
+        let WorkerMsg::Batch { id, indices } = msg else {
+            break;
+        };
         let start = ctx.now();
         cpu.set_cursor(start);
         machine.thread_started_compute();
 
-        let mut bridge = OpBridge { tracer, pid: os_pid, batch_id: id, overhead: Span::ZERO };
-        let mut samples = Vec::with_capacity(indices.len());
-        for &i in &indices {
-            let mut tctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-            samples.push(dataset.get_item(i, &mut tctx, &mut bridge));
-        }
-        let batch_len = samples.len();
-        let collate_start = cpu.cursor();
-        let batch = {
-            let mut tctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-            collate.apply(samples, &mut tctx)
+        let mut bridge = OpBridge {
+            tracer,
+            pid: os_pid,
+            batch_id: id,
+            overhead: Span::ZERO,
         };
-        bridge.on_transform(
-            &Collate::display_name(batch_len),
-            collate_start,
-            cpu.cursor().since(collate_start),
-        );
+        let mut samples = Vec::with_capacity(indices.len());
+        let mut failure: Option<PipelineError> = None;
+        for &i in &indices {
+            if let Some(op) = faults.sample_error(i) {
+                bridge.overhead += tracer.on_fault_injected(os_pid, id, op, cpu.cursor());
+                failure = Some(PipelineError::Injected {
+                    op: op.to_string(),
+                    index: i,
+                });
+                break;
+            }
+            let mut tctx = TransformCtx {
+                cpu: &mut cpu,
+                rng: &mut rng,
+            };
+            match dataset.get_item(i, &mut tctx, &mut bridge) {
+                Ok(sample) => samples.push(sample),
+                Err(e) => {
+                    // PyTorch wraps the exception and abandons the rest of
+                    // the batch; the worker itself keeps running.
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let batch: Result<Batch, PipelineError> = match failure {
+            Some(e) => Err(e),
+            None => {
+                let batch_len = samples.len();
+                let collate_start = cpu.cursor();
+                let collated = {
+                    let mut tctx = TransformCtx {
+                        cpu: &mut cpu,
+                        rng: &mut rng,
+                    };
+                    collate.apply(samples, &mut tctx)
+                };
+                if collated.is_ok() {
+                    bridge.on_transform(
+                        &Collate::display_name(batch_len),
+                        collate_start,
+                        cpu.cursor().since(collate_start),
+                    );
+                }
+                collated
+            }
+        };
 
         let raw = cpu.cursor().since(start);
         let fetch_span = raw.mul_f64(dilation) + bridge.overhead;
@@ -303,19 +437,122 @@ fn worker_loop(
         ctx.delay(fetch_span + trace_overhead);
         machine.thread_stopped_compute();
 
-        // Serialize the batch into the shared-memory queue.
-        charge(ctx, &mut cpu, fw.pickle_dumps, batch.bytes as f64);
-        data_q.push(
+        // Serialize the batch (or its exception) into the shared-memory
+        // queue; a slowed queue multiplies the serialization work.
+        let envelope = Envelope {
+            batch_id: id,
+            payload: batch.map(|b| BatchPayload {
+                bytes: b.bytes,
+                len: b.len,
+            }),
+            produced_at: start + fetch_span,
+            worker,
+            pinned: false,
+        };
+        charge(
             ctx,
-            Envelope {
-                batch_id: id,
-                bytes: batch.bytes,
-                len: batch.len,
-                produced_at: start + fetch_span,
-                worker,
-                pinned: false,
-            },
+            &mut cpu,
+            fw.pickle_dumps,
+            envelope.bytes() as f64 * queue_factor,
         );
+        if kill_time.is_some_and(|at| ctx.now() >= at) {
+            // Died after fetching but before handing the batch over: the
+            // batch is orphaned and the main process must redispatch it.
+            return;
+        }
+        data_q.push(ctx, envelope);
+    }
+}
+
+/// Index-batch dispatch state: the strict round-robin worker cycle, the
+/// set of batches dispatched but not yet returned, and which workers are
+/// known dead.
+///
+/// PyTorch assigns index batches to workers in a strict round-robin cycle
+/// (`_worker_queue_idx_cycle`), regardless of which worker just returned
+/// data. A momentarily slow worker therefore falls behind while its
+/// siblings run ahead — the root cause of the out-of-order arrivals in
+/// §V-C of the paper. When a worker dies, the cycle skips it (PyTorch
+/// marks the slot unavailable in `_workers_status`).
+struct Dispatcher {
+    batch_iter: std::iter::Enumerate<std::vec::IntoIter<Vec<u64>>>,
+    /// Orphaned batches from dead workers, re-sent before fresh ones.
+    redispatch: VecDeque<(u64, Vec<u64>)>,
+    cycle: usize,
+    dead: Vec<bool>,
+    /// Dispatched-but-not-returned batches: id → (worker, indices).
+    in_flight: HashMap<u64, (usize, Vec<u64>)>,
+}
+
+impl Dispatcher {
+    fn new(batches: Vec<Vec<u64>>, workers: usize) -> Dispatcher {
+        Dispatcher {
+            batch_iter: batches.into_iter().enumerate(),
+            redispatch: VecDeque::new(),
+            cycle: 0,
+            dead: vec![false; workers],
+            in_flight: HashMap::new(),
+        }
+    }
+
+    fn alive(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// The next live worker in the round-robin cycle.
+    fn next_worker(&mut self) -> Option<usize> {
+        let n = self.dead.len();
+        for _ in 0..n {
+            let w = self.cycle;
+            self.cycle = (self.cycle + 1) % n;
+            if !self.dead[w] {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Sends one index batch (a pending redispatch first, else the next
+    /// fresh batch) to the next live worker.
+    fn send_next(&mut self, ctx: &Ctx, index_qs: &[Queue<WorkerMsg>]) {
+        let next = self
+            .redispatch
+            .pop_front()
+            .or_else(|| self.batch_iter.next().map(|(id, idx)| (id as u64, idx)));
+        if let Some((id, indices)) = next {
+            let Some(w) = self.next_worker() else {
+                // No live worker to hand it to; keep it queued so the
+                // outstanding count stays truthful.
+                self.redispatch.push_front((id, indices));
+                return;
+            };
+            index_qs[w].push(
+                ctx,
+                WorkerMsg::Batch {
+                    id,
+                    indices: indices.clone(),
+                },
+            );
+            self.in_flight.insert(id, (w, indices));
+        }
+    }
+
+    /// Marks `worker` dead and queues its in-flight batches (in id order)
+    /// for redispatch. Returns the orphaned batch ids.
+    fn mark_dead(&mut self, worker: usize) -> Vec<u64> {
+        self.dead[worker] = true;
+        let mut orphans: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, (w, _))| *w == worker)
+            .map(|(&id, _)| id)
+            .collect();
+        orphans.sort_unstable();
+        for &id in &orphans {
+            let (_, indices) = self.in_flight.remove(&id).expect("orphan is in flight");
+            self.redispatch.push_back((id, indices));
+        }
+        orphans
     }
 }
 
@@ -331,30 +568,27 @@ fn main_loop(
     loader: &DataLoaderConfig,
     gpu: &GpuConfig,
     batches: Vec<Vec<u64>>,
+    faults: &FaultPlan,
+    job_error: &Mutex<Option<JobError>>,
 ) {
     let mut cpu = CpuThread::new(Arc::clone(machine));
     if let Some(p) = hw_profiler {
         cpu.attach_profiler(p);
     }
     let num_batches = batches.len() as u64;
-    let mut batch_iter = batches.into_iter().enumerate();
-    // PyTorch assigns index batches to workers in a strict round-robin
-    // cycle (`_worker_queue_idx_cycle`), regardless of which worker just
-    // returned data. A momentarily slow worker therefore falls behind
-    // while its siblings run ahead — the root cause of the out-of-order
-    // arrivals in §V-C of the paper.
-    let mut cycle = 0usize;
     let workers = index_qs.len();
-    let mut send_next = |ctx: &Ctx| {
-        if let Some((id, indices)) = batch_iter.next() {
-            index_qs[cycle].push(ctx, WorkerMsg::Batch { id: id as u64, indices });
-            cycle = (cycle + 1) % workers;
-        }
+    let mut dispatcher = Dispatcher::new(batches, workers);
+    let queue_factor = faults.queue_factor("data_queue");
+    let kill_times: Vec<Option<Time>> = (0..workers)
+        .map(|w| faults.kill_time(&format!("dataloader{w}")))
+        .collect();
+    let fail = |e: JobError| {
+        *job_error.lock().expect("job error slot poisoned") = Some(e);
     };
 
     // Initial prefetch: `prefetch_factor` index batches per worker.
     for _ in 0..loader.prefetch_factor * workers {
-        send_next(ctx);
+        dispatcher.send_next(ctx, index_qs);
     }
 
     let mut cache: HashMap<u64, Envelope> = HashMap::new();
@@ -363,21 +597,72 @@ fn main_loop(
         let env = if let Some(env) = cache.remove(&rcvd) {
             // Already pinned and cached: the paper marks these waits with
             // a 1 µs duration to denote "no waiting".
-            let oh = tracer.on_batch_wait(MAIN_OS_PID, rcvd, wait_start, Span::from_micros(1), true);
+            let oh = tracer.on_batch_wait(
+                MAIN_OS_PID,
+                rcvd,
+                wait_start,
+                Span::from_micros(1),
+                true,
+                wait_start.since(env.produced_at),
+            );
             if !oh.is_zero() {
                 ctx.delay(oh);
             }
             env
         } else {
             loop {
-                let mut env = data_q.pop(ctx);
+                // Poll with a timeout so a dead worker cannot hang the
+                // epoch (PyTorch's `_try_get_data` /
+                // `MP_STATUS_CHECK_INTERVAL` loop).
+                let Some(mut env) = data_q.pop_timeout(ctx, WORKER_STATUS_CHECK) else {
+                    let newly_dead: Vec<usize> = (0..workers)
+                        .filter(|&w| {
+                            !dispatcher.dead[w] && kill_times[w].is_some_and(|at| ctx.now() >= at)
+                        })
+                        .collect();
+                    for w in newly_dead {
+                        let orphans = dispatcher.mark_dead(w);
+                        let oh = tracer.on_worker_died(worker_os_pid(w), ctx.now());
+                        if !oh.is_zero() {
+                            ctx.delay(oh);
+                        }
+                        if dispatcher.alive() == 0 {
+                            fail(JobError::AllWorkersDied {
+                                workers,
+                                outstanding: dispatcher.in_flight.len()
+                                    + dispatcher.redispatch.len(),
+                            });
+                            return;
+                        }
+                        // Re-send the dead worker's in-flight batches to
+                        // the survivors, preserving id order.
+                        for id in orphans {
+                            dispatcher.send_next(ctx, index_qs);
+                            if let Some((to, _)) = dispatcher.in_flight.get(&id) {
+                                let oh = tracer.on_batch_redispatched(
+                                    id,
+                                    worker_os_pid(w),
+                                    worker_os_pid(*to),
+                                    ctx.now(),
+                                );
+                                if !oh.is_zero() {
+                                    ctx.delay(oh);
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                };
                 // Deserialize from the queue: tensor storage travels via
                 // shared memory, so the main process unpickles metadata
                 // only (PyTorch's zero-copy tensor sharing).
-                charge(ctx, &mut cpu, fw.pickle_loads, (env.bytes.min(65_536)) as f64);
-                // PyTorch sends the next index batch (to the next worker
-                // in the cycle) on every successful get.
-                send_next(ctx);
+                charge(
+                    ctx,
+                    &mut cpu,
+                    fw.pickle_loads,
+                    env.bytes().min(65_536) as f64 * queue_factor,
+                );
+                dispatcher.in_flight.remove(&env.batch_id);
                 if env.batch_id == rcvd {
                     let oh = tracer.on_batch_wait(
                         MAIN_OS_PID,
@@ -385,6 +670,7 @@ fn main_loop(
                         wait_start,
                         ctx.now().since(wait_start),
                         false,
+                        ctx.now().since(env.produced_at),
                     );
                     if !oh.is_zero() {
                         ctx.delay(oh);
@@ -393,26 +679,55 @@ fn main_loop(
                 }
                 // Out-of-order arrival: pin to CPU memory and stash.
                 if loader.pin_memory {
-                    charge(ctx, &mut cpu, fw.pin_memory, env.bytes as f64);
+                    if let Ok(p) = &env.payload {
+                        charge(ctx, &mut cpu, fw.pin_memory, p.bytes as f64);
+                    }
                 }
                 env.pinned = true;
                 cache.insert(env.batch_id, env);
             }
         };
 
+        // Refill exactly once per *returned* batch — PyTorch's
+        // `_process_data` calls `_try_put_index` before it re-raises, so
+        // the in-flight inventory never exceeds
+        // `prefetch_factor * num_workers`, even while out-of-order
+        // envelopes accumulate in the pinned cache.
+        dispatcher.send_next(ctx, index_qs);
+
+        let payload = match env.payload {
+            Ok(p) => p,
+            Err(error) => {
+                // `_process_data` re-raises the shipped exception in the
+                // main process; the job fails with a typed error instead
+                // of a crash.
+                fail(JobError::Sample {
+                    batch_id: env.batch_id,
+                    worker: env.worker,
+                    error,
+                });
+                for (w, q) in index_qs.iter().enumerate() {
+                    if !dispatcher.dead[w] {
+                        q.push(ctx, WorkerMsg::Shutdown);
+                    }
+                }
+                return;
+            }
+        };
+
         let consume_start = ctx.now();
         if loader.pin_memory && !env.pinned {
-            charge(ctx, &mut cpu, fw.pin_memory, env.bytes as f64);
+            charge(ctx, &mut cpu, fw.pin_memory, payload.bytes as f64);
         }
-        ctx.delay(gpu.h2d_span(env.bytes));
+        ctx.delay(gpu.h2d_span(payload.bytes));
         charge(ctx, &mut cpu, fw.cuda_launch, 0.0);
-        ctx.delay(gpu.step_span(env.len));
+        ctx.delay(gpu.step_span(payload.len));
         let oh = tracer.on_batch_consumed(
             MAIN_OS_PID,
             rcvd,
             consume_start,
             ctx.now().since(consume_start),
-            env.len,
+            payload.len,
         );
         if !oh.is_zero() {
             ctx.delay(oh);

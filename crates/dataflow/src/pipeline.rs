@@ -9,7 +9,9 @@
 
 use std::sync::Arc;
 
-use lotus_transforms::{Compose, Sample, Transform, TransformCtx, TransformObserver};
+use lotus_transforms::{
+    Compose, PipelineError, Sample, Transform, TransformCtx, TransformObserver,
+};
 use lotus_uarch::Machine;
 
 use crate::config::{DataLoaderConfig, GpuConfig};
@@ -62,7 +64,7 @@ pub trait Source: Send + Sync {
 ///     .build_job(&machine, Span::from_micros(100))
 ///     .run()?;
 /// assert_eq!(report.batches, 8);
-/// # Ok::<(), lotus_sim::SimError>(())
+/// # Ok::<(), lotus_dataflow::JobError>(())
 /// ```
 pub struct Pipeline {
     source: Arc<dyn Source>,
@@ -77,7 +79,14 @@ impl std::fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
             .field("items", &self.source.len())
-            .field("stages", &self.transforms.iter().map(|t| t.name().to_string()).collect::<Vec<_>>())
+            .field(
+                "stages",
+                &self
+                    .transforms
+                    .iter()
+                    .map(|t| t.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
             .field("batch_size", &self.batch_size)
             .field("prefetch_factor", &self.prefetch_factor)
             .field("num_workers", &self.num_workers)
@@ -160,7 +169,11 @@ impl Pipeline {
     /// Lowers the declaration onto the DataLoader engine with a simple
     /// GPU model (`per_sample_step` per sample on one GPU).
     #[must_use]
-    pub fn build_job(self, machine: &Arc<Machine>, per_sample_step: lotus_sim::Span) -> TrainingJob {
+    pub fn build_job(
+        self,
+        machine: &Arc<Machine>,
+        per_sample_step: lotus_sim::Span,
+    ) -> TrainingJob {
         self.build_job_with(
             machine,
             GpuConfig::v100(1, per_sample_step),
@@ -200,6 +213,7 @@ impl Pipeline {
             hw_profiler: None,
             seed: self.shuffle_seed.unwrap_or(0),
             epochs: 1,
+            faults: lotus_sim::FaultPlan::default(),
         }
     }
 }
@@ -220,7 +234,7 @@ impl Dataset for PipelineDataset {
         index: u64,
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
-    ) -> Sample {
+    ) -> Result<Sample, PipelineError> {
         let start = ctx.cpu.cursor();
         let sample = self.source.load(index, ctx);
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
@@ -246,7 +260,8 @@ mod tests {
         }
 
         fn load(&self, index: u64, ctx: &mut TransformCtx<'_>) -> Sample {
-            ctx.cpu.exec(self.kernel, 20_000.0 + (index % 3) as f64 * 5_000.0);
+            ctx.cpu
+                .exec(self.kernel, 20_000.0 + (index % 3) as f64 * 5_000.0);
             Sample::tensor_meta(&[3, 16, 16], DType::F32)
         }
     }
@@ -278,7 +293,10 @@ mod tests {
         let machine = Machine::new(MachineConfig::cloudlab_c4130());
         let p = Pipeline::from_source(stub_source(&machine, 8))
             .map(Box::new(lotus_transforms::Cast::new(&machine)));
-        assert_eq!(p.stage_names(), vec!["Loader".to_string(), "Cast".to_string()]);
+        assert_eq!(
+            p.stage_names(),
+            vec!["Loader".to_string(), "Cast".to_string()]
+        );
     }
 
     #[test]

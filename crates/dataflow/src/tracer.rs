@@ -28,7 +28,10 @@ pub trait Tracer: Send + Sync {
 
     /// The main process finished waiting for a batch (\[T2\]).
     /// `out_of_order` is true when the batch was served from the pinned
-    /// cache (the paper marks these with a 1 µs duration).
+    /// cache (the paper marks these with a 1 µs duration). `queue_delay`
+    /// is how long the batch sat between the end of its fetch on the
+    /// worker and being handed to the main loop — the shared-queue
+    /// residency that distinguishes a slow pipeline from a slow consumer.
     fn on_batch_wait(
         &self,
         pid: u32,
@@ -36,8 +39,9 @@ pub trait Tracer: Send + Sync {
         start: Time,
         dur: Span,
         out_of_order: bool,
+        queue_delay: Span,
     ) -> Span {
-        let _ = (pid, batch_id, start, dur, out_of_order);
+        let _ = (pid, batch_id, start, dur, out_of_order, queue_delay);
         Span::ZERO
     }
 
@@ -52,6 +56,26 @@ pub trait Tracer: Send + Sync {
         batch_len: usize,
     ) -> Span {
         let _ = (pid, batch_id, start, dur, batch_len);
+        Span::ZERO
+    }
+
+    /// A fault plan injected an error into sample fetching on a worker.
+    fn on_fault_injected(&self, pid: u32, batch_id: u64, op: &str, at: Time) -> Span {
+        let _ = (pid, batch_id, op, at);
+        Span::ZERO
+    }
+
+    /// The main process observed that a worker died (the analog of the
+    /// `w.is_alive()` check failing after a queue-poll timeout).
+    fn on_worker_died(&self, pid: u32, at: Time) -> Span {
+        let _ = (pid, at);
+        Span::ZERO
+    }
+
+    /// An in-flight batch owned by a dead worker was re-sent to a
+    /// surviving worker's index queue.
+    fn on_batch_redispatched(&self, batch_id: u64, from_pid: u32, to_pid: u32, at: Time) -> Span {
+        let _ = (batch_id, from_pid, to_pid, at);
         Span::ZERO
     }
 
@@ -77,10 +101,28 @@ mod tests {
     #[test]
     fn null_tracer_is_free() {
         let t = NullTracer;
-        assert_eq!(t.on_op(1, 0, "X", Time::ZERO, Span::from_micros(5)), Span::ZERO);
-        assert_eq!(t.on_batch_preprocessed(1, 0, Time::ZERO, Span::ZERO), Span::ZERO);
-        assert_eq!(t.on_batch_wait(1, 0, Time::ZERO, Span::ZERO, false), Span::ZERO);
-        assert_eq!(t.on_batch_consumed(1, 0, Time::ZERO, Span::ZERO, 8), Span::ZERO);
+        assert_eq!(
+            t.on_op(1, 0, "X", Time::ZERO, Span::from_micros(5)),
+            Span::ZERO
+        );
+        assert_eq!(
+            t.on_batch_preprocessed(1, 0, Time::ZERO, Span::ZERO),
+            Span::ZERO
+        );
+        assert_eq!(
+            t.on_batch_wait(1, 0, Time::ZERO, Span::ZERO, false, Span::ZERO),
+            Span::ZERO
+        );
+        assert_eq!(
+            t.on_batch_consumed(1, 0, Time::ZERO, Span::ZERO, 8),
+            Span::ZERO
+        );
+        assert_eq!(
+            t.on_fault_injected(1, 0, "ToTensor", Time::ZERO),
+            Span::ZERO
+        );
+        assert_eq!(t.on_worker_died(1, Time::ZERO), Span::ZERO);
+        assert_eq!(t.on_batch_redispatched(0, 1, 2, Time::ZERO), Span::ZERO);
         assert_eq!(t.compute_dilation(), 1.0);
     }
 }

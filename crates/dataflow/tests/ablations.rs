@@ -5,10 +5,10 @@ use std::sync::{Arc, Mutex};
 
 use lotus_data::DType;
 use lotus_dataflow::{
-    DataLoaderConfig, Dataset, GpuConfig, NullTracer, Sampler, Tracer, TrainingJob,
+    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, NullTracer, Sampler, Tracer, TrainingJob,
 };
 use lotus_sim::{Span, Time};
-use lotus_transforms::{Sample, TransformCtx, TransformObserver};
+use lotus_transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
 use lotus_uarch::{CostCoeffs, KernelId, Machine, MachineConfig};
 
 struct VaryingDataset {
@@ -35,11 +35,12 @@ impl Dataset for VaryingDataset {
         index: u64,
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
-    ) -> Sample {
+    ) -> Result<Sample, PipelineError> {
         let start = ctx.cpu.cursor();
-        ctx.cpu.exec(self.kernel, 150_000.0 * (1.0 + (index % 7) as f64 / 3.0));
+        ctx.cpu
+            .exec(self.kernel, 150_000.0 * (1.0 + (index % 7) as f64 / 3.0));
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
-        Sample::tensor_meta(&[3, 32, 32], DType::F32)
+        Ok(Sample::tensor_meta(&[3, 32, 32], DType::F32))
     }
 }
 
@@ -66,7 +67,10 @@ impl DelayTrace {
 
 impl Tracer for DelayTrace {
     fn on_batch_preprocessed(&self, _pid: u32, batch: u64, start: Time, dur: Span) -> Span {
-        self.produced.lock().unwrap().push((batch, (start + dur).as_nanos()));
+        self.produced
+            .lock()
+            .unwrap()
+            .push((batch, (start + dur).as_nanos()));
         Span::ZERO
     }
 
@@ -78,7 +82,10 @@ impl Tracer for DelayTrace {
         _dur: Span,
         _len: usize,
     ) -> Span {
-        self.consumed.lock().unwrap().push((batch, start.as_nanos()));
+        self.consumed
+            .lock()
+            .unwrap()
+            .push((batch, start.as_nanos()));
         Span::ZERO
     }
 }
@@ -109,6 +116,7 @@ fn run_with(
         hw_profiler: None,
         seed: 3,
         epochs: 1,
+        faults: FaultPlan::default(),
     }
     .run()
     .unwrap()
@@ -123,7 +131,12 @@ fn prefetch_depth_bounds_in_flight_inventory() {
     let mean_delay = |prefetch: usize| {
         let tracer = Arc::new(DelayTrace::default());
         // Slow GPU: 5 ms steps, preprocessing far faster.
-        let _ = run_with(prefetch, true, Span::from_micros(600), Arc::clone(&tracer) as _);
+        let _ = run_with(
+            prefetch,
+            true,
+            Span::from_micros(600),
+            Arc::clone(&tracer) as _,
+        );
         tracer.mean_delay_ns()
     };
     let shallow = mean_delay(1);
@@ -165,6 +178,7 @@ fn random_sampler_changes_the_item_order_but_not_the_totals() {
             hw_profiler: None,
             seed: 9,
             epochs: 1,
+            faults: FaultPlan::default(),
         }
         .run()
         .unwrap()

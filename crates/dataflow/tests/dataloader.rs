@@ -5,10 +5,11 @@ use std::sync::{Arc, Mutex};
 
 use lotus_data::DType;
 use lotus_dataflow::{
-    DataLoaderConfig, Dataset, GpuConfig, NullTracer, Sampler, Tracer, TrainingJob, MAIN_OS_PID,
+    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, NullTracer, Sampler, Tracer, TrainingJob,
+    MAIN_OS_PID,
 };
 use lotus_sim::{Span, Time};
-use lotus_transforms::{Sample, TransformCtx, TransformObserver};
+use lotus_transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
 use lotus_uarch::{CostCoeffs, KernelId, Machine, MachineConfig};
 
 /// A dataset whose items cost a fixed amount of decode work.
@@ -38,14 +39,14 @@ impl Dataset for StubDataset {
         index: u64,
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
-    ) -> Sample {
+    ) -> Result<Sample, PipelineError> {
         let start = ctx.cpu.cursor();
         // Vary per-item work so batches finish at staggered times (the
         // source of out-of-order arrivals, like variable image sizes).
         let work = self.work_per_item * (1.0 + (index % 5) as f64 / 2.0);
         ctx.cpu.exec(self.kernel, work);
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
-        Sample::tensor_meta(&[3, 16, 16], DType::F32)
+        Ok(Sample::tensor_meta(&[3, 16, 16], DType::F32))
     }
 }
 
@@ -74,13 +75,27 @@ impl Tracer for Recorder {
     }
 
     fn on_batch_preprocessed(&self, pid: u32, batch_id: u64, start: Time, dur: Span) -> Span {
-        self.preprocessed.lock().unwrap().push((pid, batch_id, start.as_nanos(), dur.as_nanos()));
+        self.preprocessed
+            .lock()
+            .unwrap()
+            .push((pid, batch_id, start.as_nanos(), dur.as_nanos()));
         Span::ZERO
     }
 
-    fn on_batch_wait(&self, pid: u32, batch_id: u64, start: Time, dur: Span, ooo: bool) -> Span {
+    fn on_batch_wait(
+        &self,
+        pid: u32,
+        batch_id: u64,
+        start: Time,
+        dur: Span,
+        ooo: bool,
+        _queue_delay: Span,
+    ) -> Span {
         assert_eq!(pid, MAIN_OS_PID, "waits happen on the main process");
-        self.waits.lock().unwrap().push((batch_id, start.as_nanos(), dur.as_nanos(), ooo));
+        self.waits
+            .lock()
+            .unwrap()
+            .push((batch_id, start.as_nanos(), dur.as_nanos(), ooo));
         Span::ZERO
     }
 
@@ -93,7 +108,10 @@ impl Tracer for Recorder {
         _batch_len: usize,
     ) -> Span {
         assert_eq!(pid, MAIN_OS_PID);
-        self.consumed.lock().unwrap().push((batch_id, start.as_nanos(), dur.as_nanos()));
+        self.consumed
+            .lock()
+            .unwrap()
+            .push((batch_id, start.as_nanos(), dur.as_nanos()));
         Span::ZERO
     }
 }
@@ -126,6 +144,7 @@ fn job(
         hw_profiler: None,
         seed: 7,
         epochs: 1,
+        faults: FaultPlan::default(),
     }
 }
 
@@ -133,15 +152,27 @@ fn job(
 fn epoch_consumes_every_batch_exactly_once() {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let rec = Arc::new(Recorder::default());
-    let report = job(&machine, 64, 50_000.0, 2, 8, Arc::clone(&rec) as _, Span::from_micros(200))
-        .run()
-        .unwrap();
+    let report = job(
+        &machine,
+        64,
+        50_000.0,
+        2,
+        8,
+        Arc::clone(&rec) as _,
+        Span::from_micros(200),
+    )
+    .run()
+    .unwrap();
     assert_eq!(report.batches, 8);
     assert_eq!(report.samples, 64);
 
     let consumed = rec.consumed.lock().unwrap();
     let ids: Vec<u64> = consumed.iter().map(|(id, _, _)| *id).collect();
-    assert_eq!(ids, (0..8).collect::<Vec<_>>(), "batches must be consumed in order");
+    assert_eq!(
+        ids,
+        (0..8).collect::<Vec<_>>(),
+        "batches must be consumed in order"
+    );
     let waits = rec.waits.lock().unwrap();
     assert_eq!(waits.len(), 8);
     let preprocessed = rec.preprocessed.lock().unwrap();
@@ -152,9 +183,17 @@ fn epoch_consumes_every_batch_exactly_once() {
 fn per_op_records_cover_every_item_plus_collation() {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let rec = Arc::new(Recorder::default());
-    job(&machine, 24, 10_000.0, 1, 4, Arc::clone(&rec) as _, Span::from_micros(100))
-        .run()
-        .unwrap();
+    job(
+        &machine,
+        24,
+        10_000.0,
+        1,
+        4,
+        Arc::clone(&rec) as _,
+        Span::from_micros(100),
+    )
+    .run()
+    .unwrap();
     let ops = rec.ops.lock().unwrap();
     let loaders = ops.iter().filter(|(_, _, n, _, _)| n == "Loader").count();
     let collates = ops.iter().filter(|(_, _, n, _, _)| n == "C(4)").count();
@@ -168,12 +207,23 @@ fn multiple_workers_produce_out_of_order_arrivals() {
     let rec = Arc::new(Recorder::default());
     // Fast GPU + slow preprocessing: the main process drains arrivals as
     // they come, and with 4 workers some arrive out of order.
-    job(&machine, 256, 400_000.0, 4, 8, Arc::clone(&rec) as _, Span::from_micros(10))
-        .run()
-        .unwrap();
+    job(
+        &machine,
+        256,
+        400_000.0,
+        4,
+        8,
+        Arc::clone(&rec) as _,
+        Span::from_micros(10),
+    )
+    .run()
+    .unwrap();
     let waits = rec.waits.lock().unwrap();
     let ooo = waits.iter().filter(|(_, _, _, ooo)| *ooo).count();
-    assert!(ooo > 0, "expected at least one out-of-order batch with 4 workers");
+    assert!(
+        ooo > 0,
+        "expected at least one out-of-order batch with 4 workers"
+    );
     // Out-of-order waits carry the paper's 1 µs marker.
     for (_, _, dur, is_ooo) in waits.iter() {
         if *is_ooo {
@@ -186,9 +236,17 @@ fn multiple_workers_produce_out_of_order_arrivals() {
 fn single_worker_never_reorders() {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let rec = Arc::new(Recorder::default());
-    job(&machine, 64, 100_000.0, 1, 8, Arc::clone(&rec) as _, Span::from_micros(50))
-        .run()
-        .unwrap();
+    job(
+        &machine,
+        64,
+        100_000.0,
+        1,
+        8,
+        Arc::clone(&rec) as _,
+        Span::from_micros(50),
+    )
+    .run()
+    .unwrap();
     let waits = rec.waits.lock().unwrap();
     assert!(waits.iter().all(|(_, _, _, ooo)| !ooo));
 }
@@ -198,9 +256,17 @@ fn preprocessing_bottleneck_means_long_waits_short_delays() {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let rec = Arc::new(Recorder::default());
     // Heavy preprocessing, nearly-free GPU.
-    job(&machine, 64, 2_000_000.0, 1, 8, Arc::clone(&rec) as _, Span::from_micros(1))
-        .run()
-        .unwrap();
+    job(
+        &machine,
+        64,
+        2_000_000.0,
+        1,
+        8,
+        Arc::clone(&rec) as _,
+        Span::from_micros(1),
+    )
+    .run()
+    .unwrap();
     let waits = rec.waits.lock().unwrap();
     let mean_wait: f64 =
         waits.iter().map(|(_, _, d, _)| *d as f64).sum::<f64>() / waits.len() as f64;
@@ -210,8 +276,10 @@ fn preprocessing_bottleneck_means_long_waits_short_delays() {
     let mean_delay: f64 = consumed
         .iter()
         .map(|(id, start, _)| {
-            let (_, _, p_start, p_dur) =
-                preprocessed.iter().find(|(_, pid, _, _)| pid == id).unwrap();
+            let (_, _, p_start, p_dur) = preprocessed
+                .iter()
+                .find(|(_, pid, _, _)| pid == id)
+                .unwrap();
             (*start - (p_start + p_dur)) as f64
         })
         .sum::<f64>()
@@ -227,16 +295,26 @@ fn gpu_bottleneck_means_long_delays_short_waits() {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let rec = Arc::new(Recorder::default());
     // Light preprocessing, slow GPU (100 ms steps), several workers.
-    job(&machine, 64, 20_000.0, 4, 2, Arc::clone(&rec) as _, Span::from_millis(50))
-        .run()
-        .unwrap();
+    job(
+        &machine,
+        64,
+        20_000.0,
+        4,
+        2,
+        Arc::clone(&rec) as _,
+        Span::from_millis(50),
+    )
+    .run()
+    .unwrap();
     let preprocessed = rec.preprocessed.lock().unwrap();
     let consumed = rec.consumed.lock().unwrap();
     let delays: Vec<f64> = consumed
         .iter()
         .map(|(id, start, _)| {
-            let (_, _, p_start, p_dur) =
-                preprocessed.iter().find(|(_, pid, _, _)| pid == id).unwrap();
+            let (_, _, p_start, p_dur) = preprocessed
+                .iter()
+                .find(|(_, pid, _, _)| pid == id)
+                .unwrap();
             (*start - (p_start + p_dur)) as f64
         })
         .collect();
@@ -251,11 +329,19 @@ fn gpu_bottleneck_means_long_delays_short_waits() {
 fn runs_are_deterministic() {
     let run = || {
         let machine = Machine::new(MachineConfig::cloudlab_c4130());
-        job(&machine, 128, 75_000.0, 3, 16, Arc::new(NullTracer) as _, Span::from_millis(1))
-            .run()
-            .unwrap()
-            .elapsed
-            .as_nanos()
+        job(
+            &machine,
+            128,
+            75_000.0,
+            3,
+            16,
+            Arc::new(NullTracer) as _,
+            Span::from_millis(1),
+        )
+        .run()
+        .unwrap()
+        .elapsed
+        .as_nanos()
     };
     assert_eq!(run(), run());
 }
@@ -326,24 +412,132 @@ fn compute_dilation_slows_preprocessing() {
     let base = run(Arc::new(NullTracer));
     let dilated = run(Arc::new(Dilating));
     let ratio = dilated as f64 / base as f64;
-    assert!(ratio > 1.5, "2x dilation on a preprocessing-bound job: ratio {ratio}");
+    assert!(
+        ratio > 1.5,
+        "2x dilation on a preprocessing-bound job: ratio {ratio}"
+    );
 }
 
 #[test]
 fn partial_batches_respect_drop_last() {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
-    let mut j = job(&machine, 10, 10_000.0, 1, 4, Arc::new(NullTracer) as _, Span::from_micros(10));
+    let mut j = job(
+        &machine,
+        10,
+        10_000.0,
+        1,
+        4,
+        Arc::new(NullTracer) as _,
+        Span::from_micros(10),
+    );
     j.loader.drop_last = false;
     let report = j.run().unwrap();
     assert_eq!(report.batches, 3);
     assert_eq!(report.samples, 10);
 }
 
+/// Regression test for the refill protocol: the main loop must send one
+/// fresh index batch per *returned* batch (PyTorch's `_process_data` →
+/// `_try_put_index`), so the dispatched-but-unconsumed inventory can never
+/// exceed `prefetch_factor × num_workers` — even when one slow worker
+/// forces its siblings' batches through the out-of-order cache. The old
+/// code refilled per queue pop and let the inventory balloon.
+#[test]
+fn in_flight_inventory_is_bounded_with_a_slow_worker() {
+    /// Items in batches assigned to worker 0 (round-robin: batch id % 4)
+    /// cost 40x more, so workers 1–3 race far ahead.
+    struct SkewedDataset {
+        len: u64,
+        kernel: KernelId,
+    }
+    impl Dataset for SkewedDataset {
+        fn len(&self) -> u64 {
+            self.len
+        }
+        fn get_item(
+            &self,
+            index: u64,
+            ctx: &mut TransformCtx<'_>,
+            _observer: &mut dyn TransformObserver,
+        ) -> Result<Sample, PipelineError> {
+            let batch = index / 8;
+            let work = if batch.is_multiple_of(4) {
+                4_000_000.0
+            } else {
+                100_000.0
+            };
+            ctx.cpu.exec(self.kernel, work);
+            Ok(Sample::tensor_meta(&[3, 16, 16], DType::F32))
+        }
+    }
+
+    /// Tracks the peak number of preprocessed-but-unconsumed batches.
+    #[derive(Default)]
+    struct InventoryGauge {
+        outstanding: Mutex<(i64, i64)>, // (current, peak)
+    }
+    impl Tracer for InventoryGauge {
+        fn on_batch_preprocessed(&self, _: u32, _: u64, _: Time, _: Span) -> Span {
+            let mut g = self.outstanding.lock().unwrap();
+            g.0 += 1;
+            g.1 = g.1.max(g.0);
+            Span::ZERO
+        }
+        fn on_batch_consumed(&self, _: u32, _: u64, _: Time, _: Span, _: usize) -> Span {
+            self.outstanding.lock().unwrap().0 -= 1;
+            Span::ZERO
+        }
+    }
+
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let gauge = Arc::new(InventoryGauge::default());
+    let report = TrainingJob {
+        machine: Arc::clone(&machine),
+        dataset: Arc::new(SkewedDataset {
+            len: 512,
+            kernel: machine.kernel("skew_decode", "libstub.so", CostCoeffs::compute_default()),
+        }),
+        loader: DataLoaderConfig {
+            batch_size: 8,
+            num_workers: 4,
+            prefetch_factor: 2,
+            pin_memory: true,
+            sampler: Sampler::Sequential,
+            drop_last: true,
+        },
+        // Fast GPU: consumption never throttles the loader.
+        gpu: GpuConfig::v100(1, Span::from_micros(1)),
+        tracer: Arc::clone(&gauge) as _,
+        hw_profiler: None,
+        seed: 7,
+        epochs: 1,
+        faults: FaultPlan::default(),
+    }
+    .run()
+    .unwrap();
+    assert_eq!(report.batches, 64);
+    let peak = gauge.outstanding.lock().unwrap().1;
+    // +1: the refill is sent before the returned batch is consumed (as in
+    // PyTorch), so one extra fetch can finish during the consumption window.
+    assert!(
+        peak <= 2 * 4 + 1,
+        "inventory must stay within prefetch_factor*num_workers + 1, peaked at {peak}"
+    );
+}
+
 #[test]
 fn multiple_epochs_reshuffle_and_keep_batch_ids_counting() {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let rec = Arc::new(Recorder::default());
-    let mut j = job(&machine, 32, 40_000.0, 2, 8, Arc::clone(&rec) as _, Span::from_micros(100));
+    let mut j = job(
+        &machine,
+        32,
+        40_000.0,
+        2,
+        8,
+        Arc::clone(&rec) as _,
+        Span::from_micros(100),
+    );
     j.epochs = 3;
     j.loader.sampler = Sampler::Random { seed: 5 };
     let report = j.run().unwrap();
@@ -352,5 +546,9 @@ fn multiple_epochs_reshuffle_and_keep_batch_ids_counting() {
     assert_eq!(report.samples, 96);
     let consumed = rec.consumed.lock().unwrap();
     let ids: Vec<u64> = consumed.iter().map(|(id, _, _)| *id).collect();
-    assert_eq!(ids, (0..12).collect::<Vec<_>>(), "batch ids count across epochs");
+    assert_eq!(
+        ids,
+        (0..12).collect::<Vec<_>>(),
+        "batch ids count across epochs"
+    );
 }

@@ -37,10 +37,16 @@ impl Capabilities {
     /// Number of supported capabilities.
     #[must_use]
     pub fn count(&self) -> usize {
-        [self.epoch, self.batch, self.async_flow, self.wait, self.delay]
-            .into_iter()
-            .filter(|&b| b)
-            .count()
+        [
+            self.epoch,
+            self.batch,
+            self.async_flow,
+            self.wait,
+            self.delay,
+        ]
+        .into_iter()
+        .filter(|&b| b)
+        .count()
     }
 }
 
@@ -50,7 +56,9 @@ impl Capabilities {
 #[must_use]
 pub fn lotus_capabilities(records: &[TraceRecord]) -> Capabilities {
     let has_ops = records.iter().any(|r| matches!(r.kind, SpanKind::Op(_)));
-    let has_batches = records.iter().any(|r| r.kind == SpanKind::BatchPreprocessed);
+    let has_batches = records
+        .iter()
+        .any(|r| r.kind == SpanKind::BatchPreprocessed);
     let has_waits = records.iter().any(|r| r.kind == SpanKind::BatchWait);
     let has_consumed = records.iter().any(|r| r.kind == SpanKind::BatchConsumed);
     // Async flow visualization needs spans on both the main process and
@@ -60,11 +68,13 @@ pub fn lotus_capabilities(records: &[TraceRecord]) -> Capabilities {
         .filter(|r| r.kind == SpanKind::BatchPreprocessed)
         .map(|r| r.pid)
         .collect();
-    let main_pids: std::collections::HashSet<u32> =
-        records.iter().filter(|r| r.kind == SpanKind::BatchWait).map(|r| r.pid).collect();
-    let cross_process = !worker_pids.is_empty()
-        && !main_pids.is_empty()
-        && worker_pids.is_disjoint(&main_pids);
+    let main_pids: std::collections::HashSet<u32> = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::BatchWait)
+        .map(|r| r.pid)
+        .collect();
+    let cross_process =
+        !worker_pids.is_empty() && !main_pids.is_empty() && worker_pids.is_disjoint(&main_pids);
     Capabilities {
         epoch: has_ops,
         batch: has_batches,
@@ -87,6 +97,7 @@ mod tests {
             start: Time::ZERO,
             duration: Span::from_micros(10),
             out_of_order: false,
+            queue_delay: Span::ZERO,
         }
     }
 
@@ -116,13 +127,19 @@ mod tests {
 
     #[test]
     fn single_process_log_cannot_show_async_flow() {
-        let records = vec![rec(SpanKind::BatchPreprocessed, 1), rec(SpanKind::BatchWait, 1)];
+        let records = vec![
+            rec(SpanKind::BatchPreprocessed, 1),
+            rec(SpanKind::BatchWait, 1),
+        ];
         assert!(!lotus_capabilities(&records).async_flow);
     }
 
     #[test]
     fn row_renders_five_columns() {
-        let caps = Capabilities { epoch: true, ..Capabilities::default() };
+        let caps = Capabilities {
+            epoch: true,
+            ..Capabilities::default()
+        };
         let row = caps.row();
         assert!(row.starts_with("yes"));
         assert_eq!(row.matches("no ").count(), 4);

@@ -166,7 +166,11 @@ mod tests {
         let h = small_ic();
         let baseline = h.baseline_wall();
         let row = h.run_lotus(baseline);
-        assert!(row.wall_overhead < 0.05, "Lotus overhead {}", row.wall_overhead);
+        assert!(
+            row.wall_overhead < 0.05,
+            "Lotus overhead {}",
+            row.wall_overhead
+        );
         assert_eq!(row.capabilities.count(), 5);
         assert!(row.log_bytes > 0);
     }
@@ -206,7 +210,11 @@ mod tests {
         let h = small_ic();
         let baseline = h.baseline_wall();
         let row = h.run_baseline(BaselineProfiler::TorchProfiler, baseline);
-        assert!(row.wall_overhead > 0.4, "torch profiler overhead {}", row.wall_overhead);
+        assert!(
+            row.wall_overhead > 0.4,
+            "torch profiler overhead {}",
+            row.wall_overhead
+        );
         assert!(row.capabilities.wait);
         assert_eq!(row.capabilities.count(), 1);
     }

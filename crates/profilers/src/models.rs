@@ -130,7 +130,11 @@ impl SamplingProfiler {
     /// Creates a sampling profiler model.
     #[must_use]
     pub fn new(name: &'static str, config: SamplingConfig) -> SamplingProfiler {
-        SamplingProfiler { name, config, state: Mutex::new(SamplingState::default()) }
+        SamplingProfiler {
+            name,
+            config,
+            state: Mutex::new(SamplingState::default()),
+        }
     }
 
     /// Scalene with its default configuration.
@@ -156,7 +160,11 @@ impl SamplingProfiler {
         let begin = start.as_nanos();
         let end = begin + dur.as_nanos();
         let first = begin.div_ceil(interval) * interval;
-        if first >= end { 0 } else { (end - first).div_ceil(interval) }
+        if first >= end {
+            0
+        } else {
+            (end - first).div_ceil(interval)
+        }
     }
 }
 
@@ -255,7 +263,15 @@ impl TorchProfiler {
 }
 
 impl Tracer for TorchProfiler {
-    fn on_batch_wait(&self, _pid: u32, _batch: u64, _start: Time, _dur: Span, _ooo: bool) -> Span {
+    fn on_batch_wait(
+        &self,
+        _pid: u32,
+        _batch: u64,
+        _start: Time,
+        _dur: Span,
+        _ooo: bool,
+        _queue_delay: Span,
+    ) -> Span {
         // The profiler sees the main process block in `_next_data` and
         // records it (this is how it reports "preprocessing time").
         self.waits_seen.fetch_add(1, Ordering::Relaxed);
@@ -311,9 +327,21 @@ mod tests {
     fn sampling_counts_grid_points() {
         let p = SamplingProfiler::py_spy();
         // 35 ms op starting at 2 ms: grid points at 10/20/30 ms.
-        let _ = p.on_op(1, 0, "Loader", Time::from_nanos(2_000_000), Span::from_millis(35));
+        let _ = p.on_op(
+            1,
+            0,
+            "Loader",
+            Time::from_nanos(2_000_000),
+            Span::from_millis(35),
+        );
         // 1 ms op straddling no grid point.
-        let _ = p.on_op(1, 0, "Flip", Time::from_nanos(41_000_000), Span::from_millis(1));
+        let _ = p.on_op(
+            1,
+            0,
+            "Flip",
+            Time::from_nanos(41_000_000),
+            Span::from_millis(1),
+        );
         let out = p.finish(Span::from_secs(1), 2);
         let per_op = out.per_op_epoch_totals.unwrap();
         assert_eq!(per_op["Loader"], Span::from_millis(30));
@@ -346,12 +374,24 @@ mod tests {
         // 10 000 ops of 7 ms each: truth 70 s.
         let mut t = 0u64;
         for _ in 0..10_000 {
-            let _ = p.on_op(1, 0, "Loader", Time::from_nanos(t), Span::from_micros(7_000));
+            let _ = p.on_op(
+                1,
+                0,
+                "Loader",
+                Time::from_nanos(t),
+                Span::from_micros(7_000),
+            );
             t += 7_137_000; // keep grid phase sliding
         }
-        let per_op = p.finish(Span::from_secs(80), 2).per_op_epoch_totals.unwrap();
+        let per_op = p
+            .finish(Span::from_secs(80), 2)
+            .per_op_epoch_totals
+            .unwrap();
         let est = per_op["Loader"].as_secs_f64();
-        assert!((est - 70.0).abs() / 70.0 < 0.02, "estimate {est}s vs 70s truth");
+        assert!(
+            (est - 70.0).abs() / 70.0 < 0.02,
+            "estimate {est}s vs 70s truth"
+        );
     }
 
     #[test]
@@ -372,7 +412,7 @@ mod tests {
     #[test]
     fn torch_profiler_captures_only_wait() {
         let p = TorchProfiler::new();
-        let _ = p.on_batch_wait(1, 0, Time::ZERO, Span::from_millis(5), false);
+        let _ = p.on_batch_wait(1, 0, Time::ZERO, Span::from_millis(5), false, Span::ZERO);
         let _ = p.on_batch_consumed(1, 0, Time::ZERO, Span::from_millis(100), 8);
         let caps = p.finish(Span::from_secs(1), 1).capabilities;
         assert!(caps.wait);
@@ -383,6 +423,9 @@ mod tests {
     fn torch_profiler_charges_tracing_on_the_main_process() {
         let p = TorchProfiler::new();
         let oh = p.on_batch_consumed(1, 0, Time::ZERO, Span::from_millis(100), 512);
-        assert!(oh > Span::from_secs(5), "per-batch tracing cost should be seconds: {oh}");
+        assert!(
+            oh > Span::from_secs(5),
+            "per-batch tracing cost should be seconds: {oh}"
+        );
     }
 }

@@ -63,10 +63,11 @@ impl Ctx {
     /// other process scheduled at the same instant.
     pub fn delay(&self, span: Span) {
         let pid = self.pid;
-        self.kernel.park(pid, &self.baton, "delay", |st: &mut KernelState| {
-            let at = st.now + span;
-            st.schedule_wake_at(pid, at);
-        });
+        self.kernel
+            .park(pid, &self.baton, "delay", |st: &mut KernelState| {
+                let at = st.now + span;
+                st.schedule_wake_at(pid, at);
+            });
     }
 
     /// Spawns a new process that starts at the current virtual time.
@@ -77,7 +78,6 @@ impl Ctx {
     {
         crate::sim::spawn_process(&self.kernel, name.into(), body)
     }
-
 
     /// Parks this process; see [`Kernel::park`].
     pub(crate) fn park<F>(&self, label: &'static str, prepare: F)

@@ -36,7 +36,11 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { blocked } => {
-                write!(f, "simulation deadlocked with {} blocked process(es):", blocked.len())?;
+                write!(
+                    f,
+                    "simulation deadlocked with {} blocked process(es):",
+                    blocked.len()
+                )?;
                 for p in blocked {
                     write!(f, " [{} waiting on {}]", p.name, p.waiting_on)?;
                 }
@@ -70,7 +74,10 @@ mod tests {
 
     #[test]
     fn panic_display_names_process() {
-        let err = SimError::ProcessPanic { process: "main".into(), message: "boom".into() };
+        let err = SimError::ProcessPanic {
+            process: "main".into(),
+            message: "boom".into(),
+        };
         assert!(err.to_string().contains("main"));
         assert!(err.to_string().contains("boom"));
     }

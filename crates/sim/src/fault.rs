@@ -1,0 +1,226 @@
+//! Deterministic, seed-driven fault injection plans.
+//!
+//! A [`FaultPlan`] describes which faults a simulated run should suffer:
+//! worker processes killed at a chosen virtual time, per-sample errors
+//! injected with a fixed probability, and queues slowed by a factor. The
+//! plan is *declarative* — consumers (the DataLoader model in
+//! `lotus-dataflow`) query it at the relevant decision points — and every
+//! decision is a pure function of `(seed, rule, sample index)`, so a plan
+//! produces the same faults on every run **and** the same per-sample
+//! verdicts even when a batch is re-dispatched to a different worker.
+
+use crate::time::Time;
+
+/// A per-sample error-injection rule.
+#[derive(Debug, Clone, PartialEq)]
+struct SampleErrorRule {
+    /// The operation name the injected error reports (e.g. `"Decode"`).
+    op: String,
+    /// Probability in `[0, 1]` that a given sample index fails.
+    probability: f64,
+}
+
+/// A deterministic plan of faults to inject into a simulated run.
+///
+/// Build one with the fluent constructors and hand it to a training job:
+///
+/// ```
+/// use lotus_sim::{FaultPlan, Span, Time};
+///
+/// let plan = FaultPlan::new(7)
+///     .kill_process("dataloader1", Time::ZERO + Span::from_millis(40))
+///     .inject_sample_errors("Decode", 0.01)
+///     .slow_queue("data_queue", 4.0);
+/// assert!(!plan.is_empty());
+/// assert!(plan.kill_time("dataloader1").is_some());
+/// assert!(plan.kill_time("dataloader0").is_none());
+/// assert_eq!(plan.queue_factor("data_queue"), 4.0);
+/// assert_eq!(plan.queue_factor("index_queue_0"), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    kills: Vec<(String, Time)>,
+    sample_errors: Vec<SampleErrorRule>,
+    queue_slowdowns: Vec<(String, f64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose per-sample decisions derive from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Kills the process named `process` at virtual time `at` (the
+    /// simulated analog of `kill -9` on a DataLoader worker).
+    #[must_use]
+    pub fn kill_process(mut self, process: impl Into<String>, at: Time) -> FaultPlan {
+        self.kills.push((process.into(), at));
+        self
+    }
+
+    /// Fails each sample independently with probability `probability`,
+    /// reporting `op` as the failing operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= probability <= 1.0`.
+    #[must_use]
+    pub fn inject_sample_errors(mut self, op: impl Into<String>, probability: f64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability out of range: {probability}"
+        );
+        self.sample_errors.push(SampleErrorRule {
+            op: op.into(),
+            probability,
+        });
+        self
+    }
+
+    /// Multiplies the serialization/deserialization cost of the queue
+    /// named `name` by `factor` (a degraded IPC channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor >= 1.0`.
+    #[must_use]
+    pub fn slow_queue(mut self, name: impl Into<String>, factor: f64) -> FaultPlan {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1, got {factor}");
+        self.queue_slowdowns.push((name.into(), factor));
+        self
+    }
+
+    /// True when the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.sample_errors.is_empty() && self.queue_slowdowns.is_empty()
+    }
+
+    /// The virtual time at which `process` dies, if the plan kills it.
+    #[must_use]
+    pub fn kill_time(&self, process: &str) -> Option<Time> {
+        self.kills
+            .iter()
+            .find(|(name, _)| name == process)
+            .map(|&(_, at)| at)
+    }
+
+    /// The error-injection verdict for sample `index`: `Some(op)` when an
+    /// injection rule fires, with `op` the operation name the error should
+    /// report.
+    ///
+    /// The verdict hashes `(seed, rule, index)` — it does **not** consume
+    /// any shared RNG stream — so it is independent of which worker
+    /// processes the sample and of processing order. Re-dispatching a
+    /// batch after a worker death reproduces the identical verdicts.
+    #[must_use]
+    pub fn sample_error(&self, index: u64) -> Option<&str> {
+        for (rule_idx, rule) in self.sample_errors.iter().enumerate() {
+            let h = mix(self.seed ^ mix(index ^ mix(rule_idx as u64)));
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < rule.probability {
+                return Some(&rule.op);
+            }
+        }
+        None
+    }
+
+    /// The slowdown factor for the queue named `name` (`1.0` when the
+    /// plan leaves it untouched).
+    #[must_use]
+    pub fn queue_factor(&self, name: &str) -> f64 {
+        self.queue_slowdowns
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|&(_, f)| f)
+            .product()
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of `z`.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Span;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new(1);
+        assert!(plan.is_empty());
+        assert!(plan.kill_time("dataloader0").is_none());
+        assert_eq!(plan.queue_factor("data_queue"), 1.0);
+        assert!((0..10_000).all(|i| plan.sample_error(i).is_none()));
+    }
+
+    #[test]
+    fn sample_error_rate_approximates_the_probability() {
+        let plan = FaultPlan::new(42).inject_sample_errors("Decode", 0.1);
+        let n = 100_000;
+        let hits = (0..n).filter(|&i| plan.sample_error(i).is_some()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn verdicts_are_order_independent_and_deterministic() {
+        let plan = FaultPlan::new(9).inject_sample_errors("ToTensor", 0.05);
+        let forward: Vec<bool> = (0..1_000).map(|i| plan.sample_error(i).is_some()).collect();
+        let backward: Vec<bool> = (0..1_000)
+            .rev()
+            .map(|i| plan.sample_error(i).is_some())
+            .collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        assert_eq!(
+            forward,
+            (0..1_000)
+                .map(|i| plan.clone().sample_error(i).is_some())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_verdict_sets() {
+        let a = FaultPlan::new(1).inject_sample_errors("Decode", 0.5);
+        let b = FaultPlan::new(2).inject_sample_errors("Decode", 0.5);
+        let va: Vec<bool> = (0..256).map(|i| a.sample_error(i).is_some()).collect();
+        let vb: Vec<bool> = (0..256).map(|i| b.sample_error(i).is_some()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn first_matching_rule_names_the_op() {
+        let plan = FaultPlan::new(3).inject_sample_errors("Decode", 1.0);
+        assert_eq!(plan.sample_error(17), Some("Decode"));
+    }
+
+    #[test]
+    fn kill_and_slowdown_lookups() {
+        let at = Time::ZERO + Span::from_millis(25);
+        let plan = FaultPlan::new(0)
+            .kill_process("dataloader2", at)
+            .slow_queue("data_queue", 2.0)
+            .slow_queue("data_queue", 3.0);
+        assert_eq!(plan.kill_time("dataloader2"), Some(at));
+        assert_eq!(plan.kill_time("dataloader1"), None);
+        // Stacked slowdowns compose multiplicatively.
+        assert_eq!(plan.queue_factor("data_queue"), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn out_of_range_probability_is_rejected() {
+        let _ = FaultPlan::new(0).inject_sample_errors("Decode", 1.5);
+    }
+}

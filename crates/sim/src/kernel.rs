@@ -51,7 +51,10 @@ pub(crate) struct Baton {
 
 impl Baton {
     fn new() -> Arc<Baton> {
-        Arc::new(Baton { go: Mutex::new(false), cv: Condvar::new() })
+        Arc::new(Baton {
+            go: Mutex::new(false),
+            cv: Condvar::new(),
+        })
     }
 }
 
@@ -133,7 +136,11 @@ impl KernelState {
     /// or registering the process with a waker (queue/pool).
     pub(crate) fn block_current(&mut self, pid: Pid, label: &'static str) {
         let slot = &mut self.procs[pid.index()];
-        debug_assert_eq!(slot.state, ProcState::Running, "only a running process can block");
+        debug_assert_eq!(
+            slot.state,
+            ProcState::Running,
+            "only a running process can block"
+        );
         slot.state = ProcState::Blocked(label);
         slot.wake_gen += 1;
         self.turn = Turn::Scheduler;
@@ -150,7 +157,12 @@ impl KernelState {
         let gen = self.procs[pid.index()].wake_gen;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.events.push(Reverse(Event { time: at, seq, pid, gen }));
+        self.events.push(Reverse(Event {
+            time: at,
+            seq,
+            pid,
+            gen,
+        }));
     }
 
     /// Schedules a wake for `pid` at the current virtual time.

@@ -39,6 +39,7 @@
 
 mod ctx;
 mod error;
+mod fault;
 mod kernel;
 mod pool;
 mod queue;
@@ -47,6 +48,7 @@ mod time;
 
 pub use ctx::Ctx;
 pub use error::{BlockedProcess, SimError};
+pub use fault::FaultPlan;
 pub use kernel::Pid;
 pub use pool::{CoreGuard, CorePool};
 pub use queue::Queue;

@@ -45,7 +45,10 @@ pub struct CorePool {
 
 impl Clone for CorePool {
     fn clone(&self) -> Self {
-        CorePool { kernel: Arc::clone(&self.kernel), inner: Arc::clone(&self.inner) }
+        CorePool {
+            kernel: Arc::clone(&self.kernel),
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -102,7 +105,10 @@ impl CorePool {
                 inner.available -= 1;
                 let active = inner.total - inner.available;
                 inner.peak_active = inner.peak_active.max(active);
-                return CoreGuard { pool: self, _ctx: ctx };
+                return CoreGuard {
+                    pool: self,
+                    _ctx: ctx,
+                };
             }
             inner.waiters.push_back(ctx.pid());
             ctx.park("core.acquire", move |_st| drop(inner));

@@ -34,7 +34,10 @@ pub struct Queue<T> {
 
 impl<T> Clone for Queue<T> {
     fn clone(&self) -> Self {
-        Queue { kernel: Arc::clone(&self.kernel), inner: Arc::clone(&self.inner) }
+        Queue {
+            kernel: Arc::clone(&self.kernel),
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -88,7 +91,9 @@ impl<T: Send + 'static> Queue<T> {
             let mut inner = self.inner.lock().expect("queue poisoned");
             let full = inner.capacity.is_some_and(|cap| inner.items.len() >= cap);
             if !full {
-                inner.items.push_back(item.take().expect("item consumed twice"));
+                inner
+                    .items
+                    .push_back(item.take().expect("item consumed twice"));
                 if let Some(waiter) = inner.pop_waiters.pop_front() {
                     let mut st = self.kernel.state.lock().expect("kernel poisoned");
                     st.wake_now(waiter);

@@ -76,7 +76,10 @@ impl Simulation {
     /// Creates an empty simulation with the clock at [`Time::ZERO`].
     #[must_use]
     pub fn new() -> Simulation {
-        Simulation { kernel: Kernel::new(), threads: Arc::new(Mutex::new(Vec::new())) }
+        Simulation {
+            kernel: Kernel::new(),
+            threads: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Spawns a process that will start at the current virtual time when
@@ -120,7 +123,10 @@ impl Simulation {
         match result {
             Ok(()) => {
                 let st = self.kernel.state.lock().expect("kernel poisoned");
-                Ok(RunReport { end_time: st.now, processes: st.procs.len() })
+                Ok(RunReport {
+                    end_time: st.now,
+                    processes: st.procs.len(),
+                })
             }
             Err(e) => Err(e),
         }
@@ -187,7 +193,12 @@ where
                 }
                 *go = false;
             }
-            if kernel_for_thread.state.lock().expect("kernel poisoned").shutdown {
+            if kernel_for_thread
+                .state
+                .lock()
+                .expect("kernel poisoned")
+                .shutdown
+            {
                 return;
             }
             let ctx = Ctx::new(Arc::clone(&kernel_for_thread), pid, baton);
@@ -206,7 +217,10 @@ where
             kernel_for_thread.finish(pid, panic_message);
         })
         .expect("failed to spawn simulation thread");
-    registry.lock().expect("thread registry poisoned").push(handle);
+    registry
+        .lock()
+        .expect("thread registry poisoned")
+        .push(handle);
     pid
 }
 

@@ -122,7 +122,10 @@ impl Span {
     /// Panics if `s` is negative or not finite.
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "span seconds must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "span seconds must be finite and non-negative"
+        );
         Span((s * 1e9).round() as u64)
     }
 

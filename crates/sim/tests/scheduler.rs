@@ -108,7 +108,11 @@ fn queue_is_fifo_across_multiple_producers() {
     assert_eq!(seen.len(), 20);
     // Per-producer order must be preserved even though arrivals interleave.
     for w in 0..4 {
-        let per: Vec<u32> = seen.iter().filter(|(p, _)| *p == w).map(|(_, i)| *i).collect();
+        let per: Vec<u32> = seen
+            .iter()
+            .filter(|(p, _)| *p == w)
+            .map(|(_, i)| *i)
+            .collect();
         assert_eq!(per, vec![0, 1, 2, 3, 4]);
     }
 }
@@ -324,12 +328,10 @@ fn pop_timeout_polling_loop_mirrors_pytorch_status_checks() {
     });
     let polls = Arc::new(Mutex::new(0u32));
     let polls_w = Arc::clone(&polls);
-    sim.spawn("main", move |ctx| {
-        loop {
-            *polls_w.lock().unwrap() += 1;
-            if q.pop_timeout(&ctx, Span::from_secs(5)).is_some() {
-                break;
-            }
+    sim.spawn("main", move |ctx| loop {
+        *polls_w.lock().unwrap() += 1;
+        if q.pop_timeout(&ctx, Span::from_secs(5)).is_some() {
+            break;
         }
     });
     sim.run().unwrap();

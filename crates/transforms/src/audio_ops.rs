@@ -11,6 +11,7 @@ use lotus_data::{DType, Tensor};
 use lotus_uarch::{CostCoeffs, KernelId, Machine};
 use rand::Rng;
 
+use crate::error::PipelineError;
 use crate::sample::Sample;
 use crate::transform::{Transform, TransformCtx};
 
@@ -18,12 +19,16 @@ const LIBSAMPLERATE: &str = "libsamplerate.so.0";
 const LIBTORCH: &str = "libtorch_cpu.so";
 const OPENBLAS: &str = "libopenblas.so.0";
 
-fn waveform_len(sample: &Sample) -> usize {
+fn waveform_len(op: &str, sample: &Sample) -> Result<usize, PipelineError> {
     match sample {
         Sample::Tensor { shape, dtype, .. } if shape.len() == 1 && *dtype == DType::F32 => {
-            shape[0]
+            Ok(shape[0])
         }
-        other => panic!("audio transforms expect a 1-D f32 waveform, got {other:?}"),
+        other => Err(PipelineError::type_mismatch(
+            op,
+            "a 1-D f32 waveform",
+            other,
+        )),
     }
 }
 
@@ -37,7 +42,10 @@ pub struct Resample {
 
 impl std::fmt::Debug for Resample {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Resample").field("from", &self.from_hz).field("to", &self.to_hz).finish()
+        f.debug_struct("Resample")
+            .field("from", &self.from_hz)
+            .field("to", &self.to_hz)
+            .finish()
     }
 }
 
@@ -78,10 +86,9 @@ impl Transform for Resample {
         "Resample"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let in_len = waveform_len(&sample);
-        let out_len =
-            (in_len as u64 * u64::from(self.to_hz) / u64::from(self.from_hz)) as usize;
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let in_len = waveform_len(self.name(), &sample)?;
+        let out_len = (in_len as u64 * u64::from(self.to_hz) / u64::from(self.from_hz)) as usize;
         ctx.cpu.exec(self.kernel, out_len as f64);
         let data = match sample {
             Sample::Tensor { data: Some(t), .. } => {
@@ -99,7 +106,11 @@ impl Transform for Resample {
             }
             _ => None,
         };
-        Sample::Tensor { shape: vec![out_len], dtype: DType::F32, data }
+        Ok(Sample::Tensor {
+            shape: vec![out_len],
+            dtype: DType::F32,
+            data,
+        })
     }
 }
 
@@ -182,7 +193,11 @@ impl MelSpectrogram {
     /// is zero-padded to at least one frame).
     #[must_use]
     pub fn frames_for(&self, len: usize) -> usize {
-        if len <= self.n_fft { 1 } else { 1 + (len - self.n_fft).div_ceil(self.hop) }
+        if len <= self.n_fft {
+            1
+        } else {
+            1 + (len - self.n_fft).div_ceil(self.hop)
+        }
     }
 }
 
@@ -191,14 +206,17 @@ impl Transform for MelSpectrogram {
         "MelSpectrogram"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let len = waveform_len(&sample);
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let len = waveform_len(self.name(), &sample)?;
         let frames = self.frames_for(len);
         let n_mels = self.filterbank.n_mels();
         let log2n = self.n_fft.trailing_zeros() as f64;
-        ctx.cpu.exec(self.fft_kernel, frames as f64 * self.n_fft as f64 * log2n);
         ctx.cpu
-            .exec(self.matmul_kernel, (frames * n_mels * self.filterbank.n_bins()) as f64);
+            .exec(self.fft_kernel, frames as f64 * self.n_fft as f64 * log2n);
+        ctx.cpu.exec(
+            self.matmul_kernel,
+            (frames * n_mels * self.filterbank.n_bins()) as f64,
+        );
         let out_shape = vec![n_mels, frames];
         let data = match sample {
             Sample::Tensor { data: Some(t), .. } => {
@@ -219,7 +237,11 @@ impl Transform for MelSpectrogram {
             }
             _ => None,
         };
-        Sample::Tensor { shape: out_shape, dtype: DType::F32, data }
+        Ok(Sample::Tensor {
+            shape: out_shape,
+            dtype: DType::F32,
+            data,
+        })
     }
 }
 
@@ -233,7 +255,9 @@ pub struct PadTrim {
 
 impl std::fmt::Debug for PadTrim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PadTrim").field("target_len", &self.target_len).finish()
+        f.debug_struct("PadTrim")
+            .field("target_len", &self.target_len)
+            .finish()
     }
 }
 
@@ -262,8 +286,8 @@ impl Transform for PadTrim {
         "PadTrim"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let len = waveform_len(&sample);
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let len = waveform_len(self.name(), &sample)?;
         ctx.cpu.exec(self.kernel, self.target_len as f64 * 4.0); // f32 bytes
         let data = match sample {
             Sample::Tensor { data: Some(t), .. } => {
@@ -275,7 +299,11 @@ impl Transform for PadTrim {
             }
             _ => None,
         };
-        Sample::Tensor { shape: vec![self.target_len], dtype: DType::F32, data }
+        Ok(Sample::Tensor {
+            shape: vec![self.target_len],
+            dtype: DType::F32,
+            data,
+        })
     }
 }
 
@@ -321,11 +349,24 @@ impl Transform for SpecAugment {
         "SpecAugment"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Tensor { shape, dtype, data } = sample else {
-            panic!("SpecAugment expects a spectrogram tensor");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (shape, dtype, data) = match sample {
+            Sample::Tensor { shape, dtype, data } => (shape, dtype, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "a spectrogram tensor",
+                    &other,
+                ))
+            }
         };
-        assert_eq!(shape.len(), 2, "SpecAugment expects [n_mels × frames], got {shape:?}");
+        if shape.len() != 2 {
+            return Err(PipelineError::ShapeMismatch {
+                op: self.name().to_string(),
+                expected: "[n_mels x frames]".to_string(),
+                got: format!("{shape:?}"),
+            });
+        }
         let (mels, frames) = (shape[0], shape[1]);
         let t_width = ctx.rng.gen_range(0..=self.max_time_frames.min(frames));
         let f_width = ctx.rng.gen_range(0..=self.max_freq_bands.min(mels));
@@ -351,7 +392,7 @@ impl Transform for SpecAugment {
             }
             t
         });
-        Sample::Tensor { shape, dtype, data }
+        Ok(Sample::Tensor { shape, dtype, data })
     }
 }
 
@@ -380,9 +421,21 @@ mod tests {
     fn resample_scales_the_length() {
         let (machine, mut cpu, mut rng) = setup();
         let rs = Resample::new(&machine, 22_050, 16_000);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = rs.apply(Sample::tensor(tone(22_050, 440.0, 22_050.0)), &mut ctx);
-        let Sample::Tensor { shape, data: Some(t), .. } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = rs
+            .apply(Sample::tensor(tone(22_050, 440.0, 22_050.0)), &mut ctx)
+            .unwrap();
+        let Sample::Tensor {
+            shape,
+            data: Some(t),
+            ..
+        } = out
+        else {
+            unreachable!()
+        };
         assert_eq!(shape, vec![16_000]);
         assert_eq!(t.as_f32().len(), 16_000);
         assert!(cpu.cursor().as_nanos() > 0);
@@ -392,15 +445,28 @@ mod tests {
     fn mel_spectrogram_shape_and_tone_localization() {
         let (machine, mut cpu, mut rng) = setup();
         let mel = MelSpectrogram::new(&machine, 16_000, 1024, 512, 64);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = mel.apply(Sample::tensor(tone(16_000, 2_000.0, 16_000.0)), &mut ctx);
-        let Sample::Tensor { shape, data: Some(t), .. } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = mel
+            .apply(Sample::tensor(tone(16_000, 2_000.0, 16_000.0)), &mut ctx)
+            .unwrap();
+        let Sample::Tensor {
+            shape,
+            data: Some(t),
+            ..
+        } = out
+        else {
+            unreachable!()
+        };
         assert_eq!(shape[0], 64);
         assert_eq!(shape[1], mel.frames_for(16_000));
         // The 2 kHz tone concentrates energy in a mid-high band.
         let frames = shape[1];
-        let band_energy: Vec<f32> =
-            (0..64).map(|m| t.as_f32()[m * frames..(m + 1) * frames].iter().sum()).collect();
+        let band_energy: Vec<f32> = (0..64)
+            .map(|m| t.as_f32()[m * frames..(m + 1) * frames].iter().sum())
+            .collect();
         let peak = band_energy
             .iter()
             .enumerate()
@@ -418,14 +484,24 @@ mod tests {
         let mut cpu_b = CpuThread::new(Arc::clone(&machine));
         let mut rng_a = StdRng::seed_from_u64(1);
         let mut rng_b = StdRng::seed_from_u64(1);
-        let meta = mel.apply(
-            Sample::tensor_meta(&[16_000], DType::F32),
-            &mut TransformCtx { cpu: &mut cpu_a, rng: &mut rng_a },
-        );
-        let real = mel.apply(
-            Sample::tensor(tone(16_000, 440.0, 16_000.0)),
-            &mut TransformCtx { cpu: &mut cpu_b, rng: &mut rng_b },
-        );
+        let meta = mel
+            .apply(
+                Sample::tensor_meta(&[16_000], DType::F32),
+                &mut TransformCtx {
+                    cpu: &mut cpu_a,
+                    rng: &mut rng_a,
+                },
+            )
+            .unwrap();
+        let real = mel
+            .apply(
+                Sample::tensor(tone(16_000, 440.0, 16_000.0)),
+                &mut TransformCtx {
+                    cpu: &mut cpu_b,
+                    rng: &mut rng_b,
+                },
+            )
+            .unwrap();
         let (Sample::Tensor { shape: sa, .. }, Sample::Tensor { shape: sb, .. }) = (meta, real)
         else {
             unreachable!()
@@ -438,12 +514,29 @@ mod tests {
     fn pad_trim_fixes_the_length() {
         let (machine, mut cpu, mut rng) = setup();
         let pt = PadTrim::new(&machine, 1_000);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let short = pt.apply(Sample::tensor(tone(600, 100.0, 16_000.0)), &mut ctx);
-        let Sample::Tensor { shape, data: Some(t), .. } = short else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let short = pt
+            .apply(Sample::tensor(tone(600, 100.0, 16_000.0)), &mut ctx)
+            .unwrap();
+        let Sample::Tensor {
+            shape,
+            data: Some(t),
+            ..
+        } = short
+        else {
+            unreachable!()
+        };
         assert_eq!(shape, vec![1_000]);
-        assert!(t.as_f32()[600..].iter().all(|&v| v == 0.0), "padding is silence");
-        let long = pt.apply(Sample::tensor(tone(5_000, 100.0, 16_000.0)), &mut ctx);
+        assert!(
+            t.as_f32()[600..].iter().all(|&v| v == 0.0),
+            "padding is silence"
+        );
+        let long = pt
+            .apply(Sample::tensor(tone(5_000, 100.0, 16_000.0)), &mut ctx)
+            .unwrap();
         assert!(matches!(long, Sample::Tensor { ref shape, .. } if shape == &vec![1_000]));
     }
 
@@ -452,12 +545,44 @@ mod tests {
         let (machine, mut cpu, mut rng) = setup();
         let aug = SpecAugment::new(&machine, 8, 8);
         let t = Tensor::from_f32(&[16, 32], vec![1.0; 16 * 32]);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = aug.apply(Sample::tensor(t), &mut ctx);
-        let Sample::Tensor { data: Some(t), .. } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = aug.apply(Sample::tensor(t), &mut ctx).unwrap();
+        let Sample::Tensor { data: Some(t), .. } = out else {
+            unreachable!()
+        };
         let zeros = t.as_f32().iter().filter(|&&v| v == 0.0).count();
         assert!(zeros > 0, "some cells must be masked");
         assert!(zeros < 16 * 32, "not everything");
+    }
+
+    #[test]
+    fn non_waveform_inputs_yield_typed_errors() {
+        let (machine, mut cpu, mut rng) = setup();
+        let rs = Resample::new(&machine, 22_050, 16_000);
+        let aug = SpecAugment::new(&machine, 8, 8);
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+
+        // An image is not a waveform.
+        let err = rs.apply(Sample::image_meta(8, 8), &mut ctx).unwrap_err();
+        assert!(matches!(err, PipelineError::TypeMismatch { ref op, .. } if op == "Resample"));
+
+        // A 2-D tensor is not a waveform either.
+        let err = rs
+            .apply(Sample::tensor_meta(&[4, 4], DType::F32), &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::TypeMismatch { .. }));
+
+        // SpecAugment on a 1-D tensor: wrong rank.
+        let err = aug
+            .apply(Sample::tensor_meta(&[64], DType::F32), &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::ShapeMismatch { ref op, .. } if op == "SpecAugment"));
     }
 
     #[test]
@@ -467,6 +592,9 @@ mod tests {
         assert_eq!(mel.frames_for(100), 1);
         assert_eq!(mel.frames_for(1024), 1);
         assert_eq!(mel.frames_for(1025), 2);
-        assert_eq!(mel.frames_for(16_000), 1 + (16_000usize - 1024).div_ceil(512));
+        assert_eq!(
+            mel.frames_for(16_000),
+            1 + (16_000usize - 1024).div_ceil(512)
+        );
     }
 }

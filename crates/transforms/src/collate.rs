@@ -3,6 +3,7 @@
 use lotus_data::{DType, Tensor};
 use lotus_uarch::{CostCoeffs, KernelId, Machine};
 
+use crate::error::PipelineError;
 use crate::sample::{Batch, Sample};
 use crate::transform::TransformCtx;
 
@@ -57,26 +58,53 @@ impl Collate {
 
     /// Collates `samples` into a batch, charging kernel costs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples` is empty, contains non-tensor samples, or the
-    /// samples disagree on shape/dtype (the same conditions under which
-    /// PyTorch's `default_collate` raises).
-    #[must_use]
-    pub fn apply(&self, samples: Vec<Sample>, ctx: &mut TransformCtx<'_>) -> Batch {
-        assert!(!samples.is_empty(), "cannot collate an empty batch");
+    /// Returns [`PipelineError::Collate`] if `samples` is empty, contains
+    /// non-tensor samples, or the samples disagree on shape/dtype (the same
+    /// conditions under which PyTorch's `default_collate` raises).
+    pub fn apply(
+        &self,
+        samples: Vec<Sample>,
+        ctx: &mut TransformCtx<'_>,
+    ) -> Result<Batch, PipelineError> {
+        if samples.is_empty() {
+            return Err(PipelineError::Collate {
+                reason: "cannot collate an empty batch".to_string(),
+            });
+        }
         let (first_shape, dtype) = match &samples[0] {
             Sample::Tensor { shape, dtype, .. } => (shape.clone(), *dtype),
-            Sample::Image { .. } => panic!("collate expects tensor samples (apply ToTensor first)"),
+            Sample::Image { .. } => {
+                return Err(PipelineError::Collate {
+                    reason: "collate expects tensor samples (apply ToTensor first)".to_string(),
+                })
+            }
         };
         let mut total_bytes = 0u64;
         for s in &samples {
             match s {
-                Sample::Tensor { shape, dtype: d, .. } => {
-                    assert_eq!(shape, &first_shape, "ragged batch: shapes differ");
-                    assert_eq!(*d, dtype, "ragged batch: dtypes differ");
+                Sample::Tensor {
+                    shape, dtype: d, ..
+                } => {
+                    if shape != &first_shape {
+                        return Err(PipelineError::Collate {
+                            reason: format!(
+                                "ragged batch: shapes differ ({first_shape:?} vs {shape:?})"
+                            ),
+                        });
+                    }
+                    if *d != dtype {
+                        return Err(PipelineError::Collate {
+                            reason: format!("ragged batch: dtypes differ ({dtype:?} vs {d:?})"),
+                        });
+                    }
                 }
-                Sample::Image { .. } => panic!("collate expects tensor samples"),
+                Sample::Image { .. } => {
+                    return Err(PipelineError::Collate {
+                        reason: "collate expects tensor samples".to_string(),
+                    })
+                }
             }
             total_bytes += s.bytes();
         }
@@ -89,7 +117,12 @@ impl Collate {
 
         let all_materialized = samples.iter().all(Sample::is_materialized);
         let data = all_materialized.then(|| stack_tensors(&samples, &shape, dtype));
-        Batch { len: samples.len(), shape, bytes: total_bytes, data }
+        Ok(Batch {
+            len: samples.len(),
+            shape,
+            bytes: total_bytes,
+            data,
+        })
     }
 }
 
@@ -98,7 +131,9 @@ fn stack_tensors(samples: &[Sample], shape: &[usize], dtype: DType) -> Tensor {
         DType::F32 => {
             let mut out = Vec::with_capacity(shape.iter().product());
             for s in samples {
-                let Sample::Tensor { data: Some(t), .. } = s else { unreachable!() };
+                let Sample::Tensor { data: Some(t), .. } = s else {
+                    unreachable!()
+                };
                 out.extend_from_slice(t.as_f32());
             }
             Tensor::from_f32(shape, out)
@@ -106,7 +141,9 @@ fn stack_tensors(samples: &[Sample], shape: &[usize], dtype: DType) -> Tensor {
         DType::U8 => {
             let mut out = Vec::with_capacity(shape.iter().product());
             for s in samples {
-                let Sample::Tensor { data: Some(t), .. } = s else { unreachable!() };
+                let Sample::Tensor { data: Some(t), .. } = s else {
+                    unreachable!()
+                };
                 out.extend_from_slice(t.as_u8());
             }
             Tensor::from_u8(shape, out)
@@ -117,8 +154,8 @@ fn stack_tensors(samples: &[Sample], shape: &[usize], dtype: DType) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lotus_uarch::{CpuThread, MachineConfig};
     use lotus_uarch::Machine as M;
+    use lotus_uarch::{CpuThread, MachineConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -133,10 +170,14 @@ mod tests {
     fn collate_stacks_meta_samples() {
         let (machine, mut cpu, mut rng) = setup();
         let collate = Collate::new(&machine);
-        let samples: Vec<Sample> =
-            (0..4).map(|_| Sample::tensor_meta(&[3, 8, 8], DType::F32)).collect();
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let batch = collate.apply(samples, &mut ctx);
+        let samples: Vec<Sample> = (0..4)
+            .map(|_| Sample::tensor_meta(&[3, 8, 8], DType::F32))
+            .collect();
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let batch = collate.apply(samples, &mut ctx).unwrap();
         assert_eq!(batch.len, 4);
         assert_eq!(batch.shape, vec![4, 3, 8, 8]);
         assert_eq!(batch.bytes, 4 * 3 * 8 * 8 * 4);
@@ -151,8 +192,11 @@ mod tests {
         let samples: Vec<Sample> = (0..2)
             .map(|i| Sample::tensor(Tensor::from_f32(&[2], vec![i as f32, i as f32 + 0.5])))
             .collect();
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let batch = collate.apply(samples, &mut ctx);
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let batch = collate.apply(samples, &mut ctx).unwrap();
         let t = batch.data.unwrap();
         assert_eq!(t.shape(), &[2, 2]);
         assert_eq!(t.as_f32(), &[0.0, 0.5, 1.0, 1.5]);
@@ -165,9 +209,13 @@ mod tests {
         let cost = |n: usize| {
             let mut cpu = CpuThread::new(Arc::clone(&machine));
             let mut rng = StdRng::seed_from_u64(1);
-            let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-            let samples: Vec<Sample> =
-                (0..n).map(|_| Sample::tensor_meta(&[3, 224, 224], DType::F32)).collect();
+            let mut ctx = TransformCtx {
+                cpu: &mut cpu,
+                rng: &mut rng,
+            };
+            let samples: Vec<Sample> = (0..n)
+                .map(|_| Sample::tensor_meta(&[3, 224, 224], DType::F32))
+                .collect();
             let _ = collate.apply(samples, &mut ctx);
             cpu.cursor().as_nanos()
         };
@@ -177,7 +225,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ragged batch")]
     fn ragged_batches_are_rejected() {
         let (machine, mut cpu, mut rng) = setup();
         let collate = Collate::new(&machine);
@@ -185,8 +232,34 @@ mod tests {
             Sample::tensor_meta(&[3, 8, 8], DType::F32),
             Sample::tensor_meta(&[3, 9, 9], DType::F32),
         ];
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let _ = collate.apply(samples, &mut ctx);
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let err = collate.apply(samples, &mut ctx).unwrap_err();
+        let PipelineError::Collate { reason } = &err else {
+            panic!("expected a collate error, got {err:?}")
+        };
+        assert!(reason.contains("ragged batch"), "reason: {reason}");
+        assert_eq!(err.op(), None);
+    }
+
+    #[test]
+    fn empty_and_image_batches_are_rejected() {
+        let (machine, mut cpu, mut rng) = setup();
+        let collate = Collate::new(&machine);
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        assert!(matches!(
+            collate.apply(Vec::new(), &mut ctx),
+            Err(PipelineError::Collate { .. })
+        ));
+        assert!(matches!(
+            collate.apply(vec![Sample::image_meta(8, 8)], &mut ctx),
+            Err(PipelineError::Collate { .. })
+        ));
     }
 
     #[test]

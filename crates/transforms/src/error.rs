@@ -1,0 +1,141 @@
+//! Typed errors for the preprocessing pipeline.
+//!
+//! Every failure reachable from `Dataset::get_item` — a transform fed the
+//! wrong sample variant, a ragged batch handed to collation, a corrupt
+//! record, or a deliberately injected fault — surfaces as a
+//! [`PipelineError`] instead of a panic, mirroring how a PyTorch worker
+//! wraps exceptions in an `ExceptionWrapper` rather than crashing the
+//! interpreter.
+
+use crate::sample::Sample;
+
+/// An error produced while loading, transforming or collating a sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A transform received a sample variant it cannot process (e.g. an
+    /// audio transform fed an image).
+    TypeMismatch {
+        /// The transform that rejected the sample.
+        op: String,
+        /// What the transform expected (e.g. `"an image sample"`).
+        expected: &'static str,
+        /// A description of what it actually received.
+        got: String,
+    },
+    /// A transform received a tensor of unexpected shape or dtype.
+    ShapeMismatch {
+        /// The transform that rejected the tensor.
+        op: String,
+        /// What the transform expected.
+        expected: String,
+        /// A description of what it actually received.
+        got: String,
+    },
+    /// Batch collation failed (empty batch, ragged shapes, mixed dtypes).
+    Collate {
+        /// Why the batch could not be collated.
+        reason: String,
+    },
+    /// Decoding a stored record failed (a corrupt file in the dataset).
+    Decode {
+        /// The dataset index of the corrupt record.
+        index: u64,
+        /// Why the decode failed.
+        reason: String,
+    },
+    /// A fault-injection plan deliberately failed this sample.
+    Injected {
+        /// The operation the injected error reports.
+        op: String,
+        /// The dataset index of the failed sample.
+        index: u64,
+    },
+}
+
+impl PipelineError {
+    /// Convenience constructor for the common "wrong sample variant" case.
+    #[must_use]
+    pub fn type_mismatch(op: &str, expected: &'static str, got: &Sample) -> PipelineError {
+        PipelineError::TypeMismatch {
+            op: op.to_string(),
+            expected,
+            got: got.kind_name(),
+        }
+    }
+
+    /// The operation name the error is attributed to, when it has one.
+    #[must_use]
+    pub fn op(&self) -> Option<&str> {
+        match self {
+            PipelineError::TypeMismatch { op, .. }
+            | PipelineError::ShapeMismatch { op, .. }
+            | PipelineError::Injected { op, .. } => Some(op),
+            PipelineError::Collate { .. } | PipelineError::Decode { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::TypeMismatch { op, expected, got } => {
+                write!(f, "{op} expects {expected}, got {got}")
+            }
+            PipelineError::ShapeMismatch { op, expected, got } => {
+                write!(f, "{op} expects {expected}, got {got}")
+            }
+            PipelineError::Collate { reason } => write!(f, "collate failed: {reason}"),
+            PipelineError::Decode { index, reason } => {
+                write!(f, "decoding sample {index} failed: {reason}")
+            }
+            PipelineError::Injected { op, index } => {
+                write!(f, "injected fault in {op} on sample {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_op_and_sample() {
+        let e = PipelineError::Injected {
+            op: "Decode".into(),
+            index: 42,
+        };
+        assert_eq!(e.to_string(), "injected fault in Decode on sample 42");
+        assert_eq!(e.op(), Some("Decode"));
+    }
+
+    #[test]
+    fn type_mismatch_describes_the_actual_sample() {
+        let sample = Sample::image_meta(480, 640);
+        let e = PipelineError::type_mismatch("ToTensor", "an image sample", &sample);
+        let msg = e.to_string();
+        assert!(msg.contains("ToTensor"), "{msg}");
+        assert!(msg.contains("480"), "{msg}");
+    }
+
+    #[test]
+    fn collate_and_decode_have_no_op_attribution() {
+        assert_eq!(
+            PipelineError::Collate {
+                reason: "empty".into()
+            }
+            .op(),
+            None
+        );
+        assert_eq!(
+            PipelineError::Decode {
+                index: 0,
+                reason: "bad".into()
+            }
+            .op(),
+            None
+        );
+    }
+}

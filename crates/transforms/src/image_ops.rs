@@ -4,6 +4,7 @@ use lotus_data::{DType, Image, Tensor};
 use lotus_uarch::{CostCoeffs, KernelId, Machine, Vendor};
 use rand::Rng;
 
+use crate::error::PipelineError;
 use crate::sample::Sample;
 use crate::transform::{Transform, TransformCtx};
 
@@ -99,7 +100,14 @@ impl ResampleKernels {
     /// Charges the two-pass resample of a `src_h × src_w` region to
     /// `out_h × out_w` (Pillow-style: horizontal pass then vertical pass,
     /// with tap counts growing with the downscale factor).
-    fn charge(&self, ctx: &mut TransformCtx<'_>, src_h: usize, src_w: usize, out_h: usize, out_w: usize) {
+    fn charge(
+        &self,
+        ctx: &mut TransformCtx<'_>,
+        src_h: usize,
+        src_w: usize,
+        out_h: usize,
+        out_w: usize,
+    ) {
         let taps_h = (src_w as f64 / out_w as f64).max(1.0) * 2.0;
         let taps_v = (src_h as f64 / out_h as f64).max(1.0) * 2.0;
         // Coefficient precomputation scales with output extent × filter
@@ -108,10 +116,14 @@ impl ResampleKernels {
             self.precompute_coeffs,
             (out_w as f64).mul_add(taps_h, out_h as f64 * taps_v),
         );
-        ctx.cpu
-            .exec(self.horizontal, (src_h * out_w * Image::CHANNELS) as f64 * taps_h);
-        ctx.cpu
-            .exec(self.vertical, (out_h * out_w * Image::CHANNELS) as f64 * taps_v);
+        ctx.cpu.exec(
+            self.horizontal,
+            (src_h * out_w * Image::CHANNELS) as f64 * taps_h,
+        );
+        ctx.cpu.exec(
+            self.vertical,
+            (out_h * out_w * Image::CHANNELS) as f64 * taps_v,
+        );
         // Pillow moves the horizontal pass's intermediate buffer
         // (src_h × out_w) plus the final output.
         let moved_bytes = ((src_h * out_w + out_h * out_w) * Image::CHANNELS) as f64;
@@ -170,7 +182,9 @@ pub struct RandomResizedCrop {
 
 impl std::fmt::Debug for RandomResizedCrop {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RandomResizedCrop").field("size", &self.size).finish()
+        f.debug_struct("RandomResizedCrop")
+            .field("size", &self.size)
+            .finish()
     }
 }
 
@@ -195,7 +209,12 @@ impl RandomResizedCrop {
     /// Picks the crop rectangle `(top, left, h, w)` for an input of
     /// `height × width`, following torchvision's 10-attempt algorithm with
     /// a center-crop fallback.
-    fn pick_region(&self, height: usize, width: usize, rng: &mut impl Rng) -> (usize, usize, usize, usize) {
+    fn pick_region(
+        &self,
+        height: usize,
+        width: usize,
+        rng: &mut impl Rng,
+    ) -> (usize, usize, usize, usize) {
         let area = (height * width) as f64;
         for _ in 0..10 {
             let target_area = rng.gen_range(self.scale.0..=self.scale.1) * area;
@@ -229,9 +248,20 @@ impl Transform for RandomResizedCrop {
         "RandomResizedCrop"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Image { height, width, data } = sample else {
-            panic!("RandomResizedCrop expects an image sample");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (height, width, data) = match sample {
+            Sample::Image {
+                height,
+                width,
+                data,
+            } => (height, width, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "an image sample",
+                    &other,
+                ))
+            }
         };
         let (top, left, h, w) = self.pick_region(height, width, ctx.rng);
         self.kernels.charge(ctx, h, w, self.size, self.size);
@@ -239,7 +269,11 @@ impl Transform for RandomResizedCrop {
             let cropped = crop(&img, top, left, h, w);
             resize_bilinear(&cropped, self.size, self.size)
         });
-        Sample::Image { height: self.size, width: self.size, data: out }
+        Ok(Sample::Image {
+            height: self.size,
+            width: self.size,
+            data: out,
+        })
     }
 }
 
@@ -253,7 +287,9 @@ pub struct Resize {
 
 impl std::fmt::Debug for Resize {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Resize").field("out", &(self.out_h, self.out_w)).finish()
+        f.debug_struct("Resize")
+            .field("out", &(self.out_h, self.out_w))
+            .finish()
     }
 }
 
@@ -266,7 +302,11 @@ impl Resize {
     #[must_use]
     pub fn new(machine: &Machine, out_h: usize, out_w: usize) -> Resize {
         assert!(out_h > 0 && out_w > 0, "resize target must be positive");
-        Resize { out_h, out_w, kernels: ResampleKernels::register(machine) }
+        Resize {
+            out_h,
+            out_w,
+            kernels: ResampleKernels::register(machine),
+        }
     }
 }
 
@@ -275,13 +315,29 @@ impl Transform for Resize {
         "Resize"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Image { height, width, data } = sample else {
-            panic!("Resize expects an image sample");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (height, width, data) = match sample {
+            Sample::Image {
+                height,
+                width,
+                data,
+            } => (height, width, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "an image sample",
+                    &other,
+                ))
+            }
         };
-        self.kernels.charge(ctx, height, width, self.out_h, self.out_w);
+        self.kernels
+            .charge(ctx, height, width, self.out_h, self.out_w);
         let out = data.map(|img| resize_bilinear(&img, self.out_h, self.out_w));
-        Sample::Image { height: self.out_h, width: self.out_w, data: out }
+        Ok(Sample::Image {
+            height: self.out_h,
+            width: self.out_w,
+            data: out,
+        })
     }
 }
 
@@ -293,7 +349,9 @@ pub struct RandomHorizontalFlip {
 
 impl std::fmt::Debug for RandomHorizontalFlip {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RandomHorizontalFlip").field("p", &self.p).finish()
+        f.debug_struct("RandomHorizontalFlip")
+            .field("p", &self.p)
+            .finish()
     }
 }
 
@@ -334,14 +392,30 @@ impl Transform for RandomHorizontalFlip {
         "RandomHorizontalFlip"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Image { height, width, data } = sample else {
-            panic!("RandomHorizontalFlip expects an image sample");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (height, width, data) = match sample {
+            Sample::Image {
+                height,
+                width,
+                data,
+            } => (height, width, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "an image sample",
+                    &other,
+                ))
+            }
         };
         if !ctx.rng.gen_bool(self.p) {
-            return Sample::Image { height, width, data };
+            return Ok(Sample::Image {
+                height,
+                width,
+                data,
+            });
         }
-        ctx.cpu.exec(self.flip_kernel, (height * width * Image::CHANNELS) as f64);
+        ctx.cpu
+            .exec(self.flip_kernel, (height * width * Image::CHANNELS) as f64);
         let out = data.map(|img| {
             let mut flipped = img.clone();
             for y in 0..height {
@@ -351,7 +425,11 @@ impl Transform for RandomHorizontalFlip {
             }
             flipped
         });
-        Sample::Image { height, width, data: out }
+        Ok(Sample::Image {
+            height,
+            width,
+            data: out,
+        })
     }
 }
 
@@ -402,9 +480,20 @@ impl Transform for ToTensor {
         "ToTensor"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Image { height, width, data } = sample else {
-            panic!("ToTensor expects an image sample");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (height, width, data) = match sample {
+            Sample::Image {
+                height,
+                width,
+                data,
+            } => (height, width, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "an image sample",
+                    &other,
+                ))
+            }
         };
         let elements = (height * width * Image::CHANNELS) as f64;
         ctx.cpu.exec(self.convert_kernel, elements);
@@ -423,7 +512,11 @@ impl Transform for ToTensor {
             }
             Tensor::from_f32(&shape, chw)
         });
-        Sample::Tensor { shape, dtype: DType::F32, data: out }
+        Ok(Sample::Tensor {
+            shape,
+            dtype: DType::F32,
+            data: out,
+        })
     }
 }
 
@@ -437,7 +530,10 @@ pub struct Normalize {
 
 impl std::fmt::Debug for Normalize {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Normalize").field("mean", &self.mean).field("std", &self.std).finish()
+        f.debug_struct("Normalize")
+            .field("mean", &self.mean)
+            .field("std", &self.std)
+            .finish()
     }
 }
 
@@ -482,11 +578,24 @@ impl Transform for Normalize {
         "Normalize"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Tensor { shape, dtype, data } = sample else {
-            panic!("Normalize expects a tensor sample");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (shape, dtype, data) = match sample {
+            Sample::Tensor { shape, dtype, data } => (shape, dtype, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "a tensor sample",
+                    &other,
+                ))
+            }
         };
-        assert_eq!(dtype, DType::F32, "Normalize requires an f32 tensor (apply ToTensor first)");
+        if dtype != DType::F32 {
+            return Err(PipelineError::ShapeMismatch {
+                op: self.name().to_string(),
+                expected: "an f32 tensor (apply ToTensor first)".to_string(),
+                got: format!("{dtype:?}"),
+            });
+        }
         let elements: usize = shape.iter().product();
         ctx.cpu.exec(self.sub_kernel, elements as f64);
         ctx.cpu.exec(self.div_kernel, elements as f64);
@@ -499,7 +608,11 @@ impl Transform for Normalize {
             }
             t
         });
-        Sample::Tensor { shape, dtype, data: out }
+        Ok(Sample::Tensor {
+            shape,
+            dtype,
+            data: out,
+        })
     }
 }
 
@@ -521,14 +634,31 @@ mod tests {
     fn rrc_outputs_requested_size_with_and_without_data() {
         let (machine, mut cpu, mut rng) = ctx_parts();
         let rrc = RandomResizedCrop::new(&machine, 224);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
 
-        let meta_out = rrc.apply(Sample::image_meta(500, 400), &mut ctx);
-        assert!(matches!(meta_out, Sample::Image { height: 224, width: 224, data: None }));
+        let meta_out = rrc.apply(Sample::image_meta(500, 400), &mut ctx).unwrap();
+        assert!(matches!(
+            meta_out,
+            Sample::Image {
+                height: 224,
+                width: 224,
+                data: None
+            }
+        ));
 
         let img = Image::synthetic(120, 90, &mut StdRng::seed_from_u64(1));
-        let real_out = rrc.apply(Sample::image(img), &mut ctx);
-        let Sample::Image { height, width, data } = real_out else { unreachable!() };
+        let real_out = rrc.apply(Sample::image(img), &mut ctx).unwrap();
+        let Sample::Image {
+            height,
+            width,
+            data,
+        } = real_out
+        else {
+            unreachable!()
+        };
         assert_eq!((height, width), (224, 224));
         assert_eq!(data.unwrap().len_bytes(), 224 * 224 * 3);
     }
@@ -540,7 +670,10 @@ mod tests {
         let time_for = |h: usize, w: usize| {
             let mut cpu = CpuThread::new(Arc::clone(&machine));
             let mut rng = StdRng::seed_from_u64(3);
-            let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+            let mut ctx = TransformCtx {
+                cpu: &mut cpu,
+                rng: &mut rng,
+            };
             let _ = rrc.apply(Sample::image_meta(h, w), &mut ctx);
             cpu.cursor().as_nanos()
         };
@@ -553,9 +686,18 @@ mod tests {
         let flip = RandomHorizontalFlip::new(&machine, 1.0);
         let mut img = Image::filled(2, 3, [0, 0, 0]);
         img.set_pixel(0, 0, [9, 9, 9]);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = flip.apply(Sample::image(img), &mut ctx);
-        let Sample::Image { data: Some(flipped), .. } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = flip.apply(Sample::image(img), &mut ctx).unwrap();
+        let Sample::Image {
+            data: Some(flipped),
+            ..
+        } = out
+        else {
+            unreachable!()
+        };
         assert_eq!(flipped.pixel(0, 2), [9, 9, 9]);
         assert_eq!(flipped.pixel(0, 0), [0, 0, 0]);
     }
@@ -564,7 +706,10 @@ mod tests {
     fn flip_probability_zero_is_free_and_identity() {
         let (machine, mut cpu, mut rng) = ctx_parts();
         let flip = RandomHorizontalFlip::new(&machine, 0.0);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
         let before = ctx.cpu.cursor();
         let _ = flip.apply(Sample::image_meta(224, 224), &mut ctx);
         assert_eq!(ctx.cpu.cursor(), before, "skipped flip must charge nothing");
@@ -576,9 +721,19 @@ mod tests {
         let tt = ToTensor::new(&machine);
         let mut img = Image::filled(2, 2, [255, 0, 128]);
         img.set_pixel(1, 1, [0, 255, 0]);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = tt.apply(Sample::image(img), &mut ctx);
-        let Sample::Tensor { shape, dtype, data: Some(t) } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = tt.apply(Sample::image(img), &mut ctx).unwrap();
+        let Sample::Tensor {
+            shape,
+            dtype,
+            data: Some(t),
+        } = out
+        else {
+            unreachable!()
+        };
         assert_eq!(shape, vec![3, 2, 2]);
         assert_eq!(dtype, DType::F32);
         let v = t.as_f32();
@@ -592,9 +747,14 @@ mod tests {
         let (machine, mut cpu, mut rng) = ctx_parts();
         let norm = Normalize::new(&machine, [0.5, 0.0, 0.0], [0.5, 1.0, 1.0]);
         let t = Tensor::from_f32(&[3, 1, 1], vec![1.0, 1.0, 1.0]);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = norm.apply(Sample::tensor(t), &mut ctx);
-        let Sample::Tensor { data: Some(t), .. } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = norm.apply(Sample::tensor(t), &mut ctx).unwrap();
+        let Sample::Tensor { data: Some(t), .. } = out else {
+            unreachable!()
+        };
         // channel 0: (1 - 0.5) / 0.5 = 1; channels 1, 2: (1 - 0) / 1 = 1.
         assert_eq!(t.as_f32(), &[1.0, 1.0, 1.0]);
     }
@@ -603,9 +763,44 @@ mod tests {
     fn resize_hits_exact_target() {
         let (machine, mut cpu, mut rng) = ctx_parts();
         let rs = Resize::new(&machine, 800, 1333);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = rs.apply(Sample::image_meta(480, 640), &mut ctx);
-        assert!(matches!(out, Sample::Image { height: 800, width: 1333, .. }));
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = rs.apply(Sample::image_meta(480, 640), &mut ctx).unwrap();
+        assert!(matches!(
+            out,
+            Sample::Image {
+                height: 800,
+                width: 1333,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_sample_variant_yields_typed_errors() {
+        let (machine, mut cpu, mut rng) = ctx_parts();
+        let tt = ToTensor::new(&machine);
+        let norm = Normalize::imagenet(&machine);
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+
+        // An image transform fed a tensor: TypeMismatch naming the op.
+        let tensor = Sample::tensor_meta(&[3, 8, 8], DType::F32);
+        let err = tt.apply(tensor, &mut ctx).unwrap_err();
+        assert!(matches!(err, PipelineError::TypeMismatch { ref op, .. } if op == "ToTensor"));
+
+        // Normalize on a u8 tensor: ShapeMismatch (wrong dtype).
+        let u8_tensor = Sample::tensor_meta(&[3, 8, 8], DType::U8);
+        let err = norm.apply(u8_tensor, &mut ctx).unwrap_err();
+        assert!(matches!(err, PipelineError::ShapeMismatch { ref op, .. } if op == "Normalize"));
+
+        // Normalize fed an image: TypeMismatch.
+        let err = norm.apply(Sample::image_meta(4, 4), &mut ctx).unwrap_err();
+        assert!(matches!(err, PipelineError::TypeMismatch { ref op, .. } if op == "Normalize"));
     }
 
     #[test]
@@ -636,7 +831,10 @@ mod tests {
             let (h, w) = (rng.gen_range(50..2000), rng.gen_range(50..2000));
             let (top, left, ch, cw) = rrc.pick_region(h, w, &mut rng);
             assert!(top + ch <= h, "crop escapes vertically: {top}+{ch} > {h}");
-            assert!(left + cw <= w, "crop escapes horizontally: {left}+{cw} > {w}");
+            assert!(
+                left + cw <= w,
+                "crop escapes horizontally: {left}+{cw} > {w}"
+            );
             assert!(ch > 0 && cw > 0);
         }
     }

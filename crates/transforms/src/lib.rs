@@ -32,7 +32,9 @@
 //! let mut cpu = CpuThread::new(Arc::clone(&machine));
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-//! let out = pipeline.apply(Sample::image_meta(500, 375), &mut ctx);
+//! let out = pipeline
+//!     .apply(Sample::image_meta(500, 375), &mut ctx)
+//!     .expect("an image sample satisfies every transform in the chain");
 //! assert_eq!(out.bytes(), 3 * 224 * 224 * 4);
 //! ```
 
@@ -40,6 +42,7 @@
 
 mod audio_ops;
 mod collate;
+mod error;
 mod image_ops;
 mod sample;
 mod transform;
@@ -47,6 +50,7 @@ mod volume_ops;
 
 pub use audio_ops::{MelSpectrogram, PadTrim, Resample, SpecAugment};
 pub use collate::Collate;
+pub use error::PipelineError;
 pub use image_ops::{Normalize, RandomHorizontalFlip, RandomResizedCrop, Resize, ToTensor};
 pub use sample::{Batch, Sample};
 pub use transform::{

@@ -34,19 +34,31 @@ impl Sample {
     /// A cost-only image sample.
     #[must_use]
     pub fn image_meta(height: usize, width: usize) -> Sample {
-        Sample::Image { height, width, data: None }
+        Sample::Image {
+            height,
+            width,
+            data: None,
+        }
     }
 
     /// A materialized image sample.
     #[must_use]
     pub fn image(image: Image) -> Sample {
-        Sample::Image { height: image.height(), width: image.width(), data: Some(image) }
+        Sample::Image {
+            height: image.height(),
+            width: image.width(),
+            data: Some(image),
+        }
     }
 
     /// A cost-only tensor sample.
     #[must_use]
     pub fn tensor_meta(shape: &[usize], dtype: DType) -> Sample {
-        Sample::Tensor { shape: shape.to_vec(), dtype, data: None }
+        Sample::Tensor {
+            shape: shape.to_vec(),
+            dtype,
+            data: None,
+        }
     }
 
     /// A materialized tensor sample.
@@ -74,6 +86,18 @@ impl Sample {
         match self {
             Sample::Image { .. } => self.elements(),
             Sample::Tensor { dtype, .. } => self.elements() * dtype.size_bytes() as u64,
+        }
+    }
+
+    /// A short human-readable description of the sample variant, used in
+    /// [`crate::PipelineError`] messages.
+    #[must_use]
+    pub fn kind_name(&self) -> String {
+        match self {
+            Sample::Image { height, width, .. } => format!("an image sample ({height}x{width})"),
+            Sample::Tensor { shape, dtype, .. } => {
+                format!("a tensor sample ({shape:?}, {dtype:?})")
+            }
         }
     }
 

@@ -5,6 +5,7 @@ use lotus_sim::{Span, Time};
 use lotus_uarch::{CostCoeffs, CpuThread, KernelId, Machine};
 use rand::rngs::StdRng;
 
+use crate::error::PipelineError;
 use crate::sample::Sample;
 
 /// Execution context handed to transforms: the simulated CPU to run
@@ -26,7 +27,13 @@ pub trait Transform: Send + Sync {
 
     /// Applies the transform, charging kernel costs to `ctx.cpu` and, when
     /// the sample is materialized, computing real output data.
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when the sample is not of the variant,
+    /// shape or dtype the transform requires — the analog of a Python
+    /// exception escaping a transform's `__call__` inside a worker.
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError>;
 }
 
 /// Observer of per-transform timing, the hook LotusTrace installs inside
@@ -80,7 +87,10 @@ pub struct Compose {
 impl std::fmt::Debug for Compose {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Compose")
-            .field("transforms", &self.transforms.iter().map(|t| t.name()).collect::<Vec<_>>())
+            .field(
+                "transforms",
+                &self.transforms.iter().map(|t| t.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -89,7 +99,10 @@ impl Compose {
     /// Creates a compose chain.
     #[must_use]
     pub fn new(machine: &Machine, transforms: Vec<Box<dyn Transform>>) -> Compose {
-        Compose { transforms, python_overhead: python_interp_kernel(machine) }
+        Compose {
+            transforms,
+            python_overhead: python_interp_kernel(machine),
+        }
     }
 
     /// Names of the chained transforms, in order.
@@ -111,29 +124,41 @@ impl Compose {
     }
 
     /// Applies the whole chain without observation.
-    #[must_use]
-    pub fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PipelineError`] raised by a chained transform.
+    pub fn apply(
+        &self,
+        sample: Sample,
+        ctx: &mut TransformCtx<'_>,
+    ) -> Result<Sample, PipelineError> {
         self.apply_observed(sample, ctx, &mut NullObserver)
     }
 
     /// Applies the whole chain, reporting each transform's `(name, start,
     /// elapsed)` to `observer` — the paper's Listing 3 instrumentation.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PipelineError`] raised by a chained transform;
+    /// transforms after the failing one are not run, mirroring Python
+    /// exception propagation out of `Compose.__call__`.
     pub fn apply_observed(
         &self,
         mut sample: Sample,
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
-    ) -> Sample {
+    ) -> Result<Sample, PipelineError> {
         for t in &self.transforms {
             let start = ctx.cpu.cursor();
             // Interpreter dispatch overhead for the Python-level call.
             ctx.cpu.exec(self.python_overhead, 0.0);
-            sample = t.apply(sample, ctx);
+            sample = t.apply(sample, ctx)?;
             let elapsed = ctx.cpu.cursor().since(start);
             observer.on_transform(t.name(), start, elapsed);
         }
-        sample
+        Ok(sample)
     }
 }
 
@@ -149,22 +174,28 @@ mod tests {
         fn name(&self) -> &str {
             self.0
         }
-        fn apply(&self, sample: Sample, _ctx: &mut TransformCtx<'_>) -> Sample {
-            sample
+        fn apply(
+            &self,
+            sample: Sample,
+            _ctx: &mut TransformCtx<'_>,
+        ) -> Result<Sample, PipelineError> {
+            Ok(sample)
         }
     }
 
     #[test]
     fn compose_applies_in_order_and_observes() {
         let machine = Machine::new(MachineConfig::cloudlab_c4130());
-        let compose =
-            Compose::new(&machine, vec![Box::new(Noop("A")), Box::new(Noop("B"))]);
+        let compose = Compose::new(&machine, vec![Box::new(Noop("A")), Box::new(Noop("B"))]);
         assert_eq!(compose.names(), ["A", "B"]);
         assert_eq!(compose.len(), 2);
 
         let mut cpu = CpuThread::new(Arc::clone(&machine));
         let mut rng = StdRng::seed_from_u64(0);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
         let mut seen = Vec::new();
         struct Rec<'a>(&'a mut Vec<(String, u64)>);
         impl TransformObserver for Rec<'_> {
@@ -172,7 +203,9 @@ mod tests {
                 self.0.push((name.to_string(), elapsed.as_nanos()));
             }
         }
-        let out = compose.apply_observed(Sample::image_meta(8, 8), &mut ctx, &mut Rec(&mut seen));
+        let out = compose
+            .apply_observed(Sample::image_meta(8, 8), &mut ctx, &mut Rec(&mut seen))
+            .unwrap();
         assert!(matches!(out, Sample::Image { .. }));
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0].0, "A");

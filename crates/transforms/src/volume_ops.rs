@@ -6,6 +6,7 @@ use lotus_data::{DType, Tensor};
 use lotus_uarch::{CostCoeffs, KernelId, Machine};
 use rand::Rng;
 
+use crate::error::PipelineError;
 use crate::sample::Sample;
 use crate::transform::{Transform, TransformCtx};
 
@@ -26,8 +27,19 @@ fn elementwise_cost(insts_per_unit: f64) -> CostCoeffs {
     }
 }
 
-fn volume_dims(shape: &[usize]) -> (usize, usize, usize) {
-    assert_eq!(shape.len(), 3, "volume ops expect 3-D tensors, got {shape:?}");
+fn volume_dims(op: &str, shape: &[usize]) -> Result<(usize, usize, usize), PipelineError> {
+    if shape.len() != 3 {
+        return Err(PipelineError::ShapeMismatch {
+            op: op.to_string(),
+            expected: "a 3-D volume tensor".to_string(),
+            got: format!("{shape:?}"),
+        });
+    }
+    Ok((shape[0], shape[1], shape[2]))
+}
+
+/// Dimensions of an already-validated 3-D shape (internal helpers only).
+fn dims3(shape: &[usize]) -> (usize, usize, usize) {
     (shape[0], shape[1], shape[2])
 }
 
@@ -60,9 +72,19 @@ impl RandBalancedCrop {
     ///
     /// Panics if `oversampling` is outside `[0, 1]` or the patch is empty.
     #[must_use]
-    pub fn new(machine: &Machine, patch: (usize, usize, usize), oversampling: f64) -> RandBalancedCrop {
-        assert!((0.0..=1.0).contains(&oversampling), "oversampling must be in [0,1]");
-        assert!(patch.0 > 0 && patch.1 > 0 && patch.2 > 0, "patch must be non-empty");
+    pub fn new(
+        machine: &Machine,
+        patch: (usize, usize, usize),
+        oversampling: f64,
+    ) -> RandBalancedCrop {
+        assert!(
+            (0.0..=1.0).contains(&oversampling),
+            "oversampling must be in [0,1]"
+        );
+        assert!(
+            patch.0 > 0 && patch.1 > 0 && patch.2 > 0,
+            "patch must be non-empty"
+        );
         RandBalancedCrop {
             patch,
             oversampling,
@@ -94,11 +116,18 @@ impl Transform for RandBalancedCrop {
         "RandBalancedCrop"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Tensor { shape, dtype, data } = sample else {
-            panic!("RandBalancedCrop expects a volume tensor");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (shape, dtype, data) = match sample {
+            Sample::Tensor { shape, dtype, data } => (shape, dtype, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "a volume tensor",
+                    &other,
+                ))
+            }
         };
-        let (d, h, w) = volume_dims(&shape);
+        let (d, h, w) = volume_dims(self.name(), &shape)?;
         let foreground = ctx.rng.gen_bool(self.oversampling);
         if foreground {
             // Scan the label volume for foreground voxels.
@@ -111,8 +140,7 @@ impl Transform for RandBalancedCrop {
         if foreground {
             // The foreground path materializes the patch (copy); the
             // random path returns a numpy view, which is free.
-            let patch_bytes: usize =
-                out_shape.iter().product::<usize>() * dtype.size_bytes();
+            let patch_bytes: usize = out_shape.iter().product::<usize>() * dtype.size_bytes();
             ctx.cpu.exec(self.copy_kernel, patch_bytes as f64);
         }
         let origin = (
@@ -121,7 +149,11 @@ impl Transform for RandBalancedCrop {
             ctx.rng.gen_range(0..=w.saturating_sub(self.patch.2)),
         );
         let out = data.map(|t| crop_volume(&t, &shape, origin, self.patch));
-        Sample::Tensor { shape: out_shape, dtype, data: out }
+        Ok(Sample::Tensor {
+            shape: out_shape,
+            dtype,
+            data: out,
+        })
     }
 }
 
@@ -133,7 +165,7 @@ fn crop_volume(
     origin: (usize, usize, usize),
     patch: (usize, usize, usize),
 ) -> Tensor {
-    let (d, h, w) = volume_dims(shape);
+    let (d, h, w) = dims3(shape);
     let src = t.as_f32();
     let mut out = Vec::with_capacity(patch.0 * patch.1 * patch.2);
     for z in 0..patch.0 {
@@ -161,7 +193,9 @@ pub struct RandomFlip3d {
 
 impl std::fmt::Debug for RandomFlip3d {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RandomFlip3d").field("axis_p", &self.axis_p).finish()
+        f.debug_struct("RandomFlip3d")
+            .field("axis_p", &self.axis_p)
+            .finish()
     }
 }
 
@@ -174,7 +208,10 @@ impl RandomFlip3d {
     /// Panics if `axis_p` is outside `[0, 1]`.
     #[must_use]
     pub fn new(machine: &Machine, axis_p: f64) -> RandomFlip3d {
-        assert!((0.0..=1.0).contains(&axis_p), "probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&axis_p),
+            "probability must be in [0,1]"
+        );
         RandomFlip3d {
             axis_p,
             flip_kernel: machine.kernel(
@@ -202,24 +239,36 @@ impl Transform for RandomFlip3d {
         "RandomFlip"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Tensor { shape, dtype, data } = sample else {
-            panic!("RandomFlip expects a volume tensor");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (shape, dtype, data) = match sample {
+            Sample::Tensor { shape, dtype, data } => (shape, dtype, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "a volume tensor",
+                    &other,
+                ))
+            }
         };
+        volume_dims(self.name(), &shape)?;
         let axes: Vec<bool> = (0..3).map(|_| ctx.rng.gen_bool(self.axis_p)).collect();
         let flips = axes.iter().filter(|&&f| f).count();
         if flips == 0 {
-            return Sample::Tensor { shape, dtype, data };
+            return Ok(Sample::Tensor { shape, dtype, data });
         }
         let bytes: usize = shape.iter().product::<usize>() * dtype.size_bytes();
         ctx.cpu.exec(self.flip_kernel, (bytes * flips) as f64);
         let out = data.map(|t| flip_volume(&t, &shape, &axes));
-        Sample::Tensor { shape, dtype, data: out }
+        Ok(Sample::Tensor {
+            shape,
+            dtype,
+            data: out,
+        })
     }
 }
 
 fn flip_volume(t: &Tensor, shape: &[usize], axes: &[bool]) -> Tensor {
-    let (d, h, w) = volume_dims(shape);
+    let (d, h, w) = dims3(shape);
     let src = t.as_f32();
     let mut out = vec![0.0f32; src.len()];
     for z in 0..d {
@@ -251,7 +300,9 @@ impl Cast {
     /// Creates the transform.
     #[must_use]
     pub fn new(machine: &Machine) -> Cast {
-        Cast { cast_kernel: machine.kernel("np_cast_f32_u8", NUMPY, elementwise_cost(1.2)) }
+        Cast {
+            cast_kernel: machine.kernel("np_cast_f32_u8", NUMPY, elementwise_cost(1.2)),
+        }
     }
 }
 
@@ -260,17 +311,28 @@ impl Transform for Cast {
         "Cast"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Tensor { shape, dtype, data } = sample else {
-            panic!("Cast expects a tensor");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (shape, dtype, data) = match sample {
+            Sample::Tensor { shape, dtype, data } => (shape, dtype, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "a tensor sample",
+                    &other,
+                ))
+            }
         };
         if dtype == DType::U8 {
-            return Sample::Tensor { shape, dtype, data };
+            return Ok(Sample::Tensor { shape, dtype, data });
         }
         let elements: usize = shape.iter().product();
         ctx.cpu.exec(self.cast_kernel, elements as f64);
         let out = data.map(|t| t.to_u8_saturating());
-        Sample::Tensor { shape, dtype: DType::U8, data: out }
+        Ok(Sample::Tensor {
+            shape,
+            dtype: DType::U8,
+            data: out,
+        })
     }
 }
 
@@ -285,7 +347,9 @@ pub struct RandomBrightnessAugmentation {
 
 impl std::fmt::Debug for RandomBrightnessAugmentation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RandomBrightnessAugmentation").field("p", &self.p).finish()
+        f.debug_struct("RandomBrightnessAugmentation")
+            .field("p", &self.p)
+            .finish()
     }
 }
 
@@ -313,12 +377,19 @@ impl Transform for RandomBrightnessAugmentation {
         "RandomBrightnessAugmentation"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Tensor { shape, dtype, data } = sample else {
-            panic!("RandomBrightnessAugmentation expects a tensor");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (shape, dtype, data) = match sample {
+            Sample::Tensor { shape, dtype, data } => (shape, dtype, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "a tensor sample",
+                    &other,
+                ))
+            }
         };
         if !ctx.rng.gen_bool(self.p) {
-            return Sample::Tensor { shape, dtype, data };
+            return Ok(Sample::Tensor { shape, dtype, data });
         }
         let factor = ctx.rng.gen_range(self.factor_range.0..=self.factor_range.1) as f32;
         let elements: usize = shape.iter().product();
@@ -335,7 +406,11 @@ impl Transform for RandomBrightnessAugmentation {
             }
             t
         });
-        Sample::Tensor { shape, dtype, data: out }
+        Ok(Sample::Tensor {
+            shape,
+            dtype,
+            data: out,
+        })
     }
 }
 
@@ -350,7 +425,10 @@ pub struct GaussianNoise {
 
 impl std::fmt::Debug for GaussianNoise {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GaussianNoise").field("p", &self.p).field("std", &self.std).finish()
+        f.debug_struct("GaussianNoise")
+            .field("p", &self.p)
+            .field("std", &self.std)
+            .finish()
     }
 }
 
@@ -393,12 +471,19 @@ impl Transform for GaussianNoise {
         "GaussianNoise"
     }
 
-    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Sample {
-        let Sample::Tensor { shape, dtype, data } = sample else {
-            panic!("GaussianNoise expects a tensor");
+    fn apply(&self, sample: Sample, ctx: &mut TransformCtx<'_>) -> Result<Sample, PipelineError> {
+        let (shape, dtype, data) = match sample {
+            Sample::Tensor { shape, dtype, data } => (shape, dtype, data),
+            other => {
+                return Err(PipelineError::type_mismatch(
+                    self.name(),
+                    "a tensor sample",
+                    &other,
+                ))
+            }
         };
         if !ctx.rng.gen_bool(self.p) {
-            return Sample::Tensor { shape, dtype, data };
+            return Ok(Sample::Tensor { shape, dtype, data });
         }
         let elements: usize = shape.iter().product();
         ctx.cpu.exec(self.rng_kernel, elements as f64);
@@ -412,7 +497,11 @@ impl Transform for GaussianNoise {
             }
             t
         });
-        Sample::Tensor { shape, dtype, data: out }
+        Ok(Sample::Tensor {
+            shape,
+            dtype,
+            data: out,
+        })
     }
 }
 
@@ -443,7 +532,10 @@ mod tests {
         for seed in 0..200 {
             let mut cpu = CpuThread::new(Arc::clone(&machine));
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+            let mut ctx = TransformCtx {
+                cpu: &mut cpu,
+                rng: &mut rng,
+            };
             let _ = rbc.apply(meta_volume(200, 256, 256), &mut ctx);
             let ns = cpu.cursor().as_nanos();
             if ns < 100_000 {
@@ -462,10 +554,19 @@ mod tests {
     fn rbc_crops_to_patch_and_respects_small_volumes() {
         let (machine, mut cpu, mut rng) = setup();
         let rbc = RandBalancedCrop::new(&machine, (128, 128, 128), 0.4);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = rbc.apply(meta_volume(64, 300, 300), &mut ctx);
-        let Sample::Tensor { shape, .. } = out else { unreachable!() };
-        assert_eq!(shape, vec![128, 128, 128], "shallow volumes are padded to the patch");
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = rbc.apply(meta_volume(64, 300, 300), &mut ctx).unwrap();
+        let Sample::Tensor { shape, .. } = out else {
+            unreachable!()
+        };
+        assert_eq!(
+            shape,
+            vec![128, 128, 128],
+            "shallow volumes are padded to the patch"
+        );
     }
 
     #[test]
@@ -474,9 +575,19 @@ mod tests {
         let rbc = RandBalancedCrop::new(&machine, (2, 2, 2), 1.0);
         let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
         let t = Tensor::from_f32(&[4, 4, 4], data);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = rbc.apply(Sample::tensor(t), &mut ctx);
-        let Sample::Tensor { shape, data: Some(patch), .. } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = rbc.apply(Sample::tensor(t), &mut ctx).unwrap();
+        let Sample::Tensor {
+            shape,
+            data: Some(patch),
+            ..
+        } = out
+        else {
+            unreachable!()
+        };
         assert_eq!(shape, vec![2, 2, 2]);
         assert_eq!(patch.as_f32().len(), 8);
     }
@@ -501,7 +612,10 @@ mod tests {
         for seed in 0..3000 {
             let mut cpu = CpuThread::new(Arc::clone(&machine));
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+            let mut ctx = TransformCtx {
+                cpu: &mut cpu,
+                rng: &mut rng,
+            };
             let _ = rf.apply(meta_volume(16, 16, 16), &mut ctx);
             if cpu.cursor().as_nanos() == 0 {
                 noop += 1;
@@ -516,13 +630,34 @@ mod tests {
     fn cast_changes_dtype_and_is_idempotent() {
         let (machine, mut cpu, mut rng) = setup();
         let cast = Cast::new(&machine);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = cast.apply(Sample::tensor(Tensor::from_f32(&[2, 2, 2], vec![300.0; 8])), &mut ctx);
-        let Sample::Tensor { dtype, data: Some(t), .. } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = cast
+            .apply(
+                Sample::tensor(Tensor::from_f32(&[2, 2, 2], vec![300.0; 8])),
+                &mut ctx,
+            )
+            .unwrap();
+        let Sample::Tensor {
+            dtype,
+            data: Some(t),
+            ..
+        } = out
+        else {
+            unreachable!()
+        };
         assert_eq!(dtype, DType::U8);
         assert!(t.as_u8().iter().all(|&b| b == 255));
-        let again = cast.apply(Sample::tensor(t), &mut ctx);
-        assert!(matches!(again, Sample::Tensor { dtype: DType::U8, .. }));
+        let again = cast.apply(Sample::tensor(t), &mut ctx).unwrap();
+        assert!(matches!(
+            again,
+            Sample::Tensor {
+                dtype: DType::U8,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -536,7 +671,10 @@ mod tests {
             for (which, t) in [(&rba as &dyn Transform, 0), (&gn as &dyn Transform, 1)] {
                 let mut cpu = CpuThread::new(Arc::clone(&machine));
                 let mut rng = StdRng::seed_from_u64(seed * 2 + t);
-                let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+                let mut ctx = TransformCtx {
+                    cpu: &mut cpu,
+                    rng: &mut rng,
+                };
                 let _ = which.apply(meta_volume(8, 8, 8), &mut ctx);
                 if cpu.cursor().as_nanos() == 0 {
                     if t == 0 {
@@ -558,9 +696,40 @@ mod tests {
         let (machine, mut cpu, mut rng) = setup();
         let gn = GaussianNoise::new(&machine, 1.0, 0.5);
         let t = Tensor::from_f32(&[4, 4, 4], vec![0.0; 64]);
-        let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
-        let out = gn.apply(Sample::tensor(t), &mut ctx);
-        let Sample::Tensor { data: Some(t), .. } = out else { unreachable!() };
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let out = gn.apply(Sample::tensor(t), &mut ctx).unwrap();
+        let Sample::Tensor { data: Some(t), .. } = out else {
+            unreachable!()
+        };
         assert!(t.as_f32().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn non_volume_inputs_yield_typed_errors() {
+        let (machine, mut cpu, mut rng) = setup();
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+
+        let rbc = RandBalancedCrop::new(&machine, (2, 2, 2), 1.0);
+        let err = rbc.apply(Sample::image_meta(8, 8), &mut ctx).unwrap_err();
+        assert!(matches!(err, PipelineError::TypeMismatch { .. }));
+        assert_eq!(err.op(), Some("RandBalancedCrop"));
+
+        // A 2-D tensor is a tensor, but not a volume.
+        let rf = RandomFlip3d::new(&machine, 0.5);
+        let err = rf
+            .apply(Sample::tensor_meta(&[8, 8], DType::F32), &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::ShapeMismatch { .. }));
+        assert_eq!(err.op(), Some("RandomFlip"));
+
+        let cast = Cast::new(&machine);
+        let err = cast.apply(Sample::image_meta(8, 8), &mut ctx).unwrap_err();
+        assert!(matches!(err, PipelineError::TypeMismatch { .. }));
     }
 }

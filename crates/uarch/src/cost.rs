@@ -143,8 +143,17 @@ mod tests {
 
     #[test]
     fn streaming_kernels_are_dram_bound() {
-        let c = evaluate(&config(), &CostCoeffs::streaming_default(), 1_000_000.0, 0.0);
-        assert!(c.events.dram_bound_fraction() > 0.3, "{}", c.events.dram_bound_fraction());
+        let c = evaluate(
+            &config(),
+            &CostCoeffs::streaming_default(),
+            1_000_000.0,
+            0.0,
+        );
+        assert!(
+            c.events.dram_bound_fraction() > 0.3,
+            "{}",
+            c.events.dram_bound_fraction()
+        );
         assert!(c.events.frontend_bound_fraction() < 0.05);
     }
 

@@ -73,7 +73,11 @@ impl HwEvents {
     #[must_use]
     pub fn frontend_bound_fraction(&self) -> f64 {
         let total = self.total_slots();
-        if total == 0.0 { 0.0 } else { self.frontend_bound_slots / total }
+        if total == 0.0 {
+            0.0
+        } else {
+            self.frontend_bound_slots / total
+        }
     }
 
     /// Fraction of slots lost to loads serviced by local DRAM (VTune's
@@ -81,20 +85,32 @@ impl HwEvents {
     #[must_use]
     pub fn dram_bound_fraction(&self) -> f64 {
         let total = self.total_slots();
-        if total == 0.0 { 0.0 } else { self.dram_bound_slots / total }
+        if total == 0.0 {
+            0.0
+        } else {
+            self.dram_bound_slots / total
+        }
     }
 
     /// Micro-operations delivered to the backend per cycle (uop supply;
     /// low values indicate front-end undersupply).
     #[must_use]
     pub fn uops_per_cycle(&self) -> f64 {
-        if self.clockticks == 0.0 { 0.0 } else { self.uops / self.clockticks }
+        if self.clockticks == 0.0 {
+            0.0
+        } else {
+            self.uops / self.clockticks
+        }
     }
 
     /// Retired instructions per cycle.
     #[must_use]
     pub fn ipc(&self) -> f64 {
-        if self.clockticks == 0.0 { 0.0 } else { self.instructions / self.clockticks }
+        if self.clockticks == 0.0 {
+            0.0
+        } else {
+            self.instructions / self.clockticks
+        }
     }
 
     /// True if every counter is exactly zero.

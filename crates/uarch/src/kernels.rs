@@ -196,7 +196,10 @@ impl KernelRegistry {
 
     /// Iterates over `(id, spec)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (KernelId, &KernelSpec)> {
-        self.specs.iter().enumerate().map(|(i, s)| (KernelId(i as u32), s))
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (KernelId(i as u32), s))
     }
 }
 
@@ -238,7 +241,11 @@ mod tests {
         let mut reg = KernelRegistry::new();
         let mut cost = CostCoeffs::compute_default();
         cost.llc_miss_per_unit = cost.l2_miss_per_unit * 2.0;
-        reg.register(KernelSpec { name: "bad".into(), library: "x".into(), cost });
+        reg.register(KernelSpec {
+            name: "bad".into(),
+            library: "x".into(),
+            cost,
+        });
     }
 
     #[test]

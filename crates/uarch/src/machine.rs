@@ -155,7 +155,10 @@ impl Machine {
     /// returns its id. Registering the same name twice returns the existing
     /// id (so independent transform instances can share kernels).
     pub fn register_kernel(&self, spec: KernelSpec) -> KernelId {
-        self.registry.write().expect("registry poisoned").register(spec)
+        self.registry
+            .write()
+            .expect("registry poisoned")
+            .register(spec)
     }
 
     /// Convenience wrapper over [`Machine::register_kernel`].
@@ -174,13 +177,20 @@ impl Machine {
     /// Panics if the id does not belong to this machine.
     #[must_use]
     pub fn kernel_spec(&self, id: KernelId) -> KernelSpec {
-        self.registry.read().expect("registry poisoned").spec(id).clone()
+        self.registry
+            .read()
+            .expect("registry poisoned")
+            .spec(id)
+            .clone()
     }
 
     /// Looks up a kernel id by function name, if registered.
     #[must_use]
     pub fn kernel_by_name(&self, name: &str) -> Option<KernelId> {
-        self.registry.read().expect("registry poisoned").by_name(name)
+        self.registry
+            .read()
+            .expect("registry poisoned")
+            .by_name(name)
     }
 
     /// Number of registered kernels.
@@ -220,8 +230,14 @@ mod tests {
 
     #[test]
     fn vendors_have_paper_sampling_intervals() {
-        assert_eq!(Vendor::Intel.default_sampling_interval(), Span::from_millis(10));
-        assert_eq!(Vendor::Amd.default_sampling_interval(), Span::from_millis(1));
+        assert_eq!(
+            Vendor::Intel.default_sampling_interval(),
+            Span::from_millis(10)
+        );
+        assert_eq!(
+            Vendor::Amd.default_sampling_interval(),
+            Span::from_millis(1)
+        );
     }
 
     #[test]

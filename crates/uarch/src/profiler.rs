@@ -256,7 +256,11 @@ impl HwProfiler {
             .iter()
             .map(|(&id, &stats)| {
                 let spec = machine.kernel_spec(id);
-                FunctionProfile { name: spec.name, library: spec.library, stats }
+                FunctionProfile {
+                    name: spec.name,
+                    library: spec.library,
+                    stats,
+                }
             })
             .collect();
         rows.sort_by(|a, b| {
@@ -320,7 +324,10 @@ mod tests {
     fn mk_cost(elapsed_ns: u64) -> KernelCost {
         KernelCost {
             elapsed: Span::from_nanos(elapsed_ns),
-            events: HwEvents { clockticks: elapsed_ns as f64, ..HwEvents::ZERO },
+            events: HwEvents {
+                clockticks: elapsed_ns as f64,
+                ..HwEvents::ZERO
+            },
         }
     }
 
@@ -329,14 +336,21 @@ mod tests {
         let machine = Machine::new(MachineConfig::default());
         let k = machine.kernel("f", "lib", CostCoeffs::compute_default());
         let prof = HwProfiler::new(ProfilerConfig::counting());
-        let cost = evaluate(machine.config(), &CostCoeffs::compute_default(), 1000.0, 0.0);
+        let cost = evaluate(
+            machine.config(),
+            &CostCoeffs::compute_default(),
+            1000.0,
+            0.0,
+        );
         prof.record(&[], k, Time::ZERO, &cost);
         prof.record(&[], k, Time::from_nanos(500), &cost);
         let report = prof.report(&machine);
         assert_eq!(report.len(), 1);
         assert_eq!(report[0].name, "f");
         assert_eq!(report[0].stats.cpu_time, cost.elapsed * 2);
-        assert!((report[0].stats.events.instructions - 2.0 * cost.events.instructions).abs() < 1e-9);
+        assert!(
+            (report[0].stats.events.instructions - 2.0 * cost.events.instructions).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -401,7 +415,10 @@ mod tests {
         prof.record(&history, b, b_start, &mk_cost(2_000_000));
         let report = prof.report(&machine);
         assert_eq!(report.len(), 1);
-        assert_eq!(report[0].name, "prev_fn", "sample should skid to the previous function");
+        assert_eq!(
+            report[0].name, "prev_fn",
+            "sample should skid to the previous function"
+        );
     }
 
     #[test]
@@ -416,8 +433,11 @@ mod tests {
         // earlier (the paper's sleep() trick).
         let b_start = Time::from_nanos(10_000_000_000 - 50_000);
         let a_end = Time::from_nanos(b_start.as_nanos() - 1_000_000_000);
-        let history =
-            [Invocation { kernel: a, start: Time::from_nanos(0), end: a_end }];
+        let history = [Invocation {
+            kernel: a,
+            start: Time::from_nanos(0),
+            end: a_end,
+        }];
         prof.record(&history, b, b_start, &mk_cost(2_000_000));
         let report = prof.report(&machine);
         assert_eq!(report.len(), 1);

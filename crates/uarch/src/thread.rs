@@ -57,7 +57,12 @@ impl CpuThread {
     /// Creates a thread with the cursor at [`Time::ZERO`] and no profiler.
     #[must_use]
     pub fn new(machine: Arc<Machine>) -> CpuThread {
-        CpuThread { machine, profiler: None, cursor: Time::ZERO, recent: VecDeque::new() }
+        CpuThread {
+            machine,
+            profiler: None,
+            cursor: Time::ZERO,
+            recent: VecDeque::new(),
+        }
     }
 
     /// The machine this thread executes on.
@@ -110,7 +115,11 @@ impl CpuThread {
         if self.recent.len() == HISTORY {
             self.recent.pop_front();
         }
-        self.recent.push_back(Invocation { kernel, start, end: self.cursor });
+        self.recent.push_back(Invocation {
+            kernel,
+            start,
+            end: self.cursor,
+        });
         cost
     }
 
@@ -137,7 +146,10 @@ mod tests {
         let mut cpu = CpuThread::new(machine);
         let c1 = cpu.exec(k, 1000.0);
         let c2 = cpu.exec(k, 1000.0);
-        assert_eq!(cpu.cursor().as_nanos(), c1.elapsed.as_nanos() + c2.elapsed.as_nanos());
+        assert_eq!(
+            cpu.cursor().as_nanos(),
+            c1.elapsed.as_nanos() + c2.elapsed.as_nanos()
+        );
     }
 
     #[test]

@@ -11,29 +11,31 @@ use proptest::prelude::*;
 
 fn arb_cost() -> impl Strategy<Value = CostCoeffs> {
     (
-        0.0f64..10_000.0,  // base_insts
-        0.01f64..100.0,    // insts_per_unit
-        1.0f64..1.5,       // uops_per_inst
-        0.5f64..4.0,       // ipc_base
-        0.0f64..0.2,       // l1
-        0.0f64..1.0,       // l2 as fraction of l1
-        0.0f64..1.0,       // llc as fraction of l2
-        0.0f64..5.0,       // branches
-        0.0f64..0.2,       // mispredict
-        0.0f64..1.0,       // fe sensitivity
+        0.0f64..10_000.0, // base_insts
+        0.01f64..100.0,   // insts_per_unit
+        1.0f64..1.5,      // uops_per_inst
+        0.5f64..4.0,      // ipc_base
+        0.0f64..0.2,      // l1
+        0.0f64..1.0,      // l2 as fraction of l1
+        0.0f64..1.0,      // llc as fraction of l2
+        0.0f64..5.0,      // branches
+        0.0f64..0.2,      // mispredict
+        0.0f64..1.0,      // fe sensitivity
     )
-        .prop_map(|(base, ipu, upi, ipc, l1, l2f, llcf, br, mr, fe)| CostCoeffs {
-            base_insts: base,
-            insts_per_unit: ipu,
-            uops_per_inst: upi,
-            ipc_base: ipc,
-            l1_miss_per_unit: l1,
-            l2_miss_per_unit: l1 * l2f,
-            llc_miss_per_unit: l1 * l2f * llcf,
-            branches_per_unit: br,
-            mispredict_rate: mr,
-            frontend_sensitivity: fe,
-        })
+        .prop_map(
+            |(base, ipu, upi, ipc, l1, l2f, llcf, br, mr, fe)| CostCoeffs {
+                base_insts: base,
+                insts_per_unit: ipu,
+                uops_per_inst: upi,
+                ipc_base: ipc,
+                l1_miss_per_unit: l1,
+                l2_miss_per_unit: l1 * l2f,
+                llc_miss_per_unit: l1 * l2f * llcf,
+                branches_per_unit: br,
+                mispredict_rate: mr,
+                frontend_sensitivity: fe,
+            },
+        )
 }
 
 proptest! {

@@ -16,14 +16,28 @@ fn main() {
         let machine = Machine::new(MachineConfig::cloudlab_c4130());
         let trace = Arc::new(LotusTrace::new());
         let config = ExperimentConfig::paper_default(kind).scaled_to(items);
-        let report = config.build(&machine, Arc::clone(&trace) as _, None).run().unwrap();
-        println!("== {} ({} batches, E2E {:.1}s) ==", kind.abbrev(), report.batches, report.elapsed.as_secs_f64());
-        println!("{:<28} {:>9} {:>9} {:>8} {:>8}", "op", "avg ms", "p90 ms", "<10ms%", "<100us%");
+        let report = config
+            .build(&machine, Arc::clone(&trace) as _, None)
+            .run()
+            .unwrap();
+        println!(
+            "== {} ({} batches, E2E {:.1}s) ==",
+            kind.abbrev(),
+            report.batches,
+            report.elapsed.as_secs_f64()
+        );
+        println!(
+            "{:<28} {:>9} {:>9} {:>8} {:>8}",
+            "op", "avg ms", "p90 ms", "<10ms%", "<100us%"
+        );
         for op in trace.op_stats() {
             println!(
                 "{:<28} {:>9.2} {:>9.2} {:>8.1} {:>8.1}",
-                op.name, op.summary.mean, op.summary.p90,
-                op.frac_below_10ms * 100.0, op.frac_below_100us * 100.0
+                op.name,
+                op.summary.mean,
+                op.summary.p90,
+                op.frac_below_10ms * 100.0,
+                op.frac_below_100us * 100.0
             );
         }
     }

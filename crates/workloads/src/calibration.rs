@@ -25,7 +25,13 @@ pub struct OpTarget {
 
 /// Table II, IC block (batch 128, 1 GPU, 1 dataloader).
 pub const PAPER_TABLE2_IC: [OpTarget; 6] = [
-    OpTarget { op: "Loader", avg_ms: 4.76, p90_ms: 6.02, below_10ms: 0.9779, below_100us: 0.0 },
+    OpTarget {
+        op: "Loader",
+        avg_ms: 4.76,
+        p90_ms: 6.02,
+        below_10ms: 0.9779,
+        below_100us: 0.0,
+    },
     OpTarget {
         op: "RandomResizedCrop",
         avg_ms: 1.11,
@@ -40,14 +46,38 @@ pub const PAPER_TABLE2_IC: [OpTarget; 6] = [
         below_10ms: 1.0,
         below_100us: 0.983,
     },
-    OpTarget { op: "ToTensor", avg_ms: 0.34, p90_ms: 0.39, below_10ms: 1.0, below_100us: 0.0 },
-    OpTarget { op: "Normalize", avg_ms: 0.21, p90_ms: 0.23, below_10ms: 1.0, below_100us: 0.0 },
-    OpTarget { op: "C(128)", avg_ms: 49.76, p90_ms: 52.49, below_10ms: 0.0, below_100us: 0.0 },
+    OpTarget {
+        op: "ToTensor",
+        avg_ms: 0.34,
+        p90_ms: 0.39,
+        below_10ms: 1.0,
+        below_100us: 0.0,
+    },
+    OpTarget {
+        op: "Normalize",
+        avg_ms: 0.21,
+        p90_ms: 0.23,
+        below_10ms: 1.0,
+        below_100us: 0.0,
+    },
+    OpTarget {
+        op: "C(128)",
+        avg_ms: 49.76,
+        p90_ms: 52.49,
+        below_10ms: 0.0,
+        below_100us: 0.0,
+    },
 ];
 
 /// Table II, IS block (batch 2, 8 dataloaders).
 pub const PAPER_TABLE2_IS: [OpTarget; 7] = [
-    OpTarget { op: "Loader", avg_ms: 72.03, p90_ms: 130.94, below_10ms: 0.0, below_100us: 0.0 },
+    OpTarget {
+        op: "Loader",
+        avg_ms: 72.03,
+        p90_ms: 130.94,
+        below_10ms: 0.0,
+        below_100us: 0.0,
+    },
     OpTarget {
         op: "RandBalancedCrop",
         avg_ms: 91.10,
@@ -62,7 +92,13 @@ pub const PAPER_TABLE2_IS: [OpTarget; 7] = [
         below_10ms: 0.9523,
         below_100us: 0.2857,
     },
-    OpTarget { op: "Cast", avg_ms: 2.16, p90_ms: 4.32, below_10ms: 0.9821, below_100us: 0.0 },
+    OpTarget {
+        op: "Cast",
+        avg_ms: 2.16,
+        p90_ms: 4.32,
+        below_10ms: 0.9821,
+        below_100us: 0.0,
+    },
     OpTarget {
         op: "RandomBrightnessAugmentation",
         avg_ms: 0.78,
@@ -77,13 +113,31 @@ pub const PAPER_TABLE2_IS: [OpTarget; 7] = [
         below_10ms: 0.8869,
         below_100us: 0.8869,
     },
-    OpTarget { op: "C(2)", avg_ms: 14.24, p90_ms: 15.81, below_10ms: 0.0, below_100us: 0.0 },
+    OpTarget {
+        op: "C(2)",
+        avg_ms: 14.24,
+        p90_ms: 15.81,
+        below_10ms: 0.0,
+        below_100us: 0.0,
+    },
 ];
 
 /// Table II, OD block (batch 2, 4 dataloaders).
 pub const PAPER_TABLE2_OD: [OpTarget; 6] = [
-    OpTarget { op: "Loader", avg_ms: 9.59, p90_ms: 15.57, below_10ms: 0.5846, below_100us: 0.0 },
-    OpTarget { op: "Resize", avg_ms: 9.43, p90_ms: 11.56, below_10ms: 0.7654, below_100us: 0.0 },
+    OpTarget {
+        op: "Loader",
+        avg_ms: 9.59,
+        p90_ms: 15.57,
+        below_10ms: 0.5846,
+        below_100us: 0.0,
+    },
+    OpTarget {
+        op: "Resize",
+        avg_ms: 9.43,
+        p90_ms: 11.56,
+        below_10ms: 0.7654,
+        below_100us: 0.0,
+    },
     OpTarget {
         op: "RandomHorizontalFlip",
         avg_ms: 0.52,
@@ -91,9 +145,27 @@ pub const PAPER_TABLE2_OD: [OpTarget; 6] = [
         below_10ms: 1.0,
         below_100us: 0.4996,
     },
-    OpTarget { op: "ToTensor", avg_ms: 6.75, p90_ms: 12.86, below_10ms: 0.8768, below_100us: 0.0 },
-    OpTarget { op: "Normalize", avg_ms: 7.8, p90_ms: 12.6, below_10ms: 0.7996, below_100us: 0.0 },
-    OpTarget { op: "C(2)", avg_ms: 7.39, p90_ms: 10.44, below_10ms: 0.8713, below_100us: 0.0 },
+    OpTarget {
+        op: "ToTensor",
+        avg_ms: 6.75,
+        p90_ms: 12.86,
+        below_10ms: 0.8768,
+        below_100us: 0.0,
+    },
+    OpTarget {
+        op: "Normalize",
+        avg_ms: 7.8,
+        p90_ms: 12.6,
+        below_10ms: 0.7996,
+        below_100us: 0.0,
+    },
+    OpTarget {
+        op: "C(2)",
+        avg_ms: 7.39,
+        p90_ms: 10.44,
+        below_10ms: 0.8713,
+        below_100us: 0.0,
+    },
 ];
 
 /// Other headline measurements the models are calibrated against.
@@ -198,21 +270,27 @@ mod tests {
         let order_of = |ops: Vec<(&str, f64)>| {
             let mut v = ops;
             v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            v.into_iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>()
+            v.into_iter()
+                .map(|(n, _)| n.to_string())
+                .collect::<Vec<_>>()
         };
-        let paper_order =
-            order_of(PAPER_TABLE2_IC.iter().map(|t| (t.op, t.avg_ms)).collect());
+        let paper_order = order_of(PAPER_TABLE2_IC.iter().map(|t| (t.op, t.avg_ms)).collect());
         let measured_order = order_of(
             measured
                 .iter()
                 .map(|o| {
-                    let name: &str =
-                        PAPER_TABLE2_IC.iter().find(|t| t.op == o.name).map_or("", |t| t.op);
+                    let name: &str = PAPER_TABLE2_IC
+                        .iter()
+                        .find(|t| t.op == o.name)
+                        .map_or("", |t| t.op);
                     (name, o.summary.mean)
                 })
                 .filter(|(n, _)| !n.is_empty())
                 .collect(),
         );
-        assert_eq!(paper_order, measured_order, "per-op cost ordering must match");
+        assert_eq!(
+            paper_order, measured_order,
+            "per-op cost ordering must match"
+        );
     }
 }

@@ -6,7 +6,9 @@ use lotus_codec::Codec;
 use lotus_data::{AudioDatasetModel, DType, ImageDatasetModel, VolumeDatasetModel};
 use lotus_dataflow::Dataset;
 use lotus_sim::Time;
-use lotus_transforms::{python_interp_kernel, Compose, Sample, TransformCtx, TransformObserver};
+use lotus_transforms::{
+    python_interp_kernel, Compose, PipelineError, Sample, TransformCtx, TransformObserver,
+};
 use lotus_uarch::{CostCoeffs, KernelId, Machine};
 
 use crate::io::IoModel;
@@ -81,27 +83,32 @@ impl Dataset for ImageFolderDataset {
         index: u64,
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
-    ) -> Sample {
+    ) -> Result<Sample, PipelineError> {
         let record = self.model.record(index);
         let start = ctx.cpu.cursor();
         // Python-level dispatch (dataset __getitem__, PIL open).
         ctx.cpu.exec(self.python_overhead, 0.0);
         // File read from storage: off-CPU wait (with the straggler tail).
-        ctx.cpu.idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        ctx.cpu
+            .idle(self.io.read_span_with(record.file_bytes, ctx.rng));
         let sample = if self.materialize {
             // Real path: synthesize content, encode, decode. Encoding is
             // performed on a scratch thread so only decode cost lands in
             // the Loader span (the stored file was encoded offline).
             let image = record.materialize();
-            let mut scratch = lotus_uarch::CpuThread::new(std::sync::Arc::clone(
-                ctx.cpu.machine(),
-            ));
+            let mut scratch = lotus_uarch::CpuThread::new(std::sync::Arc::clone(ctx.cpu.machine()));
             let encoded = self.codec.encode(&image, 85, &mut scratch);
             let decoded =
-                self.codec.decode(&encoded, ctx.cpu).expect("self-encoded image must decode");
+                self.codec
+                    .decode(&encoded, ctx.cpu)
+                    .map_err(|e| PipelineError::Decode {
+                        index,
+                        reason: e.to_string(),
+                    })?;
             Sample::image(decoded)
         } else {
-            self.codec.charge_decode(record.width, record.height, record.file_bytes, ctx.cpu);
+            self.codec
+                .charge_decode(record.width, record.height, record.file_bytes, ctx.cpu);
             Sample::image_meta(record.height as usize, record.width as usize)
         };
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
@@ -173,15 +180,20 @@ impl Dataset for VolumeDataset {
         index: u64,
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
-    ) -> Sample {
+    ) -> Result<Sample, PipelineError> {
         let record = self.model.record(index % self.model.len());
         let start = ctx.cpu.cursor();
         ctx.cpu.exec(self.python_overhead, 0.0);
-        ctx.cpu.idle(self.io.read_span_with(record.stored_bytes, ctx.rng));
+        ctx.cpu
+            .idle(self.io.read_span_with(record.stored_bytes, ctx.rng));
         // numpy materializes the array from the raw bytes.
         ctx.cpu.exec(self.npy_read, record.stored_bytes as f64);
         let sample = Sample::tensor_meta(
-            &[record.dims.0 as usize, record.dims.1 as usize, record.dims.2 as usize],
+            &[
+                record.dims.0 as usize,
+                record.dims.1 as usize,
+                record.dims.2 as usize,
+            ],
             DType::F32,
         );
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
@@ -202,7 +214,9 @@ pub struct AudioClipDataset {
 
 impl std::fmt::Debug for AudioClipDataset {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AudioClipDataset").field("len", &self.model.len()).finish()
+        f.debug_struct("AudioClipDataset")
+            .field("len", &self.model.len())
+            .finish()
     }
 }
 
@@ -250,11 +264,12 @@ impl Dataset for AudioClipDataset {
         index: u64,
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
-    ) -> Sample {
+    ) -> Result<Sample, PipelineError> {
         let record = self.model.record(index);
         let start = ctx.cpu.cursor();
         ctx.cpu.exec(self.python_overhead, 0.0);
-        ctx.cpu.idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        ctx.cpu
+            .idle(self.io.read_span_with(record.file_bytes, ctx.rng));
         ctx.cpu.exec(self.flac_decode, record.samples as f64);
         let sample = Sample::tensor_meta(&[record.samples as usize], DType::F32);
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));

@@ -62,7 +62,9 @@ impl IoModel {
         let mut span = self.read_span(bytes);
         if self.straggler_prob > 0.0 && rng.gen_bool(self.straggler_prob) {
             let (lo, hi) = self.straggler_stall;
-            span += Span::from_nanos(rng.gen_range(lo.as_nanos()..=hi.as_nanos().max(lo.as_nanos() + 1)));
+            span += Span::from_nanos(
+                rng.gen_range(lo.as_nanos()..=hi.as_nanos().max(lo.as_nanos() + 1)),
+            );
         }
         span
     }
@@ -98,12 +100,20 @@ mod tests {
         let io = IoModel::cloudlab_iscsi();
         let mut rng = StdRng::seed_from_u64(1);
         let base = io.read_span(111_000);
-        let reads: Vec<Span> = (0..20_000).map(|_| io.read_span_with(111_000, &mut rng)).collect();
-        let stragglers = reads.iter().filter(|&&r| r > base + Span::from_millis(10)).count();
+        let reads: Vec<Span> = (0..20_000)
+            .map(|_| io.read_span_with(111_000, &mut rng))
+            .collect();
+        let stragglers = reads
+            .iter()
+            .filter(|&&r| r > base + Span::from_millis(10))
+            .count();
         let rate = stragglers as f64 / reads.len() as f64;
         assert!((0.002..0.007).contains(&rate), "straggler rate {rate}");
         let worst = reads.iter().max().unwrap();
-        assert!(*worst > base + Span::from_millis(100), "tail too light: {worst}");
+        assert!(
+            *worst > base + Span::from_millis(100),
+            "tail too light: {worst}"
+        );
     }
 
     #[test]

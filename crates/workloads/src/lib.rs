@@ -17,7 +17,7 @@
 //!     .scaled_to(256);
 //! let report = config.build(&machine, Arc::new(NullTracer), None).run()?;
 //! assert_eq!(report.samples, 256);
-//! # Ok::<(), lotus_sim::SimError>(())
+//! # Ok::<(), lotus_dataflow::JobError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -33,6 +33,6 @@ pub use datasets::{AudioClipDataset, ImageFolderDataset, MonotonicObserver, Volu
 pub use io::IoModel;
 pub use mapping::{build_ic_mapping, build_ic_mapping_for_batch};
 pub use pipelines::{
-    ac_transforms, gpu_step, ic_transforms, is_transforms, od_transforms,
-    paper_step_times_hold, ExperimentConfig, PipelineKind,
+    ac_transforms, gpu_step, ic_transforms, is_transforms, od_transforms, paper_step_times_hold,
+    ExperimentConfig, PipelineKind,
 };

@@ -95,7 +95,11 @@ pub fn build_ic_mapping_for_batch(
     ));
     mapping.insert(isolator.isolate(
         "Normalize",
-        apply(&norm, Sample::tensor_meta(&[3, 1024, 1024], DType::F32), python),
+        apply(
+            &norm,
+            Sample::tensor_meta(&[3, 1024, 1024], DType::F32),
+            python,
+        ),
         Some(apply(&tt, square.clone(), python)),
     ));
     mapping.insert(isolator.isolate(
@@ -108,7 +112,11 @@ pub fn build_ic_mapping_for_batch(
             let mut ctx = TransformCtx { cpu, rng };
             let _ = collate.apply(samples, &mut ctx);
         },
-        Some(apply(&norm, Sample::tensor_meta(&[3, 224, 224], DType::F32), python)),
+        Some(apply(
+            &norm,
+            Sample::tensor_meta(&[3, 224, 224], DType::F32),
+            python,
+        )),
     ));
 
     let mut filtered = Mapping::new();
@@ -127,7 +135,10 @@ mod tests {
     use lotus_uarch::MachineConfig;
 
     fn quick_config() -> IsolationConfig {
-        IsolationConfig { runs_override: Some(30), ..IsolationConfig::default() }
+        IsolationConfig {
+            runs_override: Some(30),
+            ..IsolationConfig::default()
+        }
     }
 
     #[test]
@@ -144,13 +155,19 @@ mod tests {
     fn rrc_bucket_contains_resample_but_not_decode() {
         let machine = Machine::new(MachineConfig::cloudlab_c4130());
         let mapping = build_ic_mapping(&machine, quick_config());
-        let rrc = mapping.functions_for("RandomResizedCrop").expect("RRC mapped");
+        let rrc = mapping
+            .functions_for("RandomResizedCrop")
+            .expect("RRC mapped");
         assert!(
             rrc.contains("ImagingResampleHorizontal_8bpc")
                 || rrc.contains("ImagingResampleVertical_8bpc"),
             "{rrc:?}"
         );
-        for leaked in ["decode_mcu", "__memcpy_avx_unaligned_erms", "jpeg_fill_bit_buffer"] {
+        for leaked in [
+            "decode_mcu",
+            "__memcpy_avx_unaligned_erms",
+            "jpeg_fill_bit_buffer",
+        ] {
             assert!(
                 !rrc.contains(leaked),
                 "{leaked} must not leak into the RRC bucket with the sleep gap on: {rrc:?}"
@@ -169,7 +186,9 @@ mod tests {
         let mapping = build_ic_mapping(&machine, config);
         // With skid unguarded, at least one bucket catches a predecessor
         // function (typically a Loader kernel inside RandomResizedCrop).
-        let rrc = mapping.functions_for("RandomResizedCrop").expect("RRC mapped");
+        let rrc = mapping
+            .functions_for("RandomResizedCrop")
+            .expect("RRC mapped");
         let loader_kernels = [
             "decode_mcu",
             "jpeg_idct_islow",

@@ -8,8 +8,8 @@ use lotus_dataflow::{DataLoaderConfig, GpuConfig, Sampler, Tracer, TrainingJob};
 use lotus_sim::Span;
 use lotus_transforms::{
     Cast, Compose, GaussianNoise, MelSpectrogram, Normalize, PadTrim, RandBalancedCrop,
-    RandomBrightnessAugmentation, RandomFlip3d, RandomHorizontalFlip, RandomResizedCrop,
-    Resample, Resize, SpecAugment, ToTensor,
+    RandomBrightnessAugmentation, RandomFlip3d, RandomHorizontalFlip, RandomResizedCrop, Resample,
+    Resize, SpecAugment, ToTensor,
 };
 use lotus_uarch::{HwProfiler, Machine};
 
@@ -175,6 +175,7 @@ impl ExperimentConfig {
             hw_profiler,
             seed: self.seed,
             epochs: 1,
+            faults: lotus_dataflow::FaultPlan::default(),
         }
     }
 }
@@ -262,9 +263,7 @@ pub fn ac_transforms(machine: &Machine) -> Compose {
 pub fn paper_step_times_hold() -> bool {
     let is = GpuConfig::v100(1, gpu_step::UNET3D_PER_SAMPLE).step_span(2);
     let od = GpuConfig::v100(1, gpu_step::MASKRCNN_PER_SAMPLE).step_span(2);
-    let near = |a: Span, target_ms: f64| {
-        (a.as_millis_f64() - target_ms).abs() / target_ms < 0.05
-    };
+    let near = |a: Span, target_ms: f64| (a.as_millis_f64() - target_ms).abs() / target_ms < 0.05;
     near(is, 750.0) && near(od, 250.0)
 }
 

@@ -16,7 +16,11 @@ use lotus::workloads::{ExperimentConfig, PipelineKind};
 
 fn mean_ms(spans: impl Iterator<Item = Span>) -> f64 {
     let v: Vec<f64> = spans.map(|s| s.as_millis_f64()).collect();
-    if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
 }
 
 fn main() -> Result<(), Box<dyn Error>> {

@@ -15,9 +15,7 @@ use lotus::core::trace::LotusTrace;
 use lotus::data::{AudioDatasetModel, DType};
 use lotus::dataflow::{GpuConfig, Pipeline, Source};
 use lotus::sim::Span;
-use lotus::transforms::{
-    MelSpectrogram, PadTrim, Resample, Sample, SpecAugment, TransformCtx,
-};
+use lotus::transforms::{MelSpectrogram, PadTrim, Resample, Sample, SpecAugment, TransformCtx};
 use lotus::uarch::{CostCoeffs, KernelId, Machine, MachineConfig};
 use lotus::workloads::IoModel;
 
@@ -35,7 +33,8 @@ impl Source for FlacSource {
 
     fn load(&self, index: u64, ctx: &mut TransformCtx<'_>) -> Sample {
         let record = self.model.record(index);
-        ctx.cpu.idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        ctx.cpu
+            .idle(self.io.read_span_with(record.file_bytes, ctx.rng));
         ctx.cpu.exec(self.decode, record.samples as f64);
         Sample::tensor_meta(&[record.samples as usize], DType::F32)
     }
@@ -49,7 +48,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         decode: machine.kernel(
             "FLAC__stream_decoder_process_single",
             "libFLAC.so.8",
-            CostCoeffs { base_insts: 3_000.0, insts_per_unit: 95.0, ..CostCoeffs::compute_default() },
+            CostCoeffs {
+                base_insts: 3_000.0,
+                insts_per_unit: 95.0,
+                ..CostCoeffs::compute_default()
+            },
         ),
     });
 
@@ -60,7 +63,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let report = Pipeline::from_source(source)
         .map(Box::new(Resample::new(&machine, 22_050, 16_000)))
         .map(Box::new(PadTrim::new(&machine, 64_000)))
-        .map(Box::new(MelSpectrogram::new(&machine, 16_000, 1024, 512, 64)))
+        .map(Box::new(MelSpectrogram::new(
+            &machine, 16_000, 1024, 512, 64,
+        )))
         .map(Box::new(SpecAugment::new(&machine, 16, 8)))
         .batch(64)
         .prefetch(2)
@@ -81,7 +86,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!("{:<20} {:>9} {:>9}", "stage", "avg ms", "P90 ms");
     for op in trace.op_stats() {
-        println!("{:<20} {:>9.2} {:>9.2}", op.name, op.summary.mean, op.summary.p90);
+        println!(
+            "{:<20} {:>9.2} {:>9.2}",
+            op.name, op.summary.mean, op.summary.p90
+        );
     }
     println!("\n{}", analyze(&trace.records()));
     Ok(())

@@ -13,9 +13,7 @@ use std::sync::Arc;
 use lotus::core::map::{required_runs, split_metrics, IsolationConfig};
 use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
 use lotus::sim::Span;
-use lotus::uarch::{
-    CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
-};
+use lotus::uarch::{CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig};
 use lotus::workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -49,8 +47,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Step 3 — split the per-function counters onto the Python ops using
     // LotusTrace's elapsed-time weights.
-    let op_times: BTreeMap<String, Span> =
-        trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    let op_times: BTreeMap<String, Span> = trace
+        .op_stats()
+        .iter()
+        .map(|o| (o.name.clone(), o.total_cpu))
+        .collect();
     let profile = hw.report(&machine);
     println!(
         "the profiler saw {} native functions; the mapping keeps the relevant ones\n",

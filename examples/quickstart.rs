@@ -23,9 +23,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The paper's IC pipeline (ImageNet + ResNet18), truncated to 4096
     // images so this example finishes in about a second.
-    let config = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
-        .scaled_to(4_096);
-    let report = config.build(&machine, Arc::clone(&trace) as _, None).run()?;
+    let config =
+        ExperimentConfig::paper_default(PipelineKind::ImageClassification).scaled_to(4_096);
+    let report = config
+        .build(&machine, Arc::clone(&trace) as _, None)
+        .run()?;
 
     println!(
         "epoch finished: {} batches, {} samples, {:.1}s of virtual time",

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use lotus::core::trace::LotusTrace;
 use lotus::data::dist::LogNormal;
 use lotus::data::ImageDatasetModel;
-use lotus::dataflow::{DataLoaderConfig, GpuConfig, TrainingJob};
+use lotus::dataflow::{DataLoaderConfig, FaultPlan, GpuConfig, TrainingJob};
 use lotus::sim::Span;
 use lotus::transforms::{Normalize, RandomHorizontalFlip, RandomResizedCrop, ToTensor};
 use lotus::uarch::{Machine, MachineConfig};
@@ -40,13 +40,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             Box::new(Normalize::imagenet(&machine)),
         ],
     );
-    let dataset = ImageFolderDataset::new(
-        &machine,
-        model,
-        IoModel::local_nvme(),
-        transforms,
-    )
-    .materialized(); // ← real pixels: synthesize → encode → decode
+    let dataset =
+        ImageFolderDataset::new(&machine, model, IoModel::local_nvme(), transforms).materialized(); // ← real pixels: synthesize → encode → decode
 
     let trace = Arc::new(LotusTrace::new());
     let report = TrainingJob {
@@ -62,6 +57,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         hw_profiler: None,
         seed: 7,
         epochs: 1,
+        faults: FaultPlan::default(),
     }
     .run()?;
 

@@ -37,7 +37,7 @@
 //! for op in trace.op_stats() {
 //!     println!("{:>28}: avg {:.2} ms", op.name, op.summary.mean);
 //! }
-//! # Ok::<(), lotus::sim::SimError>(())
+//! # Ok::<(), lotus::dataflow::JobError>(())
 //! ```
 
 #![warn(missing_docs)]

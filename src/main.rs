@@ -7,9 +7,7 @@ use std::error::Error;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use lotus::core::map::{
-    split_metrics, split_metrics_mix_aware, IsolationConfig, Mapping,
-};
+use lotus::core::map::{split_metrics, split_metrics_mix_aware, IsolationConfig, Mapping};
 use lotus::core::trace::chrome::{to_chrome_trace, ChromeTraceOptions};
 use lotus::core::trace::insights::analyze;
 use lotus::core::trace::viz::{render_timeline, TimelineOptions};
@@ -70,7 +68,9 @@ impl Args {
     fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: '{v}'")),
         }
     }
 
@@ -84,7 +84,9 @@ fn pipeline_of(name: &str) -> Result<PipelineKind, String> {
         "ic" => Ok(PipelineKind::ImageClassification),
         "is" => Ok(PipelineKind::ImageSegmentation),
         "od" => Ok(PipelineKind::ObjectDetection),
-        other => Err(format!("unknown pipeline '{other}' (expected ic, is or od)")),
+        other => Err(format!(
+            "unknown pipeline '{other}' (expected ic, is or od)"
+        )),
     }
 }
 
@@ -102,7 +104,9 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
 
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let trace = Arc::new(LotusTrace::new());
-    let report = config.build(&machine, Arc::clone(&trace) as _, None).run()?;
+    let report = config
+        .build(&machine, Arc::clone(&trace) as _, None)
+        .run()?;
     println!(
         "{}: {} batches / {} samples in {:.2}s of virtual time\n",
         kind.abbrev(),
@@ -110,7 +114,10 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
         report.samples,
         report.elapsed.as_secs_f64()
     );
-    println!("{:<30} {:>9} {:>9} {:>8} {:>8}", "op", "avg ms", "P90 ms", "<10ms %", "<100us %");
+    println!(
+        "{:<30} {:>9} {:>9} {:>8} {:>8}",
+        "op", "avg ms", "P90 ms", "<10ms %", "<100us %"
+    );
     for op in trace.op_stats() {
         println!(
             "{:<30} {:>9.2} {:>9.2} {:>8.2} {:>8.2}",
@@ -123,7 +130,10 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
     }
     println!("\n{}", analyze(&trace.records()));
     if args.has("timeline") {
-        println!("{}", render_timeline(&trace.records(), TimelineOptions::default()));
+        println!(
+            "{}",
+            render_timeline(&trace.records(), TimelineOptions::default())
+        );
     }
     if let Some(path) = args.flags.get("out") {
         let doc = to_chrome_trace(&trace.records(), ChromeTraceOptions { coarse: true });
@@ -175,9 +185,14 @@ fn cmd_attribute(args: &Args) -> Result<(), Box<dyn Error>> {
         mode: CollectionMode::Sampling,
         start_paused: false,
     }));
-    config.build(&machine, Arc::clone(&trace) as _, Some(Arc::clone(&hw))).run()?;
-    let op_times: BTreeMap<String, Span> =
-        trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    config
+        .build(&machine, Arc::clone(&trace) as _, Some(Arc::clone(&hw)))
+        .run()?;
+    let op_times: BTreeMap<String, Span> = trace
+        .op_stats()
+        .iter()
+        .map(|o| (o.name.clone(), o.total_cpu))
+        .collect();
     let profile = hw.report(&machine);
     if args.has("functions") {
         println!("-- per-function hardware profile (VTune µarch exploration) --");

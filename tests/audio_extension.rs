@@ -27,24 +27,35 @@ fn real_waveform_flows_through_the_whole_chain() {
 
     let mut cpu = CpuThread::new(Arc::clone(&machine));
     let mut rng = StdRng::seed_from_u64(1);
-    let mut ctx = TransformCtx { cpu: &mut cpu, rng: &mut rng };
+    let mut ctx = TransformCtx {
+        cpu: &mut cpu,
+        rng: &mut rng,
+    };
 
     let resample = Resample::new(&machine, 22_050, 16_000);
     let pad = PadTrim::new(&machine, 64_000);
     let mel = MelSpectrogram::new(&machine, 16_000, 1024, 512, 64);
     let aug = SpecAugment::new(&machine, 16, 8);
 
-    let out = aug.apply(
-        mel.apply(pad.apply(resample.apply(sample, &mut ctx), &mut ctx), &mut ctx),
-        &mut ctx,
-    );
-    let Sample::Tensor { shape, data: Some(features), .. } = out else {
+    let resampled = resample.apply(sample, &mut ctx).unwrap();
+    let padded = pad.apply(resampled, &mut ctx).unwrap();
+    let spectrogram = mel.apply(padded, &mut ctx).unwrap();
+    let out = aug.apply(spectrogram, &mut ctx).unwrap();
+    let Sample::Tensor {
+        shape,
+        data: Some(features),
+        ..
+    } = out
+    else {
         panic!("expected materialized features");
     };
     assert_eq!(shape[0], 64);
     assert_eq!(shape[1], mel.frames_for(64_000));
     let values = features.as_f32();
-    assert!(values.iter().any(|&v| v > 0.0), "tonal content must produce energy");
+    assert!(
+        values.iter().any(|&v| v > 0.0),
+        "tonal content must produce energy"
+    );
     assert!(values.iter().all(|&v| v.is_finite()));
 }
 
@@ -73,7 +84,9 @@ fn declared_audio_pipeline_traces_and_diagnoses() {
     }))
     .map(Box::new(Resample::new(&machine, 22_050, 16_000)))
     .map(Box::new(PadTrim::new(&machine, 64_000)))
-    .map(Box::new(MelSpectrogram::new(&machine, 16_000, 1024, 512, 64)))
+    .map(Box::new(MelSpectrogram::new(
+        &machine, 16_000, 1024, 512, 64,
+    )))
     .batch(32)
     .workers(2)
     .shuffle(9)
@@ -88,10 +101,17 @@ fn declared_audio_pipeline_traces_and_diagnoses() {
 
     let ops: Vec<String> = trace.op_stats().into_iter().map(|o| o.name).collect();
     for expected in ["Loader", "Resample", "PadTrim", "MelSpectrogram", "C(32)"] {
-        assert!(ops.contains(&expected.to_string()), "{expected} missing from {ops:?}");
+        assert!(
+            ops.contains(&expected.to_string()),
+            "{expected} missing from {ops:?}"
+        );
     }
     let insights = analyze(&trace.records());
-    assert_ne!(insights.verdict, Verdict::PreprocessingBound, "light source → not CPU-bound");
+    assert_ne!(
+        insights.verdict,
+        Verdict::PreprocessingBound,
+        "light source → not CPU-bound"
+    );
     assert!(!insights.recommendations.is_empty());
 }
 

@@ -1,0 +1,283 @@
+//! Integration tests for the fault-injection subsystem: worker kills with
+//! batch redispatch, injected sample errors surfacing as typed job errors,
+//! queue slowdowns, and the determinism of faulty runs.
+
+use std::sync::Arc;
+
+use lotus::core::trace::analysis::fault_summary;
+use lotus::core::trace::chrome::{to_chrome_trace, ChromeTraceOptions};
+use lotus::core::trace::{LotusTrace, SpanKind, TraceRecord};
+use lotus::data::DType;
+use lotus::dataflow::{
+    worker_os_pid, DataLoaderConfig, Dataset, FaultPlan, GpuConfig, JobError, JobReport, Sampler,
+    Tracer, TrainingJob,
+};
+use lotus::sim::{Span, Time};
+use lotus::transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
+use lotus::uarch::{CostCoeffs, KernelId, Machine, MachineConfig};
+
+/// A dataset with fixed per-item decode cost, enough to keep workers busy.
+struct StubDataset {
+    len: u64,
+    work_per_item: f64,
+    kernel: KernelId,
+}
+
+impl StubDataset {
+    fn new(machine: &Machine, len: u64, work_per_item: f64) -> StubDataset {
+        StubDataset {
+            len,
+            work_per_item,
+            kernel: machine.kernel("stub_decode", "libstub.so", CostCoeffs::compute_default()),
+        }
+    }
+}
+
+impl Dataset for StubDataset {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn get_item(
+        &self,
+        index: u64,
+        ctx: &mut TransformCtx<'_>,
+        observer: &mut dyn TransformObserver,
+    ) -> Result<Sample, PipelineError> {
+        let start = ctx.cpu.cursor();
+        let work = self.work_per_item * (1.0 + (index % 5) as f64 / 2.0);
+        ctx.cpu.exec(self.kernel, work);
+        observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
+        Ok(Sample::tensor_meta(&[3, 16, 16], DType::F32))
+    }
+}
+
+fn job(machine: &Arc<Machine>, workers: usize, tracer: Arc<dyn Tracer>) -> TrainingJob {
+    TrainingJob {
+        machine: Arc::clone(machine),
+        dataset: Arc::new(StubDataset::new(machine, 256, 400_000.0)),
+        loader: DataLoaderConfig {
+            batch_size: 8,
+            num_workers: workers,
+            prefetch_factor: 2,
+            pin_memory: true,
+            sampler: Sampler::Sequential,
+            drop_last: true,
+        },
+        gpu: GpuConfig::v100(1, Span::from_micros(100)),
+        tracer,
+        hw_profiler: None,
+        seed: 11,
+        epochs: 1,
+        faults: FaultPlan::default(),
+    }
+}
+
+/// Runs the standard 4-worker job under `faults`, returning the trace and
+/// the job outcome.
+fn faulty_run(faults: FaultPlan) -> (Arc<LotusTrace>, Result<JobReport, JobError>) {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let trace = Arc::new(LotusTrace::new());
+    let mut j = job(&machine, 4, Arc::clone(&trace) as _);
+    j.faults = faults;
+    let outcome = j.run();
+    (trace, outcome)
+}
+
+/// The virtual elapsed time of the job with no faults, used to target
+/// kill times at mid-epoch.
+fn baseline_elapsed() -> Span {
+    let (_, outcome) = faulty_run(FaultPlan::default());
+    outcome.expect("fault-free run succeeds").elapsed
+}
+
+#[test]
+fn killed_worker_mid_epoch_completes_via_redispatch() {
+    let kill_at = Time::ZERO + baseline_elapsed().mul_f64(0.5);
+    let plan = FaultPlan::new(11).kill_process("dataloader1", kill_at);
+
+    let (trace, outcome) = faulty_run(plan);
+    let report = outcome.expect("survivors finish the epoch");
+    assert_eq!(
+        report.batches, 32,
+        "every batch is consumed despite the death"
+    );
+    assert_eq!(report.samples, 256);
+
+    let summary = fault_summary(&trace.records());
+    assert_eq!(summary.dead_workers, vec![worker_os_pid(1)]);
+    assert!(
+        !summary.redispatched.is_empty(),
+        "a worker killed mid-epoch leaves in-flight batches to redispatch"
+    );
+    // Redispatched batches were still preprocessed (by a survivor) and
+    // consumed exactly once.
+    let records = trace.records();
+    for &id in &summary.redispatched {
+        let fetches: Vec<&TraceRecord> = records
+            .iter()
+            .filter(|r| r.kind == SpanKind::BatchPreprocessed && r.batch_id == id)
+            .collect();
+        assert_eq!(
+            fetches.len(),
+            1,
+            "batch {id} is fetched once, by a survivor"
+        );
+        assert_ne!(
+            fetches[0].pid,
+            worker_os_pid(1),
+            "the dead worker cannot fetch it"
+        );
+        let consumed = records
+            .iter()
+            .filter(|r| r.kind == SpanKind::BatchConsumed && r.batch_id == id)
+            .count();
+        assert_eq!(consumed, 1);
+    }
+}
+
+#[test]
+fn faulty_runs_are_bit_identical() {
+    let kill_at = Time::ZERO + baseline_elapsed().mul_f64(0.4);
+    let plan = FaultPlan::new(23).kill_process("dataloader2", kill_at);
+    let (a, ra) = faulty_run(plan.clone());
+    let (b, rb) = faulty_run(plan);
+    assert_eq!(ra.unwrap(), rb.unwrap());
+    assert_eq!(
+        a.records(),
+        b.records(),
+        "faulty traces must be bit-identical across runs"
+    );
+}
+
+#[test]
+fn fault_marks_export_as_chrome_instants() {
+    let kill_at = Time::ZERO + baseline_elapsed().mul_f64(0.5);
+    let plan = FaultPlan::new(11).kill_process("dataloader1", kill_at);
+    let (trace, outcome) = faulty_run(plan);
+    outcome.unwrap();
+
+    let doc = to_chrome_trace(&trace.records(), ChromeTraceOptions { coarse: true });
+    let events = doc["traceEvents"].as_array().unwrap();
+    let died: Vec<_> = events
+        .iter()
+        .filter(|e| e["name"].as_str().is_some_and(|n| n == "SWorkerDied"))
+        .collect();
+    let redispatched: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            e["name"]
+                .as_str()
+                .is_some_and(|n| n.starts_with("SBatchRedispatched_"))
+        })
+        .collect();
+    assert_eq!(died.len(), 1);
+    assert!(!redispatched.is_empty());
+    for e in died.iter().chain(&redispatched) {
+        assert_eq!(e["ph"], "i", "fault marks are Chrome instant events");
+        assert_eq!(e["s"], "p", "scoped to the emitting process");
+    }
+    assert_eq!(died[0]["pid"].as_u64(), Some(u64::from(worker_os_pid(1))));
+}
+
+#[test]
+fn all_workers_dead_is_a_typed_error() {
+    let kill_at = Time::ZERO + baseline_elapsed().mul_f64(0.5);
+    let mut plan = FaultPlan::new(3);
+    for w in 0..4 {
+        plan = plan.kill_process(format!("dataloader{w}"), kill_at);
+    }
+    let (_, outcome) = faulty_run(plan);
+    match outcome {
+        Err(JobError::AllWorkersDied {
+            workers,
+            outstanding,
+        }) => {
+            assert_eq!(workers, 4);
+            assert!(outstanding > 0, "mid-epoch batches were still in flight");
+        }
+        other => panic!("expected AllWorkersDied, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_sample_error_surfaces_as_a_typed_error() {
+    let plan = FaultPlan::new(11).inject_sample_errors("Decode", 1.0);
+    let (trace, outcome) = faulty_run(plan);
+    match outcome {
+        Err(JobError::Sample {
+            batch_id,
+            worker,
+            error,
+        }) => {
+            // With p = 1 the very first returned batch fails.
+            assert_eq!(batch_id, 0);
+            assert!(worker < 4);
+            assert_eq!(error.op(), Some("Decode"));
+            assert_eq!(
+                error,
+                PipelineError::Injected {
+                    op: "Decode".into(),
+                    index: 0
+                }
+            );
+            let msg = JobError::Sample {
+                batch_id,
+                worker,
+                error,
+            }
+            .to_string();
+            assert!(msg.contains("batch 0"), "error names the batch: {msg}");
+            assert!(msg.contains("Decode"), "error names the op: {msg}");
+        }
+        other => panic!("expected a sample error, got {other:?}"),
+    }
+    // The injection site is visible in the trace.
+    let summary = fault_summary(&trace.records());
+    assert!(summary.injected.iter().any(|(_, op)| op == "Decode"));
+}
+
+#[test]
+fn rare_injected_errors_name_the_failing_sample() {
+    // A low probability exercises the deterministic per-index hash: the
+    // run fails on the first scheduled batch containing a bad index.
+    let plan = FaultPlan::new(77).inject_sample_errors("ToTensor", 0.01);
+    let first_bad = (0..256)
+        .find(|&i| plan.sample_error(i).is_some())
+        .expect("some index fails at p=0.01");
+    let (_, outcome) = faulty_run(plan);
+    match outcome {
+        Err(JobError::Sample {
+            error: PipelineError::Injected { op, index },
+            ..
+        }) => {
+            assert_eq!(op, "ToTensor");
+            // Sequential sampler: the lowest failing index fails first.
+            assert_eq!(index, first_bad);
+        }
+        other => panic!("expected an injected sample error, got {other:?}"),
+    }
+}
+
+#[test]
+fn queue_slowdown_lengthens_the_epoch() {
+    let healthy = baseline_elapsed();
+    let plan = FaultPlan::new(11).slow_queue("data_queue", 100.0);
+    let (_, outcome) = faulty_run(plan);
+    let degraded = outcome.unwrap().elapsed;
+    assert!(
+        degraded > healthy,
+        "a degraded IPC channel must cost virtual time: {degraded} vs {healthy}"
+    );
+}
+
+#[test]
+fn invalid_config_is_a_typed_error_not_a_panic() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let mut j = job(&machine, 4, Arc::new(lotus::dataflow::NullTracer));
+    j.loader.num_workers = 0;
+    match j.run() {
+        Err(JobError::InvalidConfig(msg)) => assert!(msg.contains("num_workers")),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}

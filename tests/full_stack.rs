@@ -15,10 +15,13 @@ use lotus::workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
 fn traced_run(items: u64, seed: u64) -> (Arc<LotusTrace>, lotus::dataflow::JobReport) {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let trace = Arc::new(LotusTrace::new());
-    let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
-        .scaled_to(items);
+    let mut config =
+        ExperimentConfig::paper_default(PipelineKind::ImageClassification).scaled_to(items);
     config.seed = seed;
-    let report = config.build(&machine, Arc::clone(&trace) as _, None).run().unwrap();
+    let report = config
+        .build(&machine, Arc::clone(&trace) as _, None)
+        .run()
+        .unwrap();
     (trace, report)
 }
 
@@ -27,7 +30,11 @@ fn identical_configurations_produce_identical_traces() {
     let (a, ra) = traced_run(1_024, 7);
     let (b, rb) = traced_run(1_024, 7);
     assert_eq!(ra, rb);
-    assert_eq!(a.records(), b.records(), "virtual-time traces must be bit-identical");
+    assert_eq!(
+        a.records(),
+        b.records(),
+        "virtual-time traces must be bit-identical"
+    );
 }
 
 #[test]
@@ -61,15 +68,17 @@ fn chrome_export_merges_with_a_pytorch_profiler_trace() {
     let (trace, _) = traced_run(512, 3);
     let lotus_doc = to_chrome_trace(&trace.records(), ChromeTraceOptions { coarse: true });
     let torch_doc = serde_json::json!({
-        "traceEvents": [
-            { "name": "aten::convolution", "ph": "X", "ts": 100.0, "dur": 5.0, "pid": 1, "tid": 1, "id": 17 }
-        ]
+        "traceEvents": serde_json::json!([serde_json::json!({
+            "name": "aten::convolution", "ph": "X", "ts": 100.0, "dur": 5.0, "pid": 1, "tid": 1, "id": 17
+        })])
     });
     let merged = merge_traces(&torch_doc, &lotus_doc);
     let events = merged["traceEvents"].as_array().unwrap();
     let has_torch = events.iter().any(|e| e["name"] == "aten::convolution");
     let has_lotus = events.iter().any(|e| {
-        e["name"].as_str().is_some_and(|n| n.starts_with("SBatchPreprocessed"))
+        e["name"]
+            .as_str()
+            .is_some_and(|n| n.starts_with("SBatchPreprocessed"))
     });
     assert!(has_torch && has_lotus);
     // No id collisions: Lotus ids negative, PyTorch ids positive.
@@ -90,7 +99,10 @@ fn trace_map_attribute_flow_is_consistent() {
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let mapping = build_ic_mapping(
         &machine,
-        IsolationConfig { runs_override: Some(30), ..IsolationConfig::default() },
+        IsolationConfig {
+            runs_override: Some(30),
+            ..IsolationConfig::default()
+        },
     );
     let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
         op_mode: OpLogMode::Aggregate,
@@ -108,21 +120,36 @@ fn trace_map_attribute_flow_is_consistent() {
         .run()
         .unwrap();
 
-    let op_times: BTreeMap<String, Span> =
-        trace.op_stats().iter().map(|o| (o.name.clone(), o.total_cpu)).collect();
+    let op_times: BTreeMap<String, Span> = trace
+        .op_stats()
+        .iter()
+        .map(|o| (o.name.clone(), o.total_cpu))
+        .collect();
     let profile = hw.report(&machine);
-    assert!(profile.len() >= 20, "the profile should contain the function zoo");
+    assert!(
+        profile.len() >= 20,
+        "the profile should contain the function zoo"
+    );
     let split = split_metrics(&profile, &mapping, &op_times);
 
     // Attributed CPU cannot exceed what the profiler collected.
     let attributed: f64 = split.iter().map(|o| o.cpu_time.as_secs_f64()).sum();
     let collected: f64 = profile.iter().map(|r| r.stats.cpu_time.as_secs_f64()).sum();
-    assert!(attributed <= collected + 1e-6, "{attributed} vs {collected}");
-    assert!(attributed > 0.3 * collected, "most CPU belongs to preprocessing");
+    assert!(
+        attributed <= collected + 1e-6,
+        "{attributed} vs {collected}"
+    );
+    assert!(
+        attributed > 0.3 * collected,
+        "most CPU belongs to preprocessing"
+    );
 
     // Loader dominates, matching its Table II elapsed-time share.
     let cpu = |op: &str| {
-        split.iter().find(|o| o.op == op).map_or(0.0, |o| o.cpu_time.as_secs_f64())
+        split
+            .iter()
+            .find(|o| o.op == op)
+            .map_or(0.0, |o| o.cpu_time.as_secs_f64())
     };
     assert!(cpu("Loader") > cpu("RandomResizedCrop"));
     assert!(cpu("RandomResizedCrop") > cpu("RandomHorizontalFlip"));
@@ -164,7 +191,10 @@ fn out_of_order_wait_markers_survive_the_whole_stack() {
         ExperimentConfig::paper_default(PipelineKind::ImageClassification).scaled_to(8_192);
     config.num_workers = 4;
     config.num_gpus = 4;
-    config.build(&machine, Arc::clone(&trace) as _, None).run().unwrap();
+    config
+        .build(&machine, Arc::clone(&trace) as _, None)
+        .run()
+        .unwrap();
     let ooo: Vec<_> = trace
         .records()
         .into_iter()

@@ -1,0 +1,94 @@
+//! Offline stub of `criterion`.
+//!
+//! Provides just enough API for this workspace's micro-benchmarks to build
+//! and run: [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of statistical
+//! sampling it runs each benchmark a fixed small number of iterations and
+//! prints the mean wall-clock time — enough to eyeball regressions without
+//! the real crate's dependency tree.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Iterations per benchmark (the real crate samples adaptively).
+const ITERS: u32 = 20;
+
+/// Warmup iterations excluded from timing.
+const WARMUP: u32 = 3;
+
+/// The benchmark registry/driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            total_nanos: 0,
+            timed_iters: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.timed_iters == 0 {
+            0
+        } else {
+            bencher.total_nanos / u128::from(bencher.timed_iters)
+        };
+        println!("bench {id}: {mean} ns/iter (n={ITERS})");
+        self
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    total_nanos: u128,
+    timed_iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing all but the warmup iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.timed_iters += ITERS;
+    }
+}
+
+/// Declares a group function running each target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut count = 0u32;
+        Criterion::default().bench_function("stub", |b| b.iter(|| count += 1));
+        assert_eq!(count, WARMUP + ITERS);
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stub of the `serde` traits.
+//!
+//! The build container has no crate registry, so the workspace vendors a
+//! minimal self-describing data model: [`Serialize`] lowers a value to
+//! [`Content`], [`Deserialize`] lifts it back. `serde_json` (also
+//! vendored) renders `Content` to JSON text and parses it back.
+//!
+//! Unlike real serde there is no `#[derive(Serialize, Deserialize)]` —
+//! the handful of serialized types in this workspace implement the traits
+//! by hand (see `lotus-core`'s `map::mapping`).
+
+use std::collections::BTreeMap;
+
+/// A self-describing value: the stub's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map lookup by key (`None` for non-maps and missing keys).
+    #[must_use]
+    pub fn get_field(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Lower `self` to the self-describing data model.
+pub trait Serialize {
+    /// Produces the [`Content`] representation.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Lift a value back from the data model.
+pub trait Deserialize: Sized {
+    /// Parses `content`, describing the first mismatch on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the shape mismatch.
+    fn deserialize_content(content: &Content) -> Result<Self, String>;
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(content: &Content) -> Result<Content, String> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn serialize_content(&self) -> Content {
+        Content::Str((*self).to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<String, String> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<bool, String> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<f64, String> {
+        match content {
+            Content::F64(f) => Ok(*f),
+            Content::U64(u) => Ok(*u as f64),
+            Content::I64(i) => Ok(*i as f64),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! serde_uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<$t, String> {
+                let v = match content {
+                    Content::U64(u) => *u,
+                    Content::I64(i) if *i >= 0 => *i as u64,
+                    other => return Err(format!("expected unsigned integer, got {other:?}")),
+                };
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+
+serde_uint_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<$t, String> {
+                let v = match content {
+                    Content::I64(i) => *i,
+                    Content::U64(u) => i64::try_from(*u)
+                        .map_err(|_| format!("integer {u} out of range"))?,
+                    other => return Err(format!("expected integer, got {other:?}")),
+                };
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+
+serde_int_impl!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Vec<T>, String> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(format!("expected sequence, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Option<T>, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<BTreeMap<String, V>, String> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(format!("expected map, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize_content(&42u64.serialize_content()), Ok(42));
+        assert_eq!(
+            i32::deserialize_content(&(-7i32).serialize_content()),
+            Ok(-7)
+        );
+        assert_eq!(
+            String::deserialize_content(&"hi".serialize_content()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            bool::deserialize_content(&true.serialize_content()),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(
+            Vec::<u64>::deserialize_content(&v.serialize_content()),
+            Ok(v)
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        assert_eq!(
+            BTreeMap::<String, i64>::deserialize_content(&m.serialize_content()),
+            Ok(m)
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_are_described() {
+        let err = u64::deserialize_content(&Content::Str("x".into())).unwrap_err();
+        assert!(err.contains("expected unsigned integer"));
+    }
+}

@@ -1,0 +1,623 @@
+//! Offline stub of `serde_json`.
+//!
+//! Implements the subset this workspace uses: [`Value`] with the usual
+//! accessors (`get`, `pointer`, `as_*`, indexing), a spec-conforming JSON
+//! parser ([`from_str`]), a pretty serializer ([`to_string_pretty`]), and
+//! a [`json!`] macro. One deliberate simplification: `json!` takes
+//! *expressions* as object/array values, so nested literals are written
+//! `json!({ "outer": json!({ ... }) })` instead of being inlined.
+
+use std::fmt;
+
+pub use serde::Content;
+use serde::{Deserialize, Serialize};
+
+/// A JSON document (thin wrapper over [`serde::Content`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value(pub Content);
+
+/// The statically-known `null`, returned when indexing misses.
+static NULL: Value = Value(Content::Null);
+
+impl Value {
+    /// JSON `null`.
+    #[must_use]
+    pub fn null() -> Value {
+        Value(Content::Null)
+    }
+
+    /// Object-field lookup; `None` for non-objects and missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match &self.0 {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| value_ref(v)),
+            _ => None,
+        }
+    }
+
+    /// RFC 6901 JSON-pointer lookup (`"/args/batch_id"`).
+    #[must_use]
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        let mut current = self;
+        for token in pointer.strip_prefix('/')?.split('/') {
+            let token = token.replace("~1", "/").replace("~0", "~");
+            current = match &current.0 {
+                Content::Map(_) => current.get(&token)?,
+                Content::Seq(items) => {
+                    let idx: usize = token.parse().ok()?;
+                    value_ref(items.get(idx)?)
+                }
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.0 {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match &self.0 {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if integral.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match &self.0 {
+            Content::I64(i) => Some(*i),
+            Content::U64(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match &self.0 {
+            Content::U64(u) => Some(*u),
+            Content::I64(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match &self.0 {
+            Content::F64(f) => Some(*f),
+            Content::U64(u) => Some(*u as f64),
+            Content::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match &self.0 {
+            // SAFETY of the transmute-free cast: Value is repr-transparent
+            // over Content in all but name; we instead rebuild on demand.
+            Content::Seq(_) => Some(seq_ref(&self.0)),
+            _ => None,
+        }
+    }
+}
+
+/// Reinterprets `&Content` as `&Value`.
+///
+/// `Value` is a newtype with the same layout as `Content`; this lets
+/// accessors hand out references without cloning.
+fn value_ref(content: &Content) -> &Value {
+    // SAFETY: `Value` is a single-field tuple struct over `Content`, so
+    // the two have identical layout.
+    unsafe { &*std::ptr::from_ref(content).cast::<Value>() }
+}
+
+/// Reinterprets a `&Content::Seq`'s vector as `&Vec<Value>`.
+fn seq_ref(content: &Content) -> &Vec<Value> {
+    match content {
+        // SAFETY: `Value` wraps `Content` transparently, so `Vec<Content>`
+        // and `Vec<Value>` have identical layout.
+        Content::Seq(items) => unsafe { &*std::ptr::from_ref(items).cast::<Vec<Value>>() },
+        _ => unreachable!("seq_ref on non-seq"),
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match &self.0 {
+            Content::Seq(items) => items.get(idx).map_or(&NULL, value_ref),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+macro_rules! value_from_impl {
+    ($($t:ty => $variant:ident ($conv:expr)),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                #[allow(clippy::redundant_closure_call, clippy::redundant_closure)]
+                Value(Content::$variant(($conv)(v)))
+            }
+        }
+    )*};
+}
+
+value_from_impl!(
+    bool => Bool(|v| v),
+    i8 => I64(|v| i64::from(v)),
+    i16 => I64(|v| i64::from(v)),
+    i32 => I64(|v| i64::from(v)),
+    i64 => I64(|v| v),
+    u8 => U64(|v| u64::from(v)),
+    u16 => U64(|v| u64::from(v)),
+    u32 => U64(|v| u64::from(v)),
+    u64 => U64(|v| v),
+    usize => U64(|v| v as u64),
+    f32 => F64(|v| f64::from(v)),
+    f64 => F64(|v| v),
+    String => Str(|v| v),
+    &str => Str(|v: &str| v.to_string()),
+);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value(Content::Seq(
+            items.into_iter().map(|v| v.into().0).collect(),
+        ))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_content(content: &Content) -> Result<Value, String> {
+        Ok(Value(content.clone()))
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Builds a [`Value`] from a JSON-shaped literal.
+///
+/// Object values and array elements are arbitrary expressions converted
+/// with [`Value::from`]; nest further literals with an explicit `json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::null() };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::from(vec![ $($crate::Value::from($elem)),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value($crate::Content::Map(vec![
+            $( ($key.to_string(), $crate::Value::from($value).0) ),*
+        ]))
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Serializes any [`Serialize`] value to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Infallible in this stub; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.serialize_content(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(content: &Content, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let inner_pad = "  ".repeat(indent + 1);
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(i) => out.push_str(&i.to_string()),
+        Content::U64(u) => out.push_str(&u.to_string()),
+        Content::F64(f) => write_f64(*f, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&inner_pad);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&inner_pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Keep a decimal point so the token parses back as a float.
+            out.push_str(&format!("{f:.1}"));
+        } else {
+            out.push_str(&f.to_string());
+        }
+    } else {
+        // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns a parse or shape error with a short description.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let content = parser.parse_value().map_err(|message| Error { message })?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error {
+            message: format!("trailing characters at byte {}", parser.pos),
+        });
+    }
+    T::deserialize_content(&content).map_err(|message| Error { message })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'n' => self.parse_keyword("null", Content::Null),
+            b't' => self.parse_keyword("true", Content::Bool(true)),
+            b'f' => self.parse_keyword("false", Content::Bool(false)),
+            b'"' => Ok(Content::Str(self.parse_string()?)),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Content) -> Result<Content, String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid keyword at byte {}", self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape codepoint")?);
+                        }
+                        other => {
+                            return Err(format!("invalid escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|e| e.to_string())
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|e| e.to_string())
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|e| e.to_string())
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_documents() {
+        let doc = json!({
+            "name": "SBatchWait_3",
+            "ts": 1.5,
+            "pid": 42u32,
+            "args": json!({ "out_of_order": true }),
+            "tags": json!(["a", "b"]),
+        });
+        assert_eq!(doc["name"], "SBatchWait_3");
+        assert_eq!(doc["pid"].as_u64(), Some(42));
+        assert_eq!(
+            doc.pointer("/args/out_of_order").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(doc["tags"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["missing"], Value::null());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let doc = json!({
+            "a": 1u64,
+            "b": -2i64,
+            "c": 1.25,
+            "d": json!([json!({ "x": "y\n\"quoted\"" }), json!(null)]),
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        let parsed: Value = from_str(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v: Value = from_str(" { \"k\" : [ 1 , 2.0e1 , \"\\u0041\" ] } ").unwrap();
+        assert_eq!(v["k"][0].as_u64(), Some(1));
+        assert_eq!(v["k"][1].as_f64(), Some(20.0));
+        assert_eq!(v["k"][2], "A");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let text = to_string_pretty(&json!({ "dur": 2000.0 })).unwrap();
+        assert!(text.contains("2000.0"), "{text}");
+    }
+}
