@@ -9,6 +9,11 @@
 //!   marker) and per-operation elapsed time (\[T3\]); provides the analysis
 //!   behind Tables II and Figures 4–5 and Chrome-Trace-Viewer export with
 //!   data-flow arrows and negative synthetic ids (Figure 2).
+//! * [`metrics`] — live observability: a streaming [`metrics::TraceSink`]
+//!   layer fanned out from the engine's tracer hooks, a deterministic
+//!   [`metrics::MetricsRegistry`] of counters / virtual-time gauge series /
+//!   latency histograms, Prometheus-text / JSON / CSV exporters, and a
+//!   `lotus top`-style terminal dashboard.
 //! * [`map`] — **LotusMap**: isolates each Python operation under the
 //!   hardware profiler's collection-control API (warm-up, `sleep()`
 //!   bucketing gap, the `C ≥ 1-(1-f/s)^n` run-count formula), buckets and
@@ -28,4 +33,5 @@
 #![warn(missing_docs)]
 
 pub mod map;
+pub mod metrics;
 pub mod trace;

@@ -1,0 +1,277 @@
+//! `lotus top` — a terminal dashboard over a [`MetricsSnapshot`].
+//!
+//! Renders the live view of a pipeline run: per-queue depth sparklines
+//! over virtual time, per-worker utilization bars (busy nanoseconds over
+//! the run horizon), throughput, latency summaries, and the fault
+//! counters. Pure function of the snapshot — deterministic, snapshot-
+//! testable like [`crate::trace::viz`].
+
+use std::fmt::Write as _;
+
+use lotus_sim::Time;
+
+use super::registry::{GaugeSeries, MetricsSnapshot};
+use super::sink::names;
+
+/// Sparkline glyphs, lowest to highest level.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Utilization bar glyphs.
+const BAR_FILL: char = '█';
+const BAR_EMPTY: char = '░';
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DashboardOptions {
+    /// Characters available for sparklines and utilization bars.
+    pub width: usize,
+}
+
+impl Default for DashboardOptions {
+    fn default() -> Self {
+        DashboardOptions { width: 48 }
+    }
+}
+
+/// Renders one gauge series as a sparkline: the series is sampled at
+/// `width` evenly spaced virtual-time points up to `horizon` (step-
+/// function semantics) and scaled against its own maximum.
+#[must_use]
+pub fn sparkline(series: &GaugeSeries, horizon: Time, width: usize) -> String {
+    assert!(width > 0, "sparkline width must be positive");
+    let max = series.max();
+    (0..width)
+        .map(|i| {
+            let at = Time::from_nanos(if width == 1 {
+                horizon.as_nanos()
+            } else {
+                horizon.as_nanos() * i as u64 / (width as u64 - 1)
+            });
+            let v = series.value_at(at).unwrap_or(0.0);
+            if max <= 0.0 {
+                SPARKS[0]
+            } else {
+                let level = ((v / max) * (SPARKS.len() as f64 - 1.0)).round() as usize;
+                SPARKS[level.min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a `[0,1]` fraction as a filled bar of `width` cells.
+#[must_use]
+pub fn utilization_bar(fraction: f64, width: usize) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut bar = String::with_capacity(width * 3);
+    for i in 0..width {
+        bar.push(if i < filled { BAR_FILL } else { BAR_EMPTY });
+    }
+    bar
+}
+
+/// Renders the full dashboard.
+#[must_use]
+pub fn render_dashboard(snapshot: &MetricsSnapshot, options: DashboardOptions) -> String {
+    let width = options.width.max(1);
+    let horizon = snapshot.horizon();
+    let mut out = String::new();
+    let _ = writeln!(out, "lotus top — virtual time {horizon}");
+
+    // Queue depths: every `queue_depth.*` gauge, plus the in-flight
+    // inventory, as sparklines over the run horizon.
+    let queue_gauges: Vec<(&String, &GaugeSeries)> = snapshot
+        .gauges
+        .iter()
+        .filter(|(name, _)| name.starts_with(names::QUEUE_DEPTH_PREFIX))
+        .collect();
+    if !queue_gauges.is_empty() || snapshot.gauges.contains_key(names::IN_FLIGHT) {
+        let _ = writeln!(out, "\nqueue depth");
+        let label_w = queue_gauges
+            .iter()
+            .map(|(n, _)| n.len() - names::QUEUE_DEPTH_PREFIX.len())
+            .chain(std::iter::once(names::IN_FLIGHT.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, series) in &queue_gauges {
+            let short = &name[names::QUEUE_DEPTH_PREFIX.len()..];
+            let _ = writeln!(
+                out,
+                "  {short:<label_w$}  {}  now {:.0}  max {:.0}",
+                sparkline(series, horizon, width),
+                series.last().unwrap_or(0.0),
+                series.max(),
+            );
+        }
+        if let Some(series) = snapshot.gauges.get(names::IN_FLIGHT) {
+            let _ = writeln!(
+                out,
+                "  {:<label_w$}  {}  now {:.0}  max {:.0}",
+                names::IN_FLIGHT,
+                sparkline(series, horizon, width),
+                series.last().unwrap_or(0.0),
+                series.max(),
+            );
+        }
+    }
+
+    // Worker utilization: busy nanoseconds over the run horizon.
+    let busy_prefix = "worker_busy_ns.";
+    let busy: Vec<(&String, &u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with(busy_prefix))
+        .collect();
+    if !busy.is_empty() {
+        let _ = writeln!(out, "\nworker utilization");
+        for (name, &busy_ns) in &busy {
+            let pid = &name[busy_prefix.len()..];
+            let frac = if horizon > Time::ZERO {
+                busy_ns as f64 / horizon.as_nanos() as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  worker {pid}  {}  {:5.1}%",
+                utilization_bar(frac, width),
+                frac * 100.0,
+            );
+        }
+    }
+
+    // Throughput and latency.
+    let consumed = snapshot
+        .counters
+        .get(names::BATCHES_CONSUMED)
+        .copied()
+        .unwrap_or(0);
+    let samples = snapshot
+        .counters
+        .get(names::SAMPLES_CONSUMED)
+        .copied()
+        .unwrap_or(0);
+    let _ = writeln!(out, "\nthroughput");
+    if horizon > Time::ZERO {
+        let _ = writeln!(
+            out,
+            "  {consumed} batches ({samples} samples), {:.1} batches/s",
+            consumed as f64 / horizon.as_secs_f64(),
+        );
+    } else {
+        let _ = writeln!(out, "  {consumed} batches ({samples} samples)");
+    }
+    if let Some(series) = snapshot.gauges.get(names::MAIN_WAIT_FRACTION) {
+        let _ = writeln!(
+            out,
+            "  main wait fraction {:.3}",
+            series.last().unwrap_or(0.0)
+        );
+    }
+    for (hist, label) in [
+        (names::T1_FETCH, "t1 fetch"),
+        (names::T2_WAIT, "t2 wait"),
+        (names::QUEUE_DELAY, "queue delay"),
+    ] {
+        if let Some(h) = snapshot.histograms.get(hist) {
+            let _ = writeln!(
+                out,
+                "  {label}: p50 {:.2}ms  p99 {:.2}ms  n={}",
+                h.p50_ns / 1e6,
+                h.p99_ns / 1e6,
+                h.count,
+            );
+        }
+    }
+
+    // Fault counters, only when something actually went wrong.
+    let faults = snapshot
+        .counters
+        .get(names::FAULTS_INJECTED)
+        .copied()
+        .unwrap_or(0);
+    let deaths = snapshot
+        .counters
+        .get(names::WORKER_DEATHS)
+        .copied()
+        .unwrap_or(0);
+    let redispatches = snapshot
+        .counters
+        .get(names::REDISPATCHES)
+        .copied()
+        .unwrap_or(0);
+    if faults + deaths + redispatches > 0 {
+        let _ = writeln!(
+            out,
+            "\nfaults: {faults} injected, {deaths} worker deaths, {redispatches} redispatches"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use lotus_sim::Time;
+
+    use super::*;
+    use crate::metrics::registry::MetricsRegistry;
+
+    #[test]
+    fn sparkline_scales_to_its_own_max() {
+        let r = MetricsRegistry::new();
+        r.set_gauge("g", Time::from_nanos(0), 0.0);
+        r.set_gauge("g", Time::from_nanos(50), 4.0);
+        r.set_gauge("g", Time::from_nanos(100), 2.0);
+        let s = sparkline(&r.gauge("g").unwrap(), Time::from_nanos(100), 8);
+        assert_eq!(s.chars().count(), 8);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert!(s.contains('█'), "peak renders as the top glyph: {s}");
+        assert_eq!(s.chars().last(), Some('▅'), "2.0 of max 4.0 is mid-level");
+    }
+
+    #[test]
+    fn empty_series_renders_flat() {
+        let s = sparkline(&GaugeSeries::default(), Time::from_nanos(100), 5);
+        assert_eq!(s, "▁▁▁▁▁");
+    }
+
+    #[test]
+    fn utilization_bar_rounds_to_cells() {
+        assert_eq!(utilization_bar(0.0, 4), "░░░░");
+        assert_eq!(utilization_bar(0.5, 4), "██░░");
+        assert_eq!(utilization_bar(1.0, 4), "████");
+        assert_eq!(utilization_bar(7.0, 4), "████", "clamps above 1.0");
+    }
+
+    #[test]
+    fn dashboard_renders_all_sections() {
+        let r = MetricsRegistry::new();
+        r.set_gauge("queue_depth.data_queue", Time::from_nanos(10), 2.0);
+        r.set_gauge("queue_depth.data_queue", Time::from_nanos(1_000_000), 1.0);
+        r.set_gauge(names::IN_FLIGHT, Time::from_nanos(5), 3.0);
+        r.inc_counter("worker_busy_ns.4243", 500_000);
+        r.inc_counter(names::BATCHES_CONSUMED, 10);
+        r.inc_counter(names::SAMPLES_CONSUMED, 80);
+        r.inc_counter(names::WORKER_DEATHS, 1);
+        r.record_latency(names::T1_FETCH, lotus_sim::Span::from_millis(2));
+        let out = render_dashboard(&r.snapshot(), DashboardOptions { width: 16 });
+        assert!(out.contains("lotus top"));
+        assert!(out.contains("queue depth"));
+        assert!(out.contains("data_queue"));
+        assert!(out.contains("in_flight_batches"));
+        assert!(out.contains("worker 4243"));
+        assert!(out.contains("throughput"));
+        assert!(out.contains("10 batches (80 samples)"));
+        assert!(out.contains("t1 fetch: p50"));
+        assert!(out.contains("faults: 0 injected, 1 worker deaths"));
+    }
+
+    #[test]
+    fn dashboard_of_empty_snapshot_is_calm() {
+        let out = render_dashboard(
+            &MetricsRegistry::new().snapshot(),
+            DashboardOptions::default(),
+        );
+        assert!(out.contains("lotus top"));
+        assert!(out.contains("0 batches (0 samples)"));
+        assert!(!out.contains("faults:"));
+    }
+}

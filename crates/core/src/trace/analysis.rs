@@ -151,6 +151,90 @@ pub fn fault_summary(records: &[TraceRecord]) -> FaultSummary {
     summary
 }
 
+/// Forensic context for one worker death, joined from the metrics
+/// gauge time-series at the death instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerDeathContext {
+    /// The dead worker's pid.
+    pub pid: u32,
+    /// When the main process observed the death.
+    pub at: Time,
+    /// Shared data-queue depth in effect at the death (step-function
+    /// lookup; `None` when no depth gauge was recorded by then).
+    pub data_queue_depth: Option<f64>,
+    /// Dispatched-but-unreturned batches at the death — the orphan
+    /// inventory the redispatcher has to drain.
+    pub in_flight: Option<f64>,
+    /// Live workers *after* this death was accounted.
+    pub live_workers_after: Option<f64>,
+}
+
+/// Forensic context for one batch redispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedispatchContext {
+    /// The redispatched batch.
+    pub batch_id: u64,
+    /// The surviving worker that received it.
+    pub to_pid: u32,
+    /// When the redispatch happened.
+    pub at: Time,
+    /// Latency from the most recent worker death at or before `at` —
+    /// how long the orphan sat before being re-sent. `None` when the log
+    /// has no preceding death (a malformed or truncated trace).
+    pub latency_after_death: Option<Span>,
+}
+
+/// [`FaultSummary`] enriched with metrics-derived context: what the
+/// pipeline looked like *at* each fault, not just that it happened.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultForensics {
+    /// Per-death context, in log order.
+    pub deaths: Vec<WorkerDeathContext>,
+    /// Per-redispatch context, in log order.
+    pub redispatches: Vec<RedispatchContext>,
+}
+
+/// Joins the fault marks in a record stream with a metrics snapshot:
+/// each worker death is annotated with the queue depth / in-flight
+/// inventory in effect at that instant (step-function lookup into the
+/// gauge series), and each redispatch with its latency since the most
+/// recent preceding death.
+#[must_use]
+pub fn fault_forensics(
+    records: &[TraceRecord],
+    metrics: &crate::metrics::MetricsSnapshot,
+) -> FaultForensics {
+    use crate::metrics::names;
+
+    let gauge_at = |name: &str, at: Time| -> Option<f64> {
+        metrics.gauges.get(name).and_then(|g| g.value_at(at))
+    };
+    let mut out = FaultForensics::default();
+    let mut last_death: Option<Time> = None;
+    for r in records {
+        match &r.kind {
+            SpanKind::WorkerDied => {
+                last_death = Some(r.start);
+                out.deaths.push(WorkerDeathContext {
+                    pid: r.pid,
+                    at: r.start,
+                    data_queue_depth: gauge_at("queue_depth.data_queue", r.start),
+                    in_flight: gauge_at(names::IN_FLIGHT, r.start),
+                    live_workers_after: gauge_at(names::LIVE_WORKERS, r.start),
+                });
+            }
+            SpanKind::BatchRedispatched => out.redispatches.push(RedispatchContext {
+                batch_id: r.batch_id,
+                to_pid: r.pid,
+                at: r.start,
+                latency_after_death: last_death.map(|d| r.start.saturating_since(d)),
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
 /// Distribution of per-batch preprocessing times, in milliseconds
 /// (Figure 4's box-plot data).
 ///
@@ -315,5 +399,37 @@ mod tests {
         // The marks do not create phantom batch timelines.
         assert_eq!(batch_timelines(&log).len(), 2);
         assert!(fault_summary(&sample_log()).is_empty());
+    }
+
+    #[test]
+    fn fault_forensics_joins_gauges_and_redispatch_latency() {
+        use crate::metrics::{names, MetricsRegistry};
+
+        let registry = MetricsRegistry::new();
+        registry.set_gauge("queue_depth.data_queue", Time::from_nanos(10_000_000), 3.0);
+        registry.set_gauge(names::IN_FLIGHT, Time::from_nanos(20_000_000), 2.0);
+        registry.set_gauge(names::LIVE_WORKERS, Time::ZERO, 2.0);
+        registry.set_gauge(names::LIVE_WORKERS, Time::from_nanos(60_000_000), 1.0);
+
+        let mut log = sample_log();
+        log.push(rec(SpanKind::WorkerDied, 0, 60_000_000, 0));
+        log.push(rec(SpanKind::BatchRedispatched, 7, 61_500_000, 0));
+        let forensics = fault_forensics(&log, &registry.snapshot());
+
+        assert_eq!(forensics.deaths.len(), 1);
+        let death = &forensics.deaths[0];
+        assert_eq!(death.at, Time::from_nanos(60_000_000));
+        assert_eq!(death.data_queue_depth, Some(3.0));
+        assert_eq!(death.in_flight, Some(2.0));
+        assert_eq!(death.live_workers_after, Some(1.0));
+
+        assert_eq!(forensics.redispatches.len(), 1);
+        let red = &forensics.redispatches[0];
+        assert_eq!(red.batch_id, 7);
+        assert_eq!(red.latency_after_death, Some(Span::from_nanos(1_500_000)));
+
+        // No faults, no metrics: empty forensics, no panics.
+        let clean = fault_forensics(&sample_log(), &MetricsRegistry::new().snapshot());
+        assert_eq!(clean, FaultForensics::default());
     }
 }

@@ -84,15 +84,19 @@ impl LogHistogram {
         }
     }
 
-    /// Approximate percentile (`p` in 0–100), in nanoseconds.
+    /// Approximate percentile (`p` in 0–100), in nanoseconds. Zero when
+    /// the histogram is empty, so an all-faulted run (no successful
+    /// fetches) still renders metrics instead of panicking.
     ///
     /// # Panics
     ///
-    /// Panics if the histogram is empty or `p` is out of range.
+    /// Panics if `p` is out of range.
     #[must_use]
     pub fn percentile_ns(&self, p: f64) -> f64 {
-        assert!(self.count > 0, "empty histogram has no percentiles");
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if self.count == 0 {
+            return 0.0;
+        }
         let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -118,14 +122,23 @@ impl LogHistogram {
 
     /// A [`Summary`] over the recorded durations **in milliseconds**
     /// (mean/std/min/max exact; percentiles and IQR approximated from the
-    /// buckets).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the histogram is empty.
+    /// buckets). An empty histogram summarizes to all zeros with
+    /// `count == 0` rather than panicking.
     #[must_use]
     pub fn summary_ms(&self) -> Summary {
-        assert!(self.count > 0, "empty histogram has no summary");
+        if self.count == 0 {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                iqr: 0.0,
+            };
+        }
         let mean = self.mean_ns();
         let var = (self.sum_sq_ns / self.count as f64 - mean * mean).max(0.0);
         Summary {
@@ -206,6 +219,34 @@ mod tests {
         assert!((s.std - 2.0f64.sqrt()).abs() < 1e-9);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_safe() {
+        // Regression: an all-faulted run records nothing into a latency
+        // histogram; summaries and percentiles must not panic.
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_ns(50.0), 0.0);
+        assert_eq!(h.percentile_ns(99.0), 0.0);
+        let s = h.summary_ms();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.iqr, 0.0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.total(), Span::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0,100]")]
+    fn out_of_range_percentile_still_panics() {
+        let h = LogHistogram::new();
+        let _ = h.percentile_ns(101.0);
     }
 
     #[test]

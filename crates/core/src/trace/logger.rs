@@ -60,6 +60,9 @@ pub struct LotusTrace {
     records: Mutex<Vec<TraceRecord>>,
     op_aggregates: Mutex<OpAggregates>,
     log_bytes: AtomicU64,
+    /// Cumulative virtual-time overhead this tracer has charged to the
+    /// traced program (per-sink accounting for Table III comparisons).
+    charged_ns: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -83,6 +86,7 @@ impl LotusTrace {
             records: Mutex::new(Vec::new()),
             op_aggregates: Mutex::new(OpAggregates::default()),
             log_bytes: AtomicU64::new(0),
+            charged_ns: AtomicU64::new(0),
         }
     }
 
@@ -90,7 +94,20 @@ impl LotusTrace {
         self.log_bytes
             .fetch_add(record.log_bytes(), Ordering::Relaxed);
         self.records.lock().expect("trace poisoned").push(record);
-        self.config.per_log_overhead
+        self.charge(self.config.per_log_overhead)
+    }
+
+    fn charge(&self, overhead: Span) -> Span {
+        self.charged_ns
+            .fetch_add(overhead.as_nanos(), Ordering::Relaxed);
+        overhead
+    }
+
+    /// Total virtual-time overhead this tracer has charged to the traced
+    /// program so far (its own share of the Table III overhead column).
+    #[must_use]
+    pub fn charged_overhead(&self) -> Span {
+        Span::from_nanos(self.charged_ns.load(Ordering::Relaxed))
     }
 
     /// A copy of all records collected so far.
@@ -190,7 +207,7 @@ impl Tracer for LotusTrace {
                     .get_mut(name)
                     .expect("just inserted")
                     .record(dur);
-                self.config.per_log_overhead
+                self.charge(self.config.per_log_overhead)
             }
         }
     }
@@ -299,6 +316,11 @@ mod tests {
             trace.to_log_string().len() as u64
         );
         assert!(!trace.is_empty());
+        // Self-accounted overhead: one charge per record.
+        assert_eq!(
+            trace.charged_overhead(),
+            LotusTraceConfig::default().per_log_overhead * 2
+        );
     }
 
     #[test]

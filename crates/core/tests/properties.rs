@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 
 use lotus_core::map::{split_metrics, split_metrics_mix_aware, MappedFunction, Mapping, OpMapping};
+use lotus_core::metrics::TraceEvent;
 use lotus_core::trace::hist::LogHistogram;
 use lotus_core::trace::{SpanKind, TraceRecord};
 use lotus_data::stats::Summary;
@@ -53,6 +54,42 @@ proptest! {
         prop_assert_eq!(parsed.queue_delay, record.queue_delay);
         // Op and WorkerDied labels carry no batch id; all others round-trip it.
         if !matches!(record.kind, SpanKind::Op(_) | SpanKind::WorkerDied) {
+            prop_assert_eq!(parsed.batch_id, record.batch_id);
+        }
+    }
+
+    /// The zero-duration fault marks (`FaultInjected`, `WorkerDied`,
+    /// `BatchRedispatched`) survive the full streaming path: sink event →
+    /// trace record → log line → parsed record.
+    #[test]
+    fn instant_marks_round_trip_through_log_lines(
+        which in 0usize..3,
+        pid in 0u32..100_000,
+        from_pid in 0u32..100_000,
+        batch in 0u64..1 << 40,
+        at in 0u64..1 << 50,
+        op in "[A-Za-z][A-Za-z0-9_()]{0,24}",
+    ) {
+        let at_t = Time::from_nanos(at);
+        let event = match which {
+            0 => TraceEvent::FaultInjected { pid, batch_id: batch, op: &op, at: at_t },
+            1 => TraceEvent::WorkerDied { pid, at: at_t },
+            _ => TraceEvent::BatchRedispatched { batch_id: batch, from_pid, to_pid: pid, at: at_t },
+        };
+        let record = event.to_record().unwrap();
+        // Instant marks anchor at their instant and have no extent.
+        prop_assert_eq!(record.start, at_t);
+        prop_assert_eq!(record.duration, Span::ZERO);
+
+        let parsed = TraceRecord::parse_log_line(&record.to_log_line()).unwrap();
+        prop_assert_eq!(&parsed.kind, &record.kind);
+        prop_assert_eq!(parsed.pid, record.pid);
+        prop_assert_eq!(parsed.start, record.start);
+        prop_assert_eq!(parsed.duration, Span::ZERO);
+        prop_assert_eq!(parsed.out_of_order, false);
+        prop_assert_eq!(parsed.queue_delay, Span::ZERO);
+        // WorkerDied labels carry no batch id; the other marks round-trip it.
+        if !matches!(record.kind, SpanKind::WorkerDied) {
             prop_assert_eq!(parsed.batch_id, record.batch_id);
         }
     }

@@ -373,6 +373,16 @@ fn worker_loop(
         let WorkerMsg::Batch { id, indices } = msg else {
             break;
         };
+        // Sample this worker's index-queue depth right after the pop: the
+        // metrics layer sees every depth transition in virtual time.
+        let oh = tracer.on_gauge(
+            &format!("queue_depth.index_queue_{worker}"),
+            index_q.len() as f64,
+            ctx.now(),
+        );
+        if !oh.is_zero() {
+            ctx.delay(oh);
+        }
         let start = ctx.now();
         cpu.set_cursor(start);
         machine.thread_started_compute();
@@ -461,6 +471,10 @@ fn worker_loop(
             return;
         }
         data_q.push(ctx, envelope);
+        let oh = tracer.on_gauge("queue_depth.data_queue", data_q.len() as f64, ctx.now());
+        if !oh.is_zero() {
+            ctx.delay(oh);
+        }
     }
 }
 
@@ -513,8 +527,9 @@ impl Dispatcher {
     }
 
     /// Sends one index batch (a pending redispatch first, else the next
-    /// fresh batch) to the next live worker.
-    fn send_next(&mut self, ctx: &Ctx, index_qs: &[Queue<WorkerMsg>]) {
+    /// fresh batch) to the next live worker. Returns the worker that
+    /// received it, so the caller can sample that queue's depth.
+    fn send_next(&mut self, ctx: &Ctx, index_qs: &[Queue<WorkerMsg>]) -> Option<usize> {
         let next = self
             .redispatch
             .pop_front()
@@ -524,7 +539,7 @@ impl Dispatcher {
                 // No live worker to hand it to; keep it queued so the
                 // outstanding count stays truthful.
                 self.redispatch.push_front((id, indices));
-                return;
+                return None;
             };
             index_qs[w].push(
                 ctx,
@@ -534,7 +549,9 @@ impl Dispatcher {
                 },
             );
             self.in_flight.insert(id, (w, indices));
+            return Some(w);
         }
+        None
     }
 
     /// Marks `worker` dead and queues its in-flight batches (in id order)
@@ -553,6 +570,35 @@ impl Dispatcher {
             self.redispatch.push_back((id, indices));
         }
         orphans
+    }
+}
+
+/// Emits one gauge sample and charges whatever overhead the sinks report.
+fn emit_gauge(ctx: &Ctx, tracer: &dyn Tracer, name: &str, value: f64) {
+    let oh = tracer.on_gauge(name, value, ctx.now());
+    if !oh.is_zero() {
+        ctx.delay(oh);
+    }
+}
+
+/// After a dispatch attempt: sample the receiving worker's index-queue
+/// depth and the dispatched-but-unreturned inventory. Nothing changed
+/// (and nothing is emitted) when no batch was sent.
+fn emit_dispatch_gauges(
+    ctx: &Ctx,
+    tracer: &dyn Tracer,
+    index_qs: &[Queue<WorkerMsg>],
+    sent_to: Option<usize>,
+    in_flight: usize,
+) {
+    if let Some(w) = sent_to {
+        emit_gauge(
+            ctx,
+            tracer,
+            &format!("queue_depth.index_queue_{w}"),
+            index_qs[w].len() as f64,
+        );
+        emit_gauge(ctx, tracer, "in_flight_batches", in_flight as f64);
     }
 }
 
@@ -588,7 +634,8 @@ fn main_loop(
 
     // Initial prefetch: `prefetch_factor` index batches per worker.
     for _ in 0..loader.prefetch_factor * workers {
-        dispatcher.send_next(ctx, index_qs);
+        let sent = dispatcher.send_next(ctx, index_qs);
+        emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
     }
 
     let mut cache: HashMap<u64, Envelope> = HashMap::new();
@@ -637,7 +684,14 @@ fn main_loop(
                         // Re-send the dead worker's in-flight batches to
                         // the survivors, preserving id order.
                         for id in orphans {
-                            dispatcher.send_next(ctx, index_qs);
+                            let sent = dispatcher.send_next(ctx, index_qs);
+                            emit_dispatch_gauges(
+                                ctx,
+                                tracer,
+                                index_qs,
+                                sent,
+                                dispatcher.in_flight.len(),
+                            );
                             if let Some((to, _)) = dispatcher.in_flight.get(&id) {
                                 let oh = tracer.on_batch_redispatched(
                                     id,
@@ -662,7 +716,14 @@ fn main_loop(
                     fw.pickle_loads,
                     env.bytes().min(65_536) as f64 * queue_factor,
                 );
+                emit_gauge(ctx, tracer, "queue_depth.data_queue", data_q.len() as f64);
                 dispatcher.in_flight.remove(&env.batch_id);
+                emit_gauge(
+                    ctx,
+                    tracer,
+                    "in_flight_batches",
+                    dispatcher.in_flight.len() as f64,
+                );
                 if env.batch_id == rcvd {
                     let oh = tracer.on_batch_wait(
                         MAIN_OS_PID,
@@ -693,7 +754,8 @@ fn main_loop(
         // the in-flight inventory never exceeds
         // `prefetch_factor * num_workers`, even while out-of-order
         // envelopes accumulate in the pinned cache.
-        dispatcher.send_next(ctx, index_qs);
+        let sent = dispatcher.send_next(ctx, index_qs);
+        emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
 
         let payload = match env.payload {
             Ok(p) => p,

@@ -79,6 +79,17 @@ pub trait Tracer: Send + Sync {
         Span::ZERO
     }
 
+    /// A named scalar was sampled at virtual time `at` — the engine's
+    /// gauge feed. The DataLoader emits `queue_depth.<queue>` at every
+    /// push/pop transition of each index queue and the shared data queue,
+    /// and `in_flight_batches` whenever the dispatched-but-unreturned
+    /// inventory changes. Metrics sinks turn these into deterministic
+    /// `(Time, value)` time-series; trace backends ignore them.
+    fn on_gauge(&self, name: &str, value: f64, at: Time) -> Span {
+        let _ = (name, value, at);
+        Span::ZERO
+    }
+
     /// Multiplicative slowdown this instrumentation imposes on all
     /// preprocessing compute (in-process sampling/allocation interception
     /// interference; 1.0 = none).
@@ -123,6 +134,10 @@ mod tests {
         );
         assert_eq!(t.on_worker_died(1, Time::ZERO), Span::ZERO);
         assert_eq!(t.on_batch_redispatched(0, 1, 2, Time::ZERO), Span::ZERO);
+        assert_eq!(
+            t.on_gauge("queue_depth.data_queue", 3.0, Time::ZERO),
+            Span::ZERO
+        );
         assert_eq!(t.compute_dilation(), 1.0);
     }
 }

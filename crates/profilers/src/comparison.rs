@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use lotus_core::metrics::{MetricsRegistry, MetricsSink, MultiSink};
 use lotus_core::trace::LotusTrace;
 use lotus_dataflow::{NullTracer, Tracer};
 use lotus_sim::Span;
@@ -138,6 +139,52 @@ impl ComparisonHarness {
         }
         rows
     }
+
+    /// Runs once with the full streaming sink stack (the LotusTrace log
+    /// plus the live metrics registry behind one fan-out) and attributes
+    /// the instrumentation cost sink by sink — Table III at sub-profiler
+    /// granularity. Each row's `charged` is the sink's own self-accounted
+    /// virtual-time total.
+    #[must_use]
+    pub fn run_sink_stack(&self, baseline: Span) -> Vec<SinkOverheadRow> {
+        let trace = Arc::new(LotusTrace::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = Arc::new(MetricsSink::new(
+            Arc::clone(&registry),
+            self.config.num_workers,
+        ));
+        let sinks = Arc::new(
+            MultiSink::new()
+                .with(Arc::clone(&trace) as _)
+                .with(Arc::clone(&metrics) as _),
+        );
+        let wall = self.run_with(Arc::clone(&sinks) as Arc<dyn Tracer>);
+        sinks
+            .overheads()
+            .into_iter()
+            .map(|(sink, charged)| SinkOverheadRow {
+                sink,
+                wall_time: wall,
+                charged,
+                wall_overhead: overhead(baseline, wall),
+            })
+            .collect()
+    }
+}
+
+/// One row of the per-sink overhead attribution: what each streaming
+/// sink charged the traced program during a single stacked run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkOverheadRow {
+    /// Sink name ([`lotus_core::metrics::TraceSink::name`]).
+    pub sink: String,
+    /// End-to-end wall time of the stacked run (same for every row).
+    pub wall_time: Span,
+    /// Virtual time this sink self-accounted.
+    pub charged: Span,
+    /// Wall-time overhead of the whole stack vs. the unprofiled
+    /// baseline, as a fraction.
+    pub wall_overhead: f64,
 }
 
 fn overhead(baseline: Span, with_profiler: Span) -> f64 {
@@ -159,6 +206,33 @@ mod tests {
         config.num_workers = 1;
         config.num_gpus = 1;
         ComparisonHarness::new(config.scaled_to(2_048))
+    }
+
+    #[test]
+    fn empty_multi_sink_matches_null_tracer_exactly() {
+        let h = small_ic();
+        let null_wall = h.run_with(Arc::new(NullTracer));
+        let empty_wall = h.run_with(Arc::new(MultiSink::new()));
+        // The no-sink configuration charges exactly zero: bit-identical
+        // wall time, not merely close.
+        assert_eq!(null_wall, empty_wall);
+    }
+
+    #[test]
+    fn sink_stack_attributes_overhead_per_sink() {
+        let h = small_ic();
+        let baseline = h.baseline_wall();
+        let rows = h.run_sink_stack(baseline);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].sink, "lotus-trace");
+        assert_eq!(rows[1].sink, "metrics");
+        for row in &rows {
+            assert!(!row.charged.is_zero(), "{} charged nothing", row.sink);
+            assert!(row.charged < row.wall_time);
+        }
+        // The log formats a line per event; the metrics fold is cheaper.
+        assert!(rows[1].charged < rows[0].charged);
+        assert!(rows[0].wall_time >= baseline);
     }
 
     #[test]

@@ -18,5 +18,5 @@ mod comparison;
 mod models;
 
 pub use capabilities::{lotus_capabilities, Capabilities};
-pub use comparison::{BaselineProfiler, ComparisonHarness, ComparisonRow};
+pub use comparison::{BaselineProfiler, ComparisonHarness, ComparisonRow, SinkOverheadRow};
 pub use models::{ProfilerModel, ProfilerOutput, SamplingConfig, SamplingProfiler, TorchProfiler};

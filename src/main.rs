@@ -8,6 +8,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use lotus::core::map::{split_metrics, split_metrics_mix_aware, IsolationConfig, Mapping};
+use lotus::core::metrics::{
+    render_dashboard, to_csv, to_json, to_prometheus, DashboardOptions, MetricsRegistry,
+    MetricsSink, MultiSink,
+};
 use lotus::core::trace::chrome::{to_chrome_trace, ChromeTraceOptions};
 use lotus::core::trace::insights::analyze;
 use lotus::core::trace::viz::{render_timeline, TimelineOptions};
@@ -40,6 +44,13 @@ USAGE:
 
   lotus compare   [--items N]
       Run the profiler comparison (Tables III and IV).
+
+  lotus top       [--pipeline ic|is|od] [--items N] [--batch B] [--workers W]
+                  [--width COLS] [--prom FILE] [--json FILE] [--csv FILE]
+      Run one epoch with the streaming metrics sink and render the
+      pipeline dashboard: queue-depth sparklines over virtual time,
+      per-worker utilization, throughput, latency summaries. Optionally
+      export the registry as Prometheus text, JSON, or CSV time-series.
 
   lotus help
 ";
@@ -233,7 +244,12 @@ fn cmd_compare(args: &Args) -> Result<(), Box<dyn Error>> {
         "{:<18} {:>11} {:>12} {:>14}   Epoch/Batch/Async/Wait/Delay",
         "profiler", "wall (s)", "overhead %", "log bytes"
     );
-    for row in harness.run_all() {
+    let baseline = harness.baseline_wall();
+    let mut rows = vec![harness.run_lotus(baseline)];
+    for which in lotus::profilers::BaselineProfiler::ALL {
+        rows.push(harness.run_baseline(which, baseline));
+    }
+    for row in rows {
         println!(
             "{:<18} {:>11.1} {:>12.1} {:>14}   {}{}",
             row.profiler,
@@ -243,6 +259,65 @@ fn cmd_compare(args: &Args) -> Result<(), Box<dyn Error>> {
             row.capabilities.row(),
             if row.out_of_memory { "  (OOM!)" } else { "" }
         );
+    }
+    println!("\nstreaming sink stack (one run, cost attributed per sink):");
+    println!("{:<18} {:>11} {:>14}", "sink", "wall (s)", "charged");
+    for row in harness.run_sink_stack(baseline) {
+        println!(
+            "{:<18} {:>11.1} {:>14}",
+            row.sink,
+            row.wall_time.as_secs_f64(),
+            format!("{}", row.charged),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_top(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = pipeline_of(&args.get("pipeline", "ic".to_string())?)?;
+    let mut config = ExperimentConfig::paper_default(kind);
+    config.batch_size = args.get("batch", config.batch_size)?;
+    config.num_workers = args.get("workers", config.num_workers)?;
+    let default_items = match kind {
+        PipelineKind::ImageSegmentation => 210,
+        _ => 8 * config.batch_size as u64,
+    };
+    let config = config.scaled_to(args.get("items", default_items)?);
+
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = Arc::new(MetricsSink::new(Arc::clone(&registry), config.num_workers));
+    let sinks = Arc::new(MultiSink::new().with(Arc::clone(&metrics) as _));
+    let report = config
+        .build(&machine, Arc::clone(&sinks) as _, None)
+        .run()?;
+
+    let snapshot = registry.snapshot();
+    let width = args.get("width", 48usize)?;
+    print!(
+        "{}",
+        render_dashboard(&snapshot, DashboardOptions { width })
+    );
+    println!(
+        "\n{} batches / {} samples in {:.2}s of virtual time",
+        report.batches,
+        report.samples,
+        report.elapsed.as_secs_f64()
+    );
+    for (name, overhead) in sinks.overheads() {
+        println!("sink '{name}' charged {overhead} of instrumentation overhead");
+    }
+    if let Some(path) = args.flags.get("prom") {
+        std::fs::write(path, to_prometheus(&snapshot))?;
+        println!("prometheus text written to {path}");
+    }
+    if let Some(path) = args.flags.get("json") {
+        std::fs::write(path, to_json(&snapshot))?;
+        println!("json snapshot written to {path}");
+    }
+    if let Some(path) = args.flags.get("csv") {
+        std::fs::write(path, to_csv(&snapshot))?;
+        println!("csv time-series written to {path}");
     }
     Ok(())
 }
@@ -259,6 +334,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         "map" => cmd_map(&args),
         "attribute" => cmd_attribute(&args),
         "compare" => cmd_compare(&args),
+        "top" => cmd_top(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
