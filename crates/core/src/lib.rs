@@ -20,6 +20,11 @@
 //!   filters the sampled native functions into a mapping (Table I), and
 //!   splits whole-pipeline hardware counters back onto Python operations
 //!   by LotusTrace elapsed-time weights (Figure 6).
+//! * [`tune`] — **lotus tune**: closes the characterization loop with an
+//!   automatic DataLoader configuration search (grid + hill climbing
+//!   with dominance pruning) that scores every candidate on throughput,
+//!   T2 wait, and memory footprint, and recommends a configuration with
+//!   a predicted speedup and a T1/T2/T3-based bottleneck verdict.
 //!
 //! ```
 //! use lotus_core::map::required_runs;
@@ -35,3 +40,4 @@
 pub mod map;
 pub mod metrics;
 pub mod trace;
+pub mod tune;

@@ -122,6 +122,23 @@ struct RegistryInner {
 /// one run. Handed to a [`crate::metrics::MetricsSink`] for live
 /// population and to the exporters ([`crate::metrics::export`]) and
 /// dashboard ([`crate::metrics::dashboard`]) for read-out.
+///
+/// # Examples
+///
+/// ```
+/// use lotus_core::metrics::MetricsRegistry;
+/// use lotus_sim::{Span, Time};
+///
+/// let registry = MetricsRegistry::new();
+/// registry.inc_counter("batches_consumed_total", 3);
+/// registry.set_gauge("queue_depth.data_queue", Time::ZERO, 2.0);
+/// registry.record_latency("t2_batch_wait_ns", Span::from_micros(150));
+///
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.counters["batches_consumed_total"], 3);
+/// assert_eq!(snapshot.gauges["queue_depth.data_queue"].last(), Some(2.0));
+/// assert_eq!(snapshot.histograms["t2_batch_wait_ns"].count, 1);
+/// ```
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     inner: Mutex<RegistryInner>,

@@ -51,6 +51,9 @@ pub mod names {
     pub const MAIN_WAIT_FRACTION: &str = "main_wait_fraction";
     /// Gauge: dispatched-but-unreturned batches (fed by the engine).
     pub const IN_FLIGHT: &str = "in_flight_batches";
+    /// Gauge: out-of-order batches pinned in the main-process cache
+    /// (fed by the engine).
+    pub const PINNED_CACHE: &str = "pinned_cache_batches";
     /// Gauge: cumulative consumed batches over virtual time (the
     /// dashboard differentiates this series into throughput).
     pub const BATCHES_CONSUMED_SERIES: &str = "batches_consumed";

@@ -289,6 +289,84 @@ pub fn total_preprocess_cpu(records: &[TraceRecord]) -> Span {
         .sum()
 }
 
+/// The three stages a \[T3\] operation can belong to, with their total
+/// elapsed times: the `Loader` source fetch (I/O + decode), the transform
+/// chain, and the final `C(n)` collation. The `lotus tune` bottleneck
+/// attribution is built on these shares.
+///
+/// # Examples
+///
+/// ```
+/// use lotus_core::trace::analysis::OpClassTotals;
+/// use lotus_sim::Span;
+///
+/// let totals = OpClassTotals {
+///     load: Span::from_millis(10),
+///     transform: Span::from_millis(70),
+///     collate: Span::from_millis(20),
+/// };
+/// let (class, share) = totals.dominant().unwrap();
+/// assert_eq!(class, "transform");
+/// assert!((share - 0.7).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpClassTotals {
+    /// Total elapsed time of `Loader` ops (source fetch: I/O + decode).
+    pub load: Span,
+    /// Total elapsed time of transform ops (everything that is neither
+    /// the `Loader` nor a collate).
+    pub transform: Span,
+    /// Total elapsed time of `C(n)` collate ops.
+    pub collate: Span,
+}
+
+impl OpClassTotals {
+    /// Sum over all three classes.
+    #[must_use]
+    pub fn total(&self) -> Span {
+        self.load + self.transform + self.collate
+    }
+
+    /// The dominant class as `("load" | "transform" | "collate", share)`,
+    /// with `share` in `[0, 1]`. `None` when no op time was recorded.
+    #[must_use]
+    pub fn dominant(&self) -> Option<(&'static str, f64)> {
+        let total = self.total().as_nanos();
+        if total == 0 {
+            return None;
+        }
+        let classes = [
+            ("load", self.load),
+            ("transform", self.transform),
+            ("collate", self.collate),
+        ];
+        classes
+            .iter()
+            .max_by_key(|(_, s)| s.as_nanos())
+            .map(|&(name, s)| (name, s.as_nanos() as f64 / total as f64))
+    }
+}
+
+/// Buckets per-operation elapsed time into the three pipeline stages:
+/// `Loader` ops are the source fetch, `C(n)` ops are collation, and
+/// everything else is the transform chain.
+#[must_use]
+pub fn op_class_totals(records: &[TraceRecord]) -> OpClassTotals {
+    let mut totals = OpClassTotals::default();
+    for r in records {
+        if let SpanKind::Op(name) = &r.kind {
+            if name == "Loader" {
+                totals.load += r.duration;
+            } else if name.starts_with("C(") && name.ends_with(')') {
+                totals.collate += r.duration;
+            } else {
+                totals.transform += r.duration;
+            }
+        }
+    }
+    totals
+}
+
 /// Total elapsed time per operation (Figure 6(b): per-op CPU time).
 #[must_use]
 pub fn per_op_cpu_totals(records: &[TraceRecord]) -> BTreeMap<String, Span> {
@@ -371,6 +449,21 @@ mod tests {
         let per_op = per_op_cpu_totals(&log);
         assert_eq!(per_op["Loader"].as_nanos(), 20_000_000);
         assert_eq!(per_op["RRC"].as_nanos(), 50_000);
+    }
+
+    #[test]
+    fn op_classes_bucket_loader_transforms_and_collate() {
+        let mut log = sample_log();
+        log.push(rec(SpanKind::Op("C(4)".into()), 0, 21_000_000, 2_000_000));
+        let classes = op_class_totals(&log);
+        assert_eq!(classes.load.as_nanos(), 20_000_000);
+        assert_eq!(classes.transform.as_nanos(), 50_000); // RRC
+        assert_eq!(classes.collate.as_nanos(), 2_000_000);
+        assert_eq!(classes.total().as_nanos(), 22_050_000);
+        let (name, share) = classes.dominant().unwrap();
+        assert_eq!(name, "load");
+        assert!(share > 0.9);
+        assert_eq!(op_class_totals(&[]).dominant(), None);
     }
 
     #[test]

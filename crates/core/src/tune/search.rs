@@ -1,0 +1,595 @@
+//! The tuning search itself: grid sweep with dominance pruning, optional
+//! hill-climbing refinement, Pareto frontier extraction, and the final
+//! report (table + byte-deterministic JSON).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde_json::{Content, Value};
+
+use super::score::{Scorecard, TrialMeasurement};
+use super::space::{SearchSpace, TrialConfig};
+
+/// How the tuner walks the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Exhaustive sweep of [`SearchSpace::grid`], with dominance pruning
+    /// inside each worker slice: once adding workers produces a card
+    /// that is no better on either throughput or mean \[T2\] wait than
+    /// an earlier (smaller-worker) card of the same slice, the remaining
+    /// larger worker counts of that slice are skipped — they can only
+    /// cost more memory.
+    Grid,
+    /// Greedy hill climbing from the baseline configuration: evaluate
+    /// all [`SearchSpace::neighbors`], move to the best strictly-better
+    /// one, repeat up to `max_moves` times. Evaluates far fewer configs
+    /// than the grid on large spaces; may stop at a local optimum.
+    HillClimb {
+        /// Maximum number of accepted moves before stopping.
+        max_moves: usize,
+    },
+}
+
+/// The tuner: a search space plus a strategy. Measurement is delegated
+/// to an *oracle* closure so the engine stays independent of any
+/// concrete workload — the oracle runs one deterministic simulation for
+/// a candidate configuration and folds its metrics into a
+/// [`TrialMeasurement`] (or an error string for a degraded run).
+///
+/// # Examples
+///
+/// ```
+/// use lotus_core::tune::{SearchSpace, Strategy, TrialConfig, Tuner};
+/// # use lotus_core::metrics::MetricsRegistry;
+/// # use lotus_core::trace::analysis::OpClassTotals;
+/// # use lotus_core::tune::TrialMeasurement;
+/// # use lotus_sim::Span;
+///
+/// let tuner = Tuner {
+///     space: SearchSpace { workers: vec![1, 2], prefetch: vec![2], queue_caps: vec![None], pin_memory: vec![true] },
+///     strategy: Strategy::Grid,
+/// };
+/// let baseline = TrialConfig { num_workers: 1, prefetch_factor: 2, data_queue_cap: None, pin_memory: true };
+/// // A toy oracle: doubling workers halves the epoch.
+/// let report = tuner.run(baseline, |c| {
+///     Ok(TrialMeasurement {
+///         elapsed: Span::from_millis(100 / c.num_workers as u64),
+///         batches: 8,
+///         samples: 64,
+///         snapshot: MetricsRegistry::new().snapshot(),
+///         op_classes: OpClassTotals::default(),
+///     })
+/// })?;
+/// assert_eq!(report.recommended.num_workers, 2);
+/// assert!(report.predicted_speedup.unwrap() > 1.9);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    /// Candidate knob values.
+    pub space: SearchSpace,
+    /// Search strategy.
+    pub strategy: Strategy,
+}
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// The baseline configuration's card (always evaluated first).
+    pub baseline: Scorecard,
+    /// Every evaluated configuration, in evaluation order. Contains the
+    /// baseline too when the search space covers it.
+    pub cards: Vec<Scorecard>,
+    /// Configurations skipped by dominance pruning, in grid order.
+    pub pruned: Vec<TrialConfig>,
+    /// The Pareto frontier over (throughput max, footprint min), sorted
+    /// by ascending footprint. Only successful cards participate.
+    pub frontier: Vec<TrialConfig>,
+    /// The recommended configuration: highest throughput, ties broken
+    /// toward smaller footprint, then fewer workers.
+    pub recommended: TrialConfig,
+    /// Predicted epoch speedup of `recommended` over the baseline
+    /// (baseline elapsed / recommended elapsed). `None` when the
+    /// baseline itself failed.
+    pub predicted_speedup: Option<f64>,
+}
+
+impl Tuner {
+    /// Runs the search. `baseline` is measured first (it anchors the
+    /// speedup prediction and seeds hill climbing); the oracle is called
+    /// once per distinct configuration (results are memoized).
+    ///
+    /// An oracle error does **not** abort the search — the configuration
+    /// is recorded as a failed (degraded) card and the sweep continues,
+    /// which is what makes tuning under a fault plan total.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the search space fails
+    /// [`SearchSpace::validate`] or when no configuration (baseline
+    /// included) completed successfully.
+    pub fn run<F>(&self, baseline: TrialConfig, mut oracle: F) -> Result<TuneReport, String>
+    where
+        F: FnMut(&TrialConfig) -> Result<TrialMeasurement, String>,
+    {
+        self.space.validate()?;
+        let mut memo: BTreeMap<TrialConfig, Scorecard> = BTreeMap::new();
+        let mut order: Vec<TrialConfig> = Vec::new();
+        let mut evaluate = |config: TrialConfig,
+                            memo: &mut BTreeMap<TrialConfig, Scorecard>,
+                            order: &mut Vec<TrialConfig>|
+         -> Scorecard {
+            if let Some(card) = memo.get(&config) {
+                return card.clone();
+            }
+            let card = match oracle(&config) {
+                Ok(m) => Scorecard::from_measurement(config, &m),
+                Err(e) => Scorecard::from_failure(config, e),
+            };
+            memo.insert(config, card.clone());
+            order.push(config);
+            card
+        };
+
+        let baseline_card = evaluate(baseline, &mut memo, &mut order);
+        let mut pruned: Vec<TrialConfig> = Vec::new();
+
+        match self.strategy {
+            Strategy::Grid => {
+                let slice_len = self.space.workers.len();
+                let grid = self.space.grid();
+                for slice in grid.chunks(slice_len) {
+                    // Cards of this slice that completed, in worker order;
+                    // pruning compares only within the slice so a bounded
+                    // queue or disabled pinning is never judged against an
+                    // unbounded sibling.
+                    let mut slice_cards: Vec<Scorecard> = Vec::new();
+                    let mut cut = false;
+                    for &config in slice {
+                        if cut {
+                            pruned.push(config);
+                            continue;
+                        }
+                        let card = evaluate(config, &mut memo, &mut order);
+                        if card.is_ok() {
+                            // Weak dominance: an earlier card with fewer
+                            // workers that is at least as good on both
+                            // axes means adding workers stopped paying —
+                            // larger counts only cost memory.
+                            if slice_cards.iter().any(|prev: &Scorecard| {
+                                prev.throughput >= card.throughput
+                                    && prev.mean_wait_ms <= card.mean_wait_ms
+                            }) {
+                                cut = true;
+                            }
+                            slice_cards.push(card);
+                        }
+                    }
+                }
+            }
+            Strategy::HillClimb { max_moves } => {
+                let mut at = baseline;
+                let mut at_card = baseline_card.clone();
+                for _ in 0..max_moves {
+                    let mut best: Option<Scorecard> = None;
+                    for next in self.space.neighbors(at) {
+                        let card = evaluate(next, &mut memo, &mut order);
+                        if !card.is_ok() {
+                            continue;
+                        }
+                        if best.as_ref().is_none_or(|b| card.throughput > b.throughput) {
+                            best = Some(card);
+                        }
+                    }
+                    match best {
+                        Some(card) if card.throughput > at_card.throughput => {
+                            at = card.config;
+                            at_card = card;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+
+        let cards: Vec<Scorecard> = order.iter().map(|c| memo[c].clone()).collect();
+        let mut ok_cards: Vec<&Scorecard> = cards.iter().filter(|c| c.is_ok()).collect();
+        if ok_cards.is_empty() {
+            return Err("no configuration completed successfully".into());
+        }
+        // Recommended: throughput desc, then footprint asc, workers asc,
+        // config order as the final deterministic tie-break.
+        ok_cards.sort_by(|a, b| {
+            b.throughput
+                .total_cmp(&a.throughput)
+                .then(a.footprint_batches.total_cmp(&b.footprint_batches))
+                .then(a.config.num_workers.cmp(&b.config.num_workers))
+                .then(a.config.cmp(&b.config))
+        });
+        let recommended_card = ok_cards[0].clone();
+        let predicted_speedup = if baseline_card.is_ok() {
+            Some(baseline_card.elapsed.as_secs_f64() / recommended_card.elapsed.as_secs_f64())
+        } else {
+            None
+        };
+
+        // Pareto frontier on (throughput max, footprint min).
+        let mut frontier: Vec<&Scorecard> = ok_cards
+            .iter()
+            .filter(|c| {
+                !ok_cards.iter().any(|o| {
+                    (o.throughput >= c.throughput && o.footprint_batches < c.footprint_batches)
+                        || (o.throughput > c.throughput
+                            && o.footprint_batches <= c.footprint_batches)
+                })
+            })
+            .copied()
+            .collect();
+        frontier.sort_by(|a, b| {
+            a.footprint_batches
+                .total_cmp(&b.footprint_batches)
+                .then(a.config.cmp(&b.config))
+        });
+        // Exact ties on both axes are one Pareto point; keep the first.
+        frontier.dedup_by(|a, b| {
+            a.throughput == b.throughput && a.footprint_batches == b.footprint_batches
+        });
+
+        Ok(TuneReport {
+            baseline: baseline_card,
+            frontier: frontier.iter().map(|c| c.config).collect(),
+            recommended: recommended_card.config,
+            predicted_speedup,
+            cards,
+            pruned,
+        })
+    }
+}
+
+impl TuneReport {
+    /// The scorecard of the recommended configuration.
+    ///
+    /// # Panics
+    ///
+    /// Never — the recommended config is always among the cards.
+    #[must_use]
+    pub fn recommended_card(&self) -> &Scorecard {
+        self.cards
+            .iter()
+            .find(|c| c.config == self.recommended)
+            .expect("recommended config was evaluated")
+    }
+
+    /// Renders the report as a fixed-width text table plus the verdict
+    /// footer (what `lotus tune` prints without `--json`).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>8} {:>9} {:>10} {:>7}  {:<20} flags",
+            "config", "samples/s", "wait%", "t2 ms", "delay ms", "peak#", "verdict"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(100));
+        for card in &self.cards {
+            let mut flags = Vec::new();
+            if card.config == self.baseline.config {
+                flags.push("baseline");
+            }
+            if card.config == self.recommended {
+                flags.push("recommended");
+            }
+            if self.frontier.contains(&card.config) {
+                flags.push("pareto");
+            }
+            if card.worker_deaths > 0 || card.faults_injected > 0 {
+                flags.push("faults");
+            }
+            match &card.failed {
+                Some(err) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:>12} {:>8} {:>9} {:>10} {:>7}  {:<20} {}",
+                        card.config.label(),
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        format!("degraded: {err}"),
+                        flags.join(",")
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:>12.1} {:>7.1}% {:>9.2} {:>10.2} {:>7.1}  {:<20} {}",
+                        card.config.label(),
+                        card.throughput,
+                        card.wait_fraction * 100.0,
+                        card.mean_wait_ms,
+                        card.mean_queue_delay_ms,
+                        card.footprint_batches,
+                        card.verdict.map_or("-", |v| v.as_str()),
+                        flags.join(",")
+                    );
+                }
+            }
+        }
+        if !self.pruned.is_empty() {
+            let labels: Vec<String> = self.pruned.iter().map(TrialConfig::label).collect();
+            let _ = writeln!(out, "pruned (dominated): {}", labels.join(", "));
+        }
+        let rec = self.recommended_card();
+        let _ = writeln!(out, "\nrecommended: {}", rec.config.label());
+        match self.predicted_speedup {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "predicted speedup over baseline {}: {:.2}x",
+                    self.baseline.config.label(),
+                    s
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "baseline {} degraded; no speedup prediction",
+                    self.baseline.config.label()
+                );
+            }
+        }
+        if let Some(v) = rec.verdict {
+            let _ = writeln!(out, "bottleneck at recommended config: {}", v.as_str());
+        }
+        out
+    }
+
+    /// Serializes the report as pretty-printed JSON. Maps are emitted in
+    /// insertion order and every field is derived from the deterministic
+    /// simulation, so the same tuning run always produces byte-identical
+    /// output.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let config_json = |c: &TrialConfig| {
+            Content::Map(vec![
+                (
+                    "num_workers".to_string(),
+                    Content::U64(c.num_workers as u64),
+                ),
+                (
+                    "prefetch_factor".to_string(),
+                    Content::U64(c.prefetch_factor as u64),
+                ),
+                (
+                    "data_queue_cap".to_string(),
+                    match c.data_queue_cap {
+                        Some(cap) => Content::U64(cap as u64),
+                        None => Content::Null,
+                    },
+                ),
+                ("pin_memory".to_string(), Content::Bool(c.pin_memory)),
+            ])
+        };
+        let card_json = |card: &Scorecard| {
+            Content::Map(vec![
+                ("config".to_string(), config_json(&card.config)),
+                ("label".to_string(), Content::Str(card.config.label())),
+                (
+                    "throughput_samples_per_s".to_string(),
+                    Content::F64(card.throughput),
+                ),
+                (
+                    "elapsed_ns".to_string(),
+                    Content::U64(card.elapsed.as_nanos()),
+                ),
+                ("samples".to_string(), Content::U64(card.samples)),
+                ("batches".to_string(), Content::U64(card.batches)),
+                (
+                    "wait_fraction".to_string(),
+                    Content::F64(card.wait_fraction),
+                ),
+                ("mean_wait_ms".to_string(), Content::F64(card.mean_wait_ms)),
+                (
+                    "mean_queue_delay_ms".to_string(),
+                    Content::F64(card.mean_queue_delay_ms),
+                ),
+                (
+                    "footprint_batches".to_string(),
+                    Content::F64(card.footprint_batches),
+                ),
+                (
+                    "verdict".to_string(),
+                    match card.verdict {
+                        Some(v) => Content::Str(v.as_str().to_string()),
+                        None => Content::Null,
+                    },
+                ),
+                (
+                    "faults_injected".to_string(),
+                    Content::U64(card.faults_injected),
+                ),
+                (
+                    "worker_deaths".to_string(),
+                    Content::U64(card.worker_deaths),
+                ),
+                (
+                    "failed".to_string(),
+                    match &card.failed {
+                        Some(e) => Content::Str(e.clone()),
+                        None => Content::Null,
+                    },
+                ),
+            ])
+        };
+        let doc = Value(Content::Map(vec![
+            ("baseline".to_string(), card_json(&self.baseline)),
+            (
+                "cards".to_string(),
+                Content::Seq(self.cards.iter().map(card_json).collect()),
+            ),
+            (
+                "pruned".to_string(),
+                Content::Seq(self.pruned.iter().map(&config_json).collect()),
+            ),
+            (
+                "pareto_frontier".to_string(),
+                Content::Seq(self.frontier.iter().map(&config_json).collect()),
+            ),
+            ("recommended".to_string(), config_json(&self.recommended)),
+            (
+                "predicted_speedup".to_string(),
+                match self.predicted_speedup {
+                    Some(s) => Content::F64(s),
+                    None => Content::Null,
+                },
+            ),
+        ]));
+        let mut text = serde_json::to_string_pretty(&doc).expect("tune report serializes");
+        text.push('\n');
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{names, MetricsRegistry};
+    use crate::trace::analysis::OpClassTotals;
+    use lotus_sim::{Span, Time};
+
+    fn space() -> SearchSpace {
+        SearchSpace {
+            workers: vec![1, 2, 4, 8],
+            prefetch: vec![2],
+            queue_caps: vec![None],
+            pin_memory: vec![true],
+        }
+    }
+
+    /// Synthetic workload: preprocessing takes 80 ms of worker time per
+    /// batch, the consumer 10 ms; workers parallelize perfectly up to 4
+    /// then saturate (the source serializes).
+    fn toy_oracle(c: &TrialConfig) -> Result<TrialMeasurement, String> {
+        let batches = 32u64;
+        let per_batch_ms = 10.0 + 80.0 / (c.num_workers.min(4) as f64);
+        let elapsed = Span::from_secs_f64(per_batch_ms * batches as f64 / 1e3);
+        let registry = MetricsRegistry::new();
+        let wait_ms = (per_batch_ms - 10.0).max(0.0);
+        registry.inc_counter(names::MAIN_WAIT_NS, (wait_ms * batches as f64 * 1e6) as u64);
+        registry.record_latency(names::T2_WAIT, Span::from_secs_f64(wait_ms / 1e3));
+        registry.record_latency(names::QUEUE_DELAY, Span::from_micros(50));
+        registry.set_gauge("queue_depth.data_queue", Time::ZERO, c.num_workers as f64);
+        Ok(TrialMeasurement {
+            elapsed,
+            batches,
+            samples: batches * 8,
+            snapshot: registry.snapshot(),
+            op_classes: OpClassTotals {
+                load: Span::from_millis(5),
+                transform: Span::from_millis(75),
+                collate: Span::from_millis(2),
+            },
+        })
+    }
+
+    fn baseline() -> TrialConfig {
+        TrialConfig {
+            num_workers: 1,
+            prefetch_factor: 2,
+            data_queue_cap: None,
+            pin_memory: true,
+        }
+    }
+
+    #[test]
+    fn grid_prunes_saturated_worker_counts() {
+        let tuner = Tuner {
+            space: SearchSpace {
+                workers: vec![1, 2, 4, 8, 16],
+                ..space()
+            },
+            strategy: Strategy::Grid,
+        };
+        let report = tuner.run(baseline(), toy_oracle).unwrap();
+        // Workers saturate at 4: the 8-worker card ties it on both axes,
+        // which cuts the slice — 16 workers is never evaluated.
+        assert_eq!(report.recommended.num_workers, 4);
+        assert_eq!(report.pruned.len(), 1);
+        assert_eq!(report.pruned[0].num_workers, 16);
+        assert!(report.cards.iter().all(|c| c.config.num_workers != 16));
+        let speedup = report.predicted_speedup.unwrap();
+        assert!(speedup > 2.5, "90ms -> 30ms per batch: {speedup}");
+        assert!(report.frontier.contains(&report.recommended));
+        // The saturated 8-worker card ties the 4-worker card exactly on
+        // throughput but costs more memory, so only one survives on the
+        // frontier.
+        assert!(!report.frontier.iter().any(|c| c.num_workers == 8));
+    }
+
+    #[test]
+    fn hill_climb_reaches_the_same_optimum() {
+        let tuner = Tuner {
+            space: space(),
+            strategy: Strategy::HillClimb { max_moves: 8 },
+        };
+        let report = tuner.run(baseline(), toy_oracle).unwrap();
+        assert_eq!(report.recommended.num_workers, 4);
+        // Hill climbing should evaluate fewer configs than grid + memoize.
+        assert!(report.cards.len() <= 4);
+    }
+
+    #[test]
+    fn failed_trials_degrade_without_aborting() {
+        let tuner = Tuner {
+            space: space(),
+            strategy: Strategy::Grid,
+        };
+        let report = tuner
+            .run(baseline(), |c| {
+                if c.num_workers == 2 {
+                    Err("worker 1 killed by fault plan".into())
+                } else {
+                    toy_oracle(c)
+                }
+            })
+            .unwrap();
+        let failed: Vec<_> = report.cards.iter().filter(|c| !c.is_ok()).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].config.num_workers, 2);
+        assert_eq!(
+            failed[0].failed.as_deref(),
+            Some("worker 1 killed by fault plan")
+        );
+        // Failure must not prune the rest of the slice.
+        assert!(report.cards.iter().any(|c| c.config.num_workers == 4));
+        assert_eq!(report.recommended.num_workers, 4);
+    }
+
+    #[test]
+    fn all_failures_is_an_error() {
+        let tuner = Tuner {
+            space: space(),
+            strategy: Strategy::Grid,
+        };
+        let err = tuner.run(baseline(), |_| Err("dead".into())).unwrap_err();
+        assert_eq!(err, "no configuration completed successfully");
+    }
+
+    #[test]
+    fn report_renders_table_and_deterministic_json() {
+        let tuner = Tuner {
+            space: space(),
+            strategy: Strategy::Grid,
+        };
+        let a = tuner.run(baseline(), toy_oracle).unwrap();
+        let b = tuner.run(baseline(), toy_oracle).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "same run, same bytes");
+        let table = a.render_table();
+        assert!(table.contains("recommended: w4 pf2 cap- pin"));
+        assert!(table.contains("predicted speedup"));
+        let json = a.to_json();
+        assert!(json.contains("\"pareto_frontier\""));
+        assert!(json.contains("\"predicted_speedup\""));
+    }
+}

@@ -1,0 +1,302 @@
+//! The tuning search space: which DataLoader knobs `lotus tune` explores
+//! and how candidate configurations enumerate.
+
+use lotus_dataflow::DataLoaderConfig;
+
+/// One candidate point in the search space: the four DataLoader knobs the
+/// tuner varies. Everything else (batch size, sampler, GPU model) stays
+/// fixed at the workload's values so trials differ only in loader
+/// configuration.
+///
+/// # Examples
+///
+/// ```
+/// use lotus_core::tune::TrialConfig;
+/// use lotus_dataflow::DataLoaderConfig;
+///
+/// let trial = TrialConfig { num_workers: 4, prefetch_factor: 2, data_queue_cap: Some(8), pin_memory: true };
+/// let loader = trial.apply(DataLoaderConfig::default());
+/// assert_eq!(loader.num_workers, 4);
+/// assert_eq!(loader.data_queue_cap, Some(8));
+/// assert_eq!(trial.label(), "w4 pf2 cap8 pin");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrialConfig {
+    /// DataLoader worker processes (≥ 1).
+    pub num_workers: usize,
+    /// Index batches pre-queued per worker (≥ 1).
+    pub prefetch_factor: usize,
+    /// Bound on the shared data queue in batches; `None` = unbounded
+    /// (PyTorch's behavior).
+    pub data_queue_cap: Option<usize>,
+    /// Whether the main process pins batches to page-locked memory.
+    pub pin_memory: bool,
+}
+
+impl TrialConfig {
+    /// Overlays this trial's knobs onto a base loader configuration,
+    /// keeping the base's batch size, sampler, and `drop_last`.
+    #[must_use]
+    pub fn apply(&self, base: DataLoaderConfig) -> DataLoaderConfig {
+        DataLoaderConfig {
+            num_workers: self.num_workers,
+            prefetch_factor: self.prefetch_factor,
+            data_queue_cap: self.data_queue_cap,
+            pin_memory: self.pin_memory,
+            ..base
+        }
+    }
+
+    /// Short human-readable label, e.g. `w4 pf2 cap8 pin` or
+    /// `w1 pf1 cap- nopin` (`cap-` = unbounded data queue).
+    #[must_use]
+    pub fn label(&self) -> String {
+        let cap = match self.data_queue_cap {
+            Some(c) => format!("cap{c}"),
+            None => "cap-".to_string(),
+        };
+        format!(
+            "w{} pf{} {} {}",
+            self.num_workers,
+            self.prefetch_factor,
+            cap,
+            if self.pin_memory { "pin" } else { "nopin" }
+        )
+    }
+}
+
+/// The axes of the grid the tuner sweeps. Each axis lists the candidate
+/// values in the order the grid visits them; `workers` is the innermost
+/// (fastest-varying) axis so dominance pruning can skip the tail of a
+/// worker sweep once adding workers stops paying.
+///
+/// # Examples
+///
+/// ```
+/// use lotus_core::tune::SearchSpace;
+///
+/// let space = SearchSpace::default();
+/// assert!(space.validate().is_ok());
+/// // grid size = product of the axis lengths
+/// assert_eq!(space.grid().len(), space.workers.len() * space.prefetch.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    /// Candidate worker counts, ascending.
+    pub workers: Vec<usize>,
+    /// Candidate prefetch factors.
+    pub prefetch: Vec<usize>,
+    /// Candidate data-queue capacities (`None` = unbounded).
+    pub queue_caps: Vec<Option<usize>>,
+    /// Candidate pin-memory settings.
+    pub pin_memory: Vec<bool>,
+}
+
+impl Default for SearchSpace {
+    /// A small practical sweep: 1–8 workers, prefetch 1/2/4, unbounded
+    /// data queue, pinned memory — the knobs PyTorch users actually turn.
+    fn default() -> Self {
+        SearchSpace {
+            workers: vec![1, 2, 4, 8],
+            prefetch: vec![1, 2, 4],
+            queue_caps: vec![None],
+            pin_memory: vec![true],
+        }
+    }
+}
+
+impl SearchSpace {
+    /// Checks the axes are non-empty and every value satisfies the
+    /// [`DataLoaderConfig`] field invariants (all counts ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid axis.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers.is_empty() {
+            return Err("search space needs at least one worker count".into());
+        }
+        if self.prefetch.is_empty() {
+            return Err("search space needs at least one prefetch factor".into());
+        }
+        if self.queue_caps.is_empty() {
+            return Err("search space needs at least one queue capacity".into());
+        }
+        if self.pin_memory.is_empty() {
+            return Err("search space needs at least one pin-memory setting".into());
+        }
+        if self.workers.contains(&0) {
+            return Err("num_workers must be at least 1 (worker-process data loading)".into());
+        }
+        if self.prefetch.contains(&0) {
+            return Err("prefetch_factor must be at least 1 (workers need an index batch)".into());
+        }
+        if self.queue_caps.contains(&Some(0)) {
+            return Err(
+                "data_queue_cap must be at least 1 (a zero-capacity data queue deadlocks)".into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Enumerates the full grid. The nesting order is pin-memory →
+    /// queue capacity → prefetch factor → workers, so each contiguous
+    /// run of grid entries is one "slice" that varies only the worker
+    /// count — the unit over which the tuner applies dominance pruning.
+    #[must_use]
+    pub fn grid(&self) -> Vec<TrialConfig> {
+        let mut out = Vec::new();
+        for &pin_memory in &self.pin_memory {
+            for &data_queue_cap in &self.queue_caps {
+                for &prefetch_factor in &self.prefetch {
+                    for &num_workers in &self.workers {
+                        out.push(TrialConfig {
+                            num_workers,
+                            prefetch_factor,
+                            data_queue_cap,
+                            pin_memory,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The hill-climbing neighborhood of `config`: every configuration
+    /// reachable by moving one knob one step along its axis (or toggling
+    /// pin-memory to another listed value). Knobs whose current value is
+    /// not on the axis contribute no moves. The result is deterministic
+    /// and never contains `config` itself.
+    #[must_use]
+    pub fn neighbors(&self, config: TrialConfig) -> Vec<TrialConfig> {
+        let mut out = Vec::new();
+        let step = |axis: &[usize], v: usize, out: &mut Vec<usize>| {
+            if let Some(i) = axis.iter().position(|&a| a == v) {
+                if i > 0 {
+                    out.push(axis[i - 1]);
+                }
+                if i + 1 < axis.len() {
+                    out.push(axis[i + 1]);
+                }
+            }
+        };
+        let mut worker_moves = Vec::new();
+        step(&self.workers, config.num_workers, &mut worker_moves);
+        for num_workers in worker_moves {
+            out.push(TrialConfig {
+                num_workers,
+                ..config
+            });
+        }
+        let mut prefetch_moves = Vec::new();
+        step(&self.prefetch, config.prefetch_factor, &mut prefetch_moves);
+        for prefetch_factor in prefetch_moves {
+            out.push(TrialConfig {
+                prefetch_factor,
+                ..config
+            });
+        }
+        if let Some(i) = self
+            .queue_caps
+            .iter()
+            .position(|&c| c == config.data_queue_cap)
+        {
+            if i > 0 {
+                out.push(TrialConfig {
+                    data_queue_cap: self.queue_caps[i - 1],
+                    ..config
+                });
+            }
+            if i + 1 < self.queue_caps.len() {
+                out.push(TrialConfig {
+                    data_queue_cap: self.queue_caps[i + 1],
+                    ..config
+                });
+            }
+        }
+        for &pin_memory in &self.pin_memory {
+            if pin_memory != config.pin_memory {
+                out.push(TrialConfig {
+                    pin_memory,
+                    ..config
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_orders_workers_innermost() {
+        let space = SearchSpace {
+            workers: vec![1, 2],
+            prefetch: vec![1, 2],
+            queue_caps: vec![None],
+            pin_memory: vec![true],
+        };
+        let grid = space.grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].num_workers, 1);
+        assert_eq!(grid[1].num_workers, 2);
+        assert_eq!(grid[0].prefetch_factor, 1);
+        assert_eq!(grid[2].prefetch_factor, 2);
+    }
+
+    #[test]
+    fn neighbors_move_one_knob_one_step() {
+        let space = SearchSpace {
+            workers: vec![1, 2, 4],
+            prefetch: vec![1, 2],
+            queue_caps: vec![None, Some(4)],
+            pin_memory: vec![true, false],
+        };
+        let at = TrialConfig {
+            num_workers: 2,
+            prefetch_factor: 1,
+            data_queue_cap: None,
+            pin_memory: true,
+        };
+        let n = space.neighbors(at);
+        assert!(n.contains(&TrialConfig {
+            num_workers: 1,
+            ..at
+        }));
+        assert!(n.contains(&TrialConfig {
+            num_workers: 4,
+            ..at
+        }));
+        assert!(n.contains(&TrialConfig {
+            prefetch_factor: 2,
+            ..at
+        }));
+        assert!(n.contains(&TrialConfig {
+            data_queue_cap: Some(4),
+            ..at
+        }));
+        assert!(n.contains(&TrialConfig {
+            pin_memory: false,
+            ..at
+        }));
+        assert!(!n.contains(&at));
+        assert_eq!(n.len(), 5);
+    }
+
+    #[test]
+    fn invalid_axes_are_rejected() {
+        let mut space = SearchSpace {
+            workers: vec![],
+            ..SearchSpace::default()
+        };
+        assert!(space.validate().is_err());
+        space.workers = vec![0];
+        assert_eq!(
+            space.validate().unwrap_err(),
+            "num_workers must be at least 1 (worker-process data loading)"
+        );
+    }
+}

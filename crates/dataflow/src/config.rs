@@ -5,16 +5,31 @@ use lotus_sim::Span;
 use crate::dataset::Sampler;
 
 /// `torch.utils.data.DataLoader` parameters (the knobs of the paper's
-/// Listing 1).
+/// Listing 1), plus the `data_queue_cap` extension the `lotus tune`
+/// sweep explores.
+///
+/// Invariants are documented per field and checked by [`validate`];
+/// every violation message follows the same `"<field> must be at least
+/// 1 (<reason>)"` shape so callers can match on them.
+///
+/// [`validate`]: DataLoaderConfig::validate
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataLoaderConfig {
-    /// Samples per batch.
+    /// Samples per batch. Must be at least 1.
     pub batch_size: usize,
-    /// Number of DataLoader worker processes.
+    /// Number of DataLoader worker processes. Must be at least 1 — this
+    /// model always loads via worker processes (PyTorch's
+    /// `num_workers=0` in-process mode is not simulated).
     pub num_workers: usize,
     /// Index batches pre-queued per worker at epoch start (PyTorch
-    /// default 2).
+    /// default 2). Must be at least 1.
     pub prefetch_factor: usize,
+    /// Bound on the shared data queue, in batches. `None` (the default,
+    /// and PyTorch's behavior) leaves the queue unbounded; `Some(cap)`
+    /// blocks workers once `cap` preprocessed batches sit unconsumed,
+    /// trading throughput for a hard memory ceiling. When bounded, the
+    /// capacity must be at least 1.
+    pub data_queue_cap: Option<usize>,
     /// Whether the main process pins batches to page-locked CPU memory.
     pub pin_memory: bool,
     /// Index ordering.
@@ -24,31 +39,56 @@ pub struct DataLoaderConfig {
 }
 
 impl DataLoaderConfig {
-    /// Validates the configuration.
+    /// Validates the configuration, returning the first violated field
+    /// invariant as a message of the form
+    /// `"<field> must be at least 1 (<reason>)"`.
     ///
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lotus_dataflow::DataLoaderConfig;
+    ///
+    /// assert!(DataLoaderConfig::default().validate().is_ok());
+    ///
+    /// let bad = DataLoaderConfig { batch_size: 0, ..DataLoaderConfig::default() };
+    /// assert_eq!(
+    ///     bad.validate().unwrap_err(),
+    ///     "batch_size must be at least 1 (a batch cannot be empty)"
+    /// );
+    /// ```
     pub fn validate(&self) -> Result<(), String> {
         if self.batch_size == 0 {
-            return Err("batch_size must be positive".into());
+            return Err("batch_size must be at least 1 (a batch cannot be empty)".into());
         }
         if self.num_workers == 0 {
             return Err("num_workers must be at least 1 (worker-process data loading)".into());
         }
         if self.prefetch_factor == 0 {
-            return Err("prefetch_factor must be at least 1".into());
+            return Err("prefetch_factor must be at least 1 (workers need an index batch)".into());
+        }
+        if self.data_queue_cap == Some(0) {
+            return Err(
+                "data_queue_cap must be at least 1 (a zero-capacity data queue deadlocks)".into(),
+            );
         }
         Ok(())
     }
 }
 
 impl Default for DataLoaderConfig {
+    /// PyTorch-shaped defaults: batch of 1, a single worker, prefetch
+    /// factor 2, an unbounded data queue, pinned memory, sequential
+    /// sampling, trailing partial batches dropped.
     fn default() -> Self {
         DataLoaderConfig {
             batch_size: 1,
             num_workers: 1,
             prefetch_factor: 2,
+            data_queue_cap: None,
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
@@ -89,6 +129,20 @@ impl GpuConfig {
 
     /// Wall time of one synchronous training step for a batch of
     /// `batch_len` samples (DataParallel splits the batch evenly).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lotus_dataflow::GpuConfig;
+    /// use lotus_sim::Span;
+    ///
+    /// let group = GpuConfig::v100(4, Span::from_micros(500));
+    /// // 512 samples split over 4 GPUs = 128 per GPU, plus launch overhead.
+    /// assert_eq!(
+    ///     group.step_span(512),
+    ///     Span::from_millis(6) + Span::from_micros(500) * 128
+    /// );
+    /// ```
     #[must_use]
     pub fn step_span(&self, batch_len: usize) -> Span {
         let per_gpu = batch_len.div_ceil(self.count);
@@ -112,22 +166,76 @@ mod tests {
     }
 
     #[test]
-    fn invalid_configs_are_rejected() {
+    fn invalid_configs_are_rejected_with_uniform_messages() {
         let zero_batch = DataLoaderConfig {
             batch_size: 0,
             ..DataLoaderConfig::default()
         };
-        assert!(zero_batch.validate().is_err());
+        assert_eq!(
+            zero_batch.validate().unwrap_err(),
+            "batch_size must be at least 1 (a batch cannot be empty)"
+        );
         let zero_workers = DataLoaderConfig {
             num_workers: 0,
             ..DataLoaderConfig::default()
         };
-        assert!(zero_workers.validate().is_err());
+        assert_eq!(
+            zero_workers.validate().unwrap_err(),
+            "num_workers must be at least 1 (worker-process data loading)"
+        );
         let zero_prefetch = DataLoaderConfig {
             prefetch_factor: 0,
             ..DataLoaderConfig::default()
         };
-        assert!(zero_prefetch.validate().is_err());
+        assert_eq!(
+            zero_prefetch.validate().unwrap_err(),
+            "prefetch_factor must be at least 1 (workers need an index batch)"
+        );
+        let zero_cap = DataLoaderConfig {
+            data_queue_cap: Some(0),
+            ..DataLoaderConfig::default()
+        };
+        assert_eq!(
+            zero_cap.validate().unwrap_err(),
+            "data_queue_cap must be at least 1 (a zero-capacity data queue deadlocks)"
+        );
+    }
+
+    #[test]
+    fn every_validation_message_shares_one_shape() {
+        for bad in [
+            DataLoaderConfig {
+                batch_size: 0,
+                ..DataLoaderConfig::default()
+            },
+            DataLoaderConfig {
+                num_workers: 0,
+                ..DataLoaderConfig::default()
+            },
+            DataLoaderConfig {
+                prefetch_factor: 0,
+                ..DataLoaderConfig::default()
+            },
+            DataLoaderConfig {
+                data_queue_cap: Some(0),
+                ..DataLoaderConfig::default()
+            },
+        ] {
+            let msg = bad.validate().unwrap_err();
+            assert!(
+                msg.contains(" must be at least 1 (") && msg.ends_with(')'),
+                "message breaks the documented shape: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_data_queue_is_valid() {
+        let bounded = DataLoaderConfig {
+            data_queue_cap: Some(4),
+            ..DataLoaderConfig::default()
+        };
+        assert!(bounded.validate().is_ok());
     }
 
     #[test]

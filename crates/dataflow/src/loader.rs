@@ -256,7 +256,7 @@ impl TrainingJob {
         }
 
         let mut sim = Simulation::new();
-        let data_q: Queue<Envelope> = sim.queue("data_queue", None);
+        let data_q: Queue<Envelope> = sim.queue("data_queue", loader.data_queue_cap);
         let index_qs: Vec<Queue<WorkerMsg>> = (0..loader.num_workers)
             .map(|w| sim.queue(format!("index_queue_{w}"), None))
             .collect();
@@ -655,6 +655,7 @@ fn main_loop(
             if !oh.is_zero() {
                 ctx.delay(oh);
             }
+            emit_gauge(ctx, tracer, "pinned_cache_batches", cache.len() as f64);
             env
         } else {
             loop {
@@ -746,6 +747,7 @@ fn main_loop(
                 }
                 env.pinned = true;
                 cache.insert(env.batch_id, env);
+                emit_gauge(ctx, tracer, "pinned_cache_batches", cache.len() as f64);
             }
         };
 

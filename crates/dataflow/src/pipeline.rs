@@ -204,6 +204,7 @@ impl Pipeline {
                 batch_size: self.batch_size,
                 num_workers: self.num_workers,
                 prefetch_factor: self.prefetch_factor,
+                data_queue_cap: None,
                 pin_memory: true,
                 sampler,
                 drop_last: true,

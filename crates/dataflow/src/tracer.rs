@@ -82,9 +82,11 @@ pub trait Tracer: Send + Sync {
     /// A named scalar was sampled at virtual time `at` — the engine's
     /// gauge feed. The DataLoader emits `queue_depth.<queue>` at every
     /// push/pop transition of each index queue and the shared data queue,
-    /// and `in_flight_batches` whenever the dispatched-but-unreturned
-    /// inventory changes. Metrics sinks turn these into deterministic
-    /// `(Time, value)` time-series; trace backends ignore them.
+    /// `in_flight_batches` whenever the dispatched-but-unreturned
+    /// inventory changes, and `pinned_cache_batches` whenever the
+    /// out-of-order pinned cache grows or shrinks. Metrics sinks turn
+    /// these into deterministic `(Time, value)` time-series; trace
+    /// backends ignore them.
     fn on_gauge(&self, name: &str, value: f64, at: Time) -> Span {
         let _ = (name, value, at);
         Span::ZERO

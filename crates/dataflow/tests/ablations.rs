@@ -104,6 +104,7 @@ fn run_with(
             batch_size: 8,
             num_workers: 4,
             prefetch_factor: prefetch,
+            data_queue_cap: None,
             pin_memory,
             sampler: Sampler::Sequential,
             drop_last: true,
@@ -169,6 +170,7 @@ fn random_sampler_changes_the_item_order_but_not_the_totals() {
                 batch_size: 8,
                 num_workers: 2,
                 prefetch_factor: 2,
+                data_queue_cap: None,
                 pin_memory: true,
                 sampler,
                 drop_last: true,

@@ -132,6 +132,7 @@ fn job(
             batch_size: batch,
             num_workers: workers,
             prefetch_factor: 2,
+            data_queue_cap: None,
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
@@ -501,6 +502,7 @@ fn in_flight_inventory_is_bounded_with_a_slow_worker() {
             batch_size: 8,
             num_workers: 4,
             prefetch_factor: 2,
+            data_queue_cap: None,
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
@@ -550,5 +552,71 @@ fn multiple_epochs_reshuffle_and_keep_batch_ids_counting() {
         ids,
         (0..12).collect::<Vec<_>>(),
         "batch ids count across epochs"
+    );
+}
+
+/// Captures the peak of one named gauge series.
+#[derive(Default)]
+struct GaugePeak {
+    name: &'static str,
+    peak: Mutex<f64>,
+}
+
+impl Tracer for GaugePeak {
+    fn on_gauge(&self, name: &str, value: f64, _at: Time) -> Span {
+        if name == self.name {
+            let mut peak = self.peak.lock().unwrap();
+            *peak = peak.max(value);
+        }
+        Span::ZERO
+    }
+}
+
+#[test]
+fn bounded_data_queue_caps_resident_batches_without_losing_any() {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    // Slow GPU + fast preprocessing: an unbounded data queue piles up.
+    let slow_step = Span::from_millis(5);
+    let unbounded_peak = Arc::new(GaugePeak {
+        name: "queue_depth.data_queue",
+        peak: Mutex::new(0.0),
+    });
+    let report = job(
+        &machine,
+        128,
+        5_000.0,
+        4,
+        8,
+        Arc::clone(&unbounded_peak) as _,
+        slow_step,
+    )
+    .run()
+    .unwrap();
+    assert_eq!(report.batches, 16);
+    assert!(
+        *unbounded_peak.peak.lock().unwrap() > 1.0,
+        "the scenario must actually pile batches up when unbounded"
+    );
+
+    let bounded_peak = Arc::new(GaugePeak {
+        name: "queue_depth.data_queue",
+        peak: Mutex::new(0.0),
+    });
+    let mut bounded = job(
+        &machine,
+        128,
+        5_000.0,
+        4,
+        8,
+        Arc::clone(&bounded_peak) as _,
+        slow_step,
+    );
+    bounded.loader.data_queue_cap = Some(1);
+    let report = bounded.run().unwrap();
+    assert_eq!(report.batches, 16, "a bounded queue must not drop batches");
+    assert_eq!(report.samples, 128);
+    assert!(
+        *bounded_peak.peak.lock().unwrap() <= 1.0,
+        "capacity 1 must cap the queue depth at 1"
     );
 }

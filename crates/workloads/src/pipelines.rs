@@ -91,13 +91,55 @@ impl ExperimentConfig {
         self
     }
 
-    /// Builds the training job for this configuration.
+    /// The DataLoader configuration [`build`](Self::build) uses: this
+    /// experiment's batch size and worker count with PyTorch-shaped
+    /// defaults for the rest (prefetch 2, unbounded data queue, pinned
+    /// memory, seeded random sampling). `lotus tune` overlays its trial
+    /// knobs on this.
+    #[must_use]
+    pub fn loader_defaults(&self) -> DataLoaderConfig {
+        DataLoaderConfig {
+            batch_size: self.batch_size,
+            num_workers: self.num_workers,
+            prefetch_factor: 2,
+            data_queue_cap: None,
+            pin_memory: true,
+            sampler: Sampler::Random { seed: self.seed },
+            drop_last: true,
+        }
+    }
+
+    /// Builds the training job for this configuration with the default
+    /// loader knobs ([`loader_defaults`](Self::loader_defaults)) and no
+    /// fault injection.
     #[must_use]
     pub fn build(
         &self,
         machine: &Arc<Machine>,
         tracer: Arc<dyn Tracer>,
         hw_profiler: Option<Arc<HwProfiler>>,
+    ) -> TrainingJob {
+        self.build_with(
+            machine,
+            tracer,
+            hw_profiler,
+            self.loader_defaults(),
+            lotus_dataflow::FaultPlan::default(),
+        )
+    }
+
+    /// Builds the training job with an explicit DataLoader configuration
+    /// and fault plan — the entry point for `lotus tune` trials, which
+    /// vary the loader knobs while everything else (dataset, transforms,
+    /// GPU model, seed) stays fixed.
+    #[must_use]
+    pub fn build_with(
+        &self,
+        machine: &Arc<Machine>,
+        tracer: Arc<dyn Tracer>,
+        hw_profiler: Option<Arc<HwProfiler>>,
+        loader: DataLoaderConfig,
+        faults: lotus_dataflow::FaultPlan,
     ) -> TrainingJob {
         let (dataset, gpu): (Arc<dyn lotus_dataflow::Dataset>, GpuConfig) = match self.pipeline {
             PipelineKind::ImageClassification => {
@@ -162,20 +204,13 @@ impl ExperimentConfig {
         TrainingJob {
             machine: Arc::clone(machine),
             dataset,
-            loader: DataLoaderConfig {
-                batch_size: self.batch_size,
-                num_workers: self.num_workers,
-                prefetch_factor: 2,
-                pin_memory: true,
-                sampler: Sampler::Random { seed: self.seed },
-                drop_last: true,
-            },
+            loader,
             gpu,
             tracer,
             hw_profiler,
             seed: self.seed,
             epochs: 1,
-            faults: lotus_dataflow::FaultPlan::default(),
+            faults,
         }
     }
 }

@@ -42,6 +42,8 @@
 
 #![warn(missing_docs)]
 
+pub mod tuning;
+
 pub use lotus_codec as codec;
 pub use lotus_core as core;
 pub use lotus_data as data;

@@ -16,8 +16,11 @@ use lotus::core::trace::chrome::{to_chrome_trace, ChromeTraceOptions};
 use lotus::core::trace::insights::analyze;
 use lotus::core::trace::viz::{render_timeline, TimelineOptions};
 use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
+use lotus::core::tune::{SearchSpace, Strategy};
+use lotus::dataflow::FaultPlan;
 use lotus::profilers::ComparisonHarness;
 use lotus::sim::Span;
+use lotus::tuning::{tune_experiment, TuneOptions};
 use lotus::uarch::{
     format_report, CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
 };
@@ -51,6 +54,19 @@ USAGE:
       pipeline dashboard: queue-depth sparklines over virtual time,
       per-worker utilization, throughput, latency summaries. Optionally
       export the registry as Prometheus text, JSON, or CSV time-series.
+
+  lotus tune      [--pipeline ic|is|od|ac] [--items N] [--batch B]
+                  [--strategy grid|hill] [--workers 1,2,4,8] [--prefetch 1,2,4]
+                  [--caps none,4,8] [--pin on|off|both] [--json] [--out FILE]
+                  [--kill-worker W] [--kill-at-ms T] [--error-rate P]
+                  [--error-op NAME]
+      Search DataLoader configurations (workers, prefetch, data-queue
+      cap, pin-memory) over deterministic simulated epochs. Prints the
+      per-config scorecards, the Pareto frontier of throughput vs peak
+      resident batches, a T1/T2/T3-based bottleneck verdict per config,
+      and the recommended configuration with its predicted speedup.
+      --json emits the byte-deterministic report instead; fault flags
+      compose (degraded configs are reported, not fatal).
 
   lotus help
 ";
@@ -95,8 +111,9 @@ fn pipeline_of(name: &str) -> Result<PipelineKind, String> {
         "ic" => Ok(PipelineKind::ImageClassification),
         "is" => Ok(PipelineKind::ImageSegmentation),
         "od" => Ok(PipelineKind::ObjectDetection),
+        "ac" => Ok(PipelineKind::AudioClassification),
         other => Err(format!(
-            "unknown pipeline '{other}' (expected ic, is or od)"
+            "unknown pipeline '{other}' (expected ic, is, od or ac)"
         )),
     }
 }
@@ -322,6 +339,103 @@ fn cmd_top(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn parse_usize_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid value in --{name}: '{tok}'"))
+        })
+        .collect()
+}
+
+fn parse_cap_list(raw: &str) -> Result<Vec<Option<usize>>, String> {
+    raw.split(',')
+        .map(|tok| match tok.trim() {
+            "none" | "-" => Ok(None),
+            other => other
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("invalid value in --caps: '{other}' (use N or 'none')")),
+        })
+        .collect()
+}
+
+fn cmd_tune(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = pipeline_of(&args.get("pipeline", "ic".to_string())?)?;
+    let mut config = ExperimentConfig::paper_default(kind);
+    config.batch_size = args.get("batch", config.batch_size)?;
+    let default_items = match kind {
+        PipelineKind::ImageSegmentation => 16,
+        _ => 8 * config.batch_size as u64,
+    };
+    let config = config.scaled_to(args.get("items", default_items)?);
+
+    let mut space = SearchSpace::default();
+    if let Some(raw) = args.flags.get("workers") {
+        space.workers = parse_usize_list("workers", raw)?;
+    }
+    if let Some(raw) = args.flags.get("prefetch") {
+        space.prefetch = parse_usize_list("prefetch", raw)?;
+    }
+    if let Some(raw) = args.flags.get("caps") {
+        space.queue_caps = parse_cap_list(raw)?;
+    }
+    space.pin_memory = match args.get("pin", "on".to_string())?.as_str() {
+        "on" => vec![true],
+        "off" => vec![false],
+        "both" => vec![true, false],
+        other => return Err(format!("invalid --pin '{other}' (on, off or both)").into()),
+    };
+    let strategy = match args.get("strategy", "grid".to_string())?.as_str() {
+        "grid" => Strategy::Grid,
+        "hill" => Strategy::HillClimb { max_moves: 16 },
+        other => return Err(format!("invalid --strategy '{other}' (grid or hill)").into()),
+    };
+
+    let mut faults = FaultPlan::new(config.seed);
+    if let Some(worker) = args.flags.get("kill-worker") {
+        let worker: usize = worker
+            .parse()
+            .map_err(|_| format!("invalid --kill-worker '{worker}'"))?;
+        let at_ms: u64 = args.get("kill-at-ms", 50)?;
+        faults = faults.kill_process(
+            format!("dataloader{worker}"),
+            lotus::sim::Time::ZERO + Span::from_millis(at_ms),
+        );
+    }
+    let error_rate: f64 = args.get("error-rate", 0.0)?;
+    if error_rate > 0.0 {
+        let op = args.get("error-op", "Loader".to_string())?;
+        faults = faults.inject_sample_errors(op, error_rate);
+    }
+
+    let options = TuneOptions {
+        space,
+        strategy,
+        faults,
+    };
+    let report = tune_experiment(&config, &options)?;
+
+    if args.has("json") {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "{}: tuning {} configs over {} items (batch {})\n",
+            kind.abbrev(),
+            report.cards.len(),
+            config.dataset_items.unwrap_or(0),
+            config.batch_size
+        );
+        print!("{}", report.render_table());
+    }
+    if let Some(path) = args.flags.get("out") {
+        std::fs::write(path, report.to_json())?;
+        println!("json report written to {path}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn Error>> {
     let mut raw = std::env::args().skip(1);
     let Some(command) = raw.next() else {
@@ -335,6 +449,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         "attribute" => cmd_attribute(&args),
         "compare" => cmd_compare(&args),
         "top" => cmd_top(&args),
+        "tune" => cmd_tune(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

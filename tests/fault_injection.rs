@@ -60,6 +60,7 @@ fn job(machine: &Arc<Machine>, workers: usize, tracer: Arc<dyn Tracer>) -> Train
             batch_size: 8,
             num_workers: workers,
             prefetch_factor: 2,
+            data_queue_cap: None,
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,

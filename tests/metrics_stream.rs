@@ -67,6 +67,7 @@ fn job(machine: &Arc<Machine>, tracer: Arc<dyn Tracer>, faults: FaultPlan) -> Tr
             batch_size: 8,
             num_workers: WORKERS,
             prefetch_factor: 2,
+            data_queue_cap: None,
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
