@@ -1,9 +1,22 @@
 //! Regenerates Figure 6: the dataloader sweep combining LotusTrace
 //! timings, the hardware profile and LotusMap metric splitting.
+//!
+//! Accepts `--jobs N` (parallel measurement threads) and `--no-cache`
+//! (skip the on-disk mapping cache); neither changes a single output
+//! byte.
+
+use lotus_uarch::MachineConfig;
 
 fn main() {
     let scale = lotus_bench::Scale::from_env();
-    println!("{}", lotus_bench::fig6::run(scale));
+    let exec = lotus_bench::ExecArgs::from_env();
+    println!(
+        "{}",
+        lotus_bench::fig6::run_on_with(scale, MachineConfig::cloudlab_c4130(), &exec)
+    );
     println!("\n-- AMD machine (uProf driver; the analysis the paper defers to its repository) --");
-    println!("{}", lotus_bench::fig6::run_amd(scale));
+    println!(
+        "{}",
+        lotus_bench::fig6::run_on_with(scale, MachineConfig::amd_rome(), &exec)
+    );
 }

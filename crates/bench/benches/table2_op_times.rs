@@ -1,7 +1,11 @@
 //! Regenerates Table II: per-image elapsed time per preprocessing
 //! operation for the IC, IS and OD pipelines.
+//!
+//! Accepts `--jobs N` (parallel measurement threads) and `--no-cache`;
+//! neither changes a single output byte.
 
 fn main() {
     let scale = lotus_bench::Scale::from_env();
-    println!("{}", lotus_bench::table2::run(scale));
+    let exec = lotus_bench::ExecArgs::from_env();
+    println!("{}", lotus_bench::table2::run_with(scale, &exec));
 }

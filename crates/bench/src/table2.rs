@@ -10,7 +10,9 @@ use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
 use lotus_uarch::{Machine, MachineConfig};
 use lotus_workloads::{ExperimentConfig, PipelineKind};
 
-use crate::Scale;
+use lotus_core::exec::run_jobs;
+
+use crate::{ExecArgs, Scale};
 
 /// One pipeline block of Table II.
 #[derive(Debug, Clone)]
@@ -51,8 +53,20 @@ impl Table2 {
 /// Panics if a simulated run fails.
 #[must_use]
 pub fn run(scale: Scale) -> Table2 {
-    let mut pipelines = Vec::new();
-    for (kind, scaled_items) in [
+    run_with(scale, &ExecArgs::default())
+}
+
+/// [`run`] with explicit execution options: the four pipeline blocks are
+/// independent deterministic simulations, so they fan out over
+/// `exec.jobs` threads and join in pipeline order — the table is
+/// identical for any job count.
+///
+/// # Panics
+///
+/// Panics if a simulated run fails.
+#[must_use]
+pub fn run_with(scale: Scale, exec: &ExecArgs) -> Table2 {
+    let tasks: Vec<_> = [
         (PipelineKind::ImageClassification, 131_072),
         (PipelineKind::ImageSegmentation, 210),
         (PipelineKind::ObjectDetection, 8_192),
@@ -60,26 +74,33 @@ pub fn run(scale: Scale) -> Table2 {
         // introduction cites as preprocessing-bound (not in the paper's
         // Table II).
         (PipelineKind::AudioClassification, 16_384),
-    ] {
-        let machine = Machine::new(MachineConfig::cloudlab_c4130());
-        let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
-            op_mode: OpLogMode::Aggregate,
-            ..LotusTraceConfig::default()
-        }));
-        let mut config = ExperimentConfig::paper_default(kind);
-        if let Some(items) = scale.items(scaled_items) {
-            config = config.scaled_to(items);
+    ]
+    .into_iter()
+    .map(|(kind, scaled_items)| {
+        move || {
+            let machine = Machine::new(MachineConfig::cloudlab_c4130());
+            let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+                op_mode: OpLogMode::Aggregate,
+                ..LotusTraceConfig::default()
+            }));
+            let mut config = ExperimentConfig::paper_default(kind);
+            if let Some(items) = scale.items(scaled_items) {
+                config = config.scaled_to(items);
+            }
+            config
+                .build(&machine, Arc::clone(&trace) as _, None)
+                .run()
+                .expect("table2 run must complete");
+            PipelineOpStats {
+                pipeline: kind.abbrev(),
+                ops: trace.op_stats(),
+            }
         }
-        config
-            .build(&machine, Arc::clone(&trace) as _, None)
-            .run()
-            .expect("table2 run must complete");
-        pipelines.push(PipelineOpStats {
-            pipeline: kind.abbrev(),
-            ops: trace.op_stats(),
-        });
+    })
+    .collect();
+    Table2 {
+        pipelines: run_jobs(exec.jobs, tasks),
     }
-    Table2 { pipelines }
 }
 
 impl fmt::Display for Table2 {

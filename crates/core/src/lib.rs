@@ -25,6 +25,11 @@
 //!   with dominance pruning) that scores every candidate on throughput,
 //!   T2 wait, and memory footprint, and recommends a configuration with
 //!   a predicted speedup and a T1/T2/T3-based bottleneck verdict.
+//! * [`exec`] — deterministic parallel execution: a scoped-thread job
+//!   pool that joins results by submission index (so `--jobs N` output
+//!   is byte-identical to serial) and a content-addressed on-disk trial
+//!   cache that lets repeated sweeps skip already-measured
+//!   configurations.
 //!
 //! ```
 //! use lotus_core::map::required_runs;
@@ -37,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod map;
 pub mod metrics;
 pub mod trace;

@@ -88,6 +88,11 @@ impl LogHistogram {
     /// the histogram is empty, so an all-faulted run (no successful
     /// fetches) still renders metrics instead of panicking.
     ///
+    /// The endpoints are exact: `p == 0` returns the recorded minimum and
+    /// `p == 100` the recorded maximum (both tracked outside the
+    /// buckets), so summaries never report a min/p0 or max/p100 pair that
+    /// disagrees by a bucket width.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
@@ -97,25 +102,52 @@ impl LogHistogram {
         if self.count == 0 {
             return 0.0;
         }
+        if p == 0.0 {
+            return self.min_ns as f64;
+        }
+        if p >= 100.0 {
+            return self.max_ns as f64;
+        }
         let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_upper_ns(i).min(self.max_ns as f64);
+                return Self::bucket_upper_ns(i).clamp(self.min_ns as f64, self.max_ns as f64);
             }
         }
         self.max_ns as f64
     }
 
-    /// Exact fraction of durations strictly below `threshold`, up to one
-    /// bucket of quantization.
+    /// Fraction of durations strictly below `threshold`, resolved to one
+    /// bucket: counts are kept per log-spaced bucket, so a threshold
+    /// inside a bucket attributes that whole bucket's mass to one side.
+    ///
+    /// Quantization contract: the answer is exact whenever `threshold`
+    /// falls on a bucket boundary or outside `[min, max]`; otherwise it
+    /// may be off by at most the mass of the bucket containing
+    /// `threshold`. Sub-floor thresholds (below bucket 0's upper edge)
+    /// are resolved against the exact tracked min/max rather than the
+    /// bucket index, which would otherwise claim nothing lies below them.
     #[must_use]
     pub fn fraction_below(&self, threshold: Span) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let cutoff = Self::bucket_of(threshold.as_nanos());
+        let ns = threshold.as_nanos();
+        if ns <= self.min_ns {
+            return 0.0;
+        }
+        if ns > self.max_ns {
+            return 1.0;
+        }
+        let cutoff = Self::bucket_of(ns);
+        if cutoff == 0 {
+            // Threshold lands inside bucket 0 with recorded durations on
+            // both sides of it: attribute the whole bucket (one bucket of
+            // quantization, same as any interior threshold).
+            return self.counts[0] as f64 / self.count as f64;
+        }
         let below: u64 = self.counts[..cutoff].iter().sum();
         below as f64 / self.count as f64
     }
@@ -205,6 +237,58 @@ mod tests {
         h.record(Span::from_nanos(999));
         assert_eq!(h.count(), 2);
         assert_eq!(h.fraction_below(Span::from_micros(100)), 1.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_are_the_exact_min_and_max() {
+        // Regression: p0 used to return the first occupied bucket's
+        // *upper* edge (above the true min) and p100 relied on the bucket
+        // walk instead of the tracked max.
+        let mut h = LogHistogram::new();
+        for us in [7u64, 40, 900, 12_345] {
+            h.record(Span::from_micros(us));
+        }
+        assert_eq!(h.percentile_ns(0.0), 7_000.0, "p0 is the exact minimum");
+        assert_eq!(
+            h.percentile_ns(100.0),
+            12_345_000.0,
+            "p100 is the exact maximum"
+        );
+        // Monotonic across the endpoint seam.
+        assert!(h.percentile_ns(0.0) <= h.percentile_ns(5.0));
+        assert!(h.percentile_ns(95.0) <= h.percentile_ns(100.0));
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_every_percentile_to_the_sample() {
+        let mut h = LogHistogram::new();
+        h.record(Span::from_micros(123));
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(h.percentile_ns(p), 123_000.0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn fraction_below_handles_sub_floor_thresholds() {
+        // Regression: thresholds under bucket 0's upper edge mapped to
+        // cutoff index 0, so `counts[..0]` claimed nothing lay below them
+        // even when everything did.
+        let mut h = LogHistogram::new();
+        h.record(Span::from_nanos(3));
+        h.record(Span::from_nanos(999));
+        // At or below the recorded min: nothing is strictly below.
+        assert_eq!(h.fraction_below(Span::from_nanos(2)), 0.0);
+        assert_eq!(h.fraction_below(Span::from_nanos(3)), 0.0);
+        // Inside bucket 0 with mass on both sides: whole-bucket
+        // attribution (the documented one-bucket quantization).
+        assert_eq!(h.fraction_below(Span::from_nanos(500)), 1.0);
+        // Above the recorded max: everything is below.
+        assert_eq!(h.fraction_below(Span::from_nanos(1_500)), 1.0);
+
+        let mut single = LogHistogram::new();
+        single.record(Span::from_nanos(3));
+        assert_eq!(single.fraction_below(Span::from_nanos(10)), 1.0);
+        assert_eq!(single.fraction_below(Span::from_nanos(3)), 0.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! T1/T2/T3-based bottleneck verdict.
 
 use lotus_sim::Span;
+use serde_json::{Content, Value};
 
 use crate::metrics::names;
 use crate::metrics::MetricsSnapshot;
@@ -42,6 +43,19 @@ impl TuneVerdict {
             TuneVerdict::CollateBound => "collate-bound",
             TuneVerdict::GpuBound => "gpu-bound",
             TuneVerdict::Balanced => "balanced",
+        }
+    }
+
+    /// The inverse of [`as_str`](Self::as_str).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<TuneVerdict> {
+        match name {
+            "preprocessing-bound" => Some(TuneVerdict::PreprocessingBound),
+            "fetch-bound" => Some(TuneVerdict::FetchBound),
+            "collate-bound" => Some(TuneVerdict::CollateBound),
+            "gpu-bound" => Some(TuneVerdict::GpuBound),
+            "balanced" => Some(TuneVerdict::Balanced),
+            _ => None,
         }
     }
 }
@@ -192,6 +206,111 @@ impl Scorecard {
         self.failed.is_none()
     }
 
+    /// The JSON object for this card: the report exporter's per-card
+    /// shape, also the on-disk payload of the trial cache. Field order is
+    /// fixed so the same card always serializes to the same bytes.
+    #[must_use]
+    pub fn to_json_content(&self) -> Content {
+        Content::Map(vec![
+            ("config".to_string(), self.config.to_json_content()),
+            ("label".to_string(), Content::Str(self.config.label())),
+            (
+                "throughput_samples_per_s".to_string(),
+                Content::F64(self.throughput),
+            ),
+            (
+                "elapsed_ns".to_string(),
+                Content::U64(self.elapsed.as_nanos()),
+            ),
+            ("samples".to_string(), Content::U64(self.samples)),
+            ("batches".to_string(), Content::U64(self.batches)),
+            (
+                "wait_fraction".to_string(),
+                Content::F64(self.wait_fraction),
+            ),
+            ("mean_wait_ms".to_string(), Content::F64(self.mean_wait_ms)),
+            (
+                "mean_queue_delay_ms".to_string(),
+                Content::F64(self.mean_queue_delay_ms),
+            ),
+            (
+                "footprint_batches".to_string(),
+                Content::F64(self.footprint_batches),
+            ),
+            (
+                "verdict".to_string(),
+                match self.verdict {
+                    Some(v) => Content::Str(v.as_str().to_string()),
+                    None => Content::Null,
+                },
+            ),
+            (
+                "faults_injected".to_string(),
+                Content::U64(self.faults_injected),
+            ),
+            (
+                "worker_deaths".to_string(),
+                Content::U64(self.worker_deaths),
+            ),
+            (
+                "failed".to_string(),
+                match &self.failed {
+                    Some(e) => Content::Str(e.clone()),
+                    None => Content::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parses a card previously produced by
+    /// [`to_json_content`](Self::to_json_content). The round trip is
+    /// lossless: `u64` fields are exact and `f64` fields are written in
+    /// shortest-round-trip form, which is what lets a cache-warm rerun
+    /// reproduce byte-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json_value(value: &Value) -> Result<Scorecard, String> {
+        let float = |field: &str| -> Result<f64, String> {
+            value[field]
+                .as_f64()
+                .ok_or_else(|| format!("scorecard field '{field}' missing or not a number"))
+        };
+        let uint = |field: &str| -> Result<u64, String> {
+            value[field]
+                .as_u64()
+                .ok_or_else(|| format!("scorecard field '{field}' missing or not an integer"))
+        };
+        let verdict = match &value["verdict"].0 {
+            Content::Null => None,
+            Content::Str(name) => {
+                Some(TuneVerdict::parse(name).ok_or_else(|| format!("unknown verdict '{name}'"))?)
+            }
+            _ => return Err("scorecard field 'verdict' must be a string or null".into()),
+        };
+        let failed = match &value["failed"].0 {
+            Content::Null => None,
+            Content::Str(error) => Some(error.clone()),
+            _ => return Err("scorecard field 'failed' must be a string or null".into()),
+        };
+        Ok(Scorecard {
+            config: TrialConfig::from_json_value(&value["config"])?,
+            throughput: float("throughput_samples_per_s")?,
+            elapsed: Span::from_nanos(uint("elapsed_ns")?),
+            samples: uint("samples")?,
+            batches: uint("batches")?,
+            wait_fraction: float("wait_fraction")?,
+            mean_wait_ms: float("mean_wait_ms")?,
+            mean_queue_delay_ms: float("mean_queue_delay_ms")?,
+            footprint_batches: float("footprint_batches")?,
+            verdict,
+            faults_injected: uint("faults_injected")?,
+            worker_deaths: uint("worker_deaths")?,
+            failed,
+        })
+    }
+
     /// True when `other` is at least as good on both throughput (higher
     /// is better) and mean \[T2\] wait (lower is better), and strictly
     /// better on at least one — the pruning dominance test. Failed cards
@@ -319,6 +438,35 @@ mod tests {
         let m = measurement(1_000_000, 10_000_000.0, 100_000.0);
         let card = Scorecard::from_measurement(config(), &m);
         assert_eq!(card.verdict, Some(TuneVerdict::GpuBound));
+    }
+
+    #[test]
+    fn scorecard_json_round_trips_losslessly() {
+        let ok = Scorecard::from_measurement(config(), &measurement(400_000_000, 1_000.0, 4e7));
+        let failed = Scorecard::from_failure(config(), "worker 1 killed".into());
+        for card in [ok, failed] {
+            let text = serde_json::to_string_pretty(&Value(card.to_json_content())).unwrap();
+            let parsed = Scorecard::from_json_value(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(parsed, card, "round trip must be exact");
+            // Byte-exact re-serialization is what the trial cache needs.
+            let retext = serde_json::to_string_pretty(&Value(parsed.to_json_content())).unwrap();
+            assert_eq!(retext, text);
+        }
+        assert!(Scorecard::from_json_value(&Value::null()).is_err());
+    }
+
+    #[test]
+    fn verdict_names_round_trip() {
+        for verdict in [
+            TuneVerdict::PreprocessingBound,
+            TuneVerdict::FetchBound,
+            TuneVerdict::CollateBound,
+            TuneVerdict::GpuBound,
+            TuneVerdict::Balanced,
+        ] {
+            assert_eq!(TuneVerdict::parse(verdict.as_str()), Some(verdict));
+        }
+        assert_eq!(TuneVerdict::parse("nonsense"), None);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! hill-climbing refinement, Pareto frontier extraction, and the final
 //! report (table + byte-deterministic JSON).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use serde_json::{Content, Value};
+
+use crate::exec::{run_jobs, TrialCache};
 
 use super::score::{Scorecard, TrialMeasurement};
 use super::space::{SearchSpace, TrialConfig};
@@ -92,6 +94,98 @@ pub struct TuneReport {
     /// (baseline elapsed / recommended elapsed). `None` when the
     /// baseline itself failed.
     pub predicted_speedup: Option<f64>,
+    /// Distinct configurations measured by running a live simulation
+    /// during this search. With `--jobs N > 1` this can exceed the
+    /// number of cards: the parallel warm-up speculatively measures
+    /// configurations that the serial pruning replay then skips.
+    pub trials_live: usize,
+    /// Distinct configurations whose scorecard came from the on-disk
+    /// trial cache instead of a live simulation. Zero when the search
+    /// ran without a cache.
+    pub trials_cached: usize,
+}
+
+/// The memoizing measurement layer under one search: resolves each
+/// distinct configuration exactly once (cache hit, else live oracle
+/// call), fans independent live measurements across [`run_jobs`]
+/// threads, and keeps the *committed* report order strictly serial.
+///
+/// The split between [`measure`](Evaluator::measure) (speculative,
+/// parallel, order-free) and [`commit`](Evaluator::commit) (the serial
+/// walk that builds `order`) is what makes `--jobs N` output
+/// byte-identical to `--jobs 1`: threads only ever fill the memo, and
+/// every decision that shapes the report replays over memo hits in the
+/// exact sequence the serial search would have used.
+struct Evaluator<'a, F> {
+    oracle: &'a F,
+    cache: Option<&'a TrialCache>,
+    jobs: usize,
+    memo: BTreeMap<TrialConfig, Scorecard>,
+    /// Configurations in report order — the serial walk's commit order,
+    /// never the warm-up's completion order.
+    order: Vec<TrialConfig>,
+    /// Set view of `order`; with a warm-up, "already in the memo" no
+    /// longer implies "already in the report".
+    committed: BTreeSet<TrialConfig>,
+    live: usize,
+    cached: usize,
+}
+
+impl<F> Evaluator<'_, F>
+where
+    F: Fn(&TrialConfig) -> Result<TrialMeasurement, String> + Sync,
+{
+    /// Resolves every not-yet-memoized configuration in `configs`: cache
+    /// hits load directly into the memo, the rest run live — fanned over
+    /// `jobs` threads, results folded back in submission order.
+    fn measure(&mut self, configs: &[TrialConfig]) {
+        let mut todo: Vec<TrialConfig> = Vec::new();
+        for &config in configs {
+            if self.memo.contains_key(&config) || todo.contains(&config) {
+                continue;
+            }
+            if let Some(card) = self.cache.and_then(|cache| cache.lookup(&config)) {
+                self.memo.insert(config, card);
+                self.cached += 1;
+                continue;
+            }
+            todo.push(config);
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let oracle = self.oracle;
+        let tasks: Vec<_> = todo
+            .iter()
+            .map(|&config| {
+                move || match oracle(&config) {
+                    Ok(m) => Scorecard::from_measurement(config, &m),
+                    Err(e) => Scorecard::from_failure(config, e),
+                }
+            })
+            .collect();
+        let cards = run_jobs(self.jobs, tasks);
+        self.live += cards.len();
+        for card in cards {
+            if let Some(cache) = self.cache {
+                cache.store(&card.config, &card);
+            }
+            self.memo.insert(card.config, card);
+        }
+    }
+
+    /// The serial walk's evaluation point: measures `config` if the
+    /// warm-up did not already, and appends it to the report order on
+    /// first commit.
+    fn commit(&mut self, config: TrialConfig) -> Scorecard {
+        if !self.memo.contains_key(&config) {
+            self.measure(&[config]);
+        }
+        if self.committed.insert(config) {
+            self.order.push(config);
+        }
+        self.memo[&config].clone()
+    }
 }
 
 impl Tuner {
@@ -108,30 +202,64 @@ impl Tuner {
     /// Returns an error when the search space fails
     /// [`SearchSpace::validate`] or when no configuration (baseline
     /// included) completed successfully.
-    pub fn run<F>(&self, baseline: TrialConfig, mut oracle: F) -> Result<TuneReport, String>
+    pub fn run<F>(&self, baseline: TrialConfig, oracle: F) -> Result<TuneReport, String>
     where
-        F: FnMut(&TrialConfig) -> Result<TrialMeasurement, String>,
+        F: Fn(&TrialConfig) -> Result<TrialMeasurement, String> + Sync,
+    {
+        self.run_with(baseline, oracle, 1, None)
+    }
+
+    /// Runs the search with explicit execution options: `jobs` parallel
+    /// measurement threads and an optional on-disk trial `cache`.
+    ///
+    /// Determinism: with `jobs > 1` the tuner first *speculatively*
+    /// measures the whole candidate frontier in parallel (the full grid,
+    /// or each hill-climbing neighborhood), then replays the unchanged
+    /// serial walk over the memoized results. Every decision the serial
+    /// search makes — evaluation order, dominance cuts, pruned list,
+    /// climb path — is taken in the replay, so the report (and its JSON)
+    /// is byte-identical to a `jobs = 1` run. The price is that grid
+    /// speculation may measure configurations serial pruning would have
+    /// skipped; those extra trials show up in
+    /// [`TuneReport::trials_live`] and, with a cache, become warmth for
+    /// the next sweep rather than waste.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with<F>(
+        &self,
+        baseline: TrialConfig,
+        oracle: F,
+        jobs: usize,
+        cache: Option<&TrialCache>,
+    ) -> Result<TuneReport, String>
+    where
+        F: Fn(&TrialConfig) -> Result<TrialMeasurement, String> + Sync,
     {
         self.space.validate()?;
-        let mut memo: BTreeMap<TrialConfig, Scorecard> = BTreeMap::new();
-        let mut order: Vec<TrialConfig> = Vec::new();
-        let mut evaluate = |config: TrialConfig,
-                            memo: &mut BTreeMap<TrialConfig, Scorecard>,
-                            order: &mut Vec<TrialConfig>|
-         -> Scorecard {
-            if let Some(card) = memo.get(&config) {
-                return card.clone();
-            }
-            let card = match oracle(&config) {
-                Ok(m) => Scorecard::from_measurement(config, &m),
-                Err(e) => Scorecard::from_failure(config, e),
-            };
-            memo.insert(config, card.clone());
-            order.push(config);
-            card
+        let mut eval = Evaluator {
+            oracle: &oracle,
+            cache,
+            jobs: jobs.max(1),
+            memo: BTreeMap::new(),
+            order: Vec::new(),
+            committed: BTreeSet::new(),
+            live: 0,
+            cached: 0,
         };
 
-        let baseline_card = evaluate(baseline, &mut memo, &mut order);
+        if eval.jobs > 1 {
+            if let Strategy::Grid = self.strategy {
+                // Speculative warm-up: the whole grid (plus the baseline)
+                // is independent, so measure it in one parallel wave.
+                let mut frontier = vec![baseline];
+                frontier.extend(self.space.grid());
+                eval.measure(&frontier);
+            }
+        }
+
+        let baseline_card = eval.commit(baseline);
         let mut pruned: Vec<TrialConfig> = Vec::new();
 
         match self.strategy {
@@ -150,7 +278,7 @@ impl Tuner {
                             pruned.push(config);
                             continue;
                         }
-                        let card = evaluate(config, &mut memo, &mut order);
+                        let card = eval.commit(config);
                         if card.is_ok() {
                             // Weak dominance: an earlier card with fewer
                             // workers that is at least as good on both
@@ -171,9 +299,16 @@ impl Tuner {
                 let mut at = baseline;
                 let mut at_card = baseline_card.clone();
                 for _ in 0..max_moves {
+                    let neighbors = self.space.neighbors(at);
+                    if eval.jobs > 1 {
+                        // Per-round warm-up: a round's neighborhood is
+                        // independent; which neighborhood comes next is
+                        // decided by the serial replay below.
+                        eval.measure(&neighbors);
+                    }
                     let mut best: Option<Scorecard> = None;
-                    for next in self.space.neighbors(at) {
-                        let card = evaluate(next, &mut memo, &mut order);
+                    for next in neighbors {
+                        let card = eval.commit(next);
                         if !card.is_ok() {
                             continue;
                         }
@@ -192,6 +327,13 @@ impl Tuner {
             }
         }
 
+        let Evaluator {
+            memo,
+            order,
+            live: trials_live,
+            cached: trials_cached,
+            ..
+        } = eval;
         let cards: Vec<Scorecard> = order.iter().map(|c| memo[c].clone()).collect();
         let mut ok_cards: Vec<&Scorecard> = cards.iter().filter(|c| c.is_ok()).collect();
         if ok_cards.is_empty() {
@@ -242,6 +384,8 @@ impl Tuner {
             predicted_speedup,
             cards,
             pruned,
+            trials_live,
+            trials_cached,
         })
     }
 }
@@ -342,101 +486,52 @@ impl TuneReport {
         if let Some(v) = rec.verdict {
             let _ = writeln!(out, "bottleneck at recommended config: {}", v.as_str());
         }
+        // Execution accounting only — deliberately absent from the JSON
+        // export, whose bytes must not depend on jobs or cache warmth.
+        let _ = writeln!(
+            out,
+            "trials: {} live, {} cached",
+            self.trials_live, self.trials_cached
+        );
         out
     }
 
     /// Serializes the report as pretty-printed JSON. Maps are emitted in
     /// insertion order and every field is derived from the deterministic
     /// simulation, so the same tuning run always produces byte-identical
-    /// output.
+    /// output — regardless of `--jobs` or cache warmth, which is why the
+    /// live/cached trial counts appear in
+    /// [`render_table`](Self::render_table) but not here.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let config_json = |c: &TrialConfig| {
-            Content::Map(vec![
-                (
-                    "num_workers".to_string(),
-                    Content::U64(c.num_workers as u64),
-                ),
-                (
-                    "prefetch_factor".to_string(),
-                    Content::U64(c.prefetch_factor as u64),
-                ),
-                (
-                    "data_queue_cap".to_string(),
-                    match c.data_queue_cap {
-                        Some(cap) => Content::U64(cap as u64),
-                        None => Content::Null,
-                    },
-                ),
-                ("pin_memory".to_string(), Content::Bool(c.pin_memory)),
-            ])
-        };
-        let card_json = |card: &Scorecard| {
-            Content::Map(vec![
-                ("config".to_string(), config_json(&card.config)),
-                ("label".to_string(), Content::Str(card.config.label())),
-                (
-                    "throughput_samples_per_s".to_string(),
-                    Content::F64(card.throughput),
-                ),
-                (
-                    "elapsed_ns".to_string(),
-                    Content::U64(card.elapsed.as_nanos()),
-                ),
-                ("samples".to_string(), Content::U64(card.samples)),
-                ("batches".to_string(), Content::U64(card.batches)),
-                (
-                    "wait_fraction".to_string(),
-                    Content::F64(card.wait_fraction),
-                ),
-                ("mean_wait_ms".to_string(), Content::F64(card.mean_wait_ms)),
-                (
-                    "mean_queue_delay_ms".to_string(),
-                    Content::F64(card.mean_queue_delay_ms),
-                ),
-                (
-                    "footprint_batches".to_string(),
-                    Content::F64(card.footprint_batches),
-                ),
-                (
-                    "verdict".to_string(),
-                    match card.verdict {
-                        Some(v) => Content::Str(v.as_str().to_string()),
-                        None => Content::Null,
-                    },
-                ),
-                (
-                    "faults_injected".to_string(),
-                    Content::U64(card.faults_injected),
-                ),
-                (
-                    "worker_deaths".to_string(),
-                    Content::U64(card.worker_deaths),
-                ),
-                (
-                    "failed".to_string(),
-                    match &card.failed {
-                        Some(e) => Content::Str(e.clone()),
-                        None => Content::Null,
-                    },
-                ),
-            ])
-        };
         let doc = Value(Content::Map(vec![
-            ("baseline".to_string(), card_json(&self.baseline)),
+            ("baseline".to_string(), self.baseline.to_json_content()),
             (
                 "cards".to_string(),
-                Content::Seq(self.cards.iter().map(card_json).collect()),
+                Content::Seq(self.cards.iter().map(Scorecard::to_json_content).collect()),
             ),
             (
                 "pruned".to_string(),
-                Content::Seq(self.pruned.iter().map(&config_json).collect()),
+                Content::Seq(
+                    self.pruned
+                        .iter()
+                        .map(TrialConfig::to_json_content)
+                        .collect(),
+                ),
             ),
             (
                 "pareto_frontier".to_string(),
-                Content::Seq(self.frontier.iter().map(&config_json).collect()),
+                Content::Seq(
+                    self.frontier
+                        .iter()
+                        .map(TrialConfig::to_json_content)
+                        .collect(),
+                ),
             ),
-            ("recommended".to_string(), config_json(&self.recommended)),
+            (
+                "recommended".to_string(),
+                self.recommended.to_json_content(),
+            ),
             (
                 "predicted_speedup".to_string(),
                 match self.predicted_speedup {
@@ -588,8 +683,73 @@ mod tests {
         let table = a.render_table();
         assert!(table.contains("recommended: w4 pf2 cap- pin"));
         assert!(table.contains("predicted speedup"));
+        assert!(table.contains("trials: 4 live, 0 cached"));
         let json = a.to_json();
         assert!(json.contains("\"pareto_frontier\""));
         assert!(json.contains("\"predicted_speedup\""));
+        assert!(!json.contains("trials_live"), "counts stay out of JSON");
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_byte_for_byte() {
+        // The pruning space: serial evaluation skips the 16-worker
+        // config, the parallel warm-up speculatively measures it — yet
+        // the reports must not differ in any consumer-visible way.
+        let tuner = Tuner {
+            space: SearchSpace {
+                workers: vec![1, 2, 4, 8, 16],
+                ..space()
+            },
+            strategy: Strategy::Grid,
+        };
+        let serial = tuner.run(baseline(), toy_oracle).unwrap();
+        let parallel = tuner.run_with(baseline(), toy_oracle, 4, None).unwrap();
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.pruned, parallel.pruned);
+        assert_eq!(serial.recommended, parallel.recommended);
+        assert!(
+            parallel.trials_live > serial.trials_live,
+            "speculation measured the pruned config: {} vs {}",
+            parallel.trials_live,
+            serial.trials_live
+        );
+    }
+
+    #[test]
+    fn parallel_hill_climb_matches_serial_byte_for_byte() {
+        let tuner = Tuner {
+            space: space(),
+            strategy: Strategy::HillClimb { max_moves: 8 },
+        };
+        let serial = tuner.run(baseline(), toy_oracle).unwrap();
+        let parallel = tuner.run_with(baseline(), toy_oracle, 4, None).unwrap();
+        assert_eq!(serial.to_json(), parallel.to_json());
+        // A round's neighborhood is exactly what the serial walk visits,
+        // so hill climbing speculates nothing extra.
+        assert_eq!(serial.trials_live, parallel.trials_live);
+    }
+
+    #[test]
+    fn cache_warm_rerun_executes_zero_live_trials() {
+        let root =
+            std::env::temp_dir().join(format!("lotus-search-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = TrialCache::open(&root, "toy-oracle seed=0").unwrap();
+        let tuner = Tuner {
+            space: space(),
+            strategy: Strategy::Grid,
+        };
+        let cold = tuner
+            .run_with(baseline(), toy_oracle, 2, Some(&cache))
+            .unwrap();
+        assert!(cold.trials_live > 0);
+        assert_eq!(cold.trials_cached, 0);
+        let warm = tuner
+            .run_with(baseline(), toy_oracle, 2, Some(&cache))
+            .unwrap();
+        assert_eq!(warm.trials_live, 0, "every trial came from the cache");
+        assert_eq!(warm.trials_cached, cold.trials_live);
+        assert_eq!(cold.to_json(), warm.to_json(), "warmth never shows in JSON");
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

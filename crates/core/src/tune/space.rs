@@ -2,6 +2,7 @@
 //! and how candidate configurations enumerate.
 
 use lotus_dataflow::DataLoaderConfig;
+use serde_json::{Content, Value};
 
 /// One candidate point in the search space: the four DataLoader knobs the
 /// tuner varies. Everything else (batch size, sampler, GPU model) stays
@@ -62,6 +63,57 @@ impl TrialConfig {
             cap,
             if self.pin_memory { "pin" } else { "nopin" }
         )
+    }
+
+    /// The JSON object for this configuration, with a fixed field order
+    /// so report output stays byte-deterministic.
+    #[must_use]
+    pub fn to_json_content(&self) -> Content {
+        Content::Map(vec![
+            (
+                "num_workers".to_string(),
+                Content::U64(self.num_workers as u64),
+            ),
+            (
+                "prefetch_factor".to_string(),
+                Content::U64(self.prefetch_factor as u64),
+            ),
+            (
+                "data_queue_cap".to_string(),
+                match self.data_queue_cap {
+                    Some(cap) => Content::U64(cap as u64),
+                    None => Content::Null,
+                },
+            ),
+            ("pin_memory".to_string(), Content::Bool(self.pin_memory)),
+        ])
+    }
+
+    /// Parses a configuration previously produced by
+    /// [`to_json_content`](Self::to_json_content).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json_value(value: &Value) -> Result<TrialConfig, String> {
+        let uint = |field: &str| -> Result<usize, String> {
+            value[field]
+                .as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("trial config field '{field}' missing or not an integer"))
+        };
+        let data_queue_cap = match &value["data_queue_cap"].0 {
+            Content::Null => None,
+            _ => Some(uint("data_queue_cap")?),
+        };
+        Ok(TrialConfig {
+            num_workers: uint("num_workers")?,
+            prefetch_factor: uint("prefetch_factor")?,
+            data_queue_cap,
+            pin_memory: value["pin_memory"]
+                .as_bool()
+                .ok_or("trial config field 'pin_memory' missing or not a boolean")?,
+        })
     }
 }
 
@@ -284,6 +336,29 @@ mod tests {
         }));
         assert!(!n.contains(&at));
         assert_eq!(n.len(), 5);
+    }
+
+    #[test]
+    fn trial_config_json_round_trips() {
+        for config in [
+            TrialConfig {
+                num_workers: 4,
+                prefetch_factor: 2,
+                data_queue_cap: Some(8),
+                pin_memory: true,
+            },
+            TrialConfig {
+                num_workers: 1,
+                prefetch_factor: 1,
+                data_queue_cap: None,
+                pin_memory: false,
+            },
+        ] {
+            let value = Value(config.to_json_content());
+            assert_eq!(TrialConfig::from_json_value(&value), Ok(config));
+        }
+        let err = TrialConfig::from_json_value(&Value::null()).unwrap_err();
+        assert!(err.contains("num_workers"), "{err}");
     }
 
     #[test]

@@ -140,6 +140,36 @@ impl FaultPlan {
             .map(|&(_, f)| f)
             .product()
     }
+
+    /// A stable one-line fingerprint of the full plan — every rule in
+    /// insertion order plus the seed — for use in content-addressed
+    /// cache keys. Two plans injecting the same faults produce the same
+    /// fingerprint; any differing rule, time, probability, or seed
+    /// changes it.
+    ///
+    /// ```
+    /// use lotus_sim::{FaultPlan, Span, Time};
+    ///
+    /// let plan = FaultPlan::new(7)
+    ///     .kill_process("dataloader1", Time::ZERO + Span::from_millis(40))
+    ///     .inject_sample_errors("Decode", 0.01);
+    /// assert_eq!(plan.fingerprint(), "seed=0x7;kill=dataloader1@40000000;err=Decode:0.01");
+    /// assert_eq!(FaultPlan::default().fingerprint(), "seed=0x0");
+    /// ```
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut out = format!("seed={:#x}", self.seed);
+        for (process, at) in &self.kills {
+            out.push_str(&format!(";kill={process}@{}", at.as_nanos()));
+        }
+        for rule in &self.sample_errors {
+            out.push_str(&format!(";err={}:{}", rule.op, rule.probability));
+        }
+        for (name, factor) in &self.queue_slowdowns {
+            out.push_str(&format!(";slow={name}:{factor}"));
+        }
+        out
+    }
 }
 
 /// SplitMix64 finalizer: a well-mixed 64-bit hash of `z`.

@@ -1,36 +1,31 @@
 //! Prints per-op elapsed-time statistics for each pipeline (Table II
 //! calibration aid).
+//!
+//! The three pipeline runs are independent deterministic simulations,
+//! so they fan out over all cores; output is identical to a serial run.
 
-use std::sync::Arc;
-
-use lotus_core::trace::LotusTrace;
-use lotus_uarch::{Machine, MachineConfig};
-use lotus_workloads::{ExperimentConfig, PipelineKind};
+use lotus_core::exec::default_jobs;
+use lotus_workloads::calibration::measure_op_blocks;
+use lotus_workloads::PipelineKind;
 
 fn main() {
-    for (kind, items) in [
+    let specs = [
         (PipelineKind::ImageClassification, 4096u64),
         (PipelineKind::ImageSegmentation, 210),
         (PipelineKind::ObjectDetection, 1024),
-    ] {
-        let machine = Machine::new(MachineConfig::cloudlab_c4130());
-        let trace = Arc::new(LotusTrace::new());
-        let config = ExperimentConfig::paper_default(kind).scaled_to(items);
-        let report = config
-            .build(&machine, Arc::clone(&trace) as _, None)
-            .run()
-            .unwrap();
+    ];
+    for block in measure_op_blocks(&specs, default_jobs()) {
         println!(
             "== {} ({} batches, E2E {:.1}s) ==",
-            kind.abbrev(),
-            report.batches,
-            report.elapsed.as_secs_f64()
+            block.pipeline.abbrev(),
+            block.batches,
+            block.elapsed.as_secs_f64()
         );
         println!(
             "{:<28} {:>9} {:>9} {:>8} {:>8}",
             "op", "avg ms", "p90 ms", "<10ms%", "<100us%"
         );
-        for op in trace.op_stats() {
+        for op in &block.ops {
             println!(
                 "{:<28} {:>9.2} {:>9.2} {:>8.1} {:>8.1}",
                 op.name,

@@ -8,6 +8,16 @@
 //! records *what they were tuned toward* so drift is caught by tests
 //! rather than archaeology.
 
+use std::sync::Arc;
+
+use lotus_core::exec::run_jobs;
+use lotus_core::trace::analysis::OpStats;
+use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
+use lotus_sim::Span;
+use lotus_uarch::{Machine, MachineConfig};
+
+use crate::{ExperimentConfig, PipelineKind};
+
 /// One Table II target row: per-image elapsed-time statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpTarget {
@@ -216,18 +226,90 @@ pub fn target_for<'t>(block: &'t [OpTarget], op: &str) -> Option<&'t OpTarget> {
     block.iter().find(|t| t.op == op)
 }
 
+/// One pipeline's measured calibration block: the per-op statistics a
+/// paper-default run on the paper's Intel testbed produces, plus the run
+/// totals — what the Table II targets above are compared against.
+#[derive(Debug, Clone)]
+pub struct MeasuredBlock {
+    /// Pipeline measured.
+    pub pipeline: PipelineKind,
+    /// Batches the run consumed.
+    pub batches: u64,
+    /// End-to-end elapsed virtual time.
+    pub elapsed: Span,
+    /// Per-op elapsed statistics, in pipeline order.
+    pub ops: Vec<OpStats>,
+}
+
+/// Runs one paper-default pipeline truncated to `items` under an
+/// aggregate-mode LotusTrace and returns its calibration block. This is
+/// the measurement the calibration tests and the `calibrate` example
+/// share; it is a pure function of `(kind, items)`.
+///
+/// # Panics
+///
+/// Panics if the simulated run fails (paper-default configurations
+/// always complete).
+#[must_use]
+pub fn measure_op_block(kind: PipelineKind, items: u64) -> MeasuredBlock {
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+        op_mode: OpLogMode::Aggregate,
+        ..LotusTraceConfig::default()
+    }));
+    let report = ExperimentConfig::paper_default(kind)
+        .scaled_to(items)
+        .build(&machine, Arc::clone(&trace) as _, None)
+        .run()
+        .expect("calibration run must complete");
+    MeasuredBlock {
+        pipeline: kind,
+        batches: report.batches,
+        elapsed: report.elapsed,
+        ops: trace.op_stats(),
+    }
+}
+
+/// Measures several calibration blocks, fanning the independent runs
+/// over `jobs` threads ([`run_jobs`] joins in submission order, so the
+/// result is identical for any job count).
+///
+/// # Panics
+///
+/// Panics if any simulated run fails.
+#[must_use]
+pub fn measure_op_blocks(specs: &[(PipelineKind, u64)], jobs: usize) -> Vec<MeasuredBlock> {
+    run_jobs(
+        jobs,
+        specs
+            .iter()
+            .map(|&(kind, items)| move || measure_op_block(kind, items))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
-    use lotus_uarch::{Machine, MachineConfig};
-    use std::sync::Arc;
 
     #[test]
     fn within_handles_relative_and_absolute_floors() {
         assert!(within(10.5, 10.0, 0.10, 0.0));
         assert!(!within(11.5, 10.0, 0.10, 0.0));
         assert!(within(0.02, 0.0, 0.10, 0.05), "abs floor applies near zero");
+    }
+
+    /// Fanning the calibration blocks over worker threads must not
+    /// change a single measured number or their order.
+    #[test]
+    fn parallel_block_measurement_matches_serial() {
+        let specs = [
+            (crate::PipelineKind::ImageClassification, 512),
+            (crate::PipelineKind::ObjectDetection, 128),
+        ];
+        let serial = measure_op_blocks(&specs, 1);
+        let parallel = measure_op_blocks(&specs, 4);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
     }
 
     #[test]
@@ -241,17 +323,9 @@ mod tests {
     /// per-op *ordering* matches exactly.
     #[test]
     fn ic_calibration_tracks_the_paper() {
-        let machine = Machine::new(MachineConfig::cloudlab_c4130());
-        let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
-            op_mode: OpLogMode::Aggregate,
-            ..LotusTraceConfig::default()
-        }));
-        crate::ExperimentConfig::paper_default(crate::PipelineKind::ImageClassification)
-            .scaled_to(4_096)
-            .build(&machine, Arc::clone(&trace) as _, None)
-            .run()
-            .unwrap();
-        let measured = trace.op_stats();
+        let block = measure_op_block(crate::PipelineKind::ImageClassification, 4_096);
+        assert!(block.batches > 0 && block.elapsed.as_nanos() > 0);
+        let measured = block.ops;
         for target in &PAPER_TABLE2_IC {
             let m = measured
                 .iter()

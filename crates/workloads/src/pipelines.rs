@@ -91,6 +91,35 @@ impl ExperimentConfig {
         self
     }
 
+    /// A stable one-line fingerprint of everything that determines this
+    /// experiment's simulated behavior, for content-addressed cache
+    /// keys: pipeline, batch size, GPU and worker counts, dataset
+    /// truncation, and seed.
+    ///
+    /// ```
+    /// use lotus_workloads::{ExperimentConfig, PipelineKind};
+    ///
+    /// let experiment = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+    ///     .scaled_to(4096);
+    /// assert_eq!(experiment.fingerprint(), "IC bs128 gpus1 workers1 items4096 seed=0x107");
+    /// ```
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let items = match self.dataset_items {
+            Some(n) => format!("items{n}"),
+            None => "items-full".to_string(),
+        };
+        format!(
+            "{} bs{} gpus{} workers{} {} seed={:#x}",
+            self.pipeline.abbrev(),
+            self.batch_size,
+            self.num_gpus,
+            self.num_workers,
+            items,
+            self.seed
+        )
+    }
+
     /// The DataLoader configuration [`build`](Self::build) uses: this
     /// experiment's batch size and worker count with PyTorch-shaped
     /// defaults for the rest (prefetch 2, unbounded data queue, pinned

@@ -58,6 +58,7 @@ USAGE:
   lotus tune      [--pipeline ic|is|od|ac] [--items N] [--batch B]
                   [--strategy grid|hill] [--workers 1,2,4,8] [--prefetch 1,2,4]
                   [--caps none,4,8] [--pin on|off|both] [--json] [--out FILE]
+                  [--jobs N] [--no-cache] [--cache-dir DIR]
                   [--kill-worker W] [--kill-at-ms T] [--error-rate P]
                   [--error-op NAME]
       Search DataLoader configurations (workers, prefetch, data-queue
@@ -66,7 +67,10 @@ USAGE:
       resident batches, a T1/T2/T3-based bottleneck verdict per config,
       and the recommended configuration with its predicted speedup.
       --json emits the byte-deterministic report instead; fault flags
-      compose (degraded configs are reported, not fatal).
+      compose (degraded configs are reported, not fatal). Trials fan out
+      over --jobs threads (default: all cores) and memoize to the
+      on-disk cache at --cache-dir (default .lotus-cache; --no-cache
+      disables) — neither changes a single output byte.
 
   lotus help
 ";
@@ -410,10 +414,24 @@ fn cmd_tune(args: &Args) -> Result<(), Box<dyn Error>> {
         faults = faults.inject_sample_errors(op, error_rate);
     }
 
+    let jobs = args.get("jobs", lotus::core::exec::default_jobs())?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let cache_dir = if args.has("no-cache") {
+        None
+    } else {
+        Some(std::path::PathBuf::from(args.get(
+            "cache-dir",
+            lotus::core::exec::DEFAULT_CACHE_DIR.to_string(),
+        )?))
+    };
     let options = TuneOptions {
         space,
         strategy,
         faults,
+        jobs,
+        cache_dir,
     };
     let report = tune_experiment(&config, &options)?;
 

@@ -10,8 +10,10 @@
 //! degrades (worker kills, sample errors, deadlocks) becomes a failed
 //! scorecard instead of aborting the sweep.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
+use lotus_core::exec::{self, TrialCache};
 use lotus_core::metrics::{MetricsRegistry, MetricsSink, MultiSink};
 use lotus_core::trace::analysis::op_class_totals;
 use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
@@ -44,15 +46,25 @@ pub struct TuneOptions {
     /// Fault plan applied to every trial run ([`FaultPlan::default`]
     /// injects nothing).
     pub faults: FaultPlan,
+    /// Parallel measurement threads. Output is byte-identical for every
+    /// value — see [`Tuner::run_with`].
+    pub jobs: usize,
+    /// Root of the on-disk trial cache, or `None` to run every trial
+    /// live. The cache key covers the experiment fingerprint, machine,
+    /// fault plan, and trial knobs, so stale hits are impossible.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for TuneOptions {
-    /// Grid search over [`SearchSpace::default`] with no faults.
+    /// Grid search over [`SearchSpace::default`] with no faults, fanned
+    /// over the machine's available parallelism, without a cache.
     fn default() -> Self {
         TuneOptions {
             space: SearchSpace::default(),
             strategy: Strategy::Grid,
             faults: FaultPlan::default(),
+            jobs: exec::default_jobs(),
+            cache_dir: None,
         }
     }
 }
@@ -89,9 +101,30 @@ pub fn tune_experiment(
         space: options.space.clone(),
         strategy: options.strategy,
     };
-    tuner.run(baseline_trial(experiment), |trial| {
-        run_trial(experiment, trial, &options.faults)
-    })
+    let cache = match &options.cache_dir {
+        // An unopenable cache directory degrades to live execution; the
+        // sweep itself must not fail on a read-only working directory.
+        Some(root) => TrialCache::open(root, trial_context(experiment, &options.faults)).ok(),
+        None => None,
+    };
+    tuner.run_with(
+        baseline_trial(experiment),
+        |trial| run_trial(experiment, trial, &options.faults),
+        options.jobs,
+        cache.as_ref(),
+    )
+}
+
+/// The trial-cache context string: everything a trial's outcome depends
+/// on besides its own four knobs — the experiment fingerprint, the
+/// simulated machine, and the fault plan.
+#[must_use]
+pub fn trial_context(experiment: &ExperimentConfig, faults: &FaultPlan) -> String {
+    format!(
+        "{}; machine=cloudlab_c4130; faults[{}]",
+        experiment.fingerprint(),
+        faults.fingerprint()
+    )
 }
 
 /// Runs one candidate configuration: a fresh machine, a zero-overhead

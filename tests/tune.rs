@@ -103,6 +103,7 @@ fn fault_plan_degrades_configs_without_aborting_the_sweep() {
         strategy: Strategy::Grid,
         faults: FaultPlan::new(config.seed)
             .kill_process("dataloader0", Time::ZERO + Span::from_millis(5)),
+        ..TuneOptions::default()
     };
     let report = tune_experiment(&config, &options).unwrap();
 
@@ -149,6 +150,7 @@ fn bounded_data_queue_trades_throughput_for_footprint() {
         },
         strategy: Strategy::Grid,
         faults: FaultPlan::default(),
+        ..TuneOptions::default()
     };
     let report = tune_experiment(&config, &options).unwrap();
     let card = |cap: Option<usize>| {
@@ -177,4 +179,68 @@ fn baseline_trial_mirrors_experiment_defaults() {
     let trial = baseline_trial(&config);
     let loader = trial.apply(config.loader_defaults());
     assert_eq!(loader, config.loader_defaults());
+}
+
+#[test]
+fn parallel_jobs_produce_byte_identical_reports() {
+    let config = preprocessing_bound_experiment();
+    let serial = tune_experiment(
+        &config,
+        &TuneOptions {
+            jobs: 1,
+            ..TuneOptions::default()
+        },
+    )
+    .unwrap();
+    let parallel = tune_experiment(
+        &config,
+        &TuneOptions {
+            jobs: 4,
+            ..TuneOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "--jobs must never change a report byte"
+    );
+    assert_eq!(serial.recommended, parallel.recommended);
+    assert_eq!(serial.pruned, parallel.pruned);
+}
+
+#[test]
+fn warm_trial_cache_replays_the_sweep_without_live_trials() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("lotus-tune-cache-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let config = preprocessing_bound_experiment();
+    let options = TuneOptions {
+        jobs: 4,
+        cache_dir: Some(cache_dir.clone()),
+        ..TuneOptions::default()
+    };
+    let cold = tune_experiment(&config, &options).unwrap();
+    assert!(cold.trials_live > 0, "cold cache must run live trials");
+    assert_eq!(cold.trials_cached, 0);
+
+    let warm = tune_experiment(&config, &options).unwrap();
+    assert_eq!(warm.trials_live, 0, "warm rerun must be all cache hits");
+    assert_eq!(warm.trials_cached, cold.trials_live);
+    assert_eq!(
+        cold.to_json(),
+        warm.to_json(),
+        "cache warmth must never change a report byte"
+    );
+
+    // A different fault plan is a different sweep context: no stale hits.
+    // (A queue slowdown changes behavior without failing any trial.)
+    let refaulted = TuneOptions {
+        faults: FaultPlan::new(config.seed).slow_queue("data_queue", 2.0),
+        ..options
+    };
+    let other = tune_experiment(&config, &refaulted).unwrap();
+    assert!(other.trials_live > 0);
+    assert_eq!(other.trials_cached, 0);
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }
