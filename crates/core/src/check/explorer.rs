@@ -1,0 +1,395 @@
+//! Bounded stateless model checking over schedule prefixes.
+//!
+//! The explorer is *stateless* in the Shuttle/CHESS sense: it never forks
+//! the simulator. Each exploration step re-runs the whole deterministic
+//! simulation under a [`GuidedController`](lotus_sim::GuidedController)
+//! that follows a *schedule prefix* — a vector of choice indices consumed
+//! at successive decision points (ready-event ties) — and then picks the
+//! first choice for the free suffix. The run hands back the full decision
+//! log, from which the DFS expands every untried alternative within its
+//! depth and branch bounds.
+//!
+//! Soundness of pruning: a decision point whose structural state hash was
+//! already expanded leads to a subtree the DFS has (or will have) covered
+//! from the earlier occurrence, so skipping it cannot hide a violation
+//! *within the explored bounds*. The bounds themselves make the check
+//! bounded, not exhaustive — truncation counts are reported so a clean
+//! verdict can be read at its actual strength.
+
+use std::collections::HashSet;
+
+use lotus_sim::DecisionRecord;
+
+use super::invariants::Violation;
+
+/// Exploration limits. Defaults are sized for the small configurations
+/// `lotus check` drives (1–3 workers, a few dozen samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreBounds {
+    /// Maximum schedules (full simulation runs) to execute, excluding
+    /// minimization re-runs.
+    pub max_schedules: usize,
+    /// Maximum decision depth to branch at; deeper decision points run
+    /// under the default (first-choice) policy.
+    pub max_depth: usize,
+    /// Maximum alternatives tried per decision point (branching factor).
+    pub max_branch: usize,
+    /// Kernel dispatch budget per run; exceeding it classifies the run as
+    /// livelocked.
+    pub max_steps: u64,
+    /// Re-runs the minimizer may spend shrinking a counterexample.
+    pub minimization_budget: usize,
+}
+
+impl Default for ExploreBounds {
+    fn default() -> ExploreBounds {
+        ExploreBounds {
+            max_schedules: 256,
+            max_depth: 64,
+            max_branch: 4,
+            max_steps: 200_000,
+            minimization_budget: 48,
+        }
+    }
+}
+
+/// What one guided simulation run reported back to the explorer.
+#[derive(Debug, Clone)]
+pub struct ScheduledRun {
+    /// The controller's decision log (every tie it resolved).
+    pub decisions: Vec<DecisionRecord>,
+    /// Invariant violations found by [`super::invariants::verify`].
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregate statistics of one exploration, reported in the `lotus check`
+/// summary table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Schedules executed by the DFS (excludes minimization re-runs).
+    pub schedules_run: usize,
+    /// Decision points encountered across all runs.
+    pub decision_points: usize,
+    /// Distinct structural state hashes expanded.
+    pub states_seen: usize,
+    /// Decision points skipped because their state hash was already
+    /// expanded.
+    pub states_pruned: usize,
+    /// Deepest decision index reached by any run.
+    pub max_depth_reached: usize,
+    /// Decision points left unexpanded by the depth bound.
+    pub depth_truncations: usize,
+    /// Alternatives left untried by the branch bound.
+    pub branch_truncations: usize,
+    /// True when the schedule budget ran out with frontier work pending.
+    pub budget_exhausted: bool,
+    /// Re-runs spent minimizing the counterexample.
+    pub minimization_runs: usize,
+}
+
+/// A violating schedule, shrunk and ready to replay.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The minimized schedule prefix: choice index per decision point.
+    /// Replaying it through `GuidedController::new(schedule, max_steps)`
+    /// reproduces the violation deterministically.
+    pub schedule: Vec<usize>,
+    /// Violations the minimized schedule still triggers.
+    pub violations: Vec<Violation>,
+    /// Decision points the violating run passed through.
+    pub decisions: usize,
+}
+
+/// Outcome of [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Exploration statistics.
+    pub stats: ExploreStats,
+    /// The first violation found, minimized — `None` when every explored
+    /// schedule upheld the invariants.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreReport {
+    /// True when no explored schedule violated the catalog.
+    pub fn clean(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Depth-first exploration of the schedule tree. `run` executes one
+/// guided simulation under the given schedule prefix and reports its
+/// decision log plus any invariant violations; `explore` drives it until
+/// a violation is found (then minimized into a [`Counterexample`]) or the
+/// bounded frontier is exhausted.
+pub fn explore<F>(bounds: &ExploreBounds, mut run: F) -> ExploreReport
+where
+    F: FnMut(&[usize]) -> ScheduledRun,
+{
+    let mut stats = ExploreStats::default();
+    let mut expanded: HashSet<u64> = HashSet::new();
+    // DFS stack of schedule prefixes still to run.
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+
+    while let Some(prefix) = frontier.pop() {
+        if stats.schedules_run >= bounds.max_schedules {
+            stats.budget_exhausted = true;
+            frontier.clear();
+            break;
+        }
+        stats.schedules_run += 1;
+        let outcome = run(&prefix);
+        stats.decision_points += outcome.decisions.len();
+        stats.max_depth_reached = stats.max_depth_reached.max(outcome.decisions.len());
+
+        if !outcome.violations.is_empty() {
+            let (schedule, violations) =
+                minimize(&prefix, outcome.violations, &mut run, bounds, &mut stats);
+            return ExploreReport {
+                stats,
+                counterexample: Some(Counterexample {
+                    decisions: outcome.decisions.len(),
+                    schedule,
+                    violations,
+                }),
+            };
+        }
+
+        // Branch on every decision point in the free suffix (decided by
+        // the default policy, i.e. beyond this prefix).
+        for (i, decision) in outcome.decisions.iter().enumerate().skip(prefix.len()) {
+            if decision.branches < 2 {
+                continue;
+            }
+            if i >= bounds.max_depth {
+                stats.depth_truncations += 1;
+                continue;
+            }
+            if !expanded.insert(decision.state_hash) {
+                stats.states_pruned += 1;
+                continue;
+            }
+            stats.states_seen += 1;
+            let tried = decision.branches.min(bounds.max_branch);
+            stats.branch_truncations += decision.branches - tried;
+            // The run already took choice 0 here; queue the alternatives.
+            for alt in (1..tried).rev() {
+                let mut next = Vec::with_capacity(i + 1);
+                next.extend_from_slice(&prefix);
+                next.extend(outcome.decisions[prefix.len()..i].iter().map(|d| d.taken));
+                next.push(alt);
+                frontier.push(next);
+            }
+        }
+    }
+
+    ExploreReport {
+        stats,
+        counterexample: None,
+    }
+}
+
+/// Greedy counterexample shrinking: first try truncating the schedule
+/// (shortest prefix first — trailing entries equal to the default policy
+/// are free to drop), then try zeroing individual non-default choices,
+/// repeating until a fixpoint or the budget runs out. Every accepted
+/// candidate is re-verified by an actual run, so the result is always a
+/// genuine violating schedule.
+fn minimize<F>(
+    schedule: &[usize],
+    violations: Vec<Violation>,
+    run: &mut F,
+    bounds: &ExploreBounds,
+    stats: &mut ExploreStats,
+) -> (Vec<usize>, Vec<Violation>)
+where
+    F: FnMut(&[usize]) -> ScheduledRun,
+{
+    let mut best: Vec<usize> = schedule.to_vec();
+    let mut best_violations = violations;
+    // Trailing zeros replay identically to a truncated schedule: the
+    // controller's free-suffix policy is choice 0.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    let mut budget = bounds.minimization_budget;
+
+    loop {
+        let mut improved = false;
+
+        for k in 0..best.len() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            stats.minimization_runs += 1;
+            let candidate = &best[..k];
+            let outcome = run(candidate);
+            if !outcome.violations.is_empty() {
+                best = candidate.to_vec();
+                best_violations = outcome.violations;
+                improved = true;
+                break;
+            }
+        }
+
+        for i in (0..best.len()).rev() {
+            if budget == 0 || best[i] == 0 {
+                continue;
+            }
+            budget -= 1;
+            stats.minimization_runs += 1;
+            let mut candidate = best.clone();
+            candidate[i] = 0;
+            while candidate.last() == Some(&0) {
+                candidate.pop();
+            }
+            let outcome = run(&candidate);
+            if !outcome.violations.is_empty() {
+                best = candidate;
+                best_violations = outcome.violations;
+                improved = true;
+                break;
+            }
+        }
+
+        if !improved || budget == 0 {
+            break;
+        }
+    }
+
+    (best, best_violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic schedule tree: every run passes `depth` binary decision
+    /// points; the run violates iff its effective choices match `bug`.
+    fn tree_runner(depth: usize, bug: Vec<usize>) -> impl FnMut(&[usize]) -> ScheduledRun {
+        move |prefix: &[usize]| {
+            let choices: Vec<usize> = (0..depth)
+                .map(|i| prefix.get(i).copied().unwrap_or(0).min(1))
+                .collect();
+            let decisions = choices
+                .iter()
+                .enumerate()
+                .map(|(i, &taken)| DecisionRecord {
+                    branches: 2,
+                    taken,
+                    state_hash: {
+                        // Path-dependent hash: distinct histories stay
+                        // distinct, so pruning never hides the bug.
+                        let mut h = 0xcbf2_9ce4_8422_2325u64;
+                        for &c in &choices[..=i] {
+                            h = (h ^ c as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                        }
+                        h
+                    },
+                    step: i as u64,
+                    now: lotus_sim::Time::ZERO,
+                })
+                .collect();
+            let violations = if choices == bug {
+                vec![Violation::DoubleDelivery { batch_id: 7 }]
+            } else {
+                vec![]
+            };
+            ScheduledRun {
+                decisions,
+                violations,
+            }
+        }
+    }
+
+    #[test]
+    fn explorer_finds_a_buried_interleaving_bug() {
+        let report = explore(&ExploreBounds::default(), tree_runner(4, vec![0, 1, 1, 0]));
+        let cx = report.counterexample.expect("bug must be found");
+        assert_eq!(
+            cx.violations,
+            vec![Violation::DoubleDelivery { batch_id: 7 }]
+        );
+        // Minimization drops the trailing default choice.
+        assert_eq!(cx.schedule, vec![0, 1, 1]);
+        assert!(report.stats.schedules_run > 1);
+        assert!(report.stats.minimization_runs > 0);
+    }
+
+    #[test]
+    fn clean_tree_is_fully_explored_without_counterexample() {
+        let report = explore(&ExploreBounds::default(), tree_runner(3, vec![9, 9, 9]));
+        assert!(report.clean());
+        // 2^3 leaves but shared-prefix runs collapse: every state expanded
+        // exactly once, nothing pruned (hashes are path-distinct).
+        assert_eq!(report.stats.states_pruned, 0);
+        assert!(report.stats.schedules_run >= 8);
+        assert!(!report.stats.budget_exhausted);
+    }
+
+    #[test]
+    fn schedule_budget_truncates_and_is_reported() {
+        let bounds = ExploreBounds {
+            max_schedules: 3,
+            ..ExploreBounds::default()
+        };
+        let report = explore(&bounds, tree_runner(6, vec![1; 6]));
+        assert!(report.stats.budget_exhausted);
+        assert_eq!(report.stats.schedules_run, 3);
+    }
+
+    #[test]
+    fn state_hash_pruning_collapses_converging_histories() {
+        // All decision points share one hash: after the first expansion
+        // every later point is pruned.
+        let runner = |prefix: &[usize]| ScheduledRun {
+            decisions: (0..3)
+                .map(|i| DecisionRecord {
+                    branches: 2,
+                    taken: prefix.get(i).copied().unwrap_or(0),
+                    state_hash: 42,
+                    step: i as u64,
+                    now: lotus_sim::Time::ZERO,
+                })
+                .collect(),
+            violations: vec![],
+        };
+        let report = explore(&ExploreBounds::default(), runner);
+        assert!(report.clean());
+        assert_eq!(report.stats.states_seen, 1);
+        assert!(report.stats.states_pruned > 0);
+    }
+
+    #[test]
+    fn minimization_zeroes_spurious_choices() {
+        // Bug fires whenever the second decision takes choice 1; other
+        // entries are noise the minimizer should strip.
+        let runner = |prefix: &[usize]| {
+            let choices: Vec<usize> = (0..4)
+                .map(|i| prefix.get(i).copied().unwrap_or(0).min(1))
+                .collect();
+            ScheduledRun {
+                decisions: choices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &taken)| DecisionRecord {
+                        branches: 2,
+                        taken,
+                        state_hash: (i as u64) << 8 | choices[..=i].iter().sum::<usize>() as u64,
+                        step: i as u64,
+                        now: lotus_sim::Time::ZERO,
+                    })
+                    .collect(),
+                violations: if choices[1] == 1 {
+                    vec![Violation::PhantomDelivery { batch_id: 1 }]
+                } else {
+                    vec![]
+                },
+            }
+        };
+        let report = explore(&ExploreBounds::default(), runner);
+        let cx = report.counterexample.expect("found");
+        assert_eq!(cx.schedule, vec![0, 1], "noise choices stripped: {cx:?}");
+    }
+}

@@ -25,6 +25,12 @@
 //!   with dominance pruning) that scores every candidate on throughput,
 //!   T2 wait, and memory footprint, and recommends a configuration with
 //!   a predicted speedup and a T1/T2/T3-based bottleneck verdict.
+//! * [`check`] — **lotus check**: a bounded protocol model checker that
+//!   explores ready-event interleavings of the DataLoader protocol
+//!   through the simulator's schedule-controller hook and judges each
+//!   run against a safety-invariant catalog (sample conservation,
+//!   dispatch discipline, bounded buffers, progress), plus a trace
+//!   linter for recorded/imported LotusTrace streams.
 //! * [`exec`] — deterministic parallel execution: a scoped-thread job
 //!   pool that joins results by submission index (so `--jobs N` output
 //!   is byte-identical to serial) and a content-addressed on-disk trial
@@ -42,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod exec;
 pub mod map;
 pub mod metrics;

@@ -113,25 +113,25 @@ pub fn to_chrome_trace(records: &[TraceRecord], options: ChromeTraceOptions) -> 
 /// one emitted by the PyTorch profiler), preserving both event sets. The
 /// negative LotusTrace ids guarantee no id collisions.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either document lacks a `traceEvents` array.
-#[must_use]
-pub fn merge_traces(base: &Value, lotus: &Value) -> Value {
+/// Returns a description of the offending document when either side
+/// lacks a `traceEvents` array (e.g. a foreign or truncated profile).
+pub fn merge_traces(base: &Value, lotus: &Value) -> Result<Value, String> {
     let mut events = base
         .get("traceEvents")
         .and_then(Value::as_array)
-        .expect("base document missing traceEvents")
+        .ok_or_else(|| "base document missing traceEvents".to_string())?
         .clone();
     events.extend(
         lotus
             .get("traceEvents")
             .and_then(Value::as_array)
-            .expect("lotus document missing traceEvents")
+            .ok_or_else(|| "lotus document missing traceEvents".to_string())?
             .iter()
             .cloned(),
     );
-    json!({ "traceEvents": events, "displayTimeUnit": "ms" })
+    Ok(json!({ "traceEvents": events, "displayTimeUnit": "ms" }))
 }
 
 /// Parses a Chrome-trace document produced by [`to_chrome_trace`] back
@@ -375,12 +375,22 @@ mod tests {
     fn merge_keeps_both_event_sets() {
         let torch = json!({ "traceEvents": json!([json!({ "name": "aten::conv2d", "ph": "X", "id": 5 })]) });
         let lotus = to_chrome_trace(&sample(), ChromeTraceOptions { coarse: true });
-        let merged = merge_traces(&torch, &lotus);
+        let merged = merge_traces(&torch, &lotus).expect("both sides well-formed");
         let names: Vec<&str> = events(&merged)
             .iter()
             .filter_map(|e| e["name"].as_str())
             .collect();
         assert!(names.contains(&"aten::conv2d"));
         assert!(names.contains(&"SBatchPreprocessed_0"));
+    }
+
+    #[test]
+    fn merge_rejects_documents_without_trace_events() {
+        let lotus = to_chrome_trace(&sample(), ChromeTraceOptions { coarse: true });
+        let bad = json!({ "schemaVersion": 1 });
+        let err = merge_traces(&bad, &lotus).unwrap_err();
+        assert!(err.contains("base document missing traceEvents"));
+        let err = merge_traces(&lotus, &bad).unwrap_err();
+        assert!(err.contains("lotus document missing traceEvents"));
     }
 }

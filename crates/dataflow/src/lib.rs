@@ -30,7 +30,7 @@ mod tracer;
 pub use config::{DataLoaderConfig, GpuConfig};
 pub use dataset::{BatchSampler, Dataset, Sampler};
 pub use error::JobError;
-pub use loader::{worker_os_pid, JobReport, TrainingJob, MAIN_OS_PID};
+pub use loader::{worker_os_pid, JobReport, LoaderMutation, TrainingJob, MAIN_OS_PID};
 pub use pipeline::{Pipeline, Source};
 pub use tracer::{NullTracer, Tracer};
 

@@ -6,7 +6,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use lotus_data::mix_seed;
-use lotus_sim::{Ctx, FaultPlan, Queue, Simulation, Span, Time};
+use lotus_sim::{Ctx, FaultPlan, Queue, ScheduleController, Simulation, Span, Time};
 use lotus_transforms::{Batch, Collate, PipelineError, TransformCtx, TransformObserver};
 use lotus_uarch::{CostCoeffs, CpuThread, HwProfiler, KernelId, Machine};
 use rand::rngs::StdRng;
@@ -181,6 +181,41 @@ pub struct TrainingJob {
     /// Deterministic fault-injection plan (worker kills, per-sample
     /// errors, queue slowdowns). [`FaultPlan::default`] injects nothing.
     pub faults: FaultPlan,
+    /// Optional schedule controller installed into the simulation —
+    /// `lotus check` uses this to enumerate and replay interleavings.
+    /// `None` keeps the kernel's deterministic FIFO tie-break.
+    pub controller: Option<Arc<dyn ScheduleController>>,
+    /// Deliberate protocol bug for checker validation (test-only hook;
+    /// [`LoaderMutation::None`] is the faithful protocol).
+    #[doc(hidden)]
+    pub mutation: LoaderMutation,
+}
+
+/// Deliberate protocol bugs, used only to validate that `lotus check`
+/// catches them. [`LoaderMutation::None`] — the default — is the faithful
+/// PyTorch protocol; the other variants seed the two bug classes the
+/// model checker must flag: a lost batch (liveness) and a redispatch
+/// without an observed worker death (safety).
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoaderMutation {
+    /// Faithful protocol.
+    #[default]
+    None,
+    /// The worker fetching `batch_id` silently drops the finished
+    /// envelope instead of pushing it to the data queue: the batch is
+    /// lost and the main process polls forever.
+    LoseBatch {
+        /// Batch whose envelope is dropped.
+        batch_id: u64,
+    },
+    /// At the second main-loop iteration the main process redispatches
+    /// `batch_id` (or, if that id is no longer outstanding, the newest
+    /// outstanding batch) even though its owner is still alive.
+    RedispatchLive {
+        /// Batch to prematurely redispatch.
+        batch_id: u64,
+    },
 }
 
 /// Result of a completed training job.
@@ -232,6 +267,8 @@ impl TrainingJob {
             seed,
             epochs,
             faults,
+            controller,
+            mutation,
         } = self;
         let fw = FrameworkKernels::register(&machine);
 
@@ -256,6 +293,9 @@ impl TrainingJob {
         }
 
         let mut sim = Simulation::new();
+        if let Some(controller) = controller {
+            sim.set_controller(controller);
+        }
         let data_q: Queue<Envelope> = sim.queue("data_queue", loader.data_queue_cap);
         let index_qs: Vec<Queue<WorkerMsg>> = (0..loader.num_workers)
             .map(|w| sim.queue(format!("index_queue_{w}"), None))
@@ -284,6 +324,7 @@ impl TrainingJob {
                     fw,
                     seed,
                     &faults,
+                    mutation,
                 );
             });
         }
@@ -310,6 +351,7 @@ impl TrainingJob {
                     batches,
                     &faults,
                     &job_error,
+                    mutation,
                 );
             });
         }
@@ -339,6 +381,7 @@ fn worker_loop(
     fw: FrameworkKernels,
     seed: u64,
     faults: &FaultPlan,
+    mutation: LoaderMutation,
 ) {
     let mut cpu = CpuThread::new(Arc::clone(machine));
     if let Some(p) = hw_profiler {
@@ -470,6 +513,11 @@ fn worker_loop(
             // batch is orphaned and the main process must redispatch it.
             return;
         }
+        if mutation == (LoaderMutation::LoseBatch { batch_id: id }) {
+            // Seeded bug: the finished envelope is silently dropped, so
+            // the main process waits for a batch that never arrives.
+            continue;
+        }
         data_q.push(ctx, envelope);
         let oh = tracer.on_gauge("queue_depth.data_queue", data_q.len() as f64, ctx.now());
         if !oh.is_zero() {
@@ -527,13 +575,22 @@ impl Dispatcher {
     }
 
     /// Sends one index batch (a pending redispatch first, else the next
-    /// fresh batch) to the next live worker. Returns the worker that
-    /// received it, so the caller can sample that queue's depth.
-    fn send_next(&mut self, ctx: &Ctx, index_qs: &[Queue<WorkerMsg>]) -> Option<usize> {
-        let next = self
-            .redispatch
-            .pop_front()
-            .or_else(|| self.batch_iter.next().map(|(id, idx)| (id as u64, idx)));
+    /// fresh batch) to the next live worker, announcing the dispatch to
+    /// the tracer. Returns the worker that received it, so the caller can
+    /// sample that queue's depth.
+    fn send_next(
+        &mut self,
+        ctx: &Ctx,
+        tracer: &dyn Tracer,
+        index_qs: &[Queue<WorkerMsg>],
+    ) -> Option<usize> {
+        let (next, redispatch) = match self.redispatch.pop_front() {
+            Some(item) => (Some(item), true),
+            None => (
+                self.batch_iter.next().map(|(id, idx)| (id as u64, idx)),
+                false,
+            ),
+        };
         if let Some((id, indices)) = next {
             let Some(w) = self.next_worker() else {
                 // No live worker to hand it to; keep it queued so the
@@ -548,6 +605,11 @@ impl Dispatcher {
                     indices: indices.clone(),
                 },
             );
+            let oh =
+                tracer.on_batch_dispatched(id, worker_os_pid(w), &indices, redispatch, ctx.now());
+            if !oh.is_zero() {
+                ctx.delay(oh);
+            }
             self.in_flight.insert(id, (w, indices));
             return Some(w);
         }
@@ -570,6 +632,38 @@ impl Dispatcher {
             self.redispatch.push_back((id, indices));
         }
         orphans
+    }
+}
+
+/// The [`LoaderMutation::RedispatchLive`] bug body: re-queues `batch_id`
+/// (or, if it is no longer outstanding, the newest outstanding batch) and
+/// sends it to the next live worker without any observed death — exactly
+/// the premature-redispatch violation `lotus check` exists to catch.
+fn redispatch_live(
+    ctx: &Ctx,
+    tracer: &dyn Tracer,
+    index_qs: &[Queue<WorkerMsg>],
+    dispatcher: &mut Dispatcher,
+    batch_id: u64,
+) {
+    let target = if dispatcher.in_flight.contains_key(&batch_id) {
+        Some(batch_id)
+    } else {
+        dispatcher.in_flight.keys().max().copied()
+    };
+    let Some(id) = target else {
+        return;
+    };
+    let (owner, indices) = dispatcher.in_flight[&id].clone();
+    dispatcher.redispatch.push_front((id, indices));
+    let sent = dispatcher.send_next(ctx, tracer, index_qs);
+    emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
+    if let Some((to, _)) = dispatcher.in_flight.get(&id) {
+        let oh =
+            tracer.on_batch_redispatched(id, worker_os_pid(owner), worker_os_pid(*to), ctx.now());
+        if !oh.is_zero() {
+            ctx.delay(oh);
+        }
     }
 }
 
@@ -616,6 +710,7 @@ fn main_loop(
     batches: Vec<Vec<u64>>,
     faults: &FaultPlan,
     job_error: &Mutex<Option<JobError>>,
+    mutation: LoaderMutation,
 ) {
     let mut cpu = CpuThread::new(Arc::clone(machine));
     if let Some(p) = hw_profiler {
@@ -634,12 +729,19 @@ fn main_loop(
 
     // Initial prefetch: `prefetch_factor` index batches per worker.
     for _ in 0..loader.prefetch_factor * workers {
-        let sent = dispatcher.send_next(ctx, index_qs);
+        let sent = dispatcher.send_next(ctx, tracer, index_qs);
         emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
     }
 
     let mut cache: HashMap<u64, Envelope> = HashMap::new();
     for rcvd in 0..num_batches {
+        if rcvd == 1 {
+            if let LoaderMutation::RedispatchLive { batch_id } = mutation {
+                // Seeded bug: re-send an outstanding batch whose owner
+                // was never observed dead.
+                redispatch_live(ctx, tracer, index_qs, &mut dispatcher, batch_id);
+            }
+        }
         let wait_start = ctx.now();
         let env = if let Some(env) = cache.remove(&rcvd) {
             // Already pinned and cached: the paper marks these waits with
@@ -685,7 +787,7 @@ fn main_loop(
                         // Re-send the dead worker's in-flight batches to
                         // the survivors, preserving id order.
                         for id in orphans {
-                            let sent = dispatcher.send_next(ctx, index_qs);
+                            let sent = dispatcher.send_next(ctx, tracer, index_qs);
                             emit_dispatch_gauges(
                                 ctx,
                                 tracer,
@@ -756,7 +858,7 @@ fn main_loop(
         // the in-flight inventory never exceeds
         // `prefetch_factor * num_workers`, even while out-of-order
         // envelopes accumulate in the pinned cache.
-        let sent = dispatcher.send_next(ctx, index_qs);
+        let sent = dispatcher.send_next(ctx, tracer, index_qs);
         emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
 
         let payload = match env.payload {

@@ -215,6 +215,8 @@ impl Pipeline {
             seed: self.shuffle_seed.unwrap_or(0),
             epochs: 1,
             faults: lotus_sim::FaultPlan::default(),
+            controller: None,
+            mutation: crate::loader::LoaderMutation::None,
         }
     }
 }

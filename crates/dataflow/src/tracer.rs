@@ -26,6 +26,24 @@ pub trait Tracer: Send + Sync {
         Span::ZERO
     }
 
+    /// The main process handed an index batch to a worker's index queue —
+    /// either a fresh batch from the sampler (`redispatch == false`) or a
+    /// dead worker's orphan being re-sent (`redispatch == true`). This is
+    /// the dispatch side of the protocol, paired with
+    /// [`Tracer::on_batch_wait`] on the return side; `lotus check` builds
+    /// its sample-conservation ledger from exactly these two hooks.
+    fn on_batch_dispatched(
+        &self,
+        batch_id: u64,
+        to_pid: u32,
+        indices: &[u64],
+        redispatch: bool,
+        at: Time,
+    ) -> Span {
+        let _ = (batch_id, to_pid, indices, redispatch, at);
+        Span::ZERO
+    }
+
     /// The main process finished waiting for a batch (\[T2\]).
     /// `out_of_order` is true when the batch was served from the pinned
     /// cache (the paper marks these with a 1 µs duration). `queue_delay`
@@ -132,6 +150,10 @@ mod tests {
         );
         assert_eq!(
             t.on_fault_injected(1, 0, "ToTensor", Time::ZERO),
+            Span::ZERO
+        );
+        assert_eq!(
+            t.on_batch_dispatched(0, 4243, &[0, 1], false, Time::ZERO),
             Span::ZERO
         );
         assert_eq!(t.on_worker_died(1, Time::ZERO), Span::ZERO);

@@ -5,7 +5,8 @@ use std::sync::{Arc, Mutex};
 
 use lotus_data::DType;
 use lotus_dataflow::{
-    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, NullTracer, Sampler, Tracer, TrainingJob,
+    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, LoaderMutation, NullTracer, Sampler, Tracer,
+    TrainingJob,
 };
 use lotus_sim::{Span, Time};
 use lotus_transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
@@ -118,6 +119,8 @@ fn run_with(
         seed: 3,
         epochs: 1,
         faults: FaultPlan::default(),
+        controller: None,
+        mutation: LoaderMutation::None,
     }
     .run()
     .unwrap()
@@ -181,6 +184,8 @@ fn random_sampler_changes_the_item_order_but_not_the_totals() {
             seed: 9,
             epochs: 1,
             faults: FaultPlan::default(),
+            controller: None,
+            mutation: LoaderMutation::None,
         }
         .run()
         .unwrap()

@@ -5,8 +5,8 @@ use std::sync::{Arc, Mutex};
 
 use lotus_data::DType;
 use lotus_dataflow::{
-    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, NullTracer, Sampler, Tracer, TrainingJob,
-    MAIN_OS_PID,
+    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, LoaderMutation, NullTracer, Sampler, Tracer,
+    TrainingJob, MAIN_OS_PID,
 };
 use lotus_sim::{Span, Time};
 use lotus_transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
@@ -146,6 +146,8 @@ fn job(
         seed: 7,
         epochs: 1,
         faults: FaultPlan::default(),
+        controller: None,
+        mutation: LoaderMutation::None,
     }
 }
 
@@ -514,6 +516,8 @@ fn in_flight_inventory_is_bounded_with_a_slow_worker() {
         seed: 7,
         epochs: 1,
         faults: FaultPlan::default(),
+        controller: None,
+        mutation: LoaderMutation::None,
     }
     .run()
     .unwrap();

@@ -1,0 +1,206 @@
+//! Schedule control: a hook that lets an external driver resolve the
+//! kernel's nondeterministic choices.
+//!
+//! An uncontrolled [`crate::Simulation`] breaks ties between events at the
+//! same virtual time by sequence number (creation order), which is one
+//! fixed — if arbitrary — interleaving. A [`ScheduleController`] exposes
+//! those tie-breaks as explicit **decision points**: whenever two or more
+//! processes are runnable at the same instant, the kernel asks the
+//! controller which one to dispatch. A model checker can then enumerate
+//! schedules systematically, and any schedule it finds can be replayed
+//! deterministically with a [`GuidedController`].
+//!
+//! The controller also sees every scheduler dispatch via
+//! [`ScheduleController::on_step`], which doubles as a livelock bound: a
+//! protocol bug that makes the simulation spin forever (for example a main
+//! process polling a queue that will never be filled) is cut off with
+//! [`crate::SimError::StepLimit`] instead of hanging the host.
+
+use std::sync::{Arc, Mutex};
+
+use crate::kernel::Pid;
+use crate::time::Time;
+
+/// One runnable process at a scheduler decision point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Choice {
+    /// Process that would be dispatched.
+    pub pid: Pid,
+    /// Name the process was spawned with.
+    pub process: String,
+}
+
+/// A point where the scheduler must pick among several runnable processes
+/// at the same virtual time.
+///
+/// `choices` is ordered by event sequence number, so index 0 is the
+/// process the uncontrolled kernel would have dispatched.
+#[derive(Debug)]
+pub struct DecisionPoint<'a> {
+    /// Virtual time of the tied events.
+    pub now: Time,
+    /// Scheduler dispatches completed so far in this run.
+    pub step: u64,
+    /// Structural hash of the kernel state (process states, wake
+    /// generations and the pending wake set, with event sequence numbers
+    /// deliberately excluded so converging schedules hash equal). Used by
+    /// explorers to prune revisited states.
+    pub state_hash: u64,
+    /// The runnable processes; always at least two entries.
+    pub choices: &'a [Choice],
+}
+
+/// Resolves the kernel's nondeterministic choices.
+///
+/// Installed with [`crate::Simulation::set_controller`]. Implementations
+/// must be deterministic functions of the decision points they have seen
+/// (no wall-clock, no OS entropy), or replay guarantees are lost.
+pub trait ScheduleController: Send + Sync {
+    /// Picks the index into [`DecisionPoint::choices`] to dispatch.
+    /// Out-of-range returns are clamped to the last choice.
+    fn pick(&self, point: &DecisionPoint<'_>) -> usize;
+
+    /// Called once per scheduler dispatch with the running step count;
+    /// returning `false` aborts the run with
+    /// [`crate::SimError::StepLimit`]. The default never aborts.
+    fn on_step(&self, step: u64) -> bool {
+        let _ = step;
+        true
+    }
+}
+
+/// The identity controller: always picks choice 0 (lowest sequence
+/// number), reproducing the uncontrolled kernel's FIFO tie-break exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoController;
+
+impl ScheduleController for FifoController {
+    fn pick(&self, _point: &DecisionPoint<'_>) -> usize {
+        0
+    }
+}
+
+/// What a [`GuidedController`] recorded at one decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Number of runnable processes that were tied.
+    pub branches: usize,
+    /// Index actually dispatched.
+    pub taken: usize,
+    /// Structural state hash at the decision point.
+    pub state_hash: u64,
+    /// Scheduler step count at the decision point.
+    pub step: u64,
+    /// Virtual time of the decision.
+    pub now: Time,
+}
+
+/// Replays a schedule prefix and records every decision point it passes.
+///
+/// The controller follows `prefix` choice by choice; past the end of the
+/// prefix it falls back to choice 0 (the FIFO default). Out-of-range
+/// prefix entries are clamped, so a schedule minimized for one run still
+/// replays meaningfully if branching shrinks. A `max_steps` of 0 means
+/// unbounded.
+///
+/// This is both the explorer's probe (run a prefix, harvest the branch
+/// counts and state hashes seen) and the counterexample replayer (run the
+/// final schedule and watch it fail the same way every time).
+#[derive(Debug)]
+pub struct GuidedController {
+    prefix: Vec<usize>,
+    max_steps: u64,
+    decisions: Mutex<Vec<DecisionRecord>>,
+}
+
+impl GuidedController {
+    /// A controller that follows `prefix` then FIFO, aborting any run that
+    /// exceeds `max_steps` scheduler dispatches (0 = unbounded).
+    #[must_use]
+    pub fn new(prefix: Vec<usize>, max_steps: u64) -> Arc<GuidedController> {
+        Arc::new(GuidedController {
+            prefix,
+            max_steps,
+            decisions: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The decision points recorded so far, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the internal
+    /// lock (cannot happen under the kernel's single-runner discipline).
+    #[must_use]
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.decisions
+            .lock()
+            .expect("decision log poisoned")
+            .clone()
+    }
+}
+
+impl ScheduleController for GuidedController {
+    fn pick(&self, point: &DecisionPoint<'_>) -> usize {
+        let mut log = self.decisions.lock().expect("decision log poisoned");
+        let position = log.len();
+        let want = self.prefix.get(position).copied().unwrap_or(0);
+        let taken = want.min(point.choices.len().saturating_sub(1));
+        log.push(DecisionRecord {
+            branches: point.choices.len(),
+            taken,
+            state_hash: point.state_hash,
+            step: point.step,
+            now: point.now,
+        });
+        taken
+    }
+
+    fn on_step(&self, step: u64) -> bool {
+        self.max_steps == 0 || step <= self.max_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guided_follows_prefix_then_fifo_and_clamps() {
+        let guide = GuidedController::new(vec![1, 7], 0);
+        let choices = vec![
+            Choice {
+                pid: Pid(0),
+                process: "a".into(),
+            },
+            Choice {
+                pid: Pid(1),
+                process: "b".into(),
+            },
+        ];
+        let point = |step| DecisionPoint {
+            now: Time::ZERO,
+            step,
+            state_hash: 0,
+            choices: &choices,
+        };
+        assert_eq!(guide.pick(&point(0)), 1); // prefix[0]
+        assert_eq!(guide.pick(&point(1)), 1); // prefix[1] = 7, clamped
+        assert_eq!(guide.pick(&point(2)), 0); // past the prefix: FIFO
+        let log = guide.decisions();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].taken, 1);
+        assert_eq!(log[1].taken, 1);
+        assert_eq!(log[2].taken, 0);
+        assert!(log.iter().all(|d| d.branches == 2));
+    }
+
+    #[test]
+    fn step_limit_zero_is_unbounded() {
+        let guide = GuidedController::new(vec![], 0);
+        assert!(guide.on_step(u64::MAX));
+        let bounded = GuidedController::new(vec![], 10);
+        assert!(bounded.on_step(10));
+        assert!(!bounded.on_step(11));
+    }
+}

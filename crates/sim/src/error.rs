@@ -30,6 +30,14 @@ pub enum SimError {
         /// Rendered panic payload.
         message: String,
     },
+    /// The installed [`crate::ScheduleController`] refused to continue
+    /// (its `on_step` returned `false`): the run exceeded the step budget,
+    /// which bounds livelocks the same way [`SimError::Deadlock`] bounds
+    /// starvation.
+    StepLimit {
+        /// Scheduler dispatches completed when the run was cut off.
+        steps: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +56,13 @@ impl fmt::Display for SimError {
             }
             SimError::ProcessPanic { process, message } => {
                 write!(f, "simulated process '{process}' panicked: {message}")
+            }
+            SimError::StepLimit { steps } => {
+                write!(
+                    f,
+                    "simulation stopped by the schedule controller after {steps} \
+                     dispatches (step limit: possible livelock)"
+                )
             }
         }
     }
@@ -70,6 +85,13 @@ mod tests {
         let s = err.to_string();
         assert!(s.contains("worker0"));
         assert!(s.contains("queue pop"));
+    }
+
+    #[test]
+    fn step_limit_display_reports_count() {
+        let err = SimError::StepLimit { steps: 512 };
+        assert!(err.to_string().contains("512"));
+        assert!(err.to_string().contains("step limit"));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::collections::BinaryHeap;
 use std::panic;
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::control::{Choice, DecisionPoint, ScheduleController};
 use crate::error::{BlockedProcess, SimError};
 use crate::time::Time;
 
@@ -112,6 +113,11 @@ pub(crate) struct KernelState {
     pub(crate) turn: Turn,
     pub(crate) shutdown: bool,
     pub(crate) panic: Option<(String, String)>,
+    /// Resolves same-time tie-breaks when installed; `None` keeps the
+    /// FIFO (sequence-number) order without the tie-collection overhead.
+    pub(crate) controller: Option<Arc<dyn ScheduleController>>,
+    /// Scheduler dispatches completed so far.
+    pub(crate) steps: u64,
 }
 
 impl KernelState {
@@ -171,15 +177,114 @@ impl KernelState {
         self.schedule_wake_at(pid, now);
     }
 
+    fn is_stale(&self, ev: &Event) -> bool {
+        let slot = &self.procs[ev.pid.index()];
+        slot.wake_gen != ev.gen || !matches!(slot.state, ProcState::Blocked(_))
+    }
+
     fn pop_runnable(&mut self) -> Option<Event> {
-        while let Some(Reverse(ev)) = self.events.pop() {
-            let slot = &self.procs[ev.pid.index()];
-            let stale = slot.wake_gen != ev.gen || !matches!(slot.state, ProcState::Blocked(_));
-            if !stale {
-                return Some(ev);
+        let Some(controller) = self.controller.clone() else {
+            while let Some(Reverse(ev)) = self.events.pop() {
+                if !self.is_stale(&ev) {
+                    return Some(ev);
+                }
+            }
+            return None;
+        };
+        // Controlled: gather every runnable event tied at the earliest
+        // ready time and let the controller break the tie. Unchosen events
+        // go back with their original sequence numbers, so a controller
+        // that always picks index 0 reproduces the FIFO order exactly.
+        let mut ready: Vec<Event> = Vec::new();
+        while let Some(Reverse(head)) = self.events.peek() {
+            if ready.first().is_some_and(|first| head.time != first.time) {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked event vanished");
+            if !self.is_stale(&ev) {
+                ready.push(ev);
             }
         }
-        None
+        if ready.is_empty() {
+            return None;
+        }
+        let chosen = if ready.len() == 1 {
+            0
+        } else {
+            let choices: Vec<Choice> = ready
+                .iter()
+                .map(|ev| Choice {
+                    pid: ev.pid,
+                    process: self.procs[ev.pid.index()].name.clone(),
+                })
+                .collect();
+            let point = DecisionPoint {
+                now: ready[0].time,
+                step: self.steps,
+                state_hash: self.state_hash(&ready),
+                choices: &choices,
+            };
+            controller.pick(&point).min(ready.len() - 1)
+        };
+        let ev = ready.remove(chosen);
+        for other in ready {
+            self.events.push(Reverse(other));
+        }
+        Some(ev)
+    }
+
+    /// Structural FNV-1a hash of the schedulable state: process states,
+    /// wake generations and the pending wake set. Event sequence numbers
+    /// are deliberately excluded so that two different schedules which
+    /// converge on the same semantic state hash equal (enabling explorer
+    /// pruning); collisions only cost pruning precision, never soundness
+    /// of a reported violation.
+    fn state_hash(&self, ready: &[Event]) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn mix_bytes(&mut self, bytes: &[u8]) {
+                for &byte in bytes {
+                    self.0 ^= u64::from(byte);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn mix(&mut self, value: u64) {
+                self.mix_bytes(&value.to_le_bytes());
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.mix(ready[0].time.as_nanos());
+        for slot in &self.procs {
+            let state_tag = match slot.state {
+                ProcState::Blocked(label) => {
+                    // Hash the label content: it encodes *what* the
+                    // process is waiting on.
+                    h.mix_bytes(label.as_bytes());
+                    1
+                }
+                ProcState::Running => 2,
+                ProcState::Finished => 3,
+            };
+            h.mix(state_tag);
+            h.mix(slot.wake_gen);
+        }
+        let mut pending: Vec<(u64, u32, u64)> = self
+            .events
+            .iter()
+            .map(|Reverse(ev)| (ev.time.as_nanos(), ev.pid.0, ev.gen))
+            .collect();
+        pending.extend(
+            ready
+                .iter()
+                .map(|ev| (ev.time.as_nanos(), ev.pid.0, ev.gen)),
+        );
+        pending.sort_unstable();
+        for (time, pid, gen) in pending {
+            h.mix(time);
+            h.mix(u64::from(pid));
+            h.mix(gen);
+        }
+        h.0
     }
 
     fn blocked_report(&self) -> Vec<BlockedProcess> {
@@ -212,6 +317,8 @@ impl Kernel {
                 turn: Turn::Scheduler,
                 shutdown: false,
                 panic: None,
+                controller: None,
+                steps: 0,
             }),
             sched_cv: Condvar::new(),
         })
@@ -252,6 +359,12 @@ impl Kernel {
                 debug_assert_eq!(st.turn, Turn::Scheduler);
                 match st.pop_runnable() {
                     Some(ev) => {
+                        st.steps += 1;
+                        if let Some(controller) = st.controller.clone() {
+                            if !controller.on_step(st.steps) {
+                                return Err(SimError::StepLimit { steps: st.steps });
+                            }
+                        }
                         st.now = ev.time;
                         st.turn = Turn::Process(ev.pid);
                         let slot = &mut st.procs[ev.pid.index()];

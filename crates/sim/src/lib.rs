@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod control;
 mod ctx;
 mod error;
 mod fault;
@@ -46,6 +47,9 @@ mod queue;
 mod sim;
 mod time;
 
+pub use control::{
+    Choice, DecisionPoint, DecisionRecord, FifoController, GuidedController, ScheduleController,
+};
 pub use ctx::Ctx;
 pub use error::{BlockedProcess, SimError};
 pub use fault::FaultPlan;

@@ -5,6 +5,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::control::ScheduleController;
 use crate::ctx::Ctx;
 use crate::error::SimError;
 use crate::kernel::{Kernel, Pid, ShutdownSignal};
@@ -136,6 +137,25 @@ impl Simulation {
     #[must_use]
     pub fn now(&self) -> Time {
         self.kernel.state.lock().expect("kernel poisoned").now
+    }
+
+    /// Installs a [`ScheduleController`] that resolves same-time
+    /// tie-breaks and bounds the run's step count. Install before
+    /// [`Simulation::run`]; without a controller the kernel keeps its
+    /// FIFO (creation-order) tie-break.
+    pub fn set_controller(&mut self, controller: Arc<dyn ScheduleController>) {
+        self.kernel
+            .state
+            .lock()
+            .expect("kernel poisoned")
+            .controller = Some(controller);
+    }
+
+    /// Scheduler dispatches completed so far (a size measure for model
+    /// checking reports; useful after [`Simulation::run`] returns).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.kernel.state.lock().expect("kernel poisoned").steps
     }
 }
 

@@ -337,3 +337,66 @@ fn pop_timeout_polling_loop_mirrors_pytorch_status_checks() {
     sim.run().unwrap();
     assert_eq!(*polls.lock().unwrap(), 3, "two timeouts then a hit");
 }
+
+/// Runs N same-time processes under a controller prefix and returns the
+/// order in which they executed plus the recorded decision log.
+fn run_tied(prefix: Vec<usize>) -> (Vec<usize>, Vec<lotus_sim::DecisionRecord>) {
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = Simulation::new();
+    for i in 0..3 {
+        let order = Arc::clone(&order);
+        sim.spawn(format!("p{i}"), move |ctx| {
+            ctx.delay(Span::from_millis(1));
+            order.lock().unwrap().push(i);
+        });
+    }
+    let guide = lotus_sim::GuidedController::new(prefix, 0);
+    sim.set_controller(Arc::clone(&guide) as _);
+    sim.run().unwrap();
+    let executed = order.lock().unwrap().clone();
+    (executed, guide.decisions())
+}
+
+#[test]
+fn fifo_controller_matches_uncontrolled_order() {
+    // An all-zeros prefix (the FIFO default) must reproduce spawn order.
+    let (order, decisions) = run_tied(vec![]);
+    assert_eq!(order, vec![0, 1, 2]);
+    // Spawn wakes tie at t=0 and the delays tie at t=1ms: at least the
+    // two three-way ties must have surfaced as decision points.
+    assert!(decisions.iter().filter(|d| d.branches == 3).count() >= 2);
+    assert!(decisions.iter().all(|d| d.taken == 0));
+}
+
+#[test]
+fn controller_choice_reorders_tied_events() {
+    // Picking index 2 at the first decision point runs p2's spawn first;
+    // subsequent zeros keep FIFO for the rest, so p2 also delays first
+    // and completes first.
+    let (order, _) = run_tied(vec![2, 0, 0, 2]);
+    assert_ne!(order, vec![0, 1, 2], "schedule choice must be observable");
+}
+
+#[test]
+fn schedules_replay_deterministically() {
+    let (first, d1) = run_tied(vec![1, 2, 0, 1]);
+    let (second, d2) = run_tied(vec![1, 2, 0, 1]);
+    assert_eq!(first, second);
+    assert_eq!(d1, d2, "decision log (hashes included) must replay exactly");
+}
+
+#[test]
+fn step_limit_aborts_livelocked_run() {
+    let mut sim = Simulation::new();
+    let q = sim.queue::<u8>("never", None);
+    sim.spawn("poller", move |ctx| loop {
+        // Nothing ever arrives: an unbounded polling loop (livelock).
+        let _ = q.pop_timeout(&ctx, Span::from_secs(5));
+    });
+    let guide = lotus_sim::GuidedController::new(vec![], 100);
+    sim.set_controller(guide as _);
+    match sim.run() {
+        Err(SimError::StepLimit { steps }) => assert_eq!(steps, 101),
+        other => panic!("expected StepLimit, got {other:?}"),
+    }
+}

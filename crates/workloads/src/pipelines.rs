@@ -240,6 +240,8 @@ impl ExperimentConfig {
             seed: self.seed,
             epochs: 1,
             faults,
+            controller: None,
+            mutation: lotus_dataflow::LoaderMutation::None,
         }
     }
 }

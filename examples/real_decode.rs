@@ -12,7 +12,7 @@ use std::sync::Arc;
 use lotus::core::trace::LotusTrace;
 use lotus::data::dist::LogNormal;
 use lotus::data::ImageDatasetModel;
-use lotus::dataflow::{DataLoaderConfig, FaultPlan, GpuConfig, TrainingJob};
+use lotus::dataflow::{DataLoaderConfig, FaultPlan, GpuConfig, LoaderMutation, TrainingJob};
 use lotus::sim::Span;
 use lotus::transforms::{Normalize, RandomHorizontalFlip, RandomResizedCrop, ToTensor};
 use lotus::uarch::{Machine, MachineConfig};
@@ -58,6 +58,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         seed: 7,
         epochs: 1,
         faults: FaultPlan::default(),
+        controller: None,
+        mutation: LoaderMutation::None,
     }
     .run()?;
 

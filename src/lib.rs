@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checking;
 pub mod tuning;
 
 pub use lotus_codec as codec;

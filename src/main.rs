@@ -7,6 +7,7 @@ use std::error::Error;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use lotus::checking::{CheckOptions, Scenario};
 use lotus::core::map::{split_metrics, split_metrics_mix_aware, IsolationConfig, Mapping};
 use lotus::core::metrics::{
     render_dashboard, to_csv, to_json, to_prometheus, DashboardOptions, MetricsRegistry,
@@ -17,7 +18,7 @@ use lotus::core::trace::insights::analyze;
 use lotus::core::trace::viz::{render_timeline, TimelineOptions};
 use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
 use lotus::core::tune::{SearchSpace, Strategy};
-use lotus::dataflow::FaultPlan;
+use lotus::dataflow::{FaultPlan, LoaderMutation};
 use lotus::profilers::ComparisonHarness;
 use lotus::sim::Span;
 use lotus::tuning::{tune_experiment, TuneOptions};
@@ -71,6 +72,23 @@ USAGE:
       over --jobs threads (default: all cores) and memoize to the
       on-disk cache at --cache-dir (default .lotus-cache; --no-cache
       disables) — neither changes a single output byte.
+
+  lotus check     [--pipeline ic|is|od|ac|all] [--workers W] [--items N]
+                  [--batch B] [--schedules N] [--depth D] [--branch K]
+                  [--steps S] [--no-faults]
+                  [--mutate lose-batch|premature-redispatch]
+                  [--replay 0,2,1] [--trace FILE[,FILE...]]
+      Bounded model checking of the DataLoader protocol: explore
+      ready-event interleavings of a small configuration (DFS over
+      schedule prefixes with state-hash pruning) and judge every run
+      against the safety-invariant catalog (sample conservation, dispatch
+      discipline, bounded buffers, progress). Prints a per-scenario
+      summary with explored/pruned state counts; a violation prints a
+      minimized counterexample schedule, replayable with --replay.
+      --mutate seeds a known loader bug and *expects* detection (exit 1
+      when the checker misses it). --trace skips the model checker and
+      lints recorded trace files (Chrome JSON or LotusTrace logs)
+      instead.
 
   lotus help
 ";
@@ -454,6 +472,181 @@ fn cmd_tune(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Lints one or more recorded trace files; returns the number of files
+/// with findings.
+fn check_traces(raw: &str) -> Result<usize, Box<dyn Error>> {
+    let mut dirty = 0usize;
+    for path in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let records = lotus::core::check::load_trace(std::path::Path::new(path))?;
+        let findings = lotus::core::check::lint_records(&records, None);
+        if findings.is_empty() {
+            println!("{path}: ok ({} records)", records.len());
+        } else {
+            dirty += 1;
+            println!("{path}: {} finding(s)", findings.len());
+            for finding in &findings {
+                println!("  {finding}");
+            }
+        }
+    }
+    Ok(dirty)
+}
+
+fn print_counterexample(scenario: &Scenario, cx: &lotus::core::check::Counterexample) {
+    let schedule: Vec<String> = cx.schedule.iter().map(usize::to_string).collect();
+    println!("  counterexample schedule: [{}]", schedule.join(","));
+    println!(
+        "  ({} decision points in the violating run; replay with: lotus check --replay {})",
+        cx.decisions,
+        if schedule.is_empty() {
+            "\"\"".to_string()
+        } else {
+            schedule.join(",")
+        }
+    );
+    for violation in &cx.violations {
+        println!("  violation: {violation}");
+    }
+    let _ = scenario;
+}
+
+fn cmd_check(args: &Args) -> Result<(), Box<dyn Error>> {
+    if let Some(raw) = args.flags.get("trace") {
+        let dirty = check_traces(raw)?;
+        if dirty > 0 {
+            return Err(format!("{dirty} trace file(s) violated the lint rules").into());
+        }
+        return Ok(());
+    }
+
+    let mut options = CheckOptions::default();
+    options.workers = args.get("workers", options.workers)?;
+    options.items = args.get("items", options.items)?;
+    options.batch_size = args.get("batch", options.batch_size)?;
+    options.bounds.max_schedules = args.get("schedules", 64usize)?;
+    options.bounds.max_depth = args.get("depth", options.bounds.max_depth)?;
+    options.bounds.max_branch = args.get("branch", options.bounds.max_branch)?;
+    options.bounds.max_steps = args.get("steps", options.bounds.max_steps)?;
+    options.with_faults = !args.has("no-faults");
+    let mutate = args.flags.get("mutate").map(String::as_str);
+    options.mutation = match mutate {
+        None => LoaderMutation::None,
+        Some("lose-batch") => LoaderMutation::LoseBatch { batch_id: 1 },
+        Some("premature-redispatch") => LoaderMutation::RedispatchLive { batch_id: 1 },
+        Some(other) => {
+            return Err(
+                format!("invalid --mutate '{other}' (lose-batch or premature-redispatch)").into(),
+            )
+        }
+    };
+
+    let raw_kind = args.get("pipeline", "ic".to_string())?;
+    let kinds: Vec<PipelineKind> = if raw_kind == "all" {
+        vec![
+            PipelineKind::ImageClassification,
+            PipelineKind::AudioClassification,
+            PipelineKind::ImageSegmentation,
+        ]
+    } else {
+        vec![pipeline_of(&raw_kind)?]
+    };
+
+    if let Some(raw) = args.flags.get("replay") {
+        let schedule: Vec<usize> = if raw.trim().is_empty() || raw == "true" {
+            Vec::new()
+        } else {
+            raw.split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid choice in --replay: '{tok}'"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let scenario = lotus::checking::scenarios(kinds[0], &options)
+            .into_iter()
+            .next()
+            .ok_or("no scenario to replay")?;
+        let outcome = lotus::checking::run_scheduled(&scenario, &schedule, &options.bounds);
+        println!(
+            "replay {}: {} decision points, {} protocol events",
+            scenario.name,
+            outcome.decisions.len(),
+            outcome.events.len()
+        );
+        println!("  ending: {:?}", outcome.ending);
+        if outcome.violations.is_empty() {
+            println!("  no violations");
+            return Ok(());
+        }
+        for violation in &outcome.violations {
+            println!("  violation: {violation}");
+        }
+        return Err("replayed schedule violates the invariant catalog".into());
+    }
+
+    println!(
+        "lotus check: workers={} items={} batch={} | schedules<={} depth<={} branch<={} steps<={}{}",
+        options.workers,
+        options.items,
+        options.batch_size,
+        options.bounds.max_schedules,
+        options.bounds.max_depth,
+        options.bounds.max_branch,
+        options.bounds.max_steps,
+        match mutate {
+            Some(m) => format!(" | MUTATED ({m})"),
+            None => String::new(),
+        }
+    );
+    println!(
+        "\n{:<34} {:>9} {:>9} {:>8} {:>8} {:>7} {:>9}",
+        "scenario", "schedules", "decisions", "states", "pruned", "depth", "verdict"
+    );
+    let mut violations = 0usize;
+    let mut counterexamples = Vec::new();
+    for kind in kinds {
+        for (scenario, report) in lotus::checking::check_pipeline(kind, &options) {
+            let stats = report.stats;
+            println!(
+                "{:<34} {:>9} {:>9} {:>8} {:>8} {:>7} {:>9}",
+                scenario.name,
+                stats.schedules_run,
+                stats.decision_points,
+                stats.states_seen,
+                stats.states_pruned,
+                stats.max_depth_reached,
+                if report.clean() { "ok" } else { "VIOLATED" }
+            );
+            if stats.budget_exhausted || stats.depth_truncations > 0 {
+                println!(
+                    "{:<34}   (bounded: budget_exhausted={} depth_truncations={} branch_truncations={})",
+                    "", stats.budget_exhausted, stats.depth_truncations, stats.branch_truncations
+                );
+            }
+            if let Some(cx) = report.counterexample {
+                violations += 1;
+                counterexamples.push((scenario, cx));
+            }
+        }
+    }
+    for (scenario, cx) in &counterexamples {
+        println!("\n{}:", scenario.name);
+        print_counterexample(scenario, cx);
+    }
+    match (mutate, violations) {
+        (None, 0) => Ok(()),
+        (None, n) => Err(format!("{n} scenario(s) violated the invariant catalog").into()),
+        (Some(m), 0) => {
+            Err(format!("mutation '{m}' was NOT detected — the checker has a blind spot").into())
+        }
+        (Some(m), _) => {
+            println!("\nmutation '{m}' detected as expected");
+            Ok(())
+        }
+    }
+}
+
 fn run() -> Result<(), Box<dyn Error>> {
     let mut raw = std::env::args().skip(1);
     let Some(command) = raw.next() else {
@@ -468,6 +661,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         "compare" => cmd_compare(&args),
         "top" => cmd_top(&args),
         "tune" => cmd_tune(&args),
+        "check" => cmd_check(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -9,8 +9,8 @@ use lotus::core::trace::chrome::{to_chrome_trace, ChromeTraceOptions};
 use lotus::core::trace::{LotusTrace, SpanKind, TraceRecord};
 use lotus::data::DType;
 use lotus::dataflow::{
-    worker_os_pid, DataLoaderConfig, Dataset, FaultPlan, GpuConfig, JobError, JobReport, Sampler,
-    Tracer, TrainingJob,
+    worker_os_pid, DataLoaderConfig, Dataset, FaultPlan, GpuConfig, JobError, JobReport,
+    LoaderMutation, Sampler, Tracer, TrainingJob,
 };
 use lotus::sim::{Span, Time};
 use lotus::transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
@@ -71,6 +71,8 @@ fn job(machine: &Arc<Machine>, workers: usize, tracer: Arc<dyn Tracer>) -> Train
         seed: 11,
         epochs: 1,
         faults: FaultPlan::default(),
+        controller: None,
+        mutation: LoaderMutation::None,
     }
 }
 

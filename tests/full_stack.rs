@@ -72,7 +72,7 @@ fn chrome_export_merges_with_a_pytorch_profiler_trace() {
             "name": "aten::convolution", "ph": "X", "ts": 100.0, "dur": 5.0, "pid": 1, "tid": 1, "id": 17
         })])
     });
-    let merged = merge_traces(&torch_doc, &lotus_doc);
+    let merged = merge_traces(&torch_doc, &lotus_doc).expect("both documents well-formed");
     let events = merged["traceEvents"].as_array().unwrap();
     let has_torch = events.iter().any(|e| e["name"] == "aten::convolution");
     let has_lotus = events.iter().any(|e| {

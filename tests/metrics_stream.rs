@@ -15,7 +15,7 @@ use lotus::core::trace::{LotusTrace, SpanKind};
 use lotus::data::DType;
 use lotus::dataflow::{
     worker_os_pid, DataLoaderConfig, Dataset, FaultPlan, GpuConfig, JobError, JobReport,
-    NullTracer, Sampler, Tracer, TrainingJob,
+    LoaderMutation, NullTracer, Sampler, Tracer, TrainingJob,
 };
 use lotus::sim::{Span, Time};
 use lotus::transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
@@ -78,6 +78,8 @@ fn job(machine: &Arc<Machine>, tracer: Arc<dyn Tracer>, faults: FaultPlan) -> Tr
         seed: 11,
         epochs: 1,
         faults,
+        controller: None,
+        mutation: LoaderMutation::None,
     }
 }
 
