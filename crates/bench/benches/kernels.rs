@@ -1,0 +1,44 @@
+//! Before/after benchmarks of the two hot preprocessing kernels the
+//! native backend actually runs: the 8×8 DCT/IDCT pair in `lotus-codec`
+//! (separable + cosine LUT vs. the O(8⁴) textbook reference) and the
+//! bilinear resize in `lotus-transforms` (separable two-pass vs. the
+//! naive per-pixel gather). Both optimized versions are differentially
+//! tested against the references in their home crates; this file tracks
+//! the speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lotus_codec::dct::{fdct8x8, fdct8x8_ref, idct8x8, idct8x8_ref, BLOCK_LEN};
+use lotus_data::Image;
+use lotus_transforms::{resize_bilinear, resize_bilinear_ref};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_block() -> [f64; BLOCK_LEN] {
+    let mut block = [0.0; BLOCK_LEN];
+    for (i, b) in block.iter_mut().enumerate() {
+        *b = ((i * 37) % 256) as f64 - 128.0;
+    }
+    block
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let block = sample_block();
+    let coeffs = fdct8x8(&block);
+    c.bench_function("dct8x8/fdct_separable", |b| b.iter(|| fdct8x8(&block)));
+    c.bench_function("dct8x8/fdct_reference", |b| b.iter(|| fdct8x8_ref(&block)));
+    c.bench_function("dct8x8/idct_separable", |b| b.iter(|| idct8x8(&coeffs)));
+    c.bench_function("dct8x8/idct_reference", |b| b.iter(|| idct8x8_ref(&coeffs)));
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let img = Image::synthetic(500, 375, &mut StdRng::seed_from_u64(0x0107));
+    c.bench_function("resize_bilinear/separable_500x375_to_224", |b| {
+        b.iter(|| resize_bilinear(&img, 224, 224));
+    });
+    c.bench_function("resize_bilinear/reference_500x375_to_224", |b| {
+        b.iter(|| resize_bilinear_ref(&img, 224, 224));
+    });
+}
+
+criterion_group!(benches, bench_dct, bench_resize);
+criterion_main!(benches);

@@ -145,6 +145,22 @@ pub fn power_spectrum(frame: &[f64], window: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Index of the largest value, by IEEE 754 total order.
+///
+/// `total_cmp` makes this well-defined (no panic) on NaN-bearing input —
+/// a real hazard for power spectra, where one `0.0 / 0.0` upstream used
+/// to unwind the worker. NaN sorts above every number in total order, so
+/// a NaN's index is returned if one is present; callers treating NaN as
+/// data corruption can check `values[i].is_nan()` on the result.
+#[must_use]
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
 /// Hz → mel (HTK formula).
 #[must_use]
 pub fn hz_to_mel(hz: f64) -> f64 {
@@ -275,13 +291,19 @@ mod tests {
             .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin())
             .collect();
         let power = power_spectrum(&signal, &vec![1.0; n]);
-        let argmax = power
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
-        assert_eq!(argmax, k);
+        assert_eq!(argmax(&power).unwrap(), k);
+    }
+
+    #[test]
+    fn argmax_survives_nan_input() {
+        // `partial_cmp(..).unwrap()` panicked here; total order must not.
+        let with_nan = [1.0, f64::NAN, 3.0];
+        let i = argmax(&with_nan).unwrap();
+        assert!(with_nan[i].is_nan(), "NaN sorts above all in total order");
+
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[f64::NEG_INFINITY, -1.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
     }
 
     #[test]
@@ -332,12 +354,7 @@ mod tests {
             .collect();
         let power = power_spectrum(&signal, &hann_window(n));
         let mel = fb.apply(&power);
-        let peak_band = mel
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
+        let peak_band = argmax(&mel).unwrap();
         // 2 kHz ≈ mel 1521 of max-mel 2840 (8 kHz Nyquist): band ≈ 34/64.
         assert!((28..=40).contains(&peak_band), "peak band {peak_band}");
     }

@@ -20,17 +20,21 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod config;
 mod dataset;
 mod error;
 mod loader;
+mod native;
 mod pipeline;
 mod tracer;
 
+pub use backend::{ExecutionBackend, SimBackend};
 pub use config::{DataLoaderConfig, GpuConfig};
 pub use dataset::{BatchSampler, Dataset, Sampler};
 pub use error::JobError;
 pub use loader::{worker_os_pid, JobReport, LoaderMutation, TrainingJob, MAIN_OS_PID};
+pub use native::{NativeBackend, NativeOptions, NativeQueue};
 pub use pipeline::{Pipeline, Source};
 pub use tracer::{NullTracer, Tracer};
 

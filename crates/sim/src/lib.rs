@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod clock;
 mod control;
 mod ctx;
 mod error;
@@ -47,6 +48,7 @@ mod queue;
 mod sim;
 mod time;
 
+pub use clock::{TimeSource, WallClock};
 pub use control::{
     Choice, DecisionPoint, DecisionRecord, FifoController, GuidedController, ScheduleController,
 };

@@ -51,7 +51,10 @@ mod volume_ops;
 pub use audio_ops::{MelSpectrogram, PadTrim, Resample, SpecAugment};
 pub use collate::Collate;
 pub use error::PipelineError;
-pub use image_ops::{Normalize, RandomHorizontalFlip, RandomResizedCrop, Resize, ToTensor};
+pub use image_ops::{
+    resize_bilinear, resize_bilinear_ref, Normalize, RandomHorizontalFlip, RandomResizedCrop,
+    Resize, ToTensor,
+};
 pub use sample::{Batch, Sample};
 pub use transform::{
     python_interp_kernel, Compose, NullObserver, Transform, TransformCtx, TransformObserver,

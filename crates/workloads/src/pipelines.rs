@@ -170,19 +170,53 @@ impl ExperimentConfig {
         loader: DataLoaderConfig,
         faults: lotus_dataflow::FaultPlan,
     ) -> TrainingJob {
+        self.build_job(machine, tracer, hw_profiler, loader, faults, false)
+    }
+
+    /// Like [`build_with`](Self::build_with), but the image pipelines
+    /// (IC, OD) materialize real pixels — synthesize, JPEG-encode, and
+    /// decode actual image content — so the codec and transform kernels
+    /// do real work. This is what the native execution backend profiles;
+    /// IS and AC remain cost-only (their volume/audio loaders model cost
+    /// without materializing content).
+    #[must_use]
+    pub fn build_materialized_with(
+        &self,
+        machine: &Arc<Machine>,
+        tracer: Arc<dyn Tracer>,
+        hw_profiler: Option<Arc<HwProfiler>>,
+        loader: DataLoaderConfig,
+        faults: lotus_dataflow::FaultPlan,
+    ) -> TrainingJob {
+        self.build_job(machine, tracer, hw_profiler, loader, faults, true)
+    }
+
+    fn build_job(
+        &self,
+        machine: &Arc<Machine>,
+        tracer: Arc<dyn Tracer>,
+        hw_profiler: Option<Arc<HwProfiler>>,
+        loader: DataLoaderConfig,
+        faults: lotus_dataflow::FaultPlan,
+        materialize: bool,
+    ) -> TrainingJob {
         let (dataset, gpu): (Arc<dyn lotus_dataflow::Dataset>, GpuConfig) = match self.pipeline {
             PipelineKind::ImageClassification => {
                 let mut model = ImageDatasetModel::imagenet(self.seed);
                 if let Some(items) = self.dataset_items {
                     model = model.truncated(items);
                 }
+                let mut dataset = ImageFolderDataset::new(
+                    machine,
+                    model,
+                    IoModel::cloudlab_iscsi(),
+                    ic_transforms(machine),
+                );
+                if materialize {
+                    dataset = dataset.materialized();
+                }
                 (
-                    Arc::new(ImageFolderDataset::new(
-                        machine,
-                        model,
-                        IoModel::cloudlab_iscsi(),
-                        ic_transforms(machine),
-                    )),
+                    Arc::new(dataset),
                     GpuConfig::v100(self.num_gpus, gpu_step::RESNET18_PER_SAMPLE),
                 )
             }
@@ -204,13 +238,17 @@ impl ExperimentConfig {
                 if let Some(items) = self.dataset_items {
                     model = model.truncated(items);
                 }
+                let mut dataset = ImageFolderDataset::new(
+                    machine,
+                    model,
+                    IoModel::cloudlab_iscsi(),
+                    od_transforms(machine),
+                );
+                if materialize {
+                    dataset = dataset.materialized();
+                }
                 (
-                    Arc::new(ImageFolderDataset::new(
-                        machine,
-                        model,
-                        IoModel::cloudlab_iscsi(),
-                        od_transforms(machine),
-                    )),
+                    Arc::new(dataset),
                     GpuConfig::v100(self.num_gpus, gpu_step::MASKRCNN_PER_SAMPLE),
                 )
             }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod checking;
+pub mod running;
 pub mod tuning;
 
 pub use lotus_codec as codec;

@@ -20,6 +20,9 @@ use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
 use lotus::core::tune::{SearchSpace, Strategy};
 use lotus::dataflow::{FaultPlan, LoaderMutation};
 use lotus::profilers::ComparisonHarness;
+use lotus::running::{
+    bench_report, check_regression, run_experiment, verdict_family, BackendKind, RunOptions,
+};
 use lotus::sim::Span;
 use lotus::tuning::{tune_experiment, TuneOptions};
 use lotus::uarch::{
@@ -36,6 +39,31 @@ USAGE:
       Run one epoch under LotusTrace; print per-op stats, the automated
       diagnosis, optionally an ASCII timeline and a Chrome trace file.
 
+  lotus run       [--backend sim|native] [--pipeline ic|is|od|ac] [--items N]
+                  [--batch B] [--workers W] [--gpus G] [--no-gpu]
+                  [--no-materialize] [--status-check-ms T]
+                  [--kill-worker W] [--kill-at-ms T] [--error-rate P]
+                  [--error-op NAME] [--out FILE.json] [--log FILE]
+      Execute one epoch on the chosen execution backend. `native` (the
+      default here) runs the same DataLoader protocol on real OS threads
+      with real bounded queues against real pixels, emitting a
+      wall-clock LotusTrace; `sim` replays it in deterministic virtual
+      time. Prints per-op stats plus the tune-style scorecard and
+      bottleneck verdict. --no-gpu skips the emulated GPU consumer,
+      --no-materialize keeps image pipelines cost-only. --out writes a
+      Chrome trace; --log writes a LotusTrace log file that
+      `lotus check --trace FILE` lints.
+
+  lotus bench     [--backend sim|native] [--presets ic,ac,is] [--items N]
+                  [--batch B] [--workers W] [--no-gpu] [--out-dir DIR]
+                  [--check-against FILE] [--tolerance F]
+      Run small-scale benchmark epochs (native by default) and write one
+      BENCH_<backend>_<preset>.json per preset: throughput, p50/p99
+      batch latency, the T1/T2/T3 phase split, and the bottleneck
+      verdict. --check-against gates a single preset against a committed
+      baseline JSON and fails on a throughput regression beyond
+      --tolerance (default 0.2 = 20%).
+
   lotus map       [--vendor intel|amd] [--runs N] [--no-sleep-gap]
                   [--out FILE.json]
       Build the Python-op → C/C++-function mapping (Table I) by isolating
@@ -49,12 +77,15 @@ USAGE:
   lotus compare   [--items N]
       Run the profiler comparison (Tables III and IV).
 
-  lotus top       [--pipeline ic|is|od] [--items N] [--batch B] [--workers W]
-                  [--width COLS] [--prom FILE] [--json FILE] [--csv FILE]
+  lotus top       [--backend sim|native] [--pipeline ic|is|od] [--items N]
+                  [--batch B] [--workers W] [--width COLS] [--prom FILE]
+                  [--json FILE] [--csv FILE]
       Run one epoch with the streaming metrics sink and render the
-      pipeline dashboard: queue-depth sparklines over virtual time,
-      per-worker utilization, throughput, latency summaries. Optionally
-      export the registry as Prometheus text, JSON, or CSV time-series.
+      pipeline dashboard: queue-depth sparklines over time, per-worker
+      utilization, throughput, latency summaries. With --backend native
+      every gauge and histogram carries wall-clock timestamps from the
+      run's shared clock. Optionally export the registry as Prometheus
+      text, JSON, or CSV time-series.
 
   lotus tune      [--pipeline ic|is|od|ac] [--items N] [--batch B]
                   [--strategy grid|hill] [--workers 1,2,4,8] [--prefetch 1,2,4]
@@ -193,6 +224,159 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Parses `--backend` (default `native` for run/bench, `sim` for top).
+fn backend_of(args: &Args, default: &str) -> Result<BackendKind, Box<dyn Error>> {
+    let raw = args.get("backend", default.to_string())?;
+    BackendKind::parse(&raw)
+        .ok_or_else(|| format!("unknown backend '{raw}' (expected sim or native)").into())
+}
+
+/// Applies the run-shaping flags shared by `run`, `bench` and `top`.
+fn apply_run_flags(args: &Args, options: &mut RunOptions) -> Result<(), Box<dyn Error>> {
+    if args.has("no-gpu") {
+        options.emulate_gpu = false;
+    }
+    if args.has("no-materialize") {
+        options.materialize = false;
+    }
+    if args.has("status-check-ms") {
+        options.status_check = Span::from_millis(args.get("status-check-ms", 5_000u64)?);
+    }
+    Ok(())
+}
+
+/// Small-scale default item count for an on-backend run: a few real
+/// batches, not the paper-scale epoch `lotus trace` simulates.
+fn run_default_items(kind: PipelineKind, batch_size: usize) -> u64 {
+    match kind {
+        PipelineKind::ImageSegmentation => 8,
+        _ => 4 * batch_size as u64,
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = pipeline_of(&args.get("pipeline", "ic".to_string())?)?;
+    let mut config = ExperimentConfig::paper_default(kind);
+    config.batch_size = args.get("batch", config.batch_size)?;
+    config.num_workers = args.get("workers", config.num_workers)?;
+    config.num_gpus = args.get("gpus", config.num_gpus)?;
+    let default_items = run_default_items(kind, config.batch_size);
+    let config = config.scaled_to(args.get("items", default_items)?);
+
+    let backend = backend_of(args, "native")?;
+    let mut options = RunOptions::for_backend(backend);
+    apply_run_flags(args, &mut options)?;
+    options.faults = parse_fault_flags(args, config.seed)?;
+
+    let outcome = run_experiment(&config, &options)?;
+    let time_label = match backend {
+        BackendKind::Sim => "virtual",
+        BackendKind::Native => "wall",
+    };
+    println!(
+        "{} [{} backend]: {} batches / {} samples in {:.2}s of {} time\n",
+        kind.abbrev(),
+        outcome.backend,
+        outcome.report.batches,
+        outcome.report.samples,
+        outcome.report.elapsed.as_secs_f64(),
+        time_label
+    );
+    println!(
+        "{:<30} {:>7} {:>9} {:>9} {:>8}",
+        "op", "count", "avg ms", "P90 ms", "<10ms %"
+    );
+    for op in outcome.trace.op_stats() {
+        println!(
+            "{:<30} {:>7} {:>9.2} {:>9.2} {:>8.2}",
+            op.name,
+            op.count,
+            op.summary.mean,
+            op.summary.p90,
+            op.frac_below_10ms * 100.0
+        );
+    }
+    let card = &outcome.scorecard;
+    println!(
+        "\nthroughput {:.1} samples/s | main-process wait {:.1}% | verdict: {} ({})",
+        card.throughput,
+        card.wait_fraction * 100.0,
+        card.verdict
+            .map_or("failed", lotus::core::tune::TuneVerdict::as_str),
+        verdict_family(card)
+    );
+    if let Some(path) = args.flags.get("out") {
+        let doc = to_chrome_trace(
+            &outcome.trace.records(),
+            ChromeTraceOptions { coarse: true },
+        );
+        std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
+        println!("chrome trace written to {path}");
+    }
+    if let Some(path) = args.flags.get("log") {
+        std::fs::write(path, outcome.trace.to_log_string())?;
+        println!("trace log written to {path} (lint it with: lotus check --trace {path})");
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), Box<dyn Error>> {
+    let backend = backend_of(args, "native")?;
+    let presets: Vec<String> = args
+        .get("presets", "ic".to_string())?
+        .split(',')
+        .map(|s| s.trim().to_ascii_lowercase())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if presets.is_empty() {
+        return Err("--presets must name at least one pipeline".into());
+    }
+    let baseline_path = args.flags.get("check-against");
+    if baseline_path.is_some() && presets.len() != 1 {
+        return Err(
+            "--check-against gates exactly one preset; pass a single --presets value".into(),
+        );
+    }
+    let tolerance: f64 = args.get("tolerance", 0.2)?;
+    let out_dir = std::path::PathBuf::from(args.get("out-dir", ".".to_string())?);
+    std::fs::create_dir_all(&out_dir)?;
+
+    for preset in &presets {
+        let kind = pipeline_of(preset)?;
+        let mut config = ExperimentConfig::paper_default(kind);
+        config.batch_size = args.get("batch", config.batch_size)?;
+        config.num_workers = args.get("workers", config.num_workers)?;
+        let default_items = run_default_items(kind, config.batch_size);
+        let config = config.scaled_to(args.get("items", default_items)?);
+
+        let mut options = RunOptions::for_backend(backend);
+        apply_run_flags(args, &mut options)?;
+        let outcome = run_experiment(&config, &options)?;
+        let report = bench_report(preset, &config, &outcome);
+        let path = out_dir.join(format!("BENCH_{}_{preset}.json", outcome.backend));
+        std::fs::write(&path, serde_json::to_string_pretty(&report)?)?;
+        println!(
+            "{preset}: {:.1} samples/s, verdict {} -> {}",
+            outcome.scorecard.throughput,
+            outcome
+                .scorecard
+                .verdict
+                .map_or("failed", lotus::core::tune::TuneVerdict::as_str),
+            path.display()
+        );
+        if let Some(baseline_path) = baseline_path {
+            let raw = std::fs::read_to_string(baseline_path)?;
+            let baseline: serde_json::Value = serde_json::from_str(&raw)?;
+            check_regression(&report, &baseline, tolerance)?;
+            println!(
+                "  regression gate vs {baseline_path}: ok (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
 fn cmd_map(args: &Args) -> Result<(), Box<dyn Error>> {
     let machine_config = match args.get("vendor", "intel".to_string())?.as_str() {
         "intel" => MachineConfig::cloudlab_c4130(),
@@ -323,27 +507,45 @@ fn cmd_top(args: &Args) -> Result<(), Box<dyn Error>> {
     };
     let config = config.scaled_to(args.get("items", default_items)?);
 
-    let machine = Machine::new(MachineConfig::cloudlab_c4130());
-    let registry = Arc::new(MetricsRegistry::new());
-    let metrics = Arc::new(MetricsSink::new(Arc::clone(&registry), config.num_workers));
-    let sinks = Arc::new(MultiSink::new().with(Arc::clone(&metrics) as _));
-    let report = config
-        .build(&machine, Arc::clone(&sinks) as _, None)
-        .run()?;
-
-    let snapshot = registry.snapshot();
+    let backend = backend_of(args, "sim")?;
+    let (snapshot, report, time_label, overheads) = match backend {
+        BackendKind::Sim => {
+            let machine = Machine::new(MachineConfig::cloudlab_c4130());
+            let registry = Arc::new(MetricsRegistry::new());
+            let metrics = Arc::new(MetricsSink::new(Arc::clone(&registry), config.num_workers));
+            let sinks = Arc::new(MultiSink::new().with(Arc::clone(&metrics) as _));
+            let report = config
+                .build(&machine, Arc::clone(&sinks) as _, None)
+                .run()?;
+            (registry.snapshot(), report, "virtual", sinks.overheads())
+        }
+        BackendKind::Native => {
+            // Wall-clock dashboard: gauges and histograms are stamped by
+            // the native run's shared clock, so the sparklines span the
+            // run's real elapsed time.
+            let mut options = RunOptions::native();
+            apply_run_flags(args, &mut options)?;
+            let outcome = run_experiment(&config, &options)?;
+            (
+                outcome.measurement.snapshot,
+                outcome.report,
+                "wall",
+                Vec::new(),
+            )
+        }
+    };
     let width = args.get("width", 48usize)?;
     print!(
         "{}",
         render_dashboard(&snapshot, DashboardOptions { width })
     );
     println!(
-        "\n{} batches / {} samples in {:.2}s of virtual time",
+        "\n{} batches / {} samples in {:.2}s of {time_label} time",
         report.batches,
         report.samples,
         report.elapsed.as_secs_f64()
     );
-    for (name, overhead) in sinks.overheads() {
+    for (name, overhead) in overheads {
         println!("sink '{name}' charged {overhead} of instrumentation overhead");
     }
     if let Some(path) = args.flags.get("prom") {
@@ -359,6 +561,28 @@ fn cmd_top(args: &Args) -> Result<(), Box<dyn Error>> {
         println!("csv time-series written to {path}");
     }
     Ok(())
+}
+
+/// Builds the `FaultPlan` from the shared `--kill-worker` / `--kill-at-ms`
+/// / `--error-rate` / `--error-op` flags (used by `tune` and `run`).
+fn parse_fault_flags(args: &Args, seed: u64) -> Result<FaultPlan, Box<dyn Error>> {
+    let mut faults = FaultPlan::new(seed);
+    if let Some(worker) = args.flags.get("kill-worker") {
+        let worker: usize = worker
+            .parse()
+            .map_err(|_| format!("invalid --kill-worker '{worker}'"))?;
+        let at_ms: u64 = args.get("kill-at-ms", 50)?;
+        faults = faults.kill_process(
+            format!("dataloader{worker}"),
+            lotus::sim::Time::ZERO + Span::from_millis(at_ms),
+        );
+    }
+    let error_rate: f64 = args.get("error-rate", 0.0)?;
+    if error_rate > 0.0 {
+        let op = args.get("error-op", "Loader".to_string())?;
+        faults = faults.inject_sample_errors(op, error_rate);
+    }
+    Ok(faults)
 }
 
 fn parse_usize_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
@@ -415,22 +639,7 @@ fn cmd_tune(args: &Args) -> Result<(), Box<dyn Error>> {
         other => return Err(format!("invalid --strategy '{other}' (grid or hill)").into()),
     };
 
-    let mut faults = FaultPlan::new(config.seed);
-    if let Some(worker) = args.flags.get("kill-worker") {
-        let worker: usize = worker
-            .parse()
-            .map_err(|_| format!("invalid --kill-worker '{worker}'"))?;
-        let at_ms: u64 = args.get("kill-at-ms", 50)?;
-        faults = faults.kill_process(
-            format!("dataloader{worker}"),
-            lotus::sim::Time::ZERO + Span::from_millis(at_ms),
-        );
-    }
-    let error_rate: f64 = args.get("error-rate", 0.0)?;
-    if error_rate > 0.0 {
-        let op = args.get("error-op", "Loader".to_string())?;
-        faults = faults.inject_sample_errors(op, error_rate);
-    }
+    let faults = parse_fault_flags(args, config.seed)?;
 
     let jobs = args.get("jobs", lotus::core::exec::default_jobs())?;
     if jobs == 0 {
@@ -656,6 +865,8 @@ fn run() -> Result<(), Box<dyn Error>> {
     let args = Args::parse(raw)?;
     match command.as_str() {
         "trace" => cmd_trace(&args),
+        "run" => cmd_run(&args),
+        "bench" => cmd_bench(&args),
         "map" => cmd_map(&args),
         "attribute" => cmd_attribute(&args),
         "compare" => cmd_compare(&args),

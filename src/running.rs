@@ -1,0 +1,407 @@
+//! The concrete `lotus run` / `lotus bench` runner: one measured epoch of
+//! a workload pipeline on a chosen [`ExecutionBackend`].
+//!
+//! Both backends go through the identical zero-overhead measurement
+//! harness `lotus tune` uses (a [`LotusTrace`] with no per-record charge
+//! plus a free [`MetricsSink`]), fold into the same
+//! [`TrialMeasurement`]/[`Scorecard`], and are classified by the same
+//! bottleneck verdict — which is what makes sim-vs-native
+//! cross-validation a one-line comparison. The native path materializes
+//! real pixels for the image pipelines (IC, OD), so its trace measures
+//! the actual codec and transform kernels.
+
+use std::sync::Arc;
+
+use lotus_core::metrics::{names, MetricsRegistry, MetricsSink, MultiSink};
+use lotus_core::trace::analysis::op_class_totals;
+use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
+use lotus_core::tune::{Scorecard, TrialConfig, TrialMeasurement};
+use lotus_dataflow::{
+    ExecutionBackend, FaultPlan, JobReport, NativeBackend, NativeOptions, SimBackend,
+};
+use lotus_sim::Span;
+use lotus_uarch::{Machine, MachineConfig};
+use lotus_workloads::ExperimentConfig;
+use serde_json::{Content, Value};
+
+/// Which execution substrate to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Deterministic virtual-time simulation.
+    Sim,
+    /// Real OS threads, real channels, wall clock, real pixels.
+    Native,
+}
+
+impl BackendKind {
+    /// Parses `"sim"` / `"native"`.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        match name {
+            "sim" => Some(BackendKind::Sim),
+            "native" => Some(BackendKind::Native),
+            _ => None,
+        }
+    }
+
+    /// The backend's stable name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Native => "native",
+        }
+    }
+}
+
+/// Options for one measured run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Substrate to execute on.
+    pub backend: BackendKind,
+    /// Native only: sleep for the GPU model's h2d + step span per
+    /// consumed batch, so the wait structure matches the simulation's.
+    pub emulate_gpu: bool,
+    /// Native only: the main process's liveness-polling interval.
+    pub status_check: Span,
+    /// Materialize real pixels in the image pipelines. On by default for
+    /// native runs (that is the point of them); forced off is useful for
+    /// fast protocol-only tests.
+    pub materialize: bool,
+    /// Fault plan applied to the run.
+    pub faults: FaultPlan,
+}
+
+impl RunOptions {
+    /// Options for a simulated run (cost-only payloads — materialization
+    /// would not change any simulated timestamp).
+    #[must_use]
+    pub fn sim() -> RunOptions {
+        RunOptions {
+            backend: BackendKind::Sim,
+            emulate_gpu: true,
+            status_check: Span::from_secs(5),
+            materialize: false,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Options for a native run: real pixels and an emulated GPU
+    /// consumer, with the PyTorch 5 s liveness-polling interval.
+    #[must_use]
+    pub fn native() -> RunOptions {
+        RunOptions {
+            backend: BackendKind::Native,
+            emulate_gpu: true,
+            status_check: Span::from_secs(5),
+            materialize: true,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Options for the given backend kind, with that backend's defaults.
+    #[must_use]
+    pub fn for_backend(backend: BackendKind) -> RunOptions {
+        match backend {
+            BackendKind::Sim => RunOptions::sim(),
+            BackendKind::Native => RunOptions::native(),
+        }
+    }
+}
+
+/// Everything one measured run produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Name of the backend that executed the run.
+    pub backend: &'static str,
+    /// The job's totals (elapsed, batches, samples).
+    pub report: JobReport,
+    /// The folded measurement (metrics snapshot + op-class totals).
+    pub measurement: TrialMeasurement,
+    /// The scorecard — throughput, wait share, bottleneck verdict —
+    /// computed by the same fold `lotus tune` uses.
+    pub scorecard: Scorecard,
+    /// The full LotusTrace of the run (lintable, Chrome-exportable).
+    pub trace: Arc<LotusTrace>,
+}
+
+/// Runs one measured epoch of `experiment` on the chosen backend.
+///
+/// # Examples
+///
+/// ```
+/// use lotus::running::{run_experiment, RunOptions};
+/// use lotus::workloads::{ExperimentConfig, PipelineKind};
+///
+/// let experiment = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+///     .scaled_to(256);
+/// let outcome = run_experiment(&experiment, &RunOptions::sim())?;
+/// assert_eq!(outcome.backend, "sim");
+/// assert!(outcome.scorecard.throughput > 0.0);
+/// # Ok::<(), String>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns the loader-validation or job error as a string.
+pub fn run_experiment(
+    experiment: &ExperimentConfig,
+    options: &RunOptions,
+) -> Result<RunOutcome, String> {
+    let loader = experiment.loader_defaults();
+    loader.validate()?;
+    let machine = Machine::new(MachineConfig::cloudlab_c4130());
+    let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
+        per_log_overhead: Span::ZERO,
+        op_mode: OpLogMode::Full,
+    }));
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = Arc::new(MetricsSink::with_overhead(
+        Arc::clone(&registry),
+        loader.num_workers,
+        Span::ZERO,
+    ));
+    let sinks = Arc::new(
+        MultiSink::new()
+            .with(Arc::clone(&trace) as _)
+            .with(Arc::clone(&metrics) as _),
+    );
+    let trial = TrialConfig {
+        num_workers: loader.num_workers,
+        prefetch_factor: loader.prefetch_factor,
+        data_queue_cap: loader.data_queue_cap,
+        pin_memory: loader.pin_memory,
+    };
+    let job = if options.materialize {
+        experiment.build_materialized_with(
+            &machine,
+            sinks as _,
+            None,
+            loader,
+            options.faults.clone(),
+        )
+    } else {
+        experiment.build_with(&machine, sinks as _, None, loader, options.faults.clone())
+    };
+    let (backend_name, report) = match options.backend {
+        BackendKind::Sim => {
+            let backend = SimBackend;
+            (backend.name(), backend.run(job).map_err(|e| e.to_string())?)
+        }
+        BackendKind::Native => {
+            let backend = NativeBackend::new(NativeOptions {
+                status_check: options.status_check,
+                emulate_gpu: options.emulate_gpu,
+            });
+            (backend.name(), backend.run(job).map_err(|e| e.to_string())?)
+        }
+    };
+    let measurement = TrialMeasurement {
+        elapsed: report.elapsed,
+        batches: report.batches,
+        samples: report.samples,
+        snapshot: registry.snapshot(),
+        op_classes: op_class_totals(&trace.records()),
+    };
+    let scorecard = Scorecard::from_measurement(trial, &measurement);
+    Ok(RunOutcome {
+        backend: backend_name,
+        report,
+        measurement,
+        scorecard,
+        trace,
+    })
+}
+
+/// The two bottleneck families sim-vs-native cross-validation compares:
+/// either the input pipeline starves the consumer (preprocessing-,
+/// fetch-, or collate-bound) or it does not (GPU-bound / balanced).
+/// Wall-clock noise moves a run between verdicts *within* a family, not
+/// across families, so the family is the stable prediction.
+#[must_use]
+pub fn verdict_family(scorecard: &Scorecard) -> &'static str {
+    use lotus_core::tune::TuneVerdict;
+    match scorecard.verdict {
+        Some(
+            TuneVerdict::PreprocessingBound | TuneVerdict::FetchBound | TuneVerdict::CollateBound,
+        ) => "input-bound",
+        Some(TuneVerdict::GpuBound | TuneVerdict::Balanced) => "accelerator-bound",
+        None => "failed",
+    }
+}
+
+/// Folds a run outcome into the `BENCH_<backend>_<preset>.json` document:
+/// throughput, p50/p99 batch latency, and the T1/T2/T3 phase split.
+#[must_use]
+pub fn bench_report(preset: &str, experiment: &ExperimentConfig, outcome: &RunOutcome) -> Value {
+    let hist = |name: &str| {
+        let (count, p50, p99, total_s) = outcome
+            .measurement
+            .snapshot
+            .histograms
+            .get(name)
+            .map_or((0, 0.0, 0.0, 0.0), |h| {
+                (h.count, h.p50_ns / 1e6, h.p99_ns / 1e6, h.sum.as_secs_f64())
+            });
+        (count, p50, p99, total_s)
+    };
+    let (_, fetch_p50, fetch_p99, t1_s) = hist(names::T1_FETCH);
+    let (_, wait_p50, wait_p99, t2_s) = hist(names::T2_WAIT);
+    let (_, _, _, t3_s) = hist(names::T3_OP);
+    let card = &outcome.scorecard;
+    Value(Content::Map(vec![
+        ("schema".into(), Content::Str("lotus-bench-v1".into())),
+        ("preset".into(), Content::Str(preset.into())),
+        ("backend".into(), Content::Str(outcome.backend.into())),
+        ("fingerprint".into(), Content::Str(experiment.fingerprint())),
+        ("elapsed_s".into(), Content::F64(card.elapsed.as_secs_f64())),
+        ("batches".into(), Content::U64(card.batches)),
+        ("samples".into(), Content::U64(card.samples)),
+        (
+            "throughput_samples_per_s".into(),
+            Content::F64(card.throughput),
+        ),
+        (
+            "batch_latency_ms".into(),
+            Content::Map(vec![
+                ("t1_fetch_p50".into(), Content::F64(fetch_p50)),
+                ("t1_fetch_p99".into(), Content::F64(fetch_p99)),
+                ("t2_wait_p50".into(), Content::F64(wait_p50)),
+                ("t2_wait_p99".into(), Content::F64(wait_p99)),
+            ]),
+        ),
+        (
+            "phase_split_s".into(),
+            Content::Map(vec![
+                ("t1_fetch".into(), Content::F64(t1_s)),
+                ("t2_wait".into(), Content::F64(t2_s)),
+                ("t3_ops".into(), Content::F64(t3_s)),
+            ]),
+        ),
+        ("wait_fraction".into(), Content::F64(card.wait_fraction)),
+        (
+            "verdict".into(),
+            Content::Str(
+                card.verdict
+                    .map_or("failed", lotus_core::tune::TuneVerdict::as_str)
+                    .into(),
+            ),
+        ),
+        (
+            "verdict_family".into(),
+            Content::Str(verdict_family(card).into()),
+        ),
+    ]))
+}
+
+/// Compares a fresh bench report against a committed baseline and fails
+/// if throughput regressed more than `tolerance` (e.g. `0.2` = 20%).
+///
+/// Only throughput is gated — latency percentiles vary too much across
+/// machines to gate on — and only downward: a faster run always passes.
+///
+/// # Errors
+///
+/// Returns a description of the regression, a preset/backend mismatch,
+/// or a malformed baseline.
+pub fn check_regression(current: &Value, baseline: &Value, tolerance: f64) -> Result<(), String> {
+    let field = |v: &Value, key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("bench JSON is missing numeric field `{key}`"))
+    };
+    let text = |v: &Value, key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("bench JSON is missing string field `{key}`"))
+    };
+    for key in ["preset", "backend"] {
+        let (c, b) = (text(current, key)?, text(baseline, key)?);
+        if c != b {
+            return Err(format!("{key} mismatch: current `{c}` vs baseline `{b}`"));
+        }
+    }
+    let current_tp = field(current, "throughput_samples_per_s")?;
+    let baseline_tp = field(baseline, "throughput_samples_per_s")?;
+    let floor = baseline_tp * (1.0 - tolerance);
+    if current_tp < floor {
+        return Err(format!(
+            "throughput regression: {current_tp:.1} samples/s is below {floor:.1} \
+             ({:.0}% of the {baseline_tp:.1} baseline)",
+            (1.0 - tolerance) * 100.0
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lotus_workloads::PipelineKind;
+
+    fn small_ic() -> ExperimentConfig {
+        ExperimentConfig::paper_default(PipelineKind::ImageClassification).scaled_to(256)
+    }
+
+    #[test]
+    fn sim_run_produces_a_scorecard_with_verdict() {
+        let outcome = run_experiment(&small_ic(), &RunOptions::sim()).unwrap();
+        assert_eq!(outcome.backend, "sim");
+        assert_eq!(outcome.report.batches, 2);
+        assert!(outcome.scorecard.verdict.is_some());
+        assert!(!outcome.trace.records().is_empty());
+    }
+
+    #[test]
+    fn bench_report_has_the_gated_fields() {
+        let experiment = small_ic();
+        let outcome = run_experiment(&experiment, &RunOptions::sim()).unwrap();
+        let report = bench_report("ic", &experiment, &outcome);
+        assert_eq!(report.get("preset").and_then(Value::as_str), Some("ic"));
+        assert_eq!(report.get("backend").and_then(Value::as_str), Some("sim"));
+        assert!(report
+            .get("throughput_samples_per_s")
+            .and_then(Value::as_f64)
+            .is_some_and(|t| t > 0.0));
+        // Round-trips through the JSON writer/parser.
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.get("preset").and_then(Value::as_str), Some("ic"));
+    }
+
+    #[test]
+    fn regression_gate_trips_only_on_slowdowns() {
+        let experiment = small_ic();
+        let outcome = run_experiment(&experiment, &RunOptions::sim()).unwrap();
+        let report = bench_report("ic", &experiment, &outcome);
+        // Same report: within tolerance.
+        check_regression(&report, &report, 0.2).unwrap();
+
+        // A baseline 10× faster than the current run: must trip.
+        let mut inflated = report.0.clone();
+        if let Content::Map(entries) = &mut inflated {
+            for (k, v) in entries.iter_mut() {
+                if k == "throughput_samples_per_s" {
+                    if let Content::F64(t) = v {
+                        *t *= 10.0;
+                    }
+                }
+            }
+        }
+        let err = check_regression(&report, &Value(inflated), 0.2).unwrap_err();
+        assert!(err.contains("regression"), "unexpected error: {err}");
+
+        // Preset mismatch is refused.
+        let other = bench_report("ac", &experiment, &outcome);
+        assert!(check_regression(&report, &other, 0.2).is_err());
+    }
+
+    #[test]
+    fn backend_kind_parses_both_names() {
+        assert_eq!(BackendKind::parse("sim"), Some(BackendKind::Sim));
+        assert_eq!(BackendKind::parse("native"), Some(BackendKind::Native));
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert_eq!(BackendKind::Native.as_str(), "native");
+    }
+}

@@ -1,0 +1,213 @@
+//! Sim-vs-native protocol parity: the native execution backend must
+//! produce wall-clock LotusTraces that satisfy every invariant the trace
+//! linter enforces on simulated runs, conserve samples under worker
+//! death, and land in the same bottleneck family as the simulation.
+//!
+//! Every assertion here is structural — counts, ordering, conservation,
+//! lint cleanliness — never an absolute duration: wall-clock numbers
+//! vary run to run and machine to machine, the protocol shape does not.
+
+use std::collections::BTreeSet;
+
+use lotus::core::check::{lint_records, ReportFacts};
+use lotus::core::metrics::names;
+use lotus::core::trace::SpanKind;
+use lotus::dataflow::FaultPlan;
+use lotus::running::{run_experiment, verdict_family, RunOptions, RunOutcome};
+use lotus::sim::{Span, Time};
+use lotus::workloads::{ExperimentConfig, PipelineKind};
+
+fn small_ic(items: u64, workers: usize) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+    config.batch_size = 16;
+    config.num_workers = workers;
+    config.scaled_to(items)
+}
+
+/// Fast native run: real threads and real queues, cost-only payloads
+/// (materialization exercises the kernels, not the protocol, and the
+/// protocol is what these tests pin down).
+fn native_protocol_run(config: &ExperimentConfig, faults: FaultPlan) -> RunOutcome {
+    let mut options = RunOptions::native();
+    options.materialize = false;
+    options.status_check = Span::from_millis(5);
+    options.faults = faults;
+    run_experiment(config, &options).expect("native run failed")
+}
+
+fn assert_lints_clean(outcome: &RunOutcome) {
+    let facts = ReportFacts {
+        elapsed: outcome.report.elapsed,
+        batches: outcome.report.batches,
+    };
+    let findings = lint_records(&outcome.trace.records(), Some(&facts));
+    assert!(
+        findings.is_empty(),
+        "native trace must pass every lint invariant, got: {findings:#?}"
+    );
+}
+
+#[test]
+fn native_trace_passes_every_lint_invariant() {
+    let config = small_ic(96, 2);
+    let outcome = native_protocol_run(&config, FaultPlan::default());
+    assert_eq!(outcome.report.batches, 6);
+    assert_eq!(outcome.report.samples, 96);
+    assert_lints_clean(&outcome);
+}
+
+#[test]
+fn native_materialized_trace_passes_every_lint_invariant() {
+    // Real pixels through the codec and transform kernels, small enough
+    // for a debug-build test run.
+    let config = small_ic(32, 2);
+    let mut options = RunOptions::native();
+    options.status_check = Span::from_millis(5);
+    let outcome = run_experiment(&config, &options).expect("native run failed");
+    assert_eq!(outcome.report.batches, 2);
+    assert_lints_clean(&outcome);
+}
+
+#[test]
+fn native_run_consumes_every_batch_exactly_once_in_order() {
+    let config = small_ic(128, 3);
+    let outcome = native_protocol_run(&config, FaultPlan::default());
+    let records = outcome.trace.records();
+
+    let consumed: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::BatchConsumed)
+        .map(|r| r.batch_id)
+        .collect();
+    let expected: Vec<u64> = (0..outcome.report.batches).collect();
+    assert_eq!(
+        consumed, expected,
+        "batches must be consumed exactly once each, in order"
+    );
+
+    // Sample conservation: every batch was fetched by exactly one worker.
+    let fetched: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::BatchPreprocessed)
+        .map(|r| r.batch_id)
+        .collect();
+    let unique: BTreeSet<u64> = fetched.iter().copied().collect();
+    assert_eq!(fetched.len(), unique.len(), "no batch fetched twice");
+    assert_eq!(unique, expected.iter().copied().collect());
+}
+
+#[test]
+fn native_worker_death_redispatches_and_still_lints_clean() {
+    let config = small_ic(128, 2);
+    let faults = FaultPlan::new(config.seed)
+        .kill_process("dataloader1".to_string(), Time::ZERO + Span::from_millis(1));
+    let outcome = native_protocol_run(&config, faults);
+
+    // Conservation survives the death: the survivor picks up the orphans.
+    assert_eq!(outcome.report.batches, 8);
+    assert_eq!(outcome.report.samples, 128);
+
+    let records = outcome.trace.records();
+    let died = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::WorkerDied)
+        .count();
+    assert_eq!(died, 1, "exactly one worker death observed");
+    // The dead worker had dispatched-but-unfinished batches; each one
+    // must carry a redispatch instant before its (single) consume.
+    let redispatched = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::BatchRedispatched)
+        .count();
+    assert!(redispatched > 0, "orphaned batches must be redispatched");
+    assert_lints_clean(&outcome);
+}
+
+#[test]
+fn simulated_verdict_family_predicts_the_native_one() {
+    // The cross-validation the bench job relies on: the simulation's
+    // bottleneck *family* (input-bound vs accelerator-bound) must match
+    // what a real-thread run of the same configuration measures. IC with
+    // paper defaults starves the accelerator in both worlds.
+    let config = small_ic(64, 2);
+    let sim = run_experiment(&config, &RunOptions::sim()).expect("sim run failed");
+
+    let mut options = RunOptions::native();
+    options.status_check = Span::from_millis(5);
+    let native = run_experiment(&config, &options).expect("native run failed");
+
+    assert_eq!(sim.report.batches, native.report.batches);
+    assert_eq!(sim.report.samples, native.report.samples);
+    let (sim_family, native_family) = (
+        verdict_family(&sim.scorecard),
+        verdict_family(&native.scorecard),
+    );
+    assert_eq!(
+        sim_family, native_family,
+        "sim verdict {:?} vs native verdict {:?}",
+        sim.scorecard.verdict, native.scorecard.verdict
+    );
+    assert_eq!(sim_family, "input-bound");
+}
+
+#[test]
+fn native_gauges_carry_wall_clock_timestamps_from_the_shared_clock() {
+    // Satellite check for `lotus top --backend native`: queue-depth and
+    // in-flight gauges must be stamped by the run's shared wall clock —
+    // timestamps strictly inside [0, elapsed], monotone per series.
+    let config = small_ic(96, 2);
+    let outcome = native_protocol_run(&config, FaultPlan::default());
+    let elapsed = outcome.report.elapsed;
+
+    let gauges = &outcome.measurement.snapshot.gauges;
+    let data_queue = format!("{}data_queue", names::QUEUE_DEPTH_PREFIX);
+    for name in [data_queue.as_str(), "in_flight_batches"] {
+        let series = gauges
+            .get(name)
+            .unwrap_or_else(|| panic!("native run must emit the `{name}` gauge"));
+        assert!(!series.samples().is_empty());
+        let mut last = Time::ZERO;
+        for &(at, value) in series.samples() {
+            assert!(at >= last, "gauge `{name}` timestamps must be monotone");
+            assert!(
+                at <= Time::ZERO + elapsed,
+                "gauge `{name}` stamped past the run's elapsed time"
+            );
+            assert!(value >= 0.0);
+            last = at;
+        }
+    }
+    // The in-flight gauge is bounded by the dispatch discipline:
+    // prefetch_factor × workers outstanding batches, never more.
+    let loader = config.loader_defaults();
+    let bound = (loader.prefetch_factor * loader.num_workers) as f64;
+    let peak = gauges["in_flight_batches"]
+        .samples()
+        .iter()
+        .fold(0.0f64, |m, &(_, v)| m.max(v));
+    assert!(
+        peak <= bound,
+        "in-flight batches peaked at {peak}, above the dispatch bound {bound}"
+    );
+}
+
+#[test]
+fn native_trace_log_round_trips_and_lints_via_the_text_format() {
+    // What `lotus run --log FILE` writes is exactly what
+    // `lotus check --trace FILE` reads; the round trip must stay clean.
+    let config = small_ic(64, 2);
+    let outcome = native_protocol_run(&config, FaultPlan::default());
+    let text = outcome.trace.to_log_string();
+    let parsed: Vec<_> = text
+        .lines()
+        .map(|l| {
+            lotus::core::trace::TraceRecord::parse_log_line(l).expect("every emitted line parses")
+        })
+        .collect();
+    assert_eq!(parsed.len(), outcome.trace.len());
+    let findings = lint_records(&parsed, None);
+    assert!(
+        findings.is_empty(),
+        "round-tripped log must lint clean: {findings:#?}"
+    );
+}
