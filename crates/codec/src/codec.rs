@@ -148,7 +148,9 @@ impl Codec {
     pub fn encode(&self, image: &Image, quality: u8, cpu: &mut CpuThread) -> EncodedImage {
         let geo = geometry(image.width() as u32, image.height() as u32);
         cpu.exec(self.kernels.rgb_ycc_convert, geo.pixels as f64);
-        let planar = rgb_to_planar_420(image.pixels(), image.height(), image.width());
+        let planar = cpu.observe_native(self.kernels.rgb_ycc_convert, || {
+            rgb_to_planar_420(image.pixels(), image.height(), image.width())
+        });
         let luma_table = scale_quant_table(&LUMA_QUANT, quality);
         let chroma_table = scale_quant_table(&CHROMA_QUANT, quality);
 
@@ -156,25 +158,31 @@ impl Codec {
             self.kernels.fdct_islow,
             (geo.luma_blocks + 2 * geo.chroma_blocks_per_plane) as f64 * BLOCK_LEN as f64,
         );
-        let y_blocks = plane_to_blocks(&planar.y, planar.height, planar.width, &luma_table);
-        let cb_blocks = plane_to_blocks(
-            &planar.cb,
-            planar.chroma_height(),
-            planar.chroma_width(),
-            &chroma_table,
-        );
-        let cr_blocks = plane_to_blocks(
-            &planar.cr,
-            planar.chroma_height(),
-            planar.chroma_width(),
-            &chroma_table,
-        );
+        let (y_blocks, cb_blocks, cr_blocks) = cpu.observe_native(self.kernels.fdct_islow, || {
+            (
+                plane_to_blocks(&planar.y, planar.height, planar.width, &luma_table),
+                plane_to_blocks(
+                    &planar.cb,
+                    planar.chroma_height(),
+                    planar.chroma_width(),
+                    &chroma_table,
+                ),
+                plane_to_blocks(
+                    &planar.cr,
+                    planar.chroma_height(),
+                    planar.chroma_width(),
+                    &chroma_table,
+                ),
+            )
+        });
 
-        let mut writer = BitWriter::new();
-        encode_blocks(&y_blocks, &mut writer);
-        encode_blocks(&cb_blocks, &mut writer);
-        encode_blocks(&cr_blocks, &mut writer);
-        let data = writer.finish();
+        let data = cpu.observe_native(self.kernels.encode_mcu, || {
+            let mut writer = BitWriter::new();
+            encode_blocks(&y_blocks, &mut writer);
+            encode_blocks(&cb_blocks, &mut writer);
+            encode_blocks(&cr_blocks, &mut writer);
+            writer.finish()
+        });
         cpu.exec(self.kernels.encode_mcu, data.len() as f64);
         cpu.exec(self.kernels.memcpy, data.len() as f64);
         EncodedImage {
@@ -203,26 +211,37 @@ impl Codec {
 
         let geo = geometry(encoded.width, encoded.height);
         let mut reader = BitReader::new(&encoded.data);
-        let (y_blocks, _) = decode_blocks(&mut reader, geo.luma_blocks as usize)
-            .map_err(|_| CodecError::Truncated)?;
-        let (cb_blocks, _) = decode_blocks(&mut reader, geo.chroma_blocks_per_plane as usize)
-            .map_err(|_| CodecError::Truncated)?;
-        let (cr_blocks, _) = decode_blocks(&mut reader, geo.chroma_blocks_per_plane as usize)
-            .map_err(|_| CodecError::Truncated)?;
+        let decoded = cpu.observe_native(self.kernels.decode_mcu, || {
+            let y = decode_blocks(&mut reader, geo.luma_blocks as usize)?;
+            let cb = decode_blocks(&mut reader, geo.chroma_blocks_per_plane as usize)?;
+            let cr = decode_blocks(&mut reader, geo.chroma_blocks_per_plane as usize)?;
+            Ok((y.0, cb.0, cr.0))
+        });
+        let (y_blocks, cb_blocks, cr_blocks) =
+            decoded.map_err(|_: crate::bits::BitstreamExhausted| CodecError::Truncated)?;
 
         let luma_table = scale_quant_table(&LUMA_QUANT, encoded.quality);
         let chroma_table = scale_quant_table(&CHROMA_QUANT, encoded.quality);
         let (w, h) = (encoded.width as usize, encoded.height as usize);
         let (cw, ch) = (w.div_ceil(2), h.div_ceil(2));
+        let y = cpu.observe_native(self.kernels.idct_islow, || {
+            blocks_to_plane(&y_blocks, h, w, &luma_table)
+        });
+        let (cb, cr) = cpu.observe_native(self.kernels.idct_16x16, || {
+            (
+                blocks_to_plane(&cb_blocks, ch, cw, &chroma_table),
+                blocks_to_plane(&cr_blocks, ch, cw, &chroma_table),
+            )
+        });
         let planar = PlanarYcc {
             height: h,
             width: w,
-            y: blocks_to_plane(&y_blocks, h, w, &luma_table),
-            cb: blocks_to_plane(&cb_blocks, ch, cw, &chroma_table),
-            cr: blocks_to_plane(&cr_blocks, ch, cw, &chroma_table),
+            y,
+            cb,
+            cr,
         };
-        let rgb = planar_420_to_rgb(&planar);
-        Ok(Image::from_pixels(h, w, rgb))
+        let rgb = cpu.observe_native(self.kernels.ycc_rgb_convert, || planar_420_to_rgb(&planar));
+        Ok(cpu.observe_native(self.kernels.unpack_rgb, || Image::from_pixels(h, w, rgb)))
     }
 
     /// Charges the encode-path kernel costs for an image of the given

@@ -34,11 +34,15 @@ impl Default for DashboardOptions {
 
 /// Renders one gauge series as a sparkline: the series is sampled at
 /// `width` evenly spaced virtual-time points up to `horizon` (step-
-/// function semantics) and scaled against its own maximum.
+/// function semantics) and scaled against its own maximum. Sample points
+/// before the series' first recording clamp to that first value — a
+/// series with one sample late in the horizon renders a solid line, not
+/// a run of stale empty cells.
 #[must_use]
 pub fn sparkline(series: &GaugeSeries, horizon: Time, width: usize) -> String {
     assert!(width > 0, "sparkline width must be positive");
     let max = series.max();
+    let first = series.samples().first().map_or(0.0, |&(_, v)| v);
     (0..width)
         .map(|i| {
             let at = Time::from_nanos(if width == 1 {
@@ -46,7 +50,7 @@ pub fn sparkline(series: &GaugeSeries, horizon: Time, width: usize) -> String {
             } else {
                 horizon.as_nanos() * i as u64 / (width as u64 - 1)
             });
-            let v = series.value_at(at).unwrap_or(0.0);
+            let v = series.value_at(at).unwrap_or(first);
             if max <= 0.0 {
                 SPARKS[0]
             } else {
@@ -138,6 +142,40 @@ pub fn render_dashboard(snapshot: &MetricsSnapshot, options: DashboardOptions) -
         }
     }
 
+    // OS sampler: per-thread CPU-time sparklines plus the resident-set
+    // trail. Present only on profiled native runs.
+    let cpu_prefix = "sampler_thread_cpu_ns.";
+    let sampled: Vec<(&String, &GaugeSeries)> = snapshot
+        .gauges
+        .iter()
+        .filter(|(name, _)| name.starts_with(cpu_prefix))
+        .collect();
+    if !sampled.is_empty() {
+        let _ = writeln!(out, "\nsampler (per-thread CPU time)");
+        let label_w = sampled
+            .iter()
+            .map(|(n, _)| n.len() - cpu_prefix.len())
+            .max()
+            .unwrap_or(0);
+        for (name, series) in &sampled {
+            let thread = &name[cpu_prefix.len()..];
+            let _ = writeln!(
+                out,
+                "  {thread:<label_w$}  {}  {:.1}ms on-CPU",
+                sparkline(series, horizon, width),
+                series.last().unwrap_or(0.0) / 1e6,
+            );
+        }
+        if let Some(series) = snapshot.gauges.get("sampler_rss_kb") {
+            let _ = writeln!(
+                out,
+                "  rss now {:.0} kB  peak {:.0} kB",
+                series.last().unwrap_or(0.0),
+                series.max(),
+            );
+        }
+    }
+
     // Throughput and latency.
     let consumed = snapshot
         .counters
@@ -225,6 +263,32 @@ mod tests {
         assert_eq!(s.chars().next(), Some('▁'));
         assert!(s.contains('█'), "peak renders as the top glyph: {s}");
         assert_eq!(s.chars().last(), Some('▅'), "2.0 of max 4.0 is mid-level");
+    }
+
+    #[test]
+    fn single_sample_series_renders_solid_not_stale() {
+        // One recording late in the horizon: every cell before it must
+        // clamp to that value instead of rendering stale empty cells.
+        let r = MetricsRegistry::new();
+        r.set_gauge("g", Time::from_nanos(90), 3.0);
+        let s = sparkline(&r.gauge("g").unwrap(), Time::from_nanos(100), 8);
+        assert_eq!(s, "████████");
+    }
+
+    #[test]
+    fn dashboard_shows_sampler_section_when_gauges_present() {
+        let r = MetricsRegistry::new();
+        r.set_gauge(
+            "sampler_thread_cpu_ns.dataloader0",
+            Time::from_nanos(10_000_000),
+            2_000_000.0,
+        );
+        r.set_gauge("sampler_rss_kb", Time::from_nanos(10_000_000), 24_000.0);
+        let out = render_dashboard(&r.snapshot(), DashboardOptions { width: 8 });
+        assert!(out.contains("sampler (per-thread CPU time)"));
+        assert!(out.contains("dataloader0"));
+        assert!(out.contains("2.0ms on-CPU"));
+        assert!(out.contains("rss now 24000 kB  peak 24000 kB"));
     }
 
     #[test]

@@ -32,8 +32,28 @@ fn label_key(base: &str) -> &'static str {
     match base {
         "queue_depth" => "queue",
         "worker_busy_ns" => "pid",
+        "sampler_thread_cpu_ns"
+        | "sampler_ctx_switches_voluntary"
+        | "sampler_ctx_switches_involuntary" => "thread",
         _ => "series",
     }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and newline are the only characters that need
+/// escaping inside `label="…"`. Everything else — including the dots,
+/// slashes and dashes OS thread names carry — passes through unchanged.
+fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 fn family_line(out: &mut String, name: &str, value: impl std::fmt::Display) {
@@ -43,7 +63,8 @@ fn family_line(out: &mut String, name: &str, value: impl std::fmt::Display) {
             let _ = writeln!(
                 out,
                 "lotus_{base}{{{key}=\"{s}\"}} {value}",
-                key = label_key(base)
+                key = label_key(base),
+                s = escape_label_value(s)
             );
         }
         None => {
@@ -194,6 +215,36 @@ mod tests {
         assert!(text.contains("# TYPE lotus_t1_batch_fetch_ns summary"));
         assert!(text.contains("lotus_t1_batch_fetch_ns_count 1"));
         assert!(text.contains("lotus_t1_batch_fetch_ns_sum 5000000"));
+    }
+
+    #[test]
+    fn sampler_families_get_thread_labels_with_escaping() {
+        let r = MetricsRegistry::new();
+        // Thread names out of /proc/self/task/*/comm can carry dots,
+        // slashes, quotes — anything but NUL. Dots survive inside the
+        // label value because only the FIRST dot splits family/label.
+        r.set_gauge("sampler_thread_cpu_ns.tokio.rt/w-1", Time::ZERO, 5.0);
+        r.set_gauge("sampler_thread_cpu_ns.say\"hi\"", Time::ZERO, 7.0);
+        r.set_gauge("sampler_ctx_switches_voluntary.io\\wq", Time::ZERO, 3.0);
+        r.set_gauge("sampler_rss_kb", Time::ZERO, 1024.0);
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE lotus_sampler_thread_cpu_ns gauge"));
+        assert!(text.contains("lotus_sampler_thread_cpu_ns{thread=\"tokio.rt/w-1\"} 5"));
+        assert!(text.contains("lotus_sampler_thread_cpu_ns{thread=\"say\\\"hi\\\"\"} 7"));
+        assert!(text.contains("lotus_sampler_ctx_switches_voluntary{thread=\"io\\\\wq\"} 3"));
+        assert!(
+            text.contains("lotus_sampler_rss_kb 1024"),
+            "undotted name stays bare"
+        );
+    }
+
+    #[test]
+    fn label_values_escape_only_the_prometheus_specials() {
+        assert_eq!(escape_label_value("plain-name_0"), "plain-name_0");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("dots.and/slashes"), "dots.and/slashes");
     }
 
     #[test]

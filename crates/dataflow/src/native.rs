@@ -81,17 +81,32 @@ impl Default for NativeOptions {
 ///
 /// Schedule controllers and seeded protocol mutations on the job are
 /// simulation-only test hooks and are ignored here.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct NativeBackend {
     /// Backend knobs.
     pub options: NativeOptions,
+    /// When set, every worker thread attaches this feed to its
+    /// [`CpuThread`] so the real compute behind instrumented kernels is
+    /// wall-timed and attributed per op (`lotus run --profile`).
+    pub feed: Option<Arc<lotus_uarch::KernelSpanFeed>>,
 }
 
 impl NativeBackend {
     /// A backend with the given options.
     #[must_use]
     pub fn new(options: NativeOptions) -> NativeBackend {
-        NativeBackend { options }
+        NativeBackend {
+            options,
+            feed: None,
+        }
+    }
+
+    /// Attaches a kernel-span feed that worker threads will report
+    /// observed native kernel spans to.
+    #[must_use]
+    pub fn with_feed(mut self, feed: Arc<lotus_uarch::KernelSpanFeed>) -> NativeBackend {
+        self.feed = Some(feed);
+        self
     }
 }
 
@@ -439,6 +454,7 @@ fn native_worker_loop(
     worker: usize,
     machine: &Arc<lotus_uarch::Machine>,
     hw_profiler: Option<Arc<lotus_uarch::HwProfiler>>,
+    feed: Option<Arc<lotus_uarch::KernelSpanFeed>>,
     index_q: &NativeQueue<NativeMsg>,
     seed: u64,
     faults: &FaultPlan,
@@ -460,6 +476,9 @@ fn native_worker_loop(
     let mut cpu = CpuThread::new(Arc::clone(machine));
     if let Some(p) = hw_profiler {
         cpu.attach_profiler(p);
+    }
+    if let Some(f) = feed {
+        cpu.attach_native_feed(f);
     }
     let mut rng = StdRng::seed_from_u64(mix_seed(seed, 1_000 + worker as u64));
     let collate = Collate::new(machine);
@@ -840,10 +859,20 @@ impl ExecutionBackend for NativeBackend {
                 let machine = &machine;
                 let faults = &faults;
                 let hw_profiler = hw_profiler.clone();
+                let feed = self.feed.clone();
                 std::thread::Builder::new()
                     .name(format!("dataloader{w}"))
                     .spawn_scoped(scope, move || {
-                        native_worker_loop(shared, w, machine, hw_profiler, index_q, seed, faults);
+                        native_worker_loop(
+                            shared,
+                            w,
+                            machine,
+                            hw_profiler,
+                            feed,
+                            index_q,
+                            seed,
+                            faults,
+                        );
                     })
                     .expect("failed to spawn DataLoader worker thread");
             }

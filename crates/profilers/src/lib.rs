@@ -16,7 +16,9 @@
 mod capabilities;
 mod comparison;
 mod models;
+mod native;
 
 pub use capabilities::{lotus_capabilities, Capabilities};
 pub use comparison::{BaselineProfiler, ComparisonHarness, ComparisonRow, SinkOverheadRow};
 pub use models::{ProfilerModel, ProfilerOutput, SamplingConfig, SamplingProfiler, TorchProfiler};
+pub use native::{NativeSampler, SamplerConfig, SamplerTick, ThreadSample};

@@ -116,7 +116,12 @@ impl Collate {
         shape.extend_from_slice(&first_shape);
 
         let all_materialized = samples.iter().all(Sample::is_materialized);
-        let data = all_materialized.then(|| stack_tensors(&samples, &shape, dtype));
+        ctx.cpu
+            .set_op_context(&Collate::display_name(samples.len()));
+        let data = all_materialized.then(|| {
+            ctx.cpu
+                .observe_native(self.stack_kernel, || stack_tensors(&samples, &shape, dtype))
+        });
         Ok(Batch {
             len: samples.len(),
             shape,

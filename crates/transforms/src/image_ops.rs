@@ -326,8 +326,12 @@ impl Transform for RandomResizedCrop {
         let (top, left, h, w) = self.pick_region(height, width, ctx.rng);
         self.kernels.charge(ctx, h, w, self.size, self.size);
         let out = data.map(|img| {
-            let cropped = crop(&img, top, left, h, w);
-            resize_bilinear(&cropped, self.size, self.size)
+            let cropped = ctx
+                .cpu
+                .observe_native(self.kernels.bulk_move, || crop(&img, top, left, h, w));
+            ctx.cpu.observe_native(self.kernels.horizontal, || {
+                resize_bilinear(&cropped, self.size, self.size)
+            })
         });
         Ok(Sample::Image {
             height: self.size,
@@ -392,7 +396,11 @@ impl Transform for Resize {
         };
         self.kernels
             .charge(ctx, height, width, self.out_h, self.out_w);
-        let out = data.map(|img| resize_bilinear(&img, self.out_h, self.out_w));
+        let out = data.map(|img| {
+            ctx.cpu.observe_native(self.kernels.horizontal, || {
+                resize_bilinear(&img, self.out_h, self.out_w)
+            })
+        });
         Ok(Sample::Image {
             height: self.out_h,
             width: self.out_w,
@@ -477,13 +485,15 @@ impl Transform for RandomHorizontalFlip {
         ctx.cpu
             .exec(self.flip_kernel, (height * width * Image::CHANNELS) as f64);
         let out = data.map(|img| {
-            let mut flipped = img.clone();
-            for y in 0..height {
-                for x in 0..width {
-                    flipped.set_pixel(y, x, img.pixel(y, width - 1 - x));
+            ctx.cpu.observe_native(self.flip_kernel, || {
+                let mut flipped = img.clone();
+                for y in 0..height {
+                    for x in 0..width {
+                        flipped.set_pixel(y, x, img.pixel(y, width - 1 - x));
+                    }
                 }
-            }
-            flipped
+                flipped
+            })
         });
         Ok(Sample::Image {
             height,
@@ -560,17 +570,19 @@ impl Transform for ToTensor {
         ctx.cpu.exec(self.copy_kernel, elements * 4.0); // f32 output bytes
         let shape = vec![Image::CHANNELS, height, width];
         let out = data.map(|img| {
-            let mut chw = vec![0.0f32; img.len_bytes()];
-            let plane = height * width;
-            for y in 0..height {
-                for x in 0..width {
-                    let p = img.pixel(y, x);
-                    for c in 0..Image::CHANNELS {
-                        chw[c * plane + y * width + x] = f32::from(p[c]) / 255.0;
+            ctx.cpu.observe_native(self.convert_kernel, || {
+                let mut chw = vec![0.0f32; img.len_bytes()];
+                let plane = height * width;
+                for y in 0..height {
+                    for x in 0..width {
+                        let p = img.pixel(y, x);
+                        for c in 0..Image::CHANNELS {
+                            chw[c * plane + y * width + x] = f32::from(p[c]) / 255.0;
+                        }
                     }
                 }
-            }
-            Tensor::from_f32(&shape, chw)
+                Tensor::from_f32(&shape, chw)
+            })
         });
         Ok(Sample::Tensor {
             shape,
@@ -660,13 +672,15 @@ impl Transform for Normalize {
         ctx.cpu.exec(self.sub_kernel, elements as f64);
         ctx.cpu.exec(self.div_kernel, elements as f64);
         let out = data.map(|mut t| {
-            let plane: usize = shape[1..].iter().product();
-            let values = t.as_f32_mut();
-            for (i, v) in values.iter_mut().enumerate() {
-                let c = (i / plane).min(2);
-                *v = (*v - self.mean[c]) / self.std[c];
-            }
-            t
+            ctx.cpu.observe_native(self.sub_kernel, || {
+                let plane: usize = shape[1..].iter().product();
+                let values = t.as_f32_mut();
+                for (i, v) in values.iter_mut().enumerate() {
+                    let c = (i / plane).min(2);
+                    *v = (*v - self.mean[c]) / self.std[c];
+                }
+                t
+            })
         });
         Ok(Sample::Tensor {
             shape,

@@ -154,6 +154,9 @@ impl Compose {
             let start = ctx.cpu.cursor();
             // Interpreter dispatch overhead for the Python-level call.
             ctx.cpu.exec(self.python_overhead, 0.0);
+            // Native kernel spans observed inside this transform attribute
+            // to its Python-level op name.
+            ctx.cpu.set_op_context(t.name());
             sample = t.apply(sample, ctx)?;
             let elapsed = ctx.cpu.cursor().since(start);
             observer.on_transform(t.name(), start, elapsed);

@@ -32,6 +32,7 @@
 
 mod cost;
 mod events;
+mod feed;
 mod kernels;
 mod machine;
 mod profiler;
@@ -39,6 +40,7 @@ mod thread;
 
 pub use cost::{evaluate, KernelCost};
 pub use events::HwEvents;
+pub use feed::{KernelSample, KernelSpanFeed};
 pub use kernels::{CostCoeffs, KernelId, KernelRegistry, KernelSpec};
 pub use machine::{Machine, MachineConfig, Vendor};
 pub use profiler::{

@@ -2,10 +2,12 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 use lotus_sim::{Span, Time};
 
 use crate::cost::{evaluate, KernelCost};
+use crate::feed::KernelSpanFeed;
 use crate::kernels::KernelId;
 use crate::machine::Machine;
 use crate::profiler::HwProfiler;
@@ -49,6 +51,8 @@ const HISTORY: usize = 48;
 pub struct CpuThread {
     machine: Arc<Machine>,
     profiler: Option<Arc<HwProfiler>>,
+    native_feed: Option<Arc<KernelSpanFeed>>,
+    op_context: Option<String>,
     cursor: Time,
     recent: VecDeque<Invocation>,
 }
@@ -60,6 +64,8 @@ impl CpuThread {
         CpuThread {
             machine,
             profiler: None,
+            native_feed: None,
+            op_context: None,
             cursor: Time::ZERO,
             recent: VecDeque::new(),
         }
@@ -80,6 +86,50 @@ impl CpuThread {
     /// Detaches any attached profiler session.
     pub fn detach_profiler(&mut self) {
         self.profiler = None;
+    }
+
+    /// Attaches a native kernel-span feed; subsequent
+    /// [`CpuThread::observe_native`] blocks are wall-timed and reported
+    /// to it. Without a feed, observation is a zero-cost pass-through.
+    pub fn attach_native_feed(&mut self, feed: Arc<KernelSpanFeed>) {
+        self.native_feed = Some(feed);
+    }
+
+    /// The attached native feed, if any.
+    #[must_use]
+    pub fn native_feed(&self) -> Option<&Arc<KernelSpanFeed>> {
+        self.native_feed.as_ref()
+    }
+
+    /// Sets the high-level operation name attributed to subsequent
+    /// observed kernel spans (e.g. `"Loader"` before decode, the
+    /// transform's name before each transform). Stored only while a
+    /// native feed is attached, so unprofiled runs pay nothing.
+    pub fn set_op_context(&mut self, op: &str) {
+        if self.native_feed.is_some() {
+            self.op_context = Some(op.to_string());
+        }
+    }
+
+    /// Runs `f` — the *real* compute behind `kernel` — and, when a
+    /// collecting native feed is attached, wall-times it and records the
+    /// span under the current op context. Never charges any simulated
+    /// cost: cost accounting stays with [`CpuThread::exec`] /
+    /// `charge_*`-style code, observation only watches.
+    pub fn observe_native<R>(&mut self, kernel: KernelId, f: impl FnOnce() -> R) -> R {
+        let Some(feed) = self
+            .native_feed
+            .as_ref()
+            .filter(|feed| feed.is_collecting())
+        else {
+            return f();
+        };
+        let feed = Arc::clone(feed);
+        let start = Instant::now();
+        let out = f();
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        feed.record(kernel, self.op_context.as_deref(), start, elapsed_ns);
+        out
     }
 
     /// The virtual time at which the next kernel will start.
@@ -174,6 +224,44 @@ mod tests {
         let report = prof.report(&machine);
         assert_eq!(report.len(), 1);
         assert_eq!(report[0].name, "seen");
+    }
+
+    #[test]
+    fn observe_native_reports_wall_spans_without_charging_cost() {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        let k = machine.kernel("native_fn", "lib", CostCoeffs::compute_default());
+        let feed = Arc::new(KernelSpanFeed::new());
+        let mut cpu = CpuThread::new(Arc::clone(&machine));
+        // No feed: pure pass-through, op context not even stored.
+        cpu.set_op_context("Ignored");
+        assert_eq!(cpu.observe_native(k, || 7), 7);
+        cpu.attach_native_feed(Arc::clone(&feed));
+        cpu.set_op_context("Loader");
+        let before = cpu.cursor();
+        let out = cpu.observe_native(k, || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(cpu.cursor(), before, "observation never charges cost");
+        let samples = feed.take_samples();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].op.as_deref(), Some("Loader"));
+        assert!(samples[0].elapsed_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn paused_feed_observes_nothing() {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        let k = machine.kernel("native_fn", "lib", CostCoeffs::compute_default());
+        let feed = Arc::new(KernelSpanFeed::new_paused());
+        let mut cpu = CpuThread::new(Arc::clone(&machine));
+        cpu.attach_native_feed(Arc::clone(&feed));
+        cpu.observe_native(k, || ());
+        assert!(feed.is_empty());
+        feed.resume();
+        cpu.observe_native(k, || ());
+        assert_eq!(feed.len(), 1);
     }
 
     #[test]

@@ -91,6 +91,8 @@ impl Dataset for ImageFolderDataset {
         // File read from storage: off-CPU wait (with the straggler tail).
         ctx.cpu
             .idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        // Native kernel spans inside the decode attribute to the Loader op.
+        ctx.cpu.set_op_context("Loader");
         let sample = if self.materialize {
             // Real path: synthesize content, encode, decode. Encoding is
             // performed on a scratch thread so only decode cost lands in

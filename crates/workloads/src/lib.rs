@@ -31,7 +31,9 @@ mod pipelines;
 
 pub use datasets::{AudioClipDataset, ImageFolderDataset, MonotonicObserver, VolumeDataset};
 pub use io::IoModel;
-pub use mapping::{build_ic_mapping, build_ic_mapping_for_batch};
+pub use mapping::{
+    build_ic_mapping, build_ic_mapping_for_batch, build_ic_mapping_native, NATIVE_MAPPING_BATCH,
+};
 pub use pipelines::{
     ac_transforms, gpu_step, ic_transforms, is_transforms, od_transforms, paper_step_times_hold,
     ExperimentConfig, PipelineKind,

@@ -1,17 +1,20 @@
 //! Building the LotusMap operation→function mapping for the IC pipeline
-//! (the preparatory step of §IV-B, done once per machine).
+//! (the preparatory step of §IV-B, done once per machine), on both the
+//! simulated profiler and the native kernel-span feed.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lotus_codec::Codec;
-use lotus_core::map::{IsolationConfig, Mapping, OpIsolator};
-use lotus_data::{DType, ImageDatasetModel};
+use lotus_core::map::{IsolationConfig, MappedFunction, Mapping, OpIsolator, OpMapping};
+use lotus_data::{DType, Image, ImageDatasetModel};
 use lotus_transforms::{
-    python_interp_kernel, Collate, Normalize, NullObserver, RandomHorizontalFlip,
+    python_interp_kernel, Collate, Compose, Normalize, NullObserver, RandomHorizontalFlip,
     RandomResizedCrop, Sample, ToTensor, Transform, TransformCtx,
 };
-use lotus_uarch::{CpuThread, Machine};
+use lotus_uarch::{CpuThread, KernelSpanFeed, Machine};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Builds the Python-op → native-function mapping for the whole IC
 /// pipeline by isolating each operation under the hardware profiler
@@ -129,6 +132,111 @@ pub fn build_ic_mapping_for_batch(
     filtered
 }
 
+/// Batch size [`build_ic_mapping_native`] collates — small enough that
+/// real tensors stack quickly, and the op name (`C(4)`) can be matched by
+/// building the simulated mapping with [`build_ic_mapping_for_batch`].
+pub const NATIVE_MAPPING_BATCH: usize = 4;
+
+/// Builds the IC operation→function mapping from *native* evidence: real
+/// images are decoded and transformed with the kernel-span feed
+/// collecting, and each op's observed kernels (real wall time, not cost
+/// model) become its bucket, hottest first.
+///
+/// Mirrors the isolation harness's discipline on the native substrate:
+/// the first pipeline pass is a warmup with the feed paused (allocator
+/// and cache warmup, Listing 4's warmup loop), then each of `runs`
+/// measured passes is bracketed by `resume`/`pause` and drained
+/// separately so `captured_runs`/`total_runs` mean the same thing they
+/// do in the simulated mapping.
+///
+/// # Panics
+///
+/// Panics if the self-encoded test image fails to decode or a transform
+/// rejects its input — both would be codec/pipeline bugs, not data
+/// errors.
+#[must_use]
+pub fn build_ic_mapping_native(machine: &Arc<Machine>, runs: usize) -> Mapping {
+    let runs = runs.max(1);
+    let codec = Codec::new(machine);
+    let transforms = Compose::new(
+        machine,
+        vec![
+            Box::new(RandomResizedCrop::new(machine, 224)),
+            // p = 1.0 so every measured pass exercises the flip kernel.
+            Box::new(RandomHorizontalFlip::new(machine, 1.0)),
+            Box::new(ToTensor::new(machine)),
+            Box::new(Normalize::imagenet(machine)),
+        ],
+    );
+    let collate = Collate::new(machine);
+    let feed = Arc::new(KernelSpanFeed::new_paused());
+    let mut cpu = CpuThread::new(Arc::clone(machine));
+    cpu.attach_native_feed(Arc::clone(&feed));
+    let mut rng = StdRng::seed_from_u64(0x0107);
+
+    // (op, function, library) -> (samples, total wall ns)
+    let mut captured: BTreeMap<(String, String, String), (u64, u64)> = BTreeMap::new();
+    for run in 0..=runs {
+        let img = Image::synthetic(480, 640, &mut rng);
+        // Encoding happens offline in the real pipeline: scratch thread,
+        // no feed, so only decode-side kernels are observed.
+        let mut scratch = CpuThread::new(Arc::clone(machine));
+        let encoded = codec.encode(&img, 85, &mut scratch);
+        if run > 0 {
+            feed.resume();
+        }
+        cpu.set_op_context("Loader");
+        let decoded = codec
+            .decode(&encoded, &mut cpu)
+            .expect("self-encoded image must decode");
+        let mut ctx = TransformCtx {
+            cpu: &mut cpu,
+            rng: &mut rng,
+        };
+        let sample = transforms
+            .apply(Sample::image(decoded), &mut ctx)
+            .expect("IC transforms accept a decoded image");
+        let batch: Vec<Sample> = (0..NATIVE_MAPPING_BATCH).map(|_| sample.clone()).collect();
+        collate
+            .apply(batch, &mut ctx)
+            .expect("uniform batch collates");
+        feed.pause();
+        // Run 0 drains nothing: the feed stayed paused through the warmup.
+        for s in feed.take_samples() {
+            let Some(op) = s.op else { continue };
+            let spec = machine.kernel_spec(s.kernel);
+            let entry = captured.entry((op, spec.name, spec.library)).or_default();
+            entry.0 += 1;
+            entry.1 += s.elapsed_ns;
+        }
+    }
+    // Uniform passes exercise every instrumented kernel every measured
+    // run (the feed has no sampling grid to miss short kernels with), so
+    // captured_runs == runs.
+    let mut buckets: BTreeMap<String, Vec<(MappedFunction, u64)>> = BTreeMap::new();
+    for ((op, name, library), (samples, nanos)) in captured {
+        buckets.entry(op).or_default().push((
+            MappedFunction {
+                name,
+                library,
+                captured_runs: runs,
+                total_runs: runs,
+                samples,
+            },
+            nanos,
+        ));
+    }
+    let mut mapping = Mapping::new();
+    for (op, mut rows) in buckets {
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.name.cmp(&b.0.name)));
+        mapping.insert(OpMapping {
+            op,
+            functions: rows.into_iter().map(|(f, _)| f).collect(),
+        });
+    }
+    mapping
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +312,35 @@ mod tests {
             loader_kernels.iter().any(|k| rrc.contains(k)),
             "expected loader leakage without the sleep gap: {rrc:?}"
         );
+    }
+
+    #[test]
+    fn native_mapping_top_kernels_agree_with_the_simulated_mapping() {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        // 60 runs: enough for the 10 ms sampling grid to capture the
+        // short bulk-move kernel the native side always observes.
+        let sim = build_ic_mapping_for_batch(
+            &machine,
+            IsolationConfig {
+                runs_override: Some(60),
+                ..IsolationConfig::default()
+            },
+            NATIVE_MAPPING_BATCH,
+        );
+        let native = build_ic_mapping_native(&machine, 2);
+        let loader = native.functions_for("Loader").expect("Loader observed");
+        assert!(loader.contains("decode_mcu"), "{loader:?}");
+        let verdicts = lotus_core::map::top_k_agreement(&sim, &native, 3);
+        assert!(!verdicts.is_empty(), "no ops overlap between mappings");
+        for v in &verdicts {
+            assert!(
+                v.agrees(),
+                "{}: native top-k {:?} not all in sim bucket (missing {:?})",
+                v.op,
+                v.native_top,
+                v.missing_from_sim
+            );
+        }
     }
 
     #[test]

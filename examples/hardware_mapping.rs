@@ -10,11 +10,14 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::sync::Arc;
 
-use lotus::core::map::{required_runs, split_metrics, IsolationConfig};
+use lotus::core::map::{required_runs, split_metrics, top_k_agreement, IsolationConfig};
 use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
 use lotus::sim::Span;
 use lotus::uarch::{CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig};
-use lotus::workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
+use lotus::workloads::{
+    build_ic_mapping, build_ic_mapping_for_batch, build_ic_mapping_native, ExperimentConfig,
+    PipelineKind, NATIVE_MAPPING_BATCH,
+};
 
 fn main() -> Result<(), Box<dyn Error>> {
     // §IV-B: how many isolation runs does a 660 µs function need under
@@ -74,5 +77,54 @@ fn main() -> Result<(), Box<dyn Error>> {
             op.events.dram_bound_fraction() * 100.0
         );
     }
+
+    // Step 4 — cross-validate the methodology against reality: execute
+    // the REAL kernels under the cooperative span feed, fold the observed
+    // spans into a mapping, and require each op's hottest native kernels
+    // to appear in the simulated bucket. 60 isolation runs give the
+    // 10 ms sampling grid enough chances to catch the short bulk-move
+    // kernel the native side always observes.
+    const TOP_K: usize = 3;
+    let sim = build_ic_mapping_for_batch(
+        &machine,
+        IsolationConfig {
+            runs_override: Some(60),
+            ..IsolationConfig::default()
+        },
+        NATIVE_MAPPING_BATCH,
+    );
+    let native = build_ic_mapping_native(&machine, 3);
+    println!("\nsimulated vs native top-{TOP_K} kernels per op:");
+    println!(
+        "{:<22} {:<52} simulated bucket",
+        "op", "native (hottest first)"
+    );
+    let verdicts = top_k_agreement(&sim, &native, TOP_K);
+    for v in &verdicts {
+        let sim_names: Vec<&str> = sim
+            .functions_for(&v.op)
+            .map(|bucket| bucket.functions.iter().map(|f| f.name.as_str()).collect())
+            .unwrap_or_default();
+        println!(
+            "{:<22} {:<52} {}",
+            v.op,
+            v.native_top.join(", "),
+            sim_names.join(", ")
+        );
+        if !v.agrees() {
+            println!(
+                "{:<22} MISSING from sim: {}",
+                "",
+                v.missing_from_sim.join(", ")
+            );
+        }
+    }
+    if verdicts.is_empty() || !verdicts.iter().all(|v| v.agrees()) {
+        return Err("sim-vs-native attribution disagreed".into());
+    }
+    println!(
+        "\nMAPPING AGREE OK ({} ops cross-validated)",
+        verdicts.len()
+    );
     Ok(())
 }

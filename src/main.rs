@@ -28,7 +28,7 @@ use lotus::tuning::{tune_experiment, TuneOptions};
 use lotus::uarch::{
     format_report, CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
 };
-use lotus::workloads::{build_ic_mapping, ExperimentConfig, PipelineKind};
+use lotus::workloads::{build_ic_mapping, build_ic_mapping_native, ExperimentConfig, PipelineKind};
 
 const USAGE: &str = "\
 lotus — characterization of ML preprocessing pipelines (paper reproduction)
@@ -41,7 +41,8 @@ USAGE:
 
   lotus run       [--backend sim|native] [--pipeline ic|is|od|ac] [--items N]
                   [--batch B] [--workers W] [--gpus G] [--no-gpu]
-                  [--no-materialize] [--status-check-ms T]
+                  [--no-materialize] [--status-check-ms T] [--profile]
+                  [--attribution FILE.json]
                   [--kill-worker W] [--kill-at-ms T] [--error-rate P]
                   [--error-op NAME] [--out FILE.json] [--log FILE]
       Execute one epoch on the chosen execution backend. `native` (the
@@ -50,24 +51,33 @@ USAGE:
       wall-clock LotusTrace; `sim` replays it in deterministic virtual
       time. Prints per-op stats plus the tune-style scorecard and
       bottleneck verdict. --no-gpu skips the emulated GPU consumer,
-      --no-materialize keeps image pipelines cost-only. --out writes a
+      --no-materialize keeps image pipelines cost-only. --profile (native
+      only) attaches the OS-level sampling profiler: per-thread CPU time,
+      RSS and context switches from /proc plus per-op native-kernel
+      attribution, cross-validated against the simulated LotusMap;
+      --attribution writes the observed mapping as JSON. --out writes a
       Chrome trace; --log writes a LotusTrace log file that
       `lotus check --trace FILE` lints.
 
   lotus bench     [--backend sim|native] [--presets ic,ac,is] [--items N]
-                  [--batch B] [--workers W] [--no-gpu] [--out-dir DIR]
-                  [--check-against FILE] [--tolerance F]
+                  [--batch B] [--workers W] [--no-gpu] [--profile]
+                  [--out-dir DIR] [--check-against FILE] [--tolerance F]
       Run small-scale benchmark epochs (native by default) and write one
       BENCH_<backend>_<preset>.json per preset: throughput, p50/p99
       batch latency, the T1/T2/T3 phase split, and the bottleneck
       verdict. --check-against gates a single preset against a committed
       baseline JSON and fails on a throughput regression beyond
-      --tolerance (default 0.2 = 20%).
+      --tolerance (default 0.2 = 20%). --profile (native) adds the
+      sampling profiler's self-accounting block to the report
+      (lotus-bench-v2; v1 baselines stay comparable).
 
-  lotus map       [--vendor intel|amd] [--runs N] [--no-sleep-gap]
-                  [--out FILE.json]
-      Build the Python-op → C/C++-function mapping (Table I) by isolating
-      each IC operation under the hardware profiler.
+  lotus map       [--backend sim|native] [--vendor intel|amd] [--runs N]
+                  [--no-sleep-gap] [--out FILE.json]
+      Build the Python-op → C/C++-function mapping (Table I). The default
+      `sim` backend isolates each IC operation under the simulated
+      hardware profiler; `native` observes the real kernels executing on
+      this machine via the cooperative span feed (--runs measured passes,
+      default 3).
 
   lotus attribute [--items N] [--workers W] [--mix-aware] [--functions]
       Profile an IC epoch with the simulated VTune, build the mapping, and
@@ -78,14 +88,16 @@ USAGE:
       Run the profiler comparison (Tables III and IV).
 
   lotus top       [--backend sim|native] [--pipeline ic|is|od] [--items N]
-                  [--batch B] [--workers W] [--width COLS] [--prom FILE]
-                  [--json FILE] [--csv FILE]
+                  [--batch B] [--workers W] [--width COLS] [--profile]
+                  [--prom FILE] [--json FILE] [--csv FILE]
       Run one epoch with the streaming metrics sink and render the
       pipeline dashboard: queue-depth sparklines over time, per-worker
       utilization, throughput, latency summaries. With --backend native
       every gauge and histogram carries wall-clock timestamps from the
-      run's shared clock. Optionally export the registry as Prometheus
-      text, JSON, or CSV time-series.
+      run's shared clock, and --profile adds the OS sampler's per-thread
+      CPU/RSS/context-switch gauges to the dashboard and exports.
+      Optionally export the registry as Prometheus text, JSON, or CSV
+      time-series.
 
   lotus tune      [--pipeline ic|is|od|ac] [--items N] [--batch B]
                   [--strategy grid|hill] [--workers 1,2,4,8] [--prefetch 1,2,4]
@@ -242,6 +254,9 @@ fn apply_run_flags(args: &Args, options: &mut RunOptions) -> Result<(), Box<dyn 
     if args.has("status-check-ms") {
         options.status_check = Span::from_millis(args.get("status-check-ms", 5_000u64)?);
     }
+    if args.has("profile") {
+        options.profile = true;
+    }
     Ok(())
 }
 
@@ -305,6 +320,36 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn Error>> {
             .map_or("failed", lotus::core::tune::TuneVerdict::as_str),
         verdict_family(card)
     );
+    if let Some(profile) = &outcome.profile {
+        println!(
+            "\nprofiler: {} kernel samples over {} sampler ticks | overhead {:.4}s ({:.2}% of wall) | RSS peak {} kB",
+            profile.kernel_samples,
+            profile.ticks,
+            profile.overhead.as_secs_f64(),
+            profile.overhead_fraction * 100.0,
+            profile.rss_peak_kb
+        );
+        print!("{}", profile.attribution.to_table_string());
+        if let Some(agreement) = &profile.agreement {
+            println!("\nsim-vs-native attribution (top-k kernels per op):");
+            for verdict in agreement {
+                let status = if verdict.agrees() {
+                    "agrees with the simulated mapping".to_string()
+                } else {
+                    format!("MISSING from sim: {}", verdict.missing_from_sim.join(", "))
+                };
+                println!(
+                    "  {}: [{}] — {status}",
+                    verdict.op,
+                    verdict.native_top.join(", ")
+                );
+            }
+        }
+        if let Some(path) = args.flags.get("attribution") {
+            std::fs::write(path, profile.attribution.to_json())?;
+            println!("attribution mapping written to {path}");
+        }
+    }
     if let Some(path) = args.flags.get("out") {
         let doc = to_chrome_trace(
             &outcome.trace.records(),
@@ -383,13 +428,20 @@ fn cmd_map(args: &Args) -> Result<(), Box<dyn Error>> {
         "amd" => MachineConfig::amd_rome(),
         other => return Err(format!("unknown vendor '{other}'").into()),
     };
-    let mut isolation = IsolationConfig::default();
-    if args.has("runs") {
-        isolation.runs_override = Some(args.get("runs", 20usize)?);
-    }
-    isolation.use_sleep_gap = !args.has("no-sleep-gap");
     let machine = Machine::new(machine_config);
-    let mapping = build_ic_mapping(&machine, isolation);
+    let mapping = match backend_of(args, "sim")? {
+        BackendKind::Sim => {
+            let mut isolation = IsolationConfig::default();
+            if args.has("runs") {
+                isolation.runs_override = Some(args.get("runs", 20usize)?);
+            }
+            isolation.use_sleep_gap = !args.has("no-sleep-gap");
+            build_ic_mapping(&machine, isolation)
+        }
+        // Real kernels, real wall clock: the cooperative span feed
+        // observes the instrumented native functions as they execute.
+        BackendKind::Native => build_ic_mapping_native(&machine, args.get("runs", 3usize)?),
+    };
     print!("{}", mapping.to_table_string());
     if let Some(path) = args.flags.get("out") {
         std::fs::write(path, mapping.to_json())?;

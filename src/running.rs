@@ -12,6 +12,9 @@
 
 use std::sync::Arc;
 
+use lotus_core::map::{
+    mapping_from_native, top_k_agreement, IsolationConfig, Mapping, OpAgreement,
+};
 use lotus_core::metrics::{names, MetricsRegistry, MetricsSink, MultiSink};
 use lotus_core::trace::analysis::op_class_totals;
 use lotus_core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
@@ -19,9 +22,10 @@ use lotus_core::tune::{Scorecard, TrialConfig, TrialMeasurement};
 use lotus_dataflow::{
     ExecutionBackend, FaultPlan, JobReport, NativeBackend, NativeOptions, SimBackend,
 };
+use lotus_profilers::{NativeSampler, SamplerConfig};
 use lotus_sim::Span;
 use lotus_uarch::{Machine, MachineConfig};
-use lotus_workloads::ExperimentConfig;
+use lotus_workloads::{build_ic_mapping_for_batch, ExperimentConfig, PipelineKind};
 use serde_json::{Content, Value};
 
 /// Which execution substrate to run on.
@@ -68,6 +72,11 @@ pub struct RunOptions {
     /// native runs (that is the point of them); forced off is useful for
     /// fast protocol-only tests.
     pub materialize: bool,
+    /// Native only: run the OS-level sampling profiler alongside the job
+    /// and produce per-op native kernel attribution (`lotus run
+    /// --profile`). Ignored on the simulated backend, whose profiling
+    /// goes through [`lotus_uarch::HwProfiler`] instead.
+    pub profile: bool,
     /// Fault plan applied to the run.
     pub faults: FaultPlan,
 }
@@ -82,6 +91,7 @@ impl RunOptions {
             emulate_gpu: true,
             status_check: Span::from_secs(5),
             materialize: false,
+            profile: false,
             faults: FaultPlan::default(),
         }
     }
@@ -95,6 +105,7 @@ impl RunOptions {
             emulate_gpu: true,
             status_check: Span::from_secs(5),
             materialize: true,
+            profile: false,
             faults: FaultPlan::default(),
         }
     }
@@ -106,6 +117,37 @@ impl RunOptions {
             BackendKind::Sim => RunOptions::sim(),
             BackendKind::Native => RunOptions::native(),
         }
+    }
+}
+
+/// What the native profiler measured alongside a run.
+#[derive(Debug)]
+pub struct ProfileReport {
+    /// Self-accounted profiling cost: sampler scrapes plus feed
+    /// recording.
+    pub overhead: Span,
+    /// That overhead as a fraction of the run's wall elapsed time.
+    pub overhead_fraction: f64,
+    /// Number of kernel spans the cooperative feed observed.
+    pub kernel_samples: usize,
+    /// Number of OS-level sampler ticks taken.
+    pub ticks: usize,
+    /// Peak `VmRSS` across ticks, in kB (0 when `/proc` is unreadable).
+    pub rss_peak_kb: u64,
+    /// Per-op native attribution in the LotusMap mapping shape.
+    pub attribution: Mapping,
+    /// Sim-vs-native cross-validation (IC pipeline only): each op's
+    /// native top-k kernels checked against the simulated mapping.
+    pub agreement: Option<Vec<OpAgreement>>,
+}
+
+impl ProfileReport {
+    /// True when cross-validation ran and every compared op agreed.
+    #[must_use]
+    pub fn agrees(&self) -> bool {
+        self.agreement
+            .as_ref()
+            .is_some_and(|v| !v.is_empty() && v.iter().all(OpAgreement::agrees))
     }
 }
 
@@ -123,6 +165,9 @@ pub struct RunOutcome {
     pub scorecard: Scorecard,
     /// The full LotusTrace of the run (lintable, Chrome-exportable).
     pub trace: Arc<LotusTrace>,
+    /// Present when the run was profiled (`RunOptions::profile` on the
+    /// native backend).
+    pub profile: Option<ProfileReport>,
 }
 
 /// Runs one measured epoch of `experiment` on the chosen backend.
@@ -172,6 +217,7 @@ pub fn run_experiment(
         data_queue_cap: loader.data_queue_cap,
         pin_memory: loader.pin_memory,
     };
+    let batch_size = loader.batch_size;
     let job = if options.materialize {
         experiment.build_materialized_with(
             &machine,
@@ -183,19 +229,62 @@ pub fn run_experiment(
     } else {
         experiment.build_with(&machine, sinks as _, None, loader, options.faults.clone())
     };
+    let mut sampler: Option<NativeSampler> = None;
     let (backend_name, report) = match options.backend {
         BackendKind::Sim => {
             let backend = SimBackend;
             (backend.name(), backend.run(job).map_err(|e| e.to_string())?)
         }
         BackendKind::Native => {
-            let backend = NativeBackend::new(NativeOptions {
+            let mut backend = NativeBackend::new(NativeOptions {
                 status_check: options.status_check,
                 emulate_gpu: options.emulate_gpu,
             });
+            if options.profile {
+                let mut s = NativeSampler::new(SamplerConfig::default());
+                s.start();
+                backend = backend.with_feed(Arc::clone(s.feed()));
+                sampler = Some(s);
+            }
             (backend.name(), backend.run(job).map_err(|e| e.to_string())?)
         }
     };
+    // Profiler gauges must land in the registry before the snapshot is
+    // taken so the exporters and `lotus top` see them.
+    let profile = sampler.map(|mut s| {
+        s.stop();
+        s.gauges_into(&registry);
+        let per_op = s.feed().per_op_function_totals(&machine);
+        let attribution = mapping_from_native(&per_op);
+        let agreement =
+            matches!(experiment.pipeline, PipelineKind::ImageClassification).then(|| {
+                let sim = build_ic_mapping_for_batch(
+                    &machine,
+                    IsolationConfig {
+                        runs_override: Some(60),
+                        ..IsolationConfig::default()
+                    },
+                    batch_size,
+                );
+                top_k_agreement(&sim, &attribution, 3)
+            });
+        let ticks = s.ticks();
+        let overhead = s.overhead();
+        let elapsed_s = report.elapsed.as_secs_f64();
+        ProfileReport {
+            overhead,
+            overhead_fraction: if elapsed_s > 0.0 {
+                overhead.as_secs_f64() / elapsed_s
+            } else {
+                0.0
+            },
+            kernel_samples: s.feed().len(),
+            ticks: ticks.len(),
+            rss_peak_kb: ticks.iter().map(|t| t.rss_kb).max().unwrap_or(0),
+            attribution,
+            agreement,
+        }
+    });
     let measurement = TrialMeasurement {
         elapsed: report.elapsed,
         batches: report.batches,
@@ -210,6 +299,7 @@ pub fn run_experiment(
         measurement,
         scorecard,
         trace,
+        profile,
     })
 }
 
@@ -249,8 +339,8 @@ pub fn bench_report(preset: &str, experiment: &ExperimentConfig, outcome: &RunOu
     let (_, wait_p50, wait_p99, t2_s) = hist(names::T2_WAIT);
     let (_, _, _, t3_s) = hist(names::T3_OP);
     let card = &outcome.scorecard;
-    Value(Content::Map(vec![
-        ("schema".into(), Content::Str("lotus-bench-v1".into())),
+    let mut doc = vec![
+        ("schema".into(), Content::Str("lotus-bench-v2".into())),
         ("preset".into(), Content::Str(preset.into())),
         ("backend".into(), Content::Str(outcome.backend.into())),
         ("fingerprint".into(), Content::Str(experiment.fingerprint())),
@@ -291,7 +381,33 @@ pub fn bench_report(preset: &str, experiment: &ExperimentConfig, outcome: &RunOu
             "verdict_family".into(),
             Content::Str(verdict_family(card).into()),
         ),
-    ]))
+    ];
+    // v2 addition: profiler self-accounting, present only on profiled
+    // runs. `check_regression` reads none of these fields, so v1
+    // baselines and v2 reports stay mutually comparable.
+    if let Some(p) = &outcome.profile {
+        doc.push((
+            "profiler".into(),
+            Content::Map(vec![
+                ("overhead_s".into(), Content::F64(p.overhead.as_secs_f64())),
+                (
+                    "overhead_fraction".into(),
+                    Content::F64(p.overhead_fraction),
+                ),
+                (
+                    "kernel_samples".into(),
+                    Content::U64(p.kernel_samples as u64),
+                ),
+                ("sampler_ticks".into(), Content::U64(p.ticks as u64)),
+                ("rss_peak_kb".into(), Content::U64(p.rss_peak_kb)),
+                (
+                    "attribution_agrees".into(),
+                    Content::Bool(p.agreement.is_none() || p.agrees()),
+                ),
+            ]),
+        ));
+    }
+    Value(Content::Map(doc))
 }
 
 /// Compares a fresh bench report against a committed baseline and fails
@@ -395,6 +511,82 @@ mod tests {
         // Preset mismatch is refused.
         let other = bench_report("ac", &experiment, &outcome);
         assert!(check_regression(&report, &other, 0.2).is_err());
+    }
+
+    #[test]
+    fn profiled_native_run_attributes_kernels_and_cross_validates() {
+        let mut experiment =
+            ExperimentConfig::paper_default(PipelineKind::ImageClassification).scaled_to(16);
+        experiment.batch_size = 8;
+        let mut options = RunOptions::native();
+        options.profile = true;
+        options.emulate_gpu = false;
+        let outcome = run_experiment(&experiment, &options).unwrap();
+        let profile = outcome.profile.as_ref().expect("profiled run has a report");
+        assert!(profile.kernel_samples > 0, "feed observed no kernels");
+        assert!(profile.ticks > 0, "sampler took no ticks");
+        let loader = profile
+            .attribution
+            .functions_for("Loader")
+            .expect("Loader attributed");
+        assert!(loader.contains("decode_mcu"), "{loader:?}");
+        assert!(
+            profile.agrees(),
+            "sim-vs-native attribution disagreed: {:?}",
+            profile.agreement
+        );
+        // Sampler gauges landed in the snapshot the exporters read.
+        assert!(
+            outcome
+                .measurement
+                .snapshot
+                .gauges
+                .keys()
+                .any(|k| k.starts_with("sampler_")),
+            "sampler gauges missing from the metrics snapshot"
+        );
+        // The v2 bench report self-accounts the profiler.
+        let report = bench_report("ic", &experiment, &outcome);
+        assert_eq!(
+            report.get("schema").and_then(Value::as_str),
+            Some("lotus-bench-v2")
+        );
+        let prof = report.get("profiler").expect("profiler block present");
+        assert!(prof
+            .get("overhead_s")
+            .and_then(Value::as_f64)
+            .is_some_and(|s| s >= 0.0));
+    }
+
+    #[test]
+    fn unprofiled_runs_carry_no_profiler_block() {
+        let experiment = small_ic();
+        let outcome = run_experiment(&experiment, &RunOptions::sim()).unwrap();
+        assert!(outcome.profile.is_none());
+        let report = bench_report("ic", &experiment, &outcome);
+        assert!(report.get("profiler").is_none());
+    }
+
+    #[test]
+    fn regression_gate_tolerates_schema_and_profiler_field_drift() {
+        // A v2 report (with the profiler block) vs a v1 baseline
+        // (without): the gate reads only preset/backend/throughput, so
+        // both directions compare cleanly.
+        let current: Value = serde_json::from_str(
+            r#"{"schema":"lotus-bench-v2","preset":"ic","backend":"native",
+                "throughput_samples_per_s":9.5,
+                "profiler":{"overhead_s":0.01,"overhead_fraction":0.002}}"#,
+        )
+        .unwrap();
+        let baseline: Value = serde_json::from_str(
+            r#"{"schema":"lotus-bench-v1","preset":"ic","backend":"native",
+                "throughput_samples_per_s":10.0}"#,
+        )
+        .unwrap();
+        check_regression(&current, &baseline, 0.2).unwrap();
+        check_regression(&baseline, &current, 0.2).unwrap();
+        let err = check_regression(&current, &baseline, 0.01).unwrap_err();
+        assert!(err.contains("regression"), "unexpected error: {err}");
     }
 
     #[test]

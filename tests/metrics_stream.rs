@@ -242,6 +242,71 @@ fn each_sink_self_accounts_its_overhead() {
 }
 
 #[test]
+fn sampler_gauges_export_with_escaped_thread_labels() {
+    let registry = MetricsRegistry::new();
+    // Thread names out of /proc/self/task/*/comm can carry dots,
+    // slashes and backslashes (e.g. "tokio.rt/w-0"); they must land
+    // inside the label VALUE — escaped where the exposition format
+    // demands — and never split the family name.
+    for name in ["dataloader0", "tokio.rt/w-0", "io\\wq-1"] {
+        registry.set_gauge(&format!("sampler_thread_cpu_ns.{name}"), Time::ZERO, 1e6);
+        registry.set_gauge(
+            &format!("sampler_ctx_switches_voluntary.{name}"),
+            Time::ZERO,
+            2.0,
+        );
+        registry.set_gauge(
+            &format!("sampler_ctx_switches_involuntary.{name}"),
+            Time::ZERO,
+            3.0,
+        );
+    }
+    registry.set_gauge("sampler_rss_kb", Time::ZERO, 2048.0);
+    let text = to_prometheus(&registry.snapshot());
+    assert!(text.contains("lotus_sampler_thread_cpu_ns{thread=\"dataloader0\"} 1000000"));
+    assert!(text.contains("lotus_sampler_thread_cpu_ns{thread=\"tokio.rt/w-0\"} 1000000"));
+    assert!(text.contains("lotus_sampler_ctx_switches_voluntary{thread=\"io\\\\wq-1\"} 2"));
+    assert!(text.contains("lotus_sampler_rss_kb 2048"));
+    for family in [
+        "sampler_thread_cpu_ns",
+        "sampler_ctx_switches_voluntary",
+        "sampler_ctx_switches_involuntary",
+        "sampler_rss_kb",
+    ] {
+        assert_eq!(
+            text.matches(&format!("# TYPE lotus_{family} gauge"))
+                .count(),
+            1,
+            "exactly one TYPE line for {family}"
+        );
+    }
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn real_sampler_ticks_flow_through_the_prometheus_exporter() {
+    use lotus::profilers::{NativeSampler, SamplerConfig};
+
+    let mut sampler = NativeSampler::new(SamplerConfig {
+        tick: Span::from_millis(2),
+    });
+    sampler.start();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    sampler.stop();
+    let registry = MetricsRegistry::new();
+    sampler.gauges_into(&registry);
+    let text = to_prometheus(&registry.snapshot());
+    assert!(
+        text.contains("lotus_sampler_rss_kb"),
+        "RSS gauge exported: {text}"
+    );
+    assert!(
+        text.contains("lotus_sampler_thread_cpu_ns{thread=\""),
+        "per-thread CPU gauges labelled by thread: {text}"
+    );
+}
+
+#[test]
 fn dashboard_renders_queue_depth_utilization_and_throughput() {
     let run = streamed_run(mid_epoch_kill()).expect("faulty run");
     let out = render_dashboard(&run.registry.snapshot(), DashboardOptions { width: 32 });
