@@ -18,6 +18,10 @@
 //!   queue-served waits to their end).
 //! * **orphan-instant** — `BatchRedispatched` requires an earlier
 //!   `WorkerDied`.
+//! * **storage-containment** — each `StorageRead` span lies inside a
+//!   `BatchPreprocessed` span of the same (pid, batch), when that fetch
+//!   is present (a worker that died mid-fetch leaves reads with no
+//!   enclosing span; those are tolerated).
 //! * **report** (when [`ReportFacts`] are supplied) — consumed-batch
 //!   count matches the job report and no record extends past the reported
 //!   elapsed time; with a report the trace is also required to be
@@ -100,6 +104,8 @@ pub enum LintRule {
     AccountingIdentity,
     /// Instants that require a preceding cause (redispatch after death).
     OrphanInstant,
+    /// Storage reads outside their issuing fetch span.
+    StorageContainment,
     /// Trace-vs-JobReport agreement.
     Report,
     /// Gauge series out of their configured bounds.
@@ -113,6 +119,7 @@ impl fmt::Display for LintRule {
             LintRule::TrackMonotonicity => "track-monotonicity",
             LintRule::AccountingIdentity => "accounting-identity",
             LintRule::OrphanInstant => "orphan-instant",
+            LintRule::StorageContainment => "storage-containment",
             LintRule::Report => "report",
             LintRule::GaugeBounds => "gauge-bounds",
         })
@@ -152,6 +159,7 @@ pub struct ReportFacts {
 
 fn track(kind: &SpanKind) -> &'static str {
     match kind {
+        SpanKind::StorageRead(_) => "storage",
         SpanKind::Op(_) => "op",
         SpanKind::BatchPreprocessed => "preprocessed",
         SpanKind::BatchWait => "wait",
@@ -197,7 +205,7 @@ pub fn lint_records(records: &[TraceRecord], report: Option<&ReportFacts>) -> Ve
                 }
             }
             SpanKind::WorkerDied => died_before = true,
-            SpanKind::Op(_) | SpanKind::FaultInjected(_) => {}
+            SpanKind::Op(_) | SpanKind::FaultInjected(_) | SpanKind::StorageRead(_) => {}
         }
     }
 
@@ -327,6 +335,39 @@ pub fn lint_records(records: &[TraceRecord], report: Option<&ReportFacts>) -> Ve
                     });
                 }
             }
+        }
+    }
+
+    // Storage containment: a read lies inside the fetch that issued it —
+    // the same (pid, batch) BatchPreprocessed span — when such a fetch is
+    // present. Reads whose fetch never completed (the worker died mid-
+    // batch) have no enclosing span and are tolerated.
+    let mut fetch_spans: BTreeMap<(u32, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    for r in records {
+        if r.kind == SpanKind::BatchPreprocessed {
+            fetch_spans
+                .entry((r.pid, r.batch_id))
+                .or_default()
+                .push((r.start.as_nanos(), r.end().as_nanos()));
+        }
+    }
+    for r in records {
+        let SpanKind::StorageRead(ref tier) = r.kind else {
+            continue;
+        };
+        let Some(spans) = fetch_spans.get(&(r.pid, r.batch_id)) else {
+            continue;
+        };
+        let (s, e) = (r.start.as_nanos(), r.end().as_nanos());
+        if !spans.iter().any(|&(fs, fe)| s >= fs && e <= fe) {
+            findings.push(LintFinding {
+                rule: LintRule::StorageContainment,
+                batch_id: Some(r.batch_id),
+                message: format!(
+                    "{tier} read [{s}ns, {e}ns] on pid {} escapes its BatchPreprocessed span",
+                    r.pid
+                ),
+            });
         }
     }
 
@@ -557,6 +598,49 @@ mod tests {
         assert!(!lint_records(&with_death, None)
             .iter()
             .any(|x| x.rule == LintRule::OrphanInstant));
+    }
+
+    #[test]
+    fn storage_reads_must_nest_inside_their_fetch() {
+        let mut records = healthy();
+        // Contained read: inside worker 4243's [0, 1000] fetch of batch 0.
+        records.push(span(
+            SpanKind::StorageRead("object-store".into()),
+            4243,
+            0,
+            100,
+            300,
+        ));
+        assert!(
+            lint_records(&records, None).is_empty(),
+            "contained read must lint clean"
+        );
+
+        // Escaping read: extends past the fetch end.
+        records.push(span(
+            SpanKind::StorageRead("local-disk".into()),
+            4243,
+            0,
+            900,
+            400,
+        ));
+        let f = lint_records(&records, None);
+        assert!(f
+            .iter()
+            .any(|x| x.rule == LintRule::StorageContainment && x.message.contains("local-disk")));
+
+        // A read with no fetch by its (pid, batch) is tolerated — the
+        // worker may have died mid-batch.
+        let orphan = vec![span(
+            SpanKind::StorageRead("object-store".into()),
+            4250,
+            9,
+            0,
+            100,
+        )];
+        assert!(!lint_records(&orphan, None)
+            .iter()
+            .any(|x| x.rule == LintRule::StorageContainment));
     }
 
     #[test]

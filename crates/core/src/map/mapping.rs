@@ -4,6 +4,8 @@ use std::collections::BTreeMap;
 
 use serde::{Content, Deserialize, Serialize};
 
+use super::storage::StorageAttribution;
+
 /// One native function bucketed under a Python operation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MappedFunction {
@@ -61,6 +63,11 @@ impl OpMapping {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Mapping {
     ops: BTreeMap<String, OpMapping>,
+    /// Storage-side attribution for the run the mapping came from, when
+    /// the run modeled a storage hierarchy. Optional and tolerated when
+    /// absent, so mappings written before the storage tier existed still
+    /// parse.
+    storage: Option<StorageAttribution>,
 }
 
 // The vendored serde stub has no derive macro, so the three mapping types
@@ -127,7 +134,13 @@ impl Deserialize for OpMapping {
 
 impl Serialize for Mapping {
     fn serialize_content(&self) -> Content {
-        Content::Map(vec![("ops".to_string(), self.ops.serialize_content())])
+        let mut fields = vec![("ops".to_string(), self.ops.serialize_content())];
+        // Emitted only when present: artifacts from runs without a storage
+        // model stay byte-identical to the pre-storage format.
+        if let Some(storage) = &self.storage {
+            fields.push(("storage".to_string(), storage.serialize_content()));
+        }
+        Content::Map(fields)
     }
 }
 
@@ -136,8 +149,13 @@ impl Deserialize for Mapping {
         let ops = content
             .get_field("ops")
             .ok_or("Mapping missing field `ops`")?;
+        let storage = match content.get_field("storage") {
+            None | Some(Content::Null) => None,
+            Some(s) => Some(StorageAttribution::deserialize_content(s)?),
+        };
         Ok(Mapping {
             ops: BTreeMap::deserialize_content(ops)?,
+            storage,
         })
     }
 }
@@ -178,6 +196,18 @@ impl Mapping {
             .collect()
     }
 
+    /// Attaches the storage-side attribution of the run the mapping was
+    /// built from.
+    pub fn set_storage(&mut self, storage: StorageAttribution) {
+        self.storage = Some(storage);
+    }
+
+    /// The storage-side attribution, if the run modeled storage.
+    #[must_use]
+    pub fn storage(&self) -> Option<&StorageAttribution> {
+        self.storage.as_ref()
+    }
+
     /// Number of mapped operations.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -206,6 +236,10 @@ impl Mapping {
                     op, f.name, f.library, f.captured_runs, f.total_runs, f.samples
                 ));
             }
+        }
+        if let Some(storage) = &self.storage {
+            out.push('\n');
+            out.push_str(&storage.to_table_string());
         }
         out
     }
@@ -294,6 +328,37 @@ mod tests {
         });
         let parsed = Mapping::from_json(&m.to_json()).unwrap();
         assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn storage_attribution_rides_along_and_old_json_still_parses() {
+        use crate::map::{StorageAttribution, TierUsage};
+
+        let mut m = Mapping::new();
+        m.insert(OpMapping {
+            op: "Loader".into(),
+            functions: vec![f("decode_mcu", 20, 300)],
+        });
+        // Pre-storage artifacts (no `storage` key) parse to None.
+        let legacy_json = m.to_json();
+        assert!(!legacy_json.contains("\"storage\""));
+        let legacy = Mapping::from_json(&legacy_json).unwrap();
+        assert!(legacy.storage().is_none());
+
+        m.set_storage(StorageAttribution {
+            tiers: vec![TierUsage {
+                tier: "object-store".into(),
+                reads: 9,
+                bytes: 9 << 16,
+                t0_ns: 45_000_000,
+            }],
+            seeks: 0,
+            max_queue_depth: 3,
+        });
+        let parsed = Mapping::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.storage().unwrap().total_reads(), 9);
+        assert!(m.to_table_string().contains("object-store"));
     }
 
     #[test]

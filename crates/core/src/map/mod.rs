@@ -5,8 +5,10 @@ mod isolate;
 mod mapping;
 mod native;
 mod split;
+mod storage;
 
 pub use isolate::{required_runs, IsolationConfig, OpIsolator};
 pub use mapping::{MappedFunction, Mapping, OpMapping};
 pub use native::{mapping_from_native, top_k_agreement, OpAgreement};
 pub use split::{relevant_functions, split_metrics, split_metrics_mix_aware, OpHardwareProfile};
+pub use storage::{StorageAttribution, TierUsage};

@@ -176,6 +176,62 @@ pub fn render_dashboard(snapshot: &MetricsSnapshot, options: DashboardOptions) -
         }
     }
 
+    // Storage tier: per-tier read/byte counters, seek totals, the T0
+    // latency summary, and queue-depth sparklines. Present only when the
+    // run modeled a storage hierarchy.
+    let reads_prefix = "storage_reads_total.";
+    let tiers: Vec<&String> = snapshot
+        .counters
+        .keys()
+        .filter(|name| name.starts_with(reads_prefix))
+        .collect();
+    if !tiers.is_empty() {
+        let _ = writeln!(out, "\nstorage");
+        let label_w = tiers
+            .iter()
+            .map(|n| n.len() - reads_prefix.len())
+            .max()
+            .unwrap_or(0);
+        for name in &tiers {
+            let tier = &name[reads_prefix.len()..];
+            let reads = snapshot.counters.get(*name).copied().unwrap_or(0);
+            let bytes = snapshot
+                .counters
+                .get(&names::storage_bytes(tier))
+                .copied()
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {tier:<label_w$}  {reads} reads  {:.1} MiB",
+                bytes as f64 / (1024.0 * 1024.0),
+            );
+            if let Some(series) = snapshot.gauges.get(&names::storage_queue_depth(tier)) {
+                let _ = writeln!(
+                    out,
+                    "  {:<label_w$}  {}  depth now {:.0}  max {:.0}",
+                    "",
+                    sparkline(series, horizon, width),
+                    series.last().unwrap_or(0.0),
+                    series.max(),
+                );
+            }
+        }
+        let seeks = snapshot
+            .counters
+            .get(names::STORAGE_SEEKS)
+            .copied()
+            .unwrap_or(0);
+        if let Some(h) = snapshot.histograms.get(names::T0_STORAGE) {
+            let _ = writeln!(
+                out,
+                "  t0 fetch: p50 {:.2}ms  p99 {:.2}ms  n={}  seeks {seeks}",
+                h.p50_ns / 1e6,
+                h.p99_ns / 1e6,
+                h.count,
+            );
+        }
+    }
+
     // Throughput and latency.
     let consumed = snapshot
         .counters
@@ -289,6 +345,35 @@ mod tests {
         assert!(out.contains("dataloader0"));
         assert!(out.contains("2.0ms on-CPU"));
         assert!(out.contains("rss now 24000 kB  peak 24000 kB"));
+    }
+
+    #[test]
+    fn dashboard_shows_storage_section_when_tiers_present() {
+        let r = MetricsRegistry::new();
+        r.inc_counter(&names::storage_reads("object-store"), 12);
+        r.inc_counter(&names::storage_bytes("object-store"), 3 * 1024 * 1024);
+        r.inc_counter(names::STORAGE_SEEKS, 4);
+        r.set_gauge(
+            &names::storage_queue_depth("object-store"),
+            Time::from_nanos(5_000_000),
+            2.0,
+        );
+        r.record_latency(names::T0_STORAGE, lotus_sim::Span::from_millis(5));
+        let out = render_dashboard(&r.snapshot(), DashboardOptions { width: 8 });
+        assert!(out.contains("\nstorage\n"), "storage section header: {out}");
+        assert!(out.contains("object-store"));
+        assert!(out.contains("12 reads  3.0 MiB"));
+        assert!(out.contains("depth now 2  max 2"));
+        assert!(out.contains("t0 fetch: p50 5.00ms"));
+        assert!(out.contains("seeks 4"));
+    }
+
+    #[test]
+    fn dashboard_without_storage_omits_the_section() {
+        let r = MetricsRegistry::new();
+        r.inc_counter(names::BATCHES_CONSUMED, 1);
+        let out = render_dashboard(&r.snapshot(), DashboardOptions::default());
+        assert!(!out.contains("\nstorage\n"));
     }
 
     #[test]

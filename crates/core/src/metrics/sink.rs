@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use lotus_dataflow::Tracer;
-use lotus_sim::{Span, Time};
+use lotus_sim::{ReadOutcome, Span, Time};
 
 use super::registry::MetricsRegistry;
 use crate::trace::{LotusTrace, SpanKind, TraceRecord};
@@ -61,6 +61,8 @@ pub mod names {
     /// (`queue_depth.data_queue`, `queue_depth.index_queue_0`, …).
     pub const QUEUE_DEPTH_PREFIX: &str = "queue_depth.";
 
+    /// Histogram: per-read storage fetch latency (\[T0\]).
+    pub const T0_STORAGE: &str = "t0_storage_read_ns";
     /// Histogram: per-batch fetch latency (\[T1\]).
     pub const T1_FETCH: &str = "t1_batch_fetch_ns";
     /// Histogram: main-process wait latency (\[T2\]).
@@ -70,10 +72,34 @@ pub mod names {
     /// Histogram: shared-queue residency of delivered batches.
     pub const QUEUE_DELAY: &str = "queue_delay_ns";
 
+    /// Counter: storage reads that required a device seek.
+    pub const STORAGE_SEEKS: &str = "storage_seeks_total";
+
     /// Counter name for a worker's cumulative busy (fetch) nanoseconds.
     #[must_use]
     pub fn worker_busy(pid: u32) -> String {
         format!("worker_busy_ns.{pid}")
+    }
+
+    /// Counter name for reads served by a storage tier
+    /// (`storage_reads_total.page-cache`, …).
+    #[must_use]
+    pub fn storage_reads(tier: &str) -> String {
+        format!("storage_reads_total.{tier}")
+    }
+
+    /// Counter name for bytes served by a storage tier
+    /// (`storage_bytes_total.object-store`, …).
+    #[must_use]
+    pub fn storage_bytes(tier: &str) -> String {
+        format!("storage_bytes_total.{tier}")
+    }
+
+    /// Gauge name for a backing device's observed queue depth
+    /// (`storage_queue_depth.local-disk`, …).
+    #[must_use]
+    pub fn storage_queue_depth(tier: &str) -> String {
+        format!("storage_queue_depth.{tier}")
     }
 }
 
@@ -96,6 +122,18 @@ pub enum TraceEvent<'a> {
         start: Time,
         /// Span duration.
         dur: Span,
+    },
+    /// A dataset storage read completed on a worker (\[T0\]).
+    StorageRead {
+        /// Emitting worker pid.
+        pid: u32,
+        /// Batch being fetched.
+        batch_id: u64,
+        /// Read start (request issue).
+        start: Time,
+        /// The storage hierarchy's full account of the read (tier, span,
+        /// bytes, seek, observed queue depth).
+        read: ReadOutcome,
     },
     /// A worker finished fetching a whole batch (\[T1\]).
     BatchPreprocessed {
@@ -195,6 +233,20 @@ impl TraceEvent<'_> {
                 batch_id,
                 start,
                 dur,
+                false,
+                Span::ZERO,
+            ),
+            TraceEvent::StorageRead {
+                pid,
+                batch_id,
+                start,
+                read,
+            } => (
+                SpanKind::StorageRead(read.tier.as_str().to_string()),
+                pid,
+                batch_id,
+                start,
+                read.span,
                 false,
                 Span::ZERO,
             ),
@@ -329,6 +381,12 @@ impl TraceSink for LotusTrace {
                 start,
                 dur,
             } => self.on_op(pid, batch_id, name, start, dur),
+            TraceEvent::StorageRead {
+                pid,
+                batch_id,
+                start,
+                ref read,
+            } => self.on_storage_read(pid, batch_id, start, read),
             TraceEvent::BatchPreprocessed {
                 pid,
                 batch_id,
@@ -444,6 +502,22 @@ impl TraceSink for MetricsSink {
             TraceEvent::Op { dur, .. } => {
                 r.inc_counter(names::OPS, 1);
                 r.record_latency(names::T3_OP, dur);
+            }
+            TraceEvent::StorageRead {
+                start, ref read, ..
+            } => {
+                let tier = read.tier.as_str();
+                r.inc_counter(&names::storage_reads(tier), 1);
+                r.inc_counter(&names::storage_bytes(tier), read.bytes);
+                if read.seek {
+                    r.inc_counter(names::STORAGE_SEEKS, 1);
+                }
+                r.record_latency(names::T0_STORAGE, read.span);
+                r.set_gauge(
+                    &names::storage_queue_depth(tier),
+                    start + read.span,
+                    f64::from(read.queue_depth),
+                );
             }
             TraceEvent::BatchPreprocessed { pid, dur, .. } => {
                 r.inc_counter(names::BATCHES_PRODUCED, 1);
@@ -704,6 +778,15 @@ impl Tracer for MultiSink {
         })
     }
 
+    fn on_storage_read(&self, pid: u32, batch_id: u64, start: Time, read: &ReadOutcome) -> Span {
+        self.fan_out(&TraceEvent::StorageRead {
+            pid,
+            batch_id,
+            start,
+            read: *read,
+        })
+    }
+
     fn on_batch_preprocessed(&self, pid: u32, batch_id: u64, start: Time, dur: Span) -> Span {
         self.fan_out(&TraceEvent::BatchPreprocessed {
             pid,
@@ -874,6 +957,61 @@ mod tests {
         // is free), all self-accounted.
         assert_eq!(charged, MetricsSink::DEFAULT_PER_EVENT_OVERHEAD * 4);
         assert_eq!(sink.overhead(), charged);
+    }
+
+    #[test]
+    fn storage_reads_fold_into_per_tier_metrics_and_records() {
+        let event = TraceEvent::StorageRead {
+            pid: 4243,
+            batch_id: 2,
+            start: Time::from_nanos(1_000),
+            read: ReadOutcome {
+                tier: lotus_sim::StorageTier::LocalDisk,
+                span: Span::from_micros(700),
+                bytes: 131_072,
+                seek: true,
+                queue_depth: 3,
+            },
+        };
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), 2);
+        let _ = sink.on_event(&event);
+        assert_eq!(registry.counter(&names::storage_reads("local-disk")), 1);
+        assert_eq!(
+            registry.counter(&names::storage_bytes("local-disk")),
+            131_072
+        );
+        assert_eq!(registry.counter(names::STORAGE_SEEKS), 1);
+        assert_eq!(registry.latency_summary_ms(names::T0_STORAGE).count, 1);
+        assert_eq!(
+            registry
+                .gauge(&names::storage_queue_depth("local-disk"))
+                .unwrap()
+                .last(),
+            Some(3.0)
+        );
+
+        let record = event.to_record().unwrap();
+        assert_eq!(record.kind, SpanKind::StorageRead("local-disk".into()));
+        assert_eq!(record.duration, Span::from_micros(700));
+        assert_eq!(record.batch_id, 2);
+
+        // The fan-out delivers the hook to log sinks too.
+        let trace = Arc::new(LotusTrace::new());
+        let multi = MultiSink::new().with(Arc::clone(&trace) as Arc<dyn TraceSink>);
+        let read = ReadOutcome {
+            tier: lotus_sim::StorageTier::PageCache,
+            span: Span::from_micros(2),
+            bytes: 4_096,
+            seek: false,
+            queue_depth: 0,
+        };
+        let _ = multi.on_storage_read(4243, 0, Time::ZERO, &read);
+        assert_eq!(
+            trace.records()[0].kind,
+            SpanKind::StorageRead("page-cache".into())
+        );
     }
 
     #[test]

@@ -96,8 +96,9 @@ impl BatchTimeline {
 pub fn batch_timelines(records: &[TraceRecord]) -> Vec<BatchTimeline> {
     let mut map: BTreeMap<u64, BatchTimeline> = BTreeMap::new();
     for r in records {
-        if matches!(r.kind, SpanKind::Op(_)) || r.kind.is_instant() {
-            continue; // per-item ops and fault marks are not batch spans
+        if matches!(r.kind, SpanKind::Op(_) | SpanKind::StorageRead(_)) || r.kind.is_instant() {
+            continue; // per-item ops, storage reads and fault marks are
+                      // not batch spans
         }
         let entry = map.entry(r.batch_id).or_insert_with(|| BatchTimeline {
             batch_id: r.batch_id,
@@ -289,10 +290,11 @@ pub fn total_preprocess_cpu(records: &[TraceRecord]) -> Span {
         .sum()
 }
 
-/// The three stages a \[T3\] operation can belong to, with their total
-/// elapsed times: the `Loader` source fetch (I/O + decode), the transform
-/// chain, and the final `C(n)` collation. The `lotus tune` bottleneck
-/// attribution is built on these shares.
+/// The stages a per-item span can belong to, with their total elapsed
+/// times: the \[T0\] storage fetch, the `Loader` source work net of
+/// storage (decode + Python dispatch), the transform chain, and the final
+/// `C(n)` collation. The `lotus tune` bottleneck attribution is built on
+/// these shares.
 ///
 /// # Examples
 ///
@@ -301,6 +303,7 @@ pub fn total_preprocess_cpu(records: &[TraceRecord]) -> Span {
 /// use lotus_sim::Span;
 ///
 /// let totals = OpClassTotals {
+///     storage: Span::ZERO,
 ///     load: Span::from_millis(10),
 ///     transform: Span::from_millis(70),
 ///     collate: Span::from_millis(20),
@@ -311,7 +314,13 @@ pub fn total_preprocess_cpu(records: &[TraceRecord]) -> Span {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpClassTotals {
-    /// Total elapsed time of `Loader` ops (source fetch: I/O + decode).
+    /// Total elapsed time of storage reads (\[T0\]). Storage waits happen
+    /// *inside* the `Loader` span, so this share has already been
+    /// subtracted out of [`OpClassTotals::load`] — the four classes are
+    /// disjoint and sum to the full per-item time.
+    pub storage: Span,
+    /// Total elapsed time of `Loader` ops net of storage reads (decode +
+    /// dataset dispatch).
     pub load: Span,
     /// Total elapsed time of transform ops (everything that is neither
     /// the `Loader` nor a collate).
@@ -321,14 +330,15 @@ pub struct OpClassTotals {
 }
 
 impl OpClassTotals {
-    /// Sum over all three classes.
+    /// Sum over all four classes.
     #[must_use]
     pub fn total(&self) -> Span {
-        self.load + self.transform + self.collate
+        self.storage + self.load + self.transform + self.collate
     }
 
-    /// The dominant class as `("load" | "transform" | "collate", share)`,
-    /// with `share` in `[0, 1]`. `None` when no op time was recorded.
+    /// The dominant class as
+    /// `("storage" | "load" | "transform" | "collate", share)`, with
+    /// `share` in `[0, 1]`. `None` when no op time was recorded.
     #[must_use]
     pub fn dominant(&self) -> Option<(&'static str, f64)> {
         let total = self.total().as_nanos();
@@ -336,6 +346,7 @@ impl OpClassTotals {
             return None;
         }
         let classes = [
+            ("storage", self.storage),
             ("load", self.load),
             ("transform", self.transform),
             ("collate", self.collate),
@@ -345,23 +356,80 @@ impl OpClassTotals {
             .max_by_key(|(_, s)| s.as_nanos())
             .map(|&(name, s)| (name, s.as_nanos() as f64 / total as f64))
     }
+
+    /// The \[T0\] share of the total per-item time, in `[0, 1]` (zero for
+    /// an empty log).
+    #[must_use]
+    pub fn storage_fraction(&self) -> f64 {
+        let total = self.total().as_nanos();
+        if total == 0 {
+            return 0.0;
+        }
+        self.storage.as_nanos() as f64 / total as f64
+    }
 }
 
-/// Buckets per-operation elapsed time into the three pipeline stages:
-/// `Loader` ops are the source fetch, `C(n)` ops are collation, and
-/// everything else is the transform chain.
+/// Buckets per-item elapsed time into the pipeline stages: `StorageRead`
+/// spans are the \[T0\] fetch, `Loader` ops are the source work (their
+/// storage wait subtracted, since reads nest inside the `Loader` span),
+/// `C(n)` ops are collation, and everything else is the transform chain.
 #[must_use]
 pub fn op_class_totals(records: &[TraceRecord]) -> OpClassTotals {
     let mut totals = OpClassTotals::default();
     for r in records {
-        if let SpanKind::Op(name) = &r.kind {
-            if name == "Loader" {
-                totals.load += r.duration;
-            } else if name.starts_with("C(") && name.ends_with(')') {
-                totals.collate += r.duration;
-            } else {
-                totals.transform += r.duration;
+        match &r.kind {
+            SpanKind::StorageRead(_) => totals.storage += r.duration,
+            SpanKind::Op(name) => {
+                if name == "Loader" {
+                    totals.load += r.duration;
+                } else if name.starts_with("C(") && name.ends_with(')') {
+                    totals.collate += r.duration;
+                } else {
+                    totals.transform += r.duration;
+                }
             }
+            _ => {}
+        }
+    }
+    // Storage waits happen inside the Loader span; make the classes
+    // disjoint so shares sum to 1.
+    totals.load = totals.load.saturating_sub(totals.storage);
+    totals
+}
+
+/// Total \[T0\] elapsed time per serving tier, keyed by the tier's stable
+/// name (`page-cache` / `local-disk` / `object-store`).
+///
+/// # Examples
+///
+/// ```
+/// use lotus_core::trace::analysis::storage_tier_totals;
+/// use lotus_core::trace::{SpanKind, TraceRecord};
+/// use lotus_sim::{Span, Time};
+///
+/// let read = |tier: &str, dur_us: u64| TraceRecord {
+///     kind: SpanKind::StorageRead(tier.to_string()),
+///     pid: 4243,
+///     batch_id: 0,
+///     start: Time::ZERO,
+///     duration: Span::from_micros(dur_us),
+///     out_of_order: false,
+///     queue_delay: Span::ZERO,
+/// };
+/// let totals = storage_tier_totals(&[
+///     read("object-store", 5_000),
+///     read("page-cache", 2),
+///     read("object-store", 4_000),
+/// ]);
+/// assert_eq!(totals["object-store"], Span::from_micros(9_000));
+/// assert_eq!(totals["page-cache"], Span::from_micros(2));
+/// ```
+#[must_use]
+pub fn storage_tier_totals(records: &[TraceRecord]) -> BTreeMap<String, Span> {
+    let mut totals: BTreeMap<String, Span> = BTreeMap::new();
+    for r in records {
+        if let SpanKind::StorageRead(tier) = &r.kind {
+            *totals.entry(tier.clone()).or_insert(Span::ZERO) += r.duration;
         }
     }
     totals
@@ -464,6 +532,34 @@ mod tests {
         assert_eq!(name, "load");
         assert!(share > 0.9);
         assert_eq!(op_class_totals(&[]).dominant(), None);
+    }
+
+    #[test]
+    fn storage_reads_split_out_of_the_loader_share() {
+        let mut log = sample_log();
+        // 15 ms of the 20 ms Loader time was actually storage wait.
+        log.push(rec(
+            SpanKind::StorageRead("object-store".into()),
+            0,
+            0,
+            15_000_000,
+        ));
+        let classes = op_class_totals(&log);
+        assert_eq!(classes.storage.as_nanos(), 15_000_000);
+        assert_eq!(classes.load.as_nanos(), 5_000_000);
+        // Total is unchanged: storage was carved out of load, not added.
+        assert_eq!(classes.total().as_nanos(), 20_050_000);
+        let (name, share) = classes.dominant().unwrap();
+        assert_eq!(name, "storage");
+        assert!(share > 0.7);
+        assert!((classes.storage_fraction() - share).abs() < 1e-12);
+
+        let tiers = storage_tier_totals(&log);
+        assert_eq!(tiers.len(), 1);
+        assert_eq!(tiers["object-store"], Span::from_nanos(15_000_000));
+
+        // Storage reads never create phantom batch timelines.
+        assert_eq!(batch_timelines(&log).len(), 2);
     }
 
     #[test]

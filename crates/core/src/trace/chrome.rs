@@ -34,7 +34,7 @@ pub fn to_chrome_trace(records: &[TraceRecord], options: ChromeTraceOptions) -> 
     };
 
     for r in records {
-        if options.coarse && matches!(r.kind, SpanKind::Op(_)) {
+        if options.coarse && matches!(r.kind, SpanKind::Op(_) | SpanKind::StorageRead(_)) {
             continue;
         }
         if r.kind.is_instant() {

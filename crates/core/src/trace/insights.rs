@@ -8,14 +8,28 @@ use std::fmt;
 
 use lotus_sim::Span;
 
-use super::analysis::{batch_timelines, per_op_cpu_totals, BatchTimeline};
+use super::analysis::{batch_timelines, op_class_totals, per_op_cpu_totals, BatchTimeline};
 use super::record::{SpanKind, TraceRecord};
+
+/// Share of per-item time in \[T0\] storage reads above which a
+/// preprocessing-bound epoch *whose dominant op class is storage* is
+/// re-classified as storage-bound. Storage only has to be the largest of
+/// the four disjoint classes (storage/load/transform/collate), not an
+/// absolute majority, so the floor sits below 0.5: a cold object-store
+/// epoch where fetch outweighs decode is storage-bound even when the CPU
+/// classes together still sum past it.
+pub const STORAGE_BOUND_THRESHOLD: f64 = 0.35;
 
 /// Who limits the epoch's throughput.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// The main process mostly waits on preprocessing (GPU starves).
     PreprocessingBound,
+    /// The main process mostly waits on preprocessing, and most of the
+    /// workers' time goes to \[T0\] storage reads — the storage hierarchy
+    /// (cold cache, remote object store, tiny-file seeks), not CPU work,
+    /// starves the accelerator.
+    StorageBound,
     /// Preprocessed batches mostly wait on the accelerator.
     GpuBound,
     /// Neither side waits much: the pipeline is balanced.
@@ -26,6 +40,7 @@ impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Verdict::PreprocessingBound => f.write_str("preprocessing-bound"),
+            Verdict::StorageBound => f.write_str("storage-bound"),
             Verdict::GpuBound => f.write_str("GPU-bound"),
             Verdict::Balanced => f.write_str("balanced"),
         }
@@ -66,6 +81,10 @@ pub struct Insights {
     /// The operation with the largest share of preprocessing CPU, with its
     /// share in `[0, 1]`.
     pub dominant_op: Option<(String, f64)>,
+    /// Share of per-item time spent in \[T0\] storage reads, in `[0, 1]`
+    /// (zero for logs with no `StorageRead` records — native runs and
+    /// closed-form I/O).
+    pub t0_fraction: f64,
     /// Human-readable suggestions derived from the above.
     pub recommendations: Vec<String>,
 }
@@ -151,10 +170,20 @@ pub fn analyze(records: &[TraceRecord]) -> Insights {
         .map(|(name, cpu)| (name.clone(), cpu.as_secs_f64() / total_op_cpu));
 
     // Classification thresholds: a side is "the" bottleneck when its idle
-    // time dwarfs the other's by 3×; otherwise balanced.
+    // time dwarfs the other's by 3×; otherwise balanced. A
+    // preprocessing-bound epoch whose workers sit in [T0] storage waits
+    // more than in any CPU class is storage-bound: more CPU workers would
+    // just queue on the same devices.
+    let op_classes = op_class_totals(records);
+    let t0_fraction = op_classes.storage_fraction();
+    let storage_dominant = matches!(op_classes.dominant(), Some(("storage", _)));
     let (w, d) = (mean_wait.as_nanos() as f64, mean_delay.as_nanos() as f64);
     let verdict = if w > 3.0 * d.max(1.0) {
-        Verdict::PreprocessingBound
+        if storage_dominant && t0_fraction > STORAGE_BOUND_THRESHOLD {
+            Verdict::StorageBound
+        } else {
+            Verdict::PreprocessingBound
+        }
     } else if d > 3.0 * w.max(1.0) {
         Verdict::GpuBound
     } else {
@@ -163,6 +192,15 @@ pub fn analyze(records: &[TraceRecord]) -> Insights {
 
     let mut recommendations = Vec::new();
     match verdict {
+        Verdict::StorageBound => {
+            recommendations.push(format!(
+                "{:.0}% of per-item time is [T0] storage fetch: warm the page cache \
+                 (a second epoch), pack tiny files into larger records, or move the \
+                 dataset to faster/closer storage — extra workers would idle on the \
+                 same devices",
+                t0_fraction * 100.0
+            ));
+        }
         Verdict::PreprocessingBound => {
             recommendations.push(
                 "the accelerator starves waiting for batches: add DataLoader workers, \
@@ -212,6 +250,7 @@ pub fn analyze(records: &[TraceRecord]) -> Insights {
         worker_imbalance,
         gpu_busy_fraction,
         dominant_op,
+        t0_fraction,
         recommendations,
     }
 }
@@ -227,6 +266,13 @@ impl fmt::Display for Insights {
             self.ooo_fraction * 100.0,
             self.gpu_busy_fraction * 100.0
         )?;
+        if self.t0_fraction > 0.0 {
+            writeln!(
+                f,
+                "storage fetch [T0]: {:.1}% of per-item time",
+                self.t0_fraction * 100.0
+            )?;
+        }
         if let Some((op, share)) = &self.dominant_op {
             writeln!(
                 f,
@@ -326,6 +372,37 @@ mod tests {
             "{:?}",
             insights.recommendations
         );
+    }
+
+    #[test]
+    fn storage_dominated_starvation_is_storage_bound() {
+        let mut log = preprocessing_bound_log();
+        // Most of each 700 ms Loader span was actually a storage wait.
+        for b in 0..10 {
+            log.push(rec(
+                SpanKind::StorageRead("object-store".into()),
+                2,
+                b,
+                b * 1000,
+                650,
+                false,
+            ));
+        }
+        let insights = analyze(&log);
+        assert_eq!(insights.verdict, Verdict::StorageBound);
+        assert!(insights.t0_fraction > 0.5, "{}", insights.t0_fraction);
+        assert!(
+            insights
+                .recommendations
+                .iter()
+                .any(|r| r.contains("storage")),
+            "{:?}",
+            insights.recommendations
+        );
+        // Without the reads the same log is preprocessing-bound.
+        let base = analyze(&preprocessing_bound_log());
+        assert_eq!(base.verdict, Verdict::PreprocessingBound);
+        assert_eq!(base.t0_fraction, 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use lotus_dataflow::Tracer;
-use lotus_sim::{Span, Time};
+use lotus_sim::{ReadOutcome, Span, Time};
 
 use super::analysis::OpStats;
 use super::hist::LogHistogram;
@@ -103,6 +103,23 @@ impl LotusTrace {
         overhead
     }
 
+    /// [`OpLogMode::Aggregate`] path: account the record's bytes as if it
+    /// were written, then fold the duration into the named histogram.
+    fn fold_aggregate(&self, name: &str, dur: Span, record: &TraceRecord) -> Span {
+        self.log_bytes
+            .fetch_add(record.log_bytes(), Ordering::Relaxed);
+        let mut agg = self.op_aggregates.lock().expect("trace poisoned");
+        if !agg.by_name.contains_key(name) {
+            agg.order.push(name.to_string());
+            agg.by_name.insert(name.to_string(), LogHistogram::new());
+        }
+        agg.by_name
+            .get_mut(name)
+            .expect("just inserted")
+            .record(dur);
+        self.charge(self.config.per_log_overhead)
+    }
+
     /// Total virtual-time overhead this tracer has charged to the traced
     /// program so far (its own share of the Table III overhead column).
     #[must_use]
@@ -196,18 +213,30 @@ impl Tracer for LotusTrace {
                     out_of_order: false,
                     queue_delay: Span::ZERO,
                 };
-                self.log_bytes
-                    .fetch_add(record.log_bytes(), Ordering::Relaxed);
-                let mut agg = self.op_aggregates.lock().expect("trace poisoned");
-                if !agg.by_name.contains_key(name) {
-                    agg.order.push(name.to_string());
-                    agg.by_name.insert(name.to_string(), LogHistogram::new());
-                }
-                agg.by_name
-                    .get_mut(name)
-                    .expect("just inserted")
-                    .record(dur);
-                self.charge(self.config.per_log_overhead)
+                self.fold_aggregate(name, dur, &record)
+            }
+        }
+    }
+
+    fn on_storage_read(&self, pid: u32, batch_id: u64, start: Time, read: &ReadOutcome) -> Span {
+        let record = TraceRecord {
+            kind: SpanKind::StorageRead(read.tier.as_str().to_string()),
+            pid,
+            batch_id,
+            start,
+            duration: read.span,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        };
+        match self.config.op_mode {
+            // Storage reads are per-item events like ops, so they follow
+            // the op collection mode: dropped when per-op tracing is off,
+            // folded into a per-tier `T0(tier)` histogram when
+            // aggregating.
+            OpLogMode::Off => Span::ZERO,
+            OpLogMode::Full => self.push(record),
+            OpLogMode::Aggregate => {
+                self.fold_aggregate(&format!("T0({})", read.tier), read.span, &record)
             }
         }
     }
@@ -369,6 +398,44 @@ mod tests {
         }
         // Storage accounting matches exactly: same records "written".
         assert_eq!(full.log_storage_bytes(), agg.log_storage_bytes());
+    }
+
+    #[test]
+    fn storage_reads_follow_the_op_collection_mode() {
+        let read = ReadOutcome {
+            tier: lotus_sim::StorageTier::ObjectStore,
+            span: Span::from_millis(5),
+            bytes: 110_000,
+            seek: false,
+            queue_depth: 1,
+        };
+        let full = LotusTrace::new();
+        let _ = full.on_storage_read(4243, 2, Time::from_nanos(10), &read);
+        assert_eq!(full.len(), 1);
+        assert_eq!(
+            full.records()[0].kind,
+            SpanKind::StorageRead("object-store".into())
+        );
+        assert_eq!(full.records()[0].duration, Span::from_millis(5));
+
+        let agg = LotusTrace::with_config(LotusTraceConfig {
+            op_mode: OpLogMode::Aggregate,
+            ..LotusTraceConfig::default()
+        });
+        let _ = agg.on_storage_read(4243, 2, Time::from_nanos(10), &read);
+        let stats = agg.op_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "T0(object-store)");
+        assert_eq!(stats[0].count, 1);
+        // Same bytes accounted as the full-mode record.
+        assert_eq!(agg.log_storage_bytes(), full.log_storage_bytes());
+
+        let off = LotusTrace::with_config(LotusTraceConfig {
+            op_mode: OpLogMode::Off,
+            ..LotusTraceConfig::default()
+        });
+        assert_eq!(off.on_storage_read(4243, 2, Time::ZERO, &read), Span::ZERO);
+        assert!(off.is_empty());
     }
 
     #[test]

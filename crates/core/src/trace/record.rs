@@ -5,6 +5,12 @@ use lotus_sim::{Span, Time};
 /// What a trace record describes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SpanKind {
+    /// One storage read issued by the dataset's fetch path (\[T0\]) —
+    /// `SStorageRead_idx_tier`. The payload is the serving tier's stable
+    /// name (`page-cache` / `local-disk` / `object-store`; tier names
+    /// never contain `_`). Storage reads nest inside the batch's
+    /// [`SpanKind::BatchPreprocessed`] span on the same worker.
+    StorageRead(String),
     /// A whole-batch fetch on a DataLoader worker (\[T1\]) —
     /// `SBatchPreprocessed_idx` in the visualization.
     BatchPreprocessed,
@@ -31,6 +37,7 @@ impl SpanKind {
     #[must_use]
     pub fn label(&self, batch_id: u64) -> String {
         match self {
+            SpanKind::StorageRead(tier) => format!("SStorageRead_{batch_id}_{tier}"),
             SpanKind::BatchPreprocessed => format!("SBatchPreprocessed_{batch_id}"),
             SpanKind::BatchWait => format!("SBatchWait_{batch_id}"),
             SpanKind::BatchConsumed => format!("SBatchConsumed_{batch_id}"),
@@ -155,6 +162,13 @@ pub(crate) fn parse_label(label: &str) -> Result<(SpanKind, u64), String> {
         let id = idx.parse().map_err(|e| format!("bad batch id: {e}"))?;
         return Ok((SpanKind::FaultInjected(op.to_string()), id));
     }
+    if let Some(rest) = label.strip_prefix("SStorageRead_") {
+        let (idx, tier) = rest
+            .split_once('_')
+            .ok_or_else(|| format!("storage-read label '{label}' missing tier"))?;
+        let id = idx.parse().map_err(|e| format!("bad batch id: {e}"))?;
+        return Ok((SpanKind::StorageRead(tier.to_string()), id));
+    }
     if label == "SWorkerDied" {
         return Ok((SpanKind::WorkerDied, 0));
     }
@@ -198,6 +212,10 @@ mod tests {
         );
         assert_eq!(SpanKind::WorkerDied.label(0), "SWorkerDied");
         assert_eq!(SpanKind::BatchRedispatched.label(9), "SBatchRedispatched_9");
+        assert_eq!(
+            SpanKind::StorageRead("page-cache".into()).label(7),
+            "SStorageRead_7_page-cache"
+        );
     }
 
     #[test]
@@ -208,6 +226,7 @@ mod tests {
             SpanKind::BatchConsumed,
             SpanKind::BatchRedispatched,
             SpanKind::FaultInjected("Normalize".into()),
+            SpanKind::StorageRead("object-store".into()),
         ] {
             let r = record(kind);
             let parsed = TraceRecord::parse_log_line(&r.to_log_line()).unwrap();
@@ -229,6 +248,7 @@ mod tests {
         assert!(SpanKind::FaultInjected("X".into()).is_instant());
         assert!(!SpanKind::BatchWait.is_instant());
         assert!(!SpanKind::Op("X".into()).is_instant());
+        assert!(!SpanKind::StorageRead("local-disk".into()).is_instant());
     }
 
     #[test]

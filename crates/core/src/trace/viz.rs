@@ -52,7 +52,7 @@ pub fn render_timeline(records: &[TraceRecord], options: TimelineOptions) -> Str
     assert!(options.width > 0, "timeline width must be positive");
     let batch_level: Vec<&TraceRecord> = records
         .iter()
-        .filter(|r| !matches!(r.kind, SpanKind::Op(_)))
+        .filter(|r| !matches!(r.kind, SpanKind::Op(_) | SpanKind::StorageRead(_)))
         .collect();
     if batch_level.is_empty() {
         return "(empty trace)\n".to_string();

@@ -23,6 +23,11 @@ pub enum TuneVerdict {
     /// decode) dominates — faster storage or more concurrent fetches
     /// pay; extra transform workers will idle on I/O.
     FetchBound,
+    /// The main process waits and traced \[T0\] storage reads dominate —
+    /// the storage hierarchy itself (cold cache, remote object store,
+    /// tiny-file seeks) is the constraint; warm the cache, pack records,
+    /// or move the dataset closer.
+    StorageBound,
     /// The main process waits and `C(n)` collation dominates — the
     /// serial tail of each batch is the constraint.
     CollateBound,
@@ -40,6 +45,7 @@ impl TuneVerdict {
         match self {
             TuneVerdict::PreprocessingBound => "preprocessing-bound",
             TuneVerdict::FetchBound => "fetch-bound",
+            TuneVerdict::StorageBound => "storage-bound",
             TuneVerdict::CollateBound => "collate-bound",
             TuneVerdict::GpuBound => "gpu-bound",
             TuneVerdict::Balanced => "balanced",
@@ -52,6 +58,7 @@ impl TuneVerdict {
         match name {
             "preprocessing-bound" => Some(TuneVerdict::PreprocessingBound),
             "fetch-bound" => Some(TuneVerdict::FetchBound),
+            "storage-bound" => Some(TuneVerdict::StorageBound),
             "collate-bound" => Some(TuneVerdict::CollateBound),
             "gpu-bound" => Some(TuneVerdict::GpuBound),
             "balanced" => Some(TuneVerdict::Balanced),
@@ -329,11 +336,12 @@ impl Scorecard {
 }
 
 /// The verdict rule: a high \[T2\] share makes the run input-bound, and
-/// the dominant op class names the culprit (`Loader` → fetch, `C(n)` →
-/// collate, otherwise the transform chain). With the consumer rarely
-/// waiting, batches piling up in the shared queue (queue delay ≫ wait,
-/// the inverse of the trace-insights rule) indicate the GPU step is the
-/// constraint; otherwise the pipeline is balanced.
+/// the dominant op class names the culprit (`StorageRead` → storage,
+/// `Loader` → fetch, `C(n)` → collate, otherwise the transform chain).
+/// With the consumer rarely waiting, batches piling up in the shared
+/// queue (queue delay ≫ wait, the inverse of the trace-insights rule)
+/// indicate the GPU step is the constraint; otherwise the pipeline is
+/// balanced.
 fn classify(
     wait_fraction: f64,
     mean_wait_ms: f64,
@@ -342,6 +350,7 @@ fn classify(
 ) -> TuneVerdict {
     if wait_fraction >= WAIT_BOUND_THRESHOLD {
         return match op_classes.dominant() {
+            Some(("storage", _)) => TuneVerdict::StorageBound,
             Some(("load", _)) => TuneVerdict::FetchBound,
             Some(("collate", _)) => TuneVerdict::CollateBound,
             _ => TuneVerdict::PreprocessingBound,
@@ -398,6 +407,7 @@ mod tests {
             samples: 80,
             snapshot,
             op_classes: OpClassTotals {
+                storage: Span::ZERO,
                 load: Span::from_millis(10),
                 transform: Span::from_millis(100),
                 collate: Span::from_millis(5),
@@ -423,12 +433,26 @@ mod tests {
     fn loader_dominated_input_bound_runs_are_fetch_bound() {
         let mut m = measurement(400_000_000, 1_000.0, 40_000_000.0);
         m.op_classes = OpClassTotals {
+            storage: Span::ZERO,
             load: Span::from_millis(500),
             transform: Span::from_millis(50),
             collate: Span::from_millis(5),
         };
         let card = Scorecard::from_measurement(config(), &m);
         assert_eq!(card.verdict, Some(TuneVerdict::FetchBound));
+    }
+
+    #[test]
+    fn storage_dominated_input_bound_runs_are_storage_bound() {
+        let mut m = measurement(400_000_000, 1_000.0, 40_000_000.0);
+        m.op_classes = OpClassTotals {
+            storage: Span::from_millis(600),
+            load: Span::from_millis(80),
+            transform: Span::from_millis(50),
+            collate: Span::from_millis(5),
+        };
+        let card = Scorecard::from_measurement(config(), &m);
+        assert_eq!(card.verdict, Some(TuneVerdict::StorageBound));
     }
 
     #[test]
@@ -460,6 +484,7 @@ mod tests {
         for verdict in [
             TuneVerdict::PreprocessingBound,
             TuneVerdict::FetchBound,
+            TuneVerdict::StorageBound,
             TuneVerdict::CollateBound,
             TuneVerdict::GpuBound,
             TuneVerdict::Balanced,

@@ -581,6 +581,7 @@ mod tests {
             samples: batches * 8,
             snapshot: registry.snapshot(),
             op_classes: OpClassTotals {
+                storage: Span::ZERO,
                 load: Span::from_millis(5),
                 transform: Span::from_millis(75),
                 collate: Span::from_millis(2),

@@ -162,6 +162,11 @@ pub struct TrainingJob {
     pub machine: Arc<Machine>,
     /// The dataset (loader + transform chain inside `get_item`).
     pub dataset: Arc<dyn Dataset>,
+    /// The simulated storage hierarchy the dataset reads from, when one
+    /// is configured. The engine never touches it — the dataset holds
+    /// its own handle — but the job keeps this reference so runners can
+    /// snapshot [`lotus_sim::StorageCounters`] after the epoch.
+    pub storage: Option<Arc<lotus_sim::Storage>>,
     /// DataLoader knobs.
     pub loader: DataLoaderConfig,
     /// Accelerator model.
@@ -242,6 +247,12 @@ impl TransformObserver for OpBridge<'_> {
             .tracer
             .on_op(self.pid, self.batch_id, name, start, elapsed);
     }
+
+    fn on_storage_read(&mut self, start: Time, read: &lotus_sim::ReadOutcome) {
+        self.overhead += self
+            .tracer
+            .on_storage_read(self.pid, self.batch_id, start, read);
+    }
 }
 
 impl TrainingJob {
@@ -260,6 +271,7 @@ impl TrainingJob {
         let TrainingJob {
             machine,
             dataset,
+            storage: _,
             loader,
             gpu,
             tracer,

@@ -804,6 +804,7 @@ impl ExecutionBackend for NativeBackend {
         let TrainingJob {
             machine,
             dataset,
+            storage: _,
             loader,
             gpu,
             tracer,
@@ -988,6 +989,7 @@ mod tests {
         TrainingJob {
             machine,
             dataset: Arc::new(TinyDataset { items }),
+            storage: None,
             loader: DataLoaderConfig {
                 batch_size: 4,
                 num_workers: workers,

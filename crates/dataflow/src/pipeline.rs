@@ -200,6 +200,7 @@ impl Pipeline {
         TrainingJob {
             machine: Arc::clone(machine),
             dataset,
+            storage: None,
             loader: DataLoaderConfig {
                 batch_size: self.batch_size,
                 num_workers: self.num_workers,

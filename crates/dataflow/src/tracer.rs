@@ -8,7 +8,7 @@
 //! engine adds to the emitting process's timeline — this is how
 //! per-profiler wall-time overhead (the paper's Table III) arises.
 
-use lotus_sim::{Span, Time};
+use lotus_sim::{ReadOutcome, Span, Time};
 
 /// Observer of data-flow events. All methods default to "not captured, no
 /// overhead".
@@ -74,6 +74,18 @@ pub trait Tracer: Send + Sync {
         batch_len: usize,
     ) -> Span {
         let _ = (pid, batch_id, start, dur, batch_len);
+        Span::ZERO
+    }
+
+    /// A worker's dataset fetched sample bytes from the simulated storage
+    /// hierarchy (\[T0\]). `start` is the instant the read was issued;
+    /// `read` carries the serving tier, duration (including device
+    /// queueing), bytes moved, seek flag and observed queue depth. The
+    /// read happens inside the batch's \[T1\] fetch span on the same
+    /// worker, so T0 time is a component of — never in addition to — the
+    /// preprocessing time LotusTrace attributes to the batch.
+    fn on_storage_read(&self, pid: u32, batch_id: u64, start: Time, read: &ReadOutcome) -> Span {
+        let _ = (pid, batch_id, start, read);
         Span::ZERO
     }
 
@@ -154,6 +166,21 @@ mod tests {
         );
         assert_eq!(
             t.on_batch_dispatched(0, 4243, &[0, 1], false, Time::ZERO),
+            Span::ZERO
+        );
+        assert_eq!(
+            t.on_storage_read(
+                1,
+                0,
+                Time::ZERO,
+                &lotus_sim::ReadOutcome {
+                    tier: lotus_sim::StorageTier::ObjectStore,
+                    span: Span::from_millis(4),
+                    bytes: 100_000,
+                    seek: false,
+                    queue_depth: 1,
+                }
+            ),
             Span::ZERO
         );
         assert_eq!(t.on_worker_died(1, Time::ZERO), Span::ZERO);

@@ -101,6 +101,7 @@ fn run_with(
     TrainingJob {
         machine: Arc::clone(&machine),
         dataset: Arc::new(VaryingDataset::new(&machine, 256)),
+        storage: None,
         loader: DataLoaderConfig {
             batch_size: 8,
             num_workers: 4,
@@ -169,6 +170,7 @@ fn random_sampler_changes_the_item_order_but_not_the_totals() {
         TrainingJob {
             machine: Arc::clone(&machine),
             dataset: Arc::new(VaryingDataset::new(&machine, 128)),
+            storage: None,
             loader: DataLoaderConfig {
                 batch_size: 8,
                 num_workers: 2,

@@ -128,6 +128,7 @@ fn job(
     TrainingJob {
         machine: Arc::clone(machine),
         dataset: Arc::new(StubDataset::new(machine, dataset_len, work)),
+        storage: None,
         loader: DataLoaderConfig {
             batch_size: batch,
             num_workers: workers,
@@ -500,6 +501,7 @@ fn in_flight_inventory_is_bounded_with_a_slow_worker() {
             len: 512,
             kernel: machine.kernel("skew_decode", "libstub.so", CostCoeffs::compute_default()),
         }),
+        storage: None,
         loader: DataLoaderConfig {
             batch_size: 8,
             num_workers: 4,

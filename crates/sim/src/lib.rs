@@ -46,6 +46,7 @@ mod kernel;
 mod pool;
 mod queue;
 mod sim;
+mod storage;
 mod time;
 
 pub use clock::{TimeSource, WallClock};
@@ -59,4 +60,8 @@ pub use kernel::Pid;
 pub use pool::{CoreGuard, CorePool};
 pub use queue::Queue;
 pub use sim::{RunReport, Simulation};
+pub use storage::{
+    DeviceModel, FileLayout, ReadOutcome, Storage, StorageConfig, StorageCounters, StorageTier,
+    PAGE_BYTES,
+};
 pub use time::{Span, Time};

@@ -1,7 +1,7 @@
 //! The transform trait and `Compose`, mirroring
 //! `torchvision.transforms.Compose`.
 
-use lotus_sim::{Span, Time};
+use lotus_sim::{ReadOutcome, Span, Time};
 use lotus_uarch::{CostCoeffs, CpuThread, KernelId, Machine};
 use rand::rngs::StdRng;
 
@@ -42,6 +42,17 @@ pub trait TransformObserver {
     /// Called after each transform with its name, start time and elapsed
     /// virtual time.
     fn on_transform(&mut self, name: &str, start: Time, elapsed: Span);
+
+    /// Called after each storage read the dataset's fetch path issues
+    /// (the \[T0\] hook): the instant the read was issued and what the
+    /// storage hierarchy observed serving it. Storage reads happen
+    /// *inside* the "Loader" span reported through
+    /// [`on_transform`](Self::on_transform). Defaults to ignoring the
+    /// event, so observers that only care about transform timing — and
+    /// backends without a simulated storage tier — need not implement it.
+    fn on_storage_read(&mut self, start: Time, read: &ReadOutcome) {
+        let _ = (start, read);
+    }
 }
 
 /// A no-op observer.

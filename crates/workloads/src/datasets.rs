@@ -2,10 +2,12 @@
 //! numpy-volume datasets, both reporting their `Loader` step to the
 //! LotusTrace observer.
 
+use std::sync::Arc;
+
 use lotus_codec::Codec;
 use lotus_data::{AudioDatasetModel, DType, ImageDatasetModel, VolumeDatasetModel};
 use lotus_dataflow::Dataset;
-use lotus_sim::Time;
+use lotus_sim::{Storage, Time};
 use lotus_transforms::{
     python_interp_kernel, Compose, PipelineError, Sample, TransformCtx, TransformObserver,
 };
@@ -13,15 +15,65 @@ use lotus_uarch::{CostCoeffs, KernelId, Machine};
 
 use crate::io::IoModel;
 
+/// The shared fetch stage every dataset's `get_item` starts with: the
+/// Python-level dispatch overhead (dataset `__getitem__`, file open),
+/// then the record's bytes — from the simulated storage hierarchy
+/// (traced, \[T0\]) when one is attached, or from the closed-form
+/// [`IoModel`] wait otherwise. One code path for all three dataset
+/// kinds, so fault injection, storage reads and the "Loader" span all
+/// compose identically.
+struct FetchStage {
+    io: IoModel,
+    storage: Option<Arc<Storage>>,
+    python_overhead: KernelId,
+}
+
+impl FetchStage {
+    fn new(machine: &Machine, io: IoModel) -> FetchStage {
+        FetchStage {
+            io,
+            storage: None,
+            python_overhead: python_interp_kernel(machine),
+        }
+    }
+
+    /// Begins one `get_item`: charges the Python dispatch overhead and
+    /// reads `bytes` for `record_index`, reporting the read to the
+    /// observer when a storage hierarchy is attached. Returns the cursor
+    /// at entry — the start of the "Loader" op span the caller reports.
+    fn fetch(
+        &self,
+        record_index: u64,
+        bytes: u64,
+        ctx: &mut TransformCtx<'_>,
+        observer: &mut dyn TransformObserver,
+    ) -> Time {
+        let start = ctx.cpu.cursor();
+        ctx.cpu.exec(self.python_overhead, 0.0);
+        match &self.storage {
+            Some(storage) => {
+                let issued = ctx.cpu.cursor();
+                let read = storage.read(record_index, bytes, issued);
+                // Off-CPU wait for the read, including queueing behind
+                // other workers on the backing device.
+                ctx.cpu.idle(read.span);
+                observer.on_storage_read(issued, &read);
+            }
+            // Closed-form I/O wait (with the straggler tail).
+            None => ctx.cpu.idle(self.io.read_span_with(bytes, ctx.rng)),
+        }
+        start
+    }
+}
+
 /// `torchvision.datasets.ImageFolder` over a synthetic encoded-image
 /// dataset: `get_item` reads the file (I/O), decodes it through the SJPG
 /// codec ("Loader" in Table II), then applies the transform chain.
 pub struct ImageFolderDataset {
     model: ImageDatasetModel,
     codec: Codec,
-    io: IoModel,
+    fetch: FetchStage,
     transforms: Compose,
-    python_overhead: KernelId,
     /// When true, real pixels are synthesized, encoded and decoded (for
     /// examples and small runs exercising the full compute path).
     materialize: bool,
@@ -50,11 +102,19 @@ impl ImageFolderDataset {
         ImageFolderDataset {
             model,
             codec: Codec::new(machine),
-            io,
+            fetch: FetchStage::new(machine, io),
             transforms,
-            python_overhead: python_interp_kernel(machine),
             materialize: false,
         }
+    }
+
+    /// Attaches the simulated storage hierarchy `get_item` reads from:
+    /// the closed-form `IoModel` wait becomes traced \[T0\] storage
+    /// reads against the shared page cache and backing devices.
+    #[must_use]
+    pub fn with_storage(mut self, storage: Arc<Storage>) -> ImageFolderDataset {
+        self.fetch.storage = Some(storage);
+        self
     }
 
     /// Switches on real pixel materialization (encode + decode real
@@ -85,12 +145,7 @@ impl Dataset for ImageFolderDataset {
         observer: &mut dyn TransformObserver,
     ) -> Result<Sample, PipelineError> {
         let record = self.model.record(index);
-        let start = ctx.cpu.cursor();
-        // Python-level dispatch (dataset __getitem__, PIL open).
-        ctx.cpu.exec(self.python_overhead, 0.0);
-        // File read from storage: off-CPU wait (with the straggler tail).
-        ctx.cpu
-            .idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        let start = self.fetch.fetch(index, record.file_bytes, ctx, observer);
         // Native kernel spans inside the decode attribute to the Loader op.
         ctx.cpu.set_op_context("Loader");
         let sample = if self.materialize {
@@ -123,10 +178,9 @@ impl Dataset for ImageFolderDataset {
 /// then applies the volumetric transform chain.
 pub struct VolumeDataset {
     model: VolumeDatasetModel,
-    io: IoModel,
+    fetch: FetchStage,
     transforms: Compose,
     npy_read: KernelId,
-    python_overhead: KernelId,
     /// Number of items one epoch draws; indices wrap over the 210 cases
     /// (MLPerf's epoch-level oversampling).
     epoch_items: u64,
@@ -159,16 +213,22 @@ impl VolumeDataset {
         assert!(epoch_items > 0, "epoch_items must be positive");
         VolumeDataset {
             model,
-            io,
+            fetch: FetchStage::new(machine, io),
             transforms,
             npy_read: machine.kernel(
                 "npy_fromfile",
                 "_multiarray_umath.cpython-310-x86_64-linux-gnu.so",
                 CostCoeffs::streaming_default(),
             ),
-            python_overhead: python_interp_kernel(machine),
             epoch_items,
         }
+    }
+
+    /// Attaches the simulated storage hierarchy `get_item` reads from.
+    #[must_use]
+    pub fn with_storage(mut self, storage: Arc<Storage>) -> VolumeDataset {
+        self.fetch.storage = Some(storage);
+        self
     }
 }
 
@@ -183,11 +243,14 @@ impl Dataset for VolumeDataset {
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
     ) -> Result<Sample, PipelineError> {
-        let record = self.model.record(index % self.model.len());
-        let start = ctx.cpu.cursor();
-        ctx.cpu.exec(self.python_overhead, 0.0);
-        ctx.cpu
-            .idle(self.io.read_span_with(record.stored_bytes, ctx.rng));
+        // Indices wrap over the case list, so the storage read targets
+        // the wrapped record (oversampled epochs re-read the same case,
+        // which the page cache then serves).
+        let wrapped = index % self.model.len();
+        let record = self.model.record(wrapped);
+        let start = self
+            .fetch
+            .fetch(wrapped, record.stored_bytes, ctx, observer);
         // numpy materializes the array from the raw bytes.
         ctx.cpu.exec(self.npy_read, record.stored_bytes as f64);
         let sample = Sample::tensor_meta(
@@ -208,10 +271,9 @@ impl Dataset for VolumeDataset {
 /// the audio transform chain.
 pub struct AudioClipDataset {
     model: AudioDatasetModel,
-    io: IoModel,
+    fetch: FetchStage,
     transforms: Compose,
     flac_decode: KernelId,
-    python_overhead: KernelId,
 }
 
 impl std::fmt::Debug for AudioClipDataset {
@@ -233,7 +295,7 @@ impl AudioClipDataset {
     ) -> AudioClipDataset {
         AudioClipDataset {
             model,
-            io,
+            fetch: FetchStage::new(machine, io),
             transforms,
             flac_decode: machine.kernel(
                 "FLAC__stream_decoder_process_single",
@@ -251,8 +313,14 @@ impl AudioClipDataset {
                     frontend_sensitivity: 0.6,
                 },
             ),
-            python_overhead: python_interp_kernel(machine),
         }
+    }
+
+    /// Attaches the simulated storage hierarchy `get_item` reads from.
+    #[must_use]
+    pub fn with_storage(mut self, storage: Arc<Storage>) -> AudioClipDataset {
+        self.fetch.storage = Some(storage);
+        self
     }
 }
 
@@ -268,10 +336,7 @@ impl Dataset for AudioClipDataset {
         observer: &mut dyn TransformObserver,
     ) -> Result<Sample, PipelineError> {
         let record = self.model.record(index);
-        let start = ctx.cpu.cursor();
-        ctx.cpu.exec(self.python_overhead, 0.0);
-        ctx.cpu
-            .idle(self.io.read_span_with(record.file_bytes, ctx.rng));
+        let start = self.fetch.fetch(index, record.file_bytes, ctx, observer);
         ctx.cpu.exec(self.flac_decode, record.samples as f64);
         let sample = Sample::tensor_meta(&[record.samples as usize], DType::F32);
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use lotus_data::{AudioDatasetModel, ImageDatasetModel, VolumeDatasetModel};
 use lotus_dataflow::{DataLoaderConfig, GpuConfig, Sampler, Tracer, TrainingJob};
-use lotus_sim::Span;
+use lotus_sim::{Span, Storage, StorageConfig};
 use lotus_transforms::{
     Cast, Compose, GaussianNoise, MelSpectrogram, Normalize, PadTrim, RandBalancedCrop,
     RandomBrightnessAugmentation, RandomFlip3d, RandomHorizontalFlip, RandomResizedCrop, Resample,
@@ -60,6 +60,17 @@ pub struct ExperimentConfig {
     pub dataset_items: Option<u64>,
     /// Run seed.
     pub seed: u64,
+    /// Simulated storage hierarchy the dataset reads from. `None` (the
+    /// default everywhere) keeps the closed-form [`crate::IoModel`]
+    /// costs of earlier PRs — no traced \[T0\] reads, byte-identical
+    /// behavior. `Some` routes every `get_item` through a shared
+    /// [`Storage`] instance instead.
+    pub storage: Option<StorageConfig>,
+    /// Visit dataset items in index order instead of the default seeded
+    /// random permutation. Sequential access is what makes packed-record
+    /// layouts fast: readahead turns neighbor fetches into page-cache
+    /// hits, while shuffled access defeats it.
+    pub sequential_access: bool,
 }
 
 impl ExperimentConfig {
@@ -81,6 +92,8 @@ impl ExperimentConfig {
             num_workers,
             dataset_items: None,
             seed: 0x0107,
+            storage: None,
+            sequential_access: false,
         }
     }
 
@@ -89,6 +102,55 @@ impl ExperimentConfig {
     pub fn scaled_to(mut self, items: u64) -> ExperimentConfig {
         self.dataset_items = Some(items);
         self
+    }
+
+    /// Returns a copy that reads through the given simulated storage
+    /// hierarchy (traced \[T0\] reads instead of closed-form I/O waits).
+    ///
+    /// ```
+    /// use lotus_sim::StorageConfig;
+    /// use lotus_workloads::{ExperimentConfig, PipelineKind};
+    ///
+    /// let cold = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+    ///     .with_storage(StorageConfig::remote_object_store());
+    /// assert!(cold.storage.is_some());
+    /// assert!(cold.fingerprint().contains("storage["));
+    /// ```
+    #[must_use]
+    pub fn with_storage(mut self, storage: StorageConfig) -> ExperimentConfig {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Returns a copy whose sampler visits items in index order instead
+    /// of a seeded shuffle — the access pattern that lets packed-record
+    /// layouts benefit from readahead.
+    ///
+    /// ```
+    /// use lotus_workloads::{ExperimentConfig, PipelineKind};
+    ///
+    /// let seq = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+    ///     .sequential();
+    /// assert!(seq.sequential_access);
+    /// assert!(seq.fingerprint().ends_with(" seq"));
+    /// ```
+    #[must_use]
+    pub fn sequential(mut self) -> ExperimentConfig {
+        self.sequential_access = true;
+        self
+    }
+
+    /// The natural storage hierarchy for this pipeline's dataset: IC, OD
+    /// and AC read training sets from a remote object store (tiny files,
+    /// cold caches); IS keeps its preprocessed KiTS19 volumes on local
+    /// NVMe. This is what the CLI's `--storage cold|warm` presets build
+    /// on.
+    #[must_use]
+    pub fn default_storage(&self) -> StorageConfig {
+        match self.pipeline {
+            PipelineKind::ImageSegmentation => StorageConfig::local_nvme(),
+            _ => StorageConfig::remote_object_store(),
+        }
     }
 
     /// A stable one-line fingerprint of everything that determines this
@@ -109,7 +171,7 @@ impl ExperimentConfig {
             Some(n) => format!("items{n}"),
             None => "items-full".to_string(),
         };
-        format!(
+        let mut fp = format!(
             "{} bs{} gpus{} workers{} {} seed={:#x}",
             self.pipeline.abbrev(),
             self.batch_size,
@@ -117,7 +179,15 @@ impl ExperimentConfig {
             self.num_workers,
             items,
             self.seed
-        )
+        );
+        if let Some(storage) = &self.storage {
+            fp.push(' ');
+            fp.push_str(&storage.fingerprint_token());
+        }
+        if self.sequential_access {
+            fp.push_str(" seq");
+        }
+        fp
     }
 
     /// The DataLoader configuration [`build`](Self::build) uses: this
@@ -133,7 +203,11 @@ impl ExperimentConfig {
             prefetch_factor: 2,
             data_queue_cap: None,
             pin_memory: true,
-            sampler: Sampler::Random { seed: self.seed },
+            sampler: if self.sequential_access {
+                Sampler::Sequential
+            } else {
+                Sampler::Random { seed: self.seed }
+            },
             drop_last: true,
         }
     }
@@ -200,6 +274,7 @@ impl ExperimentConfig {
         faults: lotus_dataflow::FaultPlan,
         materialize: bool,
     ) -> TrainingJob {
+        let storage = self.storage.map(|cfg| Arc::new(Storage::new(cfg)));
         let (dataset, gpu): (Arc<dyn lotus_dataflow::Dataset>, GpuConfig) = match self.pipeline {
             PipelineKind::ImageClassification => {
                 let mut model = ImageDatasetModel::imagenet(self.seed);
@@ -215,6 +290,9 @@ impl ExperimentConfig {
                 if materialize {
                     dataset = dataset.materialized();
                 }
+                if let Some(storage) = &storage {
+                    dataset = dataset.with_storage(Arc::clone(storage));
+                }
                 (
                     Arc::new(dataset),
                     GpuConfig::v100(self.num_gpus, gpu_step::RESNET18_PER_SAMPLE),
@@ -222,14 +300,18 @@ impl ExperimentConfig {
             }
             PipelineKind::ImageSegmentation => {
                 let items = self.dataset_items.unwrap_or(210);
+                let mut dataset = VolumeDataset::new(
+                    machine,
+                    VolumeDatasetModel::kits19(self.seed),
+                    IoModel::local_nvme(),
+                    is_transforms(machine),
+                    items,
+                );
+                if let Some(storage) = &storage {
+                    dataset = dataset.with_storage(Arc::clone(storage));
+                }
                 (
-                    Arc::new(VolumeDataset::new(
-                        machine,
-                        VolumeDatasetModel::kits19(self.seed),
-                        IoModel::local_nvme(),
-                        is_transforms(machine),
-                        items,
-                    )),
+                    Arc::new(dataset),
                     GpuConfig::v100(self.num_gpus, gpu_step::UNET3D_PER_SAMPLE),
                 )
             }
@@ -247,6 +329,9 @@ impl ExperimentConfig {
                 if materialize {
                     dataset = dataset.materialized();
                 }
+                if let Some(storage) = &storage {
+                    dataset = dataset.with_storage(Arc::clone(storage));
+                }
                 (
                     Arc::new(dataset),
                     GpuConfig::v100(self.num_gpus, gpu_step::MASKRCNN_PER_SAMPLE),
@@ -257,13 +342,17 @@ impl ExperimentConfig {
                 if let Some(items) = self.dataset_items {
                     model = model.truncated(items);
                 }
+                let mut dataset = AudioClipDataset::new(
+                    machine,
+                    model,
+                    IoModel::cloudlab_iscsi(),
+                    ac_transforms(machine),
+                );
+                if let Some(storage) = &storage {
+                    dataset = dataset.with_storage(Arc::clone(storage));
+                }
                 (
-                    Arc::new(AudioClipDataset::new(
-                        machine,
-                        model,
-                        IoModel::cloudlab_iscsi(),
-                        ac_transforms(machine),
-                    )),
+                    Arc::new(dataset),
                     GpuConfig::v100(self.num_gpus, gpu_step::AUDIO_CNN_PER_SAMPLE),
                 )
             }
@@ -271,6 +360,7 @@ impl ExperimentConfig {
         TrainingJob {
             machine: Arc::clone(machine),
             dataset,
+            storage,
             loader,
             gpu,
             tracer,

@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let report = TrainingJob {
         machine: Arc::clone(&machine),
         dataset: Arc::new(dataset),
+        storage: None,
         loader: DataLoaderConfig {
             batch_size: 8,
             num_workers: 2,

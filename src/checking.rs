@@ -128,6 +128,8 @@ fn small_experiment(kind: PipelineKind, options: &CheckOptions) -> ExperimentCon
         num_workers: options.workers,
         dataset_items: Some(options.items),
         seed: 0x0107,
+        storage: None,
+        sequential_access: false,
     }
 }
 

@@ -8,7 +8,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use lotus::checking::{CheckOptions, Scenario};
-use lotus::core::map::{split_metrics, split_metrics_mix_aware, IsolationConfig, Mapping};
+use lotus::core::map::{
+    split_metrics, split_metrics_mix_aware, IsolationConfig, Mapping, StorageAttribution,
+};
 use lotus::core::metrics::{
     render_dashboard, to_csv, to_json, to_prometheus, DashboardOptions, MetricsRegistry,
     MetricsSink, MultiSink,
@@ -23,7 +25,7 @@ use lotus::profilers::ComparisonHarness;
 use lotus::running::{
     bench_report, check_regression, run_experiment, verdict_family, BackendKind, RunOptions,
 };
-use lotus::sim::Span;
+use lotus::sim::{FileLayout, Span};
 use lotus::tuning::{tune_experiment, TuneOptions};
 use lotus::uarch::{
     format_report, CollectionMode, HwProfiler, Machine, MachineConfig, ProfilerConfig,
@@ -35,14 +37,26 @@ lotus — characterization of ML preprocessing pipelines (paper reproduction)
 
 USAGE:
   lotus trace     [--pipeline ic|is|od] [--items N] [--batch B] [--workers W]
-                  [--gpus G] [--out FILE.json] [--timeline]
+                  [--gpus G] [--storage cold|warm] [--layout tiny|packed]
+                  [--access shuffled|sequential]
+                  [--out FILE.json] [--log FILE] [--timeline]
       Run one epoch under LotusTrace; print per-op stats, the automated
-      diagnosis, optionally an ASCII timeline and a Chrome trace file.
+      diagnosis, optionally an ASCII timeline, a Chrome trace file and a
+      lintable LotusTrace log. --storage routes every Dataset::get_item
+      through the simulated storage hierarchy (object store / local disk /
+      shared OS page cache), producing per-read [T0] fetch spans and a
+      per-tier attribution table: cold tiny-file epochs are typically
+      storage-bound, warm or packed ones flip back to the CPU phases.
+      --layout picks one-file-per-record (tiny) or packed shards;
+      --access picks the sampler order (sequential lets readahead turn
+      packed-shard neighbors into page-cache hits).
 
   lotus run       [--backend sim|native] [--pipeline ic|is|od|ac] [--items N]
                   [--batch B] [--workers W] [--gpus G] [--no-gpu]
                   [--no-materialize] [--status-check-ms T] [--profile]
                   [--attribution FILE.json]
+                  [--storage cold|warm] [--layout tiny|packed]
+                  [--access shuffled|sequential] [--storage-out FILE.json]
                   [--kill-worker W] [--kill-at-ms T] [--error-rate P]
                   [--error-op NAME] [--out FILE.json] [--log FILE]
       Execute one epoch on the chosen execution backend. `native` (the
@@ -55,7 +69,10 @@ USAGE:
       only) attaches the OS-level sampling profiler: per-thread CPU time,
       RSS and context switches from /proc plus per-op native-kernel
       attribution, cross-validated against the simulated LotusMap;
-      --attribution writes the observed mapping as JSON. --out writes a
+      --attribution writes the observed mapping as JSON. --storage (sim
+      only) models the storage hierarchy: the scorecard gains a per-tier
+      [T0] attribution table, the verdict can come back storage-bound,
+      and --storage-out writes the attribution as JSON. --out writes a
       Chrome trace; --log writes a LotusTrace log file that
       `lotus check --trace FILE` lints.
 
@@ -72,12 +89,17 @@ USAGE:
       (lotus-bench-v2; v1 baselines stay comparable).
 
   lotus map       [--backend sim|native] [--vendor intel|amd] [--runs N]
-                  [--no-sleep-gap] [--out FILE.json]
+                  [--no-sleep-gap] [--storage cold|warm]
+                  [--layout tiny|packed] [--access shuffled|sequential]
+                  [--items N] [--out FILE.json]
       Build the Python-op → C/C++-function mapping (Table I). The default
       `sim` backend isolates each IC operation under the simulated
       hardware profiler; `native` observes the real kernels executing on
       this machine via the cooperative span feed (--runs measured passes,
-      default 3).
+      default 3). --storage additionally runs a short traced IC epoch
+      against the simulated storage hierarchy and joins the per-tier
+      fetch counters ([T0] reads, bytes, span time) into the mapping
+      table and JSON artifact.
 
   lotus attribute [--items N] [--workers W] [--mix-aware] [--functions]
       Profile an IC epoch with the simulated VTune, build the mapping, and
@@ -89,6 +111,8 @@ USAGE:
 
   lotus top       [--backend sim|native] [--pipeline ic|is|od] [--items N]
                   [--batch B] [--workers W] [--width COLS] [--profile]
+                  [--storage cold|warm] [--layout tiny|packed]
+                  [--access shuffled|sequential]
                   [--prom FILE] [--json FILE] [--csv FILE]
       Run one epoch with the streaming metrics sink and render the
       pipeline dashboard: queue-depth sparklines over time, per-worker
@@ -96,13 +120,17 @@ USAGE:
       every gauge and histogram carries wall-clock timestamps from the
       run's shared clock, and --profile adds the OS sampler's per-thread
       CPU/RSS/context-switch gauges to the dashboard and exports.
-      Optionally export the registry as Prometheus text, JSON, or CSV
-      time-series.
+      --storage (sim only) adds the live storage section: per-tier
+      read/byte counters, backing-device queue-depth sparklines and the
+      t0 fetch latency summary. Optionally export the registry as
+      Prometheus text, JSON, or CSV time-series.
 
   lotus tune      [--pipeline ic|is|od|ac] [--items N] [--batch B]
                   [--strategy grid|hill] [--workers 1,2,4,8] [--prefetch 1,2,4]
                   [--caps none,4,8] [--pin on|off|both] [--json] [--out FILE]
                   [--jobs N] [--no-cache] [--cache-dir DIR]
+                  [--storage cold|warm] [--layout tiny|packed]
+                  [--access shuffled|sequential]
                   [--kill-worker W] [--kill-at-ms T] [--error-rate P]
                   [--error-op NAME]
       Search DataLoader configurations (workers, prefetch, data-queue
@@ -111,7 +139,11 @@ USAGE:
       resident batches, a T1/T2/T3-based bottleneck verdict per config,
       and the recommended configuration with its predicted speedup.
       --json emits the byte-deterministic report instead; fault flags
-      compose (degraded configs are reported, not fatal). Trials fan out
+      compose (degraded configs are reported, not fatal). --storage runs
+      every trial against the simulated storage hierarchy — a cold
+      tiny-file dataset typically tunes to a storage-bound verdict that
+      extra workers cannot fix, because they queue on the same backing
+      device. Trials fan out
       over --jobs threads (default: all cores) and memoize to the
       on-disk cache at --cache-dir (default .lotus-cache; --no-cache
       disables) — neither changes a single output byte.
@@ -193,13 +225,13 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
         PipelineKind::ImageSegmentation => 210,
         _ => 8 * config.batch_size as u64,
     };
-    let config = config.scaled_to(args.get("items", default_items)?);
+    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?;
 
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let trace = Arc::new(LotusTrace::new());
-    let report = config
-        .build(&machine, Arc::clone(&trace) as _, None)
-        .run()?;
+    let job = config.build(&machine, Arc::clone(&trace) as _, None);
+    let storage = job.storage.clone();
+    let report = job.run()?;
     println!(
         "{}: {} batches / {} samples in {:.2}s of virtual time\n",
         kind.abbrev(),
@@ -221,6 +253,13 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
             op.frac_below_100us * 100.0
         );
     }
+    if let Some(storage) = &storage {
+        println!("\nstorage attribution:");
+        print!(
+            "{}",
+            StorageAttribution::from_run(&storage.counters(), &trace.records()).to_table_string()
+        );
+    }
     println!("\n{}", analyze(&trace.records()));
     if args.has("timeline") {
         println!(
@@ -232,6 +271,10 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
         let doc = to_chrome_trace(&trace.records(), ChromeTraceOptions { coarse: true });
         std::fs::write(path, serde_json::to_string_pretty(&doc)?)?;
         println!("chrome trace written to {path}");
+    }
+    if let Some(path) = args.flags.get("log") {
+        std::fs::write(path, trace.to_log_string())?;
+        println!("trace log written to {path} (lint it with: lotus check --trace {path})");
     }
     Ok(())
 }
@@ -260,6 +303,51 @@ fn apply_run_flags(args: &Args, options: &mut RunOptions) -> Result<(), Box<dyn 
     Ok(())
 }
 
+/// Applies `--storage cold|warm`, `--layout tiny|packed` and
+/// `--access shuffled|sequential`: routes the dataset's reads through
+/// the simulated storage hierarchy (the pipeline's natural one — remote
+/// object store for IC/OD/AC, local NVMe for IS), producing traced
+/// \[T0\] fetch spans. Sim backend only.
+fn apply_storage_flags(
+    args: &Args,
+    config: ExperimentConfig,
+) -> Result<ExperimentConfig, Box<dyn Error>> {
+    let Some(raw) = args.flags.get("storage") else {
+        for dependent in ["layout", "access"] {
+            if args.has(dependent) {
+                return Err(format!(
+                    "--{dependent} only makes sense together with --storage cold|warm"
+                )
+                .into());
+            }
+        }
+        return Ok(config);
+    };
+    let layout = match args.get("layout", "tiny".to_string())?.as_str() {
+        "tiny" => FileLayout::TinyFiles,
+        "packed" => FileLayout::PackedRecords,
+        other => return Err(format!("unknown layout '{other}' (expected tiny or packed)").into()),
+    };
+    let config = match args.get("access", "shuffled".to_string())?.as_str() {
+        "shuffled" => config,
+        "sequential" => config.sequential(),
+        other => {
+            return Err(
+                format!("unknown access order '{other}' (expected shuffled or sequential)").into(),
+            )
+        }
+    };
+    let base = config.default_storage().with_layout(layout);
+    let storage = match raw.as_str() {
+        "cold" => base,
+        "warm" => base.warm(),
+        other => {
+            return Err(format!("unknown storage state '{other}' (expected cold or warm)").into())
+        }
+    };
+    Ok(config.with_storage(storage))
+}
+
 /// Small-scale default item count for an on-backend run: a few real
 /// batches, not the paper-scale epoch `lotus trace` simulates.
 fn run_default_items(kind: PipelineKind, batch_size: usize) -> u64 {
@@ -276,7 +364,7 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn Error>> {
     config.num_workers = args.get("workers", config.num_workers)?;
     config.num_gpus = args.get("gpus", config.num_gpus)?;
     let default_items = run_default_items(kind, config.batch_size);
-    let config = config.scaled_to(args.get("items", default_items)?);
+    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?;
 
     let backend = backend_of(args, "native")?;
     let mut options = RunOptions::for_backend(backend);
@@ -320,6 +408,14 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn Error>> {
             .map_or("failed", lotus::core::tune::TuneVerdict::as_str),
         verdict_family(card)
     );
+    if let Some(storage) = &outcome.storage {
+        println!("\nstorage attribution:");
+        print!("{}", storage.to_table_string());
+        if let Some(path) = args.flags.get("storage-out") {
+            std::fs::write(path, storage.to_json())?;
+            println!("storage attribution written to {path}");
+        }
+    }
     if let Some(profile) = &outcome.profile {
         println!(
             "\nprofiler: {} kernel samples over {} sampler ticks | overhead {:.4}s ({:.2}% of wall) | RSS peak {} kB",
@@ -429,7 +525,7 @@ fn cmd_map(args: &Args) -> Result<(), Box<dyn Error>> {
         other => return Err(format!("unknown vendor '{other}'").into()),
     };
     let machine = Machine::new(machine_config);
-    let mapping = match backend_of(args, "sim")? {
+    let mut mapping = match backend_of(args, "sim")? {
         BackendKind::Sim => {
             let mut isolation = IsolationConfig::default();
             if args.has("runs") {
@@ -442,6 +538,26 @@ fn cmd_map(args: &Args) -> Result<(), Box<dyn Error>> {
         // observes the instrumented native functions as they execute.
         BackendKind::Native => build_ic_mapping_native(&machine, args.get("runs", 3usize)?),
     };
+    // `--storage cold|warm`: run a short traced IC epoch through the
+    // simulated storage hierarchy and attach its per-tier attribution, so
+    // one artifact carries both the op→function and the fetch→tier side.
+    if args.flags.contains_key("storage") {
+        let config = apply_storage_flags(
+            args,
+            ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+                .scaled_to(args.get("items", 512u64)?),
+        )?;
+        let trace = Arc::new(LotusTrace::new());
+        let job = config.build(&machine, Arc::clone(&trace) as _, None);
+        let storage = job.storage.clone();
+        job.run()?;
+        if let Some(storage) = storage {
+            mapping.set_storage(StorageAttribution::from_run(
+                &storage.counters(),
+                &trace.records(),
+            ));
+        }
+    }
     print!("{}", mapping.to_table_string());
     if let Some(path) = args.flags.get("out") {
         std::fs::write(path, mapping.to_json())?;
@@ -557,7 +673,7 @@ fn cmd_top(args: &Args) -> Result<(), Box<dyn Error>> {
         PipelineKind::ImageSegmentation => 210,
         _ => 8 * config.batch_size as u64,
     };
-    let config = config.scaled_to(args.get("items", default_items)?);
+    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?;
 
     let backend = backend_of(args, "sim")?;
     let (snapshot, report, time_label, overheads) = match backend {
@@ -667,7 +783,7 @@ fn cmd_tune(args: &Args) -> Result<(), Box<dyn Error>> {
         PipelineKind::ImageSegmentation => 16,
         _ => 8 * config.batch_size as u64,
     };
-    let config = config.scaled_to(args.get("items", default_items)?);
+    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?;
 
     let mut space = SearchSpace::default();
     if let Some(raw) = args.flags.get("workers") {

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use lotus_core::map::{
-    mapping_from_native, top_k_agreement, IsolationConfig, Mapping, OpAgreement,
+    mapping_from_native, top_k_agreement, IsolationConfig, Mapping, OpAgreement, StorageAttribution,
 };
 use lotus_core::metrics::{names, MetricsRegistry, MetricsSink, MultiSink};
 use lotus_core::trace::analysis::op_class_totals;
@@ -168,6 +168,10 @@ pub struct RunOutcome {
     /// Present when the run was profiled (`RunOptions::profile` on the
     /// native backend).
     pub profile: Option<ProfileReport>,
+    /// Per-tier storage attribution (counters joined with the trace's
+    /// \[T0\] spans), present when the experiment configured a simulated
+    /// storage hierarchy.
+    pub storage: Option<StorageAttribution>,
 }
 
 /// Runs one measured epoch of `experiment` on the chosen backend.
@@ -195,6 +199,13 @@ pub fn run_experiment(
 ) -> Result<RunOutcome, String> {
     let loader = experiment.loader_defaults();
     loader.validate()?;
+    if options.backend == BackendKind::Native && experiment.storage.is_some() {
+        return Err(
+            "the storage model runs on the simulated backend only; drop --storage or use \
+             --backend sim"
+                .to_string(),
+        );
+    }
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let trace = Arc::new(LotusTrace::with_config(LotusTraceConfig {
         per_log_overhead: Span::ZERO,
@@ -229,6 +240,7 @@ pub fn run_experiment(
     } else {
         experiment.build_with(&machine, sinks as _, None, loader, options.faults.clone())
     };
+    let storage_handle = job.storage.clone();
     let mut sampler: Option<NativeSampler> = None;
     let (backend_name, report) = match options.backend {
         BackendKind::Sim => {
@@ -285,6 +297,8 @@ pub fn run_experiment(
             agreement,
         }
     });
+    let storage =
+        storage_handle.map(|s| StorageAttribution::from_run(&s.counters(), &trace.records()));
     let measurement = TrialMeasurement {
         elapsed: report.elapsed,
         batches: report.batches,
@@ -300,6 +314,7 @@ pub fn run_experiment(
         scorecard,
         trace,
         profile,
+        storage,
     })
 }
 
@@ -313,7 +328,10 @@ pub fn verdict_family(scorecard: &Scorecard) -> &'static str {
     use lotus_core::tune::TuneVerdict;
     match scorecard.verdict {
         Some(
-            TuneVerdict::PreprocessingBound | TuneVerdict::FetchBound | TuneVerdict::CollateBound,
+            TuneVerdict::PreprocessingBound
+            | TuneVerdict::FetchBound
+            | TuneVerdict::CollateBound
+            | TuneVerdict::StorageBound,
         ) => "input-bound",
         Some(TuneVerdict::GpuBound | TuneVerdict::Balanced) => "accelerator-bound",
         None => "failed",
@@ -382,6 +400,29 @@ pub fn bench_report(preset: &str, experiment: &ExperimentConfig, outcome: &RunOu
             Content::Str(verdict_family(card).into()),
         ),
     ];
+    // Storage-tier block, present only when the run modeled storage.
+    // `check_regression` ignores it, like the profiler block below.
+    if let Some(s) = &outcome.storage {
+        use serde::Serialize as _;
+        let t0_s = s.t0_total().as_secs_f64();
+        let elapsed_s = card.elapsed.as_secs_f64();
+        doc.push((
+            "storage".into(),
+            Content::Map(vec![
+                ("t0_s".into(), Content::F64(t0_s)),
+                (
+                    "t0_fraction_of_elapsed".into(),
+                    Content::F64(if elapsed_s > 0.0 {
+                        t0_s / elapsed_s
+                    } else {
+                        0.0
+                    }),
+                ),
+                ("hit_ratio".into(), Content::F64(s.hit_ratio())),
+                ("attribution".into(), s.serialize_content()),
+            ]),
+        ));
+    }
     // v2 addition: profiler self-accounting, present only on profiled
     // runs. `check_regression` reads none of these fields, so v1
     // baselines and v2 reports stay mutually comparable.

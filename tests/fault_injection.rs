@@ -56,6 +56,7 @@ fn job(machine: &Arc<Machine>, workers: usize, tracer: Arc<dyn Tracer>) -> Train
     TrainingJob {
         machine: Arc::clone(machine),
         dataset: Arc::new(StubDataset::new(machine, 256, 400_000.0)),
+        storage: None,
         loader: DataLoaderConfig {
             batch_size: 8,
             num_workers: workers,

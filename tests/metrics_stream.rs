@@ -63,6 +63,7 @@ fn job(machine: &Arc<Machine>, tracer: Arc<dyn Tracer>, faults: FaultPlan) -> Tr
     TrainingJob {
         machine: Arc::clone(machine),
         dataset: Arc::new(StubDataset::new(machine, 256, 400_000.0)),
+        storage: None,
         loader: DataLoaderConfig {
             batch_size: 8,
             num_workers: WORKERS,
