@@ -209,6 +209,39 @@ pub enum Violation {
         /// What disagreed.
         detail: String,
     },
+    /// A steal handed a batch to a worker already observed dead.
+    StealToDeadWorker {
+        /// The stolen batch.
+        batch_id: u64,
+        /// Pid of the dead recipient.
+        to_pid: u32,
+    },
+    /// A steal's source and destination were the same worker.
+    SelfSteal {
+        /// The "stolen" batch.
+        batch_id: u64,
+        /// The worker that stole from itself.
+        pid: u32,
+    },
+    /// An adaptive policy resized the prefetch window outside
+    /// `[1, prefetch_factor]`.
+    PrefetchOutOfRange {
+        /// The out-of-range target.
+        target: usize,
+        /// The configured prefetch factor (upper bound).
+        bound: usize,
+    },
+    /// A batch starved: a later batch in the same worker's FIFO index
+    /// queue was preprocessed before it ("no sample starves" progress
+    /// discipline — within one worker, batches complete in queue order).
+    BatchStarved {
+        /// The overtaken (starved) batch at the queue's front.
+        batch_id: u64,
+        /// The later batch that completed first.
+        overtaken_by: u64,
+        /// Pid of the worker whose queue order was violated.
+        worker_pid: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -280,6 +313,22 @@ impl fmt::Display for Violation {
             Violation::ReportMismatch { detail } => {
                 write!(f, "report mismatch: {detail}")
             }
+            Violation::StealToDeadWorker { batch_id, to_pid } => write!(
+                f,
+                "steal to dead worker: batch {batch_id} stolen onto worker {to_pid} after its death was observed"
+            ),
+            Violation::SelfSteal { batch_id, pid } => write!(
+                f,
+                "self steal: batch {batch_id} 'stolen' from worker {pid} to itself"
+            ),
+            Violation::PrefetchOutOfRange { target, bound } => write!(
+                f,
+                "prefetch resize out of range: target {target} outside [1, {bound}]"
+            ),
+            Violation::BatchStarved { batch_id, overtaken_by, worker_pid } => write!(
+                f,
+                "batch starved: batch {batch_id} at the front of worker {worker_pid}'s queue was overtaken by batch {overtaken_by}"
+            ),
         }
     }
 }
@@ -302,6 +351,9 @@ pub fn verify(spec: &ProtocolSpec, events: &[LoaderEvent], ending: &RunEnding) -
     let mut fetches: HashMap<u64, u32> = HashMap::new();
     let mut consumed: BTreeMap<u64, u32> = BTreeMap::new();
     let mut delivered: BTreeSet<u64> = BTreeSet::new();
+    // Per-worker dispatch FIFO for the "no sample starves" discipline:
+    // within one worker's index queue, batches finish in dispatch order.
+    let mut pending: HashMap<u32, std::collections::VecDeque<u64>> = HashMap::new();
     let in_flight_bound = spec.in_flight_bound();
 
     for event in events {
@@ -338,6 +390,14 @@ pub fn verify(spec: &ProtocolSpec, events: &[LoaderEvent], ending: &RunEnding) -
                 }
                 state.insert(*batch_id, BatchState::InFlight(*worker_pid));
                 *dispatches.entry(*batch_id).or_insert(0) += 1;
+                // A redispatched orphan leaves its old FIFO position;
+                // either way the batch joins its new owner's queue tail.
+                if *redispatch {
+                    for queue in pending.values_mut() {
+                        queue.retain(|&id| id != *batch_id);
+                    }
+                }
+                pending.entry(*worker_pid).or_default().push_back(*batch_id);
                 if !redispatch {
                     for &idx in indices {
                         if let Some(prev) = index_owner.insert(idx, *batch_id) {
@@ -352,7 +412,11 @@ pub fn verify(spec: &ProtocolSpec, events: &[LoaderEvent], ending: &RunEnding) -
                     }
                 }
             }
-            LoaderEvent::Preprocessed { batch_id, .. } => {
+            LoaderEvent::Preprocessed {
+                batch_id,
+                worker_pid,
+                ..
+            } => {
                 let f = fetches.entry(*batch_id).or_insert(0);
                 *f += 1;
                 let d = dispatches.get(batch_id).copied().unwrap_or(0);
@@ -362,6 +426,21 @@ pub fn verify(spec: &ProtocolSpec, events: &[LoaderEvent], ending: &RunEnding) -
                         fetches: *f,
                         dispatches: d,
                     });
+                }
+                // "No sample starves": a worker drains its index queue in
+                // FIFO order, so a completed batch must have been the
+                // front of its worker's pending list.
+                if let Some(queue) = pending.get_mut(worker_pid) {
+                    if let Some(pos) = queue.iter().position(|&id| id == *batch_id) {
+                        if pos != 0 {
+                            violations.push(Violation::BatchStarved {
+                                batch_id: queue[0],
+                                overtaken_by: *batch_id,
+                                worker_pid: *worker_pid,
+                            });
+                        }
+                        queue.remove(pos);
+                    }
                 }
             }
             LoaderEvent::Delivered { batch_id, .. } => {
@@ -393,6 +472,9 @@ pub fn verify(spec: &ProtocolSpec, events: &[LoaderEvent], ending: &RunEnding) -
             }
             LoaderEvent::WorkerDied { worker_pid, .. } => {
                 dead.insert(*worker_pid);
+                // Its undone work becomes orphans; FIFO expectations on
+                // the dead queue are void.
+                pending.remove(worker_pid);
             }
             LoaderEvent::Redispatched {
                 batch_id, from_pid, ..
@@ -429,7 +511,34 @@ pub fn verify(spec: &ProtocolSpec, events: &[LoaderEvent], ending: &RunEnding) -
                     });
                 }
             }
-            LoaderEvent::FaultInjected { .. } => {}
+            LoaderEvent::Stolen {
+                batch_id,
+                from_pid,
+                to_pid,
+                ..
+            } => {
+                if dead.contains(to_pid) {
+                    violations.push(Violation::StealToDeadWorker {
+                        batch_id: *batch_id,
+                        to_pid: *to_pid,
+                    });
+                }
+                if from_pid == to_pid {
+                    violations.push(Violation::SelfSteal {
+                        batch_id: *batch_id,
+                        pid: *to_pid,
+                    });
+                }
+            }
+            LoaderEvent::PrefetchResized { target, .. } => {
+                if *target == 0 || *target > spec.prefetch_factor {
+                    violations.push(Violation::PrefetchOutOfRange {
+                        target: *target,
+                        bound: spec.prefetch_factor,
+                    });
+                }
+            }
+            LoaderEvent::LaneAssigned { .. } | LoaderEvent::FaultInjected { .. } => {}
         }
     }
 
@@ -645,6 +754,115 @@ mod tests {
             second_batch: 1
         }));
         assert!(v.contains(&Violation::QueueCapExceeded { cap: 4, depth: 5.0 }));
+    }
+
+    #[test]
+    fn steal_to_dead_worker_and_self_steal_are_flagged() {
+        let events = vec![
+            LoaderEvent::WorkerDied {
+                worker_pid: 4244,
+                at: Time::ZERO,
+            },
+            LoaderEvent::Stolen {
+                batch_id: 0,
+                from_pid: 4243,
+                to_pid: 4244,
+                at: Time::ZERO,
+            },
+            LoaderEvent::Stolen {
+                batch_id: 1,
+                from_pid: 4243,
+                to_pid: 4243,
+                at: Time::ZERO,
+            },
+        ];
+        let v = verify(&spec(), &events, &RunEnding::SampleError);
+        assert!(v.contains(&Violation::StealToDeadWorker {
+            batch_id: 0,
+            to_pid: 4244
+        }));
+        assert!(v.contains(&Violation::SelfSteal {
+            batch_id: 1,
+            pid: 4243
+        }));
+    }
+
+    #[test]
+    fn prefetch_resize_outside_bounds_is_flagged() {
+        let events = vec![
+            LoaderEvent::PrefetchResized {
+                target: 1,
+                at: Time::ZERO,
+            },
+            LoaderEvent::PrefetchResized {
+                target: 0,
+                at: Time::ZERO,
+            },
+            LoaderEvent::PrefetchResized {
+                target: 3,
+                at: Time::ZERO,
+            },
+        ];
+        let v = verify(&spec(), &events, &RunEnding::SampleError);
+        assert_eq!(
+            v,
+            vec![
+                Violation::PrefetchOutOfRange {
+                    target: 0,
+                    bound: 2
+                },
+                Violation::PrefetchOutOfRange {
+                    target: 3,
+                    bound: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_order_completion_within_one_worker_starves_the_front_batch() {
+        let events = vec![
+            dispatch(0, 4243, &[0, 1], false),
+            dispatch(1, 4243, &[2, 3], false),
+            LoaderEvent::Preprocessed {
+                batch_id: 1,
+                worker_pid: 4243,
+                end: Time::ZERO,
+            },
+        ];
+        let v = verify(&spec(), &events, &RunEnding::SampleError);
+        assert!(v.contains(&Violation::BatchStarved {
+            batch_id: 0,
+            overtaken_by: 1,
+            worker_pid: 4243
+        }));
+    }
+
+    #[test]
+    fn redispatch_resets_the_fifo_position_without_starvation() {
+        // Batch 0 goes to worker 4243, which dies; 0 is redispatched
+        // behind 1 on worker 4244. Completing 1 before 0 is then legal.
+        let events = vec![
+            dispatch(0, 4243, &[0, 1], false),
+            dispatch(1, 4244, &[2, 3], false),
+            LoaderEvent::WorkerDied {
+                worker_pid: 4243,
+                at: Time::ZERO,
+            },
+            dispatch(0, 4244, &[0, 1], true),
+            LoaderEvent::Preprocessed {
+                batch_id: 1,
+                worker_pid: 4244,
+                end: Time::ZERO,
+            },
+            LoaderEvent::Preprocessed {
+                batch_id: 0,
+                worker_pid: 4244,
+                end: Time::ZERO,
+            },
+        ];
+        let v = verify(&spec(), &events, &RunEnding::SampleError);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
     }
 
     #[test]

@@ -167,6 +167,9 @@ fn track(kind: &SpanKind) -> &'static str {
         SpanKind::FaultInjected(_) => "fault",
         SpanKind::WorkerDied => "died",
         SpanKind::BatchRedispatched => "redispatched",
+        SpanKind::BatchStolen => "stolen",
+        SpanKind::LaneAssigned(_) => "lane",
+        SpanKind::PrefetchResized => "prefetch",
     }
 }
 
@@ -205,7 +208,14 @@ pub fn lint_records(records: &[TraceRecord], report: Option<&ReportFacts>) -> Ve
                 }
             }
             SpanKind::WorkerDied => died_before = true,
-            SpanKind::Op(_) | SpanKind::FaultInjected(_) | SpanKind::StorageRead(_) => {}
+            // Scheduling-policy instants annotate a dispatch; they don't
+            // participate in span pairing.
+            SpanKind::Op(_)
+            | SpanKind::FaultInjected(_)
+            | SpanKind::StorageRead(_)
+            | SpanKind::BatchStolen
+            | SpanKind::LaneAssigned(_)
+            | SpanKind::PrefetchResized => {}
         }
     }
 

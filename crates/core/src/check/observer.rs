@@ -77,6 +77,36 @@ pub enum LoaderEvent {
         /// Virtual time of the re-send.
         at: Time,
     },
+    /// A scheduling policy overrode the round-robin target and handed a
+    /// batch to a different worker's queue (work stealing).
+    Stolen {
+        /// Batch identifier.
+        batch_id: u64,
+        /// OS pid of the worker the batch was taken from.
+        from_pid: u32,
+        /// OS pid of the worker that received it instead.
+        to_pid: u32,
+        /// Virtual time of the steal.
+        at: Time,
+    },
+    /// A lane-aware policy classified a batch into a fast/slow lane.
+    LaneAssigned {
+        /// Batch identifier.
+        batch_id: u64,
+        /// Lane name (`"fast"` or `"slow"`).
+        lane: String,
+        /// OS pid of the worker that received it.
+        to_pid: u32,
+        /// Virtual time of the assignment.
+        at: Time,
+    },
+    /// An adaptive policy resized the per-worker prefetch window.
+    PrefetchResized {
+        /// New per-worker prefetch target.
+        target: usize,
+        /// Virtual time of the resize.
+        at: Time,
+    },
     /// A named scalar was sampled (queue depths, in-flight inventory…).
     Gauge {
         /// Gauge name, e.g. `queue_depth.data_queue`.
@@ -97,8 +127,12 @@ impl LoaderEvent {
             | LoaderEvent::Delivered { batch_id, .. }
             | LoaderEvent::Consumed { batch_id, .. }
             | LoaderEvent::FaultInjected { batch_id, .. }
-            | LoaderEvent::Redispatched { batch_id, .. } => Some(*batch_id),
-            LoaderEvent::WorkerDied { .. } | LoaderEvent::Gauge { .. } => None,
+            | LoaderEvent::Redispatched { batch_id, .. }
+            | LoaderEvent::Stolen { batch_id, .. }
+            | LoaderEvent::LaneAssigned { batch_id, .. } => Some(*batch_id),
+            LoaderEvent::WorkerDied { .. }
+            | LoaderEvent::Gauge { .. }
+            | LoaderEvent::PrefetchResized { .. } => None,
         }
     }
 }
@@ -211,6 +245,31 @@ impl Tracer for RecordingObserver {
             to_pid,
             at,
         });
+        Span::ZERO
+    }
+
+    fn on_batch_stolen(&self, batch_id: u64, from_pid: u32, to_pid: u32, at: Time) -> Span {
+        self.push(LoaderEvent::Stolen {
+            batch_id,
+            from_pid,
+            to_pid,
+            at,
+        });
+        Span::ZERO
+    }
+
+    fn on_lane_assigned(&self, batch_id: u64, lane: &str, to_pid: u32, at: Time) -> Span {
+        self.push(LoaderEvent::LaneAssigned {
+            batch_id,
+            lane: lane.to_string(),
+            to_pid,
+            at,
+        });
+        Span::ZERO
+    }
+
+    fn on_prefetch_resized(&self, target: usize, at: Time) -> Span {
+        self.push(LoaderEvent::PrefetchResized { target, at });
         Span::ZERO
     }
 

@@ -414,6 +414,37 @@ mod tests {
     }
 
     #[test]
+    fn dashboard_never_renders_nan_for_the_wait_fraction() {
+        use std::sync::Arc;
+
+        use crate::metrics::sink::{MetricsSink, TraceEvent, TraceSink};
+        use lotus_sim::Span;
+
+        // A zero-duration wait completing at t=0 is the degenerate case
+        // that used to divide 0/0; the sink must publish a finite 0.0 and
+        // the dashboard must render it.
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), 1);
+        let _ = sink.on_event(&TraceEvent::BatchWait {
+            pid: 4242,
+            batch_id: 0,
+            start: Time::ZERO,
+            dur: Span::ZERO,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        });
+        let out = render_dashboard(&registry.snapshot(), DashboardOptions::default());
+        assert!(
+            out.contains("main wait fraction 0.000"),
+            "degenerate wait renders a finite fraction: {out}"
+        );
+        assert!(
+            !out.contains("NaN"),
+            "no NaN anywhere in the dashboard: {out}"
+        );
+    }
+
+    #[test]
     fn dashboard_of_empty_snapshot_is_calm() {
         let out = render_dashboard(
             &MetricsRegistry::new().snapshot(),

@@ -75,6 +75,16 @@ pub mod names {
     /// Counter: storage reads that required a device seek.
     pub const STORAGE_SEEKS: &str = "storage_seeks_total";
 
+    /// Counter: batches a scheduling policy stole off their round-robin
+    /// target worker.
+    pub const STEALS: &str = "steals_total";
+    /// Counter: batches a lane-aware policy classified into the slow lane.
+    pub const LANE_SLOW: &str = "lane_slow_total";
+    /// Counter: prefetch-window resizes by an adaptive policy.
+    pub const PREFETCH_RESIZES: &str = "prefetch_resizes_total";
+    /// Gauge: the adaptive policy's current per-worker prefetch target.
+    pub const PREFETCH_TARGET: &str = "prefetch_target";
+
     /// Counter name for a worker's cumulative busy (fetch) nanoseconds.
     #[must_use]
     pub fn worker_busy(pid: u32) -> String {
@@ -201,6 +211,35 @@ pub enum TraceEvent<'a> {
         /// The receiving survivor's pid.
         to_pid: u32,
         /// Redispatch instant.
+        at: Time,
+    },
+    /// A scheduling policy stole a batch off its round-robin target.
+    BatchStolen {
+        /// Batch id.
+        batch_id: u64,
+        /// The round-robin target the batch was taken from.
+        from_pid: u32,
+        /// The worker that received it instead.
+        to_pid: u32,
+        /// Steal instant.
+        at: Time,
+    },
+    /// A lane-aware policy classified a batch into a fast/slow lane.
+    LaneAssigned {
+        /// Batch id.
+        batch_id: u64,
+        /// Lane name (`"fast"` or `"slow"`).
+        lane: &'a str,
+        /// The worker that received the batch.
+        to_pid: u32,
+        /// Assignment instant.
+        at: Time,
+    },
+    /// An adaptive policy resized the per-worker prefetch window.
+    PrefetchResized {
+        /// New per-worker prefetch target.
+        target: usize,
+        /// Resize instant.
         at: Time,
     },
     /// A named scalar sampled by the engine (queue depths, in-flight
@@ -332,6 +371,46 @@ impl TraceEvent<'_> {
                 false,
                 Span::ZERO,
             ),
+            TraceEvent::BatchStolen {
+                batch_id,
+                to_pid,
+                at,
+                ..
+            } => (
+                SpanKind::BatchStolen,
+                to_pid,
+                batch_id,
+                at,
+                Span::ZERO,
+                false,
+                Span::ZERO,
+            ),
+            TraceEvent::LaneAssigned {
+                batch_id,
+                lane,
+                to_pid,
+                at,
+            } => (
+                SpanKind::LaneAssigned(lane.to_string()),
+                to_pid,
+                batch_id,
+                at,
+                Span::ZERO,
+                false,
+                Span::ZERO,
+            ),
+            // The resize target rides the batch-id slot (the label
+            // notation is `SPrefetchResized_{target}`); the emitter is
+            // always the main process.
+            TraceEvent::PrefetchResized { target, at } => (
+                SpanKind::PrefetchResized,
+                4242,
+                target as u64,
+                at,
+                Span::ZERO,
+                false,
+                Span::ZERO,
+            ),
             TraceEvent::Gauge { .. } => return None,
         };
         Some(TraceRecord {
@@ -421,6 +500,19 @@ impl TraceSink for LotusTrace {
                 to_pid,
                 at,
             } => self.on_batch_redispatched(batch_id, from_pid, to_pid, at),
+            TraceEvent::BatchStolen {
+                batch_id,
+                from_pid,
+                to_pid,
+                at,
+            } => self.on_batch_stolen(batch_id, from_pid, to_pid, at),
+            TraceEvent::LaneAssigned {
+                batch_id,
+                lane,
+                to_pid,
+                at,
+            } => self.on_lane_assigned(batch_id, lane, to_pid, at),
+            TraceEvent::PrefetchResized { target, at } => self.on_prefetch_resized(target, at),
             TraceEvent::Gauge { .. } => Span::ZERO,
         }
     }
@@ -540,13 +632,15 @@ impl TraceSink for MetricsSink {
                 let mut state = self.state.lock().expect("metrics sink poisoned");
                 state.wait_ns_total += dur.as_nanos();
                 let now = start + dur;
-                if now > Time::ZERO {
-                    r.set_gauge(
-                        names::MAIN_WAIT_FRACTION,
-                        now,
-                        state.wait_ns_total as f64 / now.as_nanos() as f64,
-                    );
-                }
+                // A zero-duration wait completing at t=0 would divide by
+                // zero; always publish a finite fraction in [0, 1] so the
+                // dashboard never renders NaN.
+                let fraction = if now > Time::ZERO {
+                    (state.wait_ns_total as f64 / now.as_nanos() as f64).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                r.set_gauge(names::MAIN_WAIT_FRACTION, now, fraction);
             }
             TraceEvent::BatchConsumed {
                 start,
@@ -570,6 +664,16 @@ impl TraceSink for MetricsSink {
                 r.set_gauge(names::LIVE_WORKERS, at, state.live_workers as f64);
             }
             TraceEvent::BatchRedispatched { .. } => r.inc_counter(names::REDISPATCHES, 1),
+            TraceEvent::BatchStolen { .. } => r.inc_counter(names::STEALS, 1),
+            TraceEvent::LaneAssigned { lane, .. } => {
+                if lane == "slow" {
+                    r.inc_counter(names::LANE_SLOW, 1);
+                }
+            }
+            TraceEvent::PrefetchResized { target, at } => {
+                r.inc_counter(names::PREFETCH_RESIZES, 1);
+                r.set_gauge(names::PREFETCH_TARGET, at, target as f64);
+            }
             TraceEvent::Gauge { name, value, at } => {
                 // Engine-internal samples piggyback on queue transitions
                 // the engine already paid for; only span/instant events
@@ -854,6 +958,28 @@ impl Tracer for MultiSink {
         })
     }
 
+    fn on_batch_stolen(&self, batch_id: u64, from_pid: u32, to_pid: u32, at: Time) -> Span {
+        self.fan_out(&TraceEvent::BatchStolen {
+            batch_id,
+            from_pid,
+            to_pid,
+            at,
+        })
+    }
+
+    fn on_lane_assigned(&self, batch_id: u64, lane: &str, to_pid: u32, at: Time) -> Span {
+        self.fan_out(&TraceEvent::LaneAssigned {
+            batch_id,
+            lane,
+            to_pid,
+            at,
+        })
+    }
+
+    fn on_prefetch_resized(&self, target: usize, at: Time) -> Span {
+        self.fan_out(&TraceEvent::PrefetchResized { target, at })
+    }
+
     fn on_gauge(&self, name: &str, value: f64, at: Time) -> Span {
         self.fan_out(&TraceEvent::Gauge { name, value, at })
     }
@@ -1093,6 +1219,107 @@ mod tests {
         let overheads = multi.overheads();
         assert_eq!(overheads[0].0, "lotus-trace");
         assert_eq!(overheads[1].0, "metrics");
+    }
+
+    #[test]
+    fn scheduling_events_fold_into_counters_and_records() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), 2);
+        let _ = sink.on_event(&TraceEvent::BatchStolen {
+            batch_id: 7,
+            from_pid: 4243,
+            to_pid: 4244,
+            at: Time::from_nanos(10),
+        });
+        let _ = sink.on_event(&TraceEvent::LaneAssigned {
+            batch_id: 7,
+            lane: "slow",
+            to_pid: 4244,
+            at: Time::from_nanos(10),
+        });
+        let _ = sink.on_event(&TraceEvent::LaneAssigned {
+            batch_id: 8,
+            lane: "fast",
+            to_pid: 4243,
+            at: Time::from_nanos(20),
+        });
+        let _ = sink.on_event(&TraceEvent::PrefetchResized {
+            target: 3,
+            at: Time::from_nanos(30),
+        });
+        assert_eq!(registry.counter(names::STEALS), 1);
+        assert_eq!(
+            registry.counter(names::LANE_SLOW),
+            1,
+            "fast lane not counted"
+        );
+        assert_eq!(registry.counter(names::PREFETCH_RESIZES), 1);
+        assert_eq!(
+            registry.gauge(names::PREFETCH_TARGET).unwrap().last(),
+            Some(3.0)
+        );
+
+        let stolen = TraceEvent::BatchStolen {
+            batch_id: 7,
+            from_pid: 4243,
+            to_pid: 4244,
+            at: Time::from_nanos(10),
+        }
+        .to_record()
+        .unwrap();
+        assert_eq!(stolen.kind, SpanKind::BatchStolen);
+        assert_eq!(stolen.pid, 4244, "steal records the receiving worker");
+        let lane = TraceEvent::LaneAssigned {
+            batch_id: 7,
+            lane: "slow",
+            to_pid: 4244,
+            at: Time::from_nanos(10),
+        }
+        .to_record()
+        .unwrap();
+        assert_eq!(lane.kind, SpanKind::LaneAssigned("slow".into()));
+        let resized = TraceEvent::PrefetchResized {
+            target: 3,
+            at: Time::from_nanos(30),
+        }
+        .to_record()
+        .unwrap();
+        assert_eq!(resized.kind, SpanKind::PrefetchResized);
+        assert_eq!(resized.batch_id, 3, "target rides the batch-id slot");
+        assert_eq!(resized.pid, 4242, "resize is a main-process event");
+    }
+
+    #[test]
+    fn wait_fraction_gauge_is_always_finite_and_clamped() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), 1);
+        // A zero-duration wait completing at t=0 must not divide by zero.
+        let _ = sink.on_event(&TraceEvent::BatchWait {
+            pid: 4242,
+            batch_id: 0,
+            start: Time::ZERO,
+            dur: Span::ZERO,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        });
+        assert_eq!(
+            registry.gauge(names::MAIN_WAIT_FRACTION).unwrap().last(),
+            Some(0.0)
+        );
+        // Waiting for the whole elapsed window pins the fraction at 1.
+        let _ = sink.on_event(&TraceEvent::BatchWait {
+            pid: 4242,
+            batch_id: 1,
+            start: Time::ZERO,
+            dur: Span::from_millis(1),
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        });
+        let samples = registry.gauge(names::MAIN_WAIT_FRACTION).unwrap();
+        let last = samples.last().unwrap();
+        assert!(last.is_finite());
+        assert!((0.0..=1.0).contains(&last));
+        assert_eq!(last, 1.0);
     }
 
     #[test]

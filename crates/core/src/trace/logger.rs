@@ -327,6 +327,44 @@ impl Tracer for LotusTrace {
             queue_delay: Span::ZERO,
         })
     }
+
+    fn on_batch_stolen(&self, batch_id: u64, _from_pid: u32, to_pid: u32, at: Time) -> Span {
+        self.push(TraceRecord {
+            kind: SpanKind::BatchStolen,
+            pid: to_pid,
+            batch_id,
+            start: at,
+            duration: Span::ZERO,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        })
+    }
+
+    fn on_lane_assigned(&self, batch_id: u64, lane: &str, to_pid: u32, at: Time) -> Span {
+        self.push(TraceRecord {
+            kind: SpanKind::LaneAssigned(lane.to_string()),
+            pid: to_pid,
+            batch_id,
+            start: at,
+            duration: Span::ZERO,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        })
+    }
+
+    fn on_prefetch_resized(&self, target: usize, at: Time) -> Span {
+        // The resize target rides the batch-id slot; the emitter is the
+        // main process.
+        self.push(TraceRecord {
+            kind: SpanKind::PrefetchResized,
+            pid: 4242,
+            batch_id: target as u64,
+            start: at,
+            duration: Span::ZERO,
+            out_of_order: false,
+            queue_delay: Span::ZERO,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +489,24 @@ mod tests {
         );
         assert!(trace.records()[0].out_of_order);
         assert_eq!(trace.records()[0].queue_delay, Span::from_nanos(9));
+    }
+
+    #[test]
+    fn scheduling_hooks_record_instant_marks() {
+        let trace = LotusTrace::new();
+        let _ = trace.on_batch_stolen(7, 4243, 4244, Time::from_nanos(10));
+        let _ = trace.on_lane_assigned(7, "slow", 4244, Time::from_nanos(10));
+        let _ = trace.on_prefetch_resized(3, Time::from_nanos(20));
+        let records = trace.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, SpanKind::BatchStolen);
+        assert_eq!(records[0].pid, 4244, "steal records the receiving worker");
+        assert_eq!(records[1].kind, SpanKind::LaneAssigned("slow".into()));
+        assert_eq!(records[2].kind, SpanKind::PrefetchResized);
+        assert_eq!(records[2].batch_id, 3, "target rides the batch-id slot");
+        assert!(records
+            .iter()
+            .all(|r| r.duration.is_zero() && r.kind.is_instant()));
     }
 
     #[test]

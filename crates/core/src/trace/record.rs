@@ -30,6 +30,17 @@ pub enum SpanKind {
     /// An in-flight batch owned by a dead worker was re-sent to a
     /// survivor — `SBatchRedispatched_idx` (an instant, duration zero).
     BatchRedispatched,
+    /// A scheduling policy stole a batch from its round-robin target and
+    /// placed it elsewhere — `SBatchStolen_idx` (an instant).
+    BatchStolen,
+    /// A lane-aware policy classified a batch into a fast/slow lane —
+    /// `SLaneAssigned_idx_lane` (an instant; the payload is the lane
+    /// name, which never contains `_`).
+    LaneAssigned(String),
+    /// An adaptive policy resized the per-worker prefetch window —
+    /// `SPrefetchResized_target` (an instant; the "batch id" slot in the
+    /// label carries the new target).
+    PrefetchResized,
 }
 
 impl SpanKind {
@@ -45,16 +56,24 @@ impl SpanKind {
             SpanKind::FaultInjected(op) => format!("SFaultInjected_{batch_id}_{op}"),
             SpanKind::WorkerDied => "SWorkerDied".to_string(),
             SpanKind::BatchRedispatched => format!("SBatchRedispatched_{batch_id}"),
+            SpanKind::BatchStolen => format!("SBatchStolen_{batch_id}"),
+            SpanKind::LaneAssigned(lane) => format!("SLaneAssigned_{batch_id}_{lane}"),
+            SpanKind::PrefetchResized => format!("SPrefetchResized_{batch_id}"),
         }
     }
 
-    /// True for the zero-duration fault/lifecycle marks (rendered as
-    /// instant events in the Chrome trace).
+    /// True for the zero-duration fault/lifecycle/scheduling marks
+    /// (rendered as instant events in the Chrome trace).
     #[must_use]
     pub fn is_instant(&self) -> bool {
         matches!(
             self,
-            SpanKind::FaultInjected(_) | SpanKind::WorkerDied | SpanKind::BatchRedispatched
+            SpanKind::FaultInjected(_)
+                | SpanKind::WorkerDied
+                | SpanKind::BatchRedispatched
+                | SpanKind::BatchStolen
+                | SpanKind::LaneAssigned(_)
+                | SpanKind::PrefetchResized
         )
     }
 }
@@ -149,6 +168,8 @@ pub(crate) fn parse_label(label: &str) -> Result<(SpanKind, u64), String> {
         ("SBatchWait_", SpanKind::BatchWait),
         ("SBatchConsumed_", SpanKind::BatchConsumed),
         ("SBatchRedispatched_", SpanKind::BatchRedispatched),
+        ("SBatchStolen_", SpanKind::BatchStolen),
+        ("SPrefetchResized_", SpanKind::PrefetchResized),
     ] {
         if let Some(idx) = label.strip_prefix(prefix) {
             let id = idx.parse().map_err(|e| format!("bad batch id: {e}"))?;
@@ -161,6 +182,13 @@ pub(crate) fn parse_label(label: &str) -> Result<(SpanKind, u64), String> {
             .ok_or_else(|| format!("fault label '{label}' missing op"))?;
         let id = idx.parse().map_err(|e| format!("bad batch id: {e}"))?;
         return Ok((SpanKind::FaultInjected(op.to_string()), id));
+    }
+    if let Some(rest) = label.strip_prefix("SLaneAssigned_") {
+        let (idx, lane) = rest
+            .split_once('_')
+            .ok_or_else(|| format!("lane label '{label}' missing lane"))?;
+        let id = idx.parse().map_err(|e| format!("bad batch id: {e}"))?;
+        return Ok((SpanKind::LaneAssigned(lane.to_string()), id));
     }
     if let Some(rest) = label.strip_prefix("SStorageRead_") {
         let (idx, tier) = rest
@@ -227,6 +255,9 @@ mod tests {
             SpanKind::BatchRedispatched,
             SpanKind::FaultInjected("Normalize".into()),
             SpanKind::StorageRead("object-store".into()),
+            SpanKind::BatchStolen,
+            SpanKind::LaneAssigned("slow".into()),
+            SpanKind::PrefetchResized,
         ] {
             let r = record(kind);
             let parsed = TraceRecord::parse_log_line(&r.to_log_line()).unwrap();
@@ -242,9 +273,22 @@ mod tests {
     }
 
     #[test]
+    fn scheduling_labels_match_the_policy_notation() {
+        assert_eq!(SpanKind::BatchStolen.label(5), "SBatchStolen_5");
+        assert_eq!(
+            SpanKind::LaneAssigned("slow".into()).label(5),
+            "SLaneAssigned_5_slow"
+        );
+        assert_eq!(SpanKind::PrefetchResized.label(3), "SPrefetchResized_3");
+    }
+
+    #[test]
     fn fault_kinds_are_instants() {
         assert!(SpanKind::WorkerDied.is_instant());
         assert!(SpanKind::BatchRedispatched.is_instant());
+        assert!(SpanKind::BatchStolen.is_instant());
+        assert!(SpanKind::LaneAssigned("fast".into()).is_instant());
+        assert!(SpanKind::PrefetchResized.is_instant());
         assert!(SpanKind::FaultInjected("X".into()).is_instant());
         assert!(!SpanKind::BatchWait.is_instant());
         assert!(!SpanKind::Op("X".into()).is_instant());

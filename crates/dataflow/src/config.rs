@@ -3,6 +3,7 @@
 use lotus_sim::Span;
 
 use crate::dataset::Sampler;
+use crate::policy::SchedulingPolicyKind;
 
 /// `torch.utils.data.DataLoader` parameters (the knobs of the paper's
 /// Listing 1), plus the `data_queue_cap` extension the `lotus tune`
@@ -36,6 +37,10 @@ pub struct DataLoaderConfig {
     pub sampler: Sampler,
     /// Whether a trailing partial batch is dropped.
     pub drop_last: bool,
+    /// The dispatch discipline assigning index batches to workers.
+    /// [`SchedulingPolicyKind::RoundRobin`] (the default) is PyTorch's
+    /// strict `_worker_queue_idx_cycle`.
+    pub policy: SchedulingPolicyKind,
 }
 
 impl DataLoaderConfig {
@@ -92,6 +97,7 @@ impl Default for DataLoaderConfig {
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
+            policy: SchedulingPolicyKind::RoundRobin,
         }
     }
 }

@@ -35,6 +35,15 @@ pub trait Dataset: Send + Sync {
         ctx: &mut TransformCtx<'_>,
         observer: &mut dyn TransformObserver,
     ) -> Result<Sample, PipelineError>;
+
+    /// A cheap, side-effect-free estimate of item `index`'s relative
+    /// preprocessing cost (arbitrary units — stored bytes work well), if
+    /// the dataset can provide one without touching the item. Cost-aware
+    /// scheduling policies use this as a prior before any sample has been
+    /// observed; `None` (the default) means no prior is available.
+    fn cost_hint(&self, _index: u64) -> Option<u64> {
+        None
+    }
 }
 
 /// Index-ordering policy for one epoch (`torch.utils.data.Sampler`).

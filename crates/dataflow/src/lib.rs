@@ -27,6 +27,7 @@ mod error;
 mod loader;
 mod native;
 mod pipeline;
+mod policy;
 mod tracer;
 
 pub use backend::{ExecutionBackend, SimBackend};
@@ -36,6 +37,9 @@ pub use error::JobError;
 pub use loader::{worker_os_pid, JobReport, LoaderMutation, TrainingJob, MAIN_OS_PID};
 pub use native::{NativeBackend, NativeOptions, NativeQueue};
 pub use pipeline::{Pipeline, Source};
+pub use policy::{
+    BatchRef, DispatchContext, Lane, Placement, Refill, SchedulingPolicy, SchedulingPolicyKind,
+};
 pub use tracer::{NullTracer, Tracer};
 
 pub use lotus_sim::FaultPlan;

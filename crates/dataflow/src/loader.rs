@@ -15,6 +15,7 @@ use rand::SeedableRng;
 use crate::config::{DataLoaderConfig, GpuConfig};
 use crate::dataset::{BatchSampler, Dataset};
 use crate::error::JobError;
+use crate::policy::{BatchRef, DispatchContext, Refill, SchedulingPolicy};
 use crate::tracer::Tracer;
 
 /// Simulated OS pid of the main process (the paper logs real pids via
@@ -61,6 +62,9 @@ struct Envelope {
     payload: Result<BatchPayload, PipelineError>,
     /// Virtual time at which preprocessing (the fetch) finished.
     produced_at: Time,
+    /// Duration of the fetch — fed back to cost-aware scheduling
+    /// policies; never observable through the tracer.
+    fetch: Span,
     worker: usize,
     pinned: bool,
 }
@@ -303,6 +307,7 @@ impl TrainingJob {
                 samples: 0,
             });
         }
+        let hints = batch_cost_hints(&*dataset, &loader, &batches);
 
         let mut sim = Simulation::new();
         if let Some(controller) = controller {
@@ -361,6 +366,7 @@ impl TrainingJob {
                     &loader,
                     &gpu,
                     batches,
+                    hints,
                     &faults,
                     &job_error,
                     mutation,
@@ -378,6 +384,28 @@ impl TrainingJob {
             samples: total_samples,
         })
     }
+}
+
+/// Per-batch mean dataset cost hints for cost-aware policies; an empty
+/// vector (every lookup misses) when the configured policy ignores cost.
+pub(crate) fn batch_cost_hints(
+    dataset: &dyn Dataset,
+    loader: &DataLoaderConfig,
+    batches: &[Vec<u64>],
+) -> Vec<Option<f64>> {
+    if !loader.policy.is_cost_aware() {
+        return Vec::new();
+    }
+    batches
+        .iter()
+        .map(|indices| {
+            let known: Vec<u64> = indices
+                .iter()
+                .filter_map(|&i| dataset.cost_hint(i))
+                .collect();
+            (!known.is_empty()).then(|| known.iter().sum::<u64>() as f64 / known.len() as f64)
+        })
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -459,12 +487,22 @@ fn worker_loop(
                 });
                 break;
             }
+            let item_start = cpu.cursor();
             let mut tctx = TransformCtx {
                 cpu: &mut cpu,
                 rng: &mut rng,
             };
             match dataset.get_item(i, &mut tctx, &mut bridge) {
-                Ok(sample) => samples.push(sample),
+                Ok(sample) => {
+                    // A slow-sample fault plan dilates this item's
+                    // modeled cost (a straggler record, a cold cache).
+                    let slowdown = faults.sample_slowdown(i);
+                    if slowdown > 1.0 {
+                        let item_span = cpu.cursor().since(item_start);
+                        cpu.idle(item_span.mul_f64(slowdown - 1.0));
+                    }
+                    samples.push(sample);
+                }
                 Err(e) => {
                     // PyTorch wraps the exception and abandons the rest of
                     // the batch; the worker itself keeps running.
@@ -511,6 +549,7 @@ fn worker_loop(
                 len: b.len,
             }),
             produced_at: start + fetch_span,
+            fetch: fetch_span,
             worker,
             pinned: false,
         };
@@ -538,32 +577,50 @@ fn worker_loop(
     }
 }
 
-/// Index-batch dispatch state: the strict round-robin worker cycle, the
-/// set of batches dispatched but not yet returned, and which workers are
+/// Index-batch dispatch state: the pluggable scheduling policy, the set
+/// of batches dispatched but not yet returned, and which workers are
 /// known dead.
 ///
-/// PyTorch assigns index batches to workers in a strict round-robin cycle
-/// (`_worker_queue_idx_cycle`), regardless of which worker just returned
-/// data. A momentarily slow worker therefore falls behind while its
-/// siblings run ahead — the root cause of the out-of-order arrivals in
-/// §V-C of the paper. When a worker dies, the cycle skips it (PyTorch
-/// marks the slot unavailable in `_workers_status`).
+/// The *protocol* lives here — orphan redispatch in id order before
+/// fresh batches, a truthful in-flight inventory, a hard
+/// `prefetch_factor * num_workers` in-flight bound — while the *choice*
+/// of worker (and refill quota) is delegated to the
+/// [`SchedulingPolicy`]. The default [round-robin] policy reproduces
+/// PyTorch's strict `_worker_queue_idx_cycle`, regardless of which
+/// worker just returned data: a momentarily slow worker falls behind
+/// while its siblings run ahead — the root cause of the out-of-order
+/// arrivals in §V-C of the paper. When a worker dies, the rotation
+/// continues over the live workers only (PyTorch marks the slot
+/// unavailable in `_workers_status`).
+///
+/// [round-robin]: crate::policy::SchedulingPolicyKind::RoundRobin
 struct Dispatcher {
     batch_iter: std::iter::Enumerate<std::vec::IntoIter<Vec<u64>>>,
     /// Orphaned batches from dead workers, re-sent before fresh ones.
     redispatch: VecDeque<(u64, Vec<u64>)>,
-    cycle: usize,
+    policy: Box<dyn SchedulingPolicy>,
+    /// Per-batch mean dataset cost hints (indexed by batch id), present
+    /// only when the policy is cost-aware.
+    hints: Vec<Option<f64>>,
+    prefetch_factor: usize,
     dead: Vec<bool>,
     /// Dispatched-but-not-returned batches: id → (worker, indices).
     in_flight: HashMap<u64, (usize, Vec<u64>)>,
 }
 
 impl Dispatcher {
-    fn new(batches: Vec<Vec<u64>>, workers: usize) -> Dispatcher {
+    fn new(
+        batches: Vec<Vec<u64>>,
+        workers: usize,
+        loader: &DataLoaderConfig,
+        hints: Vec<Option<f64>>,
+    ) -> Dispatcher {
         Dispatcher {
             batch_iter: batches.into_iter().enumerate(),
             redispatch: VecDeque::new(),
-            cycle: 0,
+            policy: loader.policy.build(workers, loader.prefetch_factor),
+            hints,
+            prefetch_factor: loader.prefetch_factor,
             dead: vec![false; workers],
             in_flight: HashMap::new(),
         }
@@ -573,28 +630,17 @@ impl Dispatcher {
         self.dead.iter().filter(|&&d| !d).count()
     }
 
-    /// The next live worker in the round-robin cycle.
-    fn next_worker(&mut self) -> Option<usize> {
-        let n = self.dead.len();
-        for _ in 0..n {
-            let w = self.cycle;
-            self.cycle = (self.cycle + 1) % n;
-            if !self.dead[w] {
-                return Some(w);
-            }
-        }
-        None
-    }
-
     /// Sends one index batch (a pending redispatch first, else the next
-    /// fresh batch) to the next live worker, announcing the dispatch to
-    /// the tracer. Returns the worker that received it, so the caller can
-    /// sample that queue's depth.
+    /// fresh batch) to the worker the scheduling policy chooses,
+    /// announcing the dispatch — and any steal or lane-assignment the
+    /// policy made — to the tracer. Returns the worker that received it,
+    /// so the caller can sample that queue's depth.
     fn send_next(
         &mut self,
         ctx: &Ctx,
         tracer: &dyn Tracer,
         index_qs: &[Queue<WorkerMsg>],
+        data_q: &Queue<Envelope>,
     ) -> Option<usize> {
         let (next, redispatch) = match self.redispatch.pop_front() {
             Some(item) => (Some(item), true),
@@ -604,12 +650,30 @@ impl Dispatcher {
             ),
         };
         if let Some((id, indices)) = next {
-            let Some(w) = self.next_worker() else {
+            if self.alive() == 0 {
                 // No live worker to hand it to; keep it queued so the
                 // outstanding count stays truthful.
                 self.redispatch.push_front((id, indices));
                 return None;
-            };
+            }
+            let depths: Vec<usize> = index_qs.iter().map(Queue::len).collect();
+            let placement = self.policy.place(
+                &BatchRef {
+                    id,
+                    indices: &indices,
+                    hint: self.hints.get(id as usize).copied().flatten(),
+                },
+                &DispatchContext {
+                    queue_depths: &depths,
+                    dead: &self.dead,
+                    in_flight: self.in_flight.len(),
+                    data_queue_depth: data_q.len(),
+                    prefetch_factor: self.prefetch_factor,
+                    redispatch,
+                },
+            );
+            let w = placement.worker;
+            assert!(!self.dead[w], "policy placed a batch on a dead worker");
             index_qs[w].push(
                 ctx,
                 WorkerMsg::Batch {
@@ -617,8 +681,14 @@ impl Dispatcher {
                     indices: indices.clone(),
                 },
             );
-            let oh =
+            let mut oh =
                 tracer.on_batch_dispatched(id, worker_os_pid(w), &indices, redispatch, ctx.now());
+            if let Some(from) = placement.stolen_from.filter(|&from| from != w) {
+                oh += tracer.on_batch_stolen(id, worker_os_pid(from), worker_os_pid(w), ctx.now());
+            }
+            if let Some(lane) = placement.lane {
+                oh += tracer.on_lane_assigned(id, lane.as_str(), worker_os_pid(w), ctx.now());
+            }
             if !oh.is_zero() {
                 ctx.delay(oh);
             }
@@ -628,10 +698,37 @@ impl Dispatcher {
         None
     }
 
+    /// A returned batch was taken off the data queue: update the
+    /// inventory and feed the observed cost back to the policy.
+    fn batch_returned(&mut self, env: &Envelope) {
+        if let Some((_, indices)) = self.in_flight.remove(&env.batch_id) {
+            self.policy
+                .on_batch_returned(env.worker, &indices, env.fetch.as_nanos());
+        }
+    }
+
+    /// Asks the policy for the refill quota after a returned batch,
+    /// clamped to the protocol's hard in-flight bound.
+    fn refill_quota(&mut self, index_qs: &[Queue<WorkerMsg>], data_q: &Queue<Envelope>) -> Refill {
+        let depths: Vec<usize> = index_qs.iter().map(Queue::len).collect();
+        let mut refill = self.policy.refill(&DispatchContext {
+            queue_depths: &depths,
+            dead: &self.dead,
+            in_flight: self.in_flight.len(),
+            data_queue_depth: data_q.len(),
+            prefetch_factor: self.prefetch_factor,
+            redispatch: false,
+        });
+        let bound = self.prefetch_factor * self.dead.len();
+        refill.count = refill.count.min(bound.saturating_sub(self.in_flight.len()));
+        refill
+    }
+
     /// Marks `worker` dead and queues its in-flight batches (in id order)
     /// for redispatch. Returns the orphaned batch ids.
     fn mark_dead(&mut self, worker: usize) -> Vec<u64> {
         self.dead[worker] = true;
+        self.policy.on_worker_died(worker);
         let mut orphans: Vec<u64> = self
             .in_flight
             .iter()
@@ -655,6 +752,7 @@ fn redispatch_live(
     ctx: &Ctx,
     tracer: &dyn Tracer,
     index_qs: &[Queue<WorkerMsg>],
+    data_q: &Queue<Envelope>,
     dispatcher: &mut Dispatcher,
     batch_id: u64,
 ) {
@@ -668,7 +766,7 @@ fn redispatch_live(
     };
     let (owner, indices) = dispatcher.in_flight[&id].clone();
     dispatcher.redispatch.push_front((id, indices));
-    let sent = dispatcher.send_next(ctx, tracer, index_qs);
+    let sent = dispatcher.send_next(ctx, tracer, index_qs, data_q);
     emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
     if let Some((to, _)) = dispatcher.in_flight.get(&id) {
         let oh =
@@ -720,6 +818,7 @@ fn main_loop(
     loader: &DataLoaderConfig,
     gpu: &GpuConfig,
     batches: Vec<Vec<u64>>,
+    hints: Vec<Option<f64>>,
     faults: &FaultPlan,
     job_error: &Mutex<Option<JobError>>,
     mutation: LoaderMutation,
@@ -730,7 +829,7 @@ fn main_loop(
     }
     let num_batches = batches.len() as u64;
     let workers = index_qs.len();
-    let mut dispatcher = Dispatcher::new(batches, workers);
+    let mut dispatcher = Dispatcher::new(batches, workers, loader, hints);
     let queue_factor = faults.queue_factor("data_queue");
     let kill_times: Vec<Option<Time>> = (0..workers)
         .map(|w| faults.kill_time(&format!("dataloader{w}")))
@@ -741,7 +840,7 @@ fn main_loop(
 
     // Initial prefetch: `prefetch_factor` index batches per worker.
     for _ in 0..loader.prefetch_factor * workers {
-        let sent = dispatcher.send_next(ctx, tracer, index_qs);
+        let sent = dispatcher.send_next(ctx, tracer, index_qs, data_q);
         emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
     }
 
@@ -751,7 +850,7 @@ fn main_loop(
             if let LoaderMutation::RedispatchLive { batch_id } = mutation {
                 // Seeded bug: re-send an outstanding batch whose owner
                 // was never observed dead.
-                redispatch_live(ctx, tracer, index_qs, &mut dispatcher, batch_id);
+                redispatch_live(ctx, tracer, index_qs, data_q, &mut dispatcher, batch_id);
             }
         }
         let wait_start = ctx.now();
@@ -799,7 +898,7 @@ fn main_loop(
                         // Re-send the dead worker's in-flight batches to
                         // the survivors, preserving id order.
                         for id in orphans {
-                            let sent = dispatcher.send_next(ctx, tracer, index_qs);
+                            let sent = dispatcher.send_next(ctx, tracer, index_qs, data_q);
                             emit_dispatch_gauges(
                                 ctx,
                                 tracer,
@@ -832,7 +931,7 @@ fn main_loop(
                     env.bytes().min(65_536) as f64 * queue_factor,
                 );
                 emit_gauge(ctx, tracer, "queue_depth.data_queue", data_q.len() as f64);
-                dispatcher.in_flight.remove(&env.batch_id);
+                dispatcher.batch_returned(&env);
                 emit_gauge(
                     ctx,
                     tracer,
@@ -865,13 +964,23 @@ fn main_loop(
             }
         };
 
-        // Refill exactly once per *returned* batch — PyTorch's
-        // `_process_data` calls `_try_put_index` before it re-raises, so
-        // the in-flight inventory never exceeds
+        // Refill per *returned* batch — PyTorch's `_process_data` calls
+        // `_try_put_index` before it re-raises. The policy decides the
+        // quota (the protocol default is exactly one); the dispatcher
+        // clamps it so the in-flight inventory never exceeds
         // `prefetch_factor * num_workers`, even while out-of-order
         // envelopes accumulate in the pinned cache.
-        let sent = dispatcher.send_next(ctx, tracer, index_qs);
-        emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
+        let refill = dispatcher.refill_quota(index_qs, data_q);
+        if let Some(target) = refill.resized_to {
+            let oh = tracer.on_prefetch_resized(target, ctx.now());
+            if !oh.is_zero() {
+                ctx.delay(oh);
+            }
+        }
+        for _ in 0..refill.count {
+            let sent = dispatcher.send_next(ctx, tracer, index_qs, data_q);
+            emit_dispatch_gauges(ctx, tracer, index_qs, sent, dispatcher.in_flight.len());
+        }
 
         let payload = match env.payload {
             Ok(p) => p,
@@ -914,5 +1023,184 @@ fn main_loop(
 
     for q in index_qs {
         q.push(ctx, WorkerMsg::Shutdown);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sampler;
+    use crate::policy::SchedulingPolicyKind;
+    use crate::tracer::NullTracer;
+    use lotus_data::DType;
+    use lotus_transforms::Sample;
+    use lotus_uarch::{Machine, MachineConfig};
+
+    /// A dataset whose items each cost a fixed millisecond of modeled
+    /// work, so kill times land mid-epoch at predictable points.
+    struct FixedCostDataset {
+        items: u64,
+    }
+
+    impl Dataset for FixedCostDataset {
+        fn len(&self) -> u64 {
+            self.items
+        }
+
+        fn get_item(
+            &self,
+            _index: u64,
+            ctx: &mut TransformCtx<'_>,
+            observer: &mut dyn TransformObserver,
+        ) -> Result<Sample, PipelineError> {
+            let start = ctx.cpu.cursor();
+            ctx.cpu.idle(Span::from_millis(1));
+            observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
+            Ok(Sample::tensor_meta(&[4, 4], DType::F32))
+        }
+    }
+
+    fn fixed_job(items: u64, workers: usize, tracer: Arc<dyn Tracer>) -> TrainingJob {
+        let machine = Machine::new(MachineConfig::cloudlab_c4130());
+        TrainingJob {
+            machine,
+            dataset: Arc::new(FixedCostDataset { items }),
+            storage: None,
+            loader: DataLoaderConfig {
+                batch_size: 4,
+                num_workers: workers,
+                prefetch_factor: 2,
+                data_queue_cap: None,
+                pin_memory: true,
+                sampler: Sampler::Sequential,
+                drop_last: true,
+                policy: SchedulingPolicyKind::RoundRobin,
+            },
+            gpu: GpuConfig::v100(1, Span::from_micros(10)),
+            tracer,
+            hw_profiler: None,
+            seed: 7,
+            epochs: 1,
+            faults: FaultPlan::default(),
+            controller: None,
+            mutation: LoaderMutation::None,
+        }
+    }
+
+    /// Records every dispatch the engine announces.
+    #[derive(Default)]
+    struct DispatchRecorder {
+        dispatches: Mutex<Vec<(u64, u32, bool)>>,
+        deaths: Mutex<Vec<u32>>,
+    }
+
+    impl Tracer for DispatchRecorder {
+        fn on_batch_dispatched(
+            &self,
+            batch_id: u64,
+            to_pid: u32,
+            _indices: &[u64],
+            redispatch: bool,
+            _at: Time,
+        ) -> Span {
+            self.dispatches
+                .lock()
+                .unwrap()
+                .push((batch_id, to_pid, redispatch));
+            Span::ZERO
+        }
+
+        fn on_worker_died(&self, pid: u32, _at: Time) -> Span {
+            self.deaths.lock().unwrap().push(pid);
+            Span::ZERO
+        }
+    }
+
+    /// Regression test for the round-robin cycle accounting: after
+    /// worker 0 dies mid-epoch, dispatch must rotate strictly over the
+    /// survivors — worker 1, worker 2, worker 1, worker 2, … — with no
+    /// phase drift from the dead slot.
+    #[test]
+    fn round_robin_rotates_over_survivors_after_a_death() {
+        let recorder = Arc::new(DispatchRecorder::default());
+        let mut job = fixed_job(60, 3, Arc::clone(&recorder) as Arc<dyn Tracer>);
+        job.faults =
+            FaultPlan::new(7).kill_process("dataloader0", Time::ZERO + Span::from_millis(6));
+        let report = SimBackend.run(job).unwrap();
+        assert_eq!(report.batches, 15);
+
+        let deaths = recorder.deaths.lock().unwrap().clone();
+        assert_eq!(
+            deaths,
+            vec![worker_os_pid(0)],
+            "worker 0 must die exactly once"
+        );
+        let dispatches = recorder.dispatches.lock().unwrap().clone();
+        // Before the death every dispatch rotates over all three workers.
+        let pre: Vec<u32> = dispatches
+            .iter()
+            .take_while(|&&(_, _, redispatch)| !redispatch)
+            .map(|&(_, pid, _)| pid)
+            .collect();
+        for (i, pid) in pre.iter().enumerate() {
+            assert_eq!(*pid, worker_os_pid(i % 3), "pre-death dispatch {i}");
+        }
+        // From the first redispatch on, only survivors appear, in strict
+        // alternation (live-only rotation, no drift).
+        let post: Vec<u32> = dispatches
+            .iter()
+            .skip_while(|&&(_, _, redispatch)| !redispatch)
+            .map(|&(_, pid, _)| pid)
+            .collect();
+        assert!(!post.is_empty(), "the death must orphan at least one batch");
+        for pair in post.windows(2) {
+            assert_ne!(
+                pair[0], pair[1],
+                "survivor rotation must alternate: {post:?}"
+            );
+        }
+        for pid in &post {
+            assert_ne!(*pid, worker_os_pid(0), "no dispatch to the dead worker");
+        }
+    }
+
+    use crate::backend::{ExecutionBackend, SimBackend};
+
+    #[test]
+    fn every_policy_completes_an_epoch_on_the_sim_backend() {
+        for kind in SchedulingPolicyKind::ALL {
+            let mut job = fixed_job(48, 3, Arc::new(NullTracer));
+            job.loader.policy = kind;
+            let report = SimBackend.run(job).unwrap();
+            assert_eq!((report.batches, report.samples), (12, 48), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn every_policy_survives_a_mid_epoch_death() {
+        for kind in SchedulingPolicyKind::ALL {
+            let mut job = fixed_job(48, 3, Arc::new(NullTracer));
+            job.loader.policy = kind;
+            job.faults =
+                FaultPlan::new(7).kill_process("dataloader1", Time::ZERO + Span::from_millis(5));
+            let report = SimBackend.run(job).unwrap();
+            assert_eq!((report.batches, report.samples), (12, 48), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn slow_sample_faults_dilate_the_epoch() {
+        let base = SimBackend
+            .run(fixed_job(32, 2, Arc::new(NullTracer)))
+            .unwrap();
+        let mut slowed_job = fixed_job(32, 2, Arc::new(NullTracer));
+        slowed_job.faults = FaultPlan::new(3).slow_samples(0.25, 10.0);
+        let slowed = SimBackend.run(slowed_job).unwrap();
+        assert!(
+            slowed.elapsed > base.elapsed,
+            "slow samples must cost time: {:?} vs {:?}",
+            slowed.elapsed,
+            base.elapsed
+        );
     }
 }

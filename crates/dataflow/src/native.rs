@@ -33,7 +33,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use lotus_data::mix_seed;
@@ -45,7 +45,8 @@ use crate::backend::ExecutionBackend;
 use crate::config::{DataLoaderConfig, GpuConfig};
 use crate::dataset::{BatchSampler, Dataset};
 use crate::error::JobError;
-use crate::loader::{worker_os_pid, JobReport, TrainingJob, MAIN_OS_PID};
+use crate::loader::{batch_cost_hints, worker_os_pid, JobReport, TrainingJob, MAIN_OS_PID};
+use crate::policy::{BatchRef, DispatchContext, Refill, SchedulingPolicy};
 use crate::tracer::Tracer;
 
 /// How long a worker blocked on a full data queue sleeps between
@@ -136,6 +137,17 @@ impl<T> NativeQueue<T> {
         }
     }
 
+    /// Locks the item deque, recovering from a poisoned mutex. A
+    /// panicking worker must not cascade its panic into every other
+    /// thread touching the queue: the deque holds plain values that are
+    /// valid at every await point (each critical section completes its
+    /// push/pop before unlocking), so the poison flag carries no
+    /// integrity information here. The panic itself is surfaced
+    /// separately, as an in-band [`PipelineError::WorkerPanic`].
+    fn lock_items(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.items.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The queue's name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -143,13 +155,9 @@ impl<T> NativeQueue<T> {
     }
 
     /// Current number of queued items.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a holder of the queue lock panicked.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.items.lock().expect("queue poisoned").len()
+        self.lock_items().len()
     }
 
     /// True when no items are queued.
@@ -163,14 +171,13 @@ impl<T> NativeQueue<T> {
     }
 
     /// Pushes an item, blocking while the queue is full.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a holder of the queue lock panicked.
     pub fn push(&self, item: T) {
-        let mut items = self.items.lock().expect("queue poisoned");
+        let mut items = self.lock_items();
         while Self::is_full(&items, self.cap) {
-            items = self.not_full.wait(items).expect("queue poisoned");
+            items = self
+                .not_full
+                .wait(items)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         items.push_back(item);
         drop(items);
@@ -182,12 +189,8 @@ impl<T> NativeQueue<T> {
     /// # Errors
     ///
     /// Returns `Err(item)` when the queue is at capacity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a holder of the queue lock panicked.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut items = self.items.lock().expect("queue poisoned");
+        let mut items = self.lock_items();
         if Self::is_full(&items, self.cap) {
             return Err(item);
         }
@@ -199,45 +202,36 @@ impl<T> NativeQueue<T> {
 
     /// Blocks until the queue has free capacity or `timeout` elapses.
     /// A wake-up is advisory — callers re-try with [`Self::try_push`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a holder of the queue lock panicked.
     pub fn wait_not_full(&self, timeout: Duration) {
-        let items = self.items.lock().expect("queue poisoned");
+        let items = self.lock_items();
         if Self::is_full(&items, self.cap) {
             let _unused = self
                 .not_full
                 .wait_timeout(items, timeout)
-                .expect("queue poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Pops the oldest item, blocking while the queue is empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a holder of the queue lock panicked.
     pub fn pop(&self) -> T {
-        let mut items = self.items.lock().expect("queue poisoned");
+        let mut items = self.lock_items();
         loop {
             if let Some(item) = items.pop_front() {
                 drop(items);
                 self.not_full.notify_one();
                 return item;
             }
-            items = self.not_empty.wait(items).expect("queue poisoned");
+            items = self
+                .not_empty
+                .wait(items)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Pops the oldest item, giving up after `timeout`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a holder of the queue lock panicked.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut items = self.items.lock().expect("queue poisoned");
+        let mut items = self.lock_items();
         loop {
             if let Some(item) = items.pop_front() {
                 drop(items);
@@ -251,18 +245,14 @@ impl<T> NativeQueue<T> {
             let (guard, _result) = self
                 .not_empty
                 .wait_timeout(items, remaining)
-                .expect("queue poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             items = guard;
         }
     }
 
     /// Pops the oldest item if one is queued.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a holder of the queue lock panicked.
     pub fn try_pop(&self) -> Option<T> {
-        let item = self.items.lock().expect("queue poisoned").pop_front();
+        let item = self.lock_items().pop_front();
         if item.is_some() {
             self.not_full.notify_one();
         }
@@ -288,6 +278,9 @@ struct NativeEnvelope {
     payload: Result<NativePayload, PipelineError>,
     /// Wall time at which the fetch finished (== the `[T1]` record end).
     produced_at: Time,
+    /// Wall duration of the whole fetch — fed back to cost-aware
+    /// scheduling policies on return.
+    fetch: Span,
     worker: usize,
     pinned: bool,
 }
@@ -319,24 +312,35 @@ impl TransformObserver for WallOpBridge<'_> {
     }
 }
 
-/// Round-robin dispatch state — the native twin of the simulated
-/// engine's `Dispatcher`, sharing its semantics: strict
-/// `_worker_queue_idx_cycle` rotation skipping dead workers, orphan
-/// redispatch in batch-id order, and refill-per-returned-batch.
+/// Dispatch state — the native twin of the simulated engine's
+/// `Dispatcher`, sharing its semantics: a pluggable
+/// [`SchedulingPolicy`] picks each batch's live worker (round-robin —
+/// PyTorch's `_worker_queue_idx_cycle` — by default), orphans are
+/// redispatched in batch-id order, and refill counts come from the
+/// policy's quota clamped to the protocol's in-flight bound.
 struct NativeDispatcher {
     batch_iter: std::iter::Enumerate<std::vec::IntoIter<Vec<u64>>>,
     redispatch: VecDeque<(u64, Vec<u64>)>,
-    cycle: usize,
+    policy: Box<dyn SchedulingPolicy>,
+    hints: Vec<Option<f64>>,
+    prefetch_factor: usize,
     dead: Vec<bool>,
     in_flight: HashMap<u64, (usize, Vec<u64>)>,
 }
 
 impl NativeDispatcher {
-    fn new(batches: Vec<Vec<u64>>, workers: usize) -> NativeDispatcher {
+    fn new(
+        batches: Vec<Vec<u64>>,
+        workers: usize,
+        loader: &DataLoaderConfig,
+        hints: Vec<Option<f64>>,
+    ) -> NativeDispatcher {
         NativeDispatcher {
             batch_iter: batches.into_iter().enumerate(),
             redispatch: VecDeque::new(),
-            cycle: 0,
+            policy: loader.policy.build(workers, loader.prefetch_factor),
+            hints,
+            prefetch_factor: loader.prefetch_factor,
             dead: vec![false; workers],
             in_flight: HashMap::new(),
         }
@@ -346,23 +350,12 @@ impl NativeDispatcher {
         self.dead.iter().filter(|&&d| !d).count()
     }
 
-    fn next_worker(&mut self) -> Option<usize> {
-        let n = self.dead.len();
-        for _ in 0..n {
-            let w = self.cycle;
-            self.cycle = (self.cycle + 1) % n;
-            if !self.dead[w] {
-                return Some(w);
-            }
-        }
-        None
-    }
-
     fn send_next(
         &mut self,
         tracer: &dyn Tracer,
         clock: &WallClock,
         index_qs: &[NativeQueue<NativeMsg>],
+        data_q: &NativeQueue<NativeEnvelope>,
     ) -> Option<usize> {
         let (next, redispatch) = match self.redispatch.pop_front() {
             Some(item) => (Some(item), true),
@@ -372,24 +365,83 @@ impl NativeDispatcher {
             ),
         };
         if let Some((id, indices)) = next {
-            let Some(w) = self.next_worker() else {
+            if self.alive() == 0 {
                 self.redispatch.push_front((id, indices));
                 return None;
-            };
+            }
+            let depths: Vec<usize> = index_qs.iter().map(NativeQueue::len).collect();
+            let placement = self.policy.place(
+                &BatchRef {
+                    id,
+                    indices: &indices,
+                    hint: self.hints.get(id as usize).copied().flatten(),
+                },
+                &DispatchContext {
+                    queue_depths: &depths,
+                    dead: &self.dead,
+                    in_flight: self.in_flight.len(),
+                    data_queue_depth: data_q.len(),
+                    prefetch_factor: self.prefetch_factor,
+                    redispatch,
+                },
+            );
+            let w = placement.worker;
+            assert!(
+                !self.dead[w],
+                "scheduling policy placed batch {id} on dead worker {w}"
+            );
             index_qs[w].push(NativeMsg::Batch {
                 id,
                 indices: indices.clone(),
             });
             let _overhead =
                 tracer.on_batch_dispatched(id, worker_os_pid(w), &indices, redispatch, clock.now());
+            if let Some(from) = placement.stolen_from.filter(|&from| from != w) {
+                let _overhead =
+                    tracer.on_batch_stolen(id, worker_os_pid(from), worker_os_pid(w), clock.now());
+            }
+            if let Some(lane) = placement.lane {
+                let _overhead =
+                    tracer.on_lane_assigned(id, lane.as_str(), worker_os_pid(w), clock.now());
+            }
             self.in_flight.insert(id, (w, indices));
             return Some(w);
         }
         None
     }
 
+    /// Feeds a returned batch's observed fetch time back to the policy.
+    fn batch_returned(&mut self, env: &NativeEnvelope) {
+        if let Some((worker, indices)) = self.in_flight.remove(&env.batch_id) {
+            self.policy
+                .on_batch_returned(worker, &indices, env.fetch.as_nanos());
+        }
+    }
+
+    /// Asks the policy how many batches to dispatch after a return,
+    /// clamping to the protocol's hard in-flight bound.
+    fn refill_quota(
+        &mut self,
+        index_qs: &[NativeQueue<NativeMsg>],
+        data_q: &NativeQueue<NativeEnvelope>,
+    ) -> Refill {
+        let depths: Vec<usize> = index_qs.iter().map(NativeQueue::len).collect();
+        let mut refill = self.policy.refill(&DispatchContext {
+            queue_depths: &depths,
+            dead: &self.dead,
+            in_flight: self.in_flight.len(),
+            data_queue_depth: data_q.len(),
+            prefetch_factor: self.prefetch_factor,
+            redispatch: false,
+        });
+        let bound = (self.prefetch_factor * self.dead.len()).saturating_sub(self.in_flight.len());
+        refill.count = refill.count.min(bound);
+        refill
+    }
+
     fn mark_dead(&mut self, worker: usize) -> Vec<u64> {
         self.dead[worker] = true;
+        self.policy.on_worker_died(worker);
         let mut orphans: Vec<u64> = self
             .in_flight
             .iter()
@@ -518,48 +570,76 @@ fn native_worker_loop(
             batch_id: id,
             mark: start,
         };
-        let mut samples = Vec::with_capacity(indices.len());
-        let mut failure: Option<PipelineError> = None;
-        for &i in &indices {
-            if let Some(op) = faults.sample_error(i) {
-                let _overhead = tracer.on_fault_injected(os_pid, id, op, clock.now());
-                failure = Some(PipelineError::Injected {
-                    op: op.to_string(),
-                    index: i,
-                });
-                break;
-            }
-            let mut tctx = TransformCtx {
-                cpu: &mut cpu,
-                rng: &mut rng,
-            };
-            match dataset.get_item(i, &mut tctx, &mut bridge) {
-                Ok(sample) => samples.push(sample),
-                Err(e) => {
-                    // Ship the error in-band; the worker keeps running.
-                    failure = Some(e);
+        // The whole fetch runs under `catch_unwind`: a panicking dataset
+        // (the native analog of a crashing Python worker) is converted
+        // into an in-band `WorkerPanic` error — PyTorch's
+        // `ExceptionWrapper` protocol — instead of tearing down this
+        // thread and poisoning every shared queue behind it.
+        let fetch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut samples = Vec::with_capacity(indices.len());
+            let mut failure: Option<PipelineError> = None;
+            for &i in &indices {
+                if let Some(op) = faults.sample_error(i) {
+                    let _overhead = tracer.on_fault_injected(os_pid, id, op, clock.now());
+                    failure = Some(PipelineError::Injected {
+                        op: op.to_string(),
+                        index: i,
+                    });
                     break;
                 }
-            }
-        }
-        let batch: Result<Batch, PipelineError> = match failure {
-            Some(e) => Err(e),
-            None => {
-                let batch_len = samples.len();
-                let collated = {
-                    let mut tctx = TransformCtx {
-                        cpu: &mut cpu,
-                        rng: &mut rng,
-                    };
-                    collate.apply(samples, &mut tctx)
+                let item_start = clock.now();
+                let mut tctx = TransformCtx {
+                    cpu: &mut cpu,
+                    rng: &mut rng,
                 };
-                if collated.is_ok() {
-                    // The bridge's mark sits at the end of the last
-                    // sample's last transform, so this records the real
-                    // collate span.
-                    bridge.on_transform(&Collate::display_name(batch_len), start, Span::ZERO);
+                let fetched = dataset.get_item(i, &mut tctx, &mut bridge);
+                let slowdown = faults.sample_slowdown(i);
+                if slowdown > 1.0 {
+                    // A straggler sample: dilate its real elapsed time by
+                    // sleeping out the extra factor, as the simulated
+                    // engine idles the virtual core.
+                    let elapsed = clock.now().since(item_start);
+                    std::thread::sleep(duration_of(elapsed.mul_f64(slowdown - 1.0)));
                 }
-                collated
+                match fetched {
+                    Ok(sample) => samples.push(sample),
+                    Err(e) => {
+                        // Ship the error in-band; the worker keeps running.
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failure {
+                Some(e) => Err(e),
+                None => {
+                    let batch_len = samples.len();
+                    let collated = {
+                        let mut tctx = TransformCtx {
+                            cpu: &mut cpu,
+                            rng: &mut rng,
+                        };
+                        collate.apply(samples, &mut tctx)
+                    };
+                    if collated.is_ok() {
+                        // The bridge's mark sits at the end of the last
+                        // sample's last transform, so this records the real
+                        // collate span.
+                        bridge.on_transform(&Collate::display_name(batch_len), start, Span::ZERO);
+                    }
+                    collated
+                }
+            }
+        }));
+        let batch: Result<Batch, PipelineError> = match fetch {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let reason = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic payload".to_string());
+                Err(PipelineError::WorkerPanic { reason })
             }
         };
         let fetch_end = clock.now();
@@ -570,6 +650,7 @@ fn native_worker_loop(
                 len: b.len,
             }),
             produced_at: fetch_end,
+            fetch: fetch_end.since(start),
             worker,
             pinned: false,
         };
@@ -585,7 +666,7 @@ fn native_worker_loop(
                 return;
             }
             {
-                let dead = liveness.lock().expect("liveness poisoned");
+                let dead = liveness.lock().unwrap_or_else(PoisonError::into_inner);
                 if dead[worker] || kill_time.is_some_and(|at| clock.now() >= at) {
                     return;
                 }
@@ -615,6 +696,7 @@ fn native_main_loop(
     loader: &DataLoaderConfig,
     gpu: &GpuConfig,
     batches: Vec<Vec<u64>>,
+    hints: Vec<Option<f64>>,
     faults: &FaultPlan,
 ) -> Result<(), JobError> {
     let WorkerShared {
@@ -627,14 +709,14 @@ fn native_main_loop(
     } = *shared;
     let num_batches = batches.len() as u64;
     let workers = index_qs.len();
-    let mut dispatcher = NativeDispatcher::new(batches, workers);
+    let mut dispatcher = NativeDispatcher::new(batches, workers, loader, hints);
     let kill_times: Vec<Option<Time>> = (0..workers)
         .map(|w| faults.kill_time(&format!("dataloader{w}")))
         .collect();
 
     // Initial prefetch: `prefetch_factor` index batches per worker.
     for _ in 0..loader.prefetch_factor * workers {
-        let sent = dispatcher.send_next(tracer, clock, index_qs);
+        let sent = dispatcher.send_next(tracer, clock, index_qs, data_q);
         emit_dispatch_gauges(tracer, clock, index_qs, sent, dispatcher.in_flight.len());
     }
 
@@ -667,7 +749,7 @@ fn native_main_loop(
                         // envelope in flight.
                         let mut newly_dead = Vec::new();
                         let recheck = {
-                            let mut dead = liveness.lock().expect("liveness poisoned");
+                            let mut dead = liveness.lock().unwrap_or_else(PoisonError::into_inner);
                             match data_q.try_pop() {
                                 Some(env) => Some(env),
                                 None => {
@@ -696,7 +778,8 @@ fn native_main_loop(
                                     });
                                 }
                                 for id in orphans {
-                                    let sent = dispatcher.send_next(tracer, clock, index_qs);
+                                    let sent =
+                                        dispatcher.send_next(tracer, clock, index_qs, data_q);
                                     emit_dispatch_gauges(
                                         tracer,
                                         clock,
@@ -721,7 +804,7 @@ fn native_main_loop(
                 };
                 let Some(mut env) = popped else { continue };
                 emit_gauge(tracer, clock, "queue_depth.data_queue", data_q.len() as f64);
-                dispatcher.in_flight.remove(&env.batch_id);
+                dispatcher.batch_returned(&env);
                 emit_gauge(
                     tracer,
                     clock,
@@ -750,10 +833,17 @@ fn native_main_loop(
             }
         };
 
-        // Refill exactly once per returned batch, as the simulated
-        // engine (and PyTorch's `_process_data`) does.
-        let sent = dispatcher.send_next(tracer, clock, index_qs);
-        emit_dispatch_gauges(tracer, clock, index_qs, sent, dispatcher.in_flight.len());
+        // Refill after each returned batch. The policy decides the count
+        // (round-robin: exactly one, as PyTorch's `_process_data` does);
+        // the dispatcher clamps it to the protocol's in-flight bound.
+        let refill = dispatcher.refill_quota(index_qs, data_q);
+        if let Some(target) = refill.resized_to {
+            let _overhead = tracer.on_prefetch_resized(target, clock.now());
+        }
+        for _ in 0..refill.count {
+            let sent = dispatcher.send_next(tracer, clock, index_qs, data_q);
+            emit_dispatch_gauges(tracer, clock, index_qs, sent, dispatcher.in_flight.len());
+        }
 
         let payload = match env.payload {
             Ok(p) => p,
@@ -836,6 +926,7 @@ impl ExecutionBackend for NativeBackend {
             });
         }
 
+        let hints = batch_cost_hints(&*dataset, &loader, &batches);
         let workers = loader.num_workers;
         let clock = WallClock::new();
         let data_q: NativeQueue<NativeEnvelope> =
@@ -884,6 +975,7 @@ impl ExecutionBackend for NativeBackend {
                 &loader,
                 &gpu,
                 batches,
+                hints,
                 &faults,
             )
         });
@@ -998,6 +1090,7 @@ mod tests {
                 pin_memory: true,
                 sampler: Sampler::Sequential,
                 drop_last: true,
+                policy: crate::policy::SchedulingPolicyKind::RoundRobin,
             },
             gpu: GpuConfig::v100(1, Span::from_micros(10)),
             tracer,
@@ -1065,6 +1158,82 @@ mod tests {
         job.loader.batch_size = 0;
         let err = NativeBackend::default().run(job).unwrap_err();
         assert!(matches!(err, JobError::InvalidConfig(_)));
+    }
+
+    /// A dataset that panics outright (not an in-band `Err`) on one
+    /// index — the native analog of a segfaulting Python worker.
+    struct PanickingDataset {
+        items: u64,
+        panic_at: u64,
+    }
+
+    impl Dataset for PanickingDataset {
+        fn len(&self) -> u64 {
+            self.items
+        }
+
+        fn get_item(
+            &self,
+            index: u64,
+            ctx: &mut TransformCtx<'_>,
+            observer: &mut dyn TransformObserver,
+        ) -> Result<Sample, PipelineError> {
+            assert!(index != self.panic_at, "dataset exploded on index {index}");
+            let start = ctx.cpu.cursor();
+            observer.on_transform("Loader", start, Span::ZERO);
+            Ok(Sample::tensor_meta(&[4, 4], DType::F32))
+        }
+    }
+
+    #[test]
+    fn panicking_worker_yields_clean_job_error_not_a_consumer_panic() {
+        let mut job = tiny_job(32, 2, Arc::new(NullTracer));
+        job.dataset = Arc::new(PanickingDataset {
+            items: 32,
+            panic_at: 9,
+        });
+        // Must not propagate the panic: the worker catches it, ships a
+        // WorkerPanic in-band, and the consumer returns a typed error.
+        let err = NativeBackend::default().run(job).unwrap_err();
+        match err {
+            JobError::Sample { error, .. } => assert!(
+                matches!(&error, PipelineError::WorkerPanic { reason }
+                    if reason.contains("dataset exploded on index 9")),
+                "expected WorkerPanic carrying the panic message, got {error:?}"
+            ),
+            other => panic!("expected an in-band Sample error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_queue_lock_recovers() {
+        let q: Arc<NativeQueue<u32>> = Arc::new(NativeQueue::new("q", None));
+        let q2 = Arc::clone(&q);
+        // Poison the items mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = q2.lock_items();
+            panic!("poison the queue");
+        })
+        .join();
+        // Every operation still works after the poisoning.
+        q.push(1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.pop(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn every_policy_completes_an_epoch_on_the_native_backend() {
+        for kind in crate::policy::SchedulingPolicyKind::ALL {
+            let mut job = tiny_job(48, 3, Arc::new(NullTracer));
+            job.loader.policy = kind;
+            let report = NativeBackend::default()
+                .run(job)
+                .unwrap_or_else(|e| panic!("{kind} failed: {e:?}"));
+            assert_eq!((report.batches, report.samples), (12, 48), "{kind}");
+        }
     }
 
     #[test]

@@ -209,6 +209,7 @@ impl Pipeline {
                 pin_memory: true,
                 sampler,
                 drop_last: true,
+                policy: crate::policy::SchedulingPolicyKind::RoundRobin,
             },
             gpu,
             tracer,

@@ -109,6 +109,30 @@ pub trait Tracer: Send + Sync {
         Span::ZERO
     }
 
+    /// A scheduling policy overrode the round-robin target: `batch_id`
+    /// was taken from `from_pid`'s queue share and handed to `to_pid`
+    /// (the work-stealing policy's steal instant). Emitted right after
+    /// the batch's [`Tracer::on_batch_dispatched`].
+    fn on_batch_stolen(&self, batch_id: u64, from_pid: u32, to_pid: u32, at: Time) -> Span {
+        let _ = (batch_id, from_pid, to_pid, at);
+        Span::ZERO
+    }
+
+    /// A lane-aware scheduling policy classified `batch_id` into `lane`
+    /// (`"fast"` or `"slow"`) and placed it on `to_pid`. Emitted right
+    /// after the batch's [`Tracer::on_batch_dispatched`].
+    fn on_lane_assigned(&self, batch_id: u64, lane: &str, to_pid: u32, at: Time) -> Span {
+        let _ = (batch_id, lane, to_pid, at);
+        Span::ZERO
+    }
+
+    /// An adaptive scheduling policy resized the per-worker prefetch
+    /// window to `target` (always within `[1, prefetch_factor]`).
+    fn on_prefetch_resized(&self, target: usize, at: Time) -> Span {
+        let _ = (target, at);
+        Span::ZERO
+    }
+
     /// A named scalar was sampled at virtual time `at` — the engine's
     /// gauge feed. The DataLoader emits `queue_depth.<queue>` at every
     /// push/pop transition of each index queue and the shared data queue,
@@ -185,6 +209,9 @@ mod tests {
         );
         assert_eq!(t.on_worker_died(1, Time::ZERO), Span::ZERO);
         assert_eq!(t.on_batch_redispatched(0, 1, 2, Time::ZERO), Span::ZERO);
+        assert_eq!(t.on_batch_stolen(0, 4243, 4244, Time::ZERO), Span::ZERO);
+        assert_eq!(t.on_lane_assigned(0, "slow", 4244, Time::ZERO), Span::ZERO);
+        assert_eq!(t.on_prefetch_resized(1, Time::ZERO), Span::ZERO);
         assert_eq!(
             t.on_gauge("queue_depth.data_queue", 3.0, Time::ZERO),
             Span::ZERO

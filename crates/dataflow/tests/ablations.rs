@@ -5,8 +5,8 @@ use std::sync::{Arc, Mutex};
 
 use lotus_data::DType;
 use lotus_dataflow::{
-    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, LoaderMutation, NullTracer, Sampler, Tracer,
-    TrainingJob,
+    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, LoaderMutation, NullTracer, Sampler,
+    SchedulingPolicyKind, Tracer, TrainingJob,
 };
 use lotus_sim::{Span, Time};
 use lotus_transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
@@ -110,6 +110,7 @@ fn run_with(
             pin_memory,
             sampler: Sampler::Sequential,
             drop_last: true,
+            policy: SchedulingPolicyKind::RoundRobin,
         },
         gpu: GpuConfig {
             step_overhead: Span::from_micros(50),
@@ -179,6 +180,7 @@ fn random_sampler_changes_the_item_order_but_not_the_totals() {
                 pin_memory: true,
                 sampler,
                 drop_last: true,
+                policy: SchedulingPolicyKind::RoundRobin,
             },
             gpu: GpuConfig::v100(1, Span::from_micros(100)),
             tracer: Arc::new(NullTracer),

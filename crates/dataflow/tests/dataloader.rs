@@ -5,8 +5,8 @@ use std::sync::{Arc, Mutex};
 
 use lotus_data::DType;
 use lotus_dataflow::{
-    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, LoaderMutation, NullTracer, Sampler, Tracer,
-    TrainingJob, MAIN_OS_PID,
+    DataLoaderConfig, Dataset, FaultPlan, GpuConfig, LoaderMutation, NullTracer, Sampler,
+    SchedulingPolicyKind, Tracer, TrainingJob, MAIN_OS_PID,
 };
 use lotus_sim::{Span, Time};
 use lotus_transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
@@ -137,6 +137,7 @@ fn job(
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
+            policy: SchedulingPolicyKind::RoundRobin,
         },
         gpu: GpuConfig {
             step_overhead: Span::from_micros(20),
@@ -510,6 +511,7 @@ fn in_flight_inventory_is_bounded_with_a_slow_worker() {
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
+            policy: SchedulingPolicyKind::RoundRobin,
         },
         // Fast GPU: consumption never throttles the loader.
         gpu: GpuConfig::v100(1, Span::from_micros(1)),

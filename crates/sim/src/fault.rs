@@ -20,6 +20,18 @@ struct SampleErrorRule {
     probability: f64,
 }
 
+/// A per-sample slowdown rule: a fraction of samples cost `factor`× their
+/// modeled preprocessing time (the skewed per-sample cost distributions
+/// MinatoLoader characterizes — a corrupted shard, an outlier-sized
+/// record, a cold cache line).
+#[derive(Debug, Clone, PartialEq)]
+struct SlowSampleRule {
+    /// Probability in `[0, 1]` that a given sample index is slow.
+    probability: f64,
+    /// Multiplier (`>= 1`) applied to the sample's processing cost.
+    factor: f64,
+}
+
 /// A deterministic plan of faults to inject into a simulated run.
 ///
 /// Build one with the fluent constructors and hand it to a training job:
@@ -43,6 +55,7 @@ pub struct FaultPlan {
     kills: Vec<(String, Time)>,
     sample_errors: Vec<SampleErrorRule>,
     queue_slowdowns: Vec<(String, f64)>,
+    slow_samples: Vec<SlowSampleRule>,
 }
 
 impl FaultPlan {
@@ -95,10 +108,36 @@ impl FaultPlan {
         self
     }
 
+    /// Slows each sample independently with probability `probability`,
+    /// multiplying its processing cost by `factor`. Like
+    /// [`sample_error`](FaultPlan::sample_error) verdicts, the slow set is
+    /// a pure function of `(seed, rule, index)`, so a slow sample is slow
+    /// on every worker it is (re-)dispatched to.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= probability <= 1.0` and `factor >= 1.0`.
+    #[must_use]
+    pub fn slow_samples(mut self, probability: f64, factor: f64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability out of range: {probability}"
+        );
+        assert!(factor >= 1.0, "slowdown factor must be >= 1, got {factor}");
+        self.slow_samples.push(SlowSampleRule {
+            probability,
+            factor,
+        });
+        self
+    }
+
     /// True when the plan injects nothing.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty() && self.sample_errors.is_empty() && self.queue_slowdowns.is_empty()
+        self.kills.is_empty()
+            && self.sample_errors.is_empty()
+            && self.queue_slowdowns.is_empty()
+            && self.slow_samples.is_empty()
     }
 
     /// The virtual time at which `process` dies, if the plan kills it.
@@ -128,6 +167,25 @@ impl FaultPlan {
             }
         }
         None
+    }
+
+    /// The cost multiplier for sample `index` (`1.0` when no slow-sample
+    /// rule fires). Stacked rules compose multiplicatively. The verdict
+    /// hashes `(seed, rule, index)` — independent of worker and
+    /// processing order, exactly like [`sample_error`](FaultPlan::sample_error).
+    #[must_use]
+    pub fn sample_slowdown(&self, index: u64) -> f64 {
+        let mut factor = 1.0;
+        for (rule_idx, rule) in self.slow_samples.iter().enumerate() {
+            // Salt the rule index so slow-sample rules draw verdicts
+            // independent of error rules at the same position.
+            let h = mix(self.seed ^ mix(index ^ mix(0x51_00 + rule_idx as u64)));
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < rule.probability {
+                factor *= rule.factor;
+            }
+        }
+        factor
     }
 
     /// The slowdown factor for the queue named `name` (`1.0` when the
@@ -167,6 +225,9 @@ impl FaultPlan {
         }
         for (name, factor) in &self.queue_slowdowns {
             out.push_str(&format!(";slow={name}:{factor}"));
+        }
+        for rule in &self.slow_samples {
+            out.push_str(&format!(";lag={}:{}", rule.probability, rule.factor));
         }
         out
     }
@@ -252,5 +313,51 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn out_of_range_probability_is_rejected() {
         let _ = FaultPlan::new(0).inject_sample_errors("Decode", 1.5);
+    }
+
+    #[test]
+    fn slow_sample_rate_approximates_the_probability() {
+        let plan = FaultPlan::new(11).slow_samples(0.1, 8.0);
+        let n = 100_000;
+        let hits = (0..n).filter(|&i| plan.sample_slowdown(i) > 1.0).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.005, "rate {rate}");
+        // Every firing index gets exactly the configured factor.
+        assert!((0..n).all(|i| {
+            let f = plan.sample_slowdown(i);
+            f == 1.0 || f == 8.0
+        }));
+    }
+
+    #[test]
+    fn slow_sample_verdicts_are_independent_of_error_rules() {
+        // A slow-sample rule at position 0 must not share its verdict set
+        // with an error rule at position 0 under the same seed.
+        let slow = FaultPlan::new(5).slow_samples(0.5, 2.0);
+        let err = FaultPlan::new(5).inject_sample_errors("Decode", 0.5);
+        let vs: Vec<bool> = (0..256).map(|i| slow.sample_slowdown(i) > 1.0).collect();
+        let ve: Vec<bool> = (0..256).map(|i| err.sample_error(i).is_some()).collect();
+        assert_ne!(vs, ve);
+    }
+
+    #[test]
+    fn stacked_slow_rules_compose_multiplicatively() {
+        let plan = FaultPlan::new(0)
+            .slow_samples(1.0, 2.0)
+            .slow_samples(1.0, 3.0);
+        assert_eq!(plan.sample_slowdown(17), 6.0);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn slow_samples_extend_the_fingerprint() {
+        let plan = FaultPlan::new(7).slow_samples(0.05, 50.0);
+        assert_eq!(plan.fingerprint(), "seed=0x7;lag=0.05:50");
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor must be >= 1")]
+    fn sub_unit_slow_factor_is_rejected() {
+        let _ = FaultPlan::new(0).slow_samples(0.5, 0.5);
     }
 }

@@ -50,6 +50,15 @@ pub enum PipelineError {
         /// The dataset index of the failed sample.
         index: u64,
     },
+    /// A worker panicked while fetching the batch. The native backend
+    /// catches the unwind and ships this in-band — the analog of a
+    /// PyTorch worker's `ExceptionWrapper` around an unexpected crash —
+    /// instead of poisoning shared queues and cascading the panic into
+    /// the consumer.
+    WorkerPanic {
+        /// The panic payload's message, when it carried one.
+        reason: String,
+    },
 }
 
 impl PipelineError {
@@ -70,7 +79,9 @@ impl PipelineError {
             PipelineError::TypeMismatch { op, .. }
             | PipelineError::ShapeMismatch { op, .. }
             | PipelineError::Injected { op, .. } => Some(op),
-            PipelineError::Collate { .. } | PipelineError::Decode { .. } => None,
+            PipelineError::Collate { .. }
+            | PipelineError::Decode { .. }
+            | PipelineError::WorkerPanic { .. } => None,
         }
     }
 }
@@ -90,6 +101,9 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::Injected { op, index } => {
                 write!(f, "injected fault in {op} on sample {index}")
+            }
+            PipelineError::WorkerPanic { reason } => {
+                write!(f, "worker panicked during fetch: {reason}")
             }
         }
     }

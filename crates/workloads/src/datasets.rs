@@ -171,6 +171,10 @@ impl Dataset for ImageFolderDataset {
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
         self.transforms.apply_observed(sample, ctx, observer)
     }
+
+    fn cost_hint(&self, index: u64) -> Option<u64> {
+        Some(self.model.record(index).file_bytes)
+    }
 }
 
 /// The IS pipeline's dataset: preprocessed KiTS19 cases stored as numpy
@@ -264,6 +268,10 @@ impl Dataset for VolumeDataset {
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
         self.transforms.apply_observed(sample, ctx, observer)
     }
+
+    fn cost_hint(&self, index: u64) -> Option<u64> {
+        Some(self.model.record(index % self.model.len()).stored_bytes)
+    }
 }
 
 /// The audio-classification extension's dataset: FLAC-like compressed
@@ -341,6 +349,10 @@ impl Dataset for AudioClipDataset {
         let sample = Sample::tensor_meta(&[record.samples as usize], DType::F32);
         observer.on_transform("Loader", start, ctx.cpu.cursor().since(start));
         self.transforms.apply_observed(sample, ctx, observer)
+    }
+
+    fn cost_hint(&self, index: u64) -> Option<u64> {
+        Some(self.model.record(index).file_bytes)
     }
 }
 

@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use lotus_data::{AudioDatasetModel, ImageDatasetModel, VolumeDatasetModel};
-use lotus_dataflow::{DataLoaderConfig, GpuConfig, Sampler, Tracer, TrainingJob};
+use lotus_dataflow::{
+    DataLoaderConfig, GpuConfig, Sampler, SchedulingPolicyKind, Tracer, TrainingJob,
+};
 use lotus_sim::{Span, Storage, StorageConfig};
 use lotus_transforms::{
     Cast, Compose, GaussianNoise, MelSpectrogram, Normalize, PadTrim, RandBalancedCrop,
@@ -71,6 +73,11 @@ pub struct ExperimentConfig {
     /// layouts fast: readahead turns neighbor fetches into page-cache
     /// hits, while shuffled access defeats it.
     pub sequential_access: bool,
+    /// Dispatch discipline assigning index batches to loader workers.
+    /// [`SchedulingPolicyKind::RoundRobin`] (the default) is PyTorch's
+    /// strict `_worker_queue_idx_cycle` and leaves every fingerprint and
+    /// trace byte-identical to earlier revisions.
+    pub policy: SchedulingPolicyKind,
 }
 
 impl ExperimentConfig {
@@ -94,7 +101,25 @@ impl ExperimentConfig {
             seed: 0x0107,
             storage: None,
             sequential_access: false,
+            policy: SchedulingPolicyKind::RoundRobin,
         }
+    }
+
+    /// Returns a copy dispatching index batches with the given
+    /// scheduling policy instead of strict round-robin.
+    ///
+    /// ```
+    /// use lotus_dataflow::SchedulingPolicyKind;
+    /// use lotus_workloads::{ExperimentConfig, PipelineKind};
+    ///
+    /// let ws = ExperimentConfig::paper_default(PipelineKind::ImageClassification)
+    ///     .with_policy(SchedulingPolicyKind::WorkStealing);
+    /// assert!(ws.fingerprint().ends_with(" policy=work-stealing"));
+    /// ```
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedulingPolicyKind) -> ExperimentConfig {
+        self.policy = policy;
+        self
     }
 
     /// Returns a copy truncated to `items` dataset items.
@@ -187,6 +212,11 @@ impl ExperimentConfig {
         if self.sequential_access {
             fp.push_str(" seq");
         }
+        // Only a non-default policy stamps the fingerprint, so every
+        // round-robin cache key stays byte-identical to prior revisions.
+        if self.policy != SchedulingPolicyKind::RoundRobin {
+            fp.push_str(&format!(" policy={}", self.policy.as_str()));
+        }
         fp
     }
 
@@ -209,6 +239,7 @@ impl ExperimentConfig {
                 Sampler::Random { seed: self.seed }
             },
             drop_last: true,
+            policy: self.policy,
         }
     }
 

@@ -20,6 +20,7 @@ use lotus_core::check::{
 };
 use lotus_dataflow::{
     DataLoaderConfig, FaultPlan, JobError, JobReport, LoaderMutation, NullTracer,
+    SchedulingPolicyKind,
 };
 use lotus_sim::{DecisionRecord, GuidedController, SimError, Span, Time};
 use lotus_uarch::{Machine, MachineConfig};
@@ -56,6 +57,8 @@ pub struct CheckOptions {
     /// Test-only loader mutation to seed a protocol bug (used by the
     /// `--mutate` validation mode and the self-test suite).
     pub mutation: LoaderMutation,
+    /// Dispatch policy the checked loader schedules with.
+    pub policy: SchedulingPolicyKind,
 }
 
 impl Default for CheckOptions {
@@ -69,6 +72,7 @@ impl Default for CheckOptions {
             batch_size: 4,
             with_faults: true,
             mutation: LoaderMutation::None,
+            policy: SchedulingPolicyKind::RoundRobin,
         }
     }
 }
@@ -130,6 +134,7 @@ fn small_experiment(kind: PipelineKind, options: &CheckOptions) -> ExperimentCon
         seed: 0x0107,
         storage: None,
         sequential_access: false,
+        policy: options.policy,
     }
 }
 
@@ -147,8 +152,17 @@ fn checked_loader(experiment: &ExperimentConfig) -> DataLoaderConfig {
 pub fn scenarios(kind: PipelineKind, options: &CheckOptions) -> Vec<Scenario> {
     let experiment = small_experiment(kind, options);
     let loader = checked_loader(&experiment);
+    let policy_tag = if options.policy == SchedulingPolicyKind::RoundRobin {
+        String::new()
+    } else {
+        format!(" policy={}", options.policy.as_str())
+    };
     let mut out = vec![Scenario {
-        name: format!("{} workers={} no-faults", kind.abbrev(), options.workers),
+        name: format!(
+            "{} workers={} no-faults{policy_tag}",
+            kind.abbrev(),
+            options.workers
+        ),
         experiment,
         loader,
         faults: FaultPlan::default(),
@@ -161,7 +175,7 @@ pub fn scenarios(kind: PipelineKind, options: &CheckOptions) -> Vec<Scenario> {
         };
         out.push(Scenario {
             name: format!(
-                "{} workers={} kill worker0 @{:.0}ms",
+                "{} workers={} kill worker0 @{:.0}ms{policy_tag}",
                 kind.abbrev(),
                 options.workers,
                 kill_at.as_nanos() as f64 / 1e6

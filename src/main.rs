@@ -20,7 +20,7 @@ use lotus::core::trace::insights::analyze;
 use lotus::core::trace::viz::{render_timeline, TimelineOptions};
 use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
 use lotus::core::tune::{SearchSpace, Strategy};
-use lotus::dataflow::{FaultPlan, LoaderMutation};
+use lotus::dataflow::{FaultPlan, LoaderMutation, SchedulingPolicyKind};
 use lotus::profilers::ComparisonHarness;
 use lotus::running::{
     bench_report, check_regression, run_experiment, verdict_family, BackendKind, RunOptions,
@@ -38,7 +38,7 @@ lotus — characterization of ML preprocessing pipelines (paper reproduction)
 USAGE:
   lotus trace     [--pipeline ic|is|od] [--items N] [--batch B] [--workers W]
                   [--gpus G] [--storage cold|warm] [--layout tiny|packed]
-                  [--access shuffled|sequential]
+                  [--access shuffled|sequential] [--policy POLICY]
                   [--out FILE.json] [--log FILE] [--timeline]
       Run one epoch under LotusTrace; print per-op stats, the automated
       diagnosis, optionally an ASCII timeline, a Chrome trace file and a
@@ -58,7 +58,8 @@ USAGE:
                   [--storage cold|warm] [--layout tiny|packed]
                   [--access shuffled|sequential] [--storage-out FILE.json]
                   [--kill-worker W] [--kill-at-ms T] [--error-rate P]
-                  [--error-op NAME] [--out FILE.json] [--log FILE]
+                  [--error-op NAME] [--slow-rate P] [--slow-factor F]
+                  [--policy POLICY] [--out FILE.json] [--log FILE]
       Execute one epoch on the chosen execution backend. `native` (the
       default here) runs the same DataLoader protocol on real OS threads
       with real bounded queues against real pixels, emitting a
@@ -112,7 +113,7 @@ USAGE:
   lotus top       [--backend sim|native] [--pipeline ic|is|od] [--items N]
                   [--batch B] [--workers W] [--width COLS] [--profile]
                   [--storage cold|warm] [--layout tiny|packed]
-                  [--access shuffled|sequential]
+                  [--access shuffled|sequential] [--policy POLICY]
                   [--prom FILE] [--json FILE] [--csv FILE]
       Run one epoch with the streaming metrics sink and render the
       pipeline dashboard: queue-depth sparklines over time, per-worker
@@ -132,7 +133,8 @@ USAGE:
                   [--storage cold|warm] [--layout tiny|packed]
                   [--access shuffled|sequential]
                   [--kill-worker W] [--kill-at-ms T] [--error-rate P]
-                  [--error-op NAME]
+                  [--error-op NAME] [--slow-rate P] [--slow-factor F]
+                  [--policy POLICY]
       Search DataLoader configurations (workers, prefetch, data-queue
       cap, pin-memory) over deterministic simulated epochs. Prints the
       per-config scorecards, the Pareto frontier of throughput vs peak
@@ -150,7 +152,7 @@ USAGE:
 
   lotus check     [--pipeline ic|is|od|ac|all] [--workers W] [--items N]
                   [--batch B] [--schedules N] [--depth D] [--branch K]
-                  [--steps S] [--no-faults]
+                  [--steps S] [--no-faults] [--policy POLICY]
                   [--mutate lose-batch|premature-redispatch]
                   [--replay 0,2,1] [--trace FILE[,FILE...]]
       Bounded model checking of the DataLoader protocol: explore
@@ -164,6 +166,17 @@ USAGE:
       when the checker misses it). --trace skips the model checker and
       lints recorded trace files (Chrome JSON or LotusTrace logs)
       instead.
+
+  POLICY: the loader scheduling policy — round-robin (default; the
+  PyTorch-faithful dispatch), work-stealing (overflowing queues donate to
+  the shallowest live queue), slow-lane (an online per-sample cost EWMA
+  segregates expensive batches onto dedicated workers), adaptive-prefetch
+  (the refill window tracks live queue-depth gauges). Shorthands: rr, ws,
+  sl, ap. All policies run on both backends and pass `lotus check`;
+  non-default policies tag the fingerprint, traces and tune cache keys.
+  --slow-rate/--slow-factor (run, tune) make that probability of samples
+  cost F× their normal time — the skewed-cost fault plan the policy
+  bake-off in EXPERIMENTS.md uses.
 
   lotus help
 ";
@@ -203,6 +216,16 @@ impl Args {
     }
 }
 
+/// Parses `--policy` (default `round-robin`, the PyTorch-faithful
+/// dispatch; `rr`, `ws`, `sl` and `ap` are accepted as shorthands).
+fn policy_of(args: &Args) -> Result<SchedulingPolicyKind, Box<dyn Error>> {
+    let raw = args.get(
+        "policy",
+        SchedulingPolicyKind::RoundRobin.as_str().to_string(),
+    )?;
+    Ok(SchedulingPolicyKind::parse(&raw)?)
+}
+
 fn pipeline_of(name: &str) -> Result<PipelineKind, String> {
     match name.to_ascii_lowercase().as_str() {
         "ic" => Ok(PipelineKind::ImageClassification),
@@ -225,7 +248,8 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
         PipelineKind::ImageSegmentation => 210,
         _ => 8 * config.batch_size as u64,
     };
-    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?;
+    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?
+        .with_policy(policy_of(args)?);
 
     let machine = Machine::new(MachineConfig::cloudlab_c4130());
     let trace = Arc::new(LotusTrace::new());
@@ -364,7 +388,8 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn Error>> {
     config.num_workers = args.get("workers", config.num_workers)?;
     config.num_gpus = args.get("gpus", config.num_gpus)?;
     let default_items = run_default_items(kind, config.batch_size);
-    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?;
+    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?
+        .with_policy(policy_of(args)?);
 
     let backend = backend_of(args, "native")?;
     let mut options = RunOptions::for_backend(backend);
@@ -673,7 +698,8 @@ fn cmd_top(args: &Args) -> Result<(), Box<dyn Error>> {
         PipelineKind::ImageSegmentation => 210,
         _ => 8 * config.batch_size as u64,
     };
-    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?;
+    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?
+        .with_policy(policy_of(args)?);
 
     let backend = backend_of(args, "sim")?;
     let (snapshot, report, time_label, overheads) = match backend {
@@ -750,6 +776,11 @@ fn parse_fault_flags(args: &Args, seed: u64) -> Result<FaultPlan, Box<dyn Error>
         let op = args.get("error-op", "Loader".to_string())?;
         faults = faults.inject_sample_errors(op, error_rate);
     }
+    let slow_rate: f64 = args.get("slow-rate", 0.0)?;
+    if slow_rate > 0.0 {
+        let factor: f64 = args.get("slow-factor", 10.0)?;
+        faults = faults.slow_samples(slow_rate, factor);
+    }
     Ok(faults)
 }
 
@@ -783,7 +814,8 @@ fn cmd_tune(args: &Args) -> Result<(), Box<dyn Error>> {
         PipelineKind::ImageSegmentation => 16,
         _ => 8 * config.batch_size as u64,
     };
-    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?;
+    let config = apply_storage_flags(args, config.scaled_to(args.get("items", default_items)?))?
+        .with_policy(policy_of(args)?);
 
     let mut space = SearchSpace::default();
     if let Some(raw) = args.flags.get("workers") {
@@ -905,6 +937,7 @@ fn cmd_check(args: &Args) -> Result<(), Box<dyn Error>> {
     options.bounds.max_branch = args.get("branch", options.bounds.max_branch)?;
     options.bounds.max_steps = args.get("steps", options.bounds.max_steps)?;
     options.with_faults = !args.has("no-faults");
+    options.policy = policy_of(args)?;
     let mutate = args.flags.get("mutate").map(String::as_str);
     options.mutation = match mutate {
         None => LoaderMutation::None,

@@ -12,7 +12,7 @@ use lotus::core::check::{
 use lotus::core::metrics::{MetricsRegistry, MetricsSink, MultiSink};
 use lotus::core::trace::chrome::{from_chrome_trace, to_chrome_trace, ChromeTraceOptions};
 use lotus::core::trace::{LotusTrace, LotusTraceConfig, OpLogMode};
-use lotus::dataflow::{FaultPlan, LoaderMutation};
+use lotus::dataflow::{FaultPlan, LoaderMutation, SchedulingPolicyKind};
 use lotus::sim::{Span, Time};
 use lotus::uarch::{Machine, MachineConfig};
 use lotus::workloads::{ExperimentConfig, PipelineKind};
@@ -96,6 +96,79 @@ proptest! {
                 Violation::RedispatchBeforeDeath { .. } | Violation::DoubleDispatch { .. }
             )),
             "schedule {schedule:?}: violations {:?}",
+            outcome.violations
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every scheduling policy — not just the round-robin default —
+    /// upholds sample conservation, dispatch discipline and progress
+    /// under randomized schedules and surviving-kill plans.
+    #[test]
+    fn every_policy_upholds_the_catalog_under_randomized_kill_plans(
+        policy_idx in 0usize..SchedulingPolicyKind::ALL.len(),
+        workers in 1usize..=3,
+        schedule in prop::collection::vec(0usize..4, 0..8),
+        kill in prop::option::of((0usize..8, 20u64..400)),
+    ) {
+        let policy = SchedulingPolicyKind::ALL[policy_idx];
+        let mut options = quick_options(workers);
+        options.policy = policy;
+        let mut scenario = scenarios(PipelineKind::ImageClassification, &options)
+            .into_iter()
+            .next()
+            .expect("at least the no-fault scenario");
+        if let (Some((victim, at_ms)), true) = (kill, workers >= 2) {
+            scenario.faults = FaultPlan::new(7).kill_process(
+                format!("dataloader{}", victim % workers),
+                Time::ZERO + Span::from_millis(at_ms),
+            );
+        }
+        let outcome = run_scheduled(&scenario, &schedule, &options.bounds);
+        prop_assert!(
+            outcome.violations.is_empty(),
+            "{policy:?}: schedule {schedule:?}, kill {kill:?}: ending {:?}, violations {:?}",
+            outcome.ending,
+            outcome.violations
+        );
+    }
+
+    /// Seeded loader bugs stay detectable no matter which policy is
+    /// dispatching: a lost batch stalls, a premature redispatch breaks
+    /// dispatch discipline.
+    #[test]
+    fn seeded_mutations_are_detected_under_every_policy(
+        policy_idx in 0usize..SchedulingPolicyKind::ALL.len(),
+        schedule in prop::collection::vec(0usize..4, 0..6),
+        lose in any::<bool>(),
+    ) {
+        let policy = SchedulingPolicyKind::ALL[policy_idx];
+        let mut options = quick_options(2);
+        options.policy = policy;
+        options.mutation = if lose {
+            LoaderMutation::LoseBatch { batch_id: 1 }
+        } else {
+            LoaderMutation::RedispatchLive { batch_id: 1 }
+        };
+        let scenario = &scenarios(PipelineKind::ImageClassification, &options)[0];
+        let outcome = run_scheduled(scenario, &schedule, &options.bounds);
+        let detected = if lose {
+            outcome
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::Stalled { .. }))
+        } else {
+            outcome.violations.iter().any(|v| matches!(
+                v,
+                Violation::RedispatchBeforeDeath { .. } | Violation::DoubleDispatch { .. }
+            ))
+        };
+        prop_assert!(
+            detected,
+            "{policy:?} lose={lose}: schedule {schedule:?}: violations {:?}",
             outcome.violations
         );
     }

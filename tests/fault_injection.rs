@@ -10,7 +10,7 @@ use lotus::core::trace::{LotusTrace, SpanKind, TraceRecord};
 use lotus::data::DType;
 use lotus::dataflow::{
     worker_os_pid, DataLoaderConfig, Dataset, FaultPlan, GpuConfig, JobError, JobReport,
-    LoaderMutation, Sampler, Tracer, TrainingJob,
+    LoaderMutation, Sampler, SchedulingPolicyKind, Tracer, TrainingJob,
 };
 use lotus::sim::{Span, Time};
 use lotus::transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
@@ -65,6 +65,7 @@ fn job(machine: &Arc<Machine>, workers: usize, tracer: Arc<dyn Tracer>) -> Train
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
+            policy: SchedulingPolicyKind::RoundRobin,
         },
         gpu: GpuConfig::v100(1, Span::from_micros(100)),
         tracer,

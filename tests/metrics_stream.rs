@@ -15,7 +15,7 @@ use lotus::core::trace::{LotusTrace, SpanKind};
 use lotus::data::DType;
 use lotus::dataflow::{
     worker_os_pid, DataLoaderConfig, Dataset, FaultPlan, GpuConfig, JobError, JobReport,
-    LoaderMutation, NullTracer, Sampler, Tracer, TrainingJob,
+    LoaderMutation, NullTracer, Sampler, SchedulingPolicyKind, Tracer, TrainingJob,
 };
 use lotus::sim::{Span, Time};
 use lotus::transforms::{PipelineError, Sample, TransformCtx, TransformObserver};
@@ -72,6 +72,7 @@ fn job(machine: &Arc<Machine>, tracer: Arc<dyn Tracer>, faults: FaultPlan) -> Tr
             pin_memory: true,
             sampler: Sampler::Sequential,
             drop_last: true,
+            policy: SchedulingPolicyKind::RoundRobin,
         },
         gpu: GpuConfig::v100(1, Span::from_micros(100)),
         tracer,

@@ -1,0 +1,98 @@
+//! Integration tests for the scheduling-policy bake-off: under a skewed
+//! per-sample cost distribution (a [`FaultPlan`] dilating a random 5% of
+//! samples by 100x), the load-aware policies must beat PyTorch's strict
+//! round-robin by a measured margin, while round-robin itself stays
+//! byte-deterministic.
+//!
+//! The scenario mirrors `EXPERIMENTS.md`: image classification, 512
+//! samples in batches of 4 over 4 workers. Round-robin keeps feeding
+//! fresh batches to a worker stuck on a slow sample (they queue behind
+//! the straggler and become head-of-line blockers for the in-order
+//! consumer); work-stealing routes them to idle workers instead, and the
+//! slow lane confines estimated-slow batches to a dedicated worker.
+
+use lotus::core::tune::TrialConfig;
+use lotus::dataflow::{FaultPlan, SchedulingPolicyKind};
+use lotus::tuning::run_trial;
+use lotus::workloads::{ExperimentConfig, PipelineKind};
+
+/// The bake-off workload: IC scaled to 512 samples in batches of 4.
+fn bakeoff_experiment(policy: SchedulingPolicyKind) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_default(PipelineKind::ImageClassification);
+    config.batch_size = 4;
+    config.scaled_to(512).with_policy(policy)
+}
+
+/// 5% of samples cost 100x: heavy, sparse stragglers.
+fn skew(config: &ExperimentConfig) -> FaultPlan {
+    FaultPlan::new(config.seed).slow_samples(0.05, 100.0)
+}
+
+fn matched_trial() -> TrialConfig {
+    TrialConfig {
+        num_workers: 4,
+        prefetch_factor: 2,
+        data_queue_cap: None,
+        pin_memory: true,
+    }
+}
+
+#[test]
+fn load_aware_policies_beat_round_robin_under_skewed_costs() {
+    let mut elapsed = std::collections::HashMap::new();
+    for kind in SchedulingPolicyKind::ALL {
+        let experiment = bakeoff_experiment(kind);
+        let measurement = run_trial(&experiment, &matched_trial(), &skew(&experiment)).unwrap();
+        // Every policy preserves the protocol: all samples arrive.
+        assert_eq!(
+            (measurement.batches, measurement.samples),
+            (128, 512),
+            "{kind:?} lost data"
+        );
+        elapsed.insert(kind, measurement.elapsed);
+    }
+    let ratio = |kind: SchedulingPolicyKind| {
+        elapsed[&SchedulingPolicyKind::RoundRobin].as_secs_f64() / elapsed[&kind].as_secs_f64()
+    };
+    // The acceptance bar: at least 1.3x simulated throughput over strict
+    // round-robin at the matched configuration.
+    let ws = ratio(SchedulingPolicyKind::WorkStealing);
+    assert!(ws >= 1.3, "work-stealing speedup {ws:.2}x < 1.3x");
+    let sl = ratio(SchedulingPolicyKind::SlowLane);
+    assert!(sl >= 1.3, "slow-lane speedup {sl:.2}x < 1.3x");
+}
+
+#[test]
+fn work_stealing_actually_steals_under_skew() {
+    let experiment = bakeoff_experiment(SchedulingPolicyKind::WorkStealing);
+    let measurement = run_trial(&experiment, &matched_trial(), &skew(&experiment)).unwrap();
+    let steals = measurement
+        .snapshot
+        .counters
+        .get("steals_total")
+        .copied()
+        .unwrap_or(0);
+    assert!(steals > 0, "skewed costs must trigger steals");
+}
+
+#[test]
+fn slow_lane_segregates_batches_under_skew() {
+    let experiment = bakeoff_experiment(SchedulingPolicyKind::SlowLane);
+    let measurement = run_trial(&experiment, &matched_trial(), &skew(&experiment)).unwrap();
+    let slow = measurement
+        .snapshot
+        .counters
+        .get("lane_slow_total")
+        .copied()
+        .unwrap_or(0);
+    assert!(slow > 0, "skewed costs must route batches to the slow lane");
+}
+
+#[test]
+fn round_robin_is_deterministic_under_the_bakeoff_skew() {
+    let experiment = bakeoff_experiment(SchedulingPolicyKind::RoundRobin);
+    let a = run_trial(&experiment, &matched_trial(), &skew(&experiment)).unwrap();
+    let b = run_trial(&experiment, &matched_trial(), &skew(&experiment)).unwrap();
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.snapshot.counters, b.snapshot.counters);
+}
