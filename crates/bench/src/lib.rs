@@ -13,6 +13,9 @@
 //! in minutes. Set `LOTUS_FULL=1` to run the paper's full dataset sizes.
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
 
 pub mod ablation;
 pub mod fig2;

@@ -13,6 +13,9 @@
 //! See [`Codec`] for an end-to-end example.
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
 
 pub mod bits;
 pub mod color;

@@ -242,6 +242,12 @@ pub enum Violation {
         /// Pid of the worker whose queue order was violated.
         worker_pid: u32,
     },
+    /// The happens-before auditor flagged the run's synchronization-event
+    /// stream (`lotus audit`; see `check::audit`).
+    SyncAudit {
+        /// The rendered [`AuditFinding`](crate::check::audit::AuditFinding).
+        finding: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -329,6 +335,9 @@ impl fmt::Display for Violation {
                 f,
                 "batch starved: batch {batch_id} at the front of worker {worker_pid}'s queue was overtaken by batch {overtaken_by}"
             ),
+            Violation::SyncAudit { finding } => {
+                write!(f, "sync audit: {finding}")
+            }
         }
     }
 }

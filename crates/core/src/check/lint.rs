@@ -16,6 +16,10 @@
 //!   wait's `queue_delay` equals exactly the gap between the fetch end
 //!   and the delivery point (cache-served waits measure to their start,
 //!   queue-served waits to their end).
+//! * **span-overlap** — spans on one OS thread (pid) must nest or be
+//!   disjoint; a partial overlap means two execution scopes were open
+//!   at once on a single thread, which cannot happen in a faithful
+//!   native track.
 //! * **orphan-instant** — `BatchRedispatched` requires an earlier
 //!   `WorkerDied`.
 //! * **storage-containment** — each `StorageRead` span lies inside a
@@ -102,6 +106,8 @@ pub enum LintRule {
     TrackMonotonicity,
     /// T1/T2 ordering and queue-delay arithmetic.
     AccountingIdentity,
+    /// Same-thread spans that partially overlap instead of nesting.
+    SpanOverlap,
     /// Instants that require a preceding cause (redispatch after death).
     OrphanInstant,
     /// Storage reads outside their issuing fetch span.
@@ -118,6 +124,7 @@ impl fmt::Display for LintRule {
             LintRule::BalancedSpans => "balanced-spans",
             LintRule::TrackMonotonicity => "track-monotonicity",
             LintRule::AccountingIdentity => "accounting-identity",
+            LintRule::SpanOverlap => "span-overlap",
             LintRule::OrphanInstant => "orphan-instant",
             LintRule::StorageContainment => "storage-containment",
             LintRule::Report => "report",
@@ -283,6 +290,45 @@ pub fn lint_records(records: &[TraceRecord], report: Option<&ReportFacts>) -> Ve
             }
         }
         cursors.insert(key, start);
+    }
+
+    // Same-thread span overlap: one OS thread executes one scope at a
+    // time, so its spans form a forest — every pair either nests or is
+    // disjoint. A stack sweep over start-sorted spans finds partial
+    // overlaps in O(n log n); touching endpoints (end == next start)
+    // count as disjoint.
+    let mut by_pid: BTreeMap<u32, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records {
+        by_pid.entry(r.pid).or_default().push(r);
+    }
+    for (pid, mut spans) in by_pid {
+        // Start ascending; on ties the longer (enclosing) span first.
+        spans.sort_by_key(|r| (r.start.as_nanos(), std::cmp::Reverse(r.end().as_nanos())));
+        let mut open: Vec<&TraceRecord> = Vec::new();
+        for r in spans {
+            let (s, e) = (r.start.as_nanos(), r.end().as_nanos());
+            while open.last().is_some_and(|t| t.end().as_nanos() <= s) {
+                open.pop();
+            }
+            if let Some(t) = open.last() {
+                let te = t.end().as_nanos();
+                if te < e {
+                    findings.push(LintFinding {
+                        rule: LintRule::SpanOverlap,
+                        batch_id: Some(r.batch_id),
+                        message: format!(
+                            "{} span [{s}ns, {e}ns] straddles the {} span ending at {te}ns on pid {pid}",
+                            track(&r.kind),
+                            track(&t.kind)
+                        ),
+                    });
+                    // Keep the enclosing frame; skipping the straddler
+                    // avoids a cascade of findings against it.
+                    continue;
+                }
+            }
+            open.push(r);
+        }
     }
 
     // Accounting identities: fetch-before-deliver-before-consume ordering
@@ -594,6 +640,47 @@ mod tests {
         records[2] = span(SpanKind::BatchConsumed, 4242, 0, 2500, 50);
         let f = lint_records(&records, None);
         assert!(f.is_empty(), "unexpected findings: {f:?}");
+    }
+
+    #[test]
+    fn same_thread_spans_must_nest_or_stay_disjoint() {
+        // Nested (an op inside its fetch) and back-to-back spans are the
+        // legal shapes.
+        let nested = vec![
+            span(SpanKind::BatchPreprocessed, 4243, 0, 0, 1000),
+            span(SpanKind::Op("decode".into()), 4243, 0, 100, 300),
+            span(SpanKind::Op("resize".into()), 4243, 0, 400, 200),
+            span(SpanKind::BatchPreprocessed, 4243, 1, 1000, 500),
+        ];
+        assert!(
+            !lint_records(&nested, None)
+                .iter()
+                .any(|x| x.rule == LintRule::SpanOverlap),
+            "nested and touching spans must lint clean"
+        );
+
+        // A span that starts inside another but ends after it straddles
+        // the frame boundary — impossible on a single thread.
+        let straddling = vec![
+            span(SpanKind::BatchPreprocessed, 4243, 0, 0, 1000),
+            span(SpanKind::Op("decode".into()), 4243, 0, 600, 900),
+        ];
+        let f = lint_records(&straddling, None);
+        assert!(
+            f.iter().any(|x| x.rule == LintRule::SpanOverlap
+                && x.message.contains("op span [600ns, 1500ns]")),
+            "straddling span escaped: {f:?}"
+        );
+
+        // The same pair on two different pids is concurrency, not
+        // overlap.
+        let cross_thread = vec![
+            span(SpanKind::BatchPreprocessed, 4243, 0, 0, 1000),
+            span(SpanKind::BatchPreprocessed, 4244, 1, 600, 900),
+        ];
+        assert!(!lint_records(&cross_thread, None)
+            .iter()
+            .any(|x| x.rule == LintRule::SpanOverlap));
     }
 
     #[test]

@@ -19,11 +19,17 @@
 //! The invariant catalog and the exploration bounds are documented in
 //! `DESIGN.md`; the `lotus check` CLI in the repository `README.md`.
 
+pub mod audit;
 pub mod explorer;
 pub mod invariants;
 pub mod lint;
 pub mod observer;
 
+pub use audit::{
+    analyze, minimize_events, model::explore_native_model, model::run_model,
+    model::run_model_traced, model::ModelBug, model::ModelConfig, AuditFinding, AuditReport,
+    AuditSpec, AuditStats,
+};
 pub use explorer::{
     explore, Counterexample, ExploreBounds, ExploreReport, ExploreStats, ScheduledRun,
 };

@@ -18,6 +18,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
 
 pub mod dist;
 pub mod stats;

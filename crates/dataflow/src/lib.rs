@@ -19,7 +19,14 @@
 //! See [`TrainingJob`] for the entry point.
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
+// Library code must surface failures as typed errors; every remaining
+// panic site carries a targeted `#[allow]` with its invariant argument.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod audit;
 mod backend;
 mod config;
 mod dataset;
@@ -30,6 +37,7 @@ mod pipeline;
 mod policy;
 mod tracer;
 
+pub use audit::{AuditFeed, AuditMutation, CvKind, SyncEvent, SyncOp, UNKNOWN_TID};
 pub use backend::{ExecutionBackend, SimBackend};
 pub use config::{DataLoaderConfig, GpuConfig};
 pub use dataset::{BatchSampler, Dataset, Sampler};

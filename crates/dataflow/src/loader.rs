@@ -375,7 +375,10 @@ impl TrainingJob {
         }
 
         let report = sim.run()?;
-        if let Some(e) = job_error.lock().expect("job error slot poisoned").take() {
+        let mut slot = job_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = slot.take() {
             return Err(e);
         }
         Ok(JobReport {
@@ -737,6 +740,9 @@ impl Dispatcher {
             .collect();
         orphans.sort_unstable();
         for &id in &orphans {
+            // The ids were collected from `in_flight` just above, with no
+            // intervening removal.
+            #[allow(clippy::expect_used)]
             let (_, indices) = self.in_flight.remove(&id).expect("orphan is in flight");
             self.redispatch.push_back((id, indices));
         }
@@ -835,7 +841,9 @@ fn main_loop(
         .map(|w| faults.kill_time(&format!("dataloader{w}")))
         .collect();
     let fail = |e: JobError| {
-        *job_error.lock().expect("job error slot poisoned") = Some(e);
+        *job_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(e);
     };
 
     // Initial prefetch: `prefetch_factor` index batches per worker.

@@ -41,6 +41,7 @@ use lotus_sim::{FaultPlan, Span, Time, TimeSource, WallClock};
 use lotus_transforms::{Batch, Collate, PipelineError, TransformCtx, TransformObserver};
 use lotus_uarch::CpuThread;
 
+use crate::audit::{AuditFeed, AuditMutation, CvKind, SyncOp};
 use crate::backend::ExecutionBackend;
 use crate::config::{DataLoaderConfig, GpuConfig};
 use crate::dataset::{BatchSampler, Dataset};
@@ -52,6 +53,18 @@ use crate::tracer::Tracer;
 /// How long a worker blocked on a full data queue sleeps between
 /// re-checking its own liveness.
 const PUSH_RETRY: Duration = Duration::from_millis(10);
+
+/// Audit object name of the worker-liveness lock.
+const LIVENESS_OBJ: &str = "liveness";
+
+/// Audit object name of the dispatcher (owns redispatch decisions).
+const DISPATCHER_OBJ: &str = "dispatcher";
+
+fn audit_rec(audit: Option<&AuditFeed>, obj: &str, op: SyncOp) {
+    if let Some(feed) = audit {
+        feed.record(obj, op);
+    }
+}
 
 /// Knobs of the native backend.
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +103,13 @@ pub struct NativeBackend {
     /// [`CpuThread`] so the real compute behind instrumented kernels is
     /// wall-timed and attributed per op (`lotus run --profile`).
     pub feed: Option<Arc<lotus_uarch::KernelSpanFeed>>,
+    /// When set, every queue/lock synchronization point records a
+    /// [`SyncEvent`](crate::SyncEvent) here for `lotus audit`'s
+    /// happens-before analysis. Costs nothing when absent.
+    pub audit: Option<Arc<AuditFeed>>,
+    /// Seeded concurrency bug enacted by this run (`lotus audit
+    /// --mutate`); [`AuditMutation::None`] runs the faithful protocol.
+    pub audit_mutation: AuditMutation,
 }
 
 impl NativeBackend {
@@ -99,6 +119,8 @@ impl NativeBackend {
         NativeBackend {
             options,
             feed: None,
+            audit: None,
+            audit_mutation: AuditMutation::None,
         }
     }
 
@@ -109,19 +131,68 @@ impl NativeBackend {
         self.feed = Some(feed);
         self
     }
+
+    /// Attaches a synchronization-event feed for `lotus audit`.
+    #[must_use]
+    pub fn with_audit(mut self, audit: Arc<AuditFeed>) -> NativeBackend {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// Enacts a seeded concurrency bug the auditor must flag.
+    #[must_use]
+    pub fn with_audit_mutation(mut self, mutation: AuditMutation) -> NativeBackend {
+        self.audit_mutation = mutation;
+        self
+    }
+}
+
+/// Queue state guarded by the mutex: the item deque plus the close
+/// flag of [`NativeQueue::close`].
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Audit wiring of one queue: where synchronization events go, how to
+/// pull a batch id out of an item, and which seeded mutation (if any)
+/// this queue enacts.
+struct QueueAudit<T> {
+    feed: Arc<AuditFeed>,
+    tag: fn(&T) -> Option<u64>,
+    mutation: AuditMutation,
+}
+
+impl<T> std::fmt::Debug for QueueAudit<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueAudit")
+            .field("mutation", &self.mutation)
+            .finish_non_exhaustive()
+    }
 }
 
 /// A bounded (or unbounded) blocking MPMC channel: `Mutex<VecDeque>` +
 /// condition variables, the shape `crossbeam`'s array channel presents.
 /// Mirrors the simulated [`lotus_sim::Queue`] API so the two engines
 /// read alike.
+///
+/// When an [`AuditFeed`] is attached, every lock transition, condvar
+/// wait/notify and commit records a [`SyncEvent`](crate::SyncEvent).
+/// Acquire events are recorded right after the lock is taken and
+/// release events right *before* it is given up (wait-start/wait-return
+/// likewise bracket the condvar's release/re-acquire), so the feed's
+/// sequence order is consistent with the mutex's happens-before chain.
+/// Notify events carry no ordering obligations (the mutex chain already
+/// orders waker and woken) and are recorded outside the lock.
 #[derive(Debug)]
 pub struct NativeQueue<T> {
     name: String,
     cap: Option<usize>,
-    items: Mutex<VecDeque<T>>,
+    state: Mutex<QueueState<T>>,
     not_empty: Condvar,
     not_full: Condvar,
+    audit: Option<QueueAudit<T>>,
 }
 
 impl<T> NativeQueue<T> {
@@ -131,21 +202,78 @@ impl<T> NativeQueue<T> {
         NativeQueue {
             name: name.into(),
             cap,
-            items: Mutex::new(VecDeque::new()),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            audit: None,
         }
     }
 
-    /// Locks the item deque, recovering from a poisoned mutex. A
+    /// Attaches audit wiring. `tag` extracts a batch id from an item
+    /// for send/recv events; `mutation` seeds a concurrency bug in this
+    /// queue's own code paths (only [`AuditMutation::SkipNotify`] lives
+    /// here).
+    pub(crate) fn set_audit(
+        &mut self,
+        feed: Arc<AuditFeed>,
+        tag: fn(&T) -> Option<u64>,
+        mutation: AuditMutation,
+    ) {
+        self.audit = Some(QueueAudit {
+            feed,
+            tag,
+            mutation,
+        });
+    }
+
+    /// Locks the queue state, recovering from a poisoned mutex. A
     /// panicking worker must not cascade its panic into every other
     /// thread touching the queue: the deque holds plain values that are
     /// valid at every await point (each critical section completes its
     /// push/pop before unlocking), so the poison flag carries no
     /// integrity information here. The panic itself is surfaced
     /// separately, as an in-band [`PipelineError::WorkerPanic`].
-    fn lock_items(&self) -> MutexGuard<'_, VecDeque<T>> {
-        self.items.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_state(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn rec(&self, op: SyncOp) {
+        if let Some(a) = &self.audit {
+            a.feed.record(&self.name, op);
+        }
+    }
+
+    fn tag_of(&self, item: &T) -> Option<u64> {
+        self.audit.as_ref().and_then(|a| (a.tag)(item))
+    }
+
+    fn notify_not_empty(&self) {
+        // The seeded lost-wakeup bug: a committed send that never
+        // signals its consumer. With the real 5 s status-check interval
+        // this is the classic "training hangs for no reason" failure;
+        // audit runs shrink the interval so the run limps to completion
+        // and the missing notify shows up in the event counts.
+        if self
+            .audit
+            .as_ref()
+            .is_some_and(|a| a.mutation == AuditMutation::SkipNotify)
+        {
+            return;
+        }
+        self.rec(SyncOp::Notify {
+            cv: CvKind::NotEmpty,
+        });
+        self.not_empty.notify_one();
+    }
+
+    fn notify_not_full(&self) {
+        self.rec(SyncOp::Notify {
+            cv: CvKind::NotFull,
+        });
+        self.not_full.notify_one();
     }
 
     /// The queue's name.
@@ -157,7 +285,28 @@ impl<T> NativeQueue<T> {
     /// Current number of queued items.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lock_items().len()
+        let state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        let len = state.items.len();
+        self.rec(SyncOp::LockRelease);
+        len
+    }
+
+    /// Current depth, additionally recorded as an audited gauge sample
+    /// named `gauge` *inside* the critical section — so concurrent
+    /// samplers of one gauge series are totally ordered by the queue
+    /// mutex, which is exactly what the auditor's gauge-ordering rule
+    /// verifies.
+    #[must_use]
+    pub fn audited_len(&self, gauge: &str) -> usize {
+        let state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        let len = state.items.len();
+        if let Some(a) = &self.audit {
+            a.feed.record(gauge, SyncOp::Gauge { value: len as f64 });
+        }
+        self.rec(SyncOp::LockRelease);
+        len
     }
 
     /// True when no items are queued.
@@ -166,22 +315,56 @@ impl<T> NativeQueue<T> {
         self.len() == 0
     }
 
+    /// True once [`Self::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        let state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        let closed = state.closed;
+        self.rec(SyncOp::LockRelease);
+        closed
+    }
+
     fn is_full(items: &VecDeque<T>, cap: Option<usize>) -> bool {
         cap.is_some_and(|c| items.len() >= c)
     }
 
+    /// Runs `f` while holding the queue's internal lock, recording the
+    /// acquire/release. Exists solely so the seeded
+    /// [`AuditMutation::LockOrder`] bug can take this lock and then a
+    /// foreign one in the wrong order.
+    pub(crate) fn with_lock<R>(&self, f: impl FnOnce() -> R) -> R {
+        let state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        let result = f();
+        self.rec(SyncOp::LockRelease);
+        drop(state);
+        result
+    }
+
     /// Pushes an item, blocking while the queue is full.
     pub fn push(&self, item: T) {
-        let mut items = self.lock_items();
-        while Self::is_full(&items, self.cap) {
-            items = self
+        let mut state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        while Self::is_full(&state.items, self.cap) {
+            self.rec(SyncOp::WaitStart {
+                cv: CvKind::NotFull,
+            });
+            state = self
                 .not_full
-                .wait(items)
+                .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
+            self.rec(SyncOp::WaitReturn {
+                cv: CvKind::NotFull,
+                satisfied: !Self::is_full(&state.items, self.cap),
+            });
         }
-        items.push_back(item);
-        drop(items);
-        self.not_empty.notify_one();
+        let batch = self.tag_of(&item);
+        state.items.push_back(item);
+        self.rec(SyncOp::SendCommit { batch });
+        self.rec(SyncOp::LockRelease);
+        drop(state);
+        self.notify_not_empty();
     }
 
     /// Pushes an item unless the queue is full, returning it on refusal.
@@ -190,73 +373,217 @@ impl<T> NativeQueue<T> {
     ///
     /// Returns `Err(item)` when the queue is at capacity.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut items = self.lock_items();
-        if Self::is_full(&items, self.cap) {
+        let mut state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        if Self::is_full(&state.items, self.cap) {
+            self.rec(SyncOp::LockRelease);
             return Err(item);
         }
-        items.push_back(item);
-        drop(items);
-        self.not_empty.notify_one();
+        let batch = self.tag_of(&item);
+        state.items.push_back(item);
+        self.rec(SyncOp::SendCommit { batch });
+        self.rec(SyncOp::LockRelease);
+        drop(state);
+        self.notify_not_empty();
+        Ok(())
+    }
+
+    /// Pushes an item unless the queue has been closed, blocking while
+    /// it is full. The close check and the push are one critical
+    /// section: after a `close` no send can ever be committed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue is closed.
+    pub fn push_unless_closed(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        loop {
+            if state.closed {
+                self.rec(SyncOp::LockRelease);
+                return Err(item);
+            }
+            if !Self::is_full(&state.items, self.cap) {
+                break;
+            }
+            self.rec(SyncOp::WaitStart {
+                cv: CvKind::NotFull,
+            });
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+            self.rec(SyncOp::WaitReturn {
+                cv: CvKind::NotFull,
+                satisfied: state.closed || !Self::is_full(&state.items, self.cap),
+            });
+        }
+        let batch = self.tag_of(&item);
+        state.items.push_back(item);
+        self.rec(SyncOp::SendCommit { batch });
+        self.rec(SyncOp::LockRelease);
+        drop(state);
+        self.notify_not_empty();
         Ok(())
     }
 
     /// Blocks until the queue has free capacity or `timeout` elapses.
     /// A wake-up is advisory — callers re-try with [`Self::try_push`].
     pub fn wait_not_full(&self, timeout: Duration) {
-        let items = self.lock_items();
-        if Self::is_full(&items, self.cap) {
-            let _unused = self
+        let state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        if Self::is_full(&state.items, self.cap) {
+            self.rec(SyncOp::WaitStart {
+                cv: CvKind::NotFull,
+            });
+            let (state, _result) = self
                 .not_full
-                .wait_timeout(items, timeout)
+                .wait_timeout(state, timeout)
                 .unwrap_or_else(PoisonError::into_inner);
+            self.rec(SyncOp::WaitReturn {
+                cv: CvKind::NotFull,
+                satisfied: !Self::is_full(&state.items, self.cap),
+            });
+            self.rec(SyncOp::LockRelease);
+            drop(state);
+        } else {
+            self.rec(SyncOp::LockRelease);
         }
     }
 
     /// Pops the oldest item, blocking while the queue is empty.
     pub fn pop(&self) -> T {
-        let mut items = self.lock_items();
+        let mut state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
         loop {
-            if let Some(item) = items.pop_front() {
-                drop(items);
-                self.not_full.notify_one();
+            if let Some(item) = state.items.pop_front() {
+                self.rec(SyncOp::RecvCommit {
+                    batch: self.tag_of(&item),
+                });
+                self.rec(SyncOp::LockRelease);
+                drop(state);
+                self.notify_not_full();
                 return item;
             }
-            items = self
+            self.rec(SyncOp::WaitStart {
+                cv: CvKind::NotEmpty,
+            });
+            state = self
                 .not_empty
-                .wait(items)
+                .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
+            self.rec(SyncOp::WaitReturn {
+                cv: CvKind::NotEmpty,
+                satisfied: !state.items.is_empty(),
+            });
+        }
+    }
+
+    /// Pops the oldest item, blocking while the queue is empty and not
+    /// closed. Returns `None` only once the queue is closed *and*
+    /// drained, so consumers see every committed send.
+    pub fn pop_until_closed(&self) -> Option<T> {
+        let mut state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.rec(SyncOp::RecvCommit {
+                    batch: self.tag_of(&item),
+                });
+                self.rec(SyncOp::LockRelease);
+                drop(state);
+                self.notify_not_full();
+                return Some(item);
+            }
+            if state.closed {
+                self.rec(SyncOp::LockRelease);
+                return None;
+            }
+            self.rec(SyncOp::WaitStart {
+                cv: CvKind::NotEmpty,
+            });
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+            self.rec(SyncOp::WaitReturn {
+                cv: CvKind::NotEmpty,
+                satisfied: state.closed || !state.items.is_empty(),
+            });
         }
     }
 
     /// Pops the oldest item, giving up after `timeout`.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut items = self.lock_items();
+        let mut state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
         loop {
-            if let Some(item) = items.pop_front() {
-                drop(items);
-                self.not_full.notify_one();
+            if let Some(item) = state.items.pop_front() {
+                self.rec(SyncOp::RecvCommit {
+                    batch: self.tag_of(&item),
+                });
+                self.rec(SyncOp::LockRelease);
+                drop(state);
+                self.notify_not_full();
                 return Some(item);
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
+                self.rec(SyncOp::LockRelease);
                 return None;
             }
+            self.rec(SyncOp::WaitStart {
+                cv: CvKind::NotEmpty,
+            });
             let (guard, _result) = self
                 .not_empty
-                .wait_timeout(items, remaining)
+                .wait_timeout(state, remaining)
                 .unwrap_or_else(PoisonError::into_inner);
-            items = guard;
+            state = guard;
+            self.rec(SyncOp::WaitReturn {
+                cv: CvKind::NotEmpty,
+                satisfied: !state.items.is_empty(),
+            });
         }
     }
 
     /// Pops the oldest item if one is queued.
     pub fn try_pop(&self) -> Option<T> {
-        let item = self.lock_items().pop_front();
+        let mut state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        let item = state.items.pop_front();
+        if let Some(it) = &item {
+            self.rec(SyncOp::RecvCommit {
+                batch: self.tag_of(it),
+            });
+        }
+        self.rec(SyncOp::LockRelease);
+        drop(state);
         if item.is_some() {
-            self.not_full.notify_one();
+            self.notify_not_full();
         }
         item
+    }
+
+    /// Closes the queue: subsequent [`Self::push_unless_closed`] calls
+    /// are refused, and [`Self::pop_until_closed`] returns `None` once
+    /// the backlog drains. Wakes every blocked producer and consumer.
+    pub fn close(&self) {
+        let mut state = self.lock_state();
+        self.rec(SyncOp::LockAcquire);
+        state.closed = true;
+        self.rec(SyncOp::Close);
+        self.rec(SyncOp::LockRelease);
+        drop(state);
+        self.rec(SyncOp::Notify {
+            cv: CvKind::NotEmpty,
+        });
+        self.rec(SyncOp::Notify {
+            cv: CvKind::NotFull,
+        });
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
     }
 }
 
@@ -450,6 +777,9 @@ impl NativeDispatcher {
             .collect();
         orphans.sort_unstable();
         for &id in &orphans {
+            // The ids were collected from `in_flight` just above, with no
+            // intervening removal.
+            #[allow(clippy::expect_used)]
             let (_, indices) = self.in_flight.remove(&id).expect("orphan is in flight");
             self.redispatch.push_back((id, indices));
         }
@@ -468,16 +798,21 @@ fn emit_gauge(tracer: &dyn Tracer, clock: &WallClock, name: &str, value: f64) {
 fn emit_dispatch_gauges(
     tracer: &dyn Tracer,
     clock: &WallClock,
+    audit: Option<&AuditFeed>,
     index_qs: &[NativeQueue<NativeMsg>],
     sent_to: Option<usize>,
     in_flight: usize,
 ) {
     if let Some(w) = sent_to {
-        emit_gauge(
-            tracer,
-            clock,
-            &format!("queue_depth.index_queue_{w}"),
-            index_qs[w].len() as f64,
+        let gauge = format!("queue_depth.index_queue_{w}");
+        let depth = index_qs[w].audited_len(&gauge);
+        emit_gauge(tracer, clock, &gauge, depth as f64);
+        audit_rec(
+            audit,
+            "in_flight_batches",
+            SyncOp::Gauge {
+                value: in_flight as f64,
+            },
         );
         emit_gauge(tracer, clock, "in_flight_batches", in_flight as f64);
     }
@@ -498,6 +833,10 @@ struct WorkerShared<'a> {
     /// Raised when the main thread exits early; unsticks workers blocked
     /// on a full data queue.
     shutdown: &'a AtomicBool,
+    /// Synchronization-event collector for `lotus audit`, when attached.
+    audit: Option<&'a AuditFeed>,
+    /// The seeded concurrency bug this run enacts.
+    audit_mutation: AuditMutation,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -521,7 +860,12 @@ fn native_worker_loop(
         data_q,
         liveness,
         shutdown,
+        audit,
+        audit_mutation,
     } = *shared;
+    if let Some(feed) = audit {
+        feed.register_thread(worker_os_pid(worker));
+    }
     // The CpuThread carries the virtual cost model through the dataset
     // and transform code; its cursor is ignored here — only the wall
     // clock times anything.
@@ -556,12 +900,9 @@ fn native_worker_loop(
         let NativeMsg::Batch { id, indices } = msg else {
             break;
         };
-        emit_gauge(
-            tracer,
-            clock,
-            &format!("queue_depth.index_queue_{worker}"),
-            index_q.len() as f64,
-        );
+        let index_gauge = format!("queue_depth.index_queue_{worker}");
+        let index_depth = index_q.audited_len(&index_gauge);
+        emit_gauge(tracer, clock, &index_gauge, index_depth as f64);
         let start = clock.now();
         let mut bridge = WallOpBridge {
             tracer,
@@ -665,25 +1006,67 @@ fn native_worker_loop(
             if shutdown.load(Ordering::Acquire) {
                 return;
             }
-            {
-                let dead = liveness.lock().unwrap_or_else(PoisonError::into_inner);
-                if dead[worker] || kill_time.is_some_and(|at| clock.now() >= at) {
+            let outcome = if audit_mutation == AuditMutation::ReleaseRecheck {
+                // Seeded bug: the liveness gate is checked, but the lock
+                // is released *before* the push — the commit is no
+                // longer atomic with the check, so a worker marked dead
+                // in the gap can still deliver (the double-delivery race
+                // redispatch safety depends on). The auditor flags the
+                // ungated SendCommit.
+                let doomed = {
+                    let dead = liveness.lock().unwrap_or_else(PoisonError::into_inner);
+                    audit_rec(audit, LIVENESS_OBJ, SyncOp::LockAcquire);
+                    let doomed = dead[worker] || kill_time.is_some_and(|at| clock.now() >= at);
+                    audit_rec(audit, LIVENESS_OBJ, SyncOp::LockRelease);
+                    doomed
+                };
+                if doomed {
                     return;
                 }
-                match data_q.try_push(envelope) {
-                    Ok(()) => {
-                        drop(dead);
-                        let _overhead =
-                            tracer.on_batch_preprocessed(os_pid, id, start, fetch_end.since(start));
-                        emit_gauge(tracer, clock, "queue_depth.data_queue", data_q.len() as f64);
-                        break;
-                    }
-                    Err(back) => envelope = back,
+                data_q.try_push(envelope)
+            } else {
+                if audit_mutation == AuditMutation::LockOrder {
+                    // Seeded bug: this path takes the data-queue lock
+                    // and *then* the liveness lock — the reverse of
+                    // every other site (worker commit and main-thread
+                    // recheck both nest data_queue inside liveness).
+                    // The inner acquisition uses try_lock so the seeded
+                    // inversion can close the cycle in the lock-order
+                    // graph without ever actually deadlocking the run.
+                    data_q.with_lock(|| {
+                        if let Ok(dead) = liveness.try_lock() {
+                            audit_rec(audit, LIVENESS_OBJ, SyncOp::LockAcquire);
+                            let _observed = dead[worker];
+                            audit_rec(audit, LIVENESS_OBJ, SyncOp::LockRelease);
+                            drop(dead);
+                        }
+                    });
+                }
+                let dead = liveness.lock().unwrap_or_else(PoisonError::into_inner);
+                audit_rec(audit, LIVENESS_OBJ, SyncOp::LockAcquire);
+                if dead[worker] || kill_time.is_some_and(|at| clock.now() >= at) {
+                    audit_rec(audit, LIVENESS_OBJ, SyncOp::LockRelease);
+                    return;
+                }
+                let outcome = data_q.try_push(envelope);
+                audit_rec(audit, LIVENESS_OBJ, SyncOp::LockRelease);
+                outcome
+            };
+            match outcome {
+                Ok(()) => {
+                    let _overhead =
+                        tracer.on_batch_preprocessed(os_pid, id, start, fetch_end.since(start));
+                    let depth = data_q.audited_len("queue_depth.data_queue");
+                    emit_gauge(tracer, clock, "queue_depth.data_queue", depth as f64);
+                    break;
+                }
+                Err(back) => {
+                    envelope = back;
+                    // Queue full: wait for space without holding the
+                    // liveness lock, then re-check everything.
+                    data_q.wait_not_full(PUSH_RETRY);
                 }
             }
-            // Queue full: wait for space without holding the liveness
-            // lock, then re-check everything.
-            data_q.wait_not_full(PUSH_RETRY);
         }
     }
 }
@@ -705,6 +1088,7 @@ fn native_main_loop(
         data_q,
         liveness,
         shutdown,
+        audit,
         ..
     } = *shared;
     let num_batches = batches.len() as u64;
@@ -717,7 +1101,14 @@ fn native_main_loop(
     // Initial prefetch: `prefetch_factor` index batches per worker.
     for _ in 0..loader.prefetch_factor * workers {
         let sent = dispatcher.send_next(tracer, clock, index_qs, data_q);
-        emit_dispatch_gauges(tracer, clock, index_qs, sent, dispatcher.in_flight.len());
+        emit_dispatch_gauges(
+            tracer,
+            clock,
+            audit,
+            index_qs,
+            sent,
+            dispatcher.in_flight.len(),
+        );
     }
 
     let mut cache: HashMap<u64, NativeEnvelope> = HashMap::new();
@@ -736,6 +1127,13 @@ fn native_main_loop(
                     true,
                     wait_start.saturating_since(env.produced_at),
                 );
+                audit_rec(
+                    audit,
+                    "pinned_cache_batches",
+                    SyncOp::Gauge {
+                        value: cache.len() as f64,
+                    },
+                );
                 emit_gauge(tracer, clock, "pinned_cache_batches", cache.len() as f64);
                 break 'recv env;
             }
@@ -750,19 +1148,27 @@ fn native_main_loop(
                         let mut newly_dead = Vec::new();
                         let recheck = {
                             let mut dead = liveness.lock().unwrap_or_else(PoisonError::into_inner);
-                            match data_q.try_pop() {
+                            audit_rec(audit, LIVENESS_OBJ, SyncOp::LockAcquire);
+                            let recheck = match data_q.try_pop() {
                                 Some(env) => Some(env),
                                 None => {
                                     let now = clock.now();
                                     for w in 0..workers {
                                         if !dead[w] && kill_times[w].is_some_and(|at| now >= at) {
                                             dead[w] = true;
+                                            audit_rec(
+                                                audit,
+                                                LIVENESS_OBJ,
+                                                SyncOp::MarkDead { worker: w },
+                                            );
                                             newly_dead.push(w);
                                         }
                                     }
                                     None
                                 }
-                            }
+                            };
+                            audit_rec(audit, LIVENESS_OBJ, SyncOp::LockRelease);
+                            recheck
                         };
                         if recheck.is_none() {
                             for w in newly_dead {
@@ -778,11 +1184,17 @@ fn native_main_loop(
                                     });
                                 }
                                 for id in orphans {
+                                    audit_rec(
+                                        audit,
+                                        DISPATCHER_OBJ,
+                                        SyncOp::Redispatch { batch: id, from: w },
+                                    );
                                     let sent =
                                         dispatcher.send_next(tracer, clock, index_qs, data_q);
                                     emit_dispatch_gauges(
                                         tracer,
                                         clock,
+                                        audit,
                                         index_qs,
                                         sent,
                                         dispatcher.in_flight.len(),
@@ -803,8 +1215,16 @@ fn native_main_loop(
                     }
                 };
                 let Some(mut env) = popped else { continue };
-                emit_gauge(tracer, clock, "queue_depth.data_queue", data_q.len() as f64);
+                let depth = data_q.audited_len("queue_depth.data_queue");
+                emit_gauge(tracer, clock, "queue_depth.data_queue", depth as f64);
                 dispatcher.batch_returned(&env);
+                audit_rec(
+                    audit,
+                    "in_flight_batches",
+                    SyncOp::Gauge {
+                        value: dispatcher.in_flight.len() as f64,
+                    },
+                );
                 emit_gauge(
                     tracer,
                     clock,
@@ -829,6 +1249,13 @@ fn native_main_loop(
                 // Out-of-order arrival: pin (a no-op natively) and stash.
                 env.pinned = true;
                 cache.insert(env.batch_id, env);
+                audit_rec(
+                    audit,
+                    "pinned_cache_batches",
+                    SyncOp::Gauge {
+                        value: cache.len() as f64,
+                    },
+                );
                 emit_gauge(tracer, clock, "pinned_cache_batches", cache.len() as f64);
             }
         };
@@ -842,7 +1269,14 @@ fn native_main_loop(
         }
         for _ in 0..refill.count {
             let sent = dispatcher.send_next(tracer, clock, index_qs, data_q);
-            emit_dispatch_gauges(tracer, clock, index_qs, sent, dispatcher.in_flight.len());
+            emit_dispatch_gauges(
+                tracer,
+                clock,
+                audit,
+                index_qs,
+                sent,
+                dispatcher.in_flight.len(),
+            );
         }
 
         let payload = match env.payload {
@@ -929,12 +1363,45 @@ impl ExecutionBackend for NativeBackend {
         let hints = batch_cost_hints(&*dataset, &loader, &batches);
         let workers = loader.num_workers;
         let clock = WallClock::new();
-        let data_q: NativeQueue<NativeEnvelope> =
+        let mut data_q: NativeQueue<NativeEnvelope> =
             NativeQueue::new("data_queue", loader.data_queue_cap);
-        let index_qs: Vec<NativeQueue<NativeMsg>> = (0..workers)
+        let mut index_qs: Vec<NativeQueue<NativeMsg>> = (0..workers)
             .map(|w| NativeQueue::new(format!("index_queue_{w}"), None))
             .collect();
+        if let Some(feed) = &self.audit {
+            feed.register_thread(MAIN_OS_PID);
+            // Only the data queue enacts queue-level mutations
+            // (SkipNotify suppresses its consumer wake-up).
+            data_q.set_audit(
+                Arc::clone(feed),
+                |env: &NativeEnvelope| Some(env.batch_id),
+                self.audit_mutation,
+            );
+            for q in &mut index_qs {
+                q.set_audit(
+                    Arc::clone(feed),
+                    |msg: &NativeMsg| match msg {
+                        NativeMsg::Batch { id, .. } => Some(*id),
+                        NativeMsg::Shutdown => None,
+                    },
+                    AuditMutation::None,
+                );
+            }
+        }
         let liveness = Mutex::new(vec![false; workers]);
+        if let (AuditMutation::LockOrder, Some(feed)) = (self.audit_mutation, &self.audit) {
+            // Seed the inversion once before any worker exists: the
+            // canonical order everywhere else is liveness → data_queue,
+            // so this data_queue → liveness nesting closes a cycle in
+            // the lock-order graph deterministically (no thread can
+            // contend yet, hence no actual deadlock is possible here).
+            data_q.with_lock(|| {
+                let dead = liveness.lock().unwrap_or_else(PoisonError::into_inner);
+                feed.record(LIVENESS_OBJ, SyncOp::LockAcquire);
+                feed.record(LIVENESS_OBJ, SyncOp::LockRelease);
+                drop(dead);
+            });
+        }
         let shutdown = AtomicBool::new(false);
         let shared = WorkerShared {
             clock: &clock,
@@ -943,6 +1410,8 @@ impl ExecutionBackend for NativeBackend {
             data_q: &data_q,
             liveness: &liveness,
             shutdown: &shutdown,
+            audit: self.audit.as_deref(),
+            audit_mutation: self.audit_mutation,
         };
 
         let outcome = std::thread::scope(|scope| {
@@ -952,6 +1421,10 @@ impl ExecutionBackend for NativeBackend {
                 let faults = &faults;
                 let hw_profiler = hw_profiler.clone();
                 let feed = self.feed.clone();
+                // The OS refusing a thread at job start leaves nothing to
+                // run the epoch with; there is no partial-failure mode to
+                // report through.
+                #[allow(clippy::expect_used)]
                 std::thread::Builder::new()
                     .name(format!("dataloader{w}"))
                     .spawn_scoped(scope, move || {
@@ -1209,9 +1682,9 @@ mod tests {
     fn poisoned_queue_lock_recovers() {
         let q: Arc<NativeQueue<u32>> = Arc::new(NativeQueue::new("q", None));
         let q2 = Arc::clone(&q);
-        // Poison the items mutex by panicking while holding it.
+        // Poison the state mutex by panicking while holding it.
         let _ = std::thread::spawn(move || {
-            let _guard = q2.lock_items();
+            let _guard = q2.lock_state();
             panic!("poison the queue");
         })
         .join();
@@ -1222,6 +1695,110 @@ mod tests {
         assert!(q.try_push(2).is_ok());
         assert_eq!(q.pop(), 2);
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn closed_queue_refuses_sends_and_drains_to_none() {
+        let q: NativeQueue<u32> = NativeQueue::new("q", None);
+        assert!(q.push_unless_closed(1).is_ok());
+        assert!(q.push_unless_closed(2).is_ok());
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.push_unless_closed(3), Err(3));
+        // The backlog committed before the close is still delivered.
+        assert_eq!(q.pop_until_closed(), Some(1));
+        assert_eq!(q.pop_until_closed(), Some(2));
+        assert_eq!(q.pop_until_closed(), None);
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_consumer() {
+        let q: NativeQueue<u32> = NativeQueue::new("q", None);
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| q.pop_until_closed());
+            std::thread::sleep(Duration::from_millis(5));
+            q.close();
+            assert_eq!(consumer.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_producer() {
+        let q: NativeQueue<u32> = NativeQueue::new("q", Some(1));
+        assert!(q.push_unless_closed(1).is_ok());
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| q.push_unless_closed(2)); // blocks: full
+            std::thread::sleep(Duration::from_millis(5));
+            q.close();
+            assert_eq!(producer.join().unwrap(), Err(2));
+        });
+        assert_eq!(q.pop_until_closed(), Some(1));
+        assert_eq!(q.pop_until_closed(), None);
+    }
+
+    #[test]
+    fn audited_queue_records_balanced_sync_events() {
+        use crate::audit::{AuditFeed, AuditMutation, SyncOp};
+        let feed = Arc::new(AuditFeed::new());
+        let mut q: NativeQueue<u32> = NativeQueue::new("q", Some(2));
+        q.set_audit(Arc::clone(&feed), |_| None, AuditMutation::None);
+        q.push(1);
+        assert_eq!(q.try_push(9), Ok(()));
+        assert_eq!(q.try_push(9), Err(9)); // full
+        assert_eq!(q.pop(), 1);
+        assert_eq!(q.try_pop(), Some(9));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+        let events = feed.drain();
+        let count = |f: &dyn Fn(&SyncOp) -> bool| events.iter().filter(|e| f(&e.op)).count();
+        let acquires = count(&|op| matches!(op, SyncOp::LockAcquire | SyncOp::WaitReturn { .. }));
+        let releases = count(&|op| matches!(op, SyncOp::LockRelease | SyncOp::WaitStart { .. }));
+        assert_eq!(acquires, releases, "unbalanced lock transitions");
+        assert_eq!(count(&|op| matches!(op, SyncOp::SendCommit { .. })), 2);
+        assert_eq!(count(&|op| matches!(op, SyncOp::RecvCommit { .. })), 2);
+        assert_eq!(count(&|op| matches!(op, SyncOp::Notify { .. })), 4);
+    }
+
+    #[test]
+    fn audited_native_run_streams_events() {
+        use crate::audit::{AuditFeed, SyncOp};
+        let feed = Arc::new(AuditFeed::new());
+        let report = NativeBackend::default()
+            .with_audit(Arc::clone(&feed))
+            .run(tiny_job(32, 2, Arc::new(NullTracer)))
+            .unwrap();
+        assert_eq!(report.batches, 8);
+        let events = feed.drain();
+        assert!(!events.is_empty());
+        // Every delivered batch was committed to the data queue exactly
+        // once and received exactly once.
+        let mut sent: Vec<u64> = Vec::new();
+        let mut rcvd: Vec<u64> = Vec::new();
+        for e in events.iter().filter(|e| e.obj == "data_queue") {
+            match e.op {
+                SyncOp::SendCommit { batch: Some(id) } => sent.push(id),
+                SyncOp::RecvCommit { batch: Some(id) } => rcvd.push(id),
+                _ => {}
+            }
+        }
+        sent.sort_unstable();
+        rcvd.sort_unstable();
+        assert_eq!(sent, (0..8).collect::<Vec<u64>>());
+        assert_eq!(rcvd, (0..8).collect::<Vec<u64>>());
+        // Sequence numbers are strictly increasing in drain order.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn detached_audit_feed_stays_empty_through_a_run() {
+        let feed = Arc::new(crate::audit::AuditFeed::new());
+        feed.detach();
+        NativeBackend::default()
+            .with_audit(Arc::clone(&feed))
+            .run(tiny_job(16, 2, Arc::new(NullTracer)))
+            .unwrap();
+        assert!(feed.is_empty());
+        assert_eq!(feed.overhead_ns(), 0);
     }
 
     #[test]

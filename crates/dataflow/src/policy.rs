@@ -327,7 +327,10 @@ impl SchedulingPolicy for WorkStealing {
 
     fn place(&mut self, _batch: &BatchRef<'_>, ctx: &DispatchContext<'_>) -> Placement {
         let rr = next_live(&mut self.cycle, ctx.dead);
-        // The least-loaded live worker, lowest id on ties.
+        // The least-loaded live worker, lowest id on ties. The dispatcher
+        // fails the job with AllWorkersDied before ever placing a batch
+        // with no live worker, so the filter cannot come up empty.
+        #[allow(clippy::expect_used)]
         let best = (0..ctx.dead.len())
             .filter(|&w| !ctx.dead[w])
             .min_by_key(|&w| self.load(w, ctx))

@@ -12,6 +12,9 @@
 //! every profiler and assembles the comparison rows.
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
 
 mod capabilities;
 mod comparison;

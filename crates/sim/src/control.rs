@@ -133,16 +133,13 @@ impl GuidedController {
     /// lock (cannot happen under the kernel's single-runner discipline).
     #[must_use]
     pub fn decisions(&self) -> Vec<DecisionRecord> {
-        self.decisions
-            .lock()
-            .expect("decision log poisoned")
-            .clone()
+        crate::locked(&self.decisions).clone()
     }
 }
 
 impl ScheduleController for GuidedController {
     fn pick(&self, point: &DecisionPoint<'_>) -> usize {
-        let mut log = self.decisions.lock().expect("decision log poisoned");
+        let mut log = crate::locked(&self.decisions);
         let position = log.len();
         let want = self.prefix.get(position).copied().unwrap_or(0);
         let taken = want.min(point.choices.len().saturating_sub(1));

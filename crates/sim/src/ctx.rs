@@ -48,14 +48,14 @@ impl Ctx {
     /// The name this process was spawned with.
     #[must_use]
     pub fn name(&self) -> String {
-        let st = self.kernel.state.lock().expect("kernel poisoned");
+        let st = crate::locked(&self.kernel.state);
         st.procs[self.pid.index()].name.clone()
     }
 
     /// Current virtual time.
     #[must_use]
     pub fn now(&self) -> Time {
-        self.kernel.state.lock().expect("kernel poisoned").now
+        crate::locked(&self.kernel.state).now
     }
 
     /// Advances this process's virtual time by `span`, letting other

@@ -124,6 +124,9 @@ impl KernelState {
     /// Registers a new process slot and schedules its initial wake at the
     /// current virtual time. Returns the new pid.
     pub(crate) fn add_proc(&mut self, name: String) -> (Pid, Arc<Baton>) {
+        // A pid space of u32 cannot be exhausted by a real experiment;
+        // hitting this means a runaway spawn loop, with no recovery.
+        #[allow(clippy::expect_used)]
         let pid = Pid(u32::try_from(self.procs.len()).expect("too many processes"));
         let baton = Baton::new();
         self.procs.push(ProcSlot {
@@ -200,7 +203,9 @@ impl KernelState {
             if ready.first().is_some_and(|first| head.time != first.time) {
                 break;
             }
-            let Reverse(ev) = self.events.pop().expect("peeked event vanished");
+            let Some(Reverse(ev)) = self.events.pop() else {
+                break; // unreachable: the peek above saw this event
+            };
             if !self.is_stale(&ev) {
                 ready.push(ev);
             }
@@ -334,19 +339,19 @@ impl Kernel {
     where
         F: FnOnce(&mut KernelState),
     {
-        let mut go = baton.go.lock().expect("baton poisoned");
+        let mut go = crate::locked(&baton.go);
         {
-            let mut st = self.state.lock().expect("kernel poisoned");
+            let mut st = crate::locked(&self.state);
             st.block_current(pid, label);
             prepare(&mut st);
             self.sched_cv.notify_one();
         }
         while !*go {
-            go = baton.cv.wait(go).expect("baton poisoned");
+            go = crate::cv_wait(&baton.cv, go);
         }
         *go = false;
         drop(go);
-        if self.state.lock().expect("kernel poisoned").shutdown {
+        if crate::locked(&self.state).shutdown {
             panic::resume_unwind(Box::new(ShutdownSignal));
         }
     }
@@ -355,7 +360,7 @@ impl Kernel {
     pub(crate) fn run_scheduler(&self) -> Result<(), SimError> {
         loop {
             let resume = {
-                let mut st = self.state.lock().expect("kernel poisoned");
+                let mut st = crate::locked(&self.state);
                 debug_assert_eq!(st.turn, Turn::Scheduler);
                 match st.pop_runnable() {
                     Some(ev) => {
@@ -382,13 +387,13 @@ impl Kernel {
             };
             if let Some(baton) = resume {
                 {
-                    let mut go = baton.go.lock().expect("baton poisoned");
+                    let mut go = crate::locked(&baton.go);
                     *go = true;
                     baton.cv.notify_one();
                 }
-                let mut st = self.state.lock().expect("kernel poisoned");
+                let mut st = crate::locked(&self.state);
                 while st.turn != Turn::Scheduler {
-                    st = self.sched_cv.wait(st).expect("kernel poisoned");
+                    st = crate::cv_wait(&self.sched_cv, st);
                 }
                 if let Some((process, message)) = st.panic.take() {
                     st.shutdown = true;
@@ -402,7 +407,7 @@ impl Kernel {
     /// unwind; called from `Simulation::drop`.
     pub(crate) fn begin_shutdown(&self) {
         let batons: Vec<Arc<Baton>> = {
-            let mut st = self.state.lock().expect("kernel poisoned");
+            let mut st = crate::locked(&self.state);
             st.shutdown = true;
             st.procs
                 .iter()
@@ -411,7 +416,7 @@ impl Kernel {
                 .collect()
         };
         for baton in batons {
-            let mut go = baton.go.lock().expect("baton poisoned");
+            let mut go = crate::locked(&baton.go);
             *go = true;
             baton.cv.notify_one();
         }
@@ -420,7 +425,7 @@ impl Kernel {
     /// Marks the calling process finished and returns the baton to the
     /// scheduler. `panic_message`, if set, aborts the whole simulation.
     pub(crate) fn finish(&self, pid: Pid, panic_message: Option<String>) {
-        let mut st = self.state.lock().expect("kernel poisoned");
+        let mut st = crate::locked(&self.state);
         let name = st.procs[pid.index()].name.clone();
         st.procs[pid.index()].state = ProcState::Finished;
         if let Some(message) = panic_message {

@@ -36,6 +36,35 @@
 //! * No wall-clock time or OS entropy is consulted anywhere.
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
+// Library code must surface failures as typed errors; every remaining
+// panic site carries a targeted `#[allow]` with its invariant argument.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `mutex`, panicking on poisoning.
+///
+/// Poisoning is unreachable by construction: simulated-process panics
+/// are caught by `catch_unwind` in `spawn_process` before they can
+/// unwind past a kernel lock, so a poisoned lock means the simulator
+/// itself is broken and no recovery is meaningful. This is the one
+/// sanctioned lock-acquisition panic site in the crate;
+/// `#[track_caller]` keeps the panic pointing at the real call site.
+#[allow(clippy::expect_used)]
+#[track_caller]
+pub(crate) fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().expect("lock poisoned")
+}
+
+/// Waits on `cv`, panicking on poisoning — same invariant as [`locked`].
+#[allow(clippy::expect_used)]
+#[track_caller]
+pub(crate) fn cv_wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).expect("lock poisoned")
+}
 
 mod clock;
 mod control;

@@ -54,7 +54,7 @@ impl Clone for CorePool {
 
 impl std::fmt::Debug for CorePool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("pool poisoned");
+        let inner = crate::locked(&self.inner);
         f.debug_struct("CorePool")
             .field("total", &inner.total)
             .field("active", &(inner.total - inner.available))
@@ -79,20 +79,20 @@ impl CorePool {
     /// Total number of cores in the pool.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.inner.lock().expect("pool poisoned").total
+        crate::locked(&self.inner).total
     }
 
     /// Number of cores currently held.
     #[must_use]
     pub fn active(&self) -> usize {
-        let inner = self.inner.lock().expect("pool poisoned");
+        let inner = crate::locked(&self.inner);
         inner.total - inner.available
     }
 
     /// High-water mark of concurrently held cores.
     #[must_use]
     pub fn peak_active(&self) -> usize {
-        self.inner.lock().expect("pool poisoned").peak_active
+        crate::locked(&self.inner).peak_active
     }
 
     /// Acquires a core, blocking the calling process until one is free.
@@ -100,7 +100,7 @@ impl CorePool {
     #[must_use]
     pub fn acquire<'a>(&'a self, ctx: &'a Ctx) -> CoreGuard<'a> {
         loop {
-            let mut inner = self.inner.lock().expect("pool poisoned");
+            let mut inner = crate::locked(&self.inner);
             if inner.available > 0 {
                 inner.available -= 1;
                 let active = inner.total - inner.available;
@@ -116,11 +116,11 @@ impl CorePool {
     }
 
     fn release(&self) {
-        let mut inner = self.inner.lock().expect("pool poisoned");
+        let mut inner = crate::locked(&self.inner);
         inner.available += 1;
         debug_assert!(inner.available <= inner.total, "core released twice");
         if let Some(waiter) = inner.waiters.pop_front() {
-            let mut st = self.kernel.state.lock().expect("kernel poisoned");
+            let mut st = crate::locked(&self.kernel.state);
             st.wake_now(waiter);
         }
     }

@@ -43,7 +43,7 @@ impl<T> Clone for Queue<T> {
 
 impl<T> std::fmt::Debug for Queue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("queue poisoned");
+        let inner = crate::locked(&self.inner);
         f.debug_struct("Queue")
             .field("name", &inner.name)
             .field("len", &inner.items.len())
@@ -69,7 +69,7 @@ impl<T: Send + 'static> Queue<T> {
     /// Number of items currently buffered.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        crate::locked(&self.inner).items.len()
     }
 
     /// True if no items are buffered.
@@ -81,21 +81,25 @@ impl<T: Send + 'static> Queue<T> {
     /// The queue's name (used in deadlock diagnostics and traces).
     #[must_use]
     pub fn name(&self) -> String {
-        self.inner.lock().expect("queue poisoned").name.clone()
+        crate::locked(&self.inner).name.clone()
     }
 
     /// Appends `item`, blocking the calling process while the queue is full.
     pub fn push(&self, ctx: &Ctx, item: T) {
         let mut item = Some(item);
         loop {
-            let mut inner = self.inner.lock().expect("queue poisoned");
+            let mut inner = crate::locked(&self.inner);
             let full = inner.capacity.is_some_and(|cap| inner.items.len() >= cap);
             if !full {
+                // `item` is taken exactly once: the function returns right
+                // after a successful push, so the `Some` is still intact
+                // on every loop iteration that reaches this branch.
+                #[allow(clippy::expect_used)]
                 inner
                     .items
                     .push_back(item.take().expect("item consumed twice"));
                 if let Some(waiter) = inner.pop_waiters.pop_front() {
-                    let mut st = self.kernel.state.lock().expect("kernel poisoned");
+                    let mut st = crate::locked(&self.kernel.state);
                     st.wake_now(waiter);
                 }
                 return;
@@ -112,10 +116,10 @@ impl<T: Send + 'static> Queue<T> {
     #[must_use]
     pub fn pop(&self, ctx: &Ctx) -> T {
         loop {
-            let mut inner = self.inner.lock().expect("queue poisoned");
+            let mut inner = crate::locked(&self.inner);
             if let Some(item) = inner.items.pop_front() {
                 if let Some(waiter) = inner.push_waiters.pop_front() {
-                    let mut st = self.kernel.state.lock().expect("kernel poisoned");
+                    let mut st = crate::locked(&self.kernel.state);
                     st.wake_now(waiter);
                 }
                 return item;
@@ -136,10 +140,10 @@ impl<T: Send + 'static> Queue<T> {
     pub fn pop_timeout(&self, ctx: &Ctx, timeout: Span) -> Option<T> {
         let deadline = ctx.now() + timeout;
         loop {
-            let mut inner = self.inner.lock().expect("queue poisoned");
+            let mut inner = crate::locked(&self.inner);
             if let Some(item) = inner.items.pop_front() {
                 if let Some(waiter) = inner.push_waiters.pop_front() {
-                    let mut st = self.kernel.state.lock().expect("kernel poisoned");
+                    let mut st = crate::locked(&self.kernel.state);
                     st.wake_now(waiter);
                 }
                 return Some(item);
@@ -160,7 +164,7 @@ impl<T: Send + 'static> Queue<T> {
             // stale waiter registration is harmless: push wakes are
             // generation-checked, and duplicate registrations are pruned
             // below.
-            let mut inner = self.inner.lock().expect("queue poisoned");
+            let mut inner = crate::locked(&self.inner);
             inner.pop_waiters.retain(|&w| w != pid);
             drop(inner);
         }
@@ -170,11 +174,11 @@ impl<T: Send + 'static> Queue<T> {
     /// blocking.
     #[must_use]
     pub fn try_pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = crate::locked(&self.inner);
         let item = inner.items.pop_front();
         if item.is_some() {
             if let Some(waiter) = inner.push_waiters.pop_front() {
-                let mut st = self.kernel.state.lock().expect("kernel poisoned");
+                let mut st = crate::locked(&self.kernel.state);
                 st.wake_now(waiter);
             }
         }

@@ -48,7 +48,7 @@ pub struct Simulation {
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.kernel.state.lock().expect("kernel poisoned");
+        let st = crate::locked(&self.kernel.state);
         f.debug_struct("Simulation")
             .field("now", &st.now)
             .field("processes", &st.procs.len())
@@ -123,7 +123,7 @@ impl Simulation {
         let result = self.kernel.run_scheduler();
         match result {
             Ok(()) => {
-                let st = self.kernel.state.lock().expect("kernel poisoned");
+                let st = crate::locked(&self.kernel.state);
                 Ok(RunReport {
                     end_time: st.now,
                     processes: st.procs.len(),
@@ -136,7 +136,7 @@ impl Simulation {
     /// Current virtual time (useful after [`Simulation::run`] returns).
     #[must_use]
     pub fn now(&self) -> Time {
-        self.kernel.state.lock().expect("kernel poisoned").now
+        crate::locked(&self.kernel.state).now
     }
 
     /// Installs a [`ScheduleController`] that resolves same-time
@@ -144,18 +144,14 @@ impl Simulation {
     /// [`Simulation::run`]; without a controller the kernel keeps its
     /// FIFO (creation-order) tie-break.
     pub fn set_controller(&mut self, controller: Arc<dyn ScheduleController>) {
-        self.kernel
-            .state
-            .lock()
-            .expect("kernel poisoned")
-            .controller = Some(controller);
+        crate::locked(&self.kernel.state).controller = Some(controller);
     }
 
     /// Scheduler dispatches completed so far (a size measure for model
     /// checking reports; useful after [`Simulation::run`] returns).
     #[must_use]
     pub fn steps(&self) -> u64 {
-        self.kernel.state.lock().expect("kernel poisoned").steps
+        crate::locked(&self.kernel.state).steps
     }
 }
 
@@ -168,7 +164,7 @@ impl Default for Simulation {
 impl Drop for Simulation {
     fn drop(&mut self) {
         self.kernel.begin_shutdown();
-        let mut threads = self.threads.lock().expect("thread registry poisoned");
+        let mut threads = crate::locked(&self.threads);
         for handle in threads.drain(..) {
             // A process thread can only terminate by finishing or unwinding
             // on the shutdown signal, both of which we have arranged.
@@ -185,12 +181,16 @@ fn register_thread_registry(registry: &ThreadRegistry) {
 
 /// Spawns the OS thread backing a simulated process. Shared by
 /// [`Simulation::spawn`] and [`Ctx::spawn`].
+// Setup-time panics are deliberate: spawning outside a `Simulation` is
+// programmer error, and an OS refusing to create a thread leaves no
+// simulation to report an error through.
+#[allow(clippy::expect_used)]
 pub(crate) fn spawn_process<F>(kernel: &Arc<Kernel>, name: String, body: F) -> Pid
 where
     F: FnOnce(Ctx) + Send + 'static,
 {
     let (pid, baton) = {
-        let mut st = kernel.state.lock().expect("kernel poisoned");
+        let mut st = crate::locked(&kernel.state);
         st.add_proc(name.clone())
     };
     let kernel_for_thread = Arc::clone(kernel);
@@ -207,18 +207,13 @@ where
             // Wait for the scheduler to hand over the baton for the first
             // time (the spawn event).
             {
-                let mut go = baton.go.lock().expect("baton poisoned");
+                let mut go = crate::locked(&baton.go);
                 while !*go {
-                    go = baton.cv.wait(go).expect("baton poisoned");
+                    go = crate::cv_wait(&baton.cv, go);
                 }
                 *go = false;
             }
-            if kernel_for_thread
-                .state
-                .lock()
-                .expect("kernel poisoned")
-                .shutdown
-            {
+            if crate::locked(&kernel_for_thread.state).shutdown {
                 return;
             }
             let ctx = Ctx::new(Arc::clone(&kernel_for_thread), pid, baton);
@@ -237,10 +232,7 @@ where
             kernel_for_thread.finish(pid, panic_message);
         })
         .expect("failed to spawn simulation thread");
-    registry
-        .lock()
-        .expect("thread registry poisoned")
-        .push(handle);
+    crate::locked(&registry).push(handle);
     pid
 }
 

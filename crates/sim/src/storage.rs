@@ -565,7 +565,7 @@ impl Storage {
     #[must_use]
     pub fn read(&self, index: u64, bytes: u64, now: Time) -> ReadOutcome {
         let bytes = bytes.max(1);
-        let state = &mut *self.state.lock().expect("storage state poisoned");
+        let state = &mut *crate::locked(&self.state);
         let (file, offset) = self.config.layout.locate(index);
         let first_page = offset / PAGE_BYTES;
         let last_page = (offset + bytes - 1) / PAGE_BYTES;
@@ -616,6 +616,10 @@ impl Storage {
         }
 
         if !object_pages.is_empty() {
+            // Pages are classified as object-backed only when the layout
+            // has an object store; reaching this with `None` is a
+            // classification bug, not a runtime condition.
+            #[allow(clippy::expect_used)]
             let object = self
                 .config
                 .object_store
@@ -680,7 +684,7 @@ impl Storage {
     /// A snapshot of the cumulative counters.
     #[must_use]
     pub fn counters(&self) -> StorageCounters {
-        self.state.lock().expect("storage state poisoned").counters
+        crate::locked(&self.state).counters
     }
 }
 

@@ -39,6 +39,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
 
 mod audio_ops;
 mod collate;

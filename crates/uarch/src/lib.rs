@@ -29,6 +29,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
 
 mod cost;
 mod events;

@@ -41,7 +41,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// The whole workspace is safe Rust; determinism and auditability both
+// lean on it. Gate any future exception through a crate-level decision.
+#![deny(unsafe_code)]
 
+pub mod auditing;
 pub mod checking;
 pub mod running;
 pub mod tuning;

@@ -167,6 +167,27 @@ USAGE:
       lints recorded trace files (Chrome JSON or LotusTrace logs)
       instead.
 
+  lotus audit     [--pipeline ic|ac|is|all] [--policy POLICY|all] [--items N]
+                  [--workers W] [--status-check-ms T]
+                  [--mutate skip-notify|release-recheck|lock-order]
+                  [--trace] [--json]
+                  [--model] [--bug BUG] [--replay 0,2,1]
+      Happens-before race & deadlock audit of the native backend. Attaches
+      a synchronization-event feed to real native runs (IC/AC/IS under
+      every scheduling policy by default), rebuilds the happens-before
+      order with vector clocks, and checks lock discipline, lost wakeups,
+      condvar predicate re-checks, liveness-gated sends, produce-before-
+      consume per batch, death-before-redispatch, gauge total ordering,
+      and lock-order acyclicity. A finding prints a greedily minimized
+      event window. --mutate seeds a known backend defect and *expects*
+      detection (exit 1 when the auditor misses it). --trace dumps the
+      event stream per run. --model switches to the bounded exhaustive
+      mode: the NativeQueue protocol's state machine explored through
+      every small interleaving (DFS with state-hash pruning), --bug
+      seeding skip-notify|release-recheck|lock-order|if-instead-of-while
+      into the model, and --replay re-running one model schedule
+      deterministically.
+
   POLICY: the loader scheduling policy — round-robin (default; the
   PyTorch-faithful dispatch), work-stealing (overflowing queues donate to
   the shallowest live queue), slow-lane (an online per-sample cost EWMA
@@ -1057,6 +1078,276 @@ fn cmd_check(args: &Args) -> Result<(), Box<dyn Error>> {
     }
 }
 
+/// Parses `--replay`'s comma-separated choice list (`--replay` alone
+/// means the empty, default-policy schedule).
+fn parse_schedule(raw: &str) -> Result<Vec<usize>, String> {
+    if raw.trim().is_empty() || raw == "true" {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("invalid choice in --replay: '{tok}'"))
+        })
+        .collect()
+}
+
+/// The bounded-exhaustive side of `lotus audit`: explore (or `--replay`)
+/// the modelled native protocol.
+fn cmd_audit_model(args: &Args) -> Result<(), Box<dyn Error>> {
+    use lotus::core::check::ExploreBounds;
+    use lotus::core::check::{explore_native_model, run_model_traced, ModelBug, ModelConfig};
+
+    let raw_bug = args.get("bug", "none".to_string())?;
+    let bug = ModelBug::parse(&raw_bug).ok_or_else(|| {
+        format!(
+            "invalid --bug '{raw_bug}' (none, skip-notify, release-recheck, lock-order or \
+             if-instead-of-while)"
+        )
+    })?;
+    let cfg = ModelConfig {
+        workers: args.get("workers", 2usize)?,
+        batches_per_worker: args.get("batches", 2usize)?,
+        queue_cap: args.get("cap", 1usize)?,
+        bug,
+    };
+    let bounds = ExploreBounds {
+        max_schedules: args.get("schedules", 2_000usize)?,
+        max_depth: args.get("depth", 96usize)?,
+        max_branch: args.get("branch", 4usize)?,
+        ..ExploreBounds::default()
+    };
+
+    if let Some(raw) = args.flags.get("replay") {
+        let schedule = parse_schedule(raw)?;
+        let (run, events) = run_model_traced(&cfg, &schedule);
+        println!(
+            "replay model[bug={}] schedule [{}]: {} decision points, {} sync events",
+            bug.as_str(),
+            schedule
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            run.decisions.len(),
+            events.len()
+        );
+        if args.has("trace") {
+            for e in &events {
+                println!("  #{:<5} tid {:<4} {:<12} {:?}", e.seq, e.tid, e.obj, e.op);
+            }
+        }
+        if run.violations.is_empty() {
+            println!("  no violations");
+            return Ok(());
+        }
+        for v in &run.violations {
+            println!("  violation: {v}");
+        }
+        return Err("replayed model schedule violates the synchronization contract".into());
+    }
+
+    println!(
+        "lotus audit --model: workers={} batches/worker={} cap={} bug={} | schedules<={} depth<={} branch<={}",
+        cfg.workers,
+        cfg.batches_per_worker,
+        cfg.queue_cap,
+        bug.as_str(),
+        bounds.max_schedules,
+        bounds.max_depth,
+        bounds.max_branch
+    );
+    let report = explore_native_model(&cfg, &bounds);
+    let stats = report.stats;
+    println!(
+        "explored {} schedules, {} decision points, {} states ({} pruned), depth {} | verdict: {}",
+        stats.schedules_run,
+        stats.decision_points,
+        stats.states_seen,
+        stats.states_pruned,
+        stats.max_depth_reached,
+        if report.clean() { "ok" } else { "VIOLATED" }
+    );
+    let found = report.counterexample.is_some();
+    if let Some(cx) = report.counterexample {
+        let schedule: Vec<String> = cx.schedule.iter().map(usize::to_string).collect();
+        println!("counterexample schedule: [{}]", schedule.join(","));
+        println!(
+            "  (replay with: lotus audit --model --bug {} --replay {})",
+            bug.as_str(),
+            if schedule.is_empty() {
+                "\"\"".to_string()
+            } else {
+                schedule.join(",")
+            }
+        );
+        for v in &cx.violations {
+            println!("  violation: {v}");
+        }
+    }
+    match (bug, found) {
+        (ModelBug::None, false) => Ok(()),
+        (ModelBug::None, true) => {
+            Err("the clean model violated the synchronization contract".into())
+        }
+        (_, true) => {
+            println!("\nmodel bug '{}' detected as expected", bug.as_str());
+            Ok(())
+        }
+        (_, false) => Err(format!(
+            "model bug '{}' was NOT detected — the auditor has a blind spot",
+            bug.as_str()
+        )
+        .into()),
+    }
+}
+
+fn cmd_audit(args: &Args) -> Result<(), Box<dyn Error>> {
+    use lotus::auditing::{audit_matrix, minimized_window, AuditOptions};
+    use lotus::dataflow::AuditMutation;
+
+    if args.has("model") || args.has("bug") {
+        return cmd_audit_model(args);
+    }
+    if args.has("replay") {
+        return Err("--replay replays model schedules; add --model (and --bug NAME)".into());
+    }
+
+    let mut options = AuditOptions::default();
+    options.items = args.get("items", options.items)?;
+    options.workers = args.get("workers", options.workers)?;
+    if args.has("status-check-ms") {
+        options.status_check = Span::from_millis(args.get("status-check-ms", 20u64)?);
+    }
+    let raw_kind = args.get("pipeline", "all".to_string())?;
+    if raw_kind != "all" {
+        options.pipelines = vec![pipeline_of(&raw_kind)?];
+    }
+    let raw_policy = args.get("policy", "all".to_string())?;
+    if raw_policy != "all" {
+        options.policies = vec![SchedulingPolicyKind::parse(&raw_policy)?];
+    }
+    let mutate = args.flags.get("mutate").map(String::as_str);
+    if let Some(name) = mutate {
+        options.mutation = AuditMutation::parse(name).ok_or_else(|| {
+            format!("invalid --mutate '{name}' (skip-notify, release-recheck or lock-order)")
+        })?;
+    }
+
+    println!(
+        "lotus audit: items={} workers={} status-check={:.0}ms | {} pipeline(s) x {} policy(ies){}",
+        options.items,
+        options.workers,
+        options.status_check.as_secs_f64() * 1e3,
+        options.pipelines.len(),
+        options.policies.len(),
+        match mutate {
+            Some(m) => format!(" | MUTATED ({m})"),
+            None => String::new(),
+        }
+    );
+    println!(
+        "\n{:<22} {:>7} {:>8} {:>8} {:>8} {:>8} {:>12} {:>9}",
+        "run", "batches", "events", "threads", "objects", "ids", "overhead us", "verdict"
+    );
+    let runs = audit_matrix(&options)?;
+    let mut flagged = 0usize;
+    for run in &runs {
+        let s = run.report.stats;
+        println!(
+            "{:<22} {:>7} {:>8} {:>8} {:>8} {:>8} {:>12.1} {:>9}",
+            run.name,
+            run.batches,
+            s.events,
+            s.threads,
+            s.objects,
+            s.batches,
+            run.audit_overhead_ns as f64 / 1e3,
+            if run.report.clean() { "ok" } else { "FLAGGED" }
+        );
+        if args.has("trace") {
+            for e in &run.events {
+                println!("  #{:<6} tid {:<4} {:<22} {:?}", e.seq, e.tid, e.obj, e.op);
+            }
+        }
+        if !run.report.clean() {
+            flagged += 1;
+        }
+    }
+    if args.has("json") {
+        let docs: Vec<serde_json::Value> = runs
+            .iter()
+            .map(|run| {
+                use serde_json::Content;
+                serde_json::Value(Content::Map(vec![
+                    ("run".into(), Content::Str(run.name.clone())),
+                    ("clean".into(), Content::Bool(run.report.clean())),
+                    (
+                        "events".into(),
+                        Content::U64(run.report.stats.events as u64),
+                    ),
+                    (
+                        "threads".into(),
+                        Content::U64(run.report.stats.threads as u64),
+                    ),
+                    ("overhead_ns".into(), Content::U64(run.audit_overhead_ns)),
+                    ("elapsed_s".into(), Content::F64(run.elapsed.as_secs_f64())),
+                    (
+                        "findings".into(),
+                        Content::Seq(
+                            run.report
+                                .findings
+                                .iter()
+                                .map(|f| {
+                                    Content::Map(vec![
+                                        ("kind".into(), Content::Str(f.kind().into())),
+                                        ("detail".into(), Content::Str(f.to_string())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]))
+            })
+            .collect();
+        let seq = serde_json::Value(serde_json::Content::Seq(
+            docs.into_iter().map(|v| v.0).collect(),
+        ));
+        println!("{}", serde_json::to_string_pretty(&seq)?);
+    }
+    for run in runs.iter().filter(|r| !r.report.clean()) {
+        println!("\n{}: {} finding(s)", run.name, run.report.findings.len());
+        for finding in &run.report.findings {
+            println!("  [{}] {finding}", finding.kind());
+        }
+        if let Some(window) = minimized_window(run) {
+            println!(
+                "  minimized counterexample window ({} of {} events):",
+                window.len(),
+                run.events.len()
+            );
+            for e in &window {
+                println!(
+                    "    #{:<6} tid {:<4} {:<22} {:?}",
+                    e.seq, e.tid, e.obj, e.op
+                );
+            }
+        }
+    }
+    match (mutate, flagged) {
+        (None, 0) => Ok(()),
+        (None, n) => Err(format!("{n} run(s) violated the synchronization contract").into()),
+        (Some(m), 0) => {
+            Err(format!("mutation '{m}' was NOT detected — the auditor has a blind spot").into())
+        }
+        (Some(m), _) => {
+            println!("\nmutation '{m}' detected as expected");
+            Ok(())
+        }
+    }
+}
+
 fn run() -> Result<(), Box<dyn Error>> {
     let mut raw = std::env::args().skip(1);
     let Some(command) = raw.next() else {
@@ -1074,6 +1365,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         "top" => cmd_top(&args),
         "tune" => cmd_tune(&args),
         "check" => cmd_check(&args),
+        "audit" => cmd_audit(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
